@@ -1,0 +1,152 @@
+// Microbenchmarks for the hand-written linear-algebra substrate.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "fft/fft.h"
+#include "linalg/blas.h"
+#include "linalg/eigen_sym.h"
+#include "linalg/eigen_tridiag.h"
+#include "linalg/lanczos.h"
+#include "linalg/qr.h"
+#include "linalg/svd.h"
+#include "linalg/svd_golub_kahan.h"
+#include "rsvd/rsvd.h"
+
+namespace dtucker {
+namespace {
+
+void BM_GemmSquare(benchmark::State& state) {
+  const Index n = state.range(0);
+  Rng rng(1);
+  Matrix a = Matrix::GaussianRandom(n, n, rng);
+  Matrix b = Matrix::GaussianRandom(n, n, rng);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    Gemm(Trans::kNo, Trans::kNo, 1.0, a, b, 0.0, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmSquare)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_GemmTallSkinny(benchmark::State& state) {
+  // The shape dominating D-Tucker: (I x I) times (I x J), J small.
+  const Index m = state.range(0);
+  const Index j = 10;
+  Rng rng(2);
+  Matrix a = Matrix::GaussianRandom(m, m, rng);
+  Matrix b = Matrix::GaussianRandom(m, j, rng);
+  Matrix c(m, j);
+  for (auto _ : state) {
+    Gemm(Trans::kNo, Trans::kNo, 1.0, a, b, 0.0, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * m * j);
+}
+BENCHMARK(BM_GemmTallSkinny)->Arg(128)->Arg(512)->Arg(1024);
+
+void BM_ThinQr(benchmark::State& state) {
+  const Index m = state.range(0);
+  Rng rng(3);
+  Matrix a = Matrix::GaussianRandom(m, 15, rng);
+  for (auto _ : state) {
+    QrResult qr = ThinQr(a);
+    benchmark::DoNotOptimize(qr.q.data());
+  }
+}
+BENCHMARK(BM_ThinQr)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_ThinSvdSmall(benchmark::State& state) {
+  const Index n = state.range(0);
+  Rng rng(4);
+  Matrix a = Matrix::GaussianRandom(n, n, rng);
+  for (auto _ : state) {
+    SvdResult svd = ThinSvd(a);
+    benchmark::DoNotOptimize(svd.u.data());
+  }
+}
+BENCHMARK(BM_ThinSvdSmall)->Arg(10)->Arg(30)->Arg(60);
+
+void BM_RandomizedSvd(benchmark::State& state) {
+  const Index m = state.range(0);
+  Rng rng(5);
+  Matrix a = Matrix::GaussianRandom(m, m / 2, rng);
+  RsvdOptions opt;
+  opt.rank = 10;
+  for (auto _ : state) {
+    SvdResult svd = RandomizedSvd(a, opt);
+    benchmark::DoNotOptimize(svd.u.data());
+  }
+}
+BENCHMARK(BM_RandomizedSvd)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_ThinSvdGolubKahan(benchmark::State& state) {
+  const Index n = state.range(0);
+  Rng rng(4);
+  Matrix a = Matrix::GaussianRandom(n, n, rng);
+  for (auto _ : state) {
+    auto svd = ThinSvdGolubKahan(a);
+    benchmark::DoNotOptimize(svd.ok());
+  }
+}
+BENCHMARK(BM_ThinSvdGolubKahan)->Arg(10)->Arg(30)->Arg(60)->Arg(120);
+
+Matrix BenchSymmetric(Index n) {
+  Rng rng(11);
+  Matrix g = Matrix::GaussianRandom(n, n / 2 + 1, rng);
+  return Gram(g.Transposed());
+}
+
+void BM_EigenSymJacobi(benchmark::State& state) {
+  Matrix a = BenchSymmetric(state.range(0));
+  for (auto _ : state) {
+    EigenSymResult eig = EigenSym(a);
+    benchmark::DoNotOptimize(eig.values.data());
+  }
+}
+BENCHMARK(BM_EigenSymJacobi)->Arg(30)->Arg(60)->Arg(120);
+
+void BM_EigenSymQl(benchmark::State& state) {
+  Matrix a = BenchSymmetric(state.range(0));
+  for (auto _ : state) {
+    auto eig = EigenSymQr(a);
+    benchmark::DoNotOptimize(eig.ok());
+  }
+}
+BENCHMARK(BM_EigenSymQl)->Arg(30)->Arg(60)->Arg(120)->Arg(240);
+
+void BM_TopEigSubspace(benchmark::State& state) {
+  Matrix a = BenchSymmetric(state.range(0));
+  for (auto _ : state) {
+    Matrix v = TopEigenvectorsSym(a, 10);
+    benchmark::DoNotOptimize(v.data());
+  }
+}
+BENCHMARK(BM_TopEigSubspace)->Arg(120)->Arg(240)->Arg(480);
+
+void BM_TopEigLanczos(benchmark::State& state) {
+  Matrix a = BenchSymmetric(state.range(0));
+  for (auto _ : state) {
+    auto r = LanczosTopEigenpairs(a, 10);
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_TopEigLanczos)->Arg(120)->Arg(240)->Arg(480);
+
+void BM_Fft(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  std::vector<Complex> x(n);
+  for (auto& v : x) v = Complex(rng.Gaussian(), 0);
+  for (auto _ : state) {
+    std::vector<Complex> y = x;
+    Fft(&y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Fft)->Arg(1024)->Arg(4096)->Arg(1000)->Arg(4100);
+
+}  // namespace
+}  // namespace dtucker
+
+BENCHMARK_MAIN();

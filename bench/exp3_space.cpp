@@ -1,0 +1,104 @@
+// Experiment E3 (DESIGN.md §4): space cost of what each method must keep
+// resident to (re-)answer decompositions — the paper's storage figure.
+//
+// Preprocessing methods (D-Tucker, MACH, Tucker-ts/ttmts) are charged
+// their compressed/sketched representation; from-scratch methods
+// (Tucker-ALS, HOSVD, RTD) are charged the raw tensor. Only the cheap
+// preprocessing passes are executed.
+#include <cstdio>
+
+#include "baselines/mach.h"
+#include "common/flags.h"
+#include "common/table_printer.h"
+#include "data/datasets.h"
+#include "dtucker/slice_approximation.h"
+#include "sketch/tensor_sketch.h"
+
+namespace dtucker {
+namespace {
+
+Index NextPowerOfTwo(Index n) {
+  Index p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddDouble("scale", 1.0, "dataset size multiplier in (0, 1]");
+  flags.AddInt("rank", 10, "Tucker rank per mode (clamped)");
+  flags.AddDouble("mach_rate", 0.1, "MACH keep probability");
+  flags.AddDouble("sketch_factor", 4.0, "Tucker-ts sketch multiplier");
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
+                 flags.HelpString().c_str());
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.HelpString().c_str());
+    return 0;
+  }
+
+  std::printf(
+      "=== E3: storage for preprocessed/compressed representations ===\n"
+      "(paper: D-Tucker's slice factors are the smallest footprint)\n\n");
+
+  TablePrinter table({"dataset", "raw tensor (ALS/HOSVD/RTD)", "D-Tucker",
+                      "MACH sample", "Tucker-ts sketches",
+                      "D-Tucker ratio"});
+  for (const auto& spec : BenchmarkDatasets()) {
+    Result<Tensor> data = MakeDataset(spec.name, flags.GetDouble("scale"));
+    if (!data.ok()) continue;
+    const Tensor& x = data.value();
+    const Index rank = flags.GetInt("rank");
+
+    // D-Tucker: run the (one-pass) approximation.
+    SliceApproximationOptions sopt;
+    sopt.slice_rank = std::min<Index>(rank, std::min(x.dim(0), x.dim(1)));
+    Result<SliceApproximation> approx = ApproximateSlices(x, sopt);
+    const std::size_t dtucker_bytes =
+        approx.ok() ? approx.value().ByteSize() : 0;
+
+    // MACH: expected COO size (index + value per kept element).
+    Result<SparseTensor> sample =
+        MachSample(x, flags.GetDouble("mach_rate"), 7);
+    const std::size_t mach_bytes = sample.ok() ? sample.value().ByteSize() : 0;
+
+    // Tucker-ts: N sketched unfoldings (s1 x I_n) plus the core sketch.
+    std::size_t ts_bytes = 0;
+    Index core_vol = 1;
+    for (Index n = 0; n < x.order(); ++n) {
+      Index jrest = 1;
+      for (Index k = 0; k < x.order(); ++k) {
+        if (k != n) jrest *= std::min<Index>(rank, x.dim(k));
+      }
+      const Index s1 = NextPowerOfTwo(static_cast<Index>(
+          flags.GetDouble("sketch_factor") * static_cast<double>(jrest)));
+      ts_bytes += static_cast<std::size_t>(s1 * x.dim(n)) * sizeof(double);
+      core_vol *= std::min<Index>(rank, x.dim(n));
+    }
+    ts_bytes += static_cast<std::size_t>(NextPowerOfTwo(static_cast<Index>(
+                    flags.GetDouble("sketch_factor") *
+                    static_cast<double>(core_vol)))) *
+                sizeof(double);
+
+    table.AddRow(
+        {spec.name, TablePrinter::FormatBytes(x.ByteSize()),
+         TablePrinter::FormatBytes(dtucker_bytes),
+         TablePrinter::FormatBytes(mach_bytes),
+         TablePrinter::FormatBytes(ts_bytes),
+         TablePrinter::FormatDouble(
+             static_cast<double>(x.ByteSize()) /
+                 static_cast<double>(std::max<std::size_t>(1, dtucker_bytes)),
+             1) +
+             "x smaller"});
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace dtucker
+
+int main(int argc, char** argv) { return dtucker::Run(argc, argv); }

@@ -1,0 +1,132 @@
+// Experiments E4/E5/E6 (DESIGN.md §4): scalability of D-Tucker vs
+// Tucker-ALS with respect to (E4) dimensionality I, (E5) target rank J,
+// and (E6) tensor order N — the paper's scalability figures. Synthetic
+// cubes with known low rank plus noise.
+//
+// Flags: --sweep=dim|rank|order|all.
+#include <cstdio>
+#include <string>
+
+#include "baselines/registry.h"
+#include "common/flags.h"
+#include "common/table_printer.h"
+#include "data/generators.h"
+
+namespace dtucker {
+namespace {
+
+MethodOptions BaseOptions(std::vector<Index> ranks, int iters) {
+  MethodOptions opt;
+  opt.ranks = std::move(ranks);
+  opt.max_iterations = iters;
+  opt.tolerance = 0.0;  // Fixed sweep count: clean scaling curves.
+  return opt;
+}
+
+void RunPair(const Tensor& x, const MethodOptions& opt, double* dt_seconds,
+             double* als_seconds, double* dt_err, double* als_err) {
+  Result<MethodRun> dt = RunTuckerMethod(TuckerMethod::kDTucker, x, opt);
+  Result<MethodRun> als = RunTuckerMethod(TuckerMethod::kTuckerAls, x, opt);
+  *dt_seconds = dt.ok() ? dt.value().stats.TotalSeconds() : -1;
+  *als_seconds = als.ok() ? als.value().stats.TotalSeconds() : -1;
+  *dt_err = dt.ok() ? dt.value().relative_error : -1;
+  *als_err = als.ok() ? als.value().relative_error : -1;
+}
+
+void SweepDimensionality(int iters) {
+  std::printf(
+      "--- E4: time vs dimensionality I (cube I x I x I, J = 10) ---\n");
+  TablePrinter table({"I", "D-Tucker", "Tucker-ALS", "speedup",
+                      "D-Tucker err", "ALS err"});
+  for (Index i : {50, 100, 150, 200, 300}) {
+    Tensor x = MakeLowRankTensor({i, i, i}, {10, 10, 10}, 0.1,
+                                 1000 + static_cast<uint64_t>(i));
+    MethodOptions opt = BaseOptions({10, 10, 10}, iters);
+    double dt, als, dte, alse;
+    RunPair(x, opt, &dt, &als, &dte, &alse);
+    table.AddRow({std::to_string(i), TablePrinter::FormatSeconds(dt),
+                  TablePrinter::FormatSeconds(als),
+                  TablePrinter::FormatDouble(als / dt, 1) + "x",
+                  TablePrinter::FormatScientific(dte),
+                  TablePrinter::FormatScientific(alse)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+void SweepRank(int iters) {
+  std::printf("--- E5: time vs target rank J (cube 150^3) ---\n");
+  TablePrinter table({"J", "D-Tucker", "Tucker-ALS", "speedup",
+                      "D-Tucker err", "ALS err"});
+  Tensor x = MakeLowRankTensor({150, 150, 150}, {20, 20, 20}, 0.1, 2000);
+  for (Index j : {2, 5, 10, 15, 20}) {
+    MethodOptions opt = BaseOptions({j, j, j}, iters);
+    double dt, als, dte, alse;
+    RunPair(x, opt, &dt, &als, &dte, &alse);
+    table.AddRow({std::to_string(j), TablePrinter::FormatSeconds(dt),
+                  TablePrinter::FormatSeconds(als),
+                  TablePrinter::FormatDouble(als / dt, 1) + "x",
+                  TablePrinter::FormatScientific(dte),
+                  TablePrinter::FormatScientific(alse)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+void SweepOrder(int iters) {
+  std::printf(
+      "--- E6: time vs order N (equal volume ~2.1M elements, J = 5) ---\n");
+  TablePrinter table({"N", "shape", "D-Tucker", "Tucker-ALS", "speedup"});
+  const std::vector<std::vector<Index>> shapes = {
+      {160, 130, 100},            // N = 3.
+      {80, 64, 20, 20},           // N = 4.
+      {48, 40, 10, 10, 11},       // N = 5.
+  };
+  for (const auto& shape : shapes) {
+    std::vector<Index> ranks(shape.size(), 5);
+    Tensor x = MakeLowRankTensor(shape, ranks, 0.1,
+                                 3000 + shape.size());
+    MethodOptions opt = BaseOptions(ranks, iters);
+    double dt, als, dte, alse;
+    RunPair(x, opt, &dt, &als, &dte, &alse);
+    std::string shape_str;
+    for (std::size_t k = 0; k < shape.size(); ++k) {
+      shape_str += std::to_string(shape[k]);
+      if (k + 1 < shape.size()) shape_str += "x";
+    }
+    table.AddRow({std::to_string(shape.size()), shape_str,
+                  TablePrinter::FormatSeconds(dt),
+                  TablePrinter::FormatSeconds(als),
+                  TablePrinter::FormatDouble(als / dt, 1) + "x"});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddString("sweep", "all", "dim | rank | order | all");
+  flags.AddInt("iters", 3, "fixed ALS sweep count");
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
+                 flags.HelpString().c_str());
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.HelpString().c_str());
+    return 0;
+  }
+  const std::string sweep = flags.GetString("sweep");
+  const int iters = static_cast<int>(flags.GetInt("iters"));
+  std::printf("=== E4/E5/E6: scalability of D-Tucker vs Tucker-ALS ===\n\n");
+  if (sweep == "dim" || sweep == "all") SweepDimensionality(iters);
+  if (sweep == "rank" || sweep == "all") SweepRank(iters);
+  if (sweep == "order" || sweep == "all") SweepOrder(iters);
+  return 0;
+}
+
+}  // namespace
+}  // namespace dtucker
+
+int main(int argc, char** argv) { return dtucker::Run(argc, argv); }

@@ -1,0 +1,199 @@
+// Experiment E8 (DESIGN.md §4): ablation of D-Tucker's design choices.
+//   (a) phases: initialization only vs initialization + iteration;
+//   (b) rSVD power iterations q and oversampling p in the approximation;
+//   (c) randomized vs exact slice SVD;
+//   (d) adaptive (error-bounded) per-slice ranks;
+//   (e) slice rank Js relative to the target rank.
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "data/datasets.h"
+#include "dtucker/dtucker.h"
+
+namespace dtucker {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddDouble("scale", 0.4, "dataset size multiplier");
+  flags.AddInt("rank", 10, "target Tucker rank per mode (clamped)");
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
+                 flags.HelpString().c_str());
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.HelpString().c_str());
+    return 0;
+  }
+
+  Result<Tensor> data = MakeDataset("video", flags.GetDouble("scale"));
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  const Tensor& x = data.value();
+  std::vector<Index> ranks;
+  for (Index n = 0; n < x.order(); ++n) {
+    ranks.push_back(std::min<Index>(flags.GetInt("rank"), x.dim(n)));
+  }
+  std::printf("=== E8: D-Tucker ablations on video %s ===\n\n",
+              x.ShapeString().c_str());
+
+  // (a) Phase ablation.
+  {
+    std::printf("--- (a) phases: init-only vs full iteration ---\n");
+    SliceApproximationOptions sopt;
+    sopt.slice_rank = std::min<Index>(ranks[0], std::min(x.dim(0), x.dim(1)));
+    Timer t;
+    Result<SliceApproximation> approx = ApproximateSlices(x, sopt);
+    const double approx_seconds = t.Seconds();
+    DTuckerOptions opt;
+    opt.ranks = ranks;
+    opt.max_iterations = 10;
+
+    Timer t_init;
+    Result<TuckerDecomposition> init_only =
+        DTuckerInitializeOnly(approx.value(), opt);
+    const double init_seconds = t_init.Seconds();
+    Timer t_full;
+    Result<TuckerDecomposition> full =
+        DTuckerFromApproximation(approx.value(), opt);
+    const double full_seconds = t_full.Seconds();
+
+    TablePrinter table({"variant", "time (after approx.)", "rel. error"});
+    table.AddRow({"approximation only", TablePrinter::FormatSeconds(0),
+                  TablePrinter::FormatScientific(
+                      approx.value().RelativeErrorAgainst(x))});
+    table.AddRow({"+ initialization", TablePrinter::FormatSeconds(init_seconds),
+                  TablePrinter::FormatScientific(
+                      init_only.value().RelativeErrorAgainst(x))});
+    table.AddRow({"+ iteration (full)",
+                  TablePrinter::FormatSeconds(full_seconds),
+                  TablePrinter::FormatScientific(
+                      full.value().RelativeErrorAgainst(x))});
+    table.Print();
+    std::printf("(approximation pass itself: %s)\n\n",
+                TablePrinter::FormatSeconds(approx_seconds).c_str());
+  }
+
+  // (b) rSVD knobs.
+  {
+    std::printf("--- (b) rSVD power iterations q / oversampling p ---\n");
+    TablePrinter table({"q", "p", "approx time", "total time", "rel. error"});
+    for (int q : {0, 1, 2}) {
+      for (Index p : {0, 5, 10}) {
+        DTuckerOptions opt;
+        opt.ranks = ranks;
+        opt.max_iterations = 10;
+        opt.power_iterations = q;
+        opt.oversampling = p;
+        TuckerStats stats;
+        Result<TuckerDecomposition> dec = DTucker(x, opt, &stats);
+        if (!dec.ok()) continue;
+        table.AddRow({std::to_string(q), std::to_string(p),
+                      TablePrinter::FormatSeconds(stats.preprocess_seconds),
+                      TablePrinter::FormatSeconds(stats.TotalSeconds()),
+                      TablePrinter::FormatScientific(
+                          dec.value().RelativeErrorAgainst(x))});
+      }
+    }
+    table.Print();
+    std::printf("\n");
+  }
+
+  // (d) Randomized vs exact slice SVD.
+  {
+    std::printf("--- (c) slice SVD: randomized vs exact ---\n");
+    TablePrinter table({"method", "approx time", "rel. error"});
+    for (SliceSvdMethod method :
+         {SliceSvdMethod::kRandomized, SliceSvdMethod::kExact}) {
+      SliceApproximationOptions sopt;
+      sopt.slice_rank =
+          std::min<Index>(ranks[0], std::min(x.dim(0), x.dim(1)));
+      sopt.method = method;
+      Timer t;
+      Result<SliceApproximation> approx = ApproximateSlices(x, sopt);
+      const double approx_seconds = t.Seconds();
+      if (!approx.ok()) continue;
+      DTuckerOptions opt;
+      opt.ranks = ranks;
+      opt.max_iterations = 10;
+      Result<TuckerDecomposition> dec =
+          DTuckerFromApproximation(approx.value(), opt);
+      if (!dec.ok()) continue;
+      table.AddRow({method == SliceSvdMethod::kRandomized ? "randomized"
+                                                          : "exact SVD",
+                    TablePrinter::FormatSeconds(approx_seconds),
+                    TablePrinter::FormatScientific(
+                        dec.value().RelativeErrorAgainst(x))});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+
+  // (e) Adaptive per-slice ranks.
+  {
+    std::printf("--- (d) adaptive slice rank (cap 2x target) ---\n");
+    TablePrinter table({"slice tolerance", "avg slice rank",
+                        "compressed size", "rel. error"});
+    for (double tol : {0.0, 1e-2, 1e-3, 1e-4}) {
+      SliceApproximationOptions sopt;
+      sopt.slice_rank =
+          std::min<Index>(2 * ranks[0], std::min(x.dim(0), x.dim(1)));
+      sopt.adaptive_tolerance = tol;
+      Result<SliceApproximation> approx = ApproximateSlices(x, sopt);
+      if (!approx.ok()) continue;
+      double avg_rank = 0;
+      for (const auto& sl : approx.value().slices) {
+        avg_rank += static_cast<double>(sl.s.size());
+      }
+      avg_rank /= static_cast<double>(approx.value().NumSlices());
+      DTuckerOptions opt;
+      opt.ranks = ranks;
+      opt.max_iterations = 10;
+      Result<TuckerDecomposition> dec =
+          DTuckerFromApproximation(approx.value(), opt);
+      if (!dec.ok()) continue;
+      table.AddRow({tol == 0.0 ? "off (fixed)"
+                               : TablePrinter::FormatScientific(tol, 0),
+                    TablePrinter::FormatDouble(avg_rank, 1),
+                    TablePrinter::FormatBytes(approx.value().ByteSize()),
+                    TablePrinter::FormatScientific(
+                        dec.value().RelativeErrorAgainst(x))});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+
+  // (c) Slice rank vs target rank.
+  {
+    std::printf("--- (e) slice rank Js (target rank %td) ---\n", ranks[0]);
+    TablePrinter table({"Js", "compressed size", "total time", "rel. error"});
+    for (Index js : {ranks[0] / 2, ranks[0], 2 * ranks[0]}) {
+      if (js < 1) continue;
+      DTuckerOptions opt;
+      opt.ranks = ranks;
+      opt.max_iterations = 10;
+      opt.slice_rank = std::min<Index>(js, std::min(x.dim(0), x.dim(1)));
+      TuckerStats stats;
+      Result<TuckerDecomposition> dec = DTucker(x, opt, &stats);
+      if (!dec.ok()) continue;
+      table.AddRow({std::to_string(opt.slice_rank),
+                    TablePrinter::FormatBytes(stats.working_bytes),
+                    TablePrinter::FormatSeconds(stats.TotalSeconds()),
+                    TablePrinter::FormatScientific(
+                        dec.value().RelativeErrorAgainst(x))});
+    }
+    table.Print();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dtucker
+
+int main(int argc, char** argv) { return dtucker::Run(argc, argv); }

@@ -1,0 +1,130 @@
+#include "baselines/mach.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "linalg/qr.h"
+#include "tensor/tensor_ops.h"
+#include "tucker/hosvd.h"
+#include "tucker/tucker_als.h"
+
+namespace dtucker {
+
+Result<SparseTensor> MachSample(const Tensor& x, double sample_rate,
+                                uint64_t seed) {
+  if (sample_rate <= 0.0 || sample_rate > 1.0) {
+    return Status::InvalidArgument("sample_rate must be in (0, 1]");
+  }
+  SparseTensor sp(x.shape());
+  sp.Reserve(static_cast<std::size_t>(
+      static_cast<double>(x.size()) * sample_rate * 1.1));
+  Rng rng(seed);
+  const double inv_rate = 1.0 / sample_rate;
+  const double* data = x.data();
+  for (Index i = 0; i < x.size(); ++i) {
+    if (rng.Uniform() < sample_rate) {
+      sp.AddFlat(i, data[i] * inv_rate);
+    }
+  }
+  return sp;
+}
+
+namespace {
+
+// Picks the mode (not `skip`) whose sparse contraction shrinks the dense
+// intermediate the most: the largest I_k / J_k ratio.
+Index BestFirstContraction(const std::vector<Index>& shape,
+                           const std::vector<Index>& ranks, Index skip) {
+  Index best = -1;
+  double best_ratio = -1.0;
+  for (std::size_t k = 0; k < shape.size(); ++k) {
+    if (static_cast<Index>(k) == skip) continue;
+    const double ratio =
+        static_cast<double>(shape[k]) / static_cast<double>(ranks[k]);
+    if (ratio > best_ratio) {
+      best_ratio = ratio;
+      best = static_cast<Index>(k);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<TuckerDecomposition> SparseTuckerAls(const SparseTensor& x,
+                                            const TuckerOptions& options,
+                                            TuckerStats* stats) {
+  DT_RETURN_NOT_OK(ValidateRanks(x.shape(), options.ranks));
+  const Index order = x.order();
+  const double x_norm2 = x.SquaredNorm();
+
+  // Random orthonormal initialization (a HOSVD init would need dense
+  // unfoldings, defeating the sparsity).
+  Rng rng(options.seed);
+  std::vector<Matrix> factors(static_cast<std::size_t>(order));
+  for (Index n = 0; n < order; ++n) {
+    Matrix g = Matrix::GaussianRandom(
+        x.dim(n), options.ranks[static_cast<std::size_t>(n)], rng);
+    factors[static_cast<std::size_t>(n)] = QrOrthonormalize(g);
+  }
+
+  Timer iterate_timer;
+  Tensor core;
+  double prev_error = 1.0;
+  int it = 0;
+  for (; it < options.max_iterations; ++it) {
+    for (Index n = 0; n < order; ++n) {
+      // Sparse first contraction on the most size-reducing mode, dense
+      // contractions for the rest.
+      const Index k0 = BestFirstContraction(x.shape(), options.ranks, n);
+      Tensor y = x.ModeProductDense(factors[static_cast<std::size_t>(k0)], k0,
+                                    Trans::kYes);
+      for (Index k = 0; k < order; ++k) {
+        if (k == n || k == k0) continue;
+        y = ModeProduct(y, factors[static_cast<std::size_t>(k)], k,
+                        Trans::kYes);
+      }
+      Matrix yn = Unfold(y, n);
+      factors[static_cast<std::size_t>(n)] = LeadingLeftSingularVectorsViaGram(
+          yn, options.ranks[static_cast<std::size_t>(n)]);
+      if (n == order - 1) {
+        core = ModeProduct(y, factors[static_cast<std::size_t>(n)], n,
+                           Trans::kYes);
+      }
+    }
+    const double error =
+        OrthogonalTuckerRelativeError(x_norm2, core.SquaredNorm());
+    if (stats != nullptr) stats->error_history.push_back(error);
+    const double delta = std::fabs(prev_error - error);
+    prev_error = error;
+    if (delta < options.tolerance) {
+      ++it;
+      break;
+    }
+  }
+  if (stats != nullptr) {
+    stats->iterations = it;
+    stats->iterate_seconds = iterate_timer.Seconds();
+  }
+
+  TuckerDecomposition dec;
+  dec.factors = std::move(factors);
+  dec.core = std::move(core);
+  return dec;
+}
+
+Result<TuckerDecomposition> Mach(const Tensor& x, const MachOptions& options,
+                                 TuckerStats* stats) {
+  Timer sample_timer;
+  DT_ASSIGN_OR_RETURN(SparseTensor sp,
+                      MachSample(x, options.sample_rate, options.seed));
+  if (stats != nullptr) {
+    stats->preprocess_seconds = sample_timer.Seconds();
+    stats->working_bytes = sp.ByteSize();
+  }
+  return SparseTuckerAls(sp, options, stats);
+}
+
+}  // namespace dtucker

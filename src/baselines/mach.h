@@ -1,0 +1,39 @@
+// MACH (Tsourakakis, SDM 2010): randomized Tucker via element sampling.
+//
+// Each tensor entry is kept independently with probability `sample_rate`
+// and rescaled by 1/sample_rate (an unbiased sparsification), then HOOI
+// runs on the sparse tensor: the first contraction of every factor update
+// streams the nonzeros (O(nnz * J)), all later contractions are dense but
+// small. Faster than Tucker-ALS at low sample rates, at an accuracy cost —
+// the trade-off the paper's evaluation probes.
+#ifndef DTUCKER_BASELINES_MACH_H_
+#define DTUCKER_BASELINES_MACH_H_
+
+#include "common/status.h"
+#include "sparse/sparse_tensor.h"
+#include "tucker/tucker.h"
+
+namespace dtucker {
+
+struct MachOptions : TuckerOptions {
+  double sample_rate = 0.1;  // Keep probability in (0, 1].
+};
+
+// End-to-end MACH: sparsify + sparse HOOI. `stats` may be null; its
+// preprocess_seconds records the sampling pass and working_bytes the COO
+// footprint.
+Result<TuckerDecomposition> Mach(const Tensor& x, const MachOptions& options,
+                                 TuckerStats* stats = nullptr);
+
+// The sparsification step alone (exposed for tests).
+Result<SparseTensor> MachSample(const Tensor& x, double sample_rate,
+                                uint64_t seed);
+
+// HOOI on an already-sparsified tensor.
+Result<TuckerDecomposition> SparseTuckerAls(const SparseTensor& x,
+                                            const TuckerOptions& options,
+                                            TuckerStats* stats = nullptr);
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_BASELINES_MACH_H_

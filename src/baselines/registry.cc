@@ -1,0 +1,133 @@
+#include "baselines/registry.h"
+
+#include "baselines/mach.h"
+#include "baselines/rtd.h"
+#include "baselines/tucker_ts.h"
+#include "common/timer.h"
+#include "dtucker/dtucker.h"
+#include "tucker/hosvd.h"
+#include "tucker/tucker_als.h"
+
+namespace dtucker {
+
+const std::vector<TuckerMethod>& AllTuckerMethods() {
+  static const std::vector<TuckerMethod>* const kAll =
+      new std::vector<TuckerMethod>{
+          TuckerMethod::kDTucker, TuckerMethod::kTuckerAls,
+          TuckerMethod::kHosvd,   TuckerMethod::kStHosvd,
+          TuckerMethod::kMach,    TuckerMethod::kRtd,
+          TuckerMethod::kTuckerTs, TuckerMethod::kTuckerTtmts};
+  return *kAll;
+}
+
+const char* TuckerMethodName(TuckerMethod method) {
+  switch (method) {
+    case TuckerMethod::kDTucker:
+      return "D-Tucker";
+    case TuckerMethod::kTuckerAls:
+      return "Tucker-ALS";
+    case TuckerMethod::kHosvd:
+      return "HOSVD";
+    case TuckerMethod::kStHosvd:
+      return "ST-HOSVD";
+    case TuckerMethod::kMach:
+      return "MACH";
+    case TuckerMethod::kRtd:
+      return "RTD";
+    case TuckerMethod::kTuckerTs:
+      return "Tucker-ts";
+    case TuckerMethod::kTuckerTtmts:
+      return "Tucker-ttmts";
+  }
+  return "?";
+}
+
+Result<TuckerMethod> ParseTuckerMethod(const std::string& name) {
+  for (TuckerMethod m : AllTuckerMethods()) {
+    if (name == TuckerMethodName(m)) return m;
+  }
+  return Status::InvalidArgument("unknown Tucker method '" + name + "'");
+}
+
+Result<MethodRun> RunTuckerMethod(TuckerMethod method, const Tensor& x,
+                                  const MethodOptions& options,
+                                  bool measure_error) {
+  MethodRun run;
+  Timer total;
+  switch (method) {
+    case TuckerMethod::kDTucker: {
+      DTuckerOptions opt;
+      static_cast<TuckerOptions&>(opt) = options;
+      opt.oversampling = options.oversampling;
+      opt.power_iterations = options.power_iterations;
+      DT_ASSIGN_OR_RETURN(run.decomposition, DTucker(x, opt, &run.stats));
+      run.stored_bytes = run.stats.working_bytes;  // Slice factors.
+      break;
+    }
+    case TuckerMethod::kTuckerAls: {
+      TuckerAlsOptions opt;
+      static_cast<TuckerOptions&>(opt) = options;
+      DT_ASSIGN_OR_RETURN(run.decomposition, TuckerAls(x, opt, &run.stats));
+      run.stored_bytes = x.ByteSize();  // Needs the raw tensor every sweep.
+      break;
+    }
+    case TuckerMethod::kHosvd: {
+      DT_RETURN_NOT_OK(ValidateRanks(x.shape(), options.ranks));
+      Timer t;
+      run.decomposition = Hosvd(x, options.ranks);
+      run.stats.iterate_seconds = t.Seconds();
+      run.stats.iterations = 1;
+      run.stored_bytes = x.ByteSize();
+      break;
+    }
+    case TuckerMethod::kStHosvd: {
+      DT_RETURN_NOT_OK(ValidateRanks(x.shape(), options.ranks));
+      Timer t;
+      run.decomposition = StHosvd(x, options.ranks);
+      run.stats.iterate_seconds = t.Seconds();
+      run.stats.iterations = 1;
+      run.stored_bytes = x.ByteSize();
+      break;
+    }
+    case TuckerMethod::kMach: {
+      MachOptions opt;
+      static_cast<TuckerOptions&>(opt) = options;
+      opt.sample_rate = options.mach_sample_rate;
+      DT_ASSIGN_OR_RETURN(run.decomposition, Mach(x, opt, &run.stats));
+      run.stored_bytes = run.stats.working_bytes;  // COO sample.
+      break;
+    }
+    case TuckerMethod::kRtd: {
+      RtdOptions opt;
+      static_cast<TuckerOptions&>(opt) = options;
+      opt.oversampling = options.oversampling;
+      opt.power_iterations = options.power_iterations;
+      DT_ASSIGN_OR_RETURN(run.decomposition, Rtd(x, opt, &run.stats));
+      run.stored_bytes = x.ByteSize();
+      break;
+    }
+    case TuckerMethod::kTuckerTs: {
+      TuckerTsOptions opt;
+      static_cast<TuckerOptions&>(opt) = options;
+      opt.sketch_factor = options.sketch_factor;
+      DT_ASSIGN_OR_RETURN(run.decomposition, TuckerTs(x, opt, &run.stats));
+      run.stored_bytes = run.stats.working_bytes;  // Sketches.
+      break;
+    }
+    case TuckerMethod::kTuckerTtmts: {
+      TuckerTsOptions opt;
+      static_cast<TuckerOptions&>(opt) = options;
+      opt.sketch_factor = options.sketch_factor;
+      DT_ASSIGN_OR_RETURN(run.decomposition, TuckerTtmts(x, opt, &run.stats));
+      run.stored_bytes = run.stats.working_bytes;
+      break;
+    }
+  }
+  (void)total;
+  if (measure_error) {
+    run.relative_error = run.decomposition.RelativeErrorAgainst(x);
+  }
+  return run;
+}
+
+}  // namespace dtucker

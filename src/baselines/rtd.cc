@@ -1,0 +1,39 @@
+#include "baselines/rtd.h"
+
+#include "common/timer.h"
+#include "rsvd/rsvd.h"
+#include "tensor/tensor_ops.h"
+#include "tucker/tucker_als.h"
+
+namespace dtucker {
+
+Result<TuckerDecomposition> Rtd(const Tensor& x, const RtdOptions& options,
+                                TuckerStats* stats) {
+  DT_RETURN_NOT_OK(ValidateRanks(x.shape(), options.ranks));
+  Timer timer;
+
+  TuckerDecomposition dec;
+  dec.factors.resize(static_cast<std::size_t>(x.order()));
+  Tensor y = x;
+  for (Index n = 0; n < x.order(); ++n) {
+    RsvdOptions rsvd;
+    rsvd.rank = options.ranks[static_cast<std::size_t>(n)];
+    rsvd.oversampling = options.oversampling;
+    rsvd.power_iterations = options.power_iterations;
+    rsvd.seed = options.seed + static_cast<uint64_t>(n) * 0x5851F42DULL;
+    Matrix unf = Unfold(y, n);
+    SvdResult svd = RandomizedSvd(unf, rsvd);
+    y = ModeProduct(y, svd.u, n, Trans::kYes);
+    dec.factors[static_cast<std::size_t>(n)] = std::move(svd.u);
+  }
+  dec.core = std::move(y);
+
+  if (stats != nullptr) {
+    stats->iterations = 1;
+    stats->iterate_seconds = timer.Seconds();
+    stats->error_history.push_back(0.0);  // Not tracked per-sweep.
+  }
+  return dec;
+}
+
+}  // namespace dtucker

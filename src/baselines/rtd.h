@@ -1,0 +1,26 @@
+// RTD: randomized Tucker decomposition (Che & Wei, Adv. Comput. Math 2019).
+//
+// A one-pass randomized algorithm: for each mode in sequence, an
+// orthonormal basis of the (current) mode-n unfolding's range is found
+// with a Gaussian sketch + power iterations, the tensor is projected, and
+// the next mode proceeds on the shrunken tensor (randomized ST-HOSVD).
+// No ALS refinement — fast, with an accuracy gap HOOI-based methods close.
+#ifndef DTUCKER_BASELINES_RTD_H_
+#define DTUCKER_BASELINES_RTD_H_
+
+#include "common/status.h"
+#include "tucker/tucker.h"
+
+namespace dtucker {
+
+struct RtdOptions : TuckerOptions {
+  Index oversampling = 5;
+  int power_iterations = 1;
+};
+
+Result<TuckerDecomposition> Rtd(const Tensor& x, const RtdOptions& options,
+                                TuckerStats* stats = nullptr);
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_BASELINES_RTD_H_

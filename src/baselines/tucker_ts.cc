@@ -1,0 +1,274 @@
+#include "baselines/tucker_ts.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "linalg/blas.h"
+#include "linalg/cholesky.h"
+#include "linalg/lu.h"
+#include "linalg/qr.h"
+#include "sketch/tensor_sketch.h"
+#include "tensor/tensor_ops.h"
+#include "tucker/hosvd.h"
+#include "tucker/tucker_als.h"
+
+namespace dtucker {
+
+namespace {
+
+Index NextPowerOfTwo(Index n) {
+  Index p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// Least squares min_W ||B W - Y||_F via normal equations, with a ridge
+// fallback when B^T B is numerically singular.
+Matrix SolveLeastSquaresViaNormal(const Matrix& b, const Matrix& y) {
+  Matrix btb = Gram(b);
+  Matrix bty = MultiplyTN(b, y);
+  Result<Matrix> solved = SolveSpd(btb, bty);
+  if (solved.ok()) return std::move(solved).ValueOrDie();
+  // Ridge: scale-aware epsilon on the diagonal.
+  double trace = 0.0;
+  for (Index i = 0; i < btb.rows(); ++i) trace += btb(i, i);
+  const double ridge =
+      1e-12 * (trace > 0 ? trace / static_cast<double>(btb.rows()) : 1.0) +
+      1e-300;
+  for (Index i = 0; i < btb.rows(); ++i) btb(i, i) += ridge;
+  Result<Matrix> retried = SolveLu(btb, bty);
+  DT_CHECK(retried.ok()) << "sketched least squares solve failed: "
+                         << retried.status().ToString();
+  return std::move(retried).ValueOrDie();
+}
+
+// Shape of the product space of all modes but `skip`.
+std::vector<Index> DimsExcept(const std::vector<Index>& shape, Index skip) {
+  std::vector<Index> dims;
+  for (std::size_t k = 0; k < shape.size(); ++k) {
+    if (static_cast<Index>(k) != skip) dims.push_back(shape[k]);
+  }
+  return dims;
+}
+
+// Pointers to all factors but `skip`, ascending mode order (the Kronecker
+// ordering TensorSketch::SketchKronecker expects).
+std::vector<const Matrix*> FactorsExcept(const std::vector<Matrix>& factors,
+                                         Index skip) {
+  std::vector<const Matrix*> out;
+  for (std::size_t k = 0; k < factors.size(); ++k) {
+    if (static_cast<Index>(k) != skip) out.push_back(&factors[k]);
+  }
+  return out;
+}
+
+Index Product(const std::vector<Index>& v) {
+  Index p = 1;
+  for (Index d : v) p *= d;
+  return p;
+}
+
+std::vector<Matrix> RandomOrthonormalFactors(const std::vector<Index>& shape,
+                                             const std::vector<Index>& ranks,
+                                             uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Matrix> factors(shape.size());
+  for (std::size_t n = 0; n < shape.size(); ++n) {
+    factors[n] = QrOrthonormalize(
+        Matrix::GaussianRandom(shape[n], ranks[n], rng));
+  }
+  return factors;
+}
+
+}  // namespace
+
+Result<TuckerDecomposition> TuckerTs(const Tensor& x,
+                                     const TuckerTsOptions& options,
+                                     TuckerStats* stats) {
+  DT_RETURN_NOT_OK(ValidateRanks(x.shape(), options.ranks));
+  const Index order = x.order();
+  const Index core_volume = Product(options.ranks);
+
+  // --- Preprocessing: sketch the unfoldings and vec(X). ---
+  Timer preprocess_timer;
+  std::vector<TensorSketch> mode_sketches;
+  std::vector<Matrix> sketched_unfoldings;  // s1 x I_n per mode.
+  std::size_t sketch_bytes = 0;
+  for (Index n = 0; n < order; ++n) {
+    const Index needed = Product(DimsExcept(options.ranks, n));
+    const Index rows_available = Product(DimsExcept(x.shape(), n));
+    const Index s1 = std::min(
+        rows_available,
+        NextPowerOfTwo(static_cast<Index>(
+            std::ceil(options.sketch_factor * static_cast<double>(needed)))));
+    mode_sketches.emplace_back(DimsExcept(x.shape(), n), s1,
+                               options.seed + 17 * (n + 1));
+    sketched_unfoldings.push_back(
+        mode_sketches.back().SketchUnfoldingTransposed(x, n));
+    sketch_bytes += sketched_unfoldings.back().ByteSize();
+  }
+  // The core solve's normal equations cost O(s2 * (prod J)^2) per sweep,
+  // so the core sketch uses a halved multiplier (floor 2x) relative to the
+  // mode sketches.
+  const Index s2 = std::min(
+      x.size(),
+      NextPowerOfTwo(static_cast<Index>(
+          std::ceil(std::max(2.0, options.sketch_factor / 2) *
+                    static_cast<double>(core_volume)))));
+  TensorSketch core_sketch(x.shape(), s2, options.seed + 9901);
+  // vec(X) in mode-0-fastest order is exactly the flat buffer.
+  Matrix vec_x(x.size(), 1);
+  std::copy(x.data(), x.data() + x.size(), vec_x.data());
+  Matrix sketched_x = core_sketch.SketchExplicit(vec_x);  // s2 x 1.
+  sketch_bytes += sketched_x.ByteSize();
+  if (stats != nullptr) {
+    stats->preprocess_seconds = preprocess_timer.Seconds();
+    stats->working_bytes = sketch_bytes;
+  }
+
+  // --- ALS in sketch space. ---
+  Timer iterate_timer;
+  std::vector<Matrix> factors =
+      RandomOrthonormalFactors(x.shape(), options.ranks, options.seed);
+  Tensor core(options.ranks);
+  {
+    // Core must be initialized before the first factor solve (B = M G_(n)^T
+    // is zero otherwise): one sketched least-squares fit against the
+    // random factors.
+    Matrix m0 = core_sketch.SketchKronecker(FactorsExcept(factors, -1));
+    Matrix g = SolveLeastSquaresViaNormal(m0, sketched_x);
+    std::copy(g.data(), g.data() + core_volume, core.data());
+  }
+  double prev_proxy = -1.0;
+  int it = 0;
+  for (; it < options.max_iterations; ++it) {
+    for (Index n = 0; n < order; ++n) {
+      // B = S_n ((x) A_k) G_(n)^T, then A_n^T from least squares.
+      Matrix m = mode_sketches[static_cast<std::size_t>(n)].SketchKronecker(
+          FactorsExcept(factors, n));
+      Matrix gn = Unfold(core, n);
+      Matrix b = MultiplyNT(m, gn);  // s1 x J_n.
+      Matrix ant = SolveLeastSquaresViaNormal(
+          b, sketched_unfoldings[static_cast<std::size_t>(n)]);  // J_n x I_n.
+      factors[static_cast<std::size_t>(n)] = ant.Transposed();
+    }
+    // Core from the global sketch.
+    Matrix m0 = core_sketch.SketchKronecker(FactorsExcept(factors, -1));
+    Matrix g = SolveLeastSquaresViaNormal(m0, sketched_x);  // core_volume x 1.
+    std::copy(g.data(), g.data() + core_volume, core.data());
+
+    // Sketch-space residual as the convergence proxy.
+    Matrix fitted = Multiply(m0, g);
+    fitted -= sketched_x;
+    const double proxy =
+        fitted.FrobeniusNorm() / std::max(sketched_x.FrobeniusNorm(), 1e-300);
+    if (stats != nullptr) stats->error_history.push_back(proxy);
+    if (prev_proxy >= 0 && std::fabs(prev_proxy - proxy) < options.tolerance) {
+      prev_proxy = proxy;
+      ++it;
+      break;
+    }
+    prev_proxy = proxy;
+  }
+  if (stats != nullptr) {
+    stats->iterations = it;
+    stats->iterate_seconds = iterate_timer.Seconds();
+  }
+
+  TuckerDecomposition dec;
+  dec.factors = std::move(factors);
+  dec.core = std::move(core);
+  return dec;
+}
+
+Result<TuckerDecomposition> TuckerTtmts(const Tensor& x,
+                                        const TuckerTsOptions& options,
+                                        TuckerStats* stats) {
+  DT_RETURN_NOT_OK(ValidateRanks(x.shape(), options.ranks));
+  const Index order = x.order();
+  const double x_norm2 = x.SquaredNorm();
+
+  // --- Preprocessing: two independent sketch families per design (one for
+  // factor updates, a second for the core to decorrelate the estimates).
+  Timer preprocess_timer;
+  std::vector<TensorSketch> s1_sketches;
+  std::vector<Matrix> xs1;  // s1 x I_n.
+  std::size_t sketch_bytes = 0;
+  for (Index n = 0; n < order; ++n) {
+    const Index needed = Product(DimsExcept(options.ranks, n));
+    const Index rows_available = Product(DimsExcept(x.shape(), n));
+    const Index s1 = std::min(
+        rows_available,
+        NextPowerOfTwo(static_cast<Index>(
+            std::ceil(options.sketch_factor * static_cast<double>(needed)))));
+    s1_sketches.emplace_back(DimsExcept(x.shape(), n), s1,
+                             options.seed + 31 * (n + 1));
+    xs1.push_back(s1_sketches.back().SketchUnfoldingTransposed(x, n));
+    sketch_bytes += xs1.back().ByteSize();
+  }
+  // Second sketch for the core update on the last mode.
+  const Index last = order - 1;
+  const Index s2 = std::min(
+      Product(DimsExcept(x.shape(), last)),
+      NextPowerOfTwo(static_cast<Index>(
+          std::ceil(options.sketch_factor * 2.0 *
+                    static_cast<double>(Product(DimsExcept(options.ranks,
+                                                           last)))))));
+  TensorSketch core_sketch(DimsExcept(x.shape(), last), s2,
+                           options.seed + 7777);
+  Matrix xs2 = core_sketch.SketchUnfoldingTransposed(x, last);
+  sketch_bytes += xs2.ByteSize();
+  if (stats != nullptr) {
+    stats->preprocess_seconds = preprocess_timer.Seconds();
+    stats->working_bytes = sketch_bytes;
+  }
+
+  // --- Iterations. ---
+  Timer iterate_timer;
+  std::vector<Matrix> factors =
+      RandomOrthonormalFactors(x.shape(), options.ranks, options.seed);
+  Tensor core(options.ranks);
+  double prev_error = 1.0;
+  int it = 0;
+  for (; it < options.max_iterations; ++it) {
+    for (Index n = 0; n < order; ++n) {
+      // Y_(n) = X_(n) ((x) A_k) ~= xs1_n^T * (S_n ((x) A_k)); then leading
+      // singular vectors.
+      Matrix m = s1_sketches[static_cast<std::size_t>(n)].SketchKronecker(
+          FactorsExcept(factors, n));
+      Matrix y = MultiplyTN(xs1[static_cast<std::size_t>(n)], m);  // I_n x Jrest.
+      factors[static_cast<std::size_t>(n)] = LeadingLeftSingularVectorsViaGram(
+          y, options.ranks[static_cast<std::size_t>(n)]);
+    }
+    // Core via the second sketch on the last mode:
+    // G_(last) = A_last^T X_(last) ((x)_{k != last} A_k)
+    //          ~= A_last^T (xs2^T M2).
+    Matrix m2 = core_sketch.SketchKronecker(FactorsExcept(factors, last));
+    Matrix y = MultiplyTN(xs2, m2);                       // I_last x Jrest.
+    Matrix g_last = MultiplyTN(factors[static_cast<std::size_t>(last)], y);
+    core = Fold(g_last, last, options.ranks);
+
+    const double error =
+        OrthogonalTuckerRelativeError(x_norm2, core.SquaredNorm());
+    if (stats != nullptr) stats->error_history.push_back(error);
+    const double delta = std::fabs(prev_error - error);
+    prev_error = error;
+    if (delta < options.tolerance) {
+      ++it;
+      break;
+    }
+  }
+  if (stats != nullptr) {
+    stats->iterations = it;
+    stats->iterate_seconds = iterate_timer.Seconds();
+  }
+
+  TuckerDecomposition dec;
+  dec.factors = std::move(factors);
+  dec.core = std::move(core);
+  return dec;
+}
+
+}  // namespace dtucker

@@ -1,0 +1,38 @@
+// Tucker-ts and Tucker-ttmts (Malik & Becker, NeurIPS 2018): Tucker
+// decomposition via TensorSketch.
+//
+// Preprocessing sketches the (transposed) mode-n unfoldings of the input
+// once; ALS iterations then work entirely in sketch space:
+//   * Tucker-ts solves the sketched least-squares problem
+//       min_{A_n} || S_n ((x)_{k!=n} A_k) G_(n)^T A_n^T - S_n X_(n)^T ||
+//     for each factor, and a second global sketch for the core.
+//   * Tucker-ttmts instead approximates the TTM chain
+//       X_(n) ((x)_{k!=n} A_k) ~= (S_n X_(n)^T)^T (S_n ((x) A_k))
+//     and takes leading singular vectors — cheaper per iteration, another
+//     notch of accuracy loss.
+// Sketch sizes are rounded up to powers of two so the FFTs stay radix-2.
+#ifndef DTUCKER_BASELINES_TUCKER_TS_H_
+#define DTUCKER_BASELINES_TUCKER_TS_H_
+
+#include "common/status.h"
+#include "tucker/tucker.h"
+
+namespace dtucker {
+
+struct TuckerTsOptions : TuckerOptions {
+  // Sketch size multiplier: s1 = factor * prod_{k != n} J_k per mode and
+  // s2 = factor * prod_k J_k for the core sketch.
+  double sketch_factor = 4.0;
+};
+
+Result<TuckerDecomposition> TuckerTs(const Tensor& x,
+                                     const TuckerTsOptions& options,
+                                     TuckerStats* stats = nullptr);
+
+Result<TuckerDecomposition> TuckerTtmts(const Tensor& x,
+                                        const TuckerTsOptions& options,
+                                        TuckerStats* stats = nullptr);
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_BASELINES_TUCKER_TS_H_

@@ -1,0 +1,145 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace dtucker {
+
+FlagParser& FlagParser::AddString(const std::string& name,
+                                  const std::string& def,
+                                  const std::string& help) {
+  flags_[name] = Flag{Type::kString, help, def};
+  order_.push_back(name);
+  return *this;
+}
+
+FlagParser& FlagParser::AddInt(const std::string& name, int64_t def,
+                               const std::string& help) {
+  flags_[name] = Flag{Type::kInt, help, std::to_string(def)};
+  order_.push_back(name);
+  return *this;
+}
+
+FlagParser& FlagParser::AddDouble(const std::string& name, double def,
+                                  const std::string& help) {
+  std::ostringstream os;
+  os << def;
+  flags_[name] = Flag{Type::kDouble, help, os.str()};
+  order_.push_back(name);
+  return *this;
+}
+
+FlagParser& FlagParser::AddBool(const std::string& name, bool def,
+                                const std::string& help) {
+  flags_[name] = Flag{Type::kBool, help, def ? "true" : "false"};
+  order_.push_back(name);
+  return *this;
+}
+
+Status FlagParser::SetValue(const std::string& name, const std::string& text) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return Status::InvalidArgument("unknown flag --" + name);
+  }
+  Flag& flag = it->second;
+  switch (flag.type) {
+    case Type::kInt: {
+      char* end = nullptr;
+      (void)std::strtoll(text.c_str(), &end, 10);
+      if (end == text.c_str() || *end != '\0') {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects an integer, got '" + text +
+                                       "'");
+      }
+      break;
+    }
+    case Type::kDouble: {
+      char* end = nullptr;
+      (void)std::strtod(text.c_str(), &end);
+      if (end == text.c_str() || *end != '\0') {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects a number, got '" + text +
+                                       "'");
+      }
+      break;
+    }
+    case Type::kBool:
+      if (text != "true" && text != "false" && text != "1" && text != "0") {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects true/false, got '" + text +
+                                       "'");
+      }
+      break;
+    case Type::kString:
+      break;
+  }
+  flag.value = text;
+  return Status::OK();
+}
+
+Status FlagParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      return Status::OK();
+    }
+    if (arg.rfind("--", 0) != 0) {
+      return Status::InvalidArgument("unexpected positional argument '" + arg +
+                                     "'");
+    }
+    arg = arg.substr(2);
+    std::string name, value;
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      auto it = flags_.find(name);
+      if (it != flags_.end() && it->second.type == Type::kBool) {
+        value = "true";  // Bare boolean flag.
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        return Status::InvalidArgument("flag --" + name + " missing a value");
+      }
+    }
+    DT_RETURN_NOT_OK(SetValue(name, value));
+  }
+  return Status::OK();
+}
+
+std::string FlagParser::GetString(const std::string& name) const {
+  auto it = flags_.find(name);
+  DT_CHECK(it != flags_.end()) << "undeclared flag --" << name;
+  return it->second.value;
+}
+
+int64_t FlagParser::GetInt(const std::string& name) const {
+  return std::strtoll(GetString(name).c_str(), nullptr, 10);
+}
+
+double FlagParser::GetDouble(const std::string& name) const {
+  return std::strtod(GetString(name).c_str(), nullptr);
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  std::string v = GetString(name);
+  return v == "true" || v == "1";
+}
+
+std::string FlagParser::HelpString() const {
+  std::ostringstream os;
+  os << "Flags:\n";
+  for (const auto& name : order_) {
+    const Flag& f = flags_.at(name);
+    os << "  --" << name << " (default: " << f.value << ")\n      " << f.help
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dtucker

@@ -1,0 +1,60 @@
+// A tiny command-line flag parser for benchmark and example binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name`. Unknown
+// flags are reported as errors so experiment scripts fail loudly.
+#ifndef DTUCKER_COMMON_FLAGS_H_
+#define DTUCKER_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dtucker {
+
+class FlagParser {
+ public:
+  // Declares a flag with a default value and help text. Returns *this for
+  // chaining.
+  FlagParser& AddString(const std::string& name, const std::string& def,
+                        const std::string& help);
+  FlagParser& AddInt(const std::string& name, int64_t def,
+                     const std::string& help);
+  FlagParser& AddDouble(const std::string& name, double def,
+                        const std::string& help);
+  FlagParser& AddBool(const std::string& name, bool def,
+                      const std::string& help);
+
+  // Parses argv; returns InvalidArgument on unknown flags or bad values.
+  // `--help` sets help_requested() and returns OK.
+  Status Parse(int argc, char** argv);
+
+  std::string GetString(const std::string& name) const;
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  bool help_requested() const { return help_requested_; }
+
+  // Formatted flag list for --help output.
+  std::string HelpString() const;
+
+ private:
+  enum class Type { kString, kInt, kDouble, kBool };
+  struct Flag {
+    Type type;
+    std::string help;
+    std::string value;  // Canonical textual representation.
+  };
+
+  Status SetValue(const std::string& name, const std::string& text);
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;  // Declaration order, for HelpString.
+  bool help_requested_ = false;
+};
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_COMMON_FLAGS_H_

@@ -1,0 +1,83 @@
+// Minimal logging and invariant-checking macros.
+//
+// DT_CHECK(cond) aborts with a message on violated invariants (enabled in
+// all build types — these guard programming errors, not user input).
+// DT_DCHECK(cond) compiles away in NDEBUG builds and may be used on hot
+// paths. DT_LOG(INFO) << ... writes a timestamped line to stderr.
+#ifndef DTUCKER_COMMON_LOGGING_H_
+#define DTUCKER_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace dtucker {
+namespace internal_logging {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Minimum level actually emitted; adjustable at runtime (e.g. by tests).
+LogLevel GetLogThreshold();
+void SetLogThreshold(LogLevel level);
+
+// Accumulates one log line and emits it (with level/time prefix) on
+// destruction. `fatal` additionally aborts the process.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace dtucker
+
+#define DT_LOG_DEBUG ::dtucker::internal_logging::LogLevel::kDebug
+#define DT_LOG_INFO ::dtucker::internal_logging::LogLevel::kInfo
+#define DT_LOG_WARNING ::dtucker::internal_logging::LogLevel::kWarning
+#define DT_LOG_ERROR ::dtucker::internal_logging::LogLevel::kError
+
+#define DT_LOG(level) \
+  ::dtucker::internal_logging::LogMessage(DT_LOG_##level, __FILE__, __LINE__)
+
+#define DT_CHECK(cond)                                                      \
+  if (!(cond))                                                              \
+  ::dtucker::internal_logging::LogMessage(DT_LOG_ERROR, __FILE__, __LINE__, \
+                                          /*fatal=*/true)                   \
+      << "Check failed: " #cond " "
+
+#define DT_CHECK_EQ(a, b) DT_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DT_CHECK_NE(a, b) DT_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DT_CHECK_LT(a, b) DT_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DT_CHECK_LE(a, b) DT_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DT_CHECK_GT(a, b) DT_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DT_CHECK_GE(a, b) DT_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#ifdef NDEBUG
+#define DT_DCHECK(cond) \
+  while (false) DT_CHECK(cond)
+#define DT_DCHECK_EQ(a, b) \
+  while (false) DT_CHECK_EQ(a, b)
+#define DT_DCHECK_LT(a, b) \
+  while (false) DT_CHECK_LT(a, b)
+#else
+#define DT_DCHECK(cond) DT_CHECK(cond)
+#define DT_DCHECK_EQ(a, b) DT_CHECK_EQ(a, b)
+#define DT_DCHECK_LT(a, b) DT_CHECK_LT(a, b)
+#endif
+
+#endif  // DTUCKER_COMMON_LOGGING_H_

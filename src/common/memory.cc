@@ -1,0 +1,20 @@
+#include "common/memory.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace dtucker {
+
+std::size_t CurrentRssBytes() {
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long total = 0, resident = 0;
+  int n = std::fscanf(f, "%ld %ld", &total, &resident);
+  std::fclose(f);
+  if (n != 2) return 0;
+  return static_cast<std::size_t>(resident) *
+         static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+}
+
+}  // namespace dtucker

@@ -1,0 +1,45 @@
+// Lightweight accounting of algorithm working-set sizes.
+//
+// The paper's space-cost comparison (experiment E3) is about *logical*
+// storage: how many numbers a method must keep resident to answer a query.
+// MemoryMeter tracks explicit Charge()/Release() calls from the algorithms
+// so benchmarks can report bytes without depending on allocator internals.
+#ifndef DTUCKER_COMMON_MEMORY_H_
+#define DTUCKER_COMMON_MEMORY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dtucker {
+
+class MemoryMeter {
+ public:
+  void Charge(std::size_t bytes) {
+    current_ += bytes;
+    if (current_ > peak_) peak_ = current_;
+  }
+
+  void Release(std::size_t bytes) {
+    current_ = bytes > current_ ? 0 : current_ - bytes;
+  }
+
+  std::size_t current_bytes() const { return current_; }
+  std::size_t peak_bytes() const { return peak_; }
+
+  void Reset() {
+    current_ = 0;
+    peak_ = 0;
+  }
+
+ private:
+  std::size_t current_ = 0;
+  std::size_t peak_ = 0;
+};
+
+// Resident-set size of this process in bytes (Linux, from /proc/self/statm);
+// returns 0 if unavailable. Used as a sanity cross-check in benchmarks.
+std::size_t CurrentRssBytes();
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_COMMON_MEMORY_H_

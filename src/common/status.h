@@ -1,0 +1,119 @@
+// Status / Result<T> error model, in the style of Arrow and RocksDB.
+//
+// Library code in this project does not throw exceptions across public API
+// boundaries. Recoverable failures (bad arguments, dimension mismatches,
+// numerical breakdown, I/O errors) are reported through Status or Result<T>.
+// Unrecoverable programming errors use DT_CHECK from common/logging.h.
+#ifndef DTUCKER_COMMON_STATUS_H_
+#define DTUCKER_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace dtucker {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kFailedPrecondition = 3,
+  kNumericalError = 4,
+  kIoError = 5,
+  kNotImplemented = 6,
+  kInternal = 7,
+};
+
+// Returns a short human-readable name such as "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+// A cheap value type carrying success or an (code, message) error pair.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "InvalidArgument: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T> holds either a value or an error Status. Modeled after
+// arrow::Result / absl::StatusOr with just the pieces this project needs.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  Result(T value) : value_(std::move(value)) {}                // NOLINT
+  Result(Status status) : status_(std::move(status)) {}        // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  // Precondition: ok(). Checked in debug builds.
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  // Moves the value out; precondition: ok().
+  T ValueOrDie() && { return std::move(*value_); }
+
+ private:
+  Status status_;           // OK when value_ is set.
+  std::optional<T> value_;  // Engaged iff status_.ok().
+};
+
+}  // namespace dtucker
+
+// Evaluates `expr` (a Status expression) and returns it from the enclosing
+// function if it is not OK.
+#define DT_RETURN_NOT_OK(expr)                   \
+  do {                                           \
+    ::dtucker::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+// Assigns the value of a Result<T> expression to `lhs`, or returns its error.
+#define DT_ASSIGN_OR_RETURN(lhs, rexpr)          \
+  DT_ASSIGN_OR_RETURN_IMPL_(                     \
+      DT_CONCAT_(_dt_result_, __LINE__), lhs, rexpr)
+
+#define DT_CONCAT_INNER_(a, b) a##b
+#define DT_CONCAT_(a, b) DT_CONCAT_INNER_(a, b)
+#define DT_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).ValueOrDie();
+
+#endif  // DTUCKER_COMMON_STATUS_H_

@@ -1,0 +1,40 @@
+// Fixed-width ASCII table rendering for experiment harness output.
+//
+// Every bench binary prints its table/figure data through TablePrinter so
+// the rows the paper reports are regenerated in a uniform, diffable format.
+#ifndef DTUCKER_COMMON_TABLE_PRINTER_H_
+#define DTUCKER_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace dtucker {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Appends a row; each cell is already formatted text. Rows shorter than
+  // the header are padded with empty cells.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience formatters.
+  static std::string FormatDouble(double v, int precision = 4);
+  static std::string FormatSeconds(double seconds);
+  static std::string FormatBytes(std::size_t bytes);
+  static std::string FormatScientific(double v, int precision = 3);
+
+  // Renders the table with a separator line under the header.
+  std::string ToString() const;
+
+  // Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,56 @@
+// A small fixed-size thread pool for embarrassingly parallel loops.
+//
+// D-Tucker's approximation phase compresses L independent slices; with
+// `num_threads > 1` the per-slice randomized SVDs run on the pool. The
+// paper's protocol (and this repo's benchmarks) default to one thread —
+// the pool exists so library users on real machines aren't capped.
+#ifndef DTUCKER_COMMON_THREAD_POOL_H_
+#define DTUCKER_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dtucker {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  // Enqueues a task; tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished executing.
+  void Wait();
+
+  // Runs body(i) for i in [0, n), partitioned across the pool, and waits.
+  // When the pool has one thread (or n == 1), runs inline on the caller —
+  // zero overhead and deterministic ordering for the single-thread path.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_COMMON_THREAD_POOL_H_

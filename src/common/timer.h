@@ -1,0 +1,80 @@
+// Wall-clock timing utilities used by benchmarks and phase instrumentation.
+#ifndef DTUCKER_COMMON_TIMER_H_
+#define DTUCKER_COMMON_TIMER_H_
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace dtucker {
+
+// A simple restartable stopwatch.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction or the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Accumulates named durations, e.g. per-phase timings of a decomposition.
+// Not thread-safe; intended for single-threaded instrumentation.
+class PhaseTimer {
+ public:
+  // Adds `seconds` to the bucket `name`.
+  void Add(const std::string& name, double seconds) {
+    totals_[name] += seconds;
+  }
+
+  // Total recorded for `name` (0 if never recorded).
+  double Total(const std::string& name) const {
+    auto it = totals_.find(name);
+    return it == totals_.end() ? 0.0 : it->second;
+  }
+
+  // Sum over all buckets.
+  double GrandTotal() const {
+    double s = 0;
+    for (const auto& [k, v] : totals_) s += v;
+    return s;
+  }
+
+  const std::map<std::string, double>& totals() const { return totals_; }
+
+  void Reset() { totals_.clear(); }
+
+ private:
+  std::map<std::string, double> totals_;
+};
+
+// RAII helper: adds the scope's duration to `phase_timer[name]` on exit.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseTimer* timer, std::string name)
+      : timer_(timer), name_(std::move(name)) {}
+  ~ScopedPhase() {
+    if (timer_ != nullptr) timer_->Add(name_, stopwatch_.Seconds());
+  }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimer* timer_;  // May be null (timing disabled).
+  std::string name_;
+  Timer stopwatch_;
+};
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_COMMON_TIMER_H_

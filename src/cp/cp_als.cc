@@ -1,0 +1,197 @@
+#include "cp/cp_als.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "linalg/blas.h"
+#include "linalg/lu.h"
+#include "tensor/tensor_ops.h"
+#include "tucker/tucker_als.h"
+
+namespace dtucker {
+
+namespace {
+
+// Khatri-Rao of all factors but `skip`, highest mode slowest (matching the
+// Kolda unfolding identity X_(n) ~= A_n diag(w) KR(...)^T).
+Matrix KhatriRaoExcept(const std::vector<Matrix>& factors, Index skip) {
+  Matrix kr;
+  bool first = true;
+  for (Index n = static_cast<Index>(factors.size()) - 1; n >= 0; --n) {
+    if (n == skip) continue;
+    if (first) {
+      kr = factors[static_cast<std::size_t>(n)];
+      first = false;
+    } else {
+      kr = KhatriRao(kr, factors[static_cast<std::size_t>(n)]);
+    }
+  }
+  DT_CHECK(!first) << "need at least two modes";
+  return kr;
+}
+
+// Hadamard product of the Gram matrices of all factors but `skip`.
+Matrix GramHadamardExcept(const std::vector<Matrix>& factors, Index skip) {
+  Matrix v;
+  bool first = true;
+  for (std::size_t n = 0; n < factors.size(); ++n) {
+    if (static_cast<Index>(n) == skip) continue;
+    Matrix g = Gram(factors[n]);
+    if (first) {
+      v = std::move(g);
+      first = false;
+    } else {
+      for (Index i = 0; i < v.size(); ++i) v.data()[i] *= g.data()[i];
+    }
+  }
+  return v;
+}
+
+// Normalizes each column to unit norm, returning the norms.
+std::vector<double> NormalizeColumns(Matrix* a) {
+  std::vector<double> norms(static_cast<std::size_t>(a->cols()));
+  for (Index j = 0; j < a->cols(); ++j) {
+    double nrm = Nrm2(a->col_data(j), a->rows());
+    norms[static_cast<std::size_t>(j)] = nrm;
+    if (nrm > 0) Scal(1.0 / nrm, a->col_data(j), a->rows());
+  }
+  return norms;
+}
+
+}  // namespace
+
+Tensor CpDecomposition::Reconstruct() const {
+  DT_CHECK_GE(order(), 2) << "need at least two modes";
+  // X_(0) = A_0 diag(w) KR(A_{N-1}, ..., A_1)^T, then fold.
+  Matrix kr = KhatriRaoExcept(factors, 0);
+  Matrix scaled = factors[0];
+  for (Index j = 0; j < scaled.cols(); ++j) {
+    Scal(weights[static_cast<std::size_t>(j)], scaled.col_data(j),
+         scaled.rows());
+  }
+  Matrix unf = MultiplyNT(scaled, kr);
+  std::vector<Index> shape;
+  for (const auto& f : factors) shape.push_back(f.rows());
+  return Fold(unf, 0, shape);
+}
+
+double CpDecomposition::RelativeErrorAgainst(const Tensor& x) const {
+  return RelativeError(x, Reconstruct());
+}
+
+std::size_t CpDecomposition::ByteSize() const {
+  std::size_t bytes = weights.size() * sizeof(double);
+  for (const auto& f : factors) bytes += f.ByteSize();
+  return bytes;
+}
+
+Result<CpDecomposition> CpAls(const Tensor& x, const CpAlsOptions& options,
+                              TuckerStats* stats) {
+  const Index order = x.order();
+  if (order < 2) {
+    return Status::InvalidArgument("CP needs an order >= 2 tensor");
+  }
+  if (options.rank < 1) {
+    return Status::InvalidArgument("CP rank must be positive");
+  }
+  const double x_norm2 = x.SquaredNorm();
+
+  // Random init with normalized columns.
+  Rng rng(options.seed);
+  CpDecomposition dec;
+  dec.factors.resize(static_cast<std::size_t>(order));
+  for (Index n = 0; n < order; ++n) {
+    dec.factors[static_cast<std::size_t>(n)] =
+        Matrix::GaussianRandom(x.dim(n), options.rank, rng);
+    NormalizeColumns(&dec.factors[static_cast<std::size_t>(n)]);
+  }
+  dec.weights.assign(static_cast<std::size_t>(options.rank), 1.0);
+
+  Timer iterate_timer;
+  double prev_error = 1.0;
+  int it = 0;
+  Matrix last_mttkrp;  // MTTKRP of the final mode, reused for the fit.
+  for (; it < options.max_iterations; ++it) {
+    for (Index n = 0; n < order; ++n) {
+      Matrix kr = KhatriRaoExcept(dec.factors, n);
+      Matrix unf = Unfold(x, n);
+      Matrix mttkrp = Multiply(unf, kr);  // I_n x R.
+      Matrix v = GramHadamardExcept(dec.factors, n);
+      // A_n = MTTKRP * V^+; V is symmetric PSD, solve V A^T = MTTKRP^T.
+      Result<Matrix> solved = SolveLu(v, mttkrp.Transposed());
+      if (!solved.ok()) {
+        // Degenerate component collision: nudge with a tiny ridge.
+        for (Index i = 0; i < v.rows(); ++i) v(i, i) += 1e-10;
+        solved = SolveLu(v, mttkrp.Transposed());
+        if (!solved.ok()) return solved.status();
+      }
+      dec.factors[static_cast<std::size_t>(n)] =
+          solved.value().Transposed();
+      dec.weights =
+          NormalizeColumns(&dec.factors[static_cast<std::size_t>(n)]);
+      if (n == order - 1) last_mttkrp = std::move(mttkrp);
+    }
+    // Fit via the standard identity:
+    //   ||X^||^2   = w^T (Hadamard_n A_n^T A_n) w
+    //   <X, X^>    = sum_j w_j * <mttkrp_N[:,j], a_N[:,j]>.
+    Matrix all_gram = GramHadamardExcept(dec.factors, /*skip=*/-1);
+    double model_norm2 = 0;
+    for (Index i = 0; i < options.rank; ++i) {
+      for (Index j = 0; j < options.rank; ++j) {
+        model_norm2 += dec.weights[static_cast<std::size_t>(i)] *
+                       dec.weights[static_cast<std::size_t>(j)] *
+                       all_gram(i, j);
+      }
+    }
+    const Matrix& last_factor =
+        dec.factors[static_cast<std::size_t>(order - 1)];
+    double inner = 0;
+    for (Index j = 0; j < options.rank; ++j) {
+      inner += dec.weights[static_cast<std::size_t>(j)] *
+               Dot(last_mttkrp.col_data(j), last_factor.col_data(j),
+                   last_factor.rows());
+    }
+    const double residual =
+        std::max(0.0, x_norm2 - 2.0 * inner + model_norm2);
+    const double error = x_norm2 > 0 ? residual / x_norm2 : 0.0;
+    if (stats != nullptr) stats->error_history.push_back(error);
+    const double delta = std::fabs(prev_error - error);
+    prev_error = error;
+    if (delta < options.tolerance) {
+      ++it;
+      break;
+    }
+  }
+  if (stats != nullptr) {
+    stats->iterations = it;
+    stats->iterate_seconds = iterate_timer.Seconds();
+  }
+
+  // Sort components by weight, descending.
+  std::vector<Index> order_idx(static_cast<std::size_t>(options.rank));
+  std::iota(order_idx.begin(), order_idx.end(), Index{0});
+  std::sort(order_idx.begin(), order_idx.end(), [&](Index a, Index b) {
+    return dec.weights[static_cast<std::size_t>(a)] >
+           dec.weights[static_cast<std::size_t>(b)];
+  });
+  CpDecomposition sorted;
+  sorted.weights.resize(dec.weights.size());
+  sorted.factors.resize(dec.factors.size());
+  for (std::size_t n = 0; n < dec.factors.size(); ++n) {
+    sorted.factors[n] = Matrix(dec.factors[n].rows(), options.rank);
+  }
+  for (Index j = 0; j < options.rank; ++j) {
+    const Index src = order_idx[static_cast<std::size_t>(j)];
+    sorted.weights[static_cast<std::size_t>(j)] =
+        dec.weights[static_cast<std::size_t>(src)];
+    for (std::size_t n = 0; n < dec.factors.size(); ++n) {
+      sorted.factors[n].SetBlock(0, j, dec.factors[n].Col(src));
+    }
+  }
+  return sorted;
+}
+
+}  // namespace dtucker

@@ -1,0 +1,50 @@
+// CP (CANDECOMP/PARAFAC) decomposition via ALS.
+//
+// The other classical tensor factorization next to Tucker: X is
+// approximated by a sum of R rank-one terms,
+//   X ~= sum_r weights[r] * a_r^(1) o a_r^(2) o ... o a_r^(N),
+// with unit-norm factor columns. Shipped so the library covers both
+// classical models (the paper's related-work family includes several
+// block-wise CP systems); also exercises the Khatri-Rao kernels.
+#ifndef DTUCKER_CP_CP_ALS_H_
+#define DTUCKER_CP_CP_ALS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "tensor/tensor.h"
+#include "tucker/tucker.h"
+
+namespace dtucker {
+
+struct CpDecomposition {
+  std::vector<Matrix> factors;  // factors[n] is I_n x R, unit-norm columns.
+  std::vector<double> weights;  // R component weights, descending.
+
+  Index order() const { return static_cast<Index>(factors.size()); }
+  Index rank() const {
+    return factors.empty() ? 0 : factors.front().cols();
+  }
+
+  // Dense reconstruction (O(prod I_n * R)).
+  Tensor Reconstruct() const;
+  double RelativeErrorAgainst(const Tensor& x) const;
+  std::size_t ByteSize() const;
+};
+
+struct CpAlsOptions {
+  Index rank = 10;
+  int max_iterations = 50;
+  double tolerance = 1e-4;  // Stop on relative-error change below this.
+  uint64_t seed = 42;
+};
+
+// CP-ALS with random orthonormal-ish initialization. `stats` (optional)
+// reuses TuckerStats for iteration counts and error history.
+Result<CpDecomposition> CpAls(const Tensor& x, const CpAlsOptions& options,
+                              TuckerStats* stats = nullptr);
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_CP_CP_ALS_H_

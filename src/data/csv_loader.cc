@@ -1,0 +1,120 @@
+#include "data/csv_loader.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+
+namespace dtucker {
+
+namespace {
+
+// Splits one line on the delimiter (no quoting support — numeric data).
+std::vector<std::string> SplitLine(const std::string& line, char delimiter) {
+  std::vector<std::string> cells;
+  std::string cell;
+  for (char c : line) {
+    if (c == delimiter) {
+      cells.push_back(cell);
+      cell.clear();
+    } else if (c != '\r') {
+      cell.push_back(c);
+    }
+  }
+  cells.push_back(cell);
+  return cells;
+}
+
+}  // namespace
+
+Result<Matrix> ParseCsv(const std::string& text, const CsvOptions& options) {
+  std::vector<std::vector<double>> rows;
+  std::istringstream stream(text);
+  std::string line;
+  int line_number = 0;
+  std::size_t cols = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    if (line_number <= options.skip_rows) continue;
+    if (line.empty()) continue;
+    std::vector<std::string> cells = SplitLine(line, options.delimiter);
+    std::vector<double> row;
+    row.reserve(cells.size());
+    for (const std::string& cell : cells) {
+      char* end = nullptr;
+      const double v = std::strtod(cell.c_str(), &end);
+      const bool valid = end != cell.c_str() && *end == '\0' && !cell.empty();
+      if (!valid) {
+        if (!options.coerce_invalid_to_zero) {
+          return Status::InvalidArgument(
+              "non-numeric cell '" + cell + "' at line " +
+              std::to_string(line_number));
+        }
+        row.push_back(0.0);
+      } else {
+        row.push_back(v);
+      }
+    }
+    if (rows.empty()) {
+      cols = row.size();
+    } else if (row.size() != cols) {
+      return Status::InvalidArgument(
+          "ragged CSV: line " + std::to_string(line_number) + " has " +
+          std::to_string(row.size()) + " cells, expected " +
+          std::to_string(cols));
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument("CSV contains no data rows");
+  }
+  Matrix m(static_cast<Index>(rows.size()), static_cast<Index>(cols));
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      m(static_cast<Index>(i), static_cast<Index>(j)) = rows[i][j];
+    }
+  }
+  return m;
+}
+
+Result<Matrix> LoadCsvFile(const std::string& path,
+                           const CsvOptions& options) {
+  std::unique_ptr<FILE, int (*)(FILE*)> f(std::fopen(path.c_str(), "rb"),
+                                          std::fclose);
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  std::string text;
+  char buffer[1 << 16];
+  std::size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), f.get())) > 0) {
+    text.append(buffer, got);
+  }
+  return ParseCsv(text, options);
+}
+
+Result<Tensor> StackMatrices(const std::vector<Matrix>& matrices) {
+  if (matrices.empty()) {
+    return Status::InvalidArgument("nothing to stack");
+  }
+  const Index rows = matrices.front().rows();
+  const Index cols = matrices.front().cols();
+  for (const Matrix& m : matrices) {
+    if (m.rows() != rows || m.cols() != cols) {
+      return Status::InvalidArgument("matrices must share a shape to stack");
+    }
+  }
+  const Index k = static_cast<Index>(matrices.size());
+  Tensor out({k, rows, cols});
+  for (Index e = 0; e < k; ++e) {
+    const Matrix& m = matrices[static_cast<std::size_t>(e)];
+    for (Index c = 0; c < cols; ++c) {
+      for (Index r = 0; r < rows; ++r) {
+        out(e, r, c) = m(r, c);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dtucker

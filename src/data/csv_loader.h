@@ -1,0 +1,43 @@
+// CSV ingestion: turning real-world tabular time series into tensors.
+//
+// The paper's Stock dataset is "(stock, feature, date)" assembled from
+// per-entity CSV time series. This module provides the two building
+// blocks: parsing a numeric CSV into a Matrix (rows x columns), and
+// stacking equally shaped matrices into a 3-order tensor along a new
+// first mode — so N entity files become an (entity x column x row) tensor.
+#ifndef DTUCKER_DATA_CSV_LOADER_H_
+#define DTUCKER_DATA_CSV_LOADER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "tensor/tensor.h"
+
+namespace dtucker {
+
+struct CsvOptions {
+  char delimiter = ',';
+  // Skip this many leading lines (headers).
+  int skip_rows = 0;
+  // If true, a non-numeric cell becomes 0.0 instead of failing the load.
+  bool coerce_invalid_to_zero = false;
+};
+
+// Parses CSV text into a row-major logical matrix (row i of the text is
+// row i of the matrix). All data rows must have the same column count.
+Result<Matrix> ParseCsv(const std::string& text, const CsvOptions& options = {});
+
+// Reads and parses a CSV file.
+Result<Matrix> LoadCsvFile(const std::string& path,
+                           const CsvOptions& options = {});
+
+// Stacks k equally shaped matrices (r x c) into a tensor of shape
+// (k x r x c): entity-major, matching the Stock layout
+// (stock x feature-with-rows-as... see the example in examples/).
+Result<Tensor> StackMatrices(const std::vector<Matrix>& matrices);
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_DATA_CSV_LOADER_H_

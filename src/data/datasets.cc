@@ -1,0 +1,76 @@
+#include "data/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/generators.h"
+
+namespace dtucker {
+
+const std::vector<DatasetSpec>& BenchmarkDatasets() {
+  static const std::vector<DatasetSpec>* const kSpecs =
+      new std::vector<DatasetSpec>{
+          {"video", "Boats video (320x240x7000)", {160, 120, 256}},
+          {"video2", "Walking video (1080x1980x2400)", {192, 144, 192}},
+          {"stock", "Stock (3028x54x3050)", {512, 54, 512}},
+          {"traffic", "Traffic (1084x96x2000)", {300, 96, 384}},
+          {"music", "FMA music (7994x1025x700)", {600, 256, 128}},
+          {"climate", "Absorb climate (192x288x30x1200)", {96, 144, 16, 96}},
+      };
+  return *kSpecs;
+}
+
+std::string DatasetNames() {
+  std::string out;
+  for (const auto& spec : BenchmarkDatasets()) {
+    if (!out.empty()) out += ",";
+    out += spec.name;
+  }
+  return out;
+}
+
+Result<Tensor> MakeDataset(const std::string& name, double scale,
+                           uint64_t seed) {
+  if (scale <= 0.0 || scale > 1.0) {
+    return Status::InvalidArgument("scale must be in (0, 1]");
+  }
+  const DatasetSpec* spec = nullptr;
+  for (const auto& s : BenchmarkDatasets()) {
+    if (s.name == name) {
+      spec = &s;
+      break;
+    }
+  }
+  if (spec == nullptr) {
+    return Status::InvalidArgument("unknown dataset '" + name +
+                                   "'; expected one of: " + DatasetNames());
+  }
+  std::vector<Index> d = spec->shape;
+  for (auto& v : d) {
+    v = std::max<Index>(8, static_cast<Index>(std::llround(
+                               static_cast<double>(v) * scale)));
+  }
+
+  if (name == "video") {
+    return MakeVideoAnalog(d[0], d[1], d[2], /*num_objects=*/6,
+                           /*noise=*/0.05, seed);
+  }
+  if (name == "video2") {
+    return MakeVideoAnalog(d[0], d[1], d[2], /*num_objects=*/10,
+                           /*noise=*/0.08, seed + 1);
+  }
+  if (name == "stock") {
+    return MakeStockAnalog(d[0], d[1], d[2], /*num_factors=*/12,
+                           /*noise=*/0.3, seed + 2);
+  }
+  if (name == "traffic") {
+    return MakeTrafficAnalog(d[0], d[1], d[2], /*noise=*/0.05, seed + 3);
+  }
+  if (name == "music") {
+    return MakeMusicAnalog(d[0], d[1], d[2], /*noise=*/0.02, seed + 4);
+  }
+  // climate.
+  return MakeClimateAnalog(d[0], d[1], d[2], d[3], /*noise=*/0.05, seed + 5);
+}
+
+}  // namespace dtucker

@@ -1,0 +1,33 @@
+// Named dataset registry: maps the paper's six datasets to their synthetic
+// analogs at benchmark scale (see DESIGN.md §3 for the substitution table).
+#ifndef DTUCKER_DATA_DATASETS_H_
+#define DTUCKER_DATA_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace dtucker {
+
+struct DatasetSpec {
+  std::string name;          // e.g. "video".
+  std::string paper_name;    // e.g. "Boats (320x240x7000)".
+  std::vector<Index> shape;  // Analog shape at scale = 1.
+};
+
+// The six benchmark analogs, in the paper's table order.
+const std::vector<DatasetSpec>& BenchmarkDatasets();
+
+// Generates the named dataset. `scale` in (0, 1] shrinks every mode
+// proportionally (floor 8) so quick runs stay quick.
+Result<Tensor> MakeDataset(const std::string& name, double scale = 1.0,
+                           uint64_t seed = 7);
+
+// Comma-separated names, for --help strings.
+std::string DatasetNames();
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_DATA_DATASETS_H_

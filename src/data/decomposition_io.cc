@@ -1,0 +1,203 @@
+#include "data/decomposition_io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace dtucker {
+
+namespace {
+
+constexpr char kDecMagic[8] = {'D', 'T', 'D', 'C', '0', '0', '0', '1'};
+constexpr char kApproxMagic[8] = {'D', 'T', 'S', 'A', '0', '0', '0', '1'};
+constexpr int64_t kMaxOrder = 16;
+constexpr int64_t kMaxDim = int64_t{1} << 40;
+
+struct FileCloser {
+  void operator()(FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<FILE, FileCloser>;
+
+Status WriteI64(FILE* f, int64_t v) {
+  if (std::fwrite(&v, sizeof(v), 1, f) != 1) {
+    return Status::IoError("short write");
+  }
+  return Status::OK();
+}
+
+Status ReadI64(FILE* f, int64_t* v) {
+  if (std::fread(v, sizeof(*v), 1, f) != 1) {
+    return Status::IoError("short read");
+  }
+  return Status::OK();
+}
+
+Status WriteDoubles(FILE* f, const double* data, std::size_t count) {
+  if (std::fwrite(data, sizeof(double), count, f) != count) {
+    return Status::IoError("short write on payload");
+  }
+  return Status::OK();
+}
+
+Status ReadDoubles(FILE* f, double* data, std::size_t count) {
+  if (std::fread(data, sizeof(double), count, f) != count) {
+    return Status::IoError("short read on payload");
+  }
+  return Status::OK();
+}
+
+Status WriteMatrix(FILE* f, const Matrix& m) {
+  DT_RETURN_NOT_OK(WriteI64(f, m.rows()));
+  DT_RETURN_NOT_OK(WriteI64(f, m.cols()));
+  return WriteDoubles(f, m.data(), static_cast<std::size_t>(m.size()));
+}
+
+Result<Matrix> ReadMatrix(FILE* f) {
+  int64_t rows = 0, cols = 0;
+  DT_RETURN_NOT_OK(ReadI64(f, &rows));
+  DT_RETURN_NOT_OK(ReadI64(f, &cols));
+  if (rows < 0 || cols < 0 || rows > kMaxDim || cols > kMaxDim) {
+    return Status::IoError("corrupt matrix header");
+  }
+  Matrix m(static_cast<Index>(rows), static_cast<Index>(cols));
+  DT_RETURN_NOT_OK(ReadDoubles(f, m.data(), static_cast<std::size_t>(m.size())));
+  return m;
+}
+
+}  // namespace
+
+Status SaveDecomposition(const TuckerDecomposition& dec,
+                         const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  if (std::fwrite(kDecMagic, 1, sizeof(kDecMagic), f.get()) !=
+      sizeof(kDecMagic)) {
+    return Status::IoError("short write on magic");
+  }
+  DT_RETURN_NOT_OK(WriteI64(f.get(), dec.order()));
+  for (Index n = 0; n < dec.order(); ++n) {
+    DT_RETURN_NOT_OK(WriteI64(f.get(), dec.core.dim(n)));
+  }
+  DT_RETURN_NOT_OK(WriteDoubles(f.get(), dec.core.data(),
+                                static_cast<std::size_t>(dec.core.size())));
+  for (const auto& factor : dec.factors) {
+    DT_RETURN_NOT_OK(WriteMatrix(f.get(), factor));
+  }
+  return Status::OK();
+}
+
+Result<TuckerDecomposition> LoadDecomposition(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  char magic[8];
+  if (std::fread(magic, 1, sizeof(magic), f.get()) != sizeof(magic) ||
+      std::memcmp(magic, kDecMagic, sizeof(kDecMagic)) != 0) {
+    return Status::IoError("'" + path + "' is not a DTDC0001 file");
+  }
+  int64_t order = 0;
+  DT_RETURN_NOT_OK(ReadI64(f.get(), &order));
+  if (order < 1 || order > kMaxOrder) {
+    return Status::IoError("corrupt decomposition header");
+  }
+  std::vector<Index> core_shape(static_cast<std::size_t>(order));
+  for (auto& d : core_shape) {
+    int64_t v = 0;
+    DT_RETURN_NOT_OK(ReadI64(f.get(), &v));
+    if (v < 0 || v > kMaxDim) return Status::IoError("corrupt core shape");
+    d = static_cast<Index>(v);
+  }
+  TuckerDecomposition dec;
+  dec.core = Tensor(core_shape);
+  DT_RETURN_NOT_OK(ReadDoubles(f.get(), dec.core.data(),
+                               static_cast<std::size_t>(dec.core.size())));
+  dec.factors.reserve(static_cast<std::size_t>(order));
+  for (int64_t n = 0; n < order; ++n) {
+    DT_ASSIGN_OR_RETURN(Matrix m, ReadMatrix(f.get()));
+    if (m.cols() != core_shape[static_cast<std::size_t>(n)]) {
+      return Status::IoError("factor/core rank mismatch in file");
+    }
+    dec.factors.push_back(std::move(m));
+  }
+  return dec;
+}
+
+Status SaveSliceApproximation(const SliceApproximation& approx,
+                              const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  if (std::fwrite(kApproxMagic, 1, sizeof(kApproxMagic), f.get()) !=
+      sizeof(kApproxMagic)) {
+    return Status::IoError("short write on magic");
+  }
+  DT_RETURN_NOT_OK(
+      WriteI64(f.get(), static_cast<int64_t>(approx.shape.size())));
+  for (Index d : approx.shape) DT_RETURN_NOT_OK(WriteI64(f.get(), d));
+  DT_RETURN_NOT_OK(WriteI64(f.get(), approx.slice_rank));
+  DT_RETURN_NOT_OK(WriteI64(f.get(), approx.NumSlices()));
+  for (const auto& sl : approx.slices) {
+    DT_RETURN_NOT_OK(WriteMatrix(f.get(), sl.u));
+    DT_RETURN_NOT_OK(
+        WriteI64(f.get(), static_cast<int64_t>(sl.s.size())));
+    DT_RETURN_NOT_OK(WriteDoubles(f.get(), sl.s.data(), sl.s.size()));
+    DT_RETURN_NOT_OK(WriteMatrix(f.get(), sl.v));
+  }
+  return Status::OK();
+}
+
+Result<SliceApproximation> LoadSliceApproximation(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  char magic[8];
+  if (std::fread(magic, 1, sizeof(magic), f.get()) != sizeof(magic) ||
+      std::memcmp(magic, kApproxMagic, sizeof(kApproxMagic)) != 0) {
+    return Status::IoError("'" + path + "' is not a DTSA0001 file");
+  }
+  int64_t order = 0;
+  DT_RETURN_NOT_OK(ReadI64(f.get(), &order));
+  if (order < 3 || order > kMaxOrder) {
+    return Status::IoError("corrupt approximation header");
+  }
+  SliceApproximation approx;
+  approx.shape.resize(static_cast<std::size_t>(order));
+  for (auto& d : approx.shape) {
+    int64_t v = 0;
+    DT_RETURN_NOT_OK(ReadI64(f.get(), &v));
+    if (v < 0 || v > kMaxDim) return Status::IoError("corrupt shape");
+    d = static_cast<Index>(v);
+  }
+  int64_t slice_rank = 0, num_slices = 0;
+  DT_RETURN_NOT_OK(ReadI64(f.get(), &slice_rank));
+  DT_RETURN_NOT_OK(ReadI64(f.get(), &num_slices));
+  if (slice_rank < 1 || num_slices < 0) {
+    return Status::IoError("corrupt approximation header");
+  }
+  approx.slice_rank = static_cast<Index>(slice_rank);
+  approx.slices.reserve(static_cast<std::size_t>(num_slices));
+  for (int64_t l = 0; l < num_slices; ++l) {
+    SliceSvd sl;
+    DT_ASSIGN_OR_RETURN(sl.u, ReadMatrix(f.get()));
+    int64_t s_count = 0;
+    DT_RETURN_NOT_OK(ReadI64(f.get(), &s_count));
+    if (s_count < 0 || s_count > kMaxDim) {
+      return Status::IoError("corrupt singular value count");
+    }
+    sl.s.resize(static_cast<std::size_t>(s_count));
+    DT_RETURN_NOT_OK(ReadDoubles(f.get(), sl.s.data(), sl.s.size()));
+    DT_ASSIGN_OR_RETURN(sl.v, ReadMatrix(f.get()));
+    approx.slices.push_back(std::move(sl));
+  }
+  return approx;
+}
+
+}  // namespace dtucker

@@ -1,0 +1,30 @@
+// Persistence for decomposition artifacts.
+//
+// Two binary formats:
+//   "DTDC0001" — a TuckerDecomposition (core tensor + factor matrices);
+//   "DTSA0001" — a SliceApproximation (the D-Tucker compressed form), so
+//                the expensive approximation pass can be computed once and
+//                re-queried across processes.
+// Both are little-endian, layout-stable, and validated on load.
+#ifndef DTUCKER_DATA_DECOMPOSITION_IO_H_
+#define DTUCKER_DATA_DECOMPOSITION_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "dtucker/slice_approximation.h"
+#include "tucker/tucker.h"
+
+namespace dtucker {
+
+Status SaveDecomposition(const TuckerDecomposition& dec,
+                         const std::string& path);
+Result<TuckerDecomposition> LoadDecomposition(const std::string& path);
+
+Status SaveSliceApproximation(const SliceApproximation& approx,
+                              const std::string& path);
+Result<SliceApproximation> LoadSliceApproximation(const std::string& path);
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_DATA_DECOMPOSITION_IO_H_

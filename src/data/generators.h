@@ -1,0 +1,55 @@
+// Synthetic dataset generators emulating the paper's real-world tensors.
+//
+// The originals (videos, Korean stock features, traffic sensors, music
+// spectrograms, aerosol climate fields) are not available offline, so each
+// generator reproduces the *structure* the decomposition methods are
+// sensitive to: an approximately low-rank signal with smoothly varying
+// temporal dynamics plus dense noise. See DESIGN.md §3 for the mapping.
+// All generators are deterministic in their seed.
+#ifndef DTUCKER_DATA_GENERATORS_H_
+#define DTUCKER_DATA_GENERATORS_H_
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace dtucker {
+
+// Exact rank-(ranks) Tucker tensor plus i.i.d. Gaussian noise of relative
+// magnitude `noise` (0 disables). The ground-truth factors are random
+// orthonormal; core entries are N(0,1). The workhorse for correctness and
+// scalability experiments.
+Tensor MakeLowRankTensor(const std::vector<Index>& shape,
+                         const std::vector<Index>& ranks, double noise,
+                         uint64_t seed);
+
+// Grayscale-video analog (height x width x time): static smooth low-rank
+// background plus `num_objects` Gaussian blobs moving along random linear
+// trajectories, plus sensor noise.
+Tensor MakeVideoAnalog(Index height, Index width, Index frames,
+                       Index num_objects, double noise, uint64_t seed);
+
+// Stock-market analog (stock x feature x day): a factor model
+// X(s,f,t) = sum_r load(s,r) * expose(f,r) * factor_r(t) where factor_r is
+// a random walk with drift regimes, plus idiosyncratic noise.
+Tensor MakeStockAnalog(Index stocks, Index features, Index days,
+                       Index num_factors, double noise, uint64_t seed);
+
+// Traffic-volume analog (sensor x frequency-bin x time): daily periodic
+// profiles modulated per sensor, plus noise.
+Tensor MakeTrafficAnalog(Index sensors, Index bins, Index timesteps,
+                         double noise, uint64_t seed);
+
+// Music-spectrogram analog (song x frequency x time): each song is a sum
+// of harmonic ridges with amplitude envelopes.
+Tensor MakeMusicAnalog(Index songs, Index bins, Index frames, double noise,
+                       uint64_t seed);
+
+// 4-order climate analog (lon x lat x altitude x time): spatially smooth
+// fields with altitude decay and a seasonal cycle.
+Tensor MakeClimateAnalog(Index lon, Index lat, Index alt, Index timesteps,
+                         double noise, uint64_t seed);
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_DATA_GENERATORS_H_

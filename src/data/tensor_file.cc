@@ -1,0 +1,157 @@
+#include "data/tensor_file.h"
+
+#include <cstring>
+
+namespace dtucker {
+
+namespace {
+constexpr char kMagic[8] = {'D', 'T', 'N', 'S', 'R', '0', '0', '1'};
+}  // namespace
+
+Result<TensorFileReader> TensorFileReader::Open(const std::string& path) {
+  TensorFileReader reader;
+  reader.file_.reset(std::fopen(path.c_str(), "rb"));
+  if (reader.file_ == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  FILE* f = reader.file_.get();
+
+  char magic[8];
+  if (std::fread(magic, 1, sizeof(magic), f) != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::IoError("'" + path + "' is not a DTNSR001 tensor file");
+  }
+  int64_t order = 0;
+  if (std::fread(&order, sizeof(order), 1, f) != 1 || order < 2 ||
+      order > 16) {
+    return Status::IoError("corrupt tensor header (order), need order >= 2");
+  }
+  reader.shape_.resize(static_cast<std::size_t>(order));
+  for (auto& d : reader.shape_) {
+    int64_t v = 0;
+    if (std::fread(&v, sizeof(v), 1, f) != 1 || v < 0) {
+      return Status::IoError("corrupt tensor header (dims)");
+    }
+    d = static_cast<Index>(v);
+  }
+  reader.num_slices_ = 1;
+  for (Index k = 2; k < order; ++k) {
+    reader.num_slices_ *= reader.shape_[static_cast<std::size_t>(k)];
+  }
+  reader.payload_offset_ = std::ftell(f);
+  if (reader.payload_offset_ < 0) {
+    return Status::IoError("ftell failed on '" + path + "'");
+  }
+  // Validate the payload size against the header.
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    return Status::IoError("seek failed on '" + path + "'");
+  }
+  const long end = std::ftell(f);
+  int64_t volume = 1;
+  for (Index d : reader.shape_) volume *= d;
+  const long expected =
+      reader.payload_offset_ +
+      static_cast<long>(volume * static_cast<int64_t>(sizeof(double)));
+  if (end != expected) {
+    return Status::IoError("tensor payload size mismatch in '" + path + "'");
+  }
+  return reader;
+}
+
+Status TensorFileReader::ReadFrontalSlices(Index first, Index count,
+                                           double* out) const {
+  if (first < 0 || count < 0 || first + count > num_slices_) {
+    return Status::OutOfRange("slice range outside the file");
+  }
+  const Index slice_elems = shape_[0] * shape_[1];
+  const long offset =
+      payload_offset_ +
+      static_cast<long>(first) * static_cast<long>(slice_elems) *
+          static_cast<long>(sizeof(double));
+  FILE* f = file_.get();
+  if (std::fseek(f, offset, SEEK_SET) != 0) {
+    return Status::IoError("seek failed");
+  }
+  const std::size_t want = static_cast<std::size_t>(slice_elems * count);
+  if (std::fread(out, sizeof(double), want, f) != want) {
+    return Status::IoError("short read on slice payload");
+  }
+  return Status::OK();
+}
+
+Result<Matrix> TensorFileReader::ReadFrontalSlice(Index l) const {
+  Matrix m(shape_[0], shape_[1]);
+  DT_RETURN_NOT_OK(ReadFrontalSlices(l, 1, m.data()));
+  return m;
+}
+
+Result<TensorFileWriter> TensorFileWriter::Create(const std::string& path,
+                                                  std::vector<Index> shape) {
+  if (shape.size() < 2) {
+    return Status::InvalidArgument("tensor files need order >= 2");
+  }
+  for (Index d : shape) {
+    if (d <= 0) return Status::InvalidArgument("dimensions must be positive");
+  }
+  TensorFileWriter writer;
+  writer.file_.reset(std::fopen(path.c_str(), "wb"));
+  if (writer.file_ == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  FILE* f = writer.file_.get();
+  if (std::fwrite(kMagic, 1, sizeof(kMagic), f) != sizeof(kMagic)) {
+    return Status::IoError("short write on magic");
+  }
+  const int64_t order = static_cast<int64_t>(shape.size());
+  if (std::fwrite(&order, sizeof(order), 1, f) != 1) {
+    return Status::IoError("short write on order");
+  }
+  for (Index d : shape) {
+    const int64_t v = d;
+    if (std::fwrite(&v, sizeof(v), 1, f) != 1) {
+      return Status::IoError("short write on dims");
+    }
+  }
+  writer.num_slices_ = 1;
+  for (std::size_t k = 2; k < shape.size(); ++k) {
+    writer.num_slices_ *= shape[k];
+  }
+  writer.shape_ = std::move(shape);
+  return writer;
+}
+
+Status TensorFileWriter::AppendSlice(const Matrix& slice) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("writer is closed");
+  }
+  if (slice.rows() != shape_[0] || slice.cols() != shape_[1]) {
+    return Status::InvalidArgument("slice shape mismatch");
+  }
+  if (written_ >= num_slices_) {
+    return Status::FailedPrecondition("all slices already written");
+  }
+  const std::size_t count = static_cast<std::size_t>(slice.size());
+  if (std::fwrite(slice.data(), sizeof(double), count, file_.get()) != count) {
+    return Status::IoError("short write on slice payload");
+  }
+  ++written_;
+  return Status::OK();
+}
+
+Status TensorFileWriter::Finish() {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("writer is closed");
+  }
+  if (written_ != num_slices_) {
+    return Status::FailedPrecondition(
+        "not all slices were written (" + std::to_string(written_) + " of " +
+        std::to_string(num_slices_) + ")");
+  }
+  if (std::fflush(file_.get()) != 0) {
+    return Status::IoError("flush failed");
+  }
+  file_.reset();
+  return Status::OK();
+}
+
+}  // namespace dtucker

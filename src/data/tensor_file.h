@@ -1,0 +1,99 @@
+// Random-access reader for DTNSR001 tensor files.
+//
+// Unlike LoadTensor (which materializes the whole tensor), TensorFileReader
+// exposes the header and reads one frontal slice at a time — the access
+// pattern of D-Tucker's approximation phase. This is what makes the
+// out-of-core path (dtucker/out_of_core.h) possible: a tensor larger than
+// RAM is compressed while only ever holding one I1 x I2 slice.
+#ifndef DTUCKER_DATA_TENSOR_FILE_H_
+#define DTUCKER_DATA_TENSOR_FILE_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace dtucker {
+
+class TensorFileReader {
+ public:
+  // Opens the file and validates the header (shape, payload size).
+  static Result<TensorFileReader> Open(const std::string& path);
+
+  TensorFileReader(TensorFileReader&&) = default;
+  TensorFileReader& operator=(TensorFileReader&&) = default;
+
+  const std::vector<Index>& shape() const { return shape_; }
+  Index order() const { return static_cast<Index>(shape_.size()); }
+  Index dim(Index mode) const {
+    return shape_[static_cast<std::size_t>(mode)];
+  }
+  // Number of I1 x I2 frontal slices (order >= 2 required at Open).
+  Index NumFrontalSlices() const { return num_slices_; }
+
+  // Reads frontal slice `l` (0-based) into an I1 x I2 matrix.
+  Result<Matrix> ReadFrontalSlice(Index l) const;
+
+  // Reads `count` consecutive frontal slices starting at `first` into a
+  // contiguous buffer (rows*cols*count doubles).
+  Status ReadFrontalSlices(Index first, Index count, double* out) const;
+
+ private:
+  TensorFileReader() = default;
+
+  struct FileCloser {
+    void operator()(FILE* f) const {
+      if (f != nullptr) std::fclose(f);
+    }
+  };
+
+  std::unique_ptr<FILE, FileCloser> file_;
+  std::vector<Index> shape_;
+  Index num_slices_ = 0;
+  long payload_offset_ = 0;  // Byte offset of the first double.
+};
+
+// Streaming writer for DTNSR001 files: emits the header up front and
+// appends frontal slices, so a tensor larger than RAM can be generated
+// without ever materializing it. The file is valid once every slice has
+// been appended.
+class TensorFileWriter {
+ public:
+  // Creates/truncates the file and writes the header. Order >= 2.
+  static Result<TensorFileWriter> Create(const std::string& path,
+                                         std::vector<Index> shape);
+
+  TensorFileWriter(TensorFileWriter&&) = default;
+  TensorFileWriter& operator=(TensorFileWriter&&) = default;
+
+  const std::vector<Index>& shape() const { return shape_; }
+  Index NumFrontalSlices() const { return num_slices_; }
+  Index slices_written() const { return written_; }
+
+  // Appends one I1 x I2 slice.
+  Status AppendSlice(const Matrix& slice);
+
+  // Flushes and verifies every slice was written.
+  Status Finish();
+
+ private:
+  TensorFileWriter() = default;
+
+  struct FileCloser {
+    void operator()(FILE* f) const {
+      if (f != nullptr) std::fclose(f);
+    }
+  };
+
+  std::unique_ptr<FILE, FileCloser> file_;
+  std::vector<Index> shape_;
+  Index num_slices_ = 0;
+  Index written_ = 0;
+};
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_DATA_TENSOR_FILE_H_

@@ -1,0 +1,78 @@
+#include "data/tensor_io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace dtucker {
+
+namespace {
+constexpr char kMagic[8] = {'D', 'T', 'N', 'S', 'R', '0', '0', '1'};
+
+struct FileCloser {
+  void operator()(FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<FILE, FileCloser>;
+}  // namespace
+
+Status SaveTensor(const Tensor& x, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  if (std::fwrite(kMagic, 1, sizeof(kMagic), f.get()) != sizeof(kMagic)) {
+    return Status::IoError("short write on magic");
+  }
+  const int64_t order = x.order();
+  if (std::fwrite(&order, sizeof(order), 1, f.get()) != 1) {
+    return Status::IoError("short write on order");
+  }
+  for (Index n = 0; n < x.order(); ++n) {
+    const int64_t d = x.dim(n);
+    if (std::fwrite(&d, sizeof(d), 1, f.get()) != 1) {
+      return Status::IoError("short write on dims");
+    }
+  }
+  const std::size_t count = static_cast<std::size_t>(x.size());
+  if (std::fwrite(x.data(), sizeof(double), count, f.get()) != count) {
+    return Status::IoError("short write on payload");
+  }
+  return Status::OK();
+}
+
+Result<Tensor> LoadTensor(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  char magic[8];
+  if (std::fread(magic, 1, sizeof(magic), f.get()) != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::IoError("'" + path + "' is not a DTNSR001 tensor file");
+  }
+  int64_t order = 0;
+  if (std::fread(&order, sizeof(order), 1, f.get()) != 1 || order < 1 ||
+      order > 16) {
+    return Status::IoError("corrupt tensor header (order)");
+  }
+  std::vector<Index> shape(static_cast<std::size_t>(order));
+  std::size_t volume = 1;
+  for (auto& d : shape) {
+    int64_t v = 0;
+    if (std::fread(&v, sizeof(v), 1, f.get()) != 1 || v < 0) {
+      return Status::IoError("corrupt tensor header (dims)");
+    }
+    d = static_cast<Index>(v);
+    volume *= static_cast<std::size_t>(v);
+  }
+  Tensor x(shape);
+  if (std::fread(x.data(), sizeof(double), volume, f.get()) != volume) {
+    return Status::IoError("truncated tensor payload");
+  }
+  return x;
+}
+
+}  // namespace dtucker

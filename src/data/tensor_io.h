@@ -1,0 +1,22 @@
+// Binary tensor file I/O.
+//
+// Format "DTNSR001": 8-byte magic, int64 order, int64 dims[order], then
+// order-agnostic little-endian doubles in the library's mode-1-fastest
+// layout. Enables examples/benchmarks to persist generated datasets.
+#ifndef DTUCKER_DATA_TENSOR_IO_H_
+#define DTUCKER_DATA_TENSOR_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace dtucker {
+
+Status SaveTensor(const Tensor& x, const std::string& path);
+
+Result<Tensor> LoadTensor(const std::string& path);
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_DATA_TENSOR_IO_H_

@@ -1,0 +1,430 @@
+#include "dtucker/dtucker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/timer.h"
+#include "linalg/blas.h"
+#include "linalg/eigen_sym.h"
+#include "tensor/tensor_ops.h"
+#include "tensor/tensor_utils.h"
+#include "tucker/hosvd.h"
+#include "tucker/tucker_als.h"
+
+namespace dtucker {
+
+namespace {
+
+// The init and iteration phases square the slice singular values (Gram
+// accumulation); extreme input magnitudes would denormalize those
+// products. When the largest singular value is outside a wide safe band,
+// returns a copy of the approximation rescaled to O(1) in `storage` and
+// the applied scale in `scale_out` (the core scales back linearly);
+// otherwise returns the input untouched.
+const SliceApproximation* MaybeNormalizeScale(const SliceApproximation& approx,
+                                              SliceApproximation* storage,
+                                              double* scale_out) {
+  double smax = 0.0;
+  for (const auto& sl : approx.slices) {
+    if (!sl.s.empty()) smax = std::max(smax, sl.s.front());
+  }
+  if (smax > 0.0 && (smax < 1e-100 || smax > 1e100)) {
+    *storage = approx;
+    const double inv = 1.0 / smax;
+    for (auto& sl : storage->slices) {
+      for (double& v : sl.s) v *= inv;
+    }
+    *scale_out = smax;
+    return storage;
+  }
+  *scale_out = 1.0;
+  return &approx;
+}
+
+// Total energy of the compressed tensor: ||X~||^2 = sum_l sum_j s_lj^2
+// (exact because U<l> and V<l> have orthonormal columns).
+double ApproxSquaredNorm(const SliceApproximation& approx) {
+  double total = 0.0;
+  for (const auto& sl : approx.slices) {
+    for (double s : sl.s) total += s * s;
+  }
+  return total;
+}
+
+// Builds the projected tensor T1 (I1 x J2 x I3 x ... x IN) with frontal
+// slices (U<l> S<l>) (V<l>^T A2). This is "X x_2 A2^T" computed through the
+// slice factorizations at cost O(L (I2 + I1) Js J2).
+Tensor BuildModeOneCarrier(const SliceApproximation& approx, const Matrix& a2) {
+  std::vector<Index> shape = approx.shape;
+  shape[1] = a2.cols();
+  Tensor t(shape);
+  for (Index l = 0; l < approx.NumSlices(); ++l) {
+    const SliceSvd& sl = approx.slices[static_cast<std::size_t>(l)];
+    Matrix q = MultiplyTN(sl.v, a2);              // Js x J2.
+    // Scale rows of q by s (equivalent to (U S) q but cheaper as diag*q).
+    for (Index i = 0; i < q.rows(); ++i) {
+      const double si = sl.s[static_cast<std::size_t>(i)];
+      for (Index j = 0; j < q.cols(); ++j) q(i, j) *= si;
+    }
+    t.SetFrontalSlice(l, Multiply(sl.u, q));      // I1 x J2.
+  }
+  return t;
+}
+
+// Builds T2 (J1 x I2 x trailing): frontal slices (A1^T U<l> S<l>) V<l>^T.
+Tensor BuildModeTwoCarrier(const SliceApproximation& approx, const Matrix& a1) {
+  std::vector<Index> shape = approx.shape;
+  shape[0] = a1.cols();
+  Tensor t(shape);
+  for (Index l = 0; l < approx.NumSlices(); ++l) {
+    const SliceSvd& sl = approx.slices[static_cast<std::size_t>(l)];
+    Matrix p = MultiplyTN(a1, sl.u);              // J1 x Js.
+    for (Index j = 0; j < p.cols(); ++j) {
+      Scal(sl.s[static_cast<std::size_t>(j)], p.col_data(j), p.rows());
+    }
+    t.SetFrontalSlice(l, MultiplyNT(p, sl.v));    // J1 x I2.
+  }
+  return t;
+}
+
+}  // namespace
+
+namespace internal_dtucker {
+
+// Builds the small projected tensor Z (J1 x J2 x trailing) with frontal
+// slices (A1^T U<l> S<l>) (V<l>^T A2).
+Tensor BuildProjectedCore(const SliceApproximation& approx, const Matrix& a1,
+                          const Matrix& a2) {
+  std::vector<Index> shape = approx.shape;
+  shape[0] = a1.cols();
+  shape[1] = a2.cols();
+  Tensor z(shape);
+  for (Index l = 0; l < approx.NumSlices(); ++l) {
+    const SliceSvd& sl = approx.slices[static_cast<std::size_t>(l)];
+    Matrix p = MultiplyTN(a1, sl.u);  // J1 x Js.
+    for (Index j = 0; j < p.cols(); ++j) {
+      Scal(sl.s[static_cast<std::size_t>(j)], p.col_data(j), p.rows());
+    }
+    Matrix q = MultiplyTN(sl.v, a2);  // Js x J2.
+    z.SetFrontalSlice(l, Multiply(p, q));
+  }
+  return z;
+}
+
+}  // namespace internal_dtucker
+
+namespace {
+
+using internal_dtucker::BuildProjectedCore;
+
+// Top-k eigenvectors of an accumulated Gram matrix.
+Matrix TopEigenvectors(const Matrix& gram, Index k) {
+  return TopEigenvectorsSym(gram, k);
+}
+
+// Contracts trailing modes (2..N-1) of `t` with the corresponding factors
+// (transposed), optionally skipping one trailing mode.
+Tensor ContractTrailing(Tensor t, const std::vector<Matrix>& factors,
+                        Index skip_mode) {
+  for (Index n = 2; n < static_cast<Index>(factors.size()); ++n) {
+    if (n == skip_mode) continue;
+    t = ModeProduct(t, factors[static_cast<std::size_t>(n)], n, Trans::kYes);
+  }
+  return t;
+}
+
+// Finds the permutation placing the two largest modes first (stable for
+// ties), and its inverse.
+void LargestTwoFirstPermutation(const std::vector<Index>& shape,
+                                std::vector<Index>* perm,
+                                std::vector<Index>* inverse) {
+  const Index n = static_cast<Index>(shape.size());
+  std::vector<Index> by_size(static_cast<std::size_t>(n));
+  std::iota(by_size.begin(), by_size.end(), Index{0});
+  std::stable_sort(by_size.begin(), by_size.end(), [&](Index a, Index b) {
+    return shape[static_cast<std::size_t>(a)] >
+           shape[static_cast<std::size_t>(b)];
+  });
+  perm->clear();
+  perm->push_back(by_size[0]);
+  perm->push_back(by_size[1]);
+  for (Index k = 0; k < n; ++k) {
+    if (k != by_size[0] && k != by_size[1]) perm->push_back(k);
+  }
+  inverse->assign(static_cast<std::size_t>(n), 0);
+  for (Index k = 0; k < n; ++k) {
+    (*inverse)[static_cast<std::size_t>((*perm)[static_cast<std::size_t>(k)])] =
+        k;
+  }
+}
+
+struct InitResult {
+  std::vector<Matrix> factors;
+  Tensor core;
+};
+
+// Initialization phase (Section 2 of the header comment).
+InitResult InitializeFactors(const SliceApproximation& approx,
+                             const std::vector<Index>& ranks) {
+  const Index order = static_cast<Index>(approx.shape.size());
+  InitResult init;
+  init.factors.resize(static_cast<std::size_t>(order));
+
+  // A1 from the Gram of the stacked scaled left factors.
+  {
+    Matrix gram(approx.Dim(0), approx.Dim(0));
+    for (const auto& sl : approx.slices) {
+      Matrix ys = sl.UTimesS();
+      GemmRaw(Trans::kNo, Trans::kYes, ys.rows(), ys.rows(), ys.cols(), 1.0,
+              ys.data(), ys.rows(), ys.data(), ys.rows(), 1.0, gram.data(),
+              gram.rows());
+    }
+    init.factors[0] = TopEigenvectors(gram, ranks[0]);
+  }
+  // A2 from the Gram of the stacked scaled right factors.
+  {
+    Matrix gram(approx.Dim(1), approx.Dim(1));
+    for (const auto& sl : approx.slices) {
+      Matrix vs = sl.VTimesS();
+      GemmRaw(Trans::kNo, Trans::kYes, vs.rows(), vs.rows(), vs.cols(), 1.0,
+              vs.data(), vs.rows(), vs.data(), vs.rows(), 1.0, gram.data(),
+              gram.rows());
+    }
+    init.factors[1] = TopEigenvectors(gram, ranks[1]);
+  }
+
+  // Trailing factors from the small projected tensor Z.
+  Tensor z = BuildProjectedCore(approx, init.factors[0], init.factors[1]);
+  for (Index n = 2; n < order; ++n) {
+    Matrix unf = Unfold(z, n);
+    init.factors[static_cast<std::size_t>(n)] =
+        LeadingLeftSingularVectorsViaGram(unf,
+                                          ranks[static_cast<std::size_t>(n)]);
+  }
+  init.core = ContractTrailing(std::move(z), init.factors, /*skip_mode=*/-1);
+  return init;
+}
+
+}  // namespace
+
+namespace internal_dtucker {
+
+void DTuckerSweep(const SliceApproximation& approx,
+                  const std::vector<Index>& ranks,
+                  std::vector<Matrix>* factors, Tensor* core) {
+  const Index order = static_cast<Index>(approx.shape.size());
+  // Mode-1 update: carrier T1 = X~ x_2 A2^T, contract trailing modes, then
+  // leading left singular vectors of the mode-1 unfolding.
+  {
+    Tensor y = ContractTrailing(BuildModeOneCarrier(approx, (*factors)[1]),
+                                *factors, /*skip_mode=*/-1);
+    Matrix unf = Unfold(y, 0);
+    (*factors)[0] = LeadingLeftSingularVectorsViaGram(unf, ranks[0]);
+  }
+  // Mode-2 update (uses the fresh A1).
+  {
+    Tensor y = ContractTrailing(BuildModeTwoCarrier(approx, (*factors)[0]),
+                                *factors, /*skip_mode=*/-1);
+    Matrix unf = Unfold(y, 1);
+    (*factors)[1] = LeadingLeftSingularVectorsViaGram(unf, ranks[1]);
+  }
+  // Trailing-mode updates share one projected tensor Z built from the
+  // fresh A1, A2 (Z does not depend on trailing factors).
+  Tensor z = BuildProjectedCore(approx, (*factors)[0], (*factors)[1]);
+  for (Index n = 2; n < order; ++n) {
+    Tensor y = ContractTrailing(z, *factors, /*skip_mode=*/n);
+    Matrix unf = Unfold(y, n);
+    (*factors)[static_cast<std::size_t>(n)] = LeadingLeftSingularVectorsViaGram(
+        unf, ranks[static_cast<std::size_t>(n)]);
+  }
+  *core = ContractTrailing(std::move(z), *factors, -1);
+}
+
+}  // namespace internal_dtucker
+
+Result<RankSuggestion> SuggestRanksFromApproximation(
+    const SliceApproximation& approx, double energy_threshold,
+    Index max_rank) {
+  if (energy_threshold <= 0.0 || energy_threshold > 1.0) {
+    return Status::InvalidArgument("energy_threshold must be in (0, 1]");
+  }
+  DT_RETURN_NOT_OK(approx.Validate());
+  const Index order = static_cast<Index>(approx.shape.size());
+
+  RankSuggestion out;
+  out.ranks.resize(static_cast<std::size_t>(order));
+  out.spectra.resize(static_cast<std::size_t>(order));
+  out.retained_energy.resize(static_cast<std::size_t>(order));
+
+  auto pick = [&](std::vector<double> spectrum, Index mode) {
+    double total = 0;
+    for (double v : spectrum) total += std::max(v, 0.0);
+    Index rank = 1;
+    double cum = 0;
+    for (std::size_t i = 0; i < spectrum.size(); ++i) {
+      cum += std::max(spectrum[i], 0.0);
+      rank = static_cast<Index>(i + 1);
+      if (total <= 0.0 || cum >= energy_threshold * total) break;
+    }
+    if (max_rank > 0) rank = std::min(rank, max_rank);
+    double kept = 0;
+    for (Index i = 0; i < rank; ++i) {
+      kept += std::max(spectrum[static_cast<std::size_t>(i)], 0.0);
+    }
+    out.ranks[static_cast<std::size_t>(mode)] = rank;
+    out.retained_energy[static_cast<std::size_t>(mode)] =
+        total > 0 ? kept / total : 1.0;
+    out.spectra[static_cast<std::size_t>(mode)] = std::move(spectrum);
+  };
+
+  // Modes 1 and 2: exact (for the approximated tensor) spectra from the
+  // accumulated slice-factor Grams, since X~_(1) X~_(1)^T = sum_l U S^2 U^T.
+  std::vector<Matrix> leading_vecs(2);
+  for (int m = 0; m < 2; ++m) {
+    const Index dim = approx.Dim(m);
+    Matrix gram(dim, dim);
+    for (const auto& sl : approx.slices) {
+      Matrix f = m == 0 ? sl.UTimesS() : sl.VTimesS();
+      GemmRaw(Trans::kNo, Trans::kYes, f.rows(), f.rows(), f.cols(), 1.0,
+              f.data(), f.rows(), f.data(), f.rows(), 1.0, gram.data(),
+              gram.rows());
+    }
+    EigenSymResult eig = EigenSym(gram);
+    leading_vecs[static_cast<std::size_t>(m)] = eig.vectors.LeftCols(
+        std::min(dim, std::max<Index>(approx.slice_rank, 1)));
+    pick(std::move(eig.values), m);
+  }
+
+  // Trailing modes: spectra of the projected tensor Z built at the probe
+  // rank — energy within the leading-subspace projection (a lower bound
+  // that is tight when the probe rank covers the signal).
+  Tensor z = BuildProjectedCore(approx, leading_vecs[0], leading_vecs[1]);
+  for (Index n = 2; n < order; ++n) {
+    Matrix unf = Unfold(z, n);
+    Matrix gram(unf.rows(), unf.rows());
+    GemmRaw(Trans::kNo, Trans::kYes, unf.rows(), unf.rows(), unf.cols(), 1.0,
+            unf.data(), unf.rows(), unf.data(), unf.rows(), 0.0, gram.data(),
+            gram.rows());
+    EigenSymResult eig = EigenSym(gram);
+    pick(std::move(eig.values), n);
+  }
+  return out;
+}
+
+Result<TuckerDecomposition> DTuckerInitializeOnly(
+    const SliceApproximation& approx, const DTuckerOptions& options) {
+  DT_RETURN_NOT_OK(ValidateRanks(approx.shape, options.ranks));
+  SliceApproximation normalized_storage;
+  double scale = 1.0;
+  const SliceApproximation* work =
+      MaybeNormalizeScale(approx, &normalized_storage, &scale);
+  InitResult init = InitializeFactors(*work, options.ranks);
+  TuckerDecomposition dec;
+  dec.factors = std::move(init.factors);
+  dec.core = std::move(init.core);
+  if (scale != 1.0) dec.core *= scale;
+  return dec;
+}
+
+Result<TuckerDecomposition> DTuckerFromApproximation(
+    const SliceApproximation& approx, const DTuckerOptions& options,
+    TuckerStats* stats) {
+  DT_RETURN_NOT_OK(approx.Validate());
+  DT_RETURN_NOT_OK(ValidateRanks(approx.shape, options.ranks));
+  SliceApproximation normalized_storage;
+  double scale = 1.0;
+  const SliceApproximation* work =
+      MaybeNormalizeScale(approx, &normalized_storage, &scale);
+  const double approx_norm2 = ApproxSquaredNorm(*work);
+
+  Timer init_timer;
+  InitResult state = InitializeFactors(*work, options.ranks);
+  if (stats != nullptr) stats->init_seconds = init_timer.Seconds();
+
+  Timer iterate_timer;
+  double prev_error =
+      OrthogonalTuckerRelativeError(approx_norm2, state.core.SquaredNorm());
+  if (stats != nullptr) stats->error_history.push_back(prev_error);
+
+  int it = 0;
+  for (; it < options.max_iterations; ++it) {
+    internal_dtucker::DTuckerSweep(*work, options.ranks, &state.factors,
+                                   &state.core);
+    const double error = OrthogonalTuckerRelativeError(
+        approx_norm2, state.core.SquaredNorm());
+    if (stats != nullptr) stats->error_history.push_back(error);
+    const double delta = std::fabs(prev_error - error);
+    prev_error = error;
+    if (delta < options.tolerance) {
+      ++it;
+      break;
+    }
+  }
+  if (stats != nullptr) {
+    stats->iterations = it;
+    stats->iterate_seconds = iterate_timer.Seconds();
+    stats->working_bytes = approx.ByteSize();
+  }
+
+  TuckerDecomposition dec;
+  dec.factors = std::move(state.factors);
+  dec.core = std::move(state.core);
+  if (scale != 1.0) dec.core *= scale;
+  return dec;
+}
+
+Result<TuckerDecomposition> DTucker(const Tensor& x,
+                                    const DTuckerOptions& options,
+                                    TuckerStats* stats) {
+  if (x.order() < 3) {
+    return Status::InvalidArgument("D-Tucker requires an order >= 3 tensor");
+  }
+  DT_RETURN_NOT_OK(ValidateRanks(x.shape(), options.ranks));
+  if (options.validate_input) DT_RETURN_NOT_OK(ValidateFinite(x));
+
+  if (options.auto_reorder) {
+    std::vector<Index> perm, inverse;
+    LargestTwoFirstPermutation(x.shape(), &perm, &inverse);
+    bool already_ordered = true;
+    for (Index k = 0; k < x.order(); ++k) {
+      if (perm[static_cast<std::size_t>(k)] != k) already_ordered = false;
+    }
+    if (!already_ordered) {
+      Tensor xp = x.Permuted(perm);
+      DTuckerOptions inner = options;
+      inner.auto_reorder = false;
+      inner.ranks.clear();
+      for (Index k = 0; k < x.order(); ++k) {
+        inner.ranks.push_back(
+            options.ranks[static_cast<std::size_t>(perm[static_cast<std::size_t>(k)])]);
+      }
+      DT_ASSIGN_OR_RETURN(TuckerDecomposition dp, DTucker(xp, inner, stats));
+      TuckerDecomposition dec;
+      dec.factors.resize(static_cast<std::size_t>(x.order()));
+      for (Index k = 0; k < x.order(); ++k) {
+        dec.factors[static_cast<std::size_t>(perm[static_cast<std::size_t>(k)])] =
+            std::move(dp.factors[static_cast<std::size_t>(k)]);
+      }
+      dec.core = dp.core.Permuted(inverse);
+      return dec;
+    }
+  }
+
+  SliceApproximationOptions approx_opts;
+  approx_opts.slice_rank =
+      std::min(options.EffectiveSliceRank(), std::min(x.dim(0), x.dim(1)));
+  approx_opts.oversampling = options.oversampling;
+  approx_opts.power_iterations = options.power_iterations;
+  approx_opts.seed = options.seed;
+  approx_opts.num_threads = options.num_threads;
+
+  Timer approx_timer;
+  DT_ASSIGN_OR_RETURN(SliceApproximation approx,
+                      ApproximateSlices(x, approx_opts));
+  if (stats != nullptr) stats->preprocess_seconds = approx_timer.Seconds();
+
+  return DTuckerFromApproximation(approx, options, stats);
+}
+
+}  // namespace dtucker

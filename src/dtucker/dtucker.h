@@ -1,0 +1,91 @@
+// D-Tucker: fast and memory-efficient Tucker decomposition for dense
+// tensors (Jang & Kang, ICDE 2020) — the primary contribution of this
+// repository.
+//
+// Three phases:
+//   1. Approximation  — rank-Js randomized SVD of every I1 x I2 frontal
+//                       slice (src/dtucker/slice_approximation.h). The only
+//                       pass over the raw tensor.
+//   2. Initialization — factor matrices computed from the slice factors:
+//                       A(1) from the stacked U<l>S<l>, A(2) from the
+//                       stacked V<l>S<l>, modes >= 3 from the projected
+//                       small tensor Z(:,:,l) = A(1)^T X<l> A(2).
+//   3. Iteration      — HOOI sweeps whose contractions are decoupled slice
+//                       by slice so each update costs O((I1+I2) L Js J)
+//                       instead of O(J prod I_n).
+#ifndef DTUCKER_DTUCKER_DTUCKER_H_
+#define DTUCKER_DTUCKER_DTUCKER_H_
+
+#include "common/status.h"
+#include "dtucker/slice_approximation.h"
+#include "tucker/rank_estimation.h"
+#include "tucker/tucker.h"
+
+namespace dtucker {
+
+struct DTuckerOptions : TuckerOptions {
+  // Rank Js of the per-slice SVDs. 0 means "max of the first two Tucker
+  // ranks", the paper's setting.
+  Index slice_rank = 0;
+  Index oversampling = 5;    // rSVD oversampling in the approximation phase.
+  int power_iterations = 1;  // rSVD power iterations.
+  // If true, modes are permuted so the two largest lead (the layout the
+  // slice compression wants) and results are permuted back.
+  bool auto_reorder = false;
+  // Worker threads for the approximation phase (see
+  // SliceApproximationOptions::num_threads).
+  int num_threads = 1;
+
+  Index EffectiveSliceRank() const {
+    if (slice_rank > 0) return slice_rank;
+    return std::max(ranks[0], ranks[1]);
+  }
+};
+
+// End-to-end D-Tucker: approximation + initialization + iteration.
+Result<TuckerDecomposition> DTucker(const Tensor& x,
+                                    const DTuckerOptions& options,
+                                    TuckerStats* stats = nullptr);
+
+// Initialization + iteration on an already-compressed tensor. This is the
+// "query" entry point when the approximation is computed once and reused
+// (e.g. for several target ranks, or by the online variant).
+Result<TuckerDecomposition> DTuckerFromApproximation(
+    const SliceApproximation& approx, const DTuckerOptions& options,
+    TuckerStats* stats = nullptr);
+
+// Initialization phase only (no HOOI sweeps) — used by ablation E8 and as
+// a cheap one-shot decomposition.
+Result<TuckerDecomposition> DTuckerInitializeOnly(
+    const SliceApproximation& approx, const DTuckerOptions& options);
+
+// Suggests Tucker ranks from the compressed form alone (no raw tensor):
+// mode-1/2 spectra from the accumulated slice-factor Grams, trailing-mode
+// spectra from the projected tensor Z built at `probe_rank` for the two
+// leading modes. Same semantics as SuggestRanks (energy threshold in
+// (0, 1], optional cap); energies are with respect to the *approximated*
+// tensor.
+Result<RankSuggestion> SuggestRanksFromApproximation(
+    const SliceApproximation& approx, double energy_threshold,
+    Index max_rank = 0);
+
+namespace internal_dtucker {
+
+// The small projected tensor Z (J1 x J2 x I3 x ... x IN) with frontal
+// slices (A1^T U<l> S<l>) (V<l>^T A2). Exposed for the online variant and
+// white-box tests.
+Tensor BuildProjectedCore(const SliceApproximation& approx, const Matrix& a1,
+                          const Matrix& a2);
+
+// One HOOI sweep over the slice structure (mode 1, mode 2, trailing modes,
+// core refresh). `factors` must hold one column-orthogonal matrix per mode
+// with row counts matching approx.shape.
+void DTuckerSweep(const SliceApproximation& approx,
+                  const std::vector<Index>& ranks,
+                  std::vector<Matrix>* factors, Tensor* core);
+
+}  // namespace internal_dtucker
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_DTUCKER_DTUCKER_H_

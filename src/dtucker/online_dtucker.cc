@@ -1,0 +1,133 @@
+#include "dtucker/online_dtucker.h"
+
+#include "common/timer.h"
+#include "linalg/blas.h"
+#include "linalg/eigen_sym.h"
+#include "tensor/tensor_ops.h"
+#include "tucker/hosvd.h"
+#include "tucker/tucker_als.h"
+
+namespace dtucker {
+
+OnlineDTucker::OnlineDTucker(OnlineDTuckerOptions options)
+    : options_(std::move(options)) {}
+
+void OnlineDTucker::AccumulateGrams(Index first) {
+  for (Index l = first; l < approx_.NumSlices(); ++l) {
+    const SliceSvd& sl = approx_.slices[static_cast<std::size_t>(l)];
+    Matrix ys = sl.UTimesS();
+    GemmRaw(Trans::kNo, Trans::kYes, ys.rows(), ys.rows(), ys.cols(), 1.0,
+            ys.data(), ys.rows(), ys.data(), ys.rows(), 1.0, gram1_.data(),
+            gram1_.rows());
+    Matrix vs = sl.VTimesS();
+    GemmRaw(Trans::kNo, Trans::kYes, vs.rows(), vs.rows(), vs.cols(), 1.0,
+            vs.data(), vs.rows(), vs.data(), vs.rows(), 1.0, gram2_.data(),
+            gram2_.rows());
+  }
+}
+
+void OnlineDTucker::Refit(int sweeps) {
+  const Index order = static_cast<Index>(approx_.shape.size());
+  std::vector<Matrix> factors(static_cast<std::size_t>(order));
+
+  // A1/A2 from the incrementally maintained Grams.
+  factors[0] = TopEigenvectorsSym(gram1_, options_.ranks[0]);
+  factors[1] = TopEigenvectorsSym(gram2_, options_.ranks[1]);
+  // Trailing factors (including the grown temporal mode) from the small
+  // projected tensor.
+  Tensor z =
+      internal_dtucker::BuildProjectedCore(approx_, factors[0], factors[1]);
+  for (Index n = 2; n < order; ++n) {
+    Matrix unf = Unfold(z, n);
+    factors[static_cast<std::size_t>(n)] = LeadingLeftSingularVectorsViaGram(
+        unf, options_.ranks[static_cast<std::size_t>(n)]);
+  }
+  Tensor core = z;
+  for (Index n = 2; n < order; ++n) {
+    core = ModeProduct(core, factors[static_cast<std::size_t>(n)], n,
+                       Trans::kYes);
+  }
+
+  for (int s = 0; s < sweeps; ++s) {
+    internal_dtucker::DTuckerSweep(approx_, options_.ranks, &factors, &core);
+  }
+  dec_.factors = std::move(factors);
+  dec_.core = std::move(core);
+}
+
+Status OnlineDTucker::Initialize(const Tensor& x) {
+  if (initialized_) {
+    return Status::FailedPrecondition("OnlineDTucker already initialized");
+  }
+  if (x.order() < 3) {
+    return Status::InvalidArgument("D-TuckerO requires an order >= 3 tensor");
+  }
+  DT_RETURN_NOT_OK(ValidateRanks(x.shape(), options_.ranks));
+
+  last_stats_ = TuckerStats();
+  Timer timer;
+  SliceApproximationOptions approx_opts;
+  approx_opts.slice_rank =
+      std::min(options_.EffectiveSliceRank(), std::min(x.dim(0), x.dim(1)));
+  approx_opts.oversampling = options_.oversampling;
+  approx_opts.power_iterations = options_.power_iterations;
+  approx_opts.seed = options_.seed;
+  approx_opts.num_threads = options_.num_threads;
+  DT_ASSIGN_OR_RETURN(approx_, ApproximateSlices(x, approx_opts));
+  last_stats_.preprocess_seconds = timer.Seconds();
+
+  gram1_ = Matrix(x.dim(0), x.dim(0));
+  gram2_ = Matrix(x.dim(1), x.dim(1));
+  AccumulateGrams(0);
+
+  Timer refit_timer;
+  Refit(options_.max_iterations);
+  last_stats_.iterate_seconds = refit_timer.Seconds();
+  initialized_ = true;
+  return Status::OK();
+}
+
+Status OnlineDTucker::Append(const Tensor& chunk) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("call Initialize before Append");
+  }
+  if (chunk.order() != static_cast<Index>(approx_.shape.size())) {
+    return Status::InvalidArgument("chunk order mismatch");
+  }
+  const Index last = chunk.order() - 1;
+  for (Index n = 0; n < last; ++n) {
+    if (chunk.dim(n) != approx_.Dim(n)) {
+      return Status::InvalidArgument(
+          "chunk must match the tensor in every mode but the last");
+    }
+  }
+  if (chunk.dim(last) <= 0) {
+    return Status::InvalidArgument("empty chunk");
+  }
+
+  last_stats_ = TuckerStats();
+  Timer timer;
+  SliceApproximationOptions approx_opts;
+  approx_opts.slice_rank = approx_.slice_rank;
+  approx_opts.oversampling = options_.oversampling;
+  approx_opts.power_iterations = options_.power_iterations;
+  // Distinct seed stream per append batch.
+  approx_opts.seed = options_.seed + 0x51ED270B * (approx_.NumSlices() + 1);
+  approx_opts.num_threads = options_.num_threads;
+  DT_ASSIGN_OR_RETURN(
+      std::vector<SliceSvd> new_slices,
+      ApproximateSliceRange(chunk, 0, chunk.NumFrontalSlices(), approx_opts));
+  last_stats_.preprocess_seconds = timer.Seconds();
+
+  const Index old_count = approx_.NumSlices();
+  for (auto& sl : new_slices) approx_.slices.push_back(std::move(sl));
+  approx_.shape[static_cast<std::size_t>(last)] += chunk.dim(last);
+  AccumulateGrams(old_count);
+
+  Timer refit_timer;
+  Refit(options_.refit_sweeps);
+  last_stats_.iterate_seconds = refit_timer.Seconds();
+  return Status::OK();
+}
+
+}  // namespace dtucker

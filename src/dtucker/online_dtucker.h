@@ -1,0 +1,73 @@
+// D-TuckerO: online/streaming extension of D-Tucker.
+//
+// When new data arrives along the last (temporal) mode, only the new
+// frontal slices are compressed with randomized SVD; previously compressed
+// slices and the incrementally maintained mode-1/mode-2 Gram matrices are
+// reused. The factors are then refreshed with a small number of warm HOOI
+// sweeps over the slice structure. The expensive part of D-Tucker — the
+// O(I1*I2*L*Js) approximation pass — is thus paid only for the new slices,
+// which is the paper family's streaming story (experiment E9).
+#ifndef DTUCKER_DTUCKER_ONLINE_DTUCKER_H_
+#define DTUCKER_DTUCKER_ONLINE_DTUCKER_H_
+
+#include "common/status.h"
+#include "dtucker/dtucker.h"
+
+namespace dtucker {
+
+struct OnlineDTuckerOptions : DTuckerOptions {
+  // HOOI sweeps run after each Append (warm-started; a few suffice).
+  int refit_sweeps = 3;
+};
+
+class OnlineDTucker {
+ public:
+  explicit OnlineDTucker(OnlineDTuckerOptions options);
+
+  // Not copyable (holds large state); movable.
+  OnlineDTucker(const OnlineDTucker&) = delete;
+  OnlineDTucker& operator=(const OnlineDTucker&) = delete;
+  OnlineDTucker(OnlineDTucker&&) = default;
+  OnlineDTucker& operator=(OnlineDTucker&&) = default;
+
+  // Ingests the first chunk (order >= 3). Runs a full D-Tucker fit.
+  Status Initialize(const Tensor& x);
+
+  // Appends a chunk whose shape matches the current tensor in every mode
+  // except the last; compresses only the new slices and refits.
+  Status Append(const Tensor& chunk);
+
+  bool initialized() const { return initialized_; }
+
+  // Current decomposition of everything ingested so far.
+  const TuckerDecomposition& decomposition() const { return dec_; }
+
+  // The accumulated compressed representation.
+  const SliceApproximation& approximation() const { return approx_; }
+
+  // Shape of the full ingested tensor.
+  const std::vector<Index>& shape() const { return approx_.shape; }
+
+  // Timing of the most recent Initialize/Append call.
+  const TuckerStats& last_stats() const { return last_stats_; }
+
+ private:
+  // Recomputes A1/A2 from the incremental Grams, trailing factors from the
+  // projected tensor, then runs `sweeps` warm HOOI sweeps.
+  void Refit(int sweeps);
+
+  // Adds the Gram contributions of slices [first, end) to gram1_/gram2_.
+  void AccumulateGrams(Index first);
+
+  OnlineDTuckerOptions options_;
+  SliceApproximation approx_;
+  Matrix gram1_;  // sum_l (U<l>S<l>)(U<l>S<l>)^T, I1 x I1.
+  Matrix gram2_;  // sum_l (V<l>S<l>)(V<l>S<l>)^T, I2 x I2.
+  TuckerDecomposition dec_;
+  TuckerStats last_stats_;
+  bool initialized_ = false;
+};
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_DTUCKER_ONLINE_DTUCKER_H_

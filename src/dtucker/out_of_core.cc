@@ -1,0 +1,89 @@
+#include "dtucker/out_of_core.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+#include "data/tensor_file.h"
+#include "rsvd/rsvd.h"
+
+namespace dtucker {
+
+Result<SliceApproximation> ApproximateSlicesFromFile(
+    const std::string& path, const SliceApproximationOptions& options) {
+  DT_ASSIGN_OR_RETURN(TensorFileReader reader, TensorFileReader::Open(path));
+  if (reader.order() < 3) {
+    return Status::InvalidArgument(
+        "out-of-core approximation requires an order >= 3 tensor");
+  }
+  const Index min_dim = std::min(reader.dim(0), reader.dim(1));
+  if (options.slice_rank <= 0 || options.slice_rank > min_dim) {
+    return Status::InvalidArgument("slice_rank must be in [1, min(I1, I2)]");
+  }
+
+  RsvdOptions base;
+  base.rank = options.slice_rank;
+  base.oversampling = options.oversampling;
+  base.power_iterations = options.power_iterations;
+
+  SliceApproximation approx;
+  approx.shape = reader.shape();
+  approx.slice_rank = options.slice_rank;
+  approx.slices.reserve(static_cast<std::size_t>(reader.NumFrontalSlices()));
+
+  Matrix slice(reader.dim(0), reader.dim(1));  // Reused buffer.
+  for (Index l = 0; l < reader.NumFrontalSlices(); ++l) {
+    DT_RETURN_NOT_OK(reader.ReadFrontalSlices(l, 1, slice.data()));
+    RsvdOptions rsvd = base;
+    // Same per-slice seed schedule as the in-memory path, so results are
+    // bit-identical.
+    rsvd.seed = options.seed + static_cast<uint64_t>(l) * 0x9E3779B9ULL;
+    SvdResult svd;
+    if (options.method == SliceSvdMethod::kRandomized) {
+      svd = RandomizedSvd(slice, rsvd);
+    } else {
+      svd = ThinSvd(slice);
+      svd.Truncate(options.slice_rank);
+    }
+    if (options.adaptive_tolerance > 0.0) {
+      const double total = slice.SquaredNorm();
+      double kept = 0.0;
+      Index rank = static_cast<Index>(svd.s.size());
+      for (std::size_t j = 0; j < svd.s.size(); ++j) {
+        kept += svd.s[j] * svd.s[j];
+        if (total <= 0.0 ||
+            (total - kept) <= options.adaptive_tolerance * total) {
+          rank = static_cast<Index>(j + 1);
+          break;
+        }
+      }
+      svd.Truncate(std::max<Index>(1, rank));
+    }
+    approx.slices.push_back(
+        SliceSvd{std::move(svd.u), std::move(svd.s), std::move(svd.v)});
+  }
+  return approx;
+}
+
+Result<TuckerDecomposition> DTuckerFromFile(const std::string& path,
+                                            const DTuckerOptions& options,
+                                            TuckerStats* stats) {
+  // Peek the header to clamp the slice rank against the actual slice dims.
+  Index min_dim;
+  {
+    DT_ASSIGN_OR_RETURN(TensorFileReader reader, TensorFileReader::Open(path));
+    min_dim = std::min(reader.dim(0), reader.dim(1));
+  }
+  SliceApproximationOptions approx_opts;
+  approx_opts.oversampling = options.oversampling;
+  approx_opts.power_iterations = options.power_iterations;
+  approx_opts.seed = options.seed;
+  approx_opts.slice_rank = std::min(options.EffectiveSliceRank(), min_dim);
+
+  Timer timer;
+  DT_ASSIGN_OR_RETURN(SliceApproximation approx,
+                      ApproximateSlicesFromFile(path, approx_opts));
+  if (stats != nullptr) stats->preprocess_seconds = timer.Seconds();
+  return DTuckerFromApproximation(approx, options, stats);
+}
+
+}  // namespace dtucker

@@ -1,0 +1,35 @@
+// Out-of-core D-Tucker: compress tensors larger than RAM.
+//
+// The approximation phase only ever needs one frontal slice at a time, so
+// a DTNSR001 file can be compressed while holding O(I1 * I2) doubles plus
+// the (small) growing slice factors — the strongest form of the paper's
+// memory-efficiency claim. The resulting SliceApproximation is identical
+// (bit-for-bit, same seeds) to what the in-memory path produces, and the
+// query phase proceeds as usual.
+#ifndef DTUCKER_DTUCKER_OUT_OF_CORE_H_
+#define DTUCKER_DTUCKER_OUT_OF_CORE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "dtucker/dtucker.h"
+#include "dtucker/slice_approximation.h"
+
+namespace dtucker {
+
+// Streams the tensor in `path` (DTNSR001, order >= 3) slice by slice and
+// compresses it. Peak resident tensor data: one slice (times num_threads
+// when threaded).
+Result<SliceApproximation> ApproximateSlicesFromFile(
+    const std::string& path, const SliceApproximationOptions& options);
+
+// Full out-of-core D-Tucker: stream-compress, then run the initialization
+// and iteration phases on the compressed form. The raw tensor never
+// resides in memory.
+Result<TuckerDecomposition> DTuckerFromFile(const std::string& path,
+                                            const DTuckerOptions& options,
+                                            TuckerStats* stats = nullptr);
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_DTUCKER_OUT_OF_CORE_H_

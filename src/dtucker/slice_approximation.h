@@ -1,0 +1,101 @@
+// Approximation phase of D-Tucker: per-slice randomized SVD compression.
+//
+// An N-order tensor X (I1 x I2 x I3 x ... x IN) is viewed as
+// L = I3*...*IN frontal slice matrices X<l> (I1 x I2). Each slice is
+// compressed to a rank-Js factorization X<l> ~= U<l> diag(s<l>) V<l>^T.
+// This single pass over the raw tensor is all D-Tucker ever reads of it:
+// the initialization and iteration phases work purely on the
+// (I1 + I2 + 1) * Js * L numbers stored here.
+#ifndef DTUCKER_DTUCKER_SLICE_APPROXIMATION_H_
+#define DTUCKER_DTUCKER_SLICE_APPROXIMATION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "rsvd/rsvd.h"
+#include "tensor/tensor.h"
+
+namespace dtucker {
+
+// Rank-Js SVD factors of one frontal slice.
+struct SliceSvd {
+  Matrix u;               // I1 x Js.
+  std::vector<double> s;  // Js singular values, descending.
+  Matrix v;               // I2 x Js.
+
+  // U diag(s): the "scaled left factor" (I1 x Js).
+  Matrix UTimesS() const;
+  // V diag(s) (I2 x Js).
+  Matrix VTimesS() const;
+  // U diag(s) V^T (I1 x I2).
+  Matrix Reconstruct() const;
+};
+
+enum class SliceSvdMethod {
+  kRandomized,  // Halko-style rSVD (the paper's choice; one pass-ish).
+  kExact,       // Full thin SVD then truncate (ablation reference).
+};
+
+struct SliceApproximationOptions {
+  Index slice_rank = 10;     // Js (the maximum rank when adaptive).
+  Index oversampling = 5;    // rSVD oversampling p.
+  int power_iterations = 1;  // rSVD power iterations q.
+  uint64_t seed = 42;
+  SliceSvdMethod method = SliceSvdMethod::kRandomized;
+  // When > 0, each slice keeps only as many components as needed to push
+  // its relative squared truncation error below this value (capped at
+  // slice_rank, floor 1). Smooth scenes store fewer numbers than busy
+  // ones; every consumer of SliceApproximation handles per-slice ranks.
+  double adaptive_tolerance = 0.0;
+  // Worker threads for the per-slice SVDs. Slices are independent and each
+  // draws from its own seeded stream, so the result is bit-identical to
+  // the single-threaded run. Default 1 matches the paper's protocol.
+  int num_threads = 1;
+};
+
+// The compressed tensor: shape metadata plus one SliceSvd per slice.
+struct SliceApproximation {
+  std::vector<Index> shape;  // Original tensor shape (order >= 3).
+  Index slice_rank = 0;
+  std::vector<SliceSvd> slices;  // L entries, mode-3-fastest order.
+
+  Index NumSlices() const { return static_cast<Index>(slices.size()); }
+  Index Dim(Index mode) const {
+    return shape[static_cast<std::size_t>(mode)];
+  }
+  // Trailing shape (I3, ..., IN) — the slice grid.
+  std::vector<Index> TrailingShape() const;
+
+  // Logical bytes of the stored factors (the method's preprocessing
+  // footprint reported by experiment E3).
+  std::size_t ByteSize() const;
+
+  // Dense reconstruction of the approximated tensor (tests / error
+  // measurement on small problems).
+  Tensor ReconstructDense() const;
+
+  // Relative squared error of the slice approximation against `x`.
+  double RelativeErrorAgainst(const Tensor& x) const;
+
+  // Structural consistency: slice count matches the trailing shape, every
+  // slice's factor shapes agree with (I1, I2) and each other. Returned by
+  // the query-phase entry points before touching the data.
+  Status Validate() const;
+};
+
+// Runs the approximation phase. Requires order >= 3 and
+// slice_rank <= min(I1, I2).
+Result<SliceApproximation> ApproximateSlices(
+    const Tensor& x, const SliceApproximationOptions& options);
+
+// Compresses only slices [first, first+count) of `x` — the building block
+// for the online variant, which appends new slices without recompressing
+// old ones.
+Result<std::vector<SliceSvd>> ApproximateSliceRange(
+    const Tensor& x, Index first, Index count,
+    const SliceApproximationOptions& options);
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_DTUCKER_SLICE_APPROXIMATION_H_

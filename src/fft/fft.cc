@@ -1,0 +1,123 @@
+#include "fft/fft.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dtucker {
+
+namespace {
+
+bool IsPowerOfTwo(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+std::size_t NextPowerOfTwo(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// Iterative radix-2 Cooley-Tukey; n must be a power of two.
+// `sign` is -1 for forward, +1 for inverse (no normalization here).
+void Radix2(std::vector<Complex>* data, int sign) {
+  auto& x = *data;
+  const std::size_t n = x.size();
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = sign * 2.0 * M_PI / static_cast<double>(len);
+    const Complex wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        Complex u = x[i + k];
+        Complex v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+// Bluestein chirp-z transform for arbitrary n, built on a power-of-two
+// radix-2 convolution. `sign` as in Radix2.
+void Bluestein(std::vector<Complex>* data, int sign) {
+  auto& x = *data;
+  const std::size_t n = x.size();
+  const std::size_t m = NextPowerOfTwo(2 * n - 1);
+
+  // Chirp: w[j] = exp(sign * pi * i * j^2 / n). Index j^2 mod 2n keeps the
+  // argument bounded for large n.
+  std::vector<Complex> chirp(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t j2 = (j * j) % (2 * n);
+    const double ang = sign * M_PI * static_cast<double>(j2) /
+                       static_cast<double>(n);
+    chirp[j] = Complex(std::cos(ang), std::sin(ang));
+  }
+
+  std::vector<Complex> a(m, Complex(0, 0));
+  std::vector<Complex> b(m, Complex(0, 0));
+  for (std::size_t j = 0; j < n; ++j) a[j] = x[j] * chirp[j];
+  b[0] = std::conj(chirp[0]);
+  for (std::size_t j = 1; j < n; ++j) {
+    b[j] = b[m - j] = std::conj(chirp[j]);
+  }
+
+  Radix2(&a, -1);
+  Radix2(&b, -1);
+  for (std::size_t j = 0; j < m; ++j) a[j] *= b[j];
+  Radix2(&a, +1);
+  const double inv_m = 1.0 / static_cast<double>(m);
+  for (std::size_t j = 0; j < n; ++j) x[j] = a[j] * inv_m * chirp[j];
+}
+
+void Transform(std::vector<Complex>* x, int sign) {
+  const std::size_t n = x->size();
+  if (n <= 1) return;
+  if (IsPowerOfTwo(n)) {
+    Radix2(x, sign);
+  } else {
+    Bluestein(x, sign);
+  }
+}
+
+}  // namespace
+
+void Fft(std::vector<Complex>* x) { Transform(x, -1); }
+
+void InverseFft(std::vector<Complex>* x) {
+  Transform(x, +1);
+  const double inv = 1.0 / static_cast<double>(x->size());
+  for (auto& v : *x) v *= inv;
+}
+
+std::vector<Complex> RealFftSpectrum(const std::vector<double>& x) {
+  std::vector<Complex> c(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) c[i] = Complex(x[i], 0.0);
+  Fft(&c);
+  return c;
+}
+
+std::vector<double> SpectrumToReal(std::vector<Complex> spectrum) {
+  InverseFft(&spectrum);
+  std::vector<double> out(spectrum.size());
+  for (std::size_t i = 0; i < spectrum.size(); ++i) out[i] = spectrum[i].real();
+  return out;
+}
+
+std::vector<double> CircularConvolve(const std::vector<double>& a,
+                                     const std::vector<double>& b) {
+  DT_CHECK_EQ(a.size(), b.size()) << "convolution length mismatch";
+  std::vector<Complex> fa = RealFftSpectrum(a);
+  std::vector<Complex> fb = RealFftSpectrum(b);
+  for (std::size_t i = 0; i < fa.size(); ++i) fa[i] *= fb[i];
+  return SpectrumToReal(std::move(fa));
+}
+
+}  // namespace dtucker

@@ -1,0 +1,39 @@
+// Complex FFT with arbitrary-length support.
+//
+// Power-of-two lengths use an iterative radix-2 Cooley-Tukey transform;
+// other lengths fall back to Bluestein's chirp-z algorithm (which reduces
+// to a power-of-two convolution). This exists to support TensorSketch
+// (src/sketch/), where the sketch dimension is a user parameter and the
+// core operation is circular convolution of CountSketch vectors.
+#ifndef DTUCKER_FFT_FFT_H_
+#define DTUCKER_FFT_FFT_H_
+
+#include <complex>
+#include <vector>
+
+namespace dtucker {
+
+using Complex = std::complex<double>;
+
+// In-place forward DFT: x[k] = sum_j x[j] exp(-2*pi*i*j*k/n).
+void Fft(std::vector<Complex>* x);
+
+// In-place inverse DFT (includes the 1/n normalization).
+void InverseFft(std::vector<Complex>* x);
+
+// Circular convolution of two real vectors of equal length n:
+// out[k] = sum_j a[j] * b[(k - j) mod n]. Computed via FFT in O(n log n).
+std::vector<double> CircularConvolve(const std::vector<double>& a,
+                                     const std::vector<double>& b);
+
+// Elementwise product in the frequency domain for repeated convolutions:
+// forward-transforms a real vector into a complex spectrum.
+std::vector<Complex> RealFftSpectrum(const std::vector<double>& x);
+
+// Inverse of RealFftSpectrum composed with elementwise products: transforms
+// a spectrum back and keeps the real part.
+std::vector<double> SpectrumToReal(std::vector<Complex> spectrum);
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_FFT_FFT_H_

@@ -1,0 +1,231 @@
+#include "linalg/blas.h"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+namespace dtucker {
+
+namespace {
+
+// Cache block sizes: an MC x KC panel of A (256*256*8 = 512 KiB) targets L2;
+// the j-loop streams columns of B and C through L1.
+constexpr Index kBlockM = 256;
+constexpr Index kBlockK = 256;
+
+// C(mb x n) += A(mb x kb) * B(kb x n), all column-major, no transposes.
+// Inner kernel: jki ordering with 4-way k unrolling; each C column is
+// updated as a sum of scaled A columns (axpy form), which streams
+// contiguous memory for column-major data.
+void GemmBlockNN(Index mb, Index n, Index kb, double alpha, const double* a,
+                 Index lda, const double* b, Index ldb, double* c, Index ldc) {
+  for (Index j = 0; j < n; ++j) {
+    double* cj = c + j * ldc;
+    const double* bj = b + j * ldb;
+    Index l = 0;
+    for (; l + 4 <= kb; l += 4) {
+      const double b0 = alpha * bj[l + 0];
+      const double b1 = alpha * bj[l + 1];
+      const double b2 = alpha * bj[l + 2];
+      const double b3 = alpha * bj[l + 3];
+      const double* a0 = a + (l + 0) * lda;
+      const double* a1 = a + (l + 1) * lda;
+      const double* a2 = a + (l + 2) * lda;
+      const double* a3 = a + (l + 3) * lda;
+      for (Index i = 0; i < mb; ++i) {
+        cj[i] += b0 * a0[i] + b1 * a1[i] + b2 * a2[i] + b3 * a3[i];
+      }
+    }
+    for (; l < kb; ++l) {
+      const double bl = alpha * bj[l];
+      const double* al = a + l * lda;
+      for (Index i = 0; i < mb; ++i) cj[i] += bl * al[i];
+    }
+  }
+}
+
+// Copies op(X) (shape rows x cols after the op) into a fresh col-major
+// buffer with leading dimension = rows.
+std::vector<double> MaterializeOp(Trans trans, Index rows, Index cols,
+                                  const double* x, Index ldx) {
+  std::vector<double> out(static_cast<std::size_t>(rows * cols));
+  if (trans == Trans::kNo) {
+    for (Index j = 0; j < cols; ++j) {
+      std::memcpy(out.data() + j * rows, x + j * ldx,
+                  static_cast<std::size_t>(rows) * sizeof(double));
+    }
+  } else {
+    // out(i, j) = x(j, i).
+    for (Index j = 0; j < cols; ++j) {
+      double* dst = out.data() + j * rows;
+      for (Index i = 0; i < rows; ++i) dst[i] = x[j + i * ldx];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void GemmRaw(Trans trans_a, Trans trans_b, Index m, Index n, Index k,
+             double alpha, const double* a, Index lda, const double* b,
+             Index ldb, double beta, double* c, Index ldc) {
+  // Scale C by beta first.
+  if (beta == 0.0) {
+    for (Index j = 0; j < n; ++j) {
+      std::memset(c + j * ldc, 0, static_cast<std::size_t>(m) * sizeof(double));
+    }
+  } else if (beta != 1.0) {
+    for (Index j = 0; j < n; ++j) Scal(beta, c + j * ldc, m);
+  }
+  if (m == 0 || n == 0 || k == 0 || alpha == 0.0) return;
+
+  // Normalize transposed operands into temporary col-major buffers. The
+  // O(size) copy is negligible next to the O(m*n*k) multiply, and lets the
+  // blocked kernel assume the NN layout.
+  std::vector<double> a_copy, b_copy;
+  const double* a_nn = a;
+  Index lda_nn = lda;
+  if (trans_a == Trans::kYes) {
+    a_copy = MaterializeOp(Trans::kYes, m, k, a, lda);
+    a_nn = a_copy.data();
+    lda_nn = m;
+  }
+  const double* b_nn = b;
+  Index ldb_nn = ldb;
+  if (trans_b == Trans::kYes) {
+    b_copy = MaterializeOp(Trans::kYes, k, n, b, ldb);
+    b_nn = b_copy.data();
+    ldb_nn = k;
+  }
+
+  for (Index l0 = 0; l0 < k; l0 += kBlockK) {
+    const Index kb = std::min(kBlockK, k - l0);
+    for (Index i0 = 0; i0 < m; i0 += kBlockM) {
+      const Index mb = std::min(kBlockM, m - i0);
+      GemmBlockNN(mb, n, kb, alpha, a_nn + i0 + l0 * lda_nn, lda_nn,
+                  b_nn + l0, ldb_nn, c + i0, ldc);
+    }
+  }
+}
+
+void GemvRaw(Trans trans_a, Index m, Index n, double alpha, const double* a,
+             Index lda, const double* x, double beta, double* y) {
+  if (trans_a == Trans::kNo) {
+    // y(m) = alpha * A(m x n) * x(n) + beta * y.
+    if (beta == 0.0) {
+      std::memset(y, 0, static_cast<std::size_t>(m) * sizeof(double));
+    } else if (beta != 1.0) {
+      Scal(beta, y, m);
+    }
+    for (Index j = 0; j < n; ++j) Axpy(alpha * x[j], a + j * lda, y, m);
+  } else {
+    // y(n) = alpha * A^T * x(m) + beta * y.
+    for (Index j = 0; j < n; ++j) {
+      double s = Dot(a + j * lda, x, m);
+      y[j] = alpha * s + (beta == 0.0 ? 0.0 : beta * y[j]);
+    }
+  }
+}
+
+double Dot(const double* x, const double* y, Index n) {
+  double s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  Index i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += x[i] * y[i];
+    s1 += x[i + 1] * y[i + 1];
+    s2 += x[i + 2] * y[i + 2];
+    s3 += x[i + 3] * y[i + 3];
+  }
+  for (; i < n; ++i) s0 += x[i] * y[i];
+  return (s0 + s1) + (s2 + s3);
+}
+
+void Axpy(double alpha, const double* x, double* y, Index n) {
+  for (Index i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void Scal(double alpha, double* x, Index n) {
+  for (Index i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+double Nrm2(const double* x, Index n) {
+  // Scaled accumulation to avoid overflow/underflow for extreme values.
+  double scale = 0.0, ssq = 1.0;
+  for (Index i = 0; i < n; ++i) {
+    if (x[i] != 0.0) {
+      double ax = std::fabs(x[i]);
+      if (scale < ax) {
+        ssq = 1.0 + ssq * (scale / ax) * (scale / ax);
+        scale = ax;
+      } else {
+        ssq += (ax / scale) * (ax / scale);
+      }
+    }
+  }
+  return scale * std::sqrt(ssq);
+}
+
+void Gemm(Trans trans_a, Trans trans_b, double alpha, const Matrix& a,
+          const Matrix& b, double beta, Matrix* c) {
+  const Index m = trans_a == Trans::kNo ? a.rows() : a.cols();
+  const Index ka = trans_a == Trans::kNo ? a.cols() : a.rows();
+  const Index kb = trans_b == Trans::kNo ? b.rows() : b.cols();
+  const Index n = trans_b == Trans::kNo ? b.cols() : b.rows();
+  DT_CHECK_EQ(ka, kb) << "GEMM inner dimension mismatch";
+  DT_CHECK(c->rows() == m && c->cols() == n) << "GEMM output shape mismatch";
+  GemmRaw(trans_a, trans_b, m, n, ka, alpha, a.data(), a.rows(), b.data(),
+          b.rows(), beta, c->data(), c->rows());
+}
+
+Matrix Multiply(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  Gemm(Trans::kNo, Trans::kNo, 1.0, a, b, 0.0, &c);
+  return c;
+}
+
+Matrix MultiplyTN(const Matrix& a, const Matrix& b) {
+  Matrix c(a.cols(), b.cols());
+  Gemm(Trans::kYes, Trans::kNo, 1.0, a, b, 0.0, &c);
+  return c;
+}
+
+Matrix MultiplyNT(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.rows());
+  Gemm(Trans::kNo, Trans::kYes, 1.0, a, b, 0.0, &c);
+  return c;
+}
+
+Matrix MultiplyTT(const Matrix& a, const Matrix& b) {
+  Matrix c(a.cols(), b.rows());
+  Gemm(Trans::kYes, Trans::kYes, 1.0, a, b, 0.0, &c);
+  return c;
+}
+
+Matrix Gram(const Matrix& a) {
+  const Index n = a.cols();
+  Matrix g(n, n);
+  if (n <= 32) {
+    // Small cases: direct dot products beat the blocked kernel's setup.
+    for (Index j = 0; j < n; ++j) {
+      for (Index i = 0; i <= j; ++i) {
+        double s = Dot(a.col_data(i), a.col_data(j), a.rows());
+        g(i, j) = s;
+        g(j, i) = s;
+      }
+    }
+    return g;
+  }
+  GemmRaw(Trans::kYes, Trans::kNo, n, n, a.rows(), 1.0, a.data(), a.rows(),
+          a.data(), a.rows(), 0.0, g.data(), n);
+  // Enforce exact symmetry (the blocked kernel's rounding is orderless).
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i < j; ++i) {
+      const double s = 0.5 * (g(i, j) + g(j, i));
+      g(i, j) = s;
+      g(j, i) = s;
+    }
+  }
+  return g;
+}
+
+}  // namespace dtucker

@@ -1,0 +1,46 @@
+// Hand-written BLAS-style kernels (no external BLAS is available).
+//
+// The raw-pointer routines operate on column-major data with explicit
+// leading dimensions; the Matrix overloads are the interface the rest of
+// the library uses. GemmRaw is cache-blocked; everything else is simple
+// loops that the compiler vectorizes under -O3 -march=native.
+#ifndef DTUCKER_LINALG_BLAS_H_
+#define DTUCKER_LINALG_BLAS_H_
+
+#include "linalg/matrix.h"
+
+namespace dtucker {
+
+enum class Trans { kNo, kYes };
+
+// C = alpha * op(A) * op(B) + beta * C, column-major, op per `trans`.
+// Shapes: op(A) is m x k, op(B) is k x n, C is m x n.
+void GemmRaw(Trans trans_a, Trans trans_b, Index m, Index n, Index k,
+             double alpha, const double* a, Index lda, const double* b,
+             Index ldb, double beta, double* c, Index ldc);
+
+// y = alpha * op(A) * x + beta * y.
+void GemvRaw(Trans trans_a, Index m, Index n, double alpha, const double* a,
+             Index lda, const double* x, double beta, double* y);
+
+double Dot(const double* x, const double* y, Index n);
+void Axpy(double alpha, const double* x, double* y, Index n);
+void Scal(double alpha, double* x, Index n);
+double Nrm2(const double* x, Index n);
+
+// Matrix-level conveniences. All return newly allocated results.
+Matrix Multiply(const Matrix& a, const Matrix& b);    // A * B
+Matrix MultiplyTN(const Matrix& a, const Matrix& b);  // A^T * B
+Matrix MultiplyNT(const Matrix& a, const Matrix& b);  // A * B^T
+Matrix MultiplyTT(const Matrix& a, const Matrix& b);  // A^T * B^T
+
+// General form: C = alpha * op(A) * op(B) + beta * C (C must be presized).
+void Gemm(Trans trans_a, Trans trans_b, double alpha, const Matrix& a,
+          const Matrix& b, double beta, Matrix* c);
+
+// Gram matrix A^T A (symmetric, computed directly).
+Matrix Gram(const Matrix& a);
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_LINALG_BLAS_H_

@@ -1,0 +1,47 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+#include "linalg/blas.h"
+#include "linalg/qr.h"
+
+namespace dtucker {
+
+Result<Matrix> Cholesky(const Matrix& a) {
+  const Index n = a.rows();
+  if (n != a.cols()) {
+    return Status::InvalidArgument("Cholesky requires a square matrix");
+  }
+  // Right-looking algorithm: after pivot k, subtract the rank-1 update
+  // from the trailing columns with contiguous axpys (cache-friendly for
+  // column-major storage, ~n^3/3 vectorized flops).
+  Matrix l = a;
+  for (Index k = 0; k < n; ++k) {
+    const double d = l(k, k);
+    if (d <= 0.0 || !std::isfinite(d)) {
+      return Status::NumericalError("matrix is not positive definite");
+    }
+    const double s = std::sqrt(d);
+    l(k, k) = s;
+    double* colk = l.col_data(k);
+    Scal(1.0 / s, colk + k + 1, n - k - 1);
+    for (Index j = k + 1; j < n; ++j) {
+      Axpy(-colk[j], colk + j, l.col_data(j) + j, n - j);
+    }
+  }
+  // Zero the (stale) strict upper triangle.
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i < j; ++i) l(i, j) = 0.0;
+  }
+  return l;
+}
+
+Result<Matrix> SolveSpd(const Matrix& a, const Matrix& b) {
+  DT_ASSIGN_OR_RETURN(Matrix l, Cholesky(a));
+  Matrix y = SolveLowerTriangular(l, b);
+  // L^T x = y.
+  Matrix lt = l.Transposed();
+  return SolveUpperTriangular(lt, y);
+}
+
+}  // namespace dtucker

@@ -1,0 +1,19 @@
+// Cholesky factorization and SPD solves.
+#ifndef DTUCKER_LINALG_CHOLESKY_H_
+#define DTUCKER_LINALG_CHOLESKY_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace dtucker {
+
+// Computes the lower-triangular L with A = L L^T for symmetric positive
+// definite A. Returns NumericalError if A is not (numerically) SPD.
+Result<Matrix> Cholesky(const Matrix& a);
+
+// Solves A X = B for SPD A via Cholesky.
+Result<Matrix> SolveSpd(const Matrix& a, const Matrix& b);
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_LINALG_CHOLESKY_H_

@@ -1,0 +1,33 @@
+// Symmetric eigendecomposition via the classical Jacobi method.
+//
+// Used for Gram-matrix based factor updates and as an independent check of
+// the SVD (eig(A^T A) = singular values squared).
+#ifndef DTUCKER_LINALG_EIGEN_SYM_H_
+#define DTUCKER_LINALG_EIGEN_SYM_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace dtucker {
+
+struct EigenSymResult {
+  std::vector<double> values;  // Descending.
+  Matrix vectors;              // Column k is the eigenvector of values[k].
+};
+
+// Requires a symmetric square matrix (symmetry is assumed, the strictly
+// upper triangle is read).
+EigenSymResult EigenSym(const Matrix& a);
+
+// Top-k eigenvectors of a symmetric PSD matrix (descending eigenvalues).
+// Small problems use the full Jacobi solver; large ones use randomized
+// subspace iteration with Rayleigh-Ritz extraction, which is the O(n^2 k)
+// workhorse behind every factor update in this library (ALS and D-Tucker
+// both extract leading singular vectors from n x n Gram matrices).
+// Deterministic: the start basis is seeded from (n, k).
+Matrix TopEigenvectorsSym(const Matrix& a, Index k);
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_LINALG_EIGEN_SYM_H_

@@ -1,0 +1,189 @@
+#include "linalg/eigen_tridiag.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/blas.h"
+
+namespace dtucker {
+
+namespace {
+
+// Householder reduction of a symmetric matrix to tridiagonal form,
+// accumulating the orthogonal transform in `z` (tred2, adapted from the
+// classical EISPACK/NR formulation). On return d holds the diagonal,
+// e[1..n-1] the subdiagonal (e[0] = 0), and z the accumulated transform.
+void Tridiagonalize(Matrix* z, std::vector<double>* d,
+                    std::vector<double>* e) {
+  const Index n = z->rows();
+  d->assign(static_cast<std::size_t>(n), 0.0);
+  e->assign(static_cast<std::size_t>(n), 0.0);
+  auto& a = *z;
+
+  for (Index i = n - 1; i >= 1; --i) {
+    const Index l = i - 1;
+    double h = 0.0, scale = 0.0;
+    if (l > 0) {
+      for (Index k = 0; k <= l; ++k) scale += std::fabs(a(i, k));
+      if (scale == 0.0) {
+        (*e)[static_cast<std::size_t>(i)] = a(i, l);
+      } else {
+        for (Index k = 0; k <= l; ++k) {
+          a(i, k) /= scale;
+          h += a(i, k) * a(i, k);
+        }
+        double f = a(i, l);
+        double g = f >= 0.0 ? -std::sqrt(h) : std::sqrt(h);
+        (*e)[static_cast<std::size_t>(i)] = scale * g;
+        h -= f * g;
+        a(i, l) = f - g;
+        f = 0.0;
+        for (Index j = 0; j <= l; ++j) {
+          a(j, i) = a(i, j) / h;
+          g = 0.0;
+          for (Index k = 0; k <= j; ++k) g += a(j, k) * a(i, k);
+          for (Index k = j + 1; k <= l; ++k) g += a(k, j) * a(i, k);
+          (*e)[static_cast<std::size_t>(j)] = g / h;
+          f += (*e)[static_cast<std::size_t>(j)] * a(i, j);
+        }
+        const double hh = f / (h + h);
+        for (Index j = 0; j <= l; ++j) {
+          f = a(i, j);
+          g = (*e)[static_cast<std::size_t>(j)] - hh * f;
+          (*e)[static_cast<std::size_t>(j)] = g;
+          for (Index k = 0; k <= j; ++k) {
+            a(j, k) -= f * (*e)[static_cast<std::size_t>(k)] + g * a(i, k);
+          }
+        }
+      }
+    } else {
+      (*e)[static_cast<std::size_t>(i)] = a(i, l);
+    }
+    (*d)[static_cast<std::size_t>(i)] = h;
+  }
+  (*d)[0] = 0.0;
+  (*e)[0] = 0.0;
+  // Accumulate the transformation.
+  for (Index i = 0; i < n; ++i) {
+    const Index l = i - 1;
+    if ((*d)[static_cast<std::size_t>(i)] != 0.0) {
+      for (Index j = 0; j <= l; ++j) {
+        double g = 0.0;
+        for (Index k = 0; k <= l; ++k) g += a(i, k) * a(k, j);
+        for (Index k = 0; k <= l; ++k) a(k, j) -= g * a(k, i);
+      }
+    }
+    (*d)[static_cast<std::size_t>(i)] = a(i, i);
+    a(i, i) = 1.0;
+    for (Index j = 0; j <= l; ++j) {
+      a(j, i) = 0.0;
+      a(i, j) = 0.0;
+    }
+  }
+}
+
+// Implicit-shift QL iteration on the tridiagonal (d, e), rotating the
+// eigenvector matrix z along. Returns false if an eigenvalue fails to
+// converge within the sweep budget.
+bool QlImplicit(std::vector<double>& d, std::vector<double>& e, Matrix* z) {
+  const Index n = static_cast<Index>(d.size());
+  // Shift e down for the classical indexing e[0..n-2] used below.
+  for (Index i = 1; i < n; ++i) e[static_cast<std::size_t>(i - 1)] =
+      e[static_cast<std::size_t>(i)];
+  e[static_cast<std::size_t>(n - 1)] = 0.0;
+
+  for (Index l = 0; l < n; ++l) {
+    int iterations = 0;
+    Index m;
+    do {
+      for (m = l; m < n - 1; ++m) {
+        const double dd = std::fabs(d[static_cast<std::size_t>(m)]) +
+                          std::fabs(d[static_cast<std::size_t>(m + 1)]);
+        if (std::fabs(e[static_cast<std::size_t>(m)]) <=
+            std::numeric_limits<double>::epsilon() * dd) {
+          break;
+        }
+      }
+      if (m != l) {
+        if (++iterations == 50) return false;
+        double g = (d[static_cast<std::size_t>(l + 1)] -
+                    d[static_cast<std::size_t>(l)]) /
+                   (2.0 * e[static_cast<std::size_t>(l)]);
+        double r = std::hypot(g, 1.0);
+        g = d[static_cast<std::size_t>(m)] - d[static_cast<std::size_t>(l)] +
+            e[static_cast<std::size_t>(l)] /
+                (g + std::copysign(r, g));
+        double s = 1.0, c = 1.0, p = 0.0;
+        bool underflow = false;
+        for (Index i = m - 1; i >= l; --i) {
+          double f = s * e[static_cast<std::size_t>(i)];
+          const double b = c * e[static_cast<std::size_t>(i)];
+          r = std::hypot(f, g);
+          e[static_cast<std::size_t>(i + 1)] = r;
+          if (r == 0.0) {
+            // Rotation underflow: deflate and restart this eigenvalue.
+            d[static_cast<std::size_t>(i + 1)] -= p;
+            e[static_cast<std::size_t>(m)] = 0.0;
+            underflow = true;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[static_cast<std::size_t>(i + 1)] - p;
+          r = (d[static_cast<std::size_t>(i)] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[static_cast<std::size_t>(i + 1)] = g + p;
+          g = c * r - b;
+          // Rotate eigenvectors.
+          for (Index k = 0; k < n; ++k) {
+            f = (*z)(k, i + 1);
+            (*z)(k, i + 1) = s * (*z)(k, i) + c * f;
+            (*z)(k, i) = c * (*z)(k, i) - s * f;
+          }
+          if (i == l) break;  // Avoid signed wrap below l == 0.
+        }
+        if (underflow) continue;
+        d[static_cast<std::size_t>(l)] -= p;
+        e[static_cast<std::size_t>(l)] = g;
+        e[static_cast<std::size_t>(m)] = 0.0;
+      }
+    } while (m != l);
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<EigenSymResult> EigenSymQr(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("EigenSymQr requires a square matrix");
+  }
+  const Index n = a.rows();
+  if (n == 0) return EigenSymResult{{}, Matrix(0, 0)};
+
+  Matrix z = a;
+  std::vector<double> d, e;
+  Tridiagonalize(&z, &d, &e);
+  if (!QlImplicit(d, e, &z)) {
+    return Status::NumericalError("QL iteration failed to converge");
+  }
+
+  // Sort descending.
+  std::vector<Index> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), Index{0});
+  std::sort(order.begin(), order.end(), [&](Index x, Index y) {
+    return d[static_cast<std::size_t>(x)] > d[static_cast<std::size_t>(y)];
+  });
+  EigenSymResult out;
+  out.values.resize(static_cast<std::size_t>(n));
+  out.vectors = Matrix(n, n);
+  for (Index j = 0; j < n; ++j) {
+    const Index src = order[static_cast<std::size_t>(j)];
+    out.values[static_cast<std::size_t>(j)] = d[static_cast<std::size_t>(src)];
+    std::copy(z.col_data(src), z.col_data(src) + n, out.vectors.col_data(j));
+  }
+  return out;
+}
+
+}  // namespace dtucker

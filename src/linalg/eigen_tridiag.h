@@ -1,0 +1,23 @@
+// Symmetric eigendecomposition via Householder tridiagonalization and
+// implicit-shift QL iteration — the classical O(n^3) dense route.
+//
+// Faster than the Jacobi solver in linalg/eigen_sym.h for medium and large
+// n (one reduction plus O(n^2) iteration instead of several full Jacobi
+// sweeps); Jacobi remains the high-accuracy reference the tests compare
+// against.
+#ifndef DTUCKER_LINALG_EIGEN_TRIDIAG_H_
+#define DTUCKER_LINALG_EIGEN_TRIDIAG_H_
+
+#include "common/status.h"
+#include "linalg/eigen_sym.h"
+
+namespace dtucker {
+
+// Same contract as EigenSym: descending eigenvalues, orthonormal
+// eigenvectors in columns. Returns NumericalError if the QL iteration
+// exceeds its sweep budget (pathological input).
+Result<EigenSymResult> EigenSymQr(const Matrix& a);
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_LINALG_EIGEN_TRIDIAG_H_

@@ -1,0 +1,118 @@
+#include "linalg/lanczos.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/blas.h"
+#include "linalg/eigen_sym.h"
+
+namespace dtucker {
+
+Result<LanczosResult> LanczosTopEigenpairs(const Matrix& a, Index k,
+                                           const LanczosOptions& options) {
+  const Index n = a.rows();
+  if (n != a.cols()) {
+    return Status::InvalidArgument("Lanczos requires a square matrix");
+  }
+  if (k < 1 || k > n) {
+    return Status::InvalidArgument("k out of range for Lanczos");
+  }
+
+  const Index m = options.max_subspace > 0
+                      ? std::min(options.max_subspace, n)
+                      : std::min(n, std::max<Index>(2 * k + 10, 30));
+  if (m < k) {
+    return Status::InvalidArgument("max_subspace smaller than k");
+  }
+
+  // Krylov basis Q (n x m), tridiagonal coefficients alpha/beta.
+  Matrix q(n, m);
+  std::vector<double> alpha, beta;
+  alpha.reserve(static_cast<std::size_t>(m));
+  beta.reserve(static_cast<std::size_t>(m));
+
+  Rng rng(options.seed);
+  std::vector<double> v(static_cast<std::size_t>(n));
+  rng.FillGaussian(v.data(), v.size());
+  {
+    const double nrm = Nrm2(v.data(), n);
+    for (Index i = 0; i < n; ++i) q(i, 0) = v[static_cast<std::size_t>(i)] / nrm;
+  }
+
+  LanczosResult result;
+  std::vector<double> w(static_cast<std::size_t>(n));
+  Index built = 0;
+  for (Index j = 0; j < m; ++j) {
+    // w = A q_j.
+    GemvRaw(Trans::kNo, n, n, 1.0, a.data(), n, q.col_data(j), 0.0, w.data());
+    ++result.matvecs;
+    const double aj = Dot(w.data(), q.col_data(j), n);
+    alpha.push_back(aj);
+    // w -= alpha_j q_j + beta_{j-1} q_{j-1}.
+    Axpy(-aj, q.col_data(j), w.data(), n);
+    if (j > 0) Axpy(-beta.back(), q.col_data(j - 1), w.data(), n);
+    // Full reorthogonalization against the whole basis (twice is enough).
+    for (int pass = 0; pass < 2; ++pass) {
+      for (Index i = 0; i <= j; ++i) {
+        const double c = Dot(w.data(), q.col_data(i), n);
+        Axpy(-c, q.col_data(i), w.data(), n);
+      }
+    }
+    built = j + 1;
+    const double bj = Nrm2(w.data(), n);
+    if (j + 1 == m) break;
+    if (bj < 1e-14 * std::fabs(alpha[0]) + 1e-300) {
+      // Invariant subspace found early.
+      break;
+    }
+    // Convergence test: the Ritz pair (theta_i, y_i) of the j+1 step
+    // tridiagonal has residual ||A x_i - theta_i x_i|| = beta_j * |y_i[j]|.
+    if (built >= k) {
+      Matrix t(built, built);
+      for (Index i = 0; i < built; ++i) {
+        t(i, i) = alpha[static_cast<std::size_t>(i)];
+        if (i + 1 < built) {
+          t(i, i + 1) = beta[static_cast<std::size_t>(i)];
+          t(i + 1, i) = beta[static_cast<std::size_t>(i)];
+        }
+      }
+      EigenSymResult small = EigenSym(t);
+      const double scale = std::max(std::fabs(small.values[0]), 1e-300);
+      bool all_converged = true;
+      for (Index i = 0; i < k; ++i) {
+        const double residual = bj * std::fabs(small.vectors(built - 1, i));
+        if (residual > options.tolerance * scale) {
+          all_converged = false;
+          break;
+        }
+      }
+      if (all_converged) break;
+    }
+    beta.push_back(bj);
+    double* next = q.col_data(j + 1);
+    for (Index i = 0; i < n; ++i) next[i] = w[static_cast<std::size_t>(i)] / bj;
+  }
+
+  if (built < k) {
+    return Status::NumericalError(
+        "Lanczos basis collapsed before reaching k directions");
+  }
+
+  // Ritz extraction: eigen-decompose the built x built tridiagonal.
+  Matrix t(built, built);
+  for (Index i = 0; i < built; ++i) {
+    t(i, i) = alpha[static_cast<std::size_t>(i)];
+    if (i + 1 < built) {
+      t(i, i + 1) = beta[static_cast<std::size_t>(i)];
+      t(i + 1, i) = beta[static_cast<std::size_t>(i)];
+    }
+  }
+  EigenSymResult eig = EigenSym(t);
+
+  result.values.assign(eig.values.begin(), eig.values.begin() + k);
+  result.vectors = Multiply(q.LeftCols(built), eig.vectors.LeftCols(k));
+  return result;
+}
+
+}  // namespace dtucker

@@ -1,0 +1,24 @@
+// LU factorization with partial pivoting, linear solves, and inverses.
+#ifndef DTUCKER_LINALG_LU_H_
+#define DTUCKER_LINALG_LU_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace dtucker {
+
+// Solves A X = B with partial-pivoted Gaussian elimination.
+// Returns NumericalError on (numerically) singular A.
+Result<Matrix> SolveLu(const Matrix& a, const Matrix& b);
+
+// A^{-1} via SolveLu against the identity. Prefer SolveLu when possible.
+Result<Matrix> Inverse(const Matrix& a);
+
+// Determinant via the LU factorization (small matrices).
+Result<double> Determinant(const Matrix& a);
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_LINALG_LU_H_

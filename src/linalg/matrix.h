@@ -1,0 +1,124 @@
+// Dense column-major matrix of doubles.
+//
+// This is the workhorse type of the whole library. Storage is column-major
+// (element (i,j) at data[i + j*rows]) to match the tensor layout in
+// src/tensor/ (mode-1-fastest), which makes mode-1 unfoldings and slice
+// matrices zero-copy views over tensor memory.
+#ifndef DTUCKER_LINALG_MATRIX_H_
+#define DTUCKER_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace dtucker {
+
+class Rng;
+
+using Index = std::ptrdiff_t;
+
+class Matrix {
+ public:
+  // An empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  // Uninitialized contents? No: zero-initialized (std::vector semantics).
+  Matrix(Index rows, Index cols)
+      : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows * cols)) {
+    DT_DCHECK(rows >= 0);
+    DT_DCHECK(cols >= 0);
+  }
+
+  // Row-major initializer list for small literals in tests:
+  //   Matrix m({{1, 2}, {3, 4}});
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) = default;
+  Matrix& operator=(Matrix&&) = default;
+
+  static Matrix Zero(Index rows, Index cols) { return Matrix(rows, cols); }
+  static Matrix Identity(Index n);
+  static Matrix Constant(Index rows, Index cols, double value);
+  // I.i.d. standard normal entries drawn from `rng`.
+  static Matrix GaussianRandom(Index rows, Index cols, Rng& rng);
+  // Column vector from data.
+  static Matrix ColumnVector(const std::vector<double>& values);
+  static Matrix Diagonal(const std::vector<double>& diag);
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  Index size() const { return rows_ * cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& operator()(Index i, Index j) {
+    DT_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(i + j * rows_)];
+  }
+  double operator()(Index i, Index j) const {
+    DT_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(i + j * rows_)];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  double* col_data(Index j) { return data_.data() + j * rows_; }
+  const double* col_data(Index j) const { return data_.data() + j * rows_; }
+
+  // Fills all entries with `value`.
+  void Fill(double value);
+  void SetZero() { Fill(0.0); }
+
+  // Returns the transpose as a new matrix.
+  Matrix Transposed() const;
+
+  // Sub-matrix copy: rows [r0, r0+nr), cols [c0, c0+nc).
+  Matrix Block(Index r0, Index c0, Index nr, Index nc) const;
+  // Writes `block` into this matrix at (r0, c0). Shapes must fit.
+  void SetBlock(Index r0, Index c0, const Matrix& block);
+
+  // First `k` columns / rows as a copy.
+  Matrix LeftCols(Index k) const { return Block(0, 0, rows_, k); }
+  Matrix TopRows(Index k) const { return Block(0, 0, k, cols_); }
+  Matrix Col(Index j) const { return Block(0, j, rows_, 1); }
+  Matrix Row(Index i) const { return Block(i, 0, 1, cols_); }
+
+  // Elementwise arithmetic (shapes must match).
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar);
+
+  // Frobenius norm and its square.
+  double FrobeniusNorm() const;
+  double SquaredNorm() const;
+
+  // Maximum absolute entry.
+  double MaxAbs() const;
+
+  // Human-readable rendering (small matrices; tests & debugging).
+  std::string ToString(int precision = 4) const;
+
+  // Logical payload size in bytes (for memory accounting).
+  std::size_t ByteSize() const { return data_.size() * sizeof(double); }
+
+ private:
+  Index rows_;
+  Index cols_;
+  std::vector<double> data_;
+};
+
+Matrix operator+(Matrix a, const Matrix& b);
+Matrix operator-(Matrix a, const Matrix& b);
+Matrix operator*(Matrix a, double s);
+Matrix operator*(double s, Matrix a);
+
+// True if shapes match and all entries differ by at most `tol`.
+bool AlmostEqual(const Matrix& a, const Matrix& b, double tol = 1e-10);
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_LINALG_MATRIX_H_

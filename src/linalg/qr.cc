@@ -1,0 +1,129 @@
+#include "linalg/qr.h"
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/blas.h"
+
+namespace dtucker {
+
+namespace {
+
+// In-place Householder factorization (LAPACK dgeqrf layout): on return the
+// upper triangle of `a` holds R and the columns below the diagonal hold the
+// Householder vectors; `tau[k]` holds the reflector coefficients.
+void HouseholderFactorize(Matrix* a, std::vector<double>* tau) {
+  const Index m = a->rows();
+  const Index n = a->cols();
+  const Index p = std::min(m, n);
+  tau->assign(static_cast<std::size_t>(p), 0.0);
+
+  for (Index k = 0; k < p; ++k) {
+    double* col = a->col_data(k) + k;
+    const Index len = m - k;
+    double alpha = col[0];
+    double xnorm = len > 1 ? Nrm2(col + 1, len - 1) : 0.0;
+    if (xnorm == 0.0) {
+      (*tau)[static_cast<std::size_t>(k)] = 0.0;
+      continue;
+    }
+    double beta = -std::copysign(std::hypot(alpha, xnorm), alpha);
+    double t = (beta - alpha) / beta;
+    double scale = 1.0 / (alpha - beta);
+    Scal(scale, col + 1, len - 1);
+    (*tau)[static_cast<std::size_t>(k)] = t;
+    col[0] = beta;
+
+    // Apply (I - tau v v^T) to the trailing columns; v = [1; col[1:]].
+    for (Index j = k + 1; j < n; ++j) {
+      double* cj = a->col_data(j) + k;
+      double s = cj[0] + Dot(col + 1, cj + 1, len - 1);
+      s *= t;
+      cj[0] -= s;
+      Axpy(-s, col + 1, cj + 1, len - 1);
+    }
+  }
+}
+
+// Forms the thin Q (m x p) from the factorization produced above.
+Matrix FormQ(const Matrix& fact, const std::vector<double>& tau) {
+  const Index m = fact.rows();
+  const Index p = static_cast<Index>(tau.size());
+  Matrix q(m, p);
+  for (Index j = 0; j < p; ++j) q(j, j) = 1.0;
+
+  // Apply reflectors in reverse order: Q = H_0 H_1 ... H_{p-1} * I.
+  for (Index k = p - 1; k >= 0; --k) {
+    const double t = tau[static_cast<std::size_t>(k)];
+    if (t == 0.0) continue;
+    const double* v = fact.col_data(k) + k;  // v[0] implicit 1.
+    const Index len = m - k;
+    for (Index j = k; j < p; ++j) {
+      double* cj = q.col_data(j) + k;
+      double s = cj[0] + Dot(v + 1, cj + 1, len - 1);
+      s *= t;
+      cj[0] -= s;
+      Axpy(-s, v + 1, cj + 1, len - 1);
+    }
+  }
+  return q;
+}
+
+}  // namespace
+
+QrResult ThinQr(const Matrix& a) {
+  Matrix fact = a;
+  std::vector<double> tau;
+  HouseholderFactorize(&fact, &tau);
+
+  const Index p = static_cast<Index>(tau.size());
+  Matrix r(p, a.cols());
+  for (Index j = 0; j < a.cols(); ++j) {
+    const Index top = std::min(j + 1, p);
+    for (Index i = 0; i < top; ++i) r(i, j) = fact(i, j);
+  }
+  return QrResult{FormQ(fact, tau), std::move(r)};
+}
+
+Matrix QrOrthonormalize(const Matrix& a) {
+  Matrix fact = a;
+  std::vector<double> tau;
+  HouseholderFactorize(&fact, &tau);
+  return FormQ(fact, tau);
+}
+
+Matrix SolveUpperTriangular(const Matrix& r, const Matrix& b) {
+  const Index n = r.rows();
+  DT_CHECK_EQ(n, r.cols()) << "R must be square";
+  DT_CHECK_EQ(n, b.rows()) << "rhs row mismatch";
+  Matrix x = b;
+  for (Index c = 0; c < x.cols(); ++c) {
+    double* xc = x.col_data(c);
+    for (Index i = n - 1; i >= 0; --i) {
+      double s = xc[i];
+      for (Index j = i + 1; j < n; ++j) s -= r(i, j) * xc[j];
+      DT_CHECK(r(i, i) != 0.0) << "singular triangular system";
+      xc[i] = s / r(i, i);
+    }
+  }
+  return x;
+}
+
+Matrix SolveLowerTriangular(const Matrix& l, const Matrix& b) {
+  const Index n = l.rows();
+  DT_CHECK_EQ(n, l.cols()) << "L must be square";
+  DT_CHECK_EQ(n, b.rows()) << "rhs row mismatch";
+  Matrix x = b;
+  for (Index c = 0; c < x.cols(); ++c) {
+    double* xc = x.col_data(c);
+    for (Index i = 0; i < n; ++i) {
+      double s = xc[i];
+      for (Index j = 0; j < i; ++j) s -= l(i, j) * xc[j];
+      DT_CHECK(l(i, i) != 0.0) << "singular triangular system";
+      xc[i] = s / l(i, i);
+    }
+  }
+  return x;
+}
+
+}  // namespace dtucker

@@ -1,0 +1,34 @@
+// Householder QR decomposition.
+//
+// ThinQr(A) for A (m x n) returns Q (m x min(m,n)) with orthonormal columns
+// and upper-triangular R (min(m,n) x n) such that A = Q R. This is the
+// orthogonalization primitive used by randomized range finders, HOOI, and
+// the D-Tucker iteration phase.
+#ifndef DTUCKER_LINALG_QR_H_
+#define DTUCKER_LINALG_QR_H_
+
+#include "linalg/matrix.h"
+
+namespace dtucker {
+
+struct QrResult {
+  Matrix q;  // m x min(m,n), orthonormal columns.
+  Matrix r;  // min(m,n) x n, upper triangular.
+};
+
+QrResult ThinQr(const Matrix& a);
+
+// Returns only the orthonormal factor Q (saves forming R when the caller
+// just needs an orthonormal basis of range(A)).
+Matrix QrOrthonormalize(const Matrix& a);
+
+// Solves R x = b for upper-triangular R (n x n) and b (n x k).
+// Requires all diagonal entries of R to be nonzero.
+Matrix SolveUpperTriangular(const Matrix& r, const Matrix& b);
+
+// Solves L x = b for lower-triangular L (n x n) and b (n x k).
+Matrix SolveLowerTriangular(const Matrix& l, const Matrix& b);
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_LINALG_QR_H_

@@ -1,0 +1,152 @@
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "linalg/blas.h"
+#include "linalg/qr.h"
+
+namespace dtucker {
+
+namespace {
+
+// One-sided Jacobi SVD of a square-ish matrix W (m x n, m >= n): rotates
+// pairs of columns until they are mutually orthogonal. On return,
+// W = U diag(s) and `v` accumulates the right rotations.
+void OneSidedJacobi(Matrix* w, Matrix* v) {
+  const Index n = w->cols();
+  const Index m = w->rows();
+  *v = Matrix::Identity(n);
+  const double eps = std::numeric_limits<double>::epsilon();
+  const int max_sweeps = 60;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool rotated = false;
+    for (Index p = 0; p < n - 1; ++p) {
+      for (Index q = p + 1; q < n; ++q) {
+        double* wp = w->col_data(p);
+        double* wq = w->col_data(q);
+        const double app = Dot(wp, wp, m);
+        const double aqq = Dot(wq, wq, m);
+        const double apq = Dot(wp, wq, m);
+        if (std::fabs(apq) <= eps * std::sqrt(app * aqq) || apq == 0.0) {
+          continue;
+        }
+        rotated = true;
+        // Jacobi rotation that zeroes the (p,q) entry of W^T W.
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = std::copysign(
+            1.0 / (std::fabs(tau) + std::sqrt(1.0 + tau * tau)), tau);
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (Index i = 0; i < m; ++i) {
+          const double a = wp[i], b = wq[i];
+          wp[i] = c * a - s * b;
+          wq[i] = s * a + c * b;
+        }
+        double* vp = v->col_data(p);
+        double* vq = v->col_data(q);
+        for (Index i = 0; i < n; ++i) {
+          const double a = vp[i], b = vq[i];
+          vp[i] = c * a - s * b;
+          vq[i] = s * a + c * b;
+        }
+      }
+    }
+    if (!rotated) break;
+  }
+}
+
+// Extracts (U, s) from the post-Jacobi W = U diag(s) and sorts everything
+// descending. Zero columns get an arbitrary orthonormal completion skipped:
+// their singular value is 0 and U column is left as zeros (callers truncate).
+SvdResult ExtractAndSort(Matrix w, Matrix v) {
+  const Index m = w.rows();
+  const Index n = w.cols();
+  std::vector<double> s(static_cast<std::size_t>(n));
+  for (Index j = 0; j < n; ++j) {
+    s[static_cast<std::size_t>(j)] = Nrm2(w.col_data(j), m);
+  }
+  std::vector<Index> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), Index{0});
+  std::sort(order.begin(), order.end(), [&](Index a, Index b) {
+    return s[static_cast<std::size_t>(a)] > s[static_cast<std::size_t>(b)];
+  });
+
+  SvdResult out;
+  out.u = Matrix(m, n);
+  out.v = Matrix(v.rows(), n);
+  out.s.resize(static_cast<std::size_t>(n));
+  for (Index j = 0; j < n; ++j) {
+    const Index src = order[static_cast<std::size_t>(j)];
+    const double sj = s[static_cast<std::size_t>(src)];
+    out.s[static_cast<std::size_t>(j)] = sj;
+    const double inv = sj > 0.0 ? 1.0 / sj : 0.0;
+    const double* wc = w.col_data(src);
+    double* uc = out.u.col_data(j);
+    for (Index i = 0; i < m; ++i) uc[i] = wc[i] * inv;
+    const double* vc = v.col_data(src);
+    double* ovc = out.v.col_data(j);
+    for (Index i = 0; i < v.rows(); ++i) ovc[i] = vc[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+Matrix SvdResult::Reconstruct() const {
+  Matrix us = UTimesS();
+  return MultiplyNT(us, v);
+}
+
+Matrix SvdResult::UTimesS() const {
+  Matrix us = u;
+  for (Index j = 0; j < us.cols(); ++j) {
+    Scal(s[static_cast<std::size_t>(j)], us.col_data(j), us.rows());
+  }
+  return us;
+}
+
+void SvdResult::Truncate(Index k) {
+  if (k >= static_cast<Index>(s.size())) return;
+  u = u.LeftCols(k);
+  v = v.LeftCols(k);
+  s.resize(static_cast<std::size_t>(k));
+}
+
+SvdResult ThinSvd(const Matrix& a) {
+  const Index m = a.rows();
+  const Index n = a.cols();
+  if (m == 0 || n == 0) {
+    return SvdResult{Matrix(m, 0), {}, Matrix(n, 0)};
+  }
+  if (m < n) {
+    // SVD of A^T = V S U^T, then swap factors.
+    SvdResult t = ThinSvd(a.Transposed());
+    return SvdResult{std::move(t.v), std::move(t.s), std::move(t.u)};
+  }
+  if (m > n) {
+    // QR precondition: A = Q R, SVD(R) = Ur S V^T, so U = Q Ur.
+    QrResult qr = ThinQr(a);
+    SvdResult inner = ThinSvd(qr.r);
+    return SvdResult{Multiply(qr.q, inner.u), std::move(inner.s),
+                     std::move(inner.v)};
+  }
+  // Square case: one-sided Jacobi.
+  Matrix w = a;
+  Matrix v;
+  OneSidedJacobi(&w, &v);
+  return ExtractAndSort(std::move(w), std::move(v));
+}
+
+Matrix LeadingLeftSingularVectors(const Matrix& a, Index k) {
+  DT_CHECK_LE(k, std::min(a.rows(), a.cols()))
+      << "requested more singular vectors than min(m,n)";
+  SvdResult svd = ThinSvd(a);
+  svd.Truncate(k);
+  return svd.u;
+}
+
+}  // namespace dtucker

@@ -1,0 +1,41 @@
+// Singular value decomposition.
+//
+// ThinSvd computes A = U diag(s) V^T with U (m x p), V (n x p),
+// p = min(m, n), singular values sorted in descending order. The
+// implementation is one-sided Jacobi, preconditioned with a QR
+// factorization for tall matrices (and a transpose for wide ones), which is
+// accurate to high relative precision and has no convergence pathologies —
+// the right trade-off for the small-to-medium factor computations this
+// library performs (the large-matrix path goes through rsvd/ instead).
+#ifndef DTUCKER_LINALG_SVD_H_
+#define DTUCKER_LINALG_SVD_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace dtucker {
+
+struct SvdResult {
+  Matrix u;               // m x p, orthonormal columns.
+  std::vector<double> s;  // p singular values, descending.
+  Matrix v;               // n x p, orthonormal columns.
+
+  // Reconstructs U * diag(s) * V^T.
+  Matrix Reconstruct() const;
+
+  // Truncates to the top `k` components (no-op if k >= p).
+  void Truncate(Index k);
+
+  // U * diag(s) as a matrix (the "scaled left factor" D-Tucker stores).
+  Matrix UTimesS() const;
+};
+
+SvdResult ThinSvd(const Matrix& a);
+
+// Convenience: the first k left singular vectors of A (k <= min(m,n)).
+Matrix LeadingLeftSingularVectors(const Matrix& a, Index k);
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_LINALG_SVD_H_

@@ -1,0 +1,315 @@
+#include "linalg/svd_golub_kahan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "linalg/blas.h"
+
+namespace dtucker {
+
+namespace {
+
+// Givens parameters (c, s) with  c*a + s*b = r  and  -s*a + c*b = 0.
+void GivensPair(double a, double b, double* c, double* s) {
+  if (b == 0.0) {
+    *c = 1.0;
+    *s = 0.0;
+    return;
+  }
+  const double r = std::hypot(a, b);
+  *c = a / r;
+  *s = b / r;
+}
+
+// Columns (i, j) of M: col_i' = c*col_i + s*col_j, col_j' = -s*col_i + c*col_j.
+void RotateColumns(Matrix* m, Index i, Index j, double c, double s) {
+  double* ci = m->col_data(i);
+  double* cj = m->col_data(j);
+  const Index rows = m->rows();
+  for (Index r = 0; r < rows; ++r) {
+    const double a = ci[r], b = cj[r];
+    ci[r] = c * a + s * b;
+    cj[r] = -s * a + c * b;
+  }
+}
+
+// Householder bidiagonalization of a (m x n, m >= n): A = U1 B V1^T with B
+// upper bidiagonal. On return `a` holds the reflector vectors; d/e hold the
+// bidiagonal.
+void Bidiagonalize(Matrix* a, std::vector<double>* tauq,
+                   std::vector<double>* taup, std::vector<double>* d,
+                   std::vector<double>* e) {
+  const Index m = a->rows();
+  const Index n = a->cols();
+  tauq->assign(static_cast<std::size_t>(n), 0.0);
+  taup->assign(static_cast<std::size_t>(n), 0.0);
+  d->assign(static_cast<std::size_t>(n), 0.0);
+  e->assign(static_cast<std::size_t>(n > 0 ? n - 1 : 0), 0.0);
+
+  for (Index k = 0; k < n; ++k) {
+    // Column reflector annihilating a(k+1:, k).
+    {
+      double* col = a->col_data(k) + k;
+      const Index len = m - k;
+      const double alpha = col[0];
+      const double xnorm = len > 1 ? Nrm2(col + 1, len - 1) : 0.0;
+      if (xnorm == 0.0) {
+        (*tauq)[static_cast<std::size_t>(k)] = 0.0;
+        (*d)[static_cast<std::size_t>(k)] = alpha;
+      } else {
+        const double beta = -std::copysign(std::hypot(alpha, xnorm), alpha);
+        const double tau = (beta - alpha) / beta;
+        Scal(1.0 / (alpha - beta), col + 1, len - 1);
+        (*tauq)[static_cast<std::size_t>(k)] = tau;
+        (*d)[static_cast<std::size_t>(k)] = beta;
+        col[0] = beta;
+        // Apply (I - tau v v^T) to trailing columns.
+        for (Index j = k + 1; j < n; ++j) {
+          double* cj = a->col_data(j) + k;
+          double dot = cj[0] + Dot(col + 1, cj + 1, len - 1);
+          dot *= tau;
+          cj[0] -= dot;
+          Axpy(-dot, col + 1, cj + 1, len - 1);
+        }
+        col[0] = beta;  // Keep beta on the diagonal slot.
+      }
+    }
+    if (k < n - 1) {
+      // Row reflector annihilating a(k, k+2:).
+      const Index len = n - k - 1;
+      // Gather the row segment a(k, k+1:n-1).
+      std::vector<double> row(static_cast<std::size_t>(len));
+      for (Index j = 0; j < len; ++j) row[static_cast<std::size_t>(j)] =
+          (*a)(k, k + 1 + j);
+      const double alpha = row[0];
+      const double xnorm = len > 1 ? Nrm2(row.data() + 1, len - 1) : 0.0;
+      if (xnorm == 0.0) {
+        (*taup)[static_cast<std::size_t>(k)] = 0.0;
+        (*e)[static_cast<std::size_t>(k)] = alpha;
+      } else {
+        const double beta = -std::copysign(std::hypot(alpha, xnorm), alpha);
+        const double tau = (beta - alpha) / beta;
+        const double inv = 1.0 / (alpha - beta);
+        for (Index j = 1; j < len; ++j) row[static_cast<std::size_t>(j)] *= inv;
+        row[0] = 1.0;
+        (*taup)[static_cast<std::size_t>(k)] = tau;
+        (*e)[static_cast<std::size_t>(k)] = beta;
+        // Apply (I - tau v v^T) from the right to rows k+1..m-1.
+        for (Index i = k + 1; i < m; ++i) {
+          double dot = 0;
+          for (Index j = 0; j < len; ++j) {
+            dot += (*a)(i, k + 1 + j) * row[static_cast<std::size_t>(j)];
+          }
+          dot *= tau;
+          for (Index j = 0; j < len; ++j) {
+            (*a)(i, k + 1 + j) -= dot * row[static_cast<std::size_t>(j)];
+          }
+        }
+        // Store the reflector in the row (skipping the implicit 1).
+        for (Index j = 1; j < len; ++j) {
+          (*a)(k, k + 1 + j) = row[static_cast<std::size_t>(j)];
+        }
+        (*a)(k, k + 1) = beta;
+      }
+    }
+  }
+}
+
+// Accumulates U1 (m x n) from the stored column reflectors.
+Matrix FormU(const Matrix& fact, const std::vector<double>& tauq) {
+  const Index m = fact.rows();
+  const Index n = fact.cols();
+  Matrix u(m, n);
+  for (Index j = 0; j < n; ++j) u(j, j) = 1.0;
+  for (Index k = n - 1; k >= 0; --k) {
+    const double tau = tauq[static_cast<std::size_t>(k)];
+    if (tau == 0.0) continue;
+    const double* v = fact.col_data(k) + k;  // v[0] implicit 1.
+    const Index len = m - k;
+    for (Index j = k; j < n; ++j) {
+      double* cj = u.col_data(j) + k;
+      double dot = cj[0] + Dot(v + 1, cj + 1, len - 1);
+      dot *= tau;
+      cj[0] -= dot;
+      Axpy(-dot, v + 1, cj + 1, len - 1);
+    }
+  }
+  return u;
+}
+
+// Accumulates V1 (n x n) from the stored row reflectors.
+Matrix FormV(const Matrix& fact, const std::vector<double>& taup) {
+  const Index n = fact.cols();
+  Matrix v = Matrix::Identity(n);
+  for (Index k = n - 2; k >= 0; --k) {
+    const double tau = taup[static_cast<std::size_t>(k)];
+    if (tau == 0.0) continue;
+    const Index len = n - k - 1;
+    // Reflector vector: [1, fact(k, k+2..)] over coordinates k+1..n-1.
+    std::vector<double> w(static_cast<std::size_t>(len));
+    w[0] = 1.0;
+    for (Index j = 1; j < len; ++j) {
+      w[static_cast<std::size_t>(j)] = fact(k, k + 1 + j);
+    }
+    for (Index col = 0; col < n; ++col) {
+      double* c = v.col_data(col) + (k + 1);
+      double dot = Dot(w.data(), c, len);
+      dot *= tau;
+      Axpy(-dot, w.data(), c, len);
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+Result<SvdResult> ThinSvdGolubKahan(const Matrix& a) {
+  const Index m = a.rows();
+  const Index n = a.cols();
+  if (m == 0 || n == 0) {
+    return SvdResult{Matrix(m, 0), {}, Matrix(n, 0)};
+  }
+  if (m < n) {
+    DT_ASSIGN_OR_RETURN(SvdResult t, ThinSvdGolubKahan(a.Transposed()));
+    return SvdResult{std::move(t.v), std::move(t.s), std::move(t.u)};
+  }
+
+  Matrix fact = a;
+  std::vector<double> tauq, taup, d, e;
+  Bidiagonalize(&fact, &tauq, &taup, &d, &e);
+  Matrix u = FormU(fact, tauq);
+  Matrix v = FormV(fact, taup);
+
+  // Implicit-shift QR on the bidiagonal (d, e).
+  const double eps = std::numeric_limits<double>::epsilon();
+  double norm = 0;
+  for (Index i = 0; i < n; ++i) norm = std::max(norm, std::fabs(d[i]));
+  for (Index i = 0; i + 1 < n; ++i) norm = std::max(norm, std::fabs(e[i]));
+  if (norm == 0.0) {
+    // Zero matrix: all singular values zero.
+    SvdResult out;
+    out.u = std::move(u);
+    out.v = std::move(v);
+    out.s.assign(static_cast<std::size_t>(n), 0.0);
+    return out;
+  }
+
+  const int max_total_steps = 60 * static_cast<int>(n);
+  int steps = 0;
+  Index hi = n - 1;
+  while (hi > 0) {
+    // Deflate negligible superdiagonals.
+    for (Index i = 0; i < hi; ++i) {
+      if (std::fabs(e[i]) <= eps * (std::fabs(d[i]) + std::fabs(d[i + 1]))) {
+        e[i] = 0.0;
+      }
+    }
+    if (e[hi - 1] == 0.0) {
+      --hi;
+      continue;
+    }
+    // Active block [lo, hi] with nonzero superdiagonals.
+    Index lo = hi - 1;
+    while (lo > 0 && e[lo - 1] != 0.0) --lo;
+
+    // Zero diagonal inside the block: rotate the offending row away so the
+    // block splits (Demmel-Kahan cancellation).
+    bool cancelled = false;
+    for (Index i = lo; i < hi; ++i) {
+      if (std::fabs(d[i]) <= eps * norm) {
+        // Chase e[i] rightward with left rotations against rows i, j+1.
+        double f = e[i];
+        e[i] = 0.0;
+        for (Index j = i + 1; j <= hi && f != 0.0; ++j) {
+          double c, s;
+          GivensPair(d[j], f, &c, &s);
+          const double dj = d[j];
+          d[j] = c * dj + s * f;
+          if (j < hi) {
+            f = -s * e[j];
+            e[j] = c * e[j];
+          }
+          // Left rotation acting on rows (j, i): U columns (j, i).
+          RotateColumns(&u, j, i, c, -s);
+        }
+        cancelled = true;
+        break;
+      }
+    }
+    if (cancelled) continue;
+
+    if (++steps > max_total_steps) {
+      return Status::NumericalError(
+          "Golub-Kahan QR iteration failed to converge");
+    }
+
+    // Wilkinson shift from the trailing 2x2 of B^T B.
+    const double dm = d[hi - 1], dn_ = d[hi], em = e[hi - 1];
+    const double eml = hi >= 2 && hi - 2 >= lo ? e[hi - 2] : 0.0;
+    const double t11 = dm * dm + eml * eml;
+    const double t22 = dn_ * dn_ + em * em;
+    const double t12 = dm * em;
+    const double delta = 0.5 * (t11 - t22);
+    const double denom =
+        delta + std::copysign(std::hypot(delta, t12), delta == 0 ? 1 : delta);
+    const double mu = denom != 0.0 ? t22 - (t12 * t12) / denom : t22;
+
+    double y = d[lo] * d[lo] - mu;
+    double z = d[lo] * e[lo];
+    for (Index k = lo; k < hi; ++k) {
+      double c, s;
+      // Right rotation on columns (k, k+1).
+      GivensPair(y, z, &c, &s);
+      if (k > lo) e[k - 1] = c * y + s * z;
+      const double dk = d[k], ek = e[k], dk1 = d[k + 1];
+      d[k] = c * dk + s * ek;
+      e[k] = -s * dk + c * ek;
+      double bulge = s * dk1;  // Fill-in at (k+1, k).
+      d[k + 1] = c * dk1;
+      RotateColumns(&v, k, k + 1, c, s);
+
+      // Left rotation on rows (k, k+1) to kill the bulge.
+      GivensPair(d[k], bulge, &c, &s);
+      d[k] = c * d[k] + s * bulge;
+      const double ek2 = e[k], dk2 = d[k + 1];
+      e[k] = c * ek2 + s * dk2;
+      d[k + 1] = -s * ek2 + c * dk2;
+      if (k + 1 < hi) {
+        const double ek1 = e[k + 1];
+        bulge = s * ek1;  // Fill-in at (k, k+2).
+        e[k + 1] = c * ek1;
+        y = e[k];
+        z = bulge;
+      }
+      RotateColumns(&u, k, k + 1, c, s);
+    }
+  }
+
+  // Fix signs and sort descending.
+  for (Index i = 0; i < n; ++i) {
+    if (d[i] < 0.0) {
+      d[i] = -d[i];
+      Scal(-1.0, v.col_data(i), v.rows());
+    }
+  }
+  std::vector<Index> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), Index{0});
+  std::sort(order.begin(), order.end(),
+            [&](Index x, Index y) { return d[x] > d[y]; });
+
+  SvdResult out;
+  out.u = Matrix(m, n);
+  out.v = Matrix(n, n);
+  out.s.resize(static_cast<std::size_t>(n));
+  for (Index j = 0; j < n; ++j) {
+    const Index src = order[static_cast<std::size_t>(j)];
+    out.s[static_cast<std::size_t>(j)] = d[src];
+    std::copy(u.col_data(src), u.col_data(src) + m, out.u.col_data(j));
+    std::copy(v.col_data(src), v.col_data(src) + n, out.v.col_data(j));
+  }
+  return out;
+}
+
+}  // namespace dtucker

@@ -1,0 +1,43 @@
+#include "rsvd/rsvd.h"
+
+#include <algorithm>
+
+#include "linalg/blas.h"
+#include "linalg/qr.h"
+
+namespace dtucker {
+
+Matrix RandomizedRangeFinder(const Matrix& a, const RsvdOptions& options) {
+  const Index m = a.rows();
+  const Index n = a.cols();
+  const Index sketch =
+      std::min(options.rank + options.oversampling, std::min(m, n));
+  DT_CHECK_GT(sketch, 0) << "empty sketch";
+
+  Rng rng(options.seed);
+  Matrix omega = Matrix::GaussianRandom(n, sketch, rng);
+  Matrix y = Multiply(a, omega);          // m x sketch.
+  Matrix q = QrOrthonormalize(y);
+
+  for (int it = 0; it < options.power_iterations; ++it) {
+    // Subspace iteration with re-orthonormalization: Q <- orth(A A^T Q).
+    Matrix z = MultiplyTN(a, q);          // n x sketch.
+    z = QrOrthonormalize(z);
+    y = Multiply(a, z);                   // m x sketch.
+    q = QrOrthonormalize(y);
+  }
+  return q;
+}
+
+SvdResult RandomizedSvd(const Matrix& a, const RsvdOptions& options) {
+  const Index target = std::min(options.rank, std::min(a.rows(), a.cols()));
+  Matrix q = RandomizedRangeFinder(a, options);
+  // Project: B = Q^T A (sketch x n), exact SVD of the small B.
+  Matrix b = MultiplyTN(q, a);
+  SvdResult svd = ThinSvd(b);
+  svd.u = Multiply(q, svd.u);
+  svd.Truncate(target);
+  return svd;
+}
+
+}  // namespace dtucker

@@ -1,0 +1,37 @@
+#include "sketch/count_sketch.h"
+
+#include "common/rng.h"
+
+namespace dtucker {
+
+CountSketch::CountSketch(Index input_dim, Index sketch_dim, uint64_t seed)
+    : input_dim_(input_dim), sketch_dim_(sketch_dim) {
+  DT_CHECK_GT(input_dim, 0);
+  DT_CHECK_GT(sketch_dim, 0);
+  Rng rng(seed);
+  buckets_.resize(static_cast<std::size_t>(input_dim));
+  signs_.resize(static_cast<std::size_t>(input_dim));
+  for (Index i = 0; i < input_dim; ++i) {
+    buckets_[static_cast<std::size_t>(i)] =
+        static_cast<Index>(rng.UniformInt(static_cast<uint64_t>(sketch_dim)));
+    signs_[static_cast<std::size_t>(i)] = rng.NextU64() & 1 ? 1.0 : -1.0;
+  }
+}
+
+void CountSketch::ApplyColumn(const double* x, double* out) const {
+  for (Index i = 0; i < input_dim_; ++i) {
+    out[buckets_[static_cast<std::size_t>(i)]] +=
+        signs_[static_cast<std::size_t>(i)] * x[i];
+  }
+}
+
+Matrix CountSketch::Apply(const Matrix& a) const {
+  DT_CHECK_EQ(a.rows(), input_dim_) << "CountSketch input dim mismatch";
+  Matrix out(sketch_dim_, a.cols());
+  for (Index j = 0; j < a.cols(); ++j) {
+    ApplyColumn(a.col_data(j), out.col_data(j));
+  }
+  return out;
+}
+
+}  // namespace dtucker

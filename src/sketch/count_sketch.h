@@ -1,0 +1,45 @@
+// CountSketch: the per-mode hashing primitive underlying TensorSketch.
+//
+// A CountSketch with sketch dimension m maps input coordinate i to bucket
+// h(i) in [0, m) with sign sigma(i) in {-1, +1}; sketching a vector adds
+// sigma(i) * x[i] into bucket h(i). It is an unbiased estimator of inner
+// products with variance O(1/m).
+#ifndef DTUCKER_SKETCH_COUNT_SKETCH_H_
+#define DTUCKER_SKETCH_COUNT_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace dtucker {
+
+class CountSketch {
+ public:
+  CountSketch(Index input_dim, Index sketch_dim, uint64_t seed);
+
+  Index input_dim() const { return input_dim_; }
+  Index sketch_dim() const { return sketch_dim_; }
+
+  Index Bucket(Index i) const {
+    return buckets_[static_cast<std::size_t>(i)];
+  }
+  double Sign(Index i) const { return signs_[static_cast<std::size_t>(i)]; }
+
+  // Sketches each column of `a` (input_dim x c) into (sketch_dim x c).
+  Matrix Apply(const Matrix& a) const;
+
+  // Sketches a single column given by a raw pointer of length input_dim,
+  // accumulating into `out` (length sketch_dim; caller zeroes it).
+  void ApplyColumn(const double* x, double* out) const;
+
+ private:
+  Index input_dim_;
+  Index sketch_dim_;
+  std::vector<Index> buckets_;
+  std::vector<double> signs_;
+};
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_SKETCH_COUNT_SKETCH_H_

@@ -1,0 +1,170 @@
+#include "sketch/tensor_sketch.h"
+
+#include "fft/fft.h"
+
+namespace dtucker {
+
+TensorSketch::TensorSketch(std::vector<Index> dims, Index sketch_dim,
+                           uint64_t seed)
+    : dims_(std::move(dims)), sketch_dim_(sketch_dim) {
+  DT_CHECK_GT(sketch_dim, 0);
+  mode_sketches_.reserve(dims_.size());
+  for (std::size_t k = 0; k < dims_.size(); ++k) {
+    mode_sketches_.emplace_back(dims_[k], sketch_dim,
+                                seed + 0xABCD1234ULL * (k + 1));
+  }
+}
+
+Matrix TensorSketch::SketchKronecker(
+    const std::vector<const Matrix*>& factors) const {
+  DT_CHECK_EQ(factors.size(), dims_.size()) << "one factor per mode";
+  const Index k_modes = num_modes();
+
+  // Per-mode: CountSketch every column, then FFT each sketched column.
+  // spectra[k][j] is the spectrum of mode k's column j.
+  std::vector<std::vector<std::vector<Complex>>> spectra(
+      static_cast<std::size_t>(k_modes));
+  Index total_cols = 1;
+  for (Index k = 0; k < k_modes; ++k) {
+    const Matrix& f = *factors[static_cast<std::size_t>(k)];
+    DT_CHECK_EQ(f.rows(), dims_[static_cast<std::size_t>(k)])
+        << "factor row mismatch at mode " << k;
+    total_cols *= f.cols();
+    Matrix cs = mode_sketches_[static_cast<std::size_t>(k)].Apply(f);
+    auto& mode_spectra = spectra[static_cast<std::size_t>(k)];
+    mode_spectra.resize(static_cast<std::size_t>(f.cols()));
+    for (Index j = 0; j < f.cols(); ++j) {
+      std::vector<double> col(cs.col_data(j),
+                              cs.col_data(j) + sketch_dim_);
+      mode_spectra[static_cast<std::size_t>(j)] = RealFftSpectrum(col);
+    }
+  }
+
+  Matrix out(sketch_dim_, total_cols);
+  std::vector<Index> tuple(static_cast<std::size_t>(k_modes), 0);
+  for (Index c = 0; c < total_cols; ++c) {
+    // Pointwise product of the per-mode spectra == circular convolution of
+    // the CountSketches == TensorSketch of the Kronecker column.
+    std::vector<Complex> acc =
+        spectra[0][static_cast<std::size_t>(tuple[0])];
+    for (Index k = 1; k < k_modes; ++k) {
+      const auto& sk = spectra[static_cast<std::size_t>(k)]
+                              [static_cast<std::size_t>(
+                                  tuple[static_cast<std::size_t>(k)])];
+      for (Index i = 0; i < sketch_dim_; ++i) {
+        acc[static_cast<std::size_t>(i)] *= sk[static_cast<std::size_t>(i)];
+      }
+    }
+    std::vector<double> col = SpectrumToReal(std::move(acc));
+    for (Index i = 0; i < sketch_dim_; ++i) {
+      out(i, c) = col[static_cast<std::size_t>(i)];
+    }
+    // Advance the mode-0-fastest column tuple.
+    for (Index k = 0; k < k_modes; ++k) {
+      auto& tk = tuple[static_cast<std::size_t>(k)];
+      if (++tk < factors[static_cast<std::size_t>(k)]->cols()) break;
+      tk = 0;
+    }
+  }
+  return out;
+}
+
+Matrix TensorSketch::SketchExplicit(const Matrix& y) const {
+  Index rows = 1;
+  for (Index d : dims_) rows *= d;
+  DT_CHECK_EQ(y.rows(), rows) << "explicit sketch row mismatch";
+
+  Matrix out(sketch_dim_, y.cols());
+  // Walk rows maintaining the multi-index and the combined bucket/sign
+  // incrementally.
+  std::vector<Index> idx(dims_.size(), 0);
+  Index bucket = 0;
+  double sign = 1.0;
+  // Initialize with all-zero coordinates.
+  for (std::size_t k = 0; k < dims_.size(); ++k) {
+    bucket += mode_sketches_[k].Bucket(0);
+    sign *= mode_sketches_[k].Sign(0);
+  }
+  for (Index r = 0; r < rows; ++r) {
+    const Index b = bucket % sketch_dim_;
+    for (Index c = 0; c < y.cols(); ++c) {
+      out(b, c) += sign * y(r, c);
+    }
+    // Advance the multi-index; update bucket/sign contributions of the
+    // modes that changed.
+    for (std::size_t k = 0; k < dims_.size(); ++k) {
+      bucket -= mode_sketches_[k].Bucket(idx[k]);
+      sign /= mode_sketches_[k].Sign(idx[k]);
+      if (++idx[k] < dims_[k]) {
+        bucket += mode_sketches_[k].Bucket(idx[k]);
+        sign *= mode_sketches_[k].Sign(idx[k]);
+        break;
+      }
+      idx[k] = 0;
+      bucket += mode_sketches_[k].Bucket(0);
+      sign *= mode_sketches_[k].Sign(0);
+    }
+  }
+  return out;
+}
+
+Matrix TensorSketch::SketchUnfoldingTransposed(const Tensor& x,
+                                               Index mode) const {
+  DT_CHECK_EQ(static_cast<Index>(dims_.size()), x.order() - 1)
+      << "sketch must cover all modes but one";
+  for (Index k = 0, d = 0; k < x.order(); ++k) {
+    if (k == mode) continue;
+    DT_CHECK_EQ(dims_[static_cast<std::size_t>(d)], x.dim(k))
+        << "sketch dims must match the tensor with `mode` removed";
+    ++d;
+  }
+
+  Matrix out(sketch_dim_, x.dim(mode));
+  // One linear pass over the tensor (mode-1-fastest). Maintain the full
+  // multi-index; the sketch row index is the multi-index with `mode`
+  // removed (remaining modes keep their relative order, earliest fastest —
+  // exactly the Kolda unfolding row ordering of X_(mode)^T).
+  const Index order = x.order();
+  std::vector<Index> idx(static_cast<std::size_t>(order), 0);
+  // contribution[k]: bucket/sign contribution of mode k (skip `mode`).
+  Index bucket = 0;
+  double sign = 1.0;
+  for (Index k = 0, d = 0; k < order; ++k) {
+    if (k == mode) continue;
+    bucket += mode_sketches_[static_cast<std::size_t>(d)].Bucket(0);
+    sign *= mode_sketches_[static_cast<std::size_t>(d)].Sign(0);
+    ++d;
+  }
+
+  const double* data = x.data();
+  const Index total = x.size();
+  for (Index flat = 0; flat < total; ++flat) {
+    const Index b = bucket % sketch_dim_;
+    out(b, idx[static_cast<std::size_t>(mode)]) += sign * data[flat];
+
+    for (Index k = 0; k < order; ++k) {
+      auto& ik = idx[static_cast<std::size_t>(k)];
+      if (k == mode) {
+        // The sketched coordinate ignores this mode.
+        if (++ik < x.dim(k)) break;
+        ik = 0;
+        continue;
+      }
+      const Index d = k < mode ? k : k - 1;
+      const auto& cs = mode_sketches_[static_cast<std::size_t>(d)];
+      bucket -= cs.Bucket(ik);
+      sign /= cs.Sign(ik);
+      if (++ik < x.dim(k)) {
+        bucket += cs.Bucket(ik);
+        sign *= cs.Sign(ik);
+        break;
+      }
+      ik = 0;
+      bucket += cs.Bucket(0);
+      sign *= cs.Sign(0);
+    }
+  }
+  return out;
+}
+
+}  // namespace dtucker

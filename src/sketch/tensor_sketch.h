@@ -1,0 +1,60 @@
+// TensorSketch (Pagh 2013; Pham & Pagh 2013) for Kronecker-structured
+// matrices — the substrate of the Tucker-ts / Tucker-ttmts baselines
+// (Malik & Becker, NeurIPS 2018).
+//
+// A TensorSketch over K modes with dimensions (d_0, ..., d_{K-1}) and
+// sketch size m hashes a product-space coordinate i = (i_0, ..., i_{K-1})
+// (with i_0 fastest, matching this library's unfolding convention) to
+//   bucket(i) = (sum_k h_k(i_k)) mod m,   sign(i) = prod_k sigma_k(i_k).
+// The punchline: the sketch of a Kronecker-structured column
+// (x_{K-1} (x) ... (x) x_0) equals the circular convolution of the per-mode
+// CountSketches, computable in O(sum_k d_k + K m log m) via FFT.
+#ifndef DTUCKER_SKETCH_TENSOR_SKETCH_H_
+#define DTUCKER_SKETCH_TENSOR_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sketch/count_sketch.h"
+#include "tensor/tensor.h"
+
+namespace dtucker {
+
+class TensorSketch {
+ public:
+  // `dims[k]` is the size of mode k of the product space; i_0 is the
+  // fastest-varying coordinate.
+  TensorSketch(std::vector<Index> dims, Index sketch_dim, uint64_t seed);
+
+  Index sketch_dim() const { return sketch_dim_; }
+  Index num_modes() const { return static_cast<Index>(dims_.size()); }
+  const std::vector<Index>& dims() const { return dims_; }
+
+  // Sketches the Kronecker product whose mode-k factor is *factors[k]
+  // (rows = dims[k]). Column ordering: factor-0 column index fastest —
+  // the same ordering as the columns of (A_{K-1} (x) ... (x) A_0), which
+  // matches the Kolda unfolding identity used by the Tucker solvers.
+  // Output: sketch_dim x prod_k cols_k. Uses the FFT fast path.
+  Matrix SketchKronecker(const std::vector<const Matrix*>& factors) const;
+
+  // Sketches an arbitrary (unstructured) matrix y with prod(dims) rows,
+  // row index decomposed mode-0-fastest. O(rows * cols); one streaming
+  // pass.
+  Matrix SketchExplicit(const Matrix& y) const;
+
+  // Sketches the transposed mode-n unfolding of `x` — i.e. computes
+  // S * X_(mode)^T (sketch_dim x I_mode) — directly from the tensor,
+  // without materializing the (huge) unfolding. Requires dims to equal the
+  // tensor's shape with `mode` removed. This is the preprocessing pass of
+  // the Tucker-ts family.
+  Matrix SketchUnfoldingTransposed(const Tensor& x, Index mode) const;
+
+ private:
+  std::vector<Index> dims_;
+  Index sketch_dim_;
+  std::vector<CountSketch> mode_sketches_;
+};
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_SKETCH_TENSOR_SKETCH_H_

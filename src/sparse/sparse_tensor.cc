@@ -1,0 +1,103 @@
+#include "sparse/sparse_tensor.h"
+
+namespace dtucker {
+
+SparseTensor::SparseTensor(std::vector<Index> shape)
+    : shape_(std::move(shape)) {
+  Index volume = 1;
+  strides_.resize(shape_.size());
+  for (std::size_t n = 0; n < shape_.size(); ++n) {
+    DT_CHECK_GE(shape_[n], 0) << "negative dimension";
+    strides_[n] = volume;
+    volume *= shape_[n];
+  }
+}
+
+Index SparseTensor::volume() const {
+  Index v = 1;
+  for (Index d : shape_) v *= d;
+  return v;
+}
+
+void SparseTensor::Reserve(std::size_t n) {
+  flat_indices_.reserve(n);
+  values_.reserve(n);
+}
+
+void SparseTensor::Add(const std::vector<Index>& idx, double value) {
+  DT_DCHECK_EQ(static_cast<Index>(idx.size()), order());
+  int64_t flat = 0;
+  for (std::size_t n = 0; n < idx.size(); ++n) {
+    DT_DCHECK(idx[n] >= 0 && idx[n] < shape_[n]);
+    flat += static_cast<int64_t>(idx[n]) * strides_[n];
+  }
+  flat_indices_.push_back(flat);
+  values_.push_back(value);
+}
+
+void SparseTensor::AddFlat(int64_t flat, double value) {
+  DT_DCHECK(flat >= 0 && flat < volume());
+  flat_indices_.push_back(flat);
+  values_.push_back(value);
+}
+
+Tensor SparseTensor::ToDense() const {
+  Tensor out(shape_);
+  for (std::size_t e = 0; e < values_.size(); ++e) {
+    out.data()[static_cast<std::size_t>(flat_indices_[e])] += values_[e];
+  }
+  return out;
+}
+
+double SparseTensor::SquaredNorm() const {
+  // Note: duplicate coordinates make this an upper bound; consumers in this
+  // project never create duplicates.
+  double s = 0.0;
+  for (double v : values_) s += v * v;
+  return s;
+}
+
+Tensor SparseTensor::ModeProductDense(const Matrix& u, Index mode,
+                                      Trans trans) const {
+  DT_CHECK(mode >= 0 && mode < order()) << "mode out of range";
+  const Index j_dim = trans == Trans::kNo ? u.rows() : u.cols();
+  const Index contracted = trans == Trans::kNo ? u.cols() : u.rows();
+  DT_CHECK_EQ(contracted, dim(mode)) << "sparse TTM dimension mismatch";
+
+  std::vector<Index> new_shape = shape_;
+  new_shape[static_cast<std::size_t>(mode)] = j_dim;
+  Tensor out(std::move(new_shape));
+
+  const Index stride = strides_[static_cast<std::size_t>(mode)];
+  const Index dim_n = dim(mode);
+  // Output strides: modes below `mode` unchanged; mode itself has the same
+  // stride (front product is identical); modes above shrink by dim_n/j_dim.
+  // Compute the output flat index from the decomposition
+  //   flat = low + stride*(i_n + dim_n*high).
+  for (std::size_t e = 0; e < values_.size(); ++e) {
+    const int64_t flat = flat_indices_[e];
+    const int64_t low = flat % stride;
+    const int64_t rest = flat / stride;
+    const int64_t i_n = rest % dim_n;
+    const int64_t high = rest / dim_n;
+    const double v = values_[e];
+    const int64_t base = low + stride * j_dim * high;
+    double* out_data = out.data();
+    if (trans == Trans::kNo) {
+      // op(U)(j, i_n) = u(j, i_n): strided column read.
+      for (Index j = 0; j < j_dim; ++j) {
+        out_data[base + stride * j] +=
+            v * u(j, static_cast<Index>(i_n));
+      }
+    } else {
+      // op(U)(j, i_n) = u(i_n, j): contiguous row read along u's row i_n.
+      for (Index j = 0; j < j_dim; ++j) {
+        out_data[base + stride * j] +=
+            v * u(static_cast<Index>(i_n), j);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dtucker

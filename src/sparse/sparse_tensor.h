@@ -1,0 +1,67 @@
+// COO sparse tensor and the sparse mode-n product.
+//
+// Substrate for the MACH baseline (Tsourakakis 2010): MACH sparsifies a
+// dense tensor by element sampling and then runs ALS where the *first*
+// contraction of every factor update streams the nonzeros (O(nnz * J))
+// instead of the full dense volume.
+#ifndef DTUCKER_SPARSE_SPARSE_TENSOR_H_
+#define DTUCKER_SPARSE_SPARSE_TENSOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/blas.h"
+#include "linalg/matrix.h"
+#include "tensor/tensor.h"
+
+namespace dtucker {
+
+class SparseTensor {
+ public:
+  explicit SparseTensor(std::vector<Index> shape);
+
+  const std::vector<Index>& shape() const { return shape_; }
+  Index order() const { return static_cast<Index>(shape_.size()); }
+  Index dim(Index mode) const {
+    return shape_[static_cast<std::size_t>(mode)];
+  }
+  std::size_t nnz() const { return values_.size(); }
+
+  // Total elements of the dense shape.
+  Index volume() const;
+
+  void Reserve(std::size_t n);
+
+  // Appends a nonzero at the given multi-index. Duplicate coordinates are
+  // allowed and are treated additively by all consumers.
+  void Add(const std::vector<Index>& idx, double value);
+
+  // Appends a nonzero at a flat (mode-1-fastest) linear index.
+  void AddFlat(int64_t flat, double value);
+
+  // Densifies (for tests and small problems).
+  Tensor ToDense() const;
+
+  double SquaredNorm() const;
+
+  // Sparse TTM: returns the dense tensor X x_mode op(U), where op(U) is
+  // (J x I_mode) for Trans::kNo and U^T for Trans::kYes (U is I_mode x J).
+  // Cost O(nnz * J); the result replaces I_mode by J.
+  Tensor ModeProductDense(const Matrix& u, Index mode,
+                          Trans trans = Trans::kNo) const;
+
+  // Logical bytes held (indices + values), for space accounting.
+  std::size_t ByteSize() const {
+    return values_.size() * (sizeof(double) + sizeof(int64_t));
+  }
+
+ private:
+  std::vector<Index> shape_;
+  std::vector<Index> strides_;
+  std::vector<int64_t> flat_indices_;
+  std::vector<double> values_;
+};
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_SPARSE_SPARSE_TENSOR_H_

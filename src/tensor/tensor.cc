@@ -1,0 +1,209 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace dtucker {
+
+Tensor::Tensor(std::vector<Index> shape) : shape_(std::move(shape)) {
+  Index volume = 1;
+  strides_.resize(shape_.size());
+  for (std::size_t n = 0; n < shape_.size(); ++n) {
+    DT_CHECK_GE(shape_[n], 0) << "negative dimension";
+    strides_[n] = volume;
+    volume *= shape_[n];
+  }
+  data_.assign(static_cast<std::size_t>(volume), 0.0);
+}
+
+Tensor Tensor::GaussianRandom(std::vector<Index> shape, Rng& rng) {
+  Tensor t(std::move(shape));
+  rng.FillGaussian(t.data(), t.data_.size());
+  return t;
+}
+
+Tensor Tensor::FromFlat(std::vector<Index> shape, std::vector<double> data) {
+  Tensor t(std::move(shape));
+  DT_CHECK_EQ(t.data_.size(), data.size()) << "flat buffer volume mismatch";
+  t.data_ = std::move(data);
+  return t;
+}
+
+std::size_t Tensor::FlatIndex(const std::vector<Index>& idx) const {
+  DT_DCHECK_EQ(static_cast<Index>(idx.size()), order());
+  Index flat = 0;
+  for (std::size_t n = 0; n < idx.size(); ++n) {
+    DT_DCHECK(idx[n] >= 0 && idx[n] < shape_[n]);
+    flat += idx[n] * strides_[n];
+  }
+  return static_cast<std::size_t>(flat);
+}
+
+double& Tensor::operator()(Index i, Index j, Index k) {
+  DT_DCHECK_EQ(order(), 3);
+  return data_[static_cast<std::size_t>(i + j * strides_[1] +
+                                        k * strides_[2])];
+}
+
+double Tensor::operator()(Index i, Index j, Index k) const {
+  DT_DCHECK_EQ(order(), 3);
+  return data_[static_cast<std::size_t>(i + j * strides_[1] +
+                                        k * strides_[2])];
+}
+
+double& Tensor::operator()(Index i, Index j, Index k, Index l) {
+  DT_DCHECK_EQ(order(), 4);
+  return data_[static_cast<std::size_t>(i + j * strides_[1] +
+                                        k * strides_[2] + l * strides_[3])];
+}
+
+double Tensor::operator()(Index i, Index j, Index k, Index l) const {
+  DT_DCHECK_EQ(order(), 4);
+  return data_[static_cast<std::size_t>(i + j * strides_[1] +
+                                        k * strides_[2] + l * strides_[3])];
+}
+
+double Tensor::SquaredNorm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return s;
+}
+
+double Tensor::FrobeniusNorm() const { return std::sqrt(SquaredNorm()); }
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  DT_CHECK(shape_ == other.shape_) << "shape mismatch";
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  DT_CHECK(shape_ == other.shape_) << "shape mismatch";
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(double scalar) {
+  for (double& v : data_) v *= scalar;
+  return *this;
+}
+
+Index Tensor::NumFrontalSlices() const {
+  DT_CHECK_GE(order(), 2) << "frontal slices need order >= 2";
+  Index n = 1;
+  for (Index k = 2; k < order(); ++k) n *= dim(k);
+  return n;
+}
+
+Matrix Tensor::FrontalSlice(Index l) const {
+  DT_CHECK(l >= 0 && l < NumFrontalSlices()) << "slice index out of range";
+  const Index rows = dim(0);
+  const Index cols = dim(1);
+  const std::size_t slice_size = static_cast<std::size_t>(rows * cols);
+  Matrix m(rows, cols);
+  std::memcpy(m.data(), data_.data() + static_cast<std::size_t>(l) * slice_size,
+              slice_size * sizeof(double));
+  return m;
+}
+
+void Tensor::SetFrontalSlice(Index l, const Matrix& m) {
+  DT_CHECK(l >= 0 && l < NumFrontalSlices()) << "slice index out of range";
+  DT_CHECK(m.rows() == dim(0) && m.cols() == dim(1)) << "slice shape mismatch";
+  const std::size_t slice_size = static_cast<std::size_t>(m.size());
+  std::memcpy(data_.data() + static_cast<std::size_t>(l) * slice_size,
+              m.data(), slice_size * sizeof(double));
+}
+
+Tensor Tensor::LastModeSlice(Index start, Index len) const {
+  const Index last = order() - 1;
+  DT_CHECK(start >= 0 && len >= 0 && start + len <= dim(last))
+      << "last-mode slice out of range";
+  std::vector<Index> new_shape = shape_;
+  new_shape[static_cast<std::size_t>(last)] = len;
+  Tensor out(std::move(new_shape));
+  const std::size_t block =
+      static_cast<std::size_t>(strides_[static_cast<std::size_t>(last)]);
+  std::memcpy(out.data(), data_.data() + static_cast<std::size_t>(start) * block,
+              static_cast<std::size_t>(len) * block * sizeof(double));
+  return out;
+}
+
+Tensor Tensor::Reshaped(std::vector<Index> new_shape) const {
+  Tensor out(std::move(new_shape));
+  DT_CHECK_EQ(out.size(), size()) << "reshape volume mismatch";
+  out.data_ = data_;
+  return out;
+}
+
+Tensor Tensor::Permuted(const std::vector<Index>& perm) const {
+  const Index n = order();
+  DT_CHECK_EQ(static_cast<Index>(perm.size()), n) << "perm size mismatch";
+  std::vector<Index> new_shape(static_cast<std::size_t>(n));
+  for (Index k = 0; k < n; ++k) {
+    new_shape[static_cast<std::size_t>(k)] =
+        shape_[static_cast<std::size_t>(perm[static_cast<std::size_t>(k)])];
+  }
+  Tensor out(new_shape);
+
+  // Walk the source in linear order and scatter into the destination.
+  std::vector<Index> idx(static_cast<std::size_t>(n), 0);
+  const std::size_t total = data_.size();
+  for (std::size_t flat = 0; flat < total; ++flat) {
+    Index dst = 0;
+    for (Index k = 0; k < n; ++k) {
+      dst += idx[static_cast<std::size_t>(perm[static_cast<std::size_t>(k)])] *
+             out.strides_[static_cast<std::size_t>(k)];
+    }
+    out.data_[static_cast<std::size_t>(dst)] = data_[flat];
+    // Increment the multi-index (mode-1 fastest).
+    for (Index k = 0; k < n; ++k) {
+      auto& ik = idx[static_cast<std::size_t>(k)];
+      if (++ik < shape_[static_cast<std::size_t>(k)]) break;
+      ik = 0;
+    }
+  }
+  return out;
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream os;
+  os << "(";
+  for (std::size_t n = 0; n < shape_.size(); ++n) {
+    os << shape_[n] << (n + 1 < shape_.size() ? " x " : "");
+  }
+  os << ")";
+  return os.str();
+}
+
+double RelativeError(const Tensor& x, const Tensor& y) {
+  DT_CHECK(x.shape() == y.shape()) << "shape mismatch in RelativeError";
+  double num = 0.0, den = 0.0;
+  const double* xd = x.data();
+  const double* yd = y.data();
+  for (Index i = 0; i < x.size(); ++i) {
+    const double d = xd[i] - yd[i];
+    num += d * d;
+    den += xd[i] * xd[i];
+  }
+  return den > 0 ? num / den : 0.0;
+}
+
+double InnerProduct(const Tensor& x, const Tensor& y) {
+  DT_CHECK(x.shape() == y.shape()) << "shape mismatch in InnerProduct";
+  double s = 0.0;
+  for (Index i = 0; i < x.size(); ++i) s += x.data()[i] * y.data()[i];
+  return s;
+}
+
+bool AlmostEqual(const Tensor& a, const Tensor& b, double tol) {
+  if (a.shape() != b.shape()) return false;
+  for (Index i = 0; i < a.size(); ++i) {
+    if (std::fabs(a.data()[i] - b.data()[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace dtucker

@@ -1,0 +1,115 @@
+// Dense N-order tensor.
+//
+// Layout: mode-1-fastest ("generalized column-major", the Kolda
+// convention): element (i_1, ..., i_N) lives at linear offset
+//   i_1 + I_1*(i_2 + I_2*(i_3 + ...)).
+// Consequences this library relies on:
+//   * the mode-1 unfolding X_(1) is a zero-copy reinterpretation;
+//   * frontal slices X(:,:,l) of a 3-order tensor (and more generally
+//     X(:,:,i_3,...,i_N)) are contiguous I_1 x I_2 column-major matrices —
+//     exactly the objects D-Tucker's approximation phase consumes.
+#ifndef DTUCKER_TENSOR_TENSOR_H_
+#define DTUCKER_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "linalg/matrix.h"
+
+namespace dtucker {
+
+class Rng;
+
+class Tensor {
+ public:
+  // Empty 0-order tensor.
+  Tensor() = default;
+
+  // Zero-initialized tensor with the given shape (all dims must be >= 0).
+  explicit Tensor(std::vector<Index> shape);
+
+  static Tensor Zero(std::vector<Index> shape) { return Tensor(std::move(shape)); }
+  // I.i.d. standard normal entries.
+  static Tensor GaussianRandom(std::vector<Index> shape, Rng& rng);
+  // Takes ownership of a flat buffer (must match the shape's volume).
+  static Tensor FromFlat(std::vector<Index> shape, std::vector<double> data);
+
+  Index order() const { return static_cast<Index>(shape_.size()); }
+  const std::vector<Index>& shape() const { return shape_; }
+  Index dim(Index mode) const {
+    DT_DCHECK(mode >= 0 && mode < order());
+    return shape_[static_cast<std::size_t>(mode)];
+  }
+  Index size() const { return static_cast<Index>(data_.size()); }
+  std::size_t ByteSize() const { return data_.size() * sizeof(double); }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  // Multi-index element access. `idx` has one entry per mode.
+  double& At(const std::vector<Index>& idx) {
+    return data_[FlatIndex(idx)];
+  }
+  double At(const std::vector<Index>& idx) const {
+    return data_[FlatIndex(idx)];
+  }
+
+  // Convenience 3- and 4-order accessors used heavily in tests.
+  double& operator()(Index i, Index j, Index k);
+  double operator()(Index i, Index j, Index k) const;
+  double& operator()(Index i, Index j, Index k, Index l);
+  double operator()(Index i, Index j, Index k, Index l) const;
+
+  double SquaredNorm() const;
+  double FrobeniusNorm() const;
+
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(double scalar);
+
+  // Number of frontal slices: prod of dims 3..N (1 for a matrix).
+  Index NumFrontalSlices() const;
+
+  // Copies frontal slice number `l` (0-based, modes 3..N flattened in
+  // mode-3-fastest order) into an I1 x I2 matrix. O(I1*I2) memcpy.
+  Matrix FrontalSlice(Index l) const;
+
+  // Overwrites frontal slice `l` with `m` (shape must be I1 x I2).
+  void SetFrontalSlice(Index l, const Matrix& m);
+
+  // Copies the sub-tensor with last-mode indices [start, start+len).
+  // The block is contiguous in memory, so this is a single memcpy.
+  Tensor LastModeSlice(Index start, Index len) const;
+
+  // Returns a tensor with the same data and a compatible new shape
+  // (volumes must match). O(size) copy.
+  Tensor Reshaped(std::vector<Index> new_shape) const;
+
+  // Permutes modes: out(idx[perm[0]], ..., idx[perm[N-1]]) = in(idx).
+  // perm must be a permutation of {0..N-1}.
+  Tensor Permuted(const std::vector<Index>& perm) const;
+
+  // Small-tensor rendering for debugging.
+  std::string ShapeString() const;
+
+ private:
+  std::size_t FlatIndex(const std::vector<Index>& idx) const;
+
+  std::vector<Index> shape_;
+  std::vector<Index> strides_;  // strides_[n] = prod of dims < n.
+  std::vector<double> data_;
+};
+
+// Relative squared reconstruction error ||X - Y||_F^2 / ||X||_F^2.
+double RelativeError(const Tensor& x, const Tensor& y);
+
+// Inner product <X, Y> = sum of elementwise products.
+double InnerProduct(const Tensor& x, const Tensor& y);
+
+bool AlmostEqual(const Tensor& a, const Tensor& b, double tol = 1e-10);
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_TENSOR_TENSOR_H_

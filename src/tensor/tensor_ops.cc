@@ -1,0 +1,152 @@
+#include "tensor/tensor_ops.h"
+
+#include <cstring>
+
+namespace dtucker {
+
+namespace {
+
+// Splits the shape around `mode` into (front, dim, back) so the tensor can
+// be treated as a (front x dim x back) array with front fastest.
+struct ModeSplit {
+  Index front = 1;
+  Index dim = 0;
+  Index back = 1;
+};
+
+ModeSplit SplitAtMode(const Tensor& x, Index mode) {
+  DT_CHECK(mode >= 0 && mode < x.order()) << "mode out of range";
+  ModeSplit s;
+  for (Index k = 0; k < mode; ++k) s.front *= x.dim(k);
+  s.dim = x.dim(mode);
+  for (Index k = mode + 1; k < x.order(); ++k) s.back *= x.dim(k);
+  return s;
+}
+
+}  // namespace
+
+Matrix Unfold(const Tensor& x, Index mode) {
+  const ModeSplit s = SplitAtMode(x, mode);
+  Matrix out(s.dim, s.front * s.back);
+  const double* src = x.data();
+  if (mode == 0) {
+    // Layout-preserving: flat buffer is already (dim x back) column-major.
+    std::memcpy(out.data(), src,
+                static_cast<std::size_t>(x.size()) * sizeof(double));
+    return out;
+  }
+  // Source flat index: f + front*(i + dim*b); destination: (i, f + front*b).
+  for (Index b = 0; b < s.back; ++b) {
+    for (Index i = 0; i < s.dim; ++i) {
+      const double* col = src + s.front * (i + s.dim * b);
+      for (Index f = 0; f < s.front; ++f) {
+        out(i, f + s.front * b) = col[f];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Fold(const Matrix& m, Index mode, const std::vector<Index>& shape) {
+  Tensor out(shape);
+  const ModeSplit s = SplitAtMode(out, mode);
+  DT_CHECK(m.rows() == s.dim && m.cols() == s.front * s.back)
+      << "Fold shape mismatch";
+  double* dst = out.data();
+  if (mode == 0) {
+    std::memcpy(dst, m.data(),
+                static_cast<std::size_t>(out.size()) * sizeof(double));
+    return out;
+  }
+  for (Index b = 0; b < s.back; ++b) {
+    for (Index i = 0; i < s.dim; ++i) {
+      double* col = dst + s.front * (i + s.dim * b);
+      for (Index f = 0; f < s.front; ++f) {
+        col[f] = m(i, f + s.front * b);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor ModeProduct(const Tensor& x, const Matrix& u, Index mode, Trans trans) {
+  const ModeSplit s = SplitAtMode(x, mode);
+  const Index j = trans == Trans::kNo ? u.rows() : u.cols();
+  const Index contracted = trans == Trans::kNo ? u.cols() : u.rows();
+  DT_CHECK_EQ(contracted, s.dim) << "ModeProduct dimension mismatch at mode "
+                                 << mode;
+
+  std::vector<Index> new_shape = x.shape();
+  new_shape[static_cast<std::size_t>(mode)] = j;
+  Tensor out(std::move(new_shape));
+
+  if (mode == 0) {
+    // out_(1) (j x front*back) = op(U) * X_(1); both unfoldings are
+    // layout-preserving, so one GEMM over the flat buffers suffices.
+    GemmRaw(trans == Trans::kNo ? Trans::kNo : Trans::kYes, Trans::kNo, j,
+            s.back /* front == 1 */, s.dim, 1.0, u.data(), u.rows(), x.data(),
+            s.dim, 0.0, out.data(), j);
+    return out;
+  }
+
+  // For each back-slab b, the source (front x dim) block is contiguous and
+  // column-major; compute out_slab = src_slab * op(U)^T.
+  //   trans == kNo : op(U)^T = U^T (dim x j)   -> GEMM(N, T) with U.
+  //   trans == kYes: op(U)^T = U   (dim x j)   -> GEMM(N, N) with U.
+  const std::size_t src_slab = static_cast<std::size_t>(s.front * s.dim);
+  const std::size_t dst_slab = static_cast<std::size_t>(s.front * j);
+  for (Index b = 0; b < s.back; ++b) {
+    GemmRaw(Trans::kNo, trans == Trans::kNo ? Trans::kYes : Trans::kNo,
+            s.front, j, s.dim, 1.0,
+            x.data() + static_cast<std::size_t>(b) * src_slab, s.front,
+            u.data(), u.rows(), 0.0,
+            out.data() + static_cast<std::size_t>(b) * dst_slab, s.front);
+  }
+  return out;
+}
+
+Tensor ModeProductChain(const Tensor& x, const std::vector<Matrix>& matrices,
+                        Index skip_mode, Trans trans) {
+  DT_CHECK_EQ(static_cast<Index>(matrices.size()), x.order())
+      << "need one matrix per mode";
+  Tensor cur = x;
+  for (Index n = 0; n < x.order(); ++n) {
+    if (n == skip_mode) continue;
+    cur = ModeProduct(cur, matrices[static_cast<std::size_t>(n)], n, trans);
+  }
+  return cur;
+}
+
+Matrix Kronecker(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows() * b.rows(), a.cols() * b.cols());
+  for (Index ja = 0; ja < a.cols(); ++ja) {
+    for (Index jb = 0; jb < b.cols(); ++jb) {
+      const Index j = ja * b.cols() + jb;
+      for (Index ia = 0; ia < a.rows(); ++ia) {
+        const double av = a(ia, ja);
+        double* dst = out.col_data(j) + ia * b.rows();
+        const double* src = b.col_data(jb);
+        for (Index ib = 0; ib < b.rows(); ++ib) dst[ib] = av * src[ib];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix KhatriRao(const Matrix& a, const Matrix& b) {
+  DT_CHECK_EQ(a.cols(), b.cols()) << "Khatri-Rao column count mismatch";
+  Matrix out(a.rows() * b.rows(), a.cols());
+  for (Index j = 0; j < a.cols(); ++j) {
+    double* dst = out.col_data(j);
+    const double* bcol = b.col_data(j);
+    for (Index ia = 0; ia < a.rows(); ++ia) {
+      const double av = a(ia, j);
+      for (Index ib = 0; ib < b.rows(); ++ib) {
+        dst[ia * b.rows() + ib] = av * bcol[ib];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dtucker

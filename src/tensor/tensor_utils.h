@@ -1,0 +1,33 @@
+// General tensor utilities: sub-tensor extraction, concatenation,
+// elementwise products, and input validation.
+#ifndef DTUCKER_TENSOR_TENSOR_UTILS_H_
+#define DTUCKER_TENSOR_TENSOR_UTILS_H_
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace dtucker {
+
+// Copies the sub-tensor with mode-`mode` indices [start, start+len).
+// Generalizes Tensor::LastModeSlice to any mode.
+Result<Tensor> SubTensor(const Tensor& x, Index mode, Index start, Index len);
+
+// Concatenates along `mode`; shapes must agree on all other modes.
+Result<Tensor> Concatenate(const Tensor& a, const Tensor& b, Index mode);
+
+// Elementwise (Hadamard) product; shapes must match.
+Result<Tensor> HadamardProduct(const Tensor& a, const Tensor& b);
+
+// True if any entry is NaN or infinite.
+bool ContainsNonFinite(const Tensor& x);
+
+// InvalidArgument when the tensor has NaN/Inf entries; used by solvers
+// when TuckerOptions::validate_input is set.
+Status ValidateFinite(const Tensor& x);
+
+// Largest absolute entry.
+double MaxAbs(const Tensor& x);
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_TENSOR_TENSOR_UTILS_H_

@@ -1,0 +1,50 @@
+#include "tucker/hosvd.h"
+
+#include "linalg/blas.h"
+#include "linalg/eigen_sym.h"
+#include "tensor/tensor_ops.h"
+
+namespace dtucker {
+
+Matrix LeadingLeftSingularVectorsViaGram(const Matrix& m, Index k) {
+  DT_CHECK_LE(k, m.rows()) << "rank exceeds row count";
+  // G = M M^T, I x I symmetric PSD; its top-k eigenvectors are the top-k
+  // left singular vectors of M.
+  Matrix g(m.rows(), m.rows());
+  GemmRaw(Trans::kNo, Trans::kYes, m.rows(), m.rows(), m.cols(), 1.0,
+          m.data(), m.rows(), m.data(), m.rows(), 0.0, g.data(), g.rows());
+  return TopEigenvectorsSym(g, k);
+}
+
+TuckerDecomposition Hosvd(const Tensor& x, const std::vector<Index>& ranks) {
+  DT_CHECK_EQ(static_cast<Index>(ranks.size()), x.order())
+      << "one rank per mode required";
+  TuckerDecomposition out;
+  out.factors.resize(static_cast<std::size_t>(x.order()));
+  for (Index n = 0; n < x.order(); ++n) {
+    Matrix unf = Unfold(x, n);
+    out.factors[static_cast<std::size_t>(n)] = LeadingLeftSingularVectorsViaGram(
+        unf, ranks[static_cast<std::size_t>(n)]);
+  }
+  out.core = ModeProductChain(x, out.factors, /*skip_mode=*/-1, Trans::kYes);
+  return out;
+}
+
+TuckerDecomposition StHosvd(const Tensor& x, const std::vector<Index>& ranks) {
+  DT_CHECK_EQ(static_cast<Index>(ranks.size()), x.order())
+      << "one rank per mode required";
+  TuckerDecomposition out;
+  out.factors.resize(static_cast<std::size_t>(x.order()));
+  Tensor y = x;
+  for (Index n = 0; n < x.order(); ++n) {
+    Matrix unf = Unfold(y, n);
+    Matrix a = LeadingLeftSingularVectorsViaGram(
+        unf, ranks[static_cast<std::size_t>(n)]);
+    y = ModeProduct(y, a, n, Trans::kYes);
+    out.factors[static_cast<std::size_t>(n)] = std::move(a);
+  }
+  out.core = std::move(y);
+  return out;
+}
+
+}  // namespace dtucker

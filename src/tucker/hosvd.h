@@ -1,0 +1,27 @@
+// HOSVD and sequentially-truncated HOSVD (ST-HOSVD).
+//
+// These serve as (a) initializers for HOOI-style iterations, and (b)
+// standalone one-shot decompositions for comparison.
+#ifndef DTUCKER_TUCKER_HOSVD_H_
+#define DTUCKER_TUCKER_HOSVD_H_
+
+#include "tucker/tucker.h"
+
+namespace dtucker {
+
+// Classic HOSVD: each factor is the leading J_n left singular vectors of
+// the mode-n unfolding of the *original* tensor; core is the projection.
+TuckerDecomposition Hosvd(const Tensor& x, const std::vector<Index>& ranks);
+
+// ST-HOSVD (Vannieuwenhoven et al.): truncates mode-by-mode, shrinking the
+// working tensor after each mode. Usually faster and slightly more
+// accurate than plain HOSVD.
+TuckerDecomposition StHosvd(const Tensor& x, const std::vector<Index>& ranks);
+
+// Leading k left singular vectors of M computed from the I x I Gram matrix
+// M M^T (cheap when M is short-and-wide, the typical unfolding shape).
+Matrix LeadingLeftSingularVectorsViaGram(const Matrix& m, Index k);
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_TUCKER_HOSVD_H_

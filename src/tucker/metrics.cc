@@ -1,0 +1,69 @@
+#include "tucker/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/blas.h"
+#include "linalg/svd.h"
+
+namespace dtucker {
+
+namespace {
+
+// Singular values of U^T V are the cosines of the principal angles.
+Result<std::vector<double>> PrincipalCosines(const Matrix& u,
+                                             const Matrix& v) {
+  if (u.rows() != v.rows()) {
+    return Status::InvalidArgument("subspace row-count mismatch");
+  }
+  if (u.cols() == 0 || v.cols() == 0) {
+    return Status::InvalidArgument("empty subspace");
+  }
+  Matrix overlap = MultiplyTN(u, v);
+  SvdResult svd = ThinSvd(overlap);
+  // Numerical clamp: cosines live in [0, 1].
+  for (double& s : svd.s) s = std::clamp(s, 0.0, 1.0);
+  return svd.s;
+}
+
+}  // namespace
+
+Result<double> SubspaceDistance(const Matrix& u, const Matrix& v) {
+  DT_ASSIGN_OR_RETURN(std::vector<double> cosines, PrincipalCosines(u, v));
+  const double min_cos = cosines.back();  // Descending order.
+  return std::sqrt(std::max(0.0, 1.0 - min_cos * min_cos));
+}
+
+Result<double> SubspaceSimilarity(const Matrix& u, const Matrix& v) {
+  DT_ASSIGN_OR_RETURN(std::vector<double> cosines, PrincipalCosines(u, v));
+  double sum = 0;
+  for (double c : cosines) sum += c;
+  return sum / static_cast<double>(cosines.size());
+}
+
+Result<double> FactorMatchScore(const TuckerDecomposition& a,
+                                const TuckerDecomposition& b) {
+  if (a.order() != b.order()) {
+    return Status::InvalidArgument("decomposition order mismatch");
+  }
+  double score = 1.0;
+  for (Index n = 0; n < a.order(); ++n) {
+    const Matrix& fa = a.factors[static_cast<std::size_t>(n)];
+    const Matrix& fb = b.factors[static_cast<std::size_t>(n)];
+    if (fa.rows() != fb.rows() || fa.cols() != fb.cols()) {
+      return Status::InvalidArgument("factor shape mismatch at mode " +
+                                     std::to_string(n));
+    }
+    DT_ASSIGN_OR_RETURN(double sim, SubspaceSimilarity(fa, fb));
+    score = std::min(score, sim);
+  }
+  return score;
+}
+
+double CoreEnergyRatio(const TuckerDecomposition& dec,
+                       double x_squared_norm) {
+  if (x_squared_norm <= 0) return 1.0;
+  return std::clamp(dec.core.SquaredNorm() / x_squared_norm, 0.0, 1.0);
+}
+
+}  // namespace dtucker

@@ -1,0 +1,36 @@
+// Comparison metrics between decompositions.
+//
+// Reconstruction error alone can hide qualitative differences between
+// methods (two decompositions can reach similar error through different
+// subspaces). These metrics quantify subspace agreement and are used by
+// tests and the convergence experiment to check that the fast methods land
+// in the same place as the reference HOOI.
+#ifndef DTUCKER_TUCKER_METRICS_H_
+#define DTUCKER_TUCKER_METRICS_H_
+
+#include "common/status.h"
+#include "tucker/tucker.h"
+
+namespace dtucker {
+
+// sin of the largest principal angle between range(U) and range(V); both
+// must have orthonormal columns and equal row counts. 0 = identical
+// subspaces, 1 = some direction of U orthogonal to all of V.
+Result<double> SubspaceDistance(const Matrix& u, const Matrix& v);
+
+// Mean cosine of principal angles in [0, 1] (1 = identical subspaces).
+Result<double> SubspaceSimilarity(const Matrix& u, const Matrix& v);
+
+// Tucker factor-match score: the minimum over modes of the per-mode
+// SubspaceSimilarity. Conservative: near 1 only when every mode's factor
+// subspace matches. Both decompositions must have identical shapes/ranks.
+Result<double> FactorMatchScore(const TuckerDecomposition& a,
+                                const TuckerDecomposition& b);
+
+// Fraction of the input energy captured by the (orthonormal-factor)
+// decomposition: ||G||^2 / ||X||^2, clamped to [0, 1].
+double CoreEnergyRatio(const TuckerDecomposition& dec, double x_squared_norm);
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_TUCKER_METRICS_H_

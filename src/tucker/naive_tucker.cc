@@ -1,0 +1,88 @@
+#include "tucker/naive_tucker.h"
+
+#include <cmath>
+
+#include "common/timer.h"
+#include "linalg/blas.h"
+#include "tensor/tensor_ops.h"
+#include "tucker/hosvd.h"
+
+namespace dtucker {
+
+namespace {
+
+// ((x)_{k != skip, descending} factors[k]) with the lowest mode's index
+// fastest — the operand of the Kolda unfolding identity.
+Matrix KroneckerOfFactorsExcept(const std::vector<Matrix>& factors,
+                                Index skip) {
+  Matrix k;
+  bool first = true;
+  for (Index n = static_cast<Index>(factors.size()) - 1; n >= 0; --n) {
+    if (n == skip) continue;
+    if (first) {
+      k = factors[static_cast<std::size_t>(n)];
+      first = false;
+    } else {
+      k = Kronecker(k, factors[static_cast<std::size_t>(n)]);
+    }
+  }
+  DT_CHECK(!first) << "need at least two modes";
+  return k;
+}
+
+}  // namespace
+
+Result<TuckerDecomposition> TuckerAlsNaiveKronecker(
+    const Tensor& x, const TuckerAlsOptions& options, TuckerStats* stats,
+    std::size_t* peak_intermediate_bytes) {
+  DT_RETURN_NOT_OK(ValidateRanks(x.shape(), options.ranks));
+  const Index order = x.order();
+  const double x_norm2 = x.SquaredNorm();
+  std::size_t peak = 0;
+
+  Timer init_timer;
+  TuckerDecomposition dec = StHosvd(x, options.ranks);
+  if (stats != nullptr) stats->init_seconds = init_timer.Seconds();
+
+  Timer iterate_timer;
+  double prev_error =
+      OrthogonalTuckerRelativeError(x_norm2, dec.core.SquaredNorm());
+  if (stats != nullptr) stats->error_history.push_back(prev_error);
+
+  int it = 0;
+  for (; it < options.max_iterations; ++it) {
+    for (Index n = 0; n < order; ++n) {
+      // The explicit Kronecker operand — the intermediate whose size the
+      // TTM-chain formulation avoids.
+      Matrix kron = KroneckerOfFactorsExcept(dec.factors, n);
+      Matrix unf = Unfold(x, n);
+      peak = std::max(peak, kron.ByteSize() + unf.ByteSize());
+      Matrix y = Multiply(unf, kron);  // I_n x prod J_{k != n}.
+      dec.factors[static_cast<std::size_t>(n)] =
+          LeadingLeftSingularVectorsViaGram(
+              y, options.ranks[static_cast<std::size_t>(n)]);
+      if (n == order - 1) {
+        // Core: G_(n) = A_n^T Y.
+        Matrix gn = MultiplyTN(dec.factors[static_cast<std::size_t>(n)], y);
+        dec.core = Fold(gn, n, options.ranks);
+      }
+    }
+    const double error =
+        OrthogonalTuckerRelativeError(x_norm2, dec.core.SquaredNorm());
+    if (stats != nullptr) stats->error_history.push_back(error);
+    const double delta = std::fabs(prev_error - error);
+    prev_error = error;
+    if (delta < options.tolerance) {
+      ++it;
+      break;
+    }
+  }
+  if (stats != nullptr) {
+    stats->iterations = it;
+    stats->iterate_seconds = iterate_timer.Seconds();
+  }
+  if (peak_intermediate_bytes != nullptr) *peak_intermediate_bytes = peak;
+  return dec;
+}
+
+}  // namespace dtucker

@@ -1,0 +1,27 @@
+// Textbook HOOI with explicit Kronecker products.
+//
+// The factor update A(n) <- leading SVs of X_(n) ((x)_{k != n} A(k))
+// evaluated literally: the Kronecker matrix (prod_{k != n} I_k) x
+// (prod_{k != n} J_k) is materialized and multiplied. This is the
+// "imprudent computation provokes huge intermediate data" strawman that
+// motivates D-Tucker's challenge C3 — it exists to be measured (experiment
+// E10), not used. Peak intermediate bytes are reported so the blow-up can
+// be charted against the TTM-chain implementation in TuckerAls.
+#ifndef DTUCKER_TUCKER_NAIVE_TUCKER_H_
+#define DTUCKER_TUCKER_NAIVE_TUCKER_H_
+
+#include "tucker/tucker_als.h"
+
+namespace dtucker {
+
+// Identical contract to TuckerAls (same fixed point); additionally reports
+// the largest single intermediate allocated during updates via
+// `peak_intermediate_bytes` (may be null).
+Result<TuckerDecomposition> TuckerAlsNaiveKronecker(
+    const Tensor& x, const TuckerAlsOptions& options,
+    TuckerStats* stats = nullptr,
+    std::size_t* peak_intermediate_bytes = nullptr);
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_TUCKER_NAIVE_TUCKER_H_

@@ -1,0 +1,83 @@
+#include "tucker/reconstruct.h"
+
+#include "linalg/blas.h"
+#include "tensor/tensor_ops.h"
+
+namespace dtucker {
+
+Result<double> ReconstructElement(const TuckerDecomposition& dec,
+                                  const std::vector<Index>& idx) {
+  const Index order = dec.order();
+  if (static_cast<Index>(idx.size()) != order) {
+    return Status::InvalidArgument("index order mismatch");
+  }
+  for (Index n = 0; n < order; ++n) {
+    const Matrix& f = dec.factors[static_cast<std::size_t>(n)];
+    if (idx[static_cast<std::size_t>(n)] < 0 ||
+        idx[static_cast<std::size_t>(n)] >= f.rows()) {
+      return Status::OutOfRange("index out of range at mode " +
+                                std::to_string(n));
+    }
+  }
+  // Contract the core against one factor row per mode, smallest-first
+  // would be optimal; ascending order is simple and already O(prod J).
+  Tensor cur = dec.core;
+  for (Index n = order - 1; n >= 0; --n) {
+    const Matrix& f = dec.factors[static_cast<std::size_t>(n)];
+    Matrix row = f.Row(idx[static_cast<std::size_t>(n)]);  // 1 x J_n.
+    cur = ModeProduct(cur, row, n);
+  }
+  return cur.data()[0];
+}
+
+Result<Matrix> ReconstructFrontalSlice(const TuckerDecomposition& dec,
+                                       Index l) {
+  const Index order = dec.order();
+  if (order < 3) {
+    return Status::InvalidArgument("frontal slices need order >= 3");
+  }
+  Index num_slices = 1;
+  for (Index n = 2; n < order; ++n) {
+    num_slices *= dec.factors[static_cast<std::size_t>(n)].rows();
+  }
+  if (l < 0 || l >= num_slices) {
+    return Status::OutOfRange("slice index out of range");
+  }
+
+  // Contract trailing modes with the factor rows selected by l
+  // (mode-3-fastest decomposition of l), leaving a J1 x J2 matrix, then
+  // expand the two leading modes.
+  Tensor cur = dec.core;
+  Index rem = l;
+  for (Index n = 2; n < order; ++n) {
+    const Matrix& f = dec.factors[static_cast<std::size_t>(n)];
+    const Index i_n = rem % f.rows();
+    rem /= f.rows();
+    Matrix row = f.Row(i_n);  // 1 x J_n.
+    cur = ModeProduct(cur, row, n);
+  }
+  std::vector<Index> small_shape = {dec.core.dim(0), dec.core.dim(1)};
+  Tensor small = cur.Reshaped(small_shape);
+  Matrix g12 = small.FrontalSlice(0);  // For order-2 tensors: whole matrix.
+  return Multiply(dec.factors[0], MultiplyNT(g12, dec.factors[1]));
+}
+
+Result<Tensor> ReconstructLastModeRange(const TuckerDecomposition& dec,
+                                        Index start, Index len) {
+  const Index order = dec.order();
+  if (order < 2) {
+    return Status::InvalidArgument("need order >= 2");
+  }
+  const Matrix& last = dec.factors[static_cast<std::size_t>(order - 1)];
+  if (start < 0 || len < 0 || start + len > last.rows()) {
+    return Status::OutOfRange("last-mode range out of bounds");
+  }
+  TuckerDecomposition restricted;
+  restricted.core = dec.core;
+  restricted.factors = dec.factors;
+  restricted.factors[static_cast<std::size_t>(order - 1)] =
+      last.Block(start, 0, len, last.cols());
+  return restricted.Reconstruct();
+}
+
+}  // namespace dtucker

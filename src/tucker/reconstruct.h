@@ -1,0 +1,33 @@
+// Partial reconstruction through Tucker factors.
+//
+// A key operational benefit of keeping data in Tucker form: individual
+// elements, fibers, and slices can be reconstructed in O(prod J) time
+// without materializing the full tensor. Used by the video and stock
+// examples and by anomaly-scoring workflows.
+#ifndef DTUCKER_TUCKER_RECONSTRUCT_H_
+#define DTUCKER_TUCKER_RECONSTRUCT_H_
+
+#include "common/status.h"
+#include "tucker/tucker.h"
+
+namespace dtucker {
+
+// Single element x(idx) = sum_j G(j) * prod_n A(n)(idx_n, j_n).
+// O(prod J_n) per call.
+Result<double> ReconstructElement(const TuckerDecomposition& dec,
+                                  const std::vector<Index>& idx);
+
+// Frontal slice X(:,:,i3,...,iN) for the flattened trailing index `l`
+// (mode-3 fastest, matching Tensor::FrontalSlice). Requires order >= 3.
+// O(I1*I2*J + prod J) time.
+Result<Matrix> ReconstructFrontalSlice(const TuckerDecomposition& dec,
+                                       Index l);
+
+// Sub-tensor over last-mode indices [start, start+len) — e.g. a frame
+// range of a video — without building the rest.
+Result<Tensor> ReconstructLastModeRange(const TuckerDecomposition& dec,
+                                        Index start, Index len);
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_TUCKER_RECONSTRUCT_H_

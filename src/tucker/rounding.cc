@@ -1,0 +1,73 @@
+#include "tucker/rounding.h"
+
+#include <algorithm>
+
+#include "linalg/blas.h"
+#include "linalg/eigen_sym.h"
+#include "tensor/tensor_ops.h"
+#include "tucker/hosvd.h"
+
+namespace dtucker {
+
+Result<TuckerDecomposition> RoundTucker(const TuckerDecomposition& dec,
+                                        const std::vector<Index>& new_ranks) {
+  const Index order = dec.order();
+  if (static_cast<Index>(new_ranks.size()) != order) {
+    return Status::InvalidArgument("need one new rank per mode");
+  }
+  for (Index n = 0; n < order; ++n) {
+    const Index k = new_ranks[static_cast<std::size_t>(n)];
+    if (k < 1 || k > dec.core.dim(n)) {
+      return Status::InvalidArgument(
+          "new rank at mode " + std::to_string(n) +
+          " must be in [1, " + std::to_string(dec.core.dim(n)) + "]");
+    }
+  }
+
+  // ST-HOSVD of the (small) core, then absorb the inner factors.
+  TuckerDecomposition inner = StHosvd(dec.core, new_ranks);
+  TuckerDecomposition out;
+  out.core = std::move(inner.core);
+  out.factors.reserve(static_cast<std::size_t>(order));
+  for (Index n = 0; n < order; ++n) {
+    out.factors.push_back(
+        Multiply(dec.factors[static_cast<std::size_t>(n)],
+                 inner.factors[static_cast<std::size_t>(n)]));
+  }
+  return out;
+}
+
+Result<TuckerDecomposition> RoundTuckerToTolerance(
+    const TuckerDecomposition& dec, double tolerance) {
+  if (tolerance < 0.0 || tolerance >= 1.0) {
+    return Status::InvalidArgument("tolerance must be in [0, 1)");
+  }
+  const Index order = dec.order();
+  const double total = dec.core.SquaredNorm();
+  // Per-mode budget: splitting the loss evenly across modes keeps the
+  // combined loss below `tolerance` (the HOSVD truncation bound).
+  const double per_mode =
+      total * tolerance / std::max<Index>(1, order);
+
+  std::vector<Index> ranks(static_cast<std::size_t>(order));
+  for (Index n = 0; n < order; ++n) {
+    Matrix unf = Unfold(dec.core, n);
+    Matrix gram(unf.rows(), unf.rows());
+    GemmRaw(Trans::kNo, Trans::kYes, unf.rows(), unf.rows(), unf.cols(), 1.0,
+            unf.data(), unf.rows(), unf.data(), unf.rows(), 0.0, gram.data(),
+            gram.rows());
+    EigenSymResult eig = EigenSym(gram);
+    // Keep the smallest prefix whose tail is within the budget.
+    double tail = 0;
+    Index rank = static_cast<Index>(eig.values.size());
+    for (Index i = static_cast<Index>(eig.values.size()) - 1; i >= 1; --i) {
+      tail += std::max(eig.values[static_cast<std::size_t>(i)], 0.0);
+      if (tail > per_mode) break;
+      rank = i;
+    }
+    ranks[static_cast<std::size_t>(n)] = rank;
+  }
+  return RoundTucker(dec, ranks);
+}
+
+}  // namespace dtucker

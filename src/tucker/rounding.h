@@ -1,0 +1,31 @@
+// Tucker rounding: recompress an existing decomposition to smaller ranks
+// without touching the original tensor.
+//
+// Because the factors are column-orthogonal, the optimal rank-(K1..KN)
+// truncation of the *model* is obtained by ST-HOSVD of the (small) core:
+// G ~= H x_1 B(1) ... x_N B(N), giving factors A(n) B(n) and core H. Cost
+// O(prod J) — independent of the tensor size. This is how a stored
+// decomposition (e.g. from the CLI) is downgraded to a coarser rank on
+// demand, complementing D-Tucker's compress-once / query-many workflow.
+#ifndef DTUCKER_TUCKER_ROUNDING_H_
+#define DTUCKER_TUCKER_ROUNDING_H_
+
+#include "common/status.h"
+#include "tucker/tucker.h"
+
+namespace dtucker {
+
+// Truncates `dec` to `new_ranks` (each 1 <= K_n <= J_n). Requires
+// column-orthogonal factors (as produced by every solver here except
+// Tucker-ts). The result's factors are again column-orthogonal.
+Result<TuckerDecomposition> RoundTucker(const TuckerDecomposition& dec,
+                                        const std::vector<Index>& new_ranks);
+
+// Truncates to the smallest ranks whose core energy loss stays below
+// `tolerance` (relative squared, against the model's energy).
+Result<TuckerDecomposition> RoundTuckerToTolerance(
+    const TuckerDecomposition& dec, double tolerance);
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_TUCKER_ROUNDING_H_

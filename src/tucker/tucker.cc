@@ -1,0 +1,47 @@
+#include "tucker/tucker.h"
+
+#include <algorithm>
+
+#include "tensor/tensor_ops.h"
+
+namespace dtucker {
+
+std::vector<Index> TuckerDecomposition::Ranks() const {
+  std::vector<Index> ranks;
+  ranks.reserve(factors.size());
+  for (const auto& f : factors) ranks.push_back(f.cols());
+  return ranks;
+}
+
+Tensor TuckerDecomposition::Reconstruct() const {
+  Tensor out = core;
+  for (Index n = 0; n < order(); ++n) {
+    // Factor A is I_n x J_n; with Trans::kNo it multiplies from the left
+    // (contracting the core's J_n) and expands the mode back to I_n.
+    out = ModeProduct(out, factors[static_cast<std::size_t>(n)], n,
+                      Trans::kNo);
+  }
+  return out;
+}
+
+double TuckerDecomposition::RelativeErrorAgainst(const Tensor& x) const {
+  Tensor rec = Reconstruct();
+  return RelativeError(x, rec);
+}
+
+std::size_t TuckerDecomposition::ByteSize() const {
+  std::size_t bytes = core.ByteSize();
+  for (const auto& f : factors) bytes += f.ByteSize();
+  return bytes;
+}
+
+double OrthogonalTuckerRelativeError(double x_squared_norm,
+                                     double core_squared_norm) {
+  if (x_squared_norm <= 0) return 0.0;
+  // Clamp: roundoff can push the projected mass slightly above ||X||^2.
+  const double residual =
+      std::max(0.0, x_squared_norm - core_squared_norm);
+  return residual / x_squared_norm;
+}
+
+}  // namespace dtucker

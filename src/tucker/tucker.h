@@ -1,0 +1,70 @@
+// Tucker decomposition result type and shared utilities.
+#ifndef DTUCKER_TUCKER_TUCKER_H_
+#define DTUCKER_TUCKER_TUCKER_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "tensor/tensor.h"
+
+namespace dtucker {
+
+// X ~= core x_1 factors[0] x_2 factors[1] ... x_N factors[N-1], with
+// factors[n] of shape I_n x J_n (column-orthogonal) and core of shape
+// J_1 x ... x J_N.
+struct TuckerDecomposition {
+  Tensor core;
+  std::vector<Matrix> factors;
+
+  Index order() const { return static_cast<Index>(factors.size()); }
+
+  // Tucker ranks (J_1, ..., J_N).
+  std::vector<Index> Ranks() const;
+
+  // Dense reconstruction core x_1 A1 ... x_N AN. O(prod I_n * J) time.
+  Tensor Reconstruct() const;
+
+  // Relative squared reconstruction error against `x`:
+  // ||X - X^||_F^2 / ||X||_F^2.
+  double RelativeErrorAgainst(const Tensor& x) const;
+
+  // Logical bytes of core + factors (the space the paper's Q2/E3
+  // experiment charges a method for its outputs).
+  std::size_t ByteSize() const;
+};
+
+// Shared knobs for every Tucker solver in this project.
+struct TuckerOptions {
+  std::vector<Index> ranks;  // One per mode; required.
+  int max_iterations = 100;  // Paper default (Appendix C style).
+  // Stop when the change of relative error between sweeps drops below this.
+  double tolerance = 1e-4;
+  uint64_t seed = 42;  // For randomized components.
+  // When true, solvers reject inputs containing NaN/Inf with
+  // InvalidArgument instead of silently propagating them (one O(size)
+  // scan; off by default to keep timing benchmarks clean).
+  bool validate_input = false;
+};
+
+// Per-run diagnostics filled in by the solvers.
+struct TuckerStats {
+  int iterations = 0;
+  std::vector<double> error_history;  // Relative error after each sweep.
+  double preprocess_seconds = 0;      // Approximation/sketching phase.
+  double init_seconds = 0;            // Initialization phase.
+  double iterate_seconds = 0;         // ALS sweeps.
+  double TotalSeconds() const {
+    return preprocess_seconds + init_seconds + iterate_seconds;
+  }
+  // Peak logical working-set bytes beyond the input tensor itself.
+  std::size_t working_bytes = 0;
+};
+
+// Fast relative error when factors are column-orthogonal and `core` is the
+// exact projection: ||X - X^||^2 = ||X||^2 - ||G||^2.
+double OrthogonalTuckerRelativeError(double x_squared_norm,
+                                     double core_squared_norm);
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_TUCKER_TUCKER_H_

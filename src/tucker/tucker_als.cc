@@ -1,0 +1,109 @@
+#include "tucker/tucker_als.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "linalg/qr.h"
+#include "linalg/svd.h"
+#include "rsvd/rsvd.h"
+#include "tensor/tensor_ops.h"
+#include "tensor/tensor_utils.h"
+#include "tucker/hosvd.h"
+
+namespace dtucker {
+
+Status ValidateRanks(const std::vector<Index>& shape,
+                     const std::vector<Index>& ranks) {
+  if (ranks.size() != shape.size()) {
+    return Status::InvalidArgument("need exactly one Tucker rank per mode");
+  }
+  for (std::size_t n = 0; n < ranks.size(); ++n) {
+    if (ranks[n] <= 0) {
+      return Status::InvalidArgument("Tucker ranks must be positive");
+    }
+    if (ranks[n] > shape[n]) {
+      return Status::InvalidArgument(
+          "Tucker rank exceeds dimensionality at mode " + std::to_string(n));
+    }
+  }
+  return Status::OK();
+}
+
+Result<TuckerDecomposition> TuckerAls(const Tensor& x,
+                                      const TuckerAlsOptions& options,
+                                      TuckerStats* stats) {
+  DT_RETURN_NOT_OK(ValidateRanks(x.shape(), options.ranks));
+  if (options.validate_input) DT_RETURN_NOT_OK(ValidateFinite(x));
+  const Index order = x.order();
+  const double x_norm2 = x.SquaredNorm();
+
+  TuckerDecomposition dec;
+  Timer init_timer;
+  if (options.init == TuckerInit::kHosvd) {
+    dec = StHosvd(x, options.ranks);
+  } else {
+    Rng rng(options.seed);
+    dec.factors.resize(static_cast<std::size_t>(order));
+    for (Index n = 0; n < order; ++n) {
+      Matrix g = Matrix::GaussianRandom(
+          x.dim(n), options.ranks[static_cast<std::size_t>(n)], rng);
+      dec.factors[static_cast<std::size_t>(n)] = QrOrthonormalize(g);
+    }
+    dec.core = ModeProductChain(x, dec.factors, -1, Trans::kYes);
+  }
+  if (stats != nullptr) stats->init_seconds = init_timer.Seconds();
+
+  Timer iterate_timer;
+  double prev_error = OrthogonalTuckerRelativeError(x_norm2,
+                                                    dec.core.SquaredNorm());
+  if (stats != nullptr) stats->error_history.push_back(prev_error);
+  int it = 0;
+  for (; it < options.max_iterations; ++it) {
+    for (Index n = 0; n < order; ++n) {
+      // Y = X x_{k != n} A(k)^T; factor update from its mode-n unfolding.
+      Tensor y = ModeProductChain(x, dec.factors, n, Trans::kYes);
+      Matrix yn = Unfold(y, n);
+      const Index rank = options.ranks[static_cast<std::size_t>(n)];
+      Matrix* factor = &dec.factors[static_cast<std::size_t>(n)];
+      switch (options.factor_update) {
+        case FactorUpdate::kGramEig:
+          *factor = LeadingLeftSingularVectorsViaGram(yn, rank);
+          break;
+        case FactorUpdate::kExactSvd:
+          *factor = LeadingLeftSingularVectors(yn, rank);
+          break;
+        case FactorUpdate::kRandomized: {
+          RsvdOptions rsvd;
+          rsvd.rank = rank;
+          rsvd.seed = options.seed + static_cast<uint64_t>(n) * 131 +
+                      static_cast<uint64_t>(it) * 100003;
+          SvdResult svd = RandomizedSvd(yn, rsvd);
+          *factor = std::move(svd.u);
+          break;
+        }
+      }
+      if (n == order - 1) {
+        // Core refresh for free: contract the final mode of the last Y.
+        dec.core = ModeProduct(y, dec.factors[static_cast<std::size_t>(n)], n,
+                               Trans::kYes);
+      }
+    }
+    const double error =
+        OrthogonalTuckerRelativeError(x_norm2, dec.core.SquaredNorm());
+    if (stats != nullptr) stats->error_history.push_back(error);
+    const double delta = std::fabs(prev_error - error);
+    prev_error = error;
+    if (delta < options.tolerance) {
+      ++it;
+      break;
+    }
+  }
+  if (stats != nullptr) {
+    stats->iterations = it;
+    stats->iterate_seconds = iterate_timer.Seconds();
+  }
+  return dec;
+}
+
+}  // namespace dtucker

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/mach.h"
+#include "baselines/registry.h"
+#include "baselines/rtd.h"
+#include "baselines/tucker_ts.h"
+#include "common/rng.h"
+#include "data/generators.h"
+#include "linalg/blas.h"
+
+namespace dtucker {
+namespace {
+
+Tensor TestTensor(double noise = 0.0, uint64_t seed = 1) {
+  return MakeLowRankTensor({16, 14, 12}, {3, 3, 3}, noise, seed);
+}
+
+// --- MACH ---
+
+TEST(MachTest, SampleRateValidated) {
+  Tensor x = TestTensor();
+  EXPECT_FALSE(MachSample(x, 0.0, 1).ok());
+  EXPECT_FALSE(MachSample(x, 1.5, 1).ok());
+}
+
+TEST(MachTest, SampleIsUnbiasedInExpectation) {
+  Tensor x = TestTensor(0.0, 2);
+  // Mean of many sampled tensors approaches x entrywise; check total mass.
+  double total = 0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    Result<SparseTensor> sp = MachSample(x, 0.3, 100 + t);
+    ASSERT_TRUE(sp.ok());
+    Tensor d = sp.value().ToDense();
+    total += InnerProduct(d, x);
+  }
+  total /= trials;
+  EXPECT_NEAR(total, x.SquaredNorm(), 0.05 * x.SquaredNorm());
+}
+
+TEST(MachTest, SampleCountNearExpectation) {
+  Tensor x = TestTensor(0.0, 3);
+  Result<SparseTensor> sp = MachSample(x, 0.2, 5);
+  ASSERT_TRUE(sp.ok());
+  const double expected = 0.2 * static_cast<double>(x.size());
+  EXPECT_NEAR(static_cast<double>(sp.value().nnz()), expected,
+              4 * std::sqrt(expected));
+}
+
+TEST(MachTest, FullSampleRateRecoversExactly) {
+  Tensor x = TestTensor(0.0, 4);
+  MachOptions opt;
+  opt.ranks = {3, 3, 3};
+  opt.sample_rate = 1.0;  // No information lost.
+  opt.max_iterations = 25;
+  Result<TuckerDecomposition> dec = Mach(x, opt);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_LT(dec.value().RelativeErrorAgainst(x), 1e-8);
+}
+
+TEST(MachTest, ModerateSamplingHasBoundedErrorInflation) {
+  Tensor x = TestTensor(0.1, 5);
+  MachOptions opt;
+  opt.ranks = {3, 3, 3};
+  opt.sample_rate = 0.5;
+  opt.max_iterations = 20;
+  TuckerStats stats;
+  Result<TuckerDecomposition> dec = Mach(x, opt, &stats);
+  ASSERT_TRUE(dec.ok());
+  // MACH trades accuracy for speed: error should be small-ish but need not
+  // match ALS.
+  EXPECT_LT(dec.value().RelativeErrorAgainst(x), 0.30);
+  EXPECT_GT(stats.working_bytes, 0u);
+}
+
+// --- RTD ---
+
+TEST(RtdTest, ExactOnLowRank) {
+  Tensor x = TestTensor(0.0, 6);
+  RtdOptions opt;
+  opt.ranks = {3, 3, 3};
+  Result<TuckerDecomposition> dec = Rtd(x, opt);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_LT(dec.value().RelativeErrorAgainst(x), 1e-10);
+}
+
+TEST(RtdTest, FactorsOrthonormal) {
+  Tensor x = TestTensor(0.2, 7);
+  RtdOptions opt;
+  opt.ranks = {3, 2, 4};
+  Result<TuckerDecomposition> dec = Rtd(x, opt);
+  ASSERT_TRUE(dec.ok());
+  for (const auto& f : dec.value().factors) {
+    EXPECT_TRUE(AlmostEqual(MultiplyTN(f, f), Matrix::Identity(f.cols()),
+                            1e-8));
+  }
+  EXPECT_EQ(dec.value().core.shape(), (std::vector<Index>{3, 2, 4}));
+}
+
+TEST(RtdTest, RejectsBadRanks) {
+  Tensor x = TestTensor();
+  RtdOptions opt;
+  opt.ranks = {99, 3, 3};
+  EXPECT_FALSE(Rtd(x, opt).ok());
+}
+
+// --- Tucker-ts / Tucker-ttmts ---
+
+TEST(TuckerTsTest, RecoversLowRankSignal) {
+  Tensor x = TestTensor(0.0, 8);
+  TuckerTsOptions opt;
+  opt.ranks = {3, 3, 3};
+  opt.max_iterations = 15;
+  opt.sketch_factor = 8.0;
+  Result<TuckerDecomposition> dec = TuckerTs(x, opt);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_LT(dec.value().RelativeErrorAgainst(x), 0.01);
+}
+
+TEST(TuckerTsTest, StatsTrackSketchBytes) {
+  Tensor x = TestTensor(0.1, 9);
+  TuckerTsOptions opt;
+  opt.ranks = {3, 3, 3};
+  opt.max_iterations = 5;
+  TuckerStats stats;
+  Result<TuckerDecomposition> dec = TuckerTs(x, opt, &stats);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_GT(stats.preprocess_seconds, 0.0);
+  EXPECT_GT(stats.working_bytes, 0u);
+}
+
+TEST(TuckerTtmtsTest, RecoversLowRankSignal) {
+  Tensor x = TestTensor(0.0, 10);
+  TuckerTsOptions opt;
+  opt.ranks = {3, 3, 3};
+  opt.max_iterations = 15;
+  opt.sketch_factor = 8.0;
+  Result<TuckerDecomposition> dec = TuckerTtmts(x, opt);
+  ASSERT_TRUE(dec.ok());
+  // ttmts has a sketch-noise floor ~1/sqrt(s) even on exact-rank data.
+  EXPECT_LT(dec.value().RelativeErrorAgainst(x), 0.12);
+}
+
+TEST(TuckerTtmtsTest, FactorsOrthonormal) {
+  Tensor x = TestTensor(0.2, 11);
+  TuckerTsOptions opt;
+  opt.ranks = {3, 3, 3};
+  opt.max_iterations = 6;
+  Result<TuckerDecomposition> dec = TuckerTtmts(x, opt);
+  ASSERT_TRUE(dec.ok());
+  for (const auto& f : dec.value().factors) {
+    EXPECT_TRUE(AlmostEqual(MultiplyTN(f, f), Matrix::Identity(f.cols()),
+                            1e-8));
+  }
+}
+
+// --- Registry ---
+
+TEST(RegistryTest, NamesRoundTrip) {
+  for (TuckerMethod m : AllTuckerMethods()) {
+    Result<TuckerMethod> parsed = ParseTuckerMethod(TuckerMethodName(m));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), m);
+  }
+  EXPECT_FALSE(ParseTuckerMethod("nope").ok());
+}
+
+// Every registered method runs end-to-end on a small noisy tensor and
+// produces a sane decomposition.
+class RegistryParamTest : public ::testing::TestWithParam<TuckerMethod> {};
+
+TEST_P(RegistryParamTest, RunsEndToEnd) {
+  Tensor x = MakeLowRankTensor({14, 12, 10}, {3, 3, 3}, 0.1, 12);
+  MethodOptions opt;
+  opt.ranks = {3, 3, 3};
+  opt.max_iterations = 10;
+  opt.mach_sample_rate = 0.5;
+  opt.sketch_factor = 8.0;
+  Result<MethodRun> run = RunTuckerMethod(GetParam(), x, opt);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run.value().decomposition.core.shape(),
+            (std::vector<Index>{3, 3, 3}));
+  EXPECT_LT(run.value().relative_error, 0.5)
+      << TuckerMethodName(GetParam());
+  EXPECT_GT(run.value().stored_bytes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, RegistryParamTest,
+    ::testing::ValuesIn(AllTuckerMethods()),
+    [](const ::testing::TestParamInfo<TuckerMethod>& info) {
+      std::string name = TuckerMethodName(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(RegistryTest, DTuckerStoresLessThanInput) {
+  Tensor x = MakeLowRankTensor({30, 26, 20}, {3, 3, 3}, 0.1, 13);
+  MethodOptions opt;
+  opt.ranks = {3, 3, 3};
+  opt.max_iterations = 5;
+  Result<MethodRun> dt = RunTuckerMethod(TuckerMethod::kDTucker, x, opt);
+  Result<MethodRun> als = RunTuckerMethod(TuckerMethod::kTuckerAls, x, opt);
+  ASSERT_TRUE(dt.ok() && als.ok());
+  EXPECT_LT(dt.value().stored_bytes, als.value().stored_bytes);
+}
+
+}  // namespace
+}  // namespace dtucker

@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/flags.h"
+#include "common/memory.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+
+namespace dtucker {
+namespace {
+
+// --- Status / Result ---
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad rank");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad rank");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= 7; ++c) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::OutOfRange("not positive");
+  return v;
+}
+
+Result<int> DoubleIt(int v) {
+  DT_ASSIGN_OR_RETURN(int parsed, ParsePositive(v));
+  return parsed * 2;
+}
+
+TEST(ResultTest, ValuePath) {
+  Result<int> r = DoubleIt(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, ErrorPropagatesThroughMacro) {
+  Result<int> r = DoubleIt(-1);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+// --- Rng ---
+
+TEST(RngTest, DeterministicStreams) {
+  Rng a(5), b(5), c(6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+  bool differs = false;
+  Rng a2(5);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.NextU64() != c.NextU64()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    double v = rng.Uniform(-2, 3);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+    uint64_t k = rng.UniformInt(10);
+    EXPECT_LT(k, 10u);
+  }
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyStandard) {
+  Rng rng(8);
+  const int n = 20000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.Gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(RngTest, PermutationIsValid) {
+  Rng rng(9);
+  auto p = rng.Permutation(50);
+  std::vector<bool> seen(50, false);
+  for (auto v : p) {
+    ASSERT_LT(v, 50u);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(RngTest, SplitGivesIndependentStream) {
+  Rng a(10);
+  Rng child = a.Split();
+  EXPECT_NE(a.NextU64(), child.NextU64());
+}
+
+// --- Timer ---
+
+TEST(TimerTest, MeasuresElapsed) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + std::sqrt(i);
+  EXPECT_GT(t.Seconds(), 0.0);
+  const double first = t.Millis();
+  EXPECT_LE(first, t.Millis());  // Monotonic.
+}
+
+TEST(PhaseTimerTest, AccumulatesBuckets) {
+  PhaseTimer pt;
+  pt.Add("a", 1.0);
+  pt.Add("a", 0.5);
+  pt.Add("b", 2.0);
+  EXPECT_DOUBLE_EQ(pt.Total("a"), 1.5);
+  EXPECT_DOUBLE_EQ(pt.Total("b"), 2.0);
+  EXPECT_DOUBLE_EQ(pt.Total("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(pt.GrandTotal(), 3.5);
+  pt.Reset();
+  EXPECT_DOUBLE_EQ(pt.GrandTotal(), 0.0);
+}
+
+TEST(PhaseTimerTest, ScopedPhaseRecords) {
+  PhaseTimer pt;
+  {
+    ScopedPhase phase(&pt, "scope");
+    volatile double sink = 0;
+    for (int i = 0; i < 10000; ++i) sink = sink + i;
+  }
+  EXPECT_GT(pt.Total("scope"), 0.0);
+}
+
+// --- MemoryMeter ---
+
+TEST(MemoryMeterTest, TracksPeak) {
+  MemoryMeter m;
+  m.Charge(100);
+  m.Charge(50);
+  EXPECT_EQ(m.current_bytes(), 150u);
+  EXPECT_EQ(m.peak_bytes(), 150u);
+  m.Release(120);
+  EXPECT_EQ(m.current_bytes(), 30u);
+  EXPECT_EQ(m.peak_bytes(), 150u);
+  m.Release(1000);  // Clamped.
+  EXPECT_EQ(m.current_bytes(), 0u);
+}
+
+TEST(MemoryMeterTest, RssIsPositiveOnLinux) {
+  EXPECT_GT(CurrentRssBytes(), 0u);
+}
+
+// --- FlagParser ---
+
+TEST(FlagParserTest, ParsesAllTypes) {
+  FlagParser p;
+  p.AddString("name", "x", "a string")
+      .AddInt("count", 3, "an int")
+      .AddDouble("rate", 0.5, "a double")
+      .AddBool("verbose", false, "a bool");
+  const char* argv[] = {"prog", "--name=hello", "--count", "7",
+                        "--rate=0.25", "--verbose"};
+  ASSERT_TRUE(p.Parse(6, const_cast<char**>(argv)).ok());
+  EXPECT_EQ(p.GetString("name"), "hello");
+  EXPECT_EQ(p.GetInt("count"), 7);
+  EXPECT_DOUBLE_EQ(p.GetDouble("rate"), 0.25);
+  EXPECT_TRUE(p.GetBool("verbose"));
+}
+
+TEST(FlagParserTest, DefaultsHold) {
+  FlagParser p;
+  p.AddInt("count", 3, "an int");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(p.Parse(1, const_cast<char**>(argv)).ok());
+  EXPECT_EQ(p.GetInt("count"), 3);
+}
+
+TEST(FlagParserTest, RejectsUnknownAndMalformed) {
+  FlagParser p;
+  p.AddInt("count", 3, "an int");
+  const char* bad1[] = {"prog", "--nope=1"};
+  EXPECT_FALSE(p.Parse(2, const_cast<char**>(bad1)).ok());
+  const char* bad2[] = {"prog", "--count=abc"};
+  EXPECT_FALSE(p.Parse(2, const_cast<char**>(bad2)).ok());
+  const char* bad3[] = {"prog", "stray"};
+  EXPECT_FALSE(p.Parse(2, const_cast<char**>(bad3)).ok());
+}
+
+TEST(FlagParserTest, HelpRequested) {
+  FlagParser p;
+  p.AddInt("count", 3, "an int");
+  const char* argv[] = {"prog", "--help"};
+  ASSERT_TRUE(p.Parse(2, const_cast<char**>(argv)).ok());
+  EXPECT_TRUE(p.help_requested());
+  EXPECT_NE(p.HelpString().find("count"), std::string::npos);
+}
+
+// --- TablePrinter ---
+
+TEST(TablePrinterTest, RendersAlignedTable) {
+  TablePrinter t({"method", "time"});
+  t.AddRow({"D-Tucker", "1.5 s"});
+  t.AddRow({"ALS", "30 s"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("| method"), std::string::npos);
+  EXPECT_NE(s.find("D-Tucker"), std::string::npos);
+  EXPECT_NE(s.find("|--"), std::string::npos);
+}
+
+TEST(TablePrinterTest, Formatters) {
+  EXPECT_EQ(TablePrinter::FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::FormatSeconds(0.5), "500.00 ms");
+  EXPECT_EQ(TablePrinter::FormatSeconds(2.0), "2.000 s");
+  EXPECT_NE(TablePrinter::FormatSeconds(1e-5).find("us"), std::string::npos);
+  EXPECT_EQ(TablePrinter::FormatBytes(512), "512 B");
+  EXPECT_EQ(TablePrinter::FormatBytes(2048), "2.0 KiB");
+  EXPECT_NE(TablePrinter::FormatBytes(3u << 20).find("MiB"),
+            std::string::npos);
+  EXPECT_NE(TablePrinter::FormatScientific(0.001234).find("e-"),
+            std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"only"});
+  EXPECT_NE(t.ToString().find("only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dtucker

@@ -1,0 +1,136 @@
+#include "cp/cp_als.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/blas.h"
+#include "tensor/tensor_ops.h"
+
+namespace dtucker {
+namespace {
+
+// Exact rank-R CP tensor with known components.
+Tensor MakeCpTensor(const std::vector<Index>& shape, Index rank,
+                    uint64_t seed) {
+  Rng rng(seed);
+  CpDecomposition truth;
+  truth.factors.reserve(shape.size());
+  for (Index dim : shape) {
+    Matrix f = Matrix::GaussianRandom(dim, rank, rng);
+    truth.factors.push_back(std::move(f));
+  }
+  truth.weights.assign(static_cast<std::size_t>(rank), 1.0);
+  return truth.Reconstruct();
+}
+
+TEST(CpAlsTest, ValidatesInput) {
+  Tensor x({4});
+  CpAlsOptions opt;
+  EXPECT_FALSE(CpAls(x, opt).ok());  // Order 1.
+  Tensor y({4, 4, 4});
+  opt.rank = 0;
+  EXPECT_FALSE(CpAls(y, opt).ok());
+}
+
+TEST(CpAlsTest, ReconstructionIdentity) {
+  // CpDecomposition::Reconstruct matches the elementwise definition.
+  Rng rng(1);
+  CpDecomposition dec;
+  dec.factors = {Matrix::GaussianRandom(3, 2, rng),
+                 Matrix::GaussianRandom(4, 2, rng),
+                 Matrix::GaussianRandom(5, 2, rng)};
+  dec.weights = {2.0, 0.5};
+  Tensor rec = dec.Reconstruct();
+  for (Index k = 0; k < 5; ++k) {
+    for (Index j = 0; j < 4; ++j) {
+      for (Index i = 0; i < 3; ++i) {
+        double expect = 0;
+        for (Index r = 0; r < 2; ++r) {
+          expect += dec.weights[static_cast<std::size_t>(r)] *
+                    dec.factors[0](i, r) * dec.factors[1](j, r) *
+                    dec.factors[2](k, r);
+        }
+        EXPECT_NEAR(rec(i, j, k), expect, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(CpAlsTest, RecoversExactLowRankTensor) {
+  Tensor x = MakeCpTensor({15, 12, 10}, 3, 2);
+  CpAlsOptions opt;
+  opt.rank = 3;
+  opt.max_iterations = 200;
+  opt.tolerance = 1e-12;
+  Result<CpDecomposition> dec = CpAls(x, opt);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_LT(dec.value().RelativeErrorAgainst(x), 1e-6);
+}
+
+TEST(CpAlsTest, WeightsSortedAndColumnsNormalized) {
+  Tensor x = MakeCpTensor({12, 10, 8}, 4, 3);
+  CpAlsOptions opt;
+  opt.rank = 4;
+  opt.max_iterations = 50;
+  Result<CpDecomposition> dec = CpAls(x, opt);
+  ASSERT_TRUE(dec.ok());
+  const auto& w = dec.value().weights;
+  for (std::size_t i = 1; i < w.size(); ++i) EXPECT_LE(w[i], w[i - 1]);
+  for (const auto& f : dec.value().factors) {
+    for (Index j = 0; j < f.cols(); ++j) {
+      EXPECT_NEAR(Nrm2(f.col_data(j), f.rows()), 1.0, 1e-8);
+    }
+  }
+}
+
+TEST(CpAlsTest, InternalFitMatchesTrueError) {
+  Tensor x = MakeCpTensor({10, 9, 8}, 5, 4);
+  CpAlsOptions opt;
+  opt.rank = 3;  // Under-parameterized: nonzero error.
+  opt.max_iterations = 40;
+  opt.tolerance = 0.0;
+  TuckerStats stats;
+  Result<CpDecomposition> dec = CpAls(x, opt, &stats);
+  ASSERT_TRUE(dec.ok());
+  ASSERT_FALSE(stats.error_history.empty());
+  EXPECT_NEAR(stats.error_history.back(),
+              dec.value().RelativeErrorAgainst(x), 1e-6);
+}
+
+TEST(CpAlsTest, ErrorDecreasesMonotonically) {
+  Tensor x = MakeCpTensor({12, 11, 10}, 6, 5);
+  CpAlsOptions opt;
+  opt.rank = 4;
+  opt.max_iterations = 30;
+  opt.tolerance = 0.0;
+  TuckerStats stats;
+  ASSERT_TRUE(CpAls(x, opt, &stats).ok());
+  for (std::size_t i = 1; i < stats.error_history.size(); ++i) {
+    EXPECT_LE(stats.error_history[i], stats.error_history[i - 1] + 1e-9);
+  }
+}
+
+TEST(CpAlsTest, FourOrderTensor) {
+  Tensor x = MakeCpTensor({8, 7, 6, 5}, 2, 6);
+  CpAlsOptions opt;
+  opt.rank = 2;
+  opt.max_iterations = 100;
+  opt.tolerance = 1e-12;
+  Result<CpDecomposition> dec = CpAls(x, opt);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_LT(dec.value().RelativeErrorAgainst(x), 1e-5);
+}
+
+TEST(CpAlsTest, ByteSizeAccounts) {
+  Tensor x = MakeCpTensor({10, 10, 10}, 2, 7);
+  CpAlsOptions opt;
+  opt.rank = 2;
+  opt.max_iterations = 5;
+  Result<CpDecomposition> dec = CpAls(x, opt);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_EQ(dec.value().ByteSize(),
+            (3 * 10 * 2 + 2) * sizeof(double));
+}
+
+}  // namespace
+}  // namespace dtucker

@@ -1,0 +1,102 @@
+#include "data/csv_loader.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace dtucker {
+namespace {
+
+TEST(CsvTest, ParsesSimpleNumeric) {
+  Result<Matrix> m = ParseCsv("1,2,3\n4,5,6\n");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m.value().rows(), 2);
+  EXPECT_EQ(m.value().cols(), 3);
+  EXPECT_EQ(m.value()(0, 0), 1);
+  EXPECT_EQ(m.value()(1, 2), 6);
+}
+
+TEST(CsvTest, SkipsHeaderRows) {
+  CsvOptions opt;
+  opt.skip_rows = 1;
+  Result<Matrix> m = ParseCsv("date,open,close\n1,2,3\n", opt);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m.value().rows(), 1);
+  EXPECT_EQ(m.value()(0, 1), 2);
+}
+
+TEST(CsvTest, CustomDelimiterAndCrLf) {
+  CsvOptions opt;
+  opt.delimiter = ';';
+  Result<Matrix> m = ParseCsv("1;2\r\n3;4\r\n", opt);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m.value()(1, 1), 4);
+}
+
+TEST(CsvTest, ScientificAndNegativeNumbers) {
+  Result<Matrix> m = ParseCsv("-1.5,2e3\n0.25,-3.5e-2\n");
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m.value()(0, 0), -1.5);
+  EXPECT_DOUBLE_EQ(m.value()(0, 1), 2000);
+  EXPECT_DOUBLE_EQ(m.value()(1, 1), -0.035);
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  EXPECT_FALSE(ParseCsv("1,2,3\n4,5\n").ok());
+}
+
+TEST(CsvTest, RejectsNonNumericByDefault) {
+  EXPECT_FALSE(ParseCsv("1,x\n").ok());
+  CsvOptions opt;
+  opt.coerce_invalid_to_zero = true;
+  Result<Matrix> m = ParseCsv("1,x\n", opt);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m.value()(0, 1), 0.0);
+}
+
+TEST(CsvTest, RejectsEmpty) {
+  EXPECT_FALSE(ParseCsv("").ok());
+  CsvOptions opt;
+  opt.skip_rows = 2;
+  EXPECT_FALSE(ParseCsv("h1\nh2\n", opt).ok());
+}
+
+TEST(CsvTest, SkipsBlankLines) {
+  Result<Matrix> m = ParseCsv("1,2\n\n3,4\n");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m.value().rows(), 2);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/data.csv";
+  FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("t,price\n0,10.5\n1,11.25\n2,9.75\n", f);
+  std::fclose(f);
+  CsvOptions opt;
+  opt.skip_rows = 1;
+  Result<Matrix> m = LoadCsvFile(path, opt);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_EQ(m.value().rows(), 3);
+  EXPECT_DOUBLE_EQ(m.value()(1, 1), 11.25);
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadCsvFile(path).ok());  // Gone now.
+}
+
+TEST(CsvTest, StackMatricesIntoTensor) {
+  Matrix a({{1, 2}, {3, 4}});
+  Matrix b({{5, 6}, {7, 8}});
+  Result<Tensor> t = StackMatrices({a, b});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value().shape(), (std::vector<Index>{2, 2, 2}));
+  EXPECT_EQ(t.value()(0, 0, 1), 2);  // Entity 0, row 0, col 1.
+  EXPECT_EQ(t.value()(1, 1, 0), 7);  // Entity 1, row 1, col 0.
+}
+
+TEST(CsvTest, StackValidates) {
+  EXPECT_FALSE(StackMatrices({}).ok());
+  EXPECT_FALSE(StackMatrices({Matrix(2, 2), Matrix(2, 3)}).ok());
+}
+
+}  // namespace
+}  // namespace dtucker

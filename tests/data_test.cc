@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "data/datasets.h"
+#include "data/generators.h"
+#include "data/tensor_io.h"
+#include "tucker/hosvd.h"
+
+namespace dtucker {
+namespace {
+
+TEST(GeneratorsTest, LowRankTensorHasRequestedRank) {
+  Tensor x = MakeLowRankTensor({12, 10, 8}, {3, 3, 3}, 0.0, 1);
+  // Rank-(3,3,3) Tucker approximation must be exact.
+  TuckerDecomposition dec = StHosvd(x, {3, 3, 3});
+  EXPECT_LT(dec.RelativeErrorAgainst(x), 1e-16);
+  // Rank-(2,2,2) must not be (generic core).
+  TuckerDecomposition dec2 = StHosvd(x, {2, 2, 2});
+  EXPECT_GT(dec2.RelativeErrorAgainst(x), 1e-6);
+}
+
+TEST(GeneratorsTest, NoiseRaisesResidual) {
+  Tensor clean = MakeLowRankTensor({10, 10, 10}, {2, 2, 2}, 0.0, 2);
+  Tensor noisy = MakeLowRankTensor({10, 10, 10}, {2, 2, 2}, 0.5, 2);
+  TuckerDecomposition dc = StHosvd(clean, {2, 2, 2});
+  TuckerDecomposition dn = StHosvd(noisy, {2, 2, 2});
+  EXPECT_GT(dn.RelativeErrorAgainst(noisy), dc.RelativeErrorAgainst(clean));
+}
+
+TEST(GeneratorsTest, DeterministicInSeed) {
+  Tensor a = MakeVideoAnalog(12, 10, 6, 2, 0.05, 7);
+  Tensor b = MakeVideoAnalog(12, 10, 6, 2, 0.05, 7);
+  Tensor c = MakeVideoAnalog(12, 10, 6, 2, 0.05, 8);
+  EXPECT_TRUE(AlmostEqual(a, b, 0.0));
+  EXPECT_FALSE(AlmostEqual(a, c, 1e-12));
+}
+
+TEST(GeneratorsTest, ShapesAsRequested) {
+  EXPECT_EQ(MakeVideoAnalog(8, 9, 10, 2, 0, 1).shape(),
+            (std::vector<Index>{8, 9, 10}));
+  EXPECT_EQ(MakeStockAnalog(7, 5, 11, 3, 0, 1).shape(),
+            (std::vector<Index>{7, 5, 11}));
+  EXPECT_EQ(MakeTrafficAnalog(6, 4, 12, 0, 1).shape(),
+            (std::vector<Index>{6, 4, 12}));
+  EXPECT_EQ(MakeMusicAnalog(5, 16, 6, 0, 1).shape(),
+            (std::vector<Index>{5, 16, 6}));
+  EXPECT_EQ(MakeClimateAnalog(4, 5, 3, 6, 0, 1).shape(),
+            (std::vector<Index>{4, 5, 3, 6}));
+}
+
+TEST(GeneratorsTest, AnalogsAreApproximatelyLowRank) {
+  // The defining property the methods rely on: a modest Tucker rank
+  // captures most of the energy.
+  struct Case {
+    Tensor x;
+    const char* name;
+  };
+  std::vector<Case> cases;
+  cases.push_back({MakeStockAnalog(40, 12, 50, 6, 0.1, 3), "stock"});
+  cases.push_back({MakeTrafficAnalog(30, 12, 96, 0.05, 4), "traffic"});
+  cases.push_back({MakeMusicAnalog(20, 32, 24, 0.02, 5), "music"});
+  for (auto& c : cases) {
+    TuckerDecomposition dec =
+        StHosvd(c.x, {8, 8, std::min<Index>(8, c.x.dim(2))});
+    EXPECT_LT(dec.RelativeErrorAgainst(c.x), 0.25) << c.name;
+  }
+}
+
+TEST(DatasetsTest, RegistryListsSix) {
+  EXPECT_EQ(BenchmarkDatasets().size(), 6u);
+  EXPECT_NE(DatasetNames().find("video"), std::string::npos);
+  EXPECT_NE(DatasetNames().find("climate"), std::string::npos);
+}
+
+TEST(DatasetsTest, UnknownNameRejected) {
+  EXPECT_FALSE(MakeDataset("nope").ok());
+  EXPECT_FALSE(MakeDataset("video", 0.0).ok());
+  EXPECT_FALSE(MakeDataset("video", 2.0).ok());
+}
+
+TEST(DatasetsTest, ScaleShrinksShape) {
+  Result<Tensor> small = MakeDataset("stock", 0.05);
+  ASSERT_TRUE(small.ok());
+  EXPECT_LE(small.value().dim(0), 32);
+  EXPECT_GE(small.value().dim(0), 8);  // Floor applies.
+  EXPECT_EQ(small.value().order(), 3);
+}
+
+TEST(DatasetsTest, ClimateIsFourOrder) {
+  Result<Tensor> t = MakeDataset("climate", 0.1);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value().order(), 4);
+}
+
+TEST(TensorIoTest, SaveLoadRoundTrip) {
+  Tensor x = MakeLowRankTensor({6, 5, 4}, {2, 2, 2}, 0.1, 6);
+  const std::string path = ::testing::TempDir() + "/roundtrip.dtnsr";
+  ASSERT_TRUE(SaveTensor(x, path).ok());
+  Result<Tensor> loaded = LoadTensor(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(AlmostEqual(loaded.value(), x, 0.0));
+  std::remove(path.c_str());
+}
+
+TEST(TensorIoTest, MissingFileReported) {
+  Result<Tensor> r = LoadTensor("/nonexistent/path/file.dtnsr");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(TensorIoTest, CorruptMagicRejected) {
+  const std::string path = ::testing::TempDir() + "/bad.dtnsr";
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("NOTMAGIC", 1, 8, f);
+  std::fclose(f);
+  Result<Tensor> r = LoadTensor(path);
+  EXPECT_FALSE(r.ok());
+  std::remove(path.c_str());
+}
+
+TEST(TensorIoTest, TruncatedPayloadRejected) {
+  Tensor x = MakeLowRankTensor({6, 5, 4}, {2, 2, 2}, 0.0, 7);
+  const std::string path = ::testing::TempDir() + "/trunc.dtnsr";
+  ASSERT_TRUE(SaveTensor(x, path).ok());
+  // Truncate the file to half.
+  FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(truncate(path.c_str(), 100), 0);
+  std::fclose(f);
+  EXPECT_FALSE(LoadTensor(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dtucker

@@ -1,0 +1,122 @@
+#include "data/decomposition_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "data/generators.h"
+#include "dtucker/dtucker.h"
+#include "tucker/hosvd.h"
+
+namespace dtucker {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(DecompositionIoTest, RoundTrip) {
+  Tensor x = MakeLowRankTensor({10, 9, 8}, {3, 3, 3}, 0.1, 1);
+  TuckerDecomposition dec = StHosvd(x, {3, 2, 3});
+  const std::string path = TempPath("dec.dtdc");
+  ASSERT_TRUE(SaveDecomposition(dec, path).ok());
+
+  Result<TuckerDecomposition> loaded = LoadDecomposition(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(AlmostEqual(loaded.value().core, dec.core, 0.0));
+  ASSERT_EQ(loaded.value().factors.size(), 3u);
+  for (std::size_t n = 0; n < 3; ++n) {
+    EXPECT_TRUE(AlmostEqual(loaded.value().factors[n], dec.factors[n], 0.0));
+  }
+  // Reconstructions agree exactly.
+  EXPECT_TRUE(
+      AlmostEqual(loaded.value().Reconstruct(), dec.Reconstruct(), 1e-12));
+  std::remove(path.c_str());
+}
+
+TEST(DecompositionIoTest, MissingFile) {
+  EXPECT_FALSE(LoadDecomposition("/no/such/file.dtdc").ok());
+}
+
+TEST(DecompositionIoTest, WrongMagicRejected) {
+  const std::string path = TempPath("bad.dtdc");
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("DTNSR001", 1, 8, f);  // Tensor magic, not decomposition.
+  std::fclose(f);
+  EXPECT_FALSE(LoadDecomposition(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(DecompositionIoTest, TruncatedFileRejected) {
+  Tensor x = MakeLowRankTensor({8, 8, 8}, {2, 2, 2}, 0.0, 2);
+  TuckerDecomposition dec = StHosvd(x, {2, 2, 2});
+  const std::string path = TempPath("trunc.dtdc");
+  ASSERT_TRUE(SaveDecomposition(dec, path).ok());
+  ASSERT_EQ(truncate(path.c_str(), 64), 0);
+  EXPECT_FALSE(LoadDecomposition(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SliceApproximationIoTest, RoundTrip) {
+  Tensor x = MakeLowRankTensor({12, 10, 3, 2}, {3, 3, 2, 2}, 0.1, 3);
+  SliceApproximationOptions opt;
+  opt.slice_rank = 3;
+  Result<SliceApproximation> approx = ApproximateSlices(x, opt);
+  ASSERT_TRUE(approx.ok());
+
+  const std::string path = TempPath("approx.dtsa");
+  ASSERT_TRUE(SaveSliceApproximation(approx.value(), path).ok());
+  Result<SliceApproximation> loaded = LoadSliceApproximation(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded.value().shape, approx.value().shape);
+  EXPECT_EQ(loaded.value().slice_rank, approx.value().slice_rank);
+  ASSERT_EQ(loaded.value().NumSlices(), approx.value().NumSlices());
+  for (Index l = 0; l < loaded.value().NumSlices(); ++l) {
+    const auto& a = approx.value().slices[static_cast<std::size_t>(l)];
+    const auto& b = loaded.value().slices[static_cast<std::size_t>(l)];
+    EXPECT_TRUE(AlmostEqual(a.u, b.u, 0.0));
+    EXPECT_TRUE(AlmostEqual(a.v, b.v, 0.0));
+    EXPECT_EQ(a.s, b.s);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SliceApproximationIoTest, QueryAfterReloadMatches) {
+  // Compress, persist, reload in "another process", decompose: identical
+  // result to decomposing the in-memory approximation.
+  Tensor x = MakeLowRankTensor({16, 14, 10}, {4, 4, 4}, 0.2, 4);
+  SliceApproximationOptions sopt;
+  sopt.slice_rank = 4;
+  Result<SliceApproximation> approx = ApproximateSlices(x, sopt);
+  ASSERT_TRUE(approx.ok());
+  const std::string path = TempPath("query.dtsa");
+  ASSERT_TRUE(SaveSliceApproximation(approx.value(), path).ok());
+  Result<SliceApproximation> reloaded = LoadSliceApproximation(path);
+  ASSERT_TRUE(reloaded.ok());
+
+  DTuckerOptions opt;
+  opt.ranks = {4, 4, 4};
+  opt.max_iterations = 5;
+  Result<TuckerDecomposition> d1 =
+      DTuckerFromApproximation(approx.value(), opt);
+  Result<TuckerDecomposition> d2 =
+      DTuckerFromApproximation(reloaded.value(), opt);
+  ASSERT_TRUE(d1.ok() && d2.ok());
+  EXPECT_TRUE(AlmostEqual(d1.value().core, d2.value().core, 0.0));
+  std::remove(path.c_str());
+}
+
+TEST(SliceApproximationIoTest, WrongMagicRejected) {
+  const std::string path = TempPath("bad.dtsa");
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("DTDC0001", 1, 8, f);
+  std::fclose(f);
+  EXPECT_FALSE(LoadSliceApproximation(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dtucker

@@ -1,0 +1,79 @@
+#include "linalg/eigen_sym.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/blas.h"
+#include "linalg/svd.h"
+
+namespace dtucker {
+namespace {
+
+Matrix RandomSymmetric(Index n, uint64_t seed) {
+  Rng rng(seed);
+  Matrix a = Matrix::GaussianRandom(n, n, rng);
+  Matrix s(n, n);
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < n; ++j) s(i, j) = 0.5 * (a(i, j) + a(j, i));
+  }
+  return s;
+}
+
+TEST(EigenSymTest, DiagonalMatrix) {
+  Matrix a = Matrix::Diagonal({1, 5, 3});
+  EigenSymResult eig = EigenSym(a);
+  EXPECT_NEAR(eig.values[0], 5, 1e-12);
+  EXPECT_NEAR(eig.values[1], 3, 1e-12);
+  EXPECT_NEAR(eig.values[2], 1, 1e-12);
+}
+
+class EigenSymParamTest : public ::testing::TestWithParam<Index> {};
+
+TEST_P(EigenSymParamTest, Reconstructs) {
+  const Index n = GetParam();
+  Matrix a = RandomSymmetric(n, 31 + static_cast<uint64_t>(n));
+  EigenSymResult eig = EigenSym(a);
+
+  // V orthonormal.
+  EXPECT_TRUE(AlmostEqual(MultiplyTN(eig.vectors, eig.vectors),
+                          Matrix::Identity(n), 1e-9));
+  // V diag(w) V^T = A.
+  Matrix vd = eig.vectors;
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i < n; ++i) {
+      vd(i, j) *= eig.values[static_cast<std::size_t>(j)];
+    }
+  }
+  EXPECT_TRUE(AlmostEqual(MultiplyNT(vd, eig.vectors), a, 1e-8));
+  // Descending order.
+  for (Index i = 0; i + 1 < n; ++i) {
+    EXPECT_GE(eig.values[static_cast<std::size_t>(i)],
+              eig.values[static_cast<std::size_t>(i + 1)]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenSymParamTest,
+                         ::testing::Values(1, 2, 3, 8, 16, 40));
+
+TEST(EigenSymTest, GramEigenvaluesAreSquaredSingularValues) {
+  Rng rng(32);
+  Matrix a = Matrix::GaussianRandom(25, 6, rng);
+  SvdResult svd = ThinSvd(a);
+  EigenSymResult eig = EigenSym(Gram(a));
+  for (Index i = 0; i < 6; ++i) {
+    EXPECT_NEAR(eig.values[static_cast<std::size_t>(i)],
+                svd.s[static_cast<std::size_t>(i)] *
+                    svd.s[static_cast<std::size_t>(i)],
+                1e-7 * eig.values[0]);
+  }
+}
+
+TEST(EigenSymTest, NegativeEigenvaluesHandled) {
+  Matrix a({{0, 2}, {2, 0}});  // Eigenvalues +2, -2.
+  EigenSymResult eig = EigenSym(a);
+  EXPECT_NEAR(eig.values[0], 2.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], -2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace dtucker

@@ -1,0 +1,119 @@
+#include "fft/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace dtucker {
+namespace {
+
+// Reference O(n^2) DFT.
+std::vector<Complex> NaiveDft(const std::vector<Complex>& x) {
+  const std::size_t n = x.size();
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex s(0, 0);
+    for (std::size_t j = 0; j < n; ++j) {
+      double ang = -2.0 * M_PI * static_cast<double>(j * k) /
+                   static_cast<double>(n);
+      s += x[j] * Complex(std::cos(ang), std::sin(ang));
+    }
+    out[k] = s;
+  }
+  return out;
+}
+
+class FftParamTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftParamTest, MatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  Rng rng(41 + n);
+  std::vector<Complex> x(n);
+  for (auto& v : x) v = Complex(rng.Gaussian(), rng.Gaussian());
+  std::vector<Complex> expected = NaiveDft(x);
+  std::vector<Complex> got = x;
+  Fft(&got);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(got[i].real(), expected[i].real(), 1e-8 * (1 + n));
+    EXPECT_NEAR(got[i].imag(), expected[i].imag(), 1e-8 * (1 + n));
+  }
+}
+
+// Powers of two exercise radix-2; the rest exercise Bluestein.
+INSTANTIATE_TEST_SUITE_P(Lengths, FftParamTest,
+                         ::testing::Values(1, 2, 4, 8, 64, 3, 5, 7, 12, 100,
+                                           129, 255));
+
+TEST(FftTest, RoundTripIdentity) {
+  Rng rng(42);
+  for (std::size_t n : {16u, 100u, 257u}) {
+    std::vector<Complex> x(n);
+    for (auto& v : x) v = Complex(rng.Gaussian(), rng.Gaussian());
+    std::vector<Complex> y = x;
+    Fft(&y);
+    InverseFft(&y);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(y[i].real(), x[i].real(), 1e-10);
+      EXPECT_NEAR(y[i].imag(), x[i].imag(), 1e-10);
+    }
+  }
+}
+
+TEST(FftTest, ParsevalHolds) {
+  Rng rng(43);
+  const std::size_t n = 120;  // Non-power-of-two.
+  std::vector<Complex> x(n);
+  double time_energy = 0;
+  for (auto& v : x) {
+    v = Complex(rng.Gaussian(), 0);
+    time_energy += std::norm(v);
+  }
+  Fft(&x);
+  double freq_energy = 0;
+  for (const auto& v : x) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-8 * time_energy);
+}
+
+TEST(FftTest, CircularConvolveKnown) {
+  // [1,0,0,0] is the identity for circular convolution.
+  std::vector<double> delta = {1, 0, 0, 0};
+  std::vector<double> x = {1, 2, 3, 4};
+  std::vector<double> y = CircularConvolve(delta, x);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(y[i], x[i], 1e-12);
+
+  // Shifted delta rotates.
+  std::vector<double> shift = {0, 1, 0, 0};
+  y = CircularConvolve(shift, x);
+  EXPECT_NEAR(y[0], 4, 1e-12);
+  EXPECT_NEAR(y[1], 1, 1e-12);
+  EXPECT_NEAR(y[2], 2, 1e-12);
+  EXPECT_NEAR(y[3], 3, 1e-12);
+}
+
+TEST(FftTest, CircularConvolveMatchesDirect) {
+  Rng rng(44);
+  const std::size_t n = 37;
+  std::vector<double> a(n), b(n);
+  rng.FillGaussian(a.data(), n);
+  rng.FillGaussian(b.data(), n);
+  std::vector<double> got = CircularConvolve(a, b);
+  for (std::size_t k = 0; k < n; ++k) {
+    double expect = 0;
+    for (std::size_t j = 0; j < n; ++j) expect += a[j] * b[(k - j + n) % n];
+    EXPECT_NEAR(got[k], expect, 1e-9);
+  }
+}
+
+TEST(FftTest, SpectrumHelpersCompose) {
+  Rng rng(45);
+  std::vector<double> x(50);
+  rng.FillGaussian(x.data(), x.size());
+  std::vector<double> y = SpectrumToReal(RealFftSpectrum(x));
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(y[i], x[i], 1e-10);
+}
+
+}  // namespace
+}  // namespace dtucker

@@ -1,0 +1,100 @@
+// Focused tests for the HOSVD helper kernels and the logging/CHECK macros.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "data/generators.h"
+#include "linalg/blas.h"
+#include "linalg/svd.h"
+#include "tensor/tensor_ops.h"
+#include "tucker/hosvd.h"
+
+namespace dtucker {
+namespace {
+
+TEST(GramSingularVectorsTest, SubspaceMatchesExactSvd) {
+  // Graded spectrum so the leading subspace is well separated.
+  Rng rng(1);
+  Matrix u = Matrix::GaussianRandom(30, 30, rng);
+  SvdResult su = ThinSvd(u);
+  Matrix base = su.u;  // Orthonormal 30x30.
+  Matrix scaled = base;
+  for (Index j = 0; j < 30; ++j) {
+    Scal(std::pow(0.6, static_cast<double>(j)), scaled.col_data(j), 30);
+  }
+  Matrix a = MultiplyNT(scaled, base);  // Known singular structure.
+
+  const Index k = 5;
+  Matrix via_gram = LeadingLeftSingularVectorsViaGram(a, k);
+  Matrix exact = LeadingLeftSingularVectors(a, k);
+  Matrix p1 = MultiplyNT(via_gram, via_gram);
+  Matrix p2 = MultiplyNT(exact, exact);
+  EXPECT_LT((p1 - p2).MaxAbs(), 1e-6);
+  EXPECT_TRUE(AlmostEqual(MultiplyTN(via_gram, via_gram),
+                          Matrix::Identity(k), 1e-9));
+}
+
+TEST(GramSingularVectorsTest, WideMatrix) {
+  Rng rng(2);
+  Matrix a = Matrix::GaussianRandom(8, 500, rng);
+  Matrix v = LeadingLeftSingularVectorsViaGram(a, 3);
+  EXPECT_EQ(v.rows(), 8);
+  EXPECT_EQ(v.cols(), 3);
+  EXPECT_TRUE(AlmostEqual(MultiplyTN(v, v), Matrix::Identity(3), 1e-9));
+}
+
+TEST(HosvdTest, ErrorBoundedBySumOfModeTails) {
+  // The HOSVD quasi-optimality bound: ||X - X^||^2 <= sum_n tail_n.
+  Tensor x = MakeLowRankTensor({12, 11, 10}, {6, 6, 6}, 0.3, 3);
+  std::vector<Index> ranks = {3, 3, 3};
+  TuckerDecomposition dec = Hosvd(x, ranks);
+  double tail_sum = 0;
+  for (Index n = 0; n < 3; ++n) {
+    Matrix unf = Unfold(x, n);
+    SvdResult svd = ThinSvd(unf);
+    for (std::size_t i = 3; i < svd.s.size(); ++i) {
+      tail_sum += svd.s[i] * svd.s[i];
+    }
+  }
+  const double err2 =
+      dec.RelativeErrorAgainst(x) * x.SquaredNorm();
+  EXPECT_LE(err2, tail_sum * (1 + 1e-9));
+}
+
+TEST(LoggingTest, ThresholdRoundTrip) {
+  using internal_logging::GetLogThreshold;
+  using internal_logging::LogLevel;
+  using internal_logging::SetLogThreshold;
+  const LogLevel original = GetLogThreshold();
+  SetLogThreshold(LogLevel::kError);
+  EXPECT_EQ(GetLogThreshold(), LogLevel::kError);
+  SetLogThreshold(original);
+}
+
+TEST(LoggingTest, LogMacrosDoNotCrash) {
+  DT_LOG(DEBUG) << "debug message " << 42;
+  DT_LOG(INFO) << "info message";
+  DT_LOG(WARNING) << "warning message";
+  SUCCEED();
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ DT_CHECK(1 == 2) << "boom"; }, "Check failed");
+  EXPECT_DEATH({ DT_CHECK_EQ(3, 4); }, "Check failed");
+  EXPECT_DEATH({ DT_CHECK_LT(5, 4); }, "Check failed");
+}
+
+TEST(LoggingTest, PassingChecksAreSilentNoops) {
+  DT_CHECK(true);
+  DT_CHECK_EQ(2, 2);
+  DT_CHECK_LE(2, 3);
+  DT_CHECK_GE(3, 2);
+  DT_CHECK_NE(1, 2);
+  DT_DCHECK(true);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace dtucker

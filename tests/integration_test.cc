@@ -1,0 +1,156 @@
+// Cross-module integration tests: the full pipeline from dataset
+// generation through every decomposition method, checking the paper's
+// qualitative claims end to end on small instances.
+#include <gtest/gtest.h>
+
+#include "baselines/registry.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "data/datasets.h"
+#include "data/generators.h"
+#include "dtucker/dtucker.h"
+#include "dtucker/online_dtucker.h"
+#include "tucker/tucker_als.h"
+
+namespace dtucker {
+namespace {
+
+// D-Tucker vs Tucker-ALS on each (tiny) dataset analog: comparable error.
+class DatasetAccuracyTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DatasetAccuracyTest, DTuckerComparableToAls) {
+  // Scale must be large enough that slice compression actually compresses
+  // (Js well below min(I1, I2)); 0.15 keeps every analog in that regime.
+  Result<Tensor> data = MakeDataset(GetParam(), /*scale=*/0.15);
+  ASSERT_TRUE(data.ok());
+  const Tensor& x = data.value();
+
+  std::vector<Index> ranks(static_cast<std::size_t>(x.order()));
+  for (Index n = 0; n < x.order(); ++n) {
+    ranks[static_cast<std::size_t>(n)] = std::min<Index>(5, x.dim(n));
+  }
+
+  MethodOptions opt;
+  opt.ranks = ranks;
+  opt.max_iterations = 10;
+  Result<MethodRun> dt = RunTuckerMethod(TuckerMethod::kDTucker, x, opt);
+  Result<MethodRun> als = RunTuckerMethod(TuckerMethod::kTuckerAls, x, opt);
+  ASSERT_TRUE(dt.ok()) << dt.status().ToString();
+  ASSERT_TRUE(als.ok()) << als.status().ToString();
+
+  // "Comparable accuracy": within a small absolute and relative band.
+  EXPECT_LT(dt.value().relative_error,
+            als.value().relative_error * 1.25 + 0.02)
+      << GetParam() << ": D-Tucker " << dt.value().relative_error << " ALS "
+      << als.value().relative_error;
+  // Less storage.
+  EXPECT_LT(dt.value().stored_bytes, als.value().stored_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, DatasetAccuracyTest,
+                         ::testing::Values("video", "stock", "traffic",
+                                           "music", "climate"));
+
+TEST(IntegrationTest, DTuckerFasterThanAlsOnLargerInstance) {
+  // The headline speed claim, at a size where the asymptotics show.
+  Tensor x = MakeLowRankTensor({120, 100, 60}, {5, 5, 5}, 0.1, 1);
+  MethodOptions opt;
+  opt.ranks = {5, 5, 5};
+  opt.max_iterations = 5;
+  opt.tolerance = 0.0;  // Same sweep count for both.
+  Result<MethodRun> dt = RunTuckerMethod(TuckerMethod::kDTucker, x, opt,
+                                         /*measure_error=*/false);
+  Result<MethodRun> als = RunTuckerMethod(TuckerMethod::kTuckerAls, x, opt,
+                                          /*measure_error=*/false);
+  ASSERT_TRUE(dt.ok() && als.ok());
+  EXPECT_LT(dt.value().stats.TotalSeconds(), als.value().stats.TotalSeconds())
+      << "D-Tucker " << dt.value().stats.TotalSeconds() << "s vs ALS "
+      << als.value().stats.TotalSeconds() << "s";
+}
+
+TEST(IntegrationTest, PreprocessOnceQueryManyIsCheaper) {
+  // The query-phase story: re-decomposing from the compressed form is much
+  // cheaper than recompressing.
+  Tensor x = MakeLowRankTensor({150, 130, 80}, {6, 6, 6}, 0.1, 2);
+  SliceApproximationOptions sopt;
+  sopt.slice_rank = 8;
+  Timer compress_timer;
+  Result<SliceApproximation> approx = ApproximateSlices(x, sopt);
+  ASSERT_TRUE(approx.ok());
+  const double compress_seconds = compress_timer.Seconds();
+
+  DTuckerOptions qopt;
+  qopt.ranks = {4, 4, 4};
+  qopt.max_iterations = 3;
+  Timer query_timer;
+  Result<TuckerDecomposition> dec =
+      DTuckerFromApproximation(approx.value(), qopt);
+  ASSERT_TRUE(dec.ok());
+  const double query_seconds = query_timer.Seconds();
+  EXPECT_LT(query_seconds, compress_seconds);
+}
+
+TEST(IntegrationTest, StreamingMatchesBatchOnDataset) {
+  Result<Tensor> data = MakeDataset("stock", 0.08);
+  ASSERT_TRUE(data.ok());
+  const Tensor& x = data.value();
+  const Index t_total = x.dim(2);
+  const Index t_half = t_total / 2;
+
+  OnlineDTuckerOptions opt;
+  opt.ranks = {5, 5, 5};
+  opt.max_iterations = 10;
+  opt.refit_sweeps = 3;
+  OnlineDTucker online(opt);
+  ASSERT_TRUE(online.Initialize(x.LastModeSlice(0, t_half)).ok());
+  ASSERT_TRUE(online.Append(x.LastModeSlice(t_half, t_total - t_half)).ok());
+
+  DTuckerOptions bopt;
+  bopt.ranks = {5, 5, 5};
+  bopt.max_iterations = 10;
+  Result<TuckerDecomposition> batch = DTucker(x, bopt);
+  ASSERT_TRUE(batch.ok());
+
+  const double online_err = online.decomposition().RelativeErrorAgainst(x);
+  const double batch_err = batch.value().RelativeErrorAgainst(x);
+  EXPECT_LT(online_err, batch_err + 0.03);
+}
+
+TEST(IntegrationTest, AllMethodsAgreeOnExactlyLowRankInput) {
+  // On a noiseless low-rank tensor every method should reach (near) zero
+  // error — a strong cross-implementation consistency check.
+  Tensor x = MakeLowRankTensor({18, 16, 14}, {3, 3, 3}, 0.0, 3);
+  MethodOptions opt;
+  opt.ranks = {3, 3, 3};
+  opt.max_iterations = 25;
+  opt.mach_sample_rate = 1.0;  // Lossless sampling.
+  opt.sketch_factor = 12.0;
+  for (TuckerMethod m : AllTuckerMethods()) {
+    Result<MethodRun> run = RunTuckerMethod(m, x, opt);
+    ASSERT_TRUE(run.ok()) << TuckerMethodName(m);
+    // Tucker-ttmts estimates the core through a sketched matrix product
+    // and carries an O(1/sqrt(s)) noise floor even on exact-rank data;
+    // everyone else should be near-exact.
+    const double bound = m == TuckerMethod::kTuckerTtmts ? 0.15 : 5e-2;
+    EXPECT_LT(run.value().relative_error, bound) << TuckerMethodName(m);
+  }
+}
+
+TEST(IntegrationTest, FourOrderPipelineAllPhases) {
+  Result<Tensor> data = MakeDataset("climate", 0.12);
+  ASSERT_TRUE(data.ok());
+  const Tensor& x = data.value();
+  ASSERT_EQ(x.order(), 4);
+
+  DTuckerOptions opt;
+  opt.ranks = {4, 4, 3, 4};
+  opt.max_iterations = 8;
+  TuckerStats stats;
+  Result<TuckerDecomposition> dec = DTucker(x, opt, &stats);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_LT(dec.value().RelativeErrorAgainst(x), 0.15);
+  EXPECT_LT(stats.working_bytes, x.ByteSize());
+}
+
+}  // namespace
+}  // namespace dtucker

@@ -1,0 +1,123 @@
+#include "linalg/lanczos.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/blas.h"
+#include "linalg/eigen_sym.h"
+
+namespace dtucker {
+namespace {
+
+Matrix SymmetricWithSpectrum(const std::vector<double>& eigenvalues,
+                             uint64_t seed) {
+  const Index n = static_cast<Index>(eigenvalues.size());
+  Rng rng(seed);
+  Matrix q = Matrix::GaussianRandom(n, n, rng);
+  // Orthogonalize via Gram-Schmidt-free route: use EigenSym of a random
+  // symmetric matrix to get an orthogonal basis.
+  Matrix s(n, n);
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < n; ++j) s(i, j) = 0.5 * (q(i, j) + q(j, i));
+  }
+  Matrix basis = EigenSym(s).vectors;
+  Matrix scaled = basis;
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i < n; ++i) {
+      scaled(i, j) *= eigenvalues[static_cast<std::size_t>(j)];
+    }
+  }
+  return MultiplyNT(scaled, basis);
+}
+
+TEST(LanczosTest, ValidatesInput) {
+  Matrix a(3, 4);
+  EXPECT_FALSE(LanczosTopEigenpairs(a, 1).ok());
+  Matrix b = Matrix::Identity(4);
+  EXPECT_FALSE(LanczosTopEigenpairs(b, 0).ok());
+  EXPECT_FALSE(LanczosTopEigenpairs(b, 5).ok());
+}
+
+TEST(LanczosTest, RecoversIsolatedLeadingEigenvalues) {
+  std::vector<double> spectrum = {100, 50, 25, 10, 5, 2, 1, 0.5, 0.2, 0.1};
+  Matrix a = SymmetricWithSpectrum(spectrum, 1);
+  Result<LanczosResult> r = LanczosTopEigenpairs(a, 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value().values[0], 100, 1e-8);
+  EXPECT_NEAR(r.value().values[1], 50, 1e-8);
+  EXPECT_NEAR(r.value().values[2], 25, 1e-8);
+}
+
+TEST(LanczosTest, VectorsAreEigenvectors) {
+  std::vector<double> spectrum;
+  for (int i = 0; i < 40; ++i) spectrum.push_back(std::pow(0.8, i) * 10);
+  Matrix a = SymmetricWithSpectrum(spectrum, 2);
+  const Index k = 5;
+  Result<LanczosResult> r = LanczosTopEigenpairs(a, k);
+  ASSERT_TRUE(r.ok());
+  // ||A v - lambda v|| small for each pair.
+  for (Index i = 0; i < k; ++i) {
+    Matrix v = r.value().vectors.Col(i);
+    Matrix av = Multiply(a, v);
+    Matrix residual = av - v * r.value().values[static_cast<std::size_t>(i)];
+    EXPECT_LT(residual.FrobeniusNorm(), 1e-7 * r.value().values[0])
+        << "pair " << i;
+  }
+  // Orthonormal Ritz vectors.
+  EXPECT_TRUE(AlmostEqual(MultiplyTN(r.value().vectors, r.value().vectors),
+                          Matrix::Identity(k), 1e-8));
+}
+
+TEST(LanczosTest, AgreesWithSubspaceIteration) {
+  // Spectrum with a deliberate gap after position k so the invariant
+  // subspace is well conditioned for both solvers.
+  std::vector<double> spectrum;
+  for (int i = 0; i < 6; ++i) spectrum.push_back(50.0 - i);
+  for (int i = 0; i < 114; ++i) spectrum.push_back(1.0 / (1 + i));
+  Matrix a = SymmetricWithSpectrum(spectrum, 3);
+  const Index k = 6;
+  Result<LanczosResult> lz = LanczosTopEigenpairs(a, k);
+  ASSERT_TRUE(lz.ok());
+  Matrix sub = TopEigenvectorsSym(a, k);
+  // Same invariant subspace: projector difference vanishes.
+  Matrix p1 = MultiplyNT(lz.value().vectors, lz.value().vectors);
+  Matrix p2 = MultiplyNT(sub, sub);
+  EXPECT_LT((p1 - p2).MaxAbs(), 1e-6);
+}
+
+TEST(LanczosTest, HandlesLowRankMatrixEarlyBreakdown) {
+  // Rank-2 PSD matrix: the Krylov space is exhausted after ~3 steps; the
+  // solver must still return k = 2 valid pairs.
+  Rng rng(4);
+  Matrix b = Matrix::GaussianRandom(30, 2, rng);
+  Matrix a = MultiplyNT(b, b);
+  Result<LanczosResult> r = LanczosTopEigenpairs(a, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.value().values[0], 0);
+  Matrix v = r.value().vectors.Col(0);
+  Matrix residual = Multiply(a, v) - v * r.value().values[0];
+  EXPECT_LT(residual.FrobeniusNorm(), 1e-8 * r.value().values[0]);
+}
+
+TEST(LanczosTest, IdentityMatrixDegenerateSpectrum) {
+  Matrix a = Matrix::Identity(50);
+  Result<LanczosResult> r = LanczosTopEigenpairs(a, 1);
+  // Identity: Krylov space is 1-dimensional; k=1 must work.
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value().values[0], 1.0, 1e-12);
+}
+
+TEST(LanczosTest, ConvergesWithFewMatvecsOnDecayingSpectrum) {
+  std::vector<double> spectrum;
+  for (int i = 0; i < 200; ++i) spectrum.push_back(std::pow(0.5, i) + 1e-9);
+  Matrix a = SymmetricWithSpectrum(spectrum, 5);
+  Result<LanczosResult> r = LanczosTopEigenpairs(a, 4);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r.value().matvecs, 60);
+  EXPECT_NEAR(r.value().values[0], spectrum[0], 1e-8);
+}
+
+}  // namespace
+}  // namespace dtucker

@@ -1,0 +1,118 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dtucker {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, ZeroInitialized) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  for (Index j = 0; j < 4; ++j) {
+    for (Index i = 0; i < 3; ++i) EXPECT_EQ(m(i, j), 0.0);
+  }
+}
+
+TEST(MatrixTest, InitializerListIsRowMajor) {
+  Matrix m({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m(0, 0), 1);
+  EXPECT_EQ(m(0, 2), 3);
+  EXPECT_EQ(m(1, 0), 4);
+  EXPECT_EQ(m(1, 2), 6);
+}
+
+TEST(MatrixTest, StorageIsColumnMajor) {
+  Matrix m({{1, 2}, {3, 4}});
+  // Column-major: data = [1, 3, 2, 4].
+  EXPECT_EQ(m.data()[0], 1);
+  EXPECT_EQ(m.data()[1], 3);
+  EXPECT_EQ(m.data()[2], 2);
+  EXPECT_EQ(m.data()[3], 4);
+}
+
+TEST(MatrixTest, Identity) {
+  Matrix id = Matrix::Identity(3);
+  for (Index i = 0; i < 3; ++i) {
+    for (Index j = 0; j < 3; ++j) {
+      EXPECT_EQ(id(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, Transposed) {
+  Matrix m({{1, 2, 3}, {4, 5, 6}});
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  for (Index i = 0; i < 2; ++i) {
+    for (Index j = 0; j < 3; ++j) EXPECT_EQ(m(i, j), t(j, i));
+  }
+}
+
+TEST(MatrixTest, BlockAndSetBlock) {
+  Matrix m({{1, 2, 3}, {4, 5, 6}, {7, 8, 9}});
+  Matrix b = m.Block(1, 1, 2, 2);
+  EXPECT_EQ(b(0, 0), 5);
+  EXPECT_EQ(b(1, 1), 9);
+
+  Matrix z = Matrix::Zero(2, 2);
+  m.SetBlock(0, 0, z);
+  EXPECT_EQ(m(0, 0), 0);
+  EXPECT_EQ(m(1, 1), 0);
+  EXPECT_EQ(m(2, 2), 9);
+}
+
+TEST(MatrixTest, Arithmetic) {
+  Matrix a({{1, 2}, {3, 4}});
+  Matrix b({{10, 20}, {30, 40}});
+  Matrix c = a + b;
+  EXPECT_EQ(c(1, 1), 44);
+  Matrix d = b - a;
+  EXPECT_EQ(d(0, 0), 9);
+  Matrix e = a * 2.0;
+  EXPECT_EQ(e(1, 0), 6);
+}
+
+TEST(MatrixTest, Norms) {
+  Matrix m({{3, 0}, {0, 4}});
+  EXPECT_DOUBLE_EQ(m.SquaredNorm(), 25.0);
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+  EXPECT_DOUBLE_EQ(m.MaxAbs(), 4.0);
+}
+
+TEST(MatrixTest, GaussianRandomIsDeterministicInSeed) {
+  Rng rng1(123), rng2(123);
+  Matrix a = Matrix::GaussianRandom(5, 5, rng1);
+  Matrix b = Matrix::GaussianRandom(5, 5, rng2);
+  EXPECT_TRUE(AlmostEqual(a, b, 0.0));
+}
+
+TEST(MatrixTest, Diagonal) {
+  Matrix d = Matrix::Diagonal({1, 2, 3});
+  EXPECT_EQ(d(1, 1), 2);
+  EXPECT_EQ(d(0, 1), 0);
+}
+
+TEST(MatrixTest, AlmostEqualRespectsTolerance) {
+  Matrix a({{1.0}});
+  Matrix b({{1.0 + 1e-12}});
+  EXPECT_TRUE(AlmostEqual(a, b, 1e-10));
+  EXPECT_FALSE(AlmostEqual(a, b, 1e-14));
+  Matrix c(2, 1);
+  EXPECT_FALSE(AlmostEqual(a, c, 1.0));  // Shape mismatch.
+}
+
+}  // namespace
+}  // namespace dtucker

@@ -1,0 +1,168 @@
+#include "dtucker/out_of_core.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "data/generators.h"
+#include "data/tensor_file.h"
+#include "data/tensor_io.h"
+
+namespace dtucker {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+class OutOfCoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    x_ = MakeLowRankTensor({18, 15, 4, 3}, {3, 3, 2, 2}, 0.1, 1);
+    path_ = TempPath("ooc.dtnsr");
+    ASSERT_TRUE(SaveTensor(x_, path_).ok());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  Tensor x_;
+  std::string path_;
+};
+
+TEST_F(OutOfCoreTest, ReaderHeaderMatches) {
+  Result<TensorFileReader> reader = TensorFileReader::Open(path_);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader.value().shape(), x_.shape());
+  EXPECT_EQ(reader.value().NumFrontalSlices(), x_.NumFrontalSlices());
+}
+
+TEST_F(OutOfCoreTest, SlicesMatchInMemoryTensor) {
+  Result<TensorFileReader> reader = TensorFileReader::Open(path_);
+  ASSERT_TRUE(reader.ok());
+  for (Index l = 0; l < x_.NumFrontalSlices(); ++l) {
+    Result<Matrix> slice = reader.value().ReadFrontalSlice(l);
+    ASSERT_TRUE(slice.ok());
+    EXPECT_TRUE(AlmostEqual(slice.value(), x_.FrontalSlice(l), 0.0))
+        << "slice " << l;
+  }
+}
+
+TEST_F(OutOfCoreTest, MultiSliceReadIsContiguous) {
+  Result<TensorFileReader> reader = TensorFileReader::Open(path_);
+  ASSERT_TRUE(reader.ok());
+  std::vector<double> buf(static_cast<std::size_t>(18 * 15 * 3));
+  ASSERT_TRUE(reader.value().ReadFrontalSlices(2, 3, buf.data()).ok());
+  for (Index l = 0; l < 3; ++l) {
+    Matrix expected = x_.FrontalSlice(l + 2);
+    for (Index i = 0; i < 18 * 15; ++i) {
+      EXPECT_EQ(buf[static_cast<std::size_t>(l * 18 * 15 + i)],
+                expected.data()[i]);
+    }
+  }
+}
+
+TEST_F(OutOfCoreTest, ReadBoundsChecked) {
+  Result<TensorFileReader> reader = TensorFileReader::Open(path_);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_FALSE(reader.value().ReadFrontalSlice(-1).ok());
+  EXPECT_FALSE(reader.value().ReadFrontalSlice(12).ok());
+}
+
+TEST_F(OutOfCoreTest, StreamedApproximationBitIdenticalToInMemory) {
+  SliceApproximationOptions opt;
+  opt.slice_rank = 3;
+  Result<SliceApproximation> in_mem = ApproximateSlices(x_, opt);
+  Result<SliceApproximation> streamed = ApproximateSlicesFromFile(path_, opt);
+  ASSERT_TRUE(in_mem.ok() && streamed.ok())
+      << streamed.status().ToString();
+  ASSERT_EQ(in_mem.value().NumSlices(), streamed.value().NumSlices());
+  for (Index l = 0; l < in_mem.value().NumSlices(); ++l) {
+    const auto& a = in_mem.value().slices[static_cast<std::size_t>(l)];
+    const auto& b = streamed.value().slices[static_cast<std::size_t>(l)];
+    EXPECT_TRUE(AlmostEqual(a.u, b.u, 0.0)) << "slice " << l;
+    EXPECT_TRUE(AlmostEqual(a.v, b.v, 0.0)) << "slice " << l;
+    EXPECT_EQ(a.s, b.s) << "slice " << l;
+  }
+}
+
+TEST_F(OutOfCoreTest, EndToEndDecompositionMatchesInMemory) {
+  DTuckerOptions opt;
+  opt.ranks = {3, 3, 2, 2};
+  opt.max_iterations = 8;
+  TuckerStats file_stats;
+  Result<TuckerDecomposition> from_file =
+      DTuckerFromFile(path_, opt, &file_stats);
+  Result<TuckerDecomposition> from_mem = DTucker(x_, opt);
+  ASSERT_TRUE(from_file.ok()) << from_file.status().ToString();
+  ASSERT_TRUE(from_mem.ok());
+  EXPECT_TRUE(AlmostEqual(from_file.value().core, from_mem.value().core, 0.0));
+  EXPECT_GT(file_stats.preprocess_seconds, 0.0);
+  EXPECT_LT(from_file.value().RelativeErrorAgainst(x_), 0.05);
+}
+
+TEST(TensorFileWriterTest, StreamedWriteReadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/writer.dtnsr";
+  Result<TensorFileWriter> writer =
+      TensorFileWriter::Create(path, {5, 4, 6});
+  ASSERT_TRUE(writer.ok());
+  TensorFileWriter w = std::move(writer).ValueOrDie();
+  Rng rng(11);
+  Tensor expected({5, 4, 6});
+  for (Index l = 0; l < 6; ++l) {
+    Matrix slice = Matrix::GaussianRandom(5, 4, rng);
+    expected.SetFrontalSlice(l, slice);
+    ASSERT_TRUE(w.AppendSlice(slice).ok());
+  }
+  ASSERT_TRUE(w.Finish().ok());
+
+  // The streamed file is byte-compatible with LoadTensor.
+  Result<Tensor> loaded = LoadTensor(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(AlmostEqual(loaded.value(), expected, 0.0));
+  std::remove(path.c_str());
+}
+
+TEST(TensorFileWriterTest, Validates) {
+  EXPECT_FALSE(TensorFileWriter::Create("/tmp/x.dtnsr", {4}).ok());
+  EXPECT_FALSE(TensorFileWriter::Create("/tmp/x.dtnsr", {4, 0, 2}).ok());
+
+  const std::string path = ::testing::TempDir() + "/writer2.dtnsr";
+  Result<TensorFileWriter> writer =
+      TensorFileWriter::Create(path, {3, 3, 2});
+  ASSERT_TRUE(writer.ok());
+  TensorFileWriter w = std::move(writer).ValueOrDie();
+  EXPECT_FALSE(w.AppendSlice(Matrix(2, 3)).ok());  // Wrong shape.
+  EXPECT_FALSE(w.Finish().ok());                   // Slices missing.
+  Matrix slice(3, 3);
+  ASSERT_TRUE(w.AppendSlice(slice).ok());
+  ASSERT_TRUE(w.AppendSlice(slice).ok());
+  EXPECT_FALSE(w.AppendSlice(slice).ok());  // Too many.
+  EXPECT_TRUE(w.Finish().ok());
+  EXPECT_FALSE(w.Finish().ok());  // Already closed.
+  std::remove(path.c_str());
+}
+
+TEST(OutOfCoreErrorsTest, MissingAndCorruptFiles) {
+  SliceApproximationOptions opt;
+  opt.slice_rank = 2;
+  EXPECT_FALSE(ApproximateSlicesFromFile("/no/such.dtnsr", opt).ok());
+
+  // A matrix (order 2) file: reader opens it, but out-of-core D-Tucker
+  // requires order >= 3.
+  const std::string path = ::testing::TempDir() + "/matrix.dtnsr";
+  Rng rng(2);
+  Tensor m = Tensor::GaussianRandom({6, 6}, rng);
+  ASSERT_TRUE(SaveTensor(m, path).ok());
+  EXPECT_FALSE(ApproximateSlicesFromFile(path, opt).ok());
+  std::remove(path.c_str());
+
+  // Truncated payload is rejected at Open.
+  const std::string tpath = ::testing::TempDir() + "/trunc2.dtnsr";
+  Tensor t = MakeLowRankTensor({8, 8, 4}, {2, 2, 2}, 0.0, 3);
+  ASSERT_TRUE(SaveTensor(t, tpath).ok());
+  ASSERT_EQ(truncate(tpath.c_str(), 200), 0);
+  EXPECT_FALSE(TensorFileReader::Open(tpath).ok());
+  std::remove(tpath.c_str());
+}
+
+}  // namespace
+}  // namespace dtucker

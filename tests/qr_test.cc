@@ -1,0 +1,94 @@
+#include "linalg/qr.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/blas.h"
+
+namespace dtucker {
+namespace {
+
+// Property harness across shapes: A = QR, Q^T Q = I, R upper triangular.
+struct QrCase {
+  Index m, n;
+};
+
+class QrParamTest : public ::testing::TestWithParam<QrCase> {};
+
+TEST_P(QrParamTest, FactorsSatisfyDefiningProperties) {
+  const QrCase c = GetParam();
+  Rng rng(11 + c.m * 31 + c.n);
+  Matrix a = Matrix::GaussianRandom(c.m, c.n, rng);
+  QrResult qr = ThinQr(a);
+
+  const Index p = std::min(c.m, c.n);
+  ASSERT_EQ(qr.q.rows(), c.m);
+  ASSERT_EQ(qr.q.cols(), p);
+  ASSERT_EQ(qr.r.rows(), p);
+  ASSERT_EQ(qr.r.cols(), c.n);
+
+  // Q^T Q = I.
+  EXPECT_TRUE(AlmostEqual(MultiplyTN(qr.q, qr.q), Matrix::Identity(p), 1e-10));
+  // Q R = A.
+  EXPECT_TRUE(AlmostEqual(Multiply(qr.q, qr.r), a, 1e-10));
+  // R upper triangular.
+  for (Index j = 0; j < qr.r.cols(); ++j) {
+    for (Index i = j + 1; i < qr.r.rows(); ++i) EXPECT_EQ(qr.r(i, j), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QrParamTest,
+                         ::testing::Values(QrCase{1, 1}, QrCase{5, 5},
+                                           QrCase{10, 3}, QrCase{200, 12},
+                                           QrCase{3, 10}, QrCase{7, 50},
+                                           QrCase{64, 64}));
+
+TEST(QrTest, OrthonormalizeRankDeficient) {
+  // Two identical columns: Q must still have orthonormal columns.
+  Matrix a(6, 2);
+  Rng rng(3);
+  for (Index i = 0; i < 6; ++i) {
+    a(i, 0) = rng.Gaussian();
+    a(i, 1) = a(i, 0);
+  }
+  Matrix q = QrOrthonormalize(a);
+  EXPECT_TRUE(AlmostEqual(MultiplyTN(q, q), Matrix::Identity(2), 1e-10));
+}
+
+TEST(QrTest, ZeroMatrixDoesNotCrash) {
+  Matrix a = Matrix::Zero(5, 3);
+  QrResult qr = ThinQr(a);
+  EXPECT_TRUE(AlmostEqual(Multiply(qr.q, qr.r), a, 1e-12));
+}
+
+TEST(QrTest, SolveUpperTriangular) {
+  Matrix r({{2, 1, 1}, {0, 3, 2}, {0, 0, 4}});
+  Rng rng(5);
+  Matrix x_true = Matrix::GaussianRandom(3, 2, rng);
+  Matrix b = Multiply(r, x_true);
+  Matrix x = SolveUpperTriangular(r, b);
+  EXPECT_TRUE(AlmostEqual(x, x_true, 1e-12));
+}
+
+TEST(QrTest, SolveLowerTriangular) {
+  Matrix l({{2, 0, 0}, {1, 3, 0}, {1, 2, 4}});
+  Rng rng(6);
+  Matrix x_true = Matrix::GaussianRandom(3, 2, rng);
+  Matrix b = Multiply(l, x_true);
+  Matrix x = SolveLowerTriangular(l, b);
+  EXPECT_TRUE(AlmostEqual(x, x_true, 1e-12));
+}
+
+TEST(QrTest, LeastSquaresViaQr) {
+  // Overdetermined consistent system recovered exactly.
+  Rng rng(7);
+  Matrix a = Matrix::GaussianRandom(30, 4, rng);
+  Matrix x_true = Matrix::GaussianRandom(4, 1, rng);
+  Matrix b = Multiply(a, x_true);
+  QrResult qr = ThinQr(a);
+  Matrix x = SolveUpperTriangular(qr.r, MultiplyTN(qr.q, b));
+  EXPECT_TRUE(AlmostEqual(x, x_true, 1e-10));
+}
+
+}  // namespace
+}  // namespace dtucker

@@ -1,0 +1,81 @@
+#include "tucker/rank_estimation.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "tucker/tucker_als.h"
+
+namespace dtucker {
+namespace {
+
+TEST(RankEstimationTest, ValidatesThreshold) {
+  Tensor x = MakeLowRankTensor({8, 8, 8}, {2, 2, 2}, 0.0, 1);
+  EXPECT_FALSE(SuggestRanks(x, 0.0).ok());
+  EXPECT_FALSE(SuggestRanks(x, 1.5).ok());
+  EXPECT_TRUE(SuggestRanks(x, 1.0).ok());
+}
+
+TEST(RankEstimationTest, ExactLowRankFoundAtFullEnergy) {
+  Tensor x = MakeLowRankTensor({14, 12, 10}, {3, 4, 5}, 0.0, 2);
+  Result<RankSuggestion> sug = SuggestRanks(x, 1.0 - 1e-12);
+  ASSERT_TRUE(sug.ok());
+  EXPECT_EQ(sug.value().ranks, (std::vector<Index>{3, 4, 5}));
+  for (double e : sug.value().retained_energy) EXPECT_GT(e, 1.0 - 1e-9);
+}
+
+TEST(RankEstimationTest, LowerThresholdGivesSmallerRanks) {
+  Tensor x = MakeLowRankTensor({16, 16, 16}, {8, 8, 8}, 0.1, 3);
+  Result<RankSuggestion> strict = SuggestRanks(x, 0.999);
+  Result<RankSuggestion> loose = SuggestRanks(x, 0.7);
+  ASSERT_TRUE(strict.ok() && loose.ok());
+  for (std::size_t n = 0; n < 3; ++n) {
+    EXPECT_LE(loose.value().ranks[n], strict.value().ranks[n]);
+  }
+}
+
+TEST(RankEstimationTest, MaxRankCaps) {
+  Tensor x = MakeLowRankTensor({16, 16, 16}, {8, 8, 8}, 0.0, 4);
+  Result<RankSuggestion> sug = SuggestRanks(x, 1.0 - 1e-12, /*max_rank=*/3);
+  ASSERT_TRUE(sug.ok());
+  for (Index r : sug.value().ranks) EXPECT_LE(r, 3);
+  // Retained energy reflects the cap (below the threshold).
+  for (double e : sug.value().retained_energy) EXPECT_LT(e, 1.0);
+}
+
+TEST(RankEstimationTest, SpectraDescendAndSumToNormSquared) {
+  Tensor x = MakeLowRankTensor({10, 12, 14}, {4, 4, 4}, 0.3, 5);
+  Result<RankSuggestion> sug = SuggestRanks(x, 0.9);
+  ASSERT_TRUE(sug.ok());
+  for (Index n = 0; n < 3; ++n) {
+    const auto& spec = sug.value().spectra[static_cast<std::size_t>(n)];
+    ASSERT_EQ(static_cast<Index>(spec.size()), x.dim(n));
+    double sum = 0;
+    for (std::size_t i = 0; i < spec.size(); ++i) {
+      if (i > 0) {
+        EXPECT_LE(spec[i], spec[i - 1] + 1e-9);
+      }
+      sum += spec[i];
+    }
+    // Mode-n squared singular values sum to ||X||_F^2.
+    EXPECT_NEAR(sum, x.SquaredNorm(), 1e-6 * x.SquaredNorm());
+  }
+}
+
+TEST(RankEstimationTest, SuggestedRanksGiveTargetAccuracy) {
+  // End-to-end: decomposing at the suggested ranks should reach roughly
+  // the requested energy.
+  Tensor x = MakeLowRankTensor({20, 18, 16}, {6, 6, 6}, 0.2, 6);
+  const double threshold = 0.95;
+  Result<RankSuggestion> sug = SuggestRanks(x, threshold);
+  ASSERT_TRUE(sug.ok());
+  TuckerAlsOptions opt;
+  opt.ranks = sug.value().ranks;
+  opt.max_iterations = 10;
+  Result<TuckerDecomposition> dec = TuckerAls(x, opt);
+  ASSERT_TRUE(dec.ok());
+  // Error <= N * (1 - threshold) is the HOSVD truncation bound.
+  EXPECT_LT(dec.value().RelativeErrorAgainst(x), 3 * (1 - threshold) + 0.01);
+}
+
+}  // namespace
+}  // namespace dtucker

@@ -1,0 +1,80 @@
+#include "tucker/reconstruct.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "tucker/hosvd.h"
+
+namespace dtucker {
+namespace {
+
+class ReconstructTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    x_ = MakeLowRankTensor({9, 8, 7, 6}, {3, 3, 3, 3}, 0.1, 1);
+    dec_ = StHosvd(x_, {3, 3, 3, 3});
+    full_ = dec_.Reconstruct();
+  }
+  Tensor x_;
+  TuckerDecomposition dec_;
+  Tensor full_;
+};
+
+TEST_F(ReconstructTest, ElementMatchesFullReconstruction) {
+  for (Index l = 0; l < 6; l += 2) {
+    for (Index k = 0; k < 7; k += 3) {
+      for (Index j = 0; j < 8; j += 3) {
+        for (Index i = 0; i < 9; i += 4) {
+          Result<double> v = ReconstructElement(dec_, {i, j, k, l});
+          ASSERT_TRUE(v.ok());
+          EXPECT_NEAR(v.value(), full_(i, j, k, l), 1e-10);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ReconstructTest, ElementValidatesIndex) {
+  EXPECT_FALSE(ReconstructElement(dec_, {0, 0, 0}).ok());       // Order.
+  EXPECT_FALSE(ReconstructElement(dec_, {9, 0, 0, 0}).ok());    // Range.
+  EXPECT_FALSE(ReconstructElement(dec_, {-1, 0, 0, 0}).ok());
+}
+
+TEST_F(ReconstructTest, FrontalSliceMatchesFullReconstruction) {
+  for (Index l = 0; l < full_.NumFrontalSlices(); l += 7) {
+    Result<Matrix> slice = ReconstructFrontalSlice(dec_, l);
+    ASSERT_TRUE(slice.ok());
+    EXPECT_TRUE(AlmostEqual(slice.value(), full_.FrontalSlice(l), 1e-10))
+        << "slice " << l;
+  }
+}
+
+TEST_F(ReconstructTest, FrontalSliceValidates) {
+  EXPECT_FALSE(ReconstructFrontalSlice(dec_, -1).ok());
+  EXPECT_FALSE(ReconstructFrontalSlice(dec_, 42).ok());
+}
+
+TEST_F(ReconstructTest, LastModeRangeMatchesFullReconstruction) {
+  Result<Tensor> range = ReconstructLastModeRange(dec_, 2, 3);
+  ASSERT_TRUE(range.ok());
+  EXPECT_TRUE(AlmostEqual(range.value(), full_.LastModeSlice(2, 3), 1e-10));
+}
+
+TEST_F(ReconstructTest, LastModeRangeValidates) {
+  EXPECT_FALSE(ReconstructLastModeRange(dec_, -1, 2).ok());
+  EXPECT_FALSE(ReconstructLastModeRange(dec_, 5, 2).ok());
+}
+
+TEST(ReconstructThreeOrderTest, FrontalSliceOnVideoDecomposition) {
+  Tensor video = MakeVideoAnalog(20, 16, 12, 2, 0.05, 2);
+  TuckerDecomposition dec = StHosvd(video, {5, 5, 5});
+  Tensor full = dec.Reconstruct();
+  for (Index t = 0; t < 12; t += 5) {
+    Result<Matrix> frame = ReconstructFrontalSlice(dec, t);
+    ASSERT_TRUE(frame.ok());
+    EXPECT_TRUE(AlmostEqual(frame.value(), full.FrontalSlice(t), 1e-10));
+  }
+}
+
+}  // namespace
+}  // namespace dtucker

@@ -1,0 +1,163 @@
+// Failure injection and degenerate-input robustness: all-zero data, zero
+// slices (black video frames), single-slice tensors, constant tensors,
+// dimension-1 modes. Every public solver must return cleanly (OK with a
+// sane result, or a descriptive error) — never crash or emit NaN.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/registry.h"
+#include "common/rng.h"
+#include "cp/cp_als.h"
+#include "data/generators.h"
+#include "dtucker/dtucker.h"
+#include "dtucker/online_dtucker.h"
+#include "tensor/tensor_utils.h"
+#include "tucker/tucker_als.h"
+
+namespace dtucker {
+namespace {
+
+bool DecompositionIsFinite(const TuckerDecomposition& dec) {
+  if (ContainsNonFinite(dec.core)) return false;
+  for (const auto& f : dec.factors) {
+    for (Index i = 0; i < f.size(); ++i) {
+      if (!std::isfinite(f.data()[i])) return false;
+    }
+  }
+  return true;
+}
+
+TEST(RobustnessTest, AllZeroTensor) {
+  Tensor x({10, 9, 8});  // Zeros.
+  DTuckerOptions dopt;
+  dopt.ranks = {2, 2, 2};
+  dopt.max_iterations = 5;
+  Result<TuckerDecomposition> dt = DTucker(x, dopt);
+  ASSERT_TRUE(dt.ok()) << dt.status().ToString();
+  EXPECT_TRUE(DecompositionIsFinite(dt.value()));
+  EXPECT_NEAR(dt.value().core.FrobeniusNorm(), 0.0, 1e-12);
+
+  TuckerAlsOptions aopt;
+  aopt.ranks = {2, 2, 2};
+  Result<TuckerDecomposition> als = TuckerAls(x, aopt);
+  ASSERT_TRUE(als.ok());
+  EXPECT_TRUE(DecompositionIsFinite(als.value()));
+}
+
+TEST(RobustnessTest, ZeroSlicesWithinSignal) {
+  // Black frames inside a video: some slices are exactly zero.
+  Tensor x = MakeLowRankTensor({14, 12, 10}, {3, 3, 3}, 0.1, 1);
+  Matrix zero(14, 12);
+  for (Index l : {0, 4, 9}) x.SetFrontalSlice(l, zero);
+
+  DTuckerOptions opt;
+  opt.ranks = {3, 3, 3};
+  opt.max_iterations = 10;
+  Result<TuckerDecomposition> dec = DTucker(x, opt);
+  ASSERT_TRUE(dec.ok()) << dec.status().ToString();
+  EXPECT_TRUE(DecompositionIsFinite(dec.value()));
+  EXPECT_LT(dec.value().RelativeErrorAgainst(x), 0.2);
+}
+
+TEST(RobustnessTest, ConstantTensor) {
+  Tensor x({8, 8, 8});
+  for (Index i = 0; i < x.size(); ++i) x.data()[i] = 3.5;
+  DTuckerOptions opt;
+  opt.ranks = {1, 1, 1};  // A constant tensor is exactly rank 1.
+  opt.max_iterations = 5;
+  Result<TuckerDecomposition> dec = DTucker(x, opt);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_LT(dec.value().RelativeErrorAgainst(x), 1e-10);
+}
+
+TEST(RobustnessTest, SingleSliceTensor) {
+  // I3 = 1: the slice grid has exactly one slice.
+  Tensor x = MakeLowRankTensor({12, 10, 1}, {2, 2, 1}, 0.05, 2);
+  DTuckerOptions opt;
+  opt.ranks = {2, 2, 1};
+  opt.max_iterations = 5;
+  Result<TuckerDecomposition> dec = DTucker(x, opt);
+  ASSERT_TRUE(dec.ok()) << dec.status().ToString();
+  EXPECT_LT(dec.value().RelativeErrorAgainst(x), 0.05);
+}
+
+TEST(RobustnessTest, DimensionOneTrailingMode) {
+  // Order-4 tensor with a singleton mode.
+  Tensor x = MakeLowRankTensor({10, 9, 1, 6}, {2, 2, 1, 2}, 0.0, 3);
+  DTuckerOptions opt;
+  opt.ranks = {2, 2, 1, 2};
+  opt.max_iterations = 5;
+  Result<TuckerDecomposition> dec = DTucker(x, opt);
+  ASSERT_TRUE(dec.ok()) << dec.status().ToString();
+  EXPECT_LT(dec.value().RelativeErrorAgainst(x), 1e-10);
+}
+
+TEST(RobustnessTest, RankOneEverything) {
+  Tensor x = MakeLowRankTensor({6, 5, 4}, {1, 1, 1}, 0.0, 4);
+  for (TuckerMethod m : AllTuckerMethods()) {
+    MethodOptions opt;
+    opt.ranks = {1, 1, 1};
+    opt.max_iterations = 10;
+    opt.mach_sample_rate = 1.0;
+    opt.sketch_factor = 16.0;
+    Result<MethodRun> run = RunTuckerMethod(m, x, opt);
+    ASSERT_TRUE(run.ok()) << TuckerMethodName(m);
+    EXPECT_TRUE(DecompositionIsFinite(run.value().decomposition))
+        << TuckerMethodName(m);
+    EXPECT_LT(run.value().relative_error, 0.15) << TuckerMethodName(m);
+  }
+}
+
+TEST(RobustnessTest, TinyValuesDoNotUnderflowToGarbage) {
+  Tensor x = MakeLowRankTensor({10, 9, 8}, {2, 2, 2}, 0.1, 5);
+  x *= 1e-150;
+  DTuckerOptions opt;
+  opt.ranks = {2, 2, 2};
+  opt.max_iterations = 5;
+  Result<TuckerDecomposition> dec = DTucker(x, opt);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_TRUE(DecompositionIsFinite(dec.value()));
+  EXPECT_LT(dec.value().RelativeErrorAgainst(x), 0.1);
+}
+
+TEST(RobustnessTest, HugeValuesDoNotOverflow) {
+  Tensor x = MakeLowRankTensor({10, 9, 8}, {2, 2, 2}, 0.1, 6);
+  x *= 1e120;  // Squared norms reach 1e246 — still finite in double.
+  DTuckerOptions opt;
+  opt.ranks = {2, 2, 2};
+  opt.max_iterations = 5;
+  Result<TuckerDecomposition> dec = DTucker(x, opt);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_TRUE(DecompositionIsFinite(dec.value()));
+}
+
+TEST(RobustnessTest, OnlineWithZeroChunk) {
+  OnlineDTuckerOptions opt;
+  opt.ranks = {2, 2, 2};
+  opt.max_iterations = 5;
+  OnlineDTucker online(opt);
+  Tensor first = MakeLowRankTensor({10, 8, 6}, {2, 2, 2}, 0.1, 7);
+  ASSERT_TRUE(online.Initialize(first).ok());
+  Tensor zeros({10, 8, 4});
+  ASSERT_TRUE(online.Append(zeros).ok());
+  EXPECT_TRUE(DecompositionIsFinite(online.decomposition()));
+  EXPECT_EQ(online.shape()[2], 10);
+}
+
+TEST(RobustnessTest, CpAlsOnZeroTensor) {
+  Tensor x({6, 5, 4});
+  CpAlsOptions opt;
+  opt.rank = 2;
+  opt.max_iterations = 5;
+  Result<CpDecomposition> dec = CpAls(x, opt);
+  // Zero data makes the normal equations singular; either a clean error
+  // or a finite (zero-weight) model is acceptable — never a crash/NaN.
+  if (dec.ok()) {
+    Tensor rec = dec.value().Reconstruct();
+    EXPECT_FALSE(ContainsNonFinite(rec));
+  }
+}
+
+}  // namespace
+}  // namespace dtucker

@@ -1,0 +1,116 @@
+#include "rsvd/rsvd.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/blas.h"
+#include "linalg/qr.h"
+
+namespace dtucker {
+namespace {
+
+// A matrix with exact rank r plus optional noise.
+Matrix LowRankMatrix(Index m, Index n, Index r, double noise, uint64_t seed) {
+  Rng rng(seed);
+  Matrix b = Matrix::GaussianRandom(m, r, rng);
+  Matrix c = Matrix::GaussianRandom(r, n, rng);
+  Matrix a = Multiply(b, c);
+  if (noise > 0) {
+    Matrix e = Matrix::GaussianRandom(m, n, rng);
+    a += e * (noise * a.FrobeniusNorm() / e.FrobeniusNorm());
+  }
+  return a;
+}
+
+TEST(RsvdTest, ExactRecoveryOfLowRankMatrix) {
+  Matrix a = LowRankMatrix(80, 60, 5, 0.0, 1);
+  RsvdOptions opt;
+  opt.rank = 5;
+  SvdResult svd = RandomizedSvd(a, opt);
+  ASSERT_EQ(svd.u.cols(), 5);
+  Matrix rec = svd.Reconstruct();
+  EXPECT_LT((a - rec).FrobeniusNorm() / a.FrobeniusNorm(), 1e-9);
+}
+
+TEST(RsvdTest, RangeFinderCapturesRange) {
+  Matrix a = LowRankMatrix(100, 40, 6, 0.0, 2);
+  RsvdOptions opt;
+  opt.rank = 6;
+  Matrix q = RandomizedRangeFinder(a, opt);
+  // ||A - Q Q^T A|| should vanish for exact rank 6 with oversampling.
+  Matrix proj = Multiply(q, MultiplyTN(q, a));
+  EXPECT_LT((a - proj).FrobeniusNorm() / a.FrobeniusNorm(), 1e-9);
+  // Q orthonormal.
+  EXPECT_TRUE(AlmostEqual(MultiplyTN(q, q), Matrix::Identity(q.cols()),
+                          1e-10));
+}
+
+TEST(RsvdTest, NoisyMatrixErrorNearOptimal) {
+  Matrix a = LowRankMatrix(120, 90, 8, 0.1, 3);
+  RsvdOptions opt;
+  opt.rank = 8;
+  opt.power_iterations = 2;
+  SvdResult rsvd = RandomizedSvd(a, opt);
+  SvdResult exact = ThinSvd(a);
+  exact.Truncate(8);
+  const double err_r = (a - rsvd.Reconstruct()).SquaredNorm();
+  const double err_e = (a - exact.Reconstruct()).SquaredNorm();
+  // Within 5% of the optimal rank-8 error.
+  EXPECT_LT(err_r, err_e * 1.05);
+}
+
+TEST(RsvdTest, DeterministicInSeed) {
+  Matrix a = LowRankMatrix(50, 50, 4, 0.05, 4);
+  RsvdOptions opt;
+  opt.rank = 4;
+  opt.seed = 99;
+  SvdResult s1 = RandomizedSvd(a, opt);
+  SvdResult s2 = RandomizedSvd(a, opt);
+  EXPECT_TRUE(AlmostEqual(s1.u, s2.u, 0.0));
+  opt.seed = 100;
+  SvdResult s3 = RandomizedSvd(a, opt);
+  EXPECT_FALSE(AlmostEqual(s1.u, s3.u, 1e-12));
+}
+
+TEST(RsvdTest, RankClampedToMinDimension) {
+  Rng rng(5);
+  Matrix a = Matrix::GaussianRandom(20, 3, rng);
+  RsvdOptions opt;
+  opt.rank = 10;  // More than min(m, n) = 3.
+  SvdResult svd = RandomizedSvd(a, opt);
+  EXPECT_EQ(svd.u.cols(), 3);
+  EXPECT_TRUE(AlmostEqual(svd.Reconstruct(), a, 1e-8));
+}
+
+TEST(RsvdTest, SingularValuesDescending) {
+  Matrix a = LowRankMatrix(60, 60, 10, 0.2, 6);
+  RsvdOptions opt;
+  opt.rank = 10;
+  SvdResult svd = RandomizedSvd(a, opt);
+  for (std::size_t i = 0; i + 1 < svd.s.size(); ++i) {
+    EXPECT_GE(svd.s[i], svd.s[i + 1]);
+  }
+}
+
+// Power-iteration sweep: more iterations should not make the subspace
+// worse on a matrix with slowly decaying spectrum.
+class RsvdPowerParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RsvdPowerParamTest, ErrorBoundedByOptimalPlusSlack) {
+  Matrix a = LowRankMatrix(100, 80, 12, 0.3, 7);
+  RsvdOptions opt;
+  opt.rank = 6;
+  opt.power_iterations = GetParam();
+  SvdResult rsvd = RandomizedSvd(a, opt);
+  SvdResult exact = ThinSvd(a);
+  exact.Truncate(6);
+  const double err_r = (a - rsvd.Reconstruct()).SquaredNorm();
+  const double err_e = (a - exact.Reconstruct()).SquaredNorm();
+  EXPECT_LT(err_r, err_e * 1.5) << "q = " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(PowerIterations, RsvdPowerParamTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace dtucker

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/blas.h"
+#include "linalg/cholesky.h"
+#include "sketch/count_sketch.h"
+#include "sketch/tensor_sketch.h"
+#include "tensor/tensor_ops.h"
+
+namespace dtucker {
+namespace {
+
+TEST(CountSketchTest, PreservesColumnNorm) {
+  // CountSketch is an exact isometry per column in expectation; each bucket
+  // collects signed entries, so the total mass (sum of signed values) is
+  // preserved exactly when buckets do not collide for a 1-sparse vector.
+  CountSketch cs(100, 64, 1);
+  Matrix e(100, 1);
+  e(42, 0) = 3.0;
+  Matrix s = cs.Apply(e);
+  EXPECT_NEAR(s.FrobeniusNorm(), 3.0, 1e-12);
+}
+
+TEST(CountSketchTest, InnerProductUnbiasedOverSeeds) {
+  // Average of sketched inner products over many independent sketches
+  // converges to the true inner product.
+  Rng rng(2);
+  Matrix x = Matrix::GaussianRandom(50, 1, rng);
+  Matrix y = Matrix::GaussianRandom(50, 1, rng);
+  const double truth = Dot(x.data(), y.data(), 50);
+  // Var per trial ~ ||x||^2 ||y||^2 / m; the mean of `trials` independent
+  // sketches concentrates accordingly. Allow 4 standard errors.
+  const Index m = 64;
+  const int trials = 800;
+  double acc = 0;
+  for (int t = 0; t < trials; ++t) {
+    CountSketch cs(50, m, 1000 + t);
+    Matrix sx = cs.Apply(x);
+    Matrix sy = cs.Apply(y);
+    acc += Dot(sx.data(), sy.data(), m);
+  }
+  acc /= trials;
+  const double stderr_bound =
+      4.0 * x.FrobeniusNorm() * y.FrobeniusNorm() /
+      std::sqrt(static_cast<double>(m) * trials);
+  EXPECT_NEAR(acc, truth, stderr_bound);
+}
+
+TEST(CountSketchTest, DeterministicInSeed) {
+  Rng rng(3);
+  Matrix x = Matrix::GaussianRandom(30, 2, rng);
+  CountSketch a(30, 8, 7), b(30, 8, 7), c(30, 8, 8);
+  EXPECT_TRUE(AlmostEqual(a.Apply(x), b.Apply(x), 0.0));
+  EXPECT_FALSE(AlmostEqual(a.Apply(x), c.Apply(x), 1e-12));
+}
+
+TEST(TensorSketchTest, KroneckerFastPathMatchesExplicit) {
+  // The FFT fast path and the explicit hash-walk must produce the SAME
+  // sketch (not just statistically similar) since they share hashes.
+  Rng rng(4);
+  Matrix a = Matrix::GaussianRandom(6, 2, rng);
+  Matrix b = Matrix::GaussianRandom(5, 3, rng);
+  Matrix c = Matrix::GaussianRandom(4, 2, rng);
+  TensorSketch ts({6, 5, 4}, 32, 11);
+
+  Matrix fast = ts.SketchKronecker({&a, &b, &c});
+  // Explicit: build Kron(c (x) b (x) a) whose columns have factor-0 column
+  // fastest, rows have mode-0 fastest.
+  Matrix kron = Kronecker(Kronecker(c, b), a);
+  Matrix slow = ts.SketchExplicit(kron);
+  EXPECT_TRUE(AlmostEqual(fast, slow, 1e-8));
+}
+
+TEST(TensorSketchTest, SketchPreservesInnerProductsApproximately) {
+  Rng rng(5);
+  const Index m = 512;
+  TensorSketch ts({8, 7, 6}, m, 13);
+  Matrix x = Matrix::GaussianRandom(8 * 7 * 6, 1, rng);
+  Matrix y = Matrix::GaussianRandom(8 * 7 * 6, 1, rng);
+  const double truth = Dot(x.data(), y.data(), x.rows());
+  Matrix sx = ts.SketchExplicit(x);
+  Matrix sy = ts.SketchExplicit(y);
+  const double est = Dot(sx.data(), sy.data(), m);
+  // Norms are ~sqrt(336) ~ 18; allow a few standard deviations.
+  EXPECT_NEAR(est, truth, 0.25 * x.FrobeniusNorm() * y.FrobeniusNorm());
+}
+
+TEST(TensorSketchTest, UnfoldingSketchMatchesExplicitUnfolding) {
+  Rng rng(6);
+  Tensor x = Tensor::GaussianRandom({5, 4, 3, 2}, rng);
+  for (Index mode = 0; mode < 4; ++mode) {
+    std::vector<Index> dims;
+    for (Index k = 0; k < 4; ++k) {
+      if (k != mode) dims.push_back(x.dim(k));
+    }
+    TensorSketch ts(dims, 16, 21 + mode);
+    Matrix direct = ts.SketchUnfoldingTransposed(x, mode);
+    Matrix explicit_unf = ts.SketchExplicit(Unfold(x, mode).Transposed());
+    EXPECT_TRUE(AlmostEqual(direct, explicit_unf, 1e-9)) << "mode " << mode;
+  }
+}
+
+TEST(TensorSketchTest, SketchedLeastSquaresRecoversPlantedSolution) {
+  // End-to-end: solve min_w ||K w - K w*|| in sketch space where K is a
+  // Kronecker-structured design — the Tucker-ts inner problem.
+  Rng rng(7);
+  Matrix a = Matrix::GaussianRandom(12, 3, rng);
+  Matrix b = Matrix::GaussianRandom(10, 3, rng);
+  Matrix w_true = Matrix::GaussianRandom(9, 1, rng);
+  Matrix kron = Kronecker(b, a);  // 120 x 9, rows mode-0 fastest.
+  Matrix rhs = Multiply(kron, w_true);
+
+  TensorSketch ts({12, 10}, 128, 31);
+  Matrix sk = ts.SketchKronecker({&a, &b});
+  Matrix srhs = ts.SketchExplicit(rhs);
+  // Normal equations in sketch space.
+  Matrix g = Gram(sk);
+  Matrix rhs2 = MultiplyTN(sk, srhs);
+  // Solve with plain Gaussian elimination via LU in linalg.
+  Result<Matrix> w = SolveSpd(g, rhs2);
+  ASSERT_TRUE(w.ok());
+  EXPECT_TRUE(AlmostEqual(w.value(), w_true, 1e-6));
+}
+
+TEST(TensorSketchTest, NonPowerOfTwoSketchDim) {
+  // Exercises the Bluestein FFT path.
+  Rng rng(8);
+  Matrix a = Matrix::GaussianRandom(7, 2, rng);
+  Matrix b = Matrix::GaussianRandom(6, 2, rng);
+  TensorSketch ts({7, 6}, 23, 41);
+  Matrix fast = ts.SketchKronecker({&a, &b});
+  Matrix slow = ts.SketchExplicit(Kronecker(b, a));
+  EXPECT_TRUE(AlmostEqual(fast, slow, 1e-8));
+}
+
+}  // namespace
+}  // namespace dtucker

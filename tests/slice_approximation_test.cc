@@ -1,0 +1,223 @@
+#include "dtucker/slice_approximation.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "dtucker/dtucker.h"
+#include "linalg/blas.h"
+
+namespace dtucker {
+namespace {
+
+TEST(SliceApproximationTest, RejectsMatrices) {
+  Tensor x({5, 5});
+  SliceApproximationOptions opt;
+  EXPECT_FALSE(ApproximateSlices(x, opt).ok());
+}
+
+TEST(SliceApproximationTest, RejectsBadSliceRank) {
+  Rng rng(1);
+  Tensor x = Tensor::GaussianRandom({6, 5, 4}, rng);
+  SliceApproximationOptions opt;
+  opt.slice_rank = 0;
+  EXPECT_FALSE(ApproximateSlices(x, opt).ok());
+  opt.slice_rank = 6;  // > min(6,5).
+  EXPECT_FALSE(ApproximateSlices(x, opt).ok());
+  opt.slice_rank = 5;
+  EXPECT_TRUE(ApproximateSlices(x, opt).ok());
+}
+
+TEST(SliceApproximationTest, ExactForLowRankSlices) {
+  // Each slice has rank <= 3 when the tensor has Tucker rank (3,3,*).
+  Tensor x = MakeLowRankTensor({20, 15, 10}, {3, 3, 3}, 0.0, 2);
+  SliceApproximationOptions opt;
+  opt.slice_rank = 3;
+  Result<SliceApproximation> approx = ApproximateSlices(x, opt);
+  ASSERT_TRUE(approx.ok());
+  EXPECT_EQ(approx.value().NumSlices(), 10);
+  EXPECT_LT(approx.value().RelativeErrorAgainst(x), 1e-16);
+}
+
+TEST(SliceApproximationTest, SliceFactorsAreOrthonormalAndSorted) {
+  Tensor x = MakeLowRankTensor({18, 14, 6}, {4, 4, 4}, 0.1, 3);
+  SliceApproximationOptions opt;
+  opt.slice_rank = 4;
+  Result<SliceApproximation> approx = ApproximateSlices(x, opt);
+  ASSERT_TRUE(approx.ok());
+  for (const auto& sl : approx.value().slices) {
+    EXPECT_TRUE(AlmostEqual(MultiplyTN(sl.u, sl.u), Matrix::Identity(4),
+                            1e-9));
+    EXPECT_TRUE(AlmostEqual(MultiplyTN(sl.v, sl.v), Matrix::Identity(4),
+                            1e-9));
+    for (std::size_t i = 0; i + 1 < sl.s.size(); ++i) {
+      EXPECT_GE(sl.s[i], sl.s[i + 1]);
+    }
+  }
+}
+
+TEST(SliceApproximationTest, CompressionByteSize) {
+  Tensor x = MakeLowRankTensor({40, 30, 20}, {5, 5, 5}, 0.05, 4);
+  SliceApproximationOptions opt;
+  opt.slice_rank = 5;
+  Result<SliceApproximation> approx = ApproximateSlices(x, opt);
+  ASSERT_TRUE(approx.ok());
+  // (I1 + I2 + 1) * Js * L doubles.
+  const std::size_t expected = (40 + 30 + 1) * 5 * 20 * sizeof(double);
+  EXPECT_EQ(approx.value().ByteSize(), expected);
+  EXPECT_LT(approx.value().ByteSize(), x.ByteSize());
+}
+
+TEST(SliceApproximationTest, FourOrderSliceGrid) {
+  Tensor x = MakeLowRankTensor({10, 9, 3, 4}, {2, 2, 2, 2}, 0.0, 5);
+  SliceApproximationOptions opt;
+  opt.slice_rank = 2;
+  Result<SliceApproximation> approx = ApproximateSlices(x, opt);
+  ASSERT_TRUE(approx.ok());
+  EXPECT_EQ(approx.value().NumSlices(), 12);
+  EXPECT_EQ(approx.value().TrailingShape(), (std::vector<Index>{3, 4}));
+  EXPECT_LT(approx.value().RelativeErrorAgainst(x), 1e-16);
+}
+
+TEST(SliceApproximationTest, SliceRangeMatchesFullRun) {
+  Tensor x = MakeLowRankTensor({12, 10, 8}, {3, 3, 3}, 0.1, 6);
+  SliceApproximationOptions opt;
+  opt.slice_rank = 3;
+  Result<SliceApproximation> full = ApproximateSlices(x, opt);
+  ASSERT_TRUE(full.ok());
+  Result<std::vector<SliceSvd>> range = ApproximateSliceRange(x, 2, 3, opt);
+  ASSERT_TRUE(range.ok());
+  ASSERT_EQ(range.value().size(), 3u);
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_TRUE(AlmostEqual(
+        range.value()[static_cast<std::size_t>(k)].Reconstruct(),
+        full.value().slices[static_cast<std::size_t>(k + 2)].Reconstruct(),
+        1e-12));
+  }
+}
+
+TEST(SliceApproximationTest, SliceRangeBoundsChecked) {
+  Rng rng(7);
+  Tensor x = Tensor::GaussianRandom({6, 6, 4}, rng);
+  SliceApproximationOptions opt;
+  opt.slice_rank = 2;
+  EXPECT_FALSE(ApproximateSliceRange(x, 3, 2, opt).ok());
+  EXPECT_FALSE(ApproximateSliceRange(x, -1, 1, opt).ok());
+  EXPECT_TRUE(ApproximateSliceRange(x, 3, 1, opt).ok());
+}
+
+TEST(SliceSvdTest, HelperProducts) {
+  Rng rng(8);
+  Tensor x = Tensor::GaussianRandom({7, 6, 2}, rng);
+  SliceApproximationOptions opt;
+  opt.slice_rank = 3;
+  Result<SliceApproximation> approx = ApproximateSlices(x, opt);
+  ASSERT_TRUE(approx.ok());
+  const SliceSvd& sl = approx.value().slices[0];
+  Matrix us = sl.UTimesS();
+  Matrix vs = sl.VTimesS();
+  for (Index j = 0; j < 3; ++j) {
+    for (Index i = 0; i < 7; ++i) {
+      EXPECT_NEAR(us(i, j), sl.u(i, j) * sl.s[static_cast<std::size_t>(j)],
+                  1e-12);
+    }
+    for (Index i = 0; i < 6; ++i) {
+      EXPECT_NEAR(vs(i, j), sl.v(i, j) * sl.s[static_cast<std::size_t>(j)],
+                  1e-12);
+    }
+  }
+  EXPECT_TRUE(AlmostEqual(sl.Reconstruct(), MultiplyNT(us, sl.v), 1e-12));
+}
+
+TEST(SliceApproximationTest, ExactMethodMatchesTruncatedSvd) {
+  Tensor x = MakeLowRankTensor({20, 16, 6}, {5, 5, 5}, 0.2, 11);
+  SliceApproximationOptions opt;
+  opt.slice_rank = 4;
+  opt.method = SliceSvdMethod::kExact;
+  Result<SliceApproximation> approx = ApproximateSlices(x, opt);
+  ASSERT_TRUE(approx.ok());
+  double direct_err = 0, total = 0;
+  for (Index l = 0; l < 6; ++l) {
+    Matrix slice = x.FrontalSlice(l);
+    SvdResult svd = ThinSvd(slice);
+    svd.Truncate(4);
+    direct_err += (slice - svd.Reconstruct()).SquaredNorm();
+    total += slice.SquaredNorm();
+  }
+  EXPECT_NEAR(approx.value().RelativeErrorAgainst(x), direct_err / total,
+              1e-10);
+}
+
+TEST(SliceApproximationTest, AdaptiveRankVariesWithSliceComplexity) {
+  // First half of the slices are exactly rank-1; the rest are dense noise.
+  Rng rng(12);
+  Tensor x({20, 15, 8});
+  for (Index l = 0; l < 8; ++l) {
+    Matrix slice(20, 15);
+    if (l < 4) {
+      Matrix u = Matrix::GaussianRandom(20, 1, rng);
+      Matrix v = Matrix::GaussianRandom(15, 1, rng);
+      slice = MultiplyNT(u, v);
+    } else {
+      slice = Matrix::GaussianRandom(20, 15, rng);
+    }
+    x.SetFrontalSlice(l, slice);
+  }
+  SliceApproximationOptions opt;
+  opt.slice_rank = 8;
+  opt.method = SliceSvdMethod::kExact;
+  opt.adaptive_tolerance = 1e-6;
+  Result<SliceApproximation> approx = ApproximateSlices(x, opt);
+  ASSERT_TRUE(approx.ok());
+  for (Index l = 0; l < 4; ++l) {
+    EXPECT_EQ(approx.value().slices[static_cast<std::size_t>(l)].s.size(), 1u)
+        << "rank-1 slice " << l;
+  }
+  for (Index l = 4; l < 8; ++l) {
+    EXPECT_EQ(approx.value().slices[static_cast<std::size_t>(l)].s.size(), 8u)
+        << "noise slice " << l;
+  }
+}
+
+TEST(SliceApproximationTest, AdaptiveApproximationStillDecomposes) {
+  // D-Tucker consumes variable-rank slices transparently.
+  Tensor x = MakeLowRankTensor({18, 15, 10}, {3, 3, 3}, 0.05, 13);
+  SliceApproximationOptions sopt;
+  sopt.slice_rank = 8;
+  sopt.adaptive_tolerance = 1e-4;
+  Result<SliceApproximation> approx = ApproximateSlices(x, sopt);
+  ASSERT_TRUE(approx.ok());
+
+  DTuckerOptions opt;
+  opt.ranks = {3, 3, 3};
+  opt.max_iterations = 10;
+  Result<TuckerDecomposition> dec =
+      DTuckerFromApproximation(approx.value(), opt);
+  ASSERT_TRUE(dec.ok()) << dec.status().ToString();
+  EXPECT_LT(dec.value().RelativeErrorAgainst(x), 0.02);
+}
+
+TEST(SliceApproximationTest, NoisySlicesNearOptimal) {
+  // With noise, the per-slice rSVD error should be close to the exact
+  // truncated-SVD error of the slices.
+  Tensor x = MakeLowRankTensor({30, 25, 8}, {4, 4, 4}, 0.2, 9);
+  SliceApproximationOptions opt;
+  opt.slice_rank = 4;
+  opt.power_iterations = 2;
+  Result<SliceApproximation> approx = ApproximateSlices(x, opt);
+  ASSERT_TRUE(approx.ok());
+
+  double exact_err = 0, total = 0;
+  for (Index l = 0; l < 8; ++l) {
+    Matrix slice = x.FrontalSlice(l);
+    SvdResult svd = ThinSvd(slice);
+    svd.Truncate(4);
+    exact_err += (slice - svd.Reconstruct()).SquaredNorm();
+    total += slice.SquaredNorm();
+  }
+  const double rsvd_err = approx.value().RelativeErrorAgainst(x);
+  EXPECT_LT(rsvd_err, (exact_err / total) * 1.1 + 1e-12);
+}
+
+}  // namespace
+}  // namespace dtucker

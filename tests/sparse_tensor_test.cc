@@ -1,0 +1,97 @@
+#include "sparse/sparse_tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/tensor_ops.h"
+
+namespace dtucker {
+namespace {
+
+TEST(SparseTensorTest, BasicAccounting) {
+  SparseTensor sp({3, 4, 5});
+  EXPECT_EQ(sp.order(), 3);
+  EXPECT_EQ(sp.volume(), 60);
+  EXPECT_EQ(sp.nnz(), 0u);
+  sp.Add({1, 2, 3}, 7.0);
+  sp.AddFlat(0, 1.0);
+  EXPECT_EQ(sp.nnz(), 2u);
+  EXPECT_GT(sp.ByteSize(), 0u);
+}
+
+TEST(SparseTensorTest, ToDenseMatchesAdds) {
+  SparseTensor sp({2, 3, 2});
+  sp.Add({0, 0, 0}, 1.0);
+  sp.Add({1, 2, 1}, 2.0);
+  sp.Add({1, 2, 1}, 3.0);  // Duplicate is additive.
+  Tensor d = sp.ToDense();
+  EXPECT_EQ(d(0, 0, 0), 1.0);
+  EXPECT_EQ(d(1, 2, 1), 5.0);
+  EXPECT_EQ(d(0, 1, 0), 0.0);
+}
+
+TEST(SparseTensorTest, SquaredNormMatchesDenseWithoutDuplicates) {
+  Rng rng(1);
+  SparseTensor sp({4, 4, 4});
+  Tensor dense({4, 4, 4});
+  for (int e = 0; e < 20; ++e) {
+    // Distinct flat positions.
+    Index flat = static_cast<Index>(e) * 3;
+    double v = rng.Gaussian();
+    sp.AddFlat(flat, v);
+    dense.data()[flat] += v;
+  }
+  EXPECT_NEAR(sp.SquaredNorm(), dense.SquaredNorm(), 1e-12);
+}
+
+// Property: the sparse TTM agrees with densify-then-dense-TTM on every
+// mode and both transpose conventions.
+class SparseTtmParamTest : public ::testing::TestWithParam<Index> {};
+
+TEST_P(SparseTtmParamTest, MatchesDenseModeProduct) {
+  const Index mode = GetParam();
+  Rng rng(100 + mode);
+  SparseTensor sp({5, 6, 7});
+  for (int e = 0; e < 40; ++e) {
+    sp.AddFlat(static_cast<Index>(rng.UniformInt(5 * 6 * 7)), rng.Gaussian());
+  }
+  Tensor dense = sp.ToDense();
+
+  Matrix u = Matrix::GaussianRandom(3, dense.dim(mode), rng);  // J x I_n.
+  EXPECT_TRUE(AlmostEqual(sp.ModeProductDense(u, mode, Trans::kNo),
+                          ModeProduct(dense, u, mode, Trans::kNo), 1e-10));
+
+  Matrix a = Matrix::GaussianRandom(dense.dim(mode), 3, rng);  // I_n x J.
+  EXPECT_TRUE(AlmostEqual(sp.ModeProductDense(a, mode, Trans::kYes),
+                          ModeProduct(dense, a, mode, Trans::kYes), 1e-10));
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, SparseTtmParamTest,
+                         ::testing::Values(0, 1, 2));
+
+TEST(SparseTensorTest, FourOrderSparseTtm) {
+  Rng rng(2);
+  SparseTensor sp({3, 4, 2, 5});
+  for (int e = 0; e < 30; ++e) {
+    sp.AddFlat(static_cast<Index>(rng.UniformInt(3 * 4 * 2 * 5)),
+               rng.Gaussian());
+  }
+  Tensor dense = sp.ToDense();
+  for (Index mode = 0; mode < 4; ++mode) {
+    Matrix a = Matrix::GaussianRandom(dense.dim(mode), 2, rng);
+    EXPECT_TRUE(AlmostEqual(sp.ModeProductDense(a, mode, Trans::kYes),
+                            ModeProduct(dense, a, mode, Trans::kYes), 1e-10))
+        << "mode " << mode;
+  }
+}
+
+TEST(SparseTensorTest, EmptySparseTtmIsZero) {
+  SparseTensor sp({3, 4, 5});
+  Matrix a = Matrix::Identity(4);
+  Tensor y = sp.ModeProductDense(a, 1, Trans::kYes);
+  EXPECT_EQ(y.FrobeniusNorm(), 0.0);
+  EXPECT_EQ(y.dim(1), 4);
+}
+
+}  // namespace
+}  // namespace dtucker

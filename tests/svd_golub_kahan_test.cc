@@ -1,0 +1,117 @@
+#include "linalg/svd_golub_kahan.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/blas.h"
+
+namespace dtucker {
+namespace {
+
+struct GkCase {
+  Index m, n;
+};
+
+class GkParamTest : public ::testing::TestWithParam<GkCase> {};
+
+TEST_P(GkParamTest, SatisfiesDefiningProperties) {
+  const GkCase c = GetParam();
+  Rng rng(77 + c.m * 13 + c.n);
+  Matrix a = Matrix::GaussianRandom(c.m, c.n, rng);
+  Result<SvdResult> r = ThinSvdGolubKahan(a);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const SvdResult& svd = r.value();
+
+  const Index p = std::min(c.m, c.n);
+  ASSERT_EQ(svd.u.cols(), p);
+  ASSERT_EQ(svd.v.cols(), p);
+  EXPECT_TRUE(AlmostEqual(MultiplyTN(svd.u, svd.u), Matrix::Identity(p),
+                          1e-8));
+  EXPECT_TRUE(AlmostEqual(MultiplyTN(svd.v, svd.v), Matrix::Identity(p),
+                          1e-8));
+  for (Index i = 0; i + 1 < p; ++i) {
+    EXPECT_GE(svd.s[static_cast<std::size_t>(i)],
+              svd.s[static_cast<std::size_t>(i + 1)]);
+  }
+  EXPECT_TRUE(AlmostEqual(svd.Reconstruct(), a, 1e-7));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GkParamTest,
+                         ::testing::Values(GkCase{1, 1}, GkCase{2, 2},
+                                           GkCase{5, 5}, GkCase{12, 12},
+                                           GkCase{40, 40}, GkCase{60, 25},
+                                           GkCase{25, 60}, GkCase{200, 15},
+                                           GkCase{15, 200}));
+
+TEST(GkSvdTest, AgreesWithJacobiSingularValues) {
+  Rng rng(78);
+  Matrix a = Matrix::GaussianRandom(45, 30, rng);
+  Result<SvdResult> gk = ThinSvdGolubKahan(a);
+  ASSERT_TRUE(gk.ok());
+  SvdResult jac = ThinSvd(a);
+  ASSERT_EQ(gk.value().s.size(), jac.s.size());
+  for (std::size_t i = 0; i < jac.s.size(); ++i) {
+    EXPECT_NEAR(gk.value().s[i], jac.s[i], 1e-9 * (1 + jac.s[0]));
+  }
+}
+
+TEST(GkSvdTest, RankDeficientMatrix) {
+  Rng rng(79);
+  Matrix b = Matrix::GaussianRandom(20, 3, rng);
+  Matrix c = Matrix::GaussianRandom(3, 15, rng);
+  Matrix a = Multiply(b, c);
+  Result<SvdResult> r = ThinSvdGolubKahan(a);
+  ASSERT_TRUE(r.ok());
+  for (std::size_t i = 3; i < r.value().s.size(); ++i) {
+    EXPECT_NEAR(r.value().s[i], 0.0, 1e-8 * r.value().s[0]);
+  }
+  EXPECT_TRUE(AlmostEqual(r.value().Reconstruct(), a, 1e-7));
+}
+
+TEST(GkSvdTest, ZeroAndDiagonalMatrices) {
+  Result<SvdResult> z = ThinSvdGolubKahan(Matrix::Zero(6, 4));
+  ASSERT_TRUE(z.ok());
+  for (double s : z.value().s) EXPECT_EQ(s, 0.0);
+
+  Result<SvdResult> d = ThinSvdGolubKahan(Matrix::Diagonal({2, 7, 4}));
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(d.value().s[0], 7, 1e-12);
+  EXPECT_NEAR(d.value().s[1], 4, 1e-12);
+  EXPECT_NEAR(d.value().s[2], 2, 1e-12);
+}
+
+TEST(GkSvdTest, GradedSingularValues) {
+  // Wide dynamic range: sigma_i = 10^{-i}.
+  const Index n = 10;
+  Rng rng(80);
+  Matrix u(n, n), v(n, n);
+  {
+    Matrix gu = Matrix::GaussianRandom(n, n, rng);
+    Matrix gv = Matrix::GaussianRandom(n, n, rng);
+    SvdResult su = ThinSvd(gu);
+    SvdResult sv = ThinSvd(gv);
+    u = su.u;
+    v = sv.u;
+  }
+  std::vector<double> sigma(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) sigma[static_cast<std::size_t>(i)] =
+      std::pow(10.0, -static_cast<double>(i));
+  Matrix us = u;
+  for (Index j = 0; j < n; ++j) {
+    Scal(sigma[static_cast<std::size_t>(j)], us.col_data(j), n);
+  }
+  Matrix a = MultiplyNT(us, v);
+  Result<SvdResult> r = ThinSvdGolubKahan(a);
+  ASSERT_TRUE(r.ok());
+  // Large singular values recovered to high relative accuracy.
+  for (Index i = 0; i < 6; ++i) {
+    EXPECT_NEAR(r.value().s[static_cast<std::size_t>(i)],
+                sigma[static_cast<std::size_t>(i)],
+                1e-8 * sigma[static_cast<std::size_t>(i)] + 1e-14);
+  }
+}
+
+}  // namespace
+}  // namespace dtucker

@@ -1,0 +1,134 @@
+#include "linalg/svd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/blas.h"
+
+namespace dtucker {
+namespace {
+
+struct SvdCase {
+  Index m, n;
+};
+
+class SvdParamTest : public ::testing::TestWithParam<SvdCase> {};
+
+TEST_P(SvdParamTest, SatisfiesDefiningProperties) {
+  const SvdCase c = GetParam();
+  Rng rng(101 + c.m * 17 + c.n);
+  Matrix a = Matrix::GaussianRandom(c.m, c.n, rng);
+  SvdResult svd = ThinSvd(a);
+
+  const Index p = std::min(c.m, c.n);
+  ASSERT_EQ(svd.u.cols(), p);
+  ASSERT_EQ(svd.v.cols(), p);
+  ASSERT_EQ(static_cast<Index>(svd.s.size()), p);
+
+  // Orthonormal factors.
+  EXPECT_TRUE(AlmostEqual(MultiplyTN(svd.u, svd.u), Matrix::Identity(p),
+                          1e-9));
+  EXPECT_TRUE(AlmostEqual(MultiplyTN(svd.v, svd.v), Matrix::Identity(p),
+                          1e-9));
+  // Descending nonnegative singular values.
+  for (Index i = 0; i + 1 < p; ++i) {
+    EXPECT_GE(svd.s[static_cast<std::size_t>(i)],
+              svd.s[static_cast<std::size_t>(i + 1)]);
+  }
+  EXPECT_GE(svd.s.back(), 0.0);
+  // Exact reconstruction (full rank p factors of a generic matrix).
+  EXPECT_TRUE(AlmostEqual(svd.Reconstruct(), a, 1e-8));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SvdParamTest,
+                         ::testing::Values(SvdCase{1, 1}, SvdCase{4, 4},
+                                           SvdCase{12, 12}, SvdCase{50, 8},
+                                           SvdCase{8, 50}, SvdCase{200, 10},
+                                           SvdCase{10, 200},
+                                           SvdCase{33, 33}));
+
+TEST(SvdTest, KnownDiagonal) {
+  Matrix a = Matrix::Diagonal({3, 1, 2});
+  SvdResult svd = ThinSvd(a);
+  EXPECT_NEAR(svd.s[0], 3.0, 1e-12);
+  EXPECT_NEAR(svd.s[1], 2.0, 1e-12);
+  EXPECT_NEAR(svd.s[2], 1.0, 1e-12);
+}
+
+TEST(SvdTest, SingularValuesMatchFrobeniusNorm) {
+  Rng rng(5);
+  Matrix a = Matrix::GaussianRandom(20, 9, rng);
+  SvdResult svd = ThinSvd(a);
+  double sum_sq = 0;
+  for (double s : svd.s) sum_sq += s * s;
+  EXPECT_NEAR(sum_sq, a.SquaredNorm(), 1e-8 * a.SquaredNorm());
+}
+
+TEST(SvdTest, RankDeficientMatrixHasZeroTail) {
+  // Rank-2 matrix of size 6x4.
+  Rng rng(6);
+  Matrix b = Matrix::GaussianRandom(6, 2, rng);
+  Matrix c = Matrix::GaussianRandom(2, 4, rng);
+  Matrix a = Multiply(b, c);
+  SvdResult svd = ThinSvd(a);
+  EXPECT_GT(svd.s[1], 1e-8);
+  EXPECT_NEAR(svd.s[2], 0.0, 1e-9);
+  EXPECT_NEAR(svd.s[3], 0.0, 1e-9);
+  EXPECT_TRUE(AlmostEqual(svd.Reconstruct(), a, 1e-9));
+}
+
+TEST(SvdTest, TruncationGivesBestLowRankError) {
+  // Eckart-Young: truncated SVD residual equals the tail energy.
+  Rng rng(7);
+  Matrix a = Matrix::GaussianRandom(30, 20, rng);
+  SvdResult svd = ThinSvd(a);
+  const Index k = 5;
+  double tail = 0;
+  for (std::size_t i = k; i < svd.s.size(); ++i) tail += svd.s[i] * svd.s[i];
+  SvdResult trunc = svd;
+  trunc.Truncate(k);
+  Matrix residual = a - trunc.Reconstruct();
+  EXPECT_NEAR(residual.SquaredNorm(), tail, 1e-6 * a.SquaredNorm());
+}
+
+TEST(SvdTest, LeadingLeftSingularVectors) {
+  Rng rng(8);
+  Matrix a = Matrix::GaussianRandom(40, 10, rng);
+  Matrix u = LeadingLeftSingularVectors(a, 3);
+  ASSERT_EQ(u.rows(), 40);
+  ASSERT_EQ(u.cols(), 3);
+  EXPECT_TRUE(AlmostEqual(MultiplyTN(u, u), Matrix::Identity(3), 1e-9));
+  // They span the same subspace as the full SVD's first 3 columns:
+  // projector difference should vanish.
+  SvdResult svd = ThinSvd(a);
+  Matrix u3 = svd.u.LeftCols(3);
+  Matrix p1 = MultiplyNT(u, u);
+  Matrix p2 = MultiplyNT(u3, u3);
+  EXPECT_TRUE(AlmostEqual(p1, p2, 1e-7));
+}
+
+TEST(SvdTest, EmptyAndDegenerate) {
+  SvdResult svd = ThinSvd(Matrix(0, 0));
+  EXPECT_EQ(svd.s.size(), 0u);
+  Matrix zero = Matrix::Zero(4, 3);
+  SvdResult z = ThinSvd(zero);
+  for (double s : z.s) EXPECT_EQ(s, 0.0);
+}
+
+TEST(SvdTest, UTimesSMatchesManualScaling) {
+  Rng rng(9);
+  Matrix a = Matrix::GaussianRandom(10, 4, rng);
+  SvdResult svd = ThinSvd(a);
+  Matrix us = svd.UTimesS();
+  for (Index j = 0; j < 4; ++j) {
+    for (Index i = 0; i < 10; ++i) {
+      EXPECT_NEAR(us(i, j), svd.u(i, j) * svd.s[static_cast<std::size_t>(j)],
+                  1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dtucker

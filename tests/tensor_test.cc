@@ -1,0 +1,170 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dtucker {
+namespace {
+
+TEST(TensorTest, ConstructionAndShape) {
+  Tensor t({3, 4, 5});
+  EXPECT_EQ(t.order(), 3);
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_EQ(t.dim(1), 4);
+  EXPECT_EQ(t.dim(2), 5);
+  EXPECT_EQ(t.size(), 60);
+  EXPECT_EQ(t.ByteSize(), 60u * sizeof(double));
+}
+
+TEST(TensorTest, LayoutIsModeOneFastest) {
+  Tensor t({2, 3, 4});
+  t(1, 0, 0) = 1.0;
+  t(0, 1, 0) = 2.0;
+  t(0, 0, 1) = 3.0;
+  EXPECT_EQ(t.data()[1], 1.0);       // Stride of mode 0 is 1.
+  EXPECT_EQ(t.data()[2], 2.0);       // Stride of mode 1 is I1 = 2.
+  EXPECT_EQ(t.data()[6], 3.0);       // Stride of mode 2 is I1*I2 = 6.
+}
+
+TEST(TensorTest, MultiIndexAccessAgreesWithConvenienceAccessors) {
+  Rng rng(1);
+  Tensor t = Tensor::GaussianRandom({3, 4, 5}, rng);
+  for (Index k = 0; k < 5; ++k) {
+    for (Index j = 0; j < 4; ++j) {
+      for (Index i = 0; i < 3; ++i) {
+        EXPECT_EQ(t.At({i, j, k}), t(i, j, k));
+      }
+    }
+  }
+}
+
+TEST(TensorTest, FourOrderAccess) {
+  Tensor t({2, 3, 4, 5});
+  t(1, 2, 3, 4) = 42.0;
+  EXPECT_EQ(t.At({1, 2, 3, 4}), 42.0);
+  EXPECT_EQ(t(1, 2, 3, 4), 42.0);
+}
+
+TEST(TensorTest, FromFlatRoundTrip) {
+  std::vector<double> data(24);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = i;
+  Tensor t = Tensor::FromFlat({2, 3, 4}, data);
+  EXPECT_EQ(t(1, 0, 0), 1);
+  EXPECT_EQ(t(0, 1, 0), 2);
+  EXPECT_EQ(t(1, 2, 3), 23);
+}
+
+TEST(TensorTest, Norms) {
+  Tensor t({2, 2, 1});
+  t(0, 0, 0) = 3;
+  t(1, 1, 0) = 4;
+  EXPECT_DOUBLE_EQ(t.SquaredNorm(), 25.0);
+  EXPECT_DOUBLE_EQ(t.FrobeniusNorm(), 5.0);
+}
+
+TEST(TensorTest, ElementwiseArithmetic) {
+  Rng rng(2);
+  Tensor a = Tensor::GaussianRandom({3, 3, 3}, rng);
+  Tensor b = a;
+  b += a;
+  b -= a;
+  EXPECT_TRUE(AlmostEqual(a, b, 1e-14));
+  b *= 2.0;
+  EXPECT_NEAR(b.SquaredNorm(), 4.0 * a.SquaredNorm(), 1e-10);
+}
+
+TEST(TensorTest, FrontalSliceIsContiguousCopy) {
+  Rng rng(3);
+  Tensor t = Tensor::GaussianRandom({4, 5, 6}, rng);
+  EXPECT_EQ(t.NumFrontalSlices(), 6);
+  Matrix s2 = t.FrontalSlice(2);
+  for (Index j = 0; j < 5; ++j) {
+    for (Index i = 0; i < 4; ++i) EXPECT_EQ(s2(i, j), t(i, j, 2));
+  }
+}
+
+TEST(TensorTest, FrontalSlicesOfFourOrderTensorFlattenTrailingModes) {
+  Rng rng(4);
+  Tensor t = Tensor::GaussianRandom({3, 4, 2, 5}, rng);
+  EXPECT_EQ(t.NumFrontalSlices(), 10);
+  // Slice l = k + 2*m corresponds to (i3 = k, i4 = m), mode-3 fastest.
+  Matrix s = t.FrontalSlice(1 + 2 * 3);
+  for (Index j = 0; j < 4; ++j) {
+    for (Index i = 0; i < 3; ++i) EXPECT_EQ(s(i, j), t(i, j, 1, 3));
+  }
+}
+
+TEST(TensorTest, SetFrontalSliceRoundTrip) {
+  Tensor t({3, 4, 5});
+  Rng rng(5);
+  Matrix m = Matrix::GaussianRandom(3, 4, rng);
+  t.SetFrontalSlice(3, m);
+  EXPECT_TRUE(AlmostEqual(t.FrontalSlice(3), m));
+  EXPECT_EQ(t.FrontalSlice(2).FrobeniusNorm(), 0.0);
+}
+
+TEST(TensorTest, LastModeSlice) {
+  Rng rng(6);
+  Tensor t = Tensor::GaussianRandom({3, 4, 10}, rng);
+  Tensor sub = t.LastModeSlice(2, 5);
+  EXPECT_EQ(sub.dim(2), 5);
+  for (Index k = 0; k < 5; ++k) {
+    for (Index j = 0; j < 4; ++j) {
+      for (Index i = 0; i < 3; ++i) {
+        EXPECT_EQ(sub(i, j, k), t(i, j, k + 2));
+      }
+    }
+  }
+}
+
+TEST(TensorTest, ReshapedPreservesFlatOrder) {
+  Rng rng(7);
+  Tensor t = Tensor::GaussianRandom({4, 3, 2}, rng);
+  Tensor r = t.Reshaped({2, 6, 2});
+  ASSERT_EQ(r.size(), t.size());
+  for (Index i = 0; i < t.size(); ++i) EXPECT_EQ(r.data()[i], t.data()[i]);
+}
+
+TEST(TensorTest, PermutedMovesModes) {
+  Rng rng(8);
+  Tensor t = Tensor::GaussianRandom({3, 4, 5}, rng);
+  Tensor p = t.Permuted({2, 0, 1});  // Out mode 0 = in mode 2, etc.
+  EXPECT_EQ(p.dim(0), 5);
+  EXPECT_EQ(p.dim(1), 3);
+  EXPECT_EQ(p.dim(2), 4);
+  for (Index k = 0; k < 5; ++k) {
+    for (Index j = 0; j < 4; ++j) {
+      for (Index i = 0; i < 3; ++i) {
+        EXPECT_EQ(p(k, i, j), t(i, j, k));
+      }
+    }
+  }
+}
+
+TEST(TensorTest, PermutedRoundTripThroughInverse) {
+  Rng rng(9);
+  Tensor t = Tensor::GaussianRandom({2, 3, 4, 5}, rng);
+  std::vector<Index> perm = {3, 1, 0, 2};
+  std::vector<Index> inv(4);
+  for (Index k = 0; k < 4; ++k) inv[static_cast<std::size_t>(perm[static_cast<std::size_t>(k)])] = k;
+  Tensor round = t.Permuted(perm).Permuted(inv);
+  EXPECT_TRUE(AlmostEqual(round, t, 0.0));
+}
+
+TEST(TensorTest, RelativeErrorAndInnerProduct) {
+  Rng rng(10);
+  Tensor a = Tensor::GaussianRandom({3, 3, 3}, rng);
+  EXPECT_DOUBLE_EQ(RelativeError(a, a), 0.0);
+  EXPECT_NEAR(InnerProduct(a, a), a.SquaredNorm(), 1e-12);
+  Tensor zero({3, 3, 3});
+  EXPECT_DOUBLE_EQ(RelativeError(a, zero), 1.0);
+}
+
+TEST(TensorTest, ShapeString) {
+  Tensor t({3, 4, 5});
+  EXPECT_EQ(t.ShapeString(), "(3 x 4 x 5)");
+}
+
+}  // namespace
+}  // namespace dtucker

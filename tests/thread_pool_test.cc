@@ -1,0 +1,89 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "data/generators.h"
+#include "dtucker/slice_approximation.h"
+
+namespace dtucker {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // Must not hang.
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(hits.size(),
+                   [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForSingleThreadRunsInline) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  pool.ParallelFor(10, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));  // Safe: inline execution.
+  });
+  std::vector<int> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [&](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, ReusableAcrossRounds) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<int> sum{0};
+    pool.ParallelFor(64, [&](std::size_t i) {
+      sum.fetch_add(static_cast<int>(i));
+    });
+    EXPECT_EQ(sum.load(), 64 * 63 / 2);
+  }
+}
+
+TEST(ParallelApproximationTest, BitIdenticalToSerial) {
+  Tensor x = MakeLowRankTensor({24, 20, 16}, {4, 4, 4}, 0.2, 5);
+  SliceApproximationOptions serial;
+  serial.slice_rank = 4;
+  serial.num_threads = 1;
+  SliceApproximationOptions parallel = serial;
+  parallel.num_threads = 4;
+
+  Result<SliceApproximation> a = ApproximateSlices(x, serial);
+  Result<SliceApproximation> b = ApproximateSlices(x, parallel);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a.value().NumSlices(), b.value().NumSlices());
+  for (Index l = 0; l < a.value().NumSlices(); ++l) {
+    const auto& sa = a.value().slices[static_cast<std::size_t>(l)];
+    const auto& sb = b.value().slices[static_cast<std::size_t>(l)];
+    EXPECT_TRUE(AlmostEqual(sa.u, sb.u, 0.0)) << "slice " << l;
+    EXPECT_TRUE(AlmostEqual(sa.v, sb.v, 0.0)) << "slice " << l;
+    EXPECT_EQ(sa.s, sb.s) << "slice " << l;
+  }
+}
+
+}  // namespace
+}  // namespace dtucker
