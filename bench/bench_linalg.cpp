@@ -15,6 +15,16 @@
 namespace dtucker {
 namespace {
 
+// Reports GEMM throughput as a GFLOP/s counter (2*m*n*k flops per product)
+// so BENCH_gemm.json tracks the kernel's absolute efficiency across PRs.
+void SetGemmCounters(benchmark::State& state, Index m, Index n, Index k) {
+  const double flops = 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+                       static_cast<double>(k);
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      flops * 1e-9, benchmark::Counter::kIsIterationInvariantRate);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(flops));
+}
+
 void BM_GemmSquare(benchmark::State& state) {
   const Index n = state.range(0);
   Rng rng(1);
@@ -25,9 +35,54 @@ void BM_GemmSquare(benchmark::State& state) {
     Gemm(Trans::kNo, Trans::kNo, 1.0, a, b, 0.0, &c);
     benchmark::DoNotOptimize(c.data());
   }
-  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  SetGemmCounters(state, n, n, n);
 }
 BENCHMARK(BM_GemmSquare)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+// Same product, pool sized per the second argument: the threads/1-thread
+// ratio at a fixed size is the kernel's parallel efficiency.
+void BM_GemmSquareThreaded(benchmark::State& state) {
+  const Index n = state.range(0);
+  SetBlasThreads(static_cast<int>(state.range(1)));
+  Rng rng(1);
+  Matrix a = Matrix::GaussianRandom(n, n, rng);
+  Matrix b = Matrix::GaussianRandom(n, n, rng);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    Gemm(Trans::kNo, Trans::kNo, 1.0, a, b, 0.0, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  SetGemmCounters(state, n, n, n);
+  SetBlasThreads(1);
+}
+BENCHMARK(BM_GemmSquareThreaded)
+    ->Args({512, 1})
+    ->Args({512, 2})
+    ->Args({512, 4});
+
+// Transposed operands: packing absorbs the transpose, so these should
+// track BM_GemmSquare closely (the seed kernel paid an extra materialized
+// copy here).
+void BM_GemmTransposed(benchmark::State& state) {
+  const Index n = state.range(0);
+  const Trans ta = state.range(1) != 0 ? Trans::kYes : Trans::kNo;
+  const Trans tb = state.range(2) != 0 ? Trans::kYes : Trans::kNo;
+  Rng rng(1);
+  Matrix a = Matrix::GaussianRandom(n, n, rng);
+  Matrix b = Matrix::GaussianRandom(n, n, rng);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    Gemm(ta, tb, 1.0, a, b, 0.0, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  SetGemmCounters(state, n, n, n);
+}
+BENCHMARK(BM_GemmTransposed)
+    ->Args({256, 1, 0})
+    ->Args({256, 0, 1})
+    ->Args({512, 1, 0})
+    ->Args({512, 0, 1})
+    ->Args({512, 1, 1});
 
 void BM_GemmTallSkinny(benchmark::State& state) {
   // The shape dominating D-Tucker: (I x I) times (I x J), J small.
@@ -41,7 +96,7 @@ void BM_GemmTallSkinny(benchmark::State& state) {
     Gemm(Trans::kNo, Trans::kNo, 1.0, a, b, 0.0, &c);
     benchmark::DoNotOptimize(c.data());
   }
-  state.SetItemsProcessed(state.iterations() * 2 * m * m * j);
+  SetGemmCounters(state, m, j, m);
 }
 BENCHMARK(BM_GemmTallSkinny)->Arg(128)->Arg(512)->Arg(1024);
 

@@ -26,6 +26,7 @@
 #include "data/decomposition_io.h"
 #include "data/tensor_io.h"
 #include "dtucker/dtucker.h"
+#include "linalg/blas.h"
 #include "tucker/rank_estimation.h"
 #include "tucker/rounding.h"
 
@@ -50,7 +51,10 @@ int Run(int argc, char** argv) {
   flags.AddInt("rank", 10, "Tucker rank per mode (clamped to dims)");
   flags.AddDouble("energy", 0.9, "energy threshold for --op=ranks");
   flags.AddInt("iters", 20, "max ALS sweeps");
-  flags.AddInt("threads", 1, "approximation worker threads");
+  flags.AddInt("threads", 1,
+               "worker threads for every phase (approximation, "
+               "initialization, iteration); default 1 = serial, 0 = all "
+               "hardware threads");
   Status st = flags.Parse(argc, argv);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
@@ -61,6 +65,11 @@ int Run(int argc, char** argv) {
     std::printf("%s", flags.HelpString().c_str());
     return 0;
   }
+  const int num_threads = static_cast<int>(flags.GetInt("threads"));
+  // One process-wide setting covers the GEMM/GEMV/mode-product machinery
+  // behind every phase; the approximation phase additionally gets a
+  // slice-level pool via the per-call num_threads options below.
+  SetBlasThreads(num_threads);
   const std::string op = flags.GetString("op");
 
   if (op == "generate") {
@@ -106,7 +115,9 @@ int Run(int argc, char** argv) {
     SliceApproximationOptions opt;
     opt.slice_rank = std::min<Index>(
         flags.GetInt("rank"), std::min(t.value().dim(0), t.value().dim(1)));
-    opt.num_threads = static_cast<int>(flags.GetInt("threads"));
+    // After SetBlasThreads, GetBlasThreads() is the resolved count (0 ->
+    // hardware concurrency).
+    opt.num_threads = GetBlasThreads();
     Result<SliceApproximation> approx = ApproximateSlices(t.value(), opt);
     if (!approx.ok()) return Fail(approx.status());
     Status save =
@@ -135,6 +146,7 @@ int Run(int argc, char** argv) {
         opt.ranks.push_back(std::min<Index>(flags.GetInt("rank"), d));
       }
       opt.max_iterations = static_cast<int>(flags.GetInt("iters"));
+      opt.num_threads = GetBlasThreads();
       Result<TuckerDecomposition> r =
           DTuckerFromApproximation(approx.value(), opt);
       if (!r.ok()) return Fail(r.status());
@@ -151,6 +163,7 @@ int Run(int argc, char** argv) {
             std::min<Index>(flags.GetInt("rank"), t.value().dim(n)));
       }
       opt.max_iterations = static_cast<int>(flags.GetInt("iters"));
+      opt.num_threads = GetBlasThreads();
       Result<MethodRun> run =
           RunTuckerMethod(method.value(), t.value(), opt);
       if (!run.ok()) return Fail(run.status());

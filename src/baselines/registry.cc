@@ -60,6 +60,7 @@ Result<MethodRun> RunTuckerMethod(TuckerMethod method, const Tensor& x,
       static_cast<TuckerOptions&>(opt) = options;
       opt.oversampling = options.oversampling;
       opt.power_iterations = options.power_iterations;
+      opt.num_threads = options.num_threads;
       DT_ASSIGN_OR_RETURN(run.decomposition, DTucker(x, opt, &run.stats));
       run.stored_bytes = run.stats.working_bytes;  // Slice factors.
       break;

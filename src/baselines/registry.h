@@ -32,6 +32,11 @@ Result<TuckerMethod> ParseTuckerMethod(const std::string& name);
 
 // Knobs shared across methods plus the per-method extras.
 struct MethodOptions : TuckerOptions {
+  // Worker threads for methods that support them (D-Tucker's approximation
+  // phase). GEMM-level threading everywhere else is controlled by the
+  // process-wide SetBlasThreads (linalg/blas.h), which callers set
+  // separately.
+  int num_threads = 1;
   // D-Tucker / RTD.
   Index oversampling = 5;
   int power_iterations = 1;

@@ -85,4 +85,27 @@ void ThreadPool::ParallelFor(std::size_t n,
   Wait();
 }
 
+void ThreadPool::ParallelForRanges(
+    std::size_t n, std::size_t min_grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  if (min_grain == 0) min_grain = 1;
+  const std::size_t max_ranges = (n + min_grain - 1) / min_grain;
+  // Two ranges per worker gives slack for imbalance without flooding the
+  // queue.
+  const std::size_t ranges = std::min(max_ranges, num_threads() * 2);
+  if (num_threads() == 1 || ranges <= 1) {
+    body(0, n);
+    return;
+  }
+  const std::size_t step = (n + ranges - 1) / ranges;
+  for (std::size_t r = 0; r < ranges; ++r) {
+    const std::size_t begin = r * step;
+    const std::size_t end = std::min(n, begin + step);
+    if (begin >= end) break;
+    Submit([&body, begin, end] { body(begin, end); });
+  }
+  Wait();
+}
+
 }  // namespace dtucker

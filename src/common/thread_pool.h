@@ -39,6 +39,15 @@ class ThreadPool {
   // zero overhead and deterministic ordering for the single-thread path.
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body);
 
+  // Runs body(begin, end) over a partition of [0, n) into contiguous
+  // ranges of at least `min_grain` elements each, and waits. Compared to
+  // ParallelFor this invokes one std::function call per range instead of
+  // per index, which matters for fine-grained numeric loops (BLAS row and
+  // column blocks). Runs inline on the caller when only one range results.
+  void ParallelForRanges(std::size_t n, std::size_t min_grain,
+                         const std::function<void(std::size_t, std::size_t)>&
+                             body);
+
  private:
   void WorkerLoop();
 

@@ -33,7 +33,9 @@ struct DTuckerOptions : TuckerOptions {
   // slice compression wants) and results are permuted back.
   bool auto_reorder = false;
   // Worker threads for the approximation phase (see
-  // SliceApproximationOptions::num_threads).
+  // SliceApproximationOptions::num_threads). The initialization and
+  // iteration phases thread through the process-wide BLAS pool instead —
+  // set SetBlasThreads (linalg/blas.h) to parallelize them.
   int num_threads = 1;
 
   Index EffectiveSliceRank() const {

@@ -4,6 +4,7 @@
 
 #include "common/thread_pool.h"
 #include "linalg/blas.h"
+#include "linalg/gemm_kernel.h"
 
 namespace dtucker {
 
@@ -148,8 +149,14 @@ Result<std::vector<SliceSvd>> ApproximateSliceRange(
     out[i] = SliceSvd{std::move(svd.u), std::move(svd.s), std::move(svd.v)};
   };
   if (options.num_threads > 1 && count > 1) {
+    // Slice-level parallelism is the better axis here (independent rSVDs);
+    // the worker scope keeps the per-slice GEMMs off the shared BLAS pool,
+    // which would otherwise oversubscribe the machine.
     ThreadPool pool(static_cast<std::size_t>(options.num_threads));
-    pool.ParallelFor(static_cast<std::size_t>(count), compress_one);
+    pool.ParallelFor(static_cast<std::size_t>(count), [&](std::size_t i) {
+      BlasWorkerScope scope;
+      compress_one(i);
+    });
   } else {
     for (std::size_t i = 0; i < static_cast<std::size_t>(count); ++i) {
       compress_one(i);

@@ -1,33 +1,57 @@
 #include "linalg/blas.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
-#include <vector>
+
+#include "common/thread_pool.h"
+#include "linalg/gemm_kernel.h"
 
 namespace dtucker {
 
 namespace {
 
-// Cache block sizes: an MC x KC panel of A (256*256*8 = 512 KiB) targets L2;
-// the j-loop streams columns of B and C through L1.
-constexpr Index kBlockM = 256;
-constexpr Index kBlockK = 256;
+// Problems below these sizes skip the packed engine: either the right-hand
+// side is thin enough that packing overhead is not amortized (the dominant
+// (I1 x I2)*(I2 x J), J ~ 10 shape of the approximation phase), one side is
+// thinner than a micro-tile row panel (padding would waste most of the
+// kernel's work), or the whole product is tiny (the J x J x J multiplies of
+// the iteration phase).
+constexpr Index kThinN = 16;
+constexpr Index kThinM = 16;
+constexpr Index kSmallVolume = 32 * 32 * 32;
 
-// C(mb x n) += A(mb x kb) * B(kb x n), all column-major, no transposes.
-// Inner kernel: jki ordering with 4-way k unrolling; each C column is
-// updated as a sum of scaled A columns (axpy form), which streams
-// contiguous memory for column-major data.
-void GemmBlockNN(Index mb, Index n, Index kb, double alpha, const double* a,
-                 Index lda, const double* b, Index ldb, double* c, Index ldc) {
+// Flop thresholds below which threading costs more than it saves.
+constexpr Index kGemmParallelVolume = 1 << 23;   // m*n*k (~2 x 512^2 x 16).
+constexpr Index kGemvParallelVolume = 1 << 20;   // m*n.
+
+// Legacy cache blocks for the unpacked thin path: an MC x KC panel of A
+// (256*256*8 = 512 KiB) stays resident while the j-loop streams columns of
+// B and C.
+constexpr Index kThinBlockM = 256;
+constexpr Index kThinBlockK = 256;
+
+// op(B)(l, j) for a column-major B with leading dimension ldb.
+template <bool kTransB>
+inline double OpB(const double* b, Index ldb, Index l, Index j) {
+  return kTransB ? b[j + l * ldb] : b[l + j * ldb];
+}
+
+// C(mb x n) += alpha * A(mb x kb) * op(B), A column-major, no transpose.
+// Inner kernel: jki ordering with 4-way k unrolling; each C column is a sum
+// of scaled A columns (axpy form), streaming contiguous memory.
+template <bool kTransB>
+void ThinBlockAxpy(Index mb, Index n, Index kb, double alpha, const double* a,
+                   Index lda, const double* b, Index ldb, double* c,
+                   Index ldc) {
   for (Index j = 0; j < n; ++j) {
     double* cj = c + j * ldc;
-    const double* bj = b + j * ldb;
     Index l = 0;
     for (; l + 4 <= kb; l += 4) {
-      const double b0 = alpha * bj[l + 0];
-      const double b1 = alpha * bj[l + 1];
-      const double b2 = alpha * bj[l + 2];
-      const double b3 = alpha * bj[l + 3];
+      const double b0 = alpha * OpB<kTransB>(b, ldb, l + 0, j);
+      const double b1 = alpha * OpB<kTransB>(b, ldb, l + 1, j);
+      const double b2 = alpha * OpB<kTransB>(b, ldb, l + 2, j);
+      const double b3 = alpha * OpB<kTransB>(b, ldb, l + 3, j);
       const double* a0 = a + (l + 0) * lda;
       const double* a1 = a + (l + 1) * lda;
       const double* a2 = a + (l + 2) * lda;
@@ -37,31 +61,124 @@ void GemmBlockNN(Index mb, Index n, Index kb, double alpha, const double* a,
       }
     }
     for (; l < kb; ++l) {
-      const double bl = alpha * bj[l];
+      const double bl = alpha * OpB<kTransB>(b, ldb, l, j);
       const double* al = a + l * lda;
       for (Index i = 0; i < mb; ++i) cj[i] += bl * al[i];
     }
   }
 }
 
-// Copies op(X) (shape rows x cols after the op) into a fresh col-major
-// buffer with leading dimension = rows.
-std::vector<double> MaterializeOp(Trans trans, Index rows, Index cols,
-                                  const double* x, Index ldx) {
-  std::vector<double> out(static_cast<std::size_t>(rows * cols));
-  if (trans == Trans::kNo) {
-    for (Index j = 0; j < cols; ++j) {
-      std::memcpy(out.data() + j * rows, x + j * ldx,
-                  static_cast<std::size_t>(rows) * sizeof(double));
-    }
-  } else {
-    // out(i, j) = x(j, i).
-    for (Index j = 0; j < cols; ++j) {
-      double* dst = out.data() + j * rows;
-      for (Index i = 0; i < rows; ++i) dst[i] = x[j + i * ldx];
+// Thin path, trans_a == kNo: cache-blocked axpy kernel over rows
+// [row0, row1) of C. Row-disjoint, so safe to run from pool workers.
+template <bool kTransB>
+void ThinPathN(Index row0, Index row1, Index n, Index k, double alpha,
+               const double* a, Index lda, const double* b, Index ldb,
+               double* c, Index ldc) {
+  for (Index l0 = 0; l0 < k; l0 += kThinBlockK) {
+    const Index kb = std::min(kThinBlockK, k - l0);
+    // op(B) block starting at row l0: advance by l0 rows of op(B).
+    const double* bblk = kTransB ? b + l0 * ldb : b + l0;
+    for (Index i0 = row0; i0 < row1; i0 += kThinBlockM) {
+      const Index mb = std::min(kThinBlockM, row1 - i0);
+      ThinBlockAxpy<kTransB>(mb, n, kb, alpha, a + i0 + l0 * lda, lda, bblk,
+                             ldb, c + i0, ldc);
     }
   }
-  return out;
+}
+
+// Thin path, trans_a == kYes: dot-product form over rows [row0, row1) of C
+// (columns of the stored A, each contiguous).
+template <bool kTransB>
+void ThinPathT(Index row0, Index row1, Index n, Index k, double alpha,
+               const double* a, Index lda, const double* b, Index ldb,
+               double* c, Index ldc) {
+  for (Index j = 0; j < n; ++j) {
+    double* cj = c + j * ldc;
+    for (Index i = row0; i < row1; ++i) {
+      const double* ai = a + i * lda;
+      double s;
+      if (!kTransB) {
+        s = Dot(ai, b + j * ldb, k);
+      } else {
+        s = 0.0;
+        for (Index l = 0; l < k; ++l) s += ai[l] * b[j + l * ldb];
+      }
+      cj[i] += alpha * s;
+    }
+  }
+}
+
+void GemmThinPath(Trans trans_a, Trans trans_b, Index m, Index n, Index k,
+                  double alpha, const double* a, Index lda, const double* b,
+                  Index ldb, double* c, Index ldc) {
+  auto run_rows = [&](Index row0, Index row1) {
+    if (trans_a == Trans::kNo) {
+      if (trans_b == Trans::kNo) {
+        ThinPathN<false>(row0, row1, n, k, alpha, a, lda, b, ldb, c, ldc);
+      } else {
+        ThinPathN<true>(row0, row1, n, k, alpha, a, lda, b, ldb, c, ldc);
+      }
+    } else {
+      if (trans_b == Trans::kNo) {
+        ThinPathT<false>(row0, row1, n, k, alpha, a, lda, b, ldb, c, ldc);
+      } else {
+        ThinPathT<true>(row0, row1, n, k, alpha, a, lda, b, ldb, c, ldc);
+      }
+    }
+  };
+  ThreadPool* pool = SharedBlasPool();
+  if (pool != nullptr && !InBlasWorker() && m * n * k >= kGemmParallelVolume &&
+      m > 1) {
+    pool->ParallelForRanges(
+        static_cast<std::size_t>(m), /*min_grain=*/64,
+        [&](std::size_t begin, std::size_t end) {
+          BlasWorkerScope scope;
+          run_rows(static_cast<Index>(begin), static_cast<Index>(end));
+        });
+  } else {
+    run_rows(0, m);
+  }
+}
+
+// Packed three-level path (see linalg/gemm_kernel.h for the layout). The
+// ic loop — disjoint row blocks of C — is the parallel axis; every worker
+// packs its own A block into its thread-local buffer while sharing the
+// caller-packed B panel read-only.
+void GemmPackedPath(Trans trans_a, Trans trans_b, Index m, Index n, Index k,
+                    double alpha, const double* a, Index lda, const double* b,
+                    Index ldb, double* c, Index ldc) {
+  ThreadPool* pool = SharedBlasPool();
+  const bool threaded =
+      pool != nullptr && !InBlasWorker() && m * n * k >= kGemmParallelVolume;
+  for (Index jc = 0; jc < n; jc += kGemmNC) {
+    const Index nb = std::min(kGemmNC, n - jc);
+    for (Index lc = 0; lc < k; lc += kGemmKC) {
+      const Index kb = std::min(kGemmKC, k - lc);
+      double* bpack = TlsPackBufferB(PackedBSize(kb, nb));
+      const double* bsrc =
+          trans_b == Trans::kNo ? b + lc + jc * ldb : b + jc + lc * ldb;
+      PackB(trans_b, kb, nb, bsrc, ldb, bpack);
+      const Index num_blocks = (m + kGemmMC - 1) / kGemmMC;
+      auto run_block = [&](Index ib) {
+        const Index i0 = ib * kGemmMC;
+        const Index mb = std::min(kGemmMC, m - i0);
+        double* apack = TlsPackBufferA(PackedASize(mb, kb));
+        const double* asrc =
+            trans_a == Trans::kNo ? a + i0 + lc * lda : a + lc + i0 * lda;
+        PackA(trans_a, mb, kb, alpha, asrc, lda, apack);
+        GemmMacroKernel(mb, nb, kb, apack, bpack, c + i0 + jc * ldc, ldc);
+      };
+      if (threaded && num_blocks > 1) {
+        pool->ParallelFor(static_cast<std::size_t>(num_blocks),
+                          [&](std::size_t ib) {
+                            BlasWorkerScope scope;
+                            run_block(static_cast<Index>(ib));
+                          });
+      } else {
+        for (Index ib = 0; ib < num_blocks; ++ib) run_block(ib);
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -79,50 +196,59 @@ void GemmRaw(Trans trans_a, Trans trans_b, Index m, Index n, Index k,
   }
   if (m == 0 || n == 0 || k == 0 || alpha == 0.0) return;
 
-  // Normalize transposed operands into temporary col-major buffers. The
-  // O(size) copy is negligible next to the O(m*n*k) multiply, and lets the
-  // blocked kernel assume the NN layout.
-  std::vector<double> a_copy, b_copy;
-  const double* a_nn = a;
-  Index lda_nn = lda;
-  if (trans_a == Trans::kYes) {
-    a_copy = MaterializeOp(Trans::kYes, m, k, a, lda);
-    a_nn = a_copy.data();
-    lda_nn = m;
+  if (n <= kThinN || m <= kThinM || m * n * k <= kSmallVolume) {
+    GemmThinPath(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, c, ldc);
+    return;
   }
-  const double* b_nn = b;
-  Index ldb_nn = ldb;
-  if (trans_b == Trans::kYes) {
-    b_copy = MaterializeOp(Trans::kYes, k, n, b, ldb);
-    b_nn = b_copy.data();
-    ldb_nn = k;
-  }
-
-  for (Index l0 = 0; l0 < k; l0 += kBlockK) {
-    const Index kb = std::min(kBlockK, k - l0);
-    for (Index i0 = 0; i0 < m; i0 += kBlockM) {
-      const Index mb = std::min(kBlockM, m - i0);
-      GemmBlockNN(mb, n, kb, alpha, a_nn + i0 + l0 * lda_nn, lda_nn,
-                  b_nn + l0, ldb_nn, c + i0, ldc);
-    }
-  }
+  GemmPackedPath(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, c, ldc);
 }
 
 void GemvRaw(Trans trans_a, Index m, Index n, double alpha, const double* a,
              Index lda, const double* x, double beta, double* y) {
+  ThreadPool* pool = SharedBlasPool();
+  const bool threaded =
+      pool != nullptr && !InBlasWorker() && m * n >= kGemvParallelVolume;
   if (trans_a == Trans::kNo) {
-    // y(m) = alpha * A(m x n) * x(n) + beta * y.
-    if (beta == 0.0) {
-      std::memset(y, 0, static_cast<std::size_t>(m) * sizeof(double));
-    } else if (beta != 1.0) {
-      Scal(beta, y, m);
+    // y(m) = alpha * A(m x n) * x(n) + beta * y: axpy form over disjoint
+    // row ranges of y.
+    auto run_rows = [&](Index r0, Index r1) {
+      const Index len = r1 - r0;
+      if (beta == 0.0) {
+        std::memset(y + r0, 0, static_cast<std::size_t>(len) * sizeof(double));
+      } else if (beta != 1.0) {
+        Scal(beta, y + r0, len);
+      }
+      for (Index j = 0; j < n; ++j) {
+        Axpy(alpha * x[j], a + r0 + j * lda, y + r0, len);
+      }
+    };
+    if (threaded) {
+      pool->ParallelForRanges(static_cast<std::size_t>(m), /*min_grain=*/1024,
+                              [&](std::size_t begin, std::size_t end) {
+                                BlasWorkerScope scope;
+                                run_rows(static_cast<Index>(begin),
+                                         static_cast<Index>(end));
+                              });
+    } else {
+      run_rows(0, m);
     }
-    for (Index j = 0; j < n; ++j) Axpy(alpha * x[j], a + j * lda, y, m);
   } else {
-    // y(n) = alpha * A^T * x(m) + beta * y.
-    for (Index j = 0; j < n; ++j) {
-      double s = Dot(a + j * lda, x, m);
-      y[j] = alpha * s + (beta == 0.0 ? 0.0 : beta * y[j]);
+    // y(n) = alpha * A^T * x(m) + beta * y: one dot per output element.
+    auto run_cols = [&](Index j0, Index j1) {
+      for (Index j = j0; j < j1; ++j) {
+        double s = Dot(a + j * lda, x, m);
+        y[j] = alpha * s + (beta == 0.0 ? 0.0 : beta * y[j]);
+      }
+    };
+    if (threaded) {
+      pool->ParallelForRanges(static_cast<std::size_t>(n), /*min_grain=*/8,
+                              [&](std::size_t begin, std::size_t end) {
+                                BlasWorkerScope scope;
+                                run_cols(static_cast<Index>(begin),
+                                         static_cast<Index>(end));
+                              });
+    } else {
+      run_cols(0, n);
     }
   }
 }
@@ -204,8 +330,9 @@ Matrix MultiplyTT(const Matrix& a, const Matrix& b) {
 Matrix Gram(const Matrix& a) {
   const Index n = a.cols();
   Matrix g(n, n);
-  if (n <= 32) {
-    // Small cases: direct dot products beat the blocked kernel's setup.
+  if (n <= 32 && SharedBlasPool() == nullptr) {
+    // Small serial case: direct dot products exploit symmetry (half the
+    // flops) and beat any kernel setup cost.
     for (Index j = 0; j < n; ++j) {
       for (Index i = 0; i <= j; ++i) {
         double s = Dot(a.col_data(i), a.col_data(j), a.rows());

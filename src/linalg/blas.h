@@ -2,8 +2,10 @@
 //
 // The raw-pointer routines operate on column-major data with explicit
 // leading dimensions; the Matrix overloads are the interface the rest of
-// the library uses. GemmRaw is cache-blocked; everything else is simple
-// loops that the compiler vectorizes under -O3 -march=native.
+// the library uses. GemmRaw is a packed, register-blocked, optionally
+// multithreaded kernel (see linalg/gemm_kernel.h for the engine); the
+// level-1 routines are simple loops that the compiler vectorizes under
+// -O3 -march=native.
 #ifndef DTUCKER_LINALG_BLAS_H_
 #define DTUCKER_LINALG_BLAS_H_
 
@@ -13,8 +15,18 @@ namespace dtucker {
 
 enum class Trans { kNo, kYes };
 
+// Process-wide BLAS thread count. The default is 1 (serial, deterministic
+// scheduling). Values > 1 lazily build a shared worker pool that GemmRaw,
+// GemvRaw, Gram, and the tensor mode products use for their macro loops;
+// <= 0 means "use std::thread::hardware_concurrency()". Call this once at
+// startup (e.g. from a --threads flag): it must not race with in-flight
+// BLAS calls, because resizing joins and replaces the old pool.
+void SetBlasThreads(int num_threads);
+int GetBlasThreads();
+
 // C = alpha * op(A) * op(B) + beta * C, column-major, op per `trans`.
-// Shapes: op(A) is m x k, op(B) is k x n, C is m x n.
+// Shapes: op(A) is m x k, op(B) is k x n, C is m x n. Transposed operands
+// are absorbed by panel packing — no materialized copy is ever made.
 void GemmRaw(Trans trans_a, Trans trans_b, Index m, Index n, Index k,
              double alpha, const double* a, Index lda, const double* b,
              Index ldb, double beta, double* c, Index ldc);

@@ -2,6 +2,9 @@
 
 #include <cstring>
 
+#include "common/thread_pool.h"
+#include "linalg/gemm_kernel.h"
+
 namespace dtucker {
 
 namespace {
@@ -95,12 +98,28 @@ Tensor ModeProduct(const Tensor& x, const Matrix& u, Index mode, Trans trans) {
   //   trans == kYes: op(U)^T = U   (dim x j)   -> GEMM(N, N) with U.
   const std::size_t src_slab = static_cast<std::size_t>(s.front * s.dim);
   const std::size_t dst_slab = static_cast<std::size_t>(s.front * j);
-  for (Index b = 0; b < s.back; ++b) {
+  auto run_slab = [&](Index b) {
     GemmRaw(Trans::kNo, trans == Trans::kNo ? Trans::kYes : Trans::kNo,
             s.front, j, s.dim, 1.0,
             x.data() + static_cast<std::size_t>(b) * src_slab, s.front,
             u.data(), u.rows(), 0.0,
             out.data() + static_cast<std::size_t>(b) * dst_slab, s.front);
+  };
+  // With enough independent slabs, parallelize across them (each writes a
+  // disjoint output slab) and keep the per-slab GEMMs serial; otherwise run
+  // the slab loop serially and let the big GEMMs thread internally.
+  ThreadPool* pool = SharedBlasPool();
+  if (pool != nullptr && !InBlasWorker() &&
+      s.back >= static_cast<Index>(pool->num_threads())) {
+    pool->ParallelForRanges(static_cast<std::size_t>(s.back), /*min_grain=*/1,
+                            [&](std::size_t begin, std::size_t end) {
+                              BlasWorkerScope scope;
+                              for (std::size_t b = begin; b < end; ++b) {
+                                run_slab(static_cast<Index>(b));
+                              }
+                            });
+  } else {
+    for (Index b = 0; b < s.back; ++b) run_slab(b);
   }
   return out;
 }

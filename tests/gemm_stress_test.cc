@@ -1,0 +1,219 @@
+// Randomized stress test for the packed/threaded GEMM kernel: every result
+// is cross-checked against a naive triple-loop reference over all four
+// transpose combinations, alpha/beta in {0, 1, -0.5}, non-square shapes,
+// sub-matrix leading dimensions (ld > rows), and thread counts {1, 4}.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "linalg/blas.h"
+#include "linalg/gemm_kernel.h"
+
+namespace dtucker {
+namespace {
+
+// A rows x cols column-major buffer with leading dimension ld >= rows; the
+// padding rows hold a sentinel so kernels that read or write outside the
+// logical sub-matrix corrupt something we can check.
+struct Padded {
+  Index rows = 0, cols = 0, ld = 0;
+  std::vector<double> data;
+
+  Padded(Index r, Index c, Index pad, Rng& rng) : rows(r), cols(c), ld(r + pad) {
+    data.assign(static_cast<std::size_t>(ld * c), kSentinel);
+    for (Index j = 0; j < c; ++j) {
+      for (Index i = 0; i < r; ++i) at(i, j) = rng.Gaussian();
+    }
+  }
+
+  double& at(Index i, Index j) {
+    return data[static_cast<std::size_t>(i + j * ld)];
+  }
+  double at(Index i, Index j) const {
+    return data[static_cast<std::size_t>(i + j * ld)];
+  }
+
+  bool PaddingIntact() const {
+    for (Index j = 0; j < cols; ++j) {
+      for (Index i = rows; i < ld; ++i) {
+        if (at(i, j) != kSentinel) return false;
+      }
+    }
+    return true;
+  }
+
+  static constexpr double kSentinel = -7.25e18;
+};
+
+// Reference C = alpha * op(A) * op(B) + beta * C, naive triple loop.
+void NaiveGemm(Trans ta, Trans tb, Index m, Index n, Index k, double alpha,
+               const Padded& a, const Padded& b, double beta, Padded* c) {
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i < m; ++i) {
+      double s = 0;
+      for (Index l = 0; l < k; ++l) {
+        const double av = ta == Trans::kNo ? a.at(i, l) : a.at(l, i);
+        const double bv = tb == Trans::kNo ? b.at(l, j) : b.at(j, l);
+        s += av * bv;
+      }
+      c->at(i, j) = alpha * s + beta * c->at(i, j);
+    }
+  }
+}
+
+struct Shape {
+  Index m, n, k;
+};
+
+// Shapes chosen to hit: tiny and prime edges, the thin fast paths (n <= 16
+// and m <= 16 with a large counterpart), the packed path with full and
+// partial micro-tiles, and blocks crossing the MC/KC cache boundaries.
+const Shape kShapes[] = {
+    {1, 1, 1},      {3, 5, 4},     {17, 19, 23},  {64, 64, 64},
+    {300, 10, 40},  {10, 300, 40}, {40, 40, 500}, {129, 65, 257},
+    {150, 140, 330},
+};
+
+const double kAlphas[] = {0.0, 1.0, -0.5};
+const double kBetas[] = {0.0, 1.0, -0.5};
+const Trans kTrans[] = {Trans::kNo, Trans::kYes};
+
+void RunSweep(Index pad) {
+  Rng rng(1234 + static_cast<uint64_t>(pad));
+  for (const Shape& sh : kShapes) {
+    for (Trans ta : kTrans) {
+      for (Trans tb : kTrans) {
+        // Stored shapes of A and B given the op orientation.
+        const Index ar = ta == Trans::kNo ? sh.m : sh.k;
+        const Index ac = ta == Trans::kNo ? sh.k : sh.m;
+        const Index br = tb == Trans::kNo ? sh.k : sh.n;
+        const Index bc = tb == Trans::kNo ? sh.n : sh.k;
+        Padded a(ar, ac, pad, rng);
+        Padded b(br, bc, pad, rng);
+        Padded c0(sh.m, sh.n, pad, rng);
+        for (double alpha : kAlphas) {
+          for (double beta : kBetas) {
+            Padded c = c0;
+            Padded expected = c0;
+            NaiveGemm(ta, tb, sh.m, sh.n, sh.k, alpha, a, b, beta, &expected);
+            GemmRaw(ta, tb, sh.m, sh.n, sh.k, alpha, a.data.data(), a.ld,
+                    b.data.data(), b.ld, beta, c.data.data(), c.ld);
+            double max_ref = 0, max_diff = 0;
+            for (Index j = 0; j < sh.n; ++j) {
+              for (Index i = 0; i < sh.m; ++i) {
+                max_ref = std::max(max_ref, std::fabs(expected.at(i, j)));
+                max_diff = std::max(
+                    max_diff, std::fabs(c.at(i, j) - expected.at(i, j)));
+              }
+            }
+            EXPECT_LE(max_diff, 1e-12 * std::max(max_ref, 1.0))
+                << "m=" << sh.m << " n=" << sh.n << " k=" << sh.k
+                << " ta=" << (ta == Trans::kYes) << " tb=" << (tb == Trans::kYes)
+                << " alpha=" << alpha << " beta=" << beta << " pad=" << pad
+                << " threads=" << GetBlasThreads();
+            EXPECT_TRUE(c.PaddingIntact())
+                << "kernel wrote outside the sub-matrix (pad rows)";
+          }
+        }
+        EXPECT_TRUE(a.PaddingIntact());
+        EXPECT_TRUE(b.PaddingIntact());
+      }
+    }
+  }
+}
+
+class GemmStressTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetBlasThreads(1); }
+};
+
+TEST_F(GemmStressTest, SerialTightLd) {
+  SetBlasThreads(1);
+  RunSweep(/*pad=*/0);
+}
+
+TEST_F(GemmStressTest, SerialPaddedLd) {
+  SetBlasThreads(1);
+  RunSweep(/*pad=*/3);
+}
+
+TEST_F(GemmStressTest, FourThreadsTightLd) {
+  SetBlasThreads(4);
+  RunSweep(/*pad=*/0);
+}
+
+TEST_F(GemmStressTest, FourThreadsPaddedLd) {
+  SetBlasThreads(4);
+  RunSweep(/*pad=*/3);
+}
+
+// Threaded runs must be bit-identical to serial ones: the row-block
+// partition fixes each output element's summation order regardless of
+// which worker executes it.
+TEST_F(GemmStressTest, ThreadedMatchesSerialBitwise) {
+  Rng rng(77);
+  const Index m = 384, n = 384, k = 384;
+  Padded a(m, k, 2, rng);
+  Padded b(k, n, 2, rng);
+  Padded serial(m, n, 2, rng);
+  Padded threaded = serial;
+  SetBlasThreads(1);
+  GemmRaw(Trans::kNo, Trans::kYes, m, n, k, 1.0, a.data.data(), a.ld,
+          b.data.data(), b.ld, 0.0, serial.data.data(), serial.ld);
+  SetBlasThreads(4);
+  GemmRaw(Trans::kNo, Trans::kYes, m, n, k, 1.0, a.data.data(), a.ld,
+          b.data.data(), b.ld, 0.0, threaded.data.data(), threaded.ld);
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i < m; ++i) {
+      ASSERT_EQ(serial.at(i, j), threaded.at(i, j))
+          << "divergence at (" << i << ", " << j << ")";
+    }
+  }
+}
+
+// The Gemv fast paths share the pool; sanity-check both orientations at a
+// size that crosses the threading threshold.
+TEST_F(GemmStressTest, ThreadedGemvMatchesSerial) {
+  Rng rng(88);
+  const Index m = 2048, n = 600;
+  Padded a(m, n, 1, rng);
+  std::vector<double> x(static_cast<std::size_t>(n)), y1(
+      static_cast<std::size_t>(m), 0.5), y4 = y1;
+  for (double& v : x) v = rng.Gaussian();
+  SetBlasThreads(1);
+  GemvRaw(Trans::kNo, m, n, 2.0, a.data.data(), a.ld, x.data(), -0.5,
+          y1.data());
+  SetBlasThreads(4);
+  GemvRaw(Trans::kNo, m, n, 2.0, a.data.data(), a.ld, x.data(), -0.5,
+          y4.data());
+  for (std::size_t i = 0; i < y1.size(); ++i) ASSERT_EQ(y1[i], y4[i]);
+
+  std::vector<double> xt(static_cast<std::size_t>(m)),
+      z1(static_cast<std::size_t>(n), 1.0), z4 = z1;
+  for (double& v : xt) v = rng.Gaussian();
+  SetBlasThreads(1);
+  GemvRaw(Trans::kYes, m, n, 1.0, a.data.data(), a.ld, xt.data(), 1.0,
+          z1.data());
+  SetBlasThreads(4);
+  GemvRaw(Trans::kYes, m, n, 1.0, a.data.data(), a.ld, xt.data(), 1.0,
+          z4.data());
+  for (std::size_t i = 0; i < z1.size(); ++i) ASSERT_EQ(z1[i], z4[i]);
+}
+
+// The pack buffers must satisfy the alignment the micro-kernel's vector
+// loads assume.
+TEST_F(GemmStressTest, PackBuffersAligned) {
+  for (std::size_t n : {std::size_t{64}, std::size_t{100000}}) {
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(TlsPackBufferA(n)) %
+                  kGemmPackAlignment,
+              0u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(TlsPackBufferB(n)) %
+                  kGemmPackAlignment,
+              0u);
+  }
+}
+
+}  // namespace
+}  // namespace dtucker
