@@ -100,16 +100,96 @@ void BM_GemmTallSkinny(benchmark::State& state) {
 }
 BENCHMARK(BM_GemmTallSkinny)->Arg(128)->Arg(512)->Arg(1024);
 
+// Householder QR flop model (LAPACK working notes): factoring an m x n
+// matrix costs 2n^2(m - n/3), and forming the thin Q costs the same again.
+// The GFLOP/s counter makes BENCH_qr.json comparable across PRs the same
+// way BENCH_gemm.json is.
+void SetQrCounters(benchmark::State& state, Index m, Index n, bool forms_q) {
+  const double mn = static_cast<double>(m) - static_cast<double>(n) / 3.0;
+  double flops = 2.0 * static_cast<double>(n) * static_cast<double>(n) * mn;
+  if (forms_q) flops *= 2.0;
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      flops * 1e-9, benchmark::Counter::kIsIterationInvariantRate);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(flops));
+}
+
+// Shapes mirror what the phases feed the QR: (I1 x sketch) tall-skinny
+// panels from the range finder, and the wider stacked [Y<1> ... Y<L>]
+// blocks of the init phase.
 void BM_ThinQr(benchmark::State& state) {
   const Index m = state.range(0);
+  const Index n = state.range(1);
   Rng rng(3);
-  Matrix a = Matrix::GaussianRandom(m, 15, rng);
+  Matrix a = Matrix::GaussianRandom(m, n, rng);
   for (auto _ : state) {
     QrResult qr = ThinQr(a);
     benchmark::DoNotOptimize(qr.q.data());
   }
+  SetQrCounters(state, m, n, /*forms_q=*/true);
 }
-BENCHMARK(BM_ThinQr)->Arg(100)->Arg(400)->Arg(1600);
+BENCHMARK(BM_ThinQr)
+    ->Args({100, 15})
+    ->Args({400, 15})
+    ->Args({1600, 15})
+    ->Args({4096, 64})
+    ->Args({1024, 256});
+
+void BM_QrOrthonormalize(benchmark::State& state) {
+  const Index m = state.range(0);
+  const Index n = state.range(1);
+  Rng rng(3);
+  Matrix a = Matrix::GaussianRandom(m, n, rng);
+  for (auto _ : state) {
+    Matrix q = QrOrthonormalize(a);
+    benchmark::DoNotOptimize(q.data());
+  }
+  SetQrCounters(state, m, n, /*forms_q=*/true);
+}
+BENCHMARK(BM_QrOrthonormalize)
+    ->Args({1024, 15})
+    ->Args({4096, 15})
+    ->Args({4096, 64})
+    ->Args({8192, 128})
+    ->Args({1024, 256});
+
+// The level-2 reference: the ratio to BM_QrOrthonormalize at the same
+// shape is the speedup delivered by the compact-WY blocking.
+void BM_QrOrthonormalizeUnblocked(benchmark::State& state) {
+  const Index m = state.range(0);
+  const Index n = state.range(1);
+  Rng rng(3);
+  Matrix a = Matrix::GaussianRandom(m, n, rng);
+  for (auto _ : state) {
+    Matrix q = QrOrthonormalizeUnblocked(a);
+    benchmark::DoNotOptimize(q.data());
+  }
+  SetQrCounters(state, m, n, /*forms_q=*/true);
+}
+BENCHMARK(BM_QrOrthonormalizeUnblocked)
+    ->Args({1024, 15})
+    ->Args({4096, 64})
+    ->Args({8192, 128})
+    ->Args({1024, 256});
+
+// Blocked QR on the shared pool: same product, pool sized per the third
+// argument (compare to the single-thread row at the same shape).
+void BM_QrOrthonormalizeThreaded(benchmark::State& state) {
+  const Index m = state.range(0);
+  const Index n = state.range(1);
+  SetBlasThreads(static_cast<int>(state.range(2)));
+  Rng rng(3);
+  Matrix a = Matrix::GaussianRandom(m, n, rng);
+  for (auto _ : state) {
+    Matrix q = QrOrthonormalize(a);
+    benchmark::DoNotOptimize(q.data());
+  }
+  SetQrCounters(state, m, n, /*forms_q=*/true);
+  SetBlasThreads(1);
+}
+BENCHMARK(BM_QrOrthonormalizeThreaded)
+    ->Args({8192, 128, 1})
+    ->Args({8192, 128, 2})
+    ->Args({8192, 128, 4});
 
 void BM_ThinSvdSmall(benchmark::State& state) {
   const Index n = state.range(0);
@@ -122,18 +202,35 @@ void BM_ThinSvdSmall(benchmark::State& state) {
 }
 BENCHMARK(BM_ThinSvdSmall)->Arg(10)->Arg(30)->Arg(60);
 
+// The approximation-phase primitive on slice-shaped inputs. The flop
+// counter models the dominant cost — (2q + 1) dense passes over the
+// (m x n) slice at 2 m n sketch flops each — so GFLOP/s tracks how much
+// of the packed kernel's throughput the restructured rSVD reaches.
 void BM_RandomizedSvd(benchmark::State& state) {
   const Index m = state.range(0);
+  const Index n = state.range(1);
   Rng rng(5);
-  Matrix a = Matrix::GaussianRandom(m, m / 2, rng);
+  Matrix a = Matrix::GaussianRandom(m, n, rng);
   RsvdOptions opt;
   opt.rank = 10;
   for (auto _ : state) {
     SvdResult svd = RandomizedSvd(a, opt);
     benchmark::DoNotOptimize(svd.u.data());
   }
+  const Index sketch = opt.rank + opt.oversampling;
+  const double passes = 2.0 * opt.power_iterations + 1.0;
+  const double flops = passes * 2.0 * static_cast<double>(m) *
+                       static_cast<double>(n) * static_cast<double>(sketch);
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      flops * 1e-9, benchmark::Counter::kIsIterationInvariantRate);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(flops));
 }
-BENCHMARK(BM_RandomizedSvd)->Arg(128)->Arg(256)->Arg(512);
+BENCHMARK(BM_RandomizedSvd)
+    ->Args({128, 64})
+    ->Args({256, 128})
+    ->Args({512, 256})
+    ->Args({1024, 1024})
+    ->Args({4096, 512});
 
 void BM_ThinSvdGolubKahan(benchmark::State& state) {
   const Index n = state.range(0);

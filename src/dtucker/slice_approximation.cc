@@ -8,21 +8,26 @@
 
 namespace dtucker {
 
-Matrix SliceSvd::UTimesS() const {
-  Matrix out = u;
+namespace {
+
+// One pass per column: writing src[i] * s_j straight into the fresh matrix
+// halves the memory traffic of the copy-then-Scal formulation.
+Matrix ScaledColumns(const Matrix& factor, const std::vector<double>& s) {
+  Matrix out(factor.rows(), factor.cols());
   for (Index j = 0; j < out.cols(); ++j) {
-    Scal(s[static_cast<std::size_t>(j)], out.col_data(j), out.rows());
+    const double sj = s[static_cast<std::size_t>(j)];
+    const double* src = factor.col_data(j);
+    double* dst = out.col_data(j);
+    for (Index i = 0; i < out.rows(); ++i) dst[i] = src[i] * sj;
   }
   return out;
 }
 
-Matrix SliceSvd::VTimesS() const {
-  Matrix out = v;
-  for (Index j = 0; j < out.cols(); ++j) {
-    Scal(s[static_cast<std::size_t>(j)], out.col_data(j), out.rows());
-  }
-  return out;
-}
+}  // namespace
+
+Matrix SliceSvd::UTimesS() const { return ScaledColumns(u, s); }
+
+Matrix SliceSvd::VTimesS() const { return ScaledColumns(v, s); }
 
 Matrix SliceSvd::Reconstruct() const { return MultiplyNT(UTimesS(), v); }
 

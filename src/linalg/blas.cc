@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <vector>
 
 #include "common/thread_pool.h"
 #include "linalg/gemm_kernel.h"
@@ -20,6 +21,15 @@ namespace {
 constexpr Index kThinN = 16;
 constexpr Index kThinM = 16;
 constexpr Index kSmallVolume = 32 * 32 * 32;
+
+// Shape window for the tall-k A^T B kernel below: a small (<= 32 x 64)
+// output with a long reduction dimension, and an A panel small enough
+// (m * k doubles, <= 2 MiB) to stay cache-resident while the n sweep
+// re-reads it. This is the W = V^T C / Gram-block shape of the blocked QR.
+constexpr Index kTallTnMaxM = 32;
+constexpr Index kTallTnMaxN = 64;
+constexpr Index kTallTnMinK = 256;
+constexpr Index kTallTnMaxAPanel = Index(1) << 18;  // m * k doubles.
 
 // Flop thresholds below which threading costs more than it saves.
 constexpr Index kGemmParallelVolume = 1 << 23;   // m*n*k (~2 x 512^2 x 16).
@@ -140,13 +150,99 @@ void GemmThinPath(Trans trans_a, Trans trans_b, Index m, Index n, Index k,
   }
 }
 
+// C(m x n) += alpha * A^T B for small m, n and large k: both operands are
+// contiguous column streams, so instead of packing, each 4x4 tile of C is
+// held in native-width vector accumulators while the k loop streams one
+// vector of rows at a time (16 FMAs against 8 loads per step —
+// compute-bound where the packed path is dominated by packing a B panel it
+// barely reuses). Always serial: the output is tiny and a fixed summation
+// order keeps results identical across thread counts.
+#if defined(__GNUC__) || defined(__clang__)
+#if defined(__AVX512F__)
+constexpr Index kTallTnVecLen = 8;
+#elif defined(__AVX__)
+constexpr Index kTallTnVecLen = 4;
+#else
+constexpr Index kTallTnVecLen = 2;
+#endif
+// Explicit vector accumulators (same reasoning as the GEMM micro kernel: a
+// plain double array spills to the stack). aligned(8) because the column
+// streams land on arbitrary 8-byte offsets.
+typedef double TallVec __attribute__((
+    vector_size(kTallTnVecLen * sizeof(double)), aligned(8)));
+
+void GemmTallTnTile(Index k, const double* const* ac, const double* const* bc,
+                    double alpha, double* c, Index ldc) {
+  TallVec acc[4][4];
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) acc[i][j] = TallVec{};
+  }
+  Index r = 0;
+  for (; r + kTallTnVecLen <= k; r += kTallTnVecLen) {
+    TallVec av[4], bv[4];
+    for (int i = 0; i < 4; ++i) {
+      av[i] = *reinterpret_cast<const TallVec*>(ac[i] + r);
+    }
+    for (int j = 0; j < 4; ++j) {
+      bv[j] = *reinterpret_cast<const TallVec*>(bc[j] + r);
+    }
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) acc[i][j] += av[i] * bv[j];
+    }
+  }
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      double s = 0.0;
+      for (Index l = 0; l < kTallTnVecLen; ++l) s += acc[i][j][l];
+      for (Index rr = r; rr < k; ++rr) s += ac[i][rr] * bc[j][rr];
+      c[i + j * ldc] += alpha * s;
+    }
+  }
+}
+#else
+void GemmTallTnTile(Index k, const double* const* ac, const double* const* bc,
+                    double alpha, double* c, Index ldc) {
+  for (int j = 0; j < 4; ++j) {
+    for (int i = 0; i < 4; ++i) c[i + j * ldc] += alpha * Dot(ac[i], bc[j], k);
+  }
+}
+#endif
+
+void GemmTallTnPath(Index m, Index n, Index k, double alpha, const double* a,
+                    Index lda, const double* b, Index ldb, double* c,
+                    Index ldc) {
+  for (Index j0 = 0; j0 < n; j0 += 4) {
+    const Index jb = std::min<Index>(4, n - j0);
+    for (Index i0 = 0; i0 < m; i0 += 4) {
+      const Index ib = std::min<Index>(4, m - i0);
+      if (ib == 4 && jb == 4) {
+        const double* ac[4];
+        const double* bc[4];
+        for (int i = 0; i < 4; ++i) ac[i] = a + (i0 + i) * lda;
+        for (int j = 0; j < 4; ++j) bc[j] = b + (j0 + j) * ldb;
+        GemmTallTnTile(k, ac, bc, alpha, c + i0 + j0 * ldc, ldc);
+      } else {
+        for (Index j = 0; j < jb; ++j) {
+          for (Index i = 0; i < ib; ++i) {
+            c[(i0 + i) + (j0 + j) * ldc] +=
+                alpha * Dot(a + (i0 + i) * lda, b + (j0 + j) * ldb, k);
+          }
+        }
+      }
+    }
+  }
+}
+
 // Packed three-level path (see linalg/gemm_kernel.h for the layout). The
 // ic loop — disjoint row blocks of C — is the parallel axis; every worker
 // packs its own A block into its thread-local buffer while sharing the
 // caller-packed B panel read-only.
+// `overwrite_c` is the beta = 0 contract: the first kc block stores its
+// result into C (which may hold garbage) instead of accumulating, so the
+// caller skips its zero-fill pass and the kernel its read of C.
 void GemmPackedPath(Trans trans_a, Trans trans_b, Index m, Index n, Index k,
                     double alpha, const double* a, Index lda, const double* b,
-                    Index ldb, double* c, Index ldc) {
+                    Index ldb, double* c, Index ldc, bool overwrite_c) {
   ThreadPool* pool = SharedBlasPool();
   const bool threaded =
       pool != nullptr && !InBlasWorker() && m * n * k >= kGemmParallelVolume;
@@ -154,6 +250,7 @@ void GemmPackedPath(Trans trans_a, Trans trans_b, Index m, Index n, Index k,
     const Index nb = std::min(kGemmNC, n - jc);
     for (Index lc = 0; lc < k; lc += kGemmKC) {
       const Index kb = std::min(kGemmKC, k - lc);
+      const bool overwrite = overwrite_c && lc == 0;
       double* bpack = TlsPackBufferB(PackedBSize(kb, nb));
       const double* bsrc =
           trans_b == Trans::kNo ? b + lc + jc * ldb : b + jc + lc * ldb;
@@ -166,7 +263,8 @@ void GemmPackedPath(Trans trans_a, Trans trans_b, Index m, Index n, Index k,
         const double* asrc =
             trans_a == Trans::kNo ? a + i0 + lc * lda : a + lc + i0 * lda;
         PackA(trans_a, mb, kb, alpha, asrc, lda, apack);
-        GemmMacroKernel(mb, nb, kb, apack, bpack, c + i0 + jc * ldc, ldc);
+        GemmMacroKernel(mb, nb, kb, apack, bpack, c + i0 + jc * ldc, ldc,
+                        overwrite);
       };
       if (threaded && num_blocks > 1) {
         pool->ParallelFor(static_cast<std::size_t>(num_blocks),
@@ -186,21 +284,48 @@ void GemmPackedPath(Trans trans_a, Trans trans_b, Index m, Index n, Index k,
 void GemmRaw(Trans trans_a, Trans trans_b, Index m, Index n, Index k,
              double alpha, const double* a, Index lda, const double* b,
              Index ldb, double beta, double* c, Index ldc) {
-  // Scale C by beta first.
+  if (m == 0 || n == 0) return;
+
+  // Route first: the beta handling below depends on it. Short-m transposed
+  // products whose row count fills whole micro-tiles (the W = V^T C shape
+  // of the blocked QR: m = panel width, k large) take a dedicated k-major
+  // kernel; small or narrow products the dot-form thin path; everything
+  // else the packed three-level path.
+  const bool no_product = k == 0 || alpha == 0.0;
+  const bool tall_tn = trans_a == Trans::kYes && trans_b == Trans::kNo &&
+                       m <= kTallTnMaxM && n <= kTallTnMaxN &&
+                       k >= kTallTnMinK && m * k <= kTallTnMaxAPanel;
+  const bool m_fills_tiles = m % kGemmMR == 0;
+  const bool thin = n <= kThinN || (m <= kThinM && !m_fills_tiles) ||
+                    m * n * k <= kSmallVolume;
+  const bool packed = !no_product && !tall_tn && !thin;
+
+  // Scale C by beta. The packed path handles beta = 0 itself (the first kc
+  // block stores instead of accumulating), so a product headed there skips
+  // this pass over C entirely; the tall-T^T-A and thin paths accumulate
+  // into small or short C blocks where the memset is noise.
   if (beta == 0.0) {
-    for (Index j = 0; j < n; ++j) {
-      std::memset(c + j * ldc, 0, static_cast<std::size_t>(m) * sizeof(double));
+    if (!packed) {
+      for (Index j = 0; j < n; ++j) {
+        std::memset(c + j * ldc, 0,
+                    static_cast<std::size_t>(m) * sizeof(double));
+      }
     }
   } else if (beta != 1.0) {
     for (Index j = 0; j < n; ++j) Scal(beta, c + j * ldc, m);
   }
-  if (m == 0 || n == 0 || k == 0 || alpha == 0.0) return;
+  if (no_product) return;
 
-  if (n <= kThinN || m <= kThinM || m * n * k <= kSmallVolume) {
+  if (tall_tn) {
+    GemmTallTnPath(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+    return;
+  }
+  if (thin) {
     GemmThinPath(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, c, ldc);
     return;
   }
-  GemmPackedPath(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, c, ldc);
+  GemmPackedPath(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, c, ldc,
+                 /*overwrite_c=*/beta == 0.0);
 }
 
 void GemvRaw(Trans trans_a, Index m, Index n, double alpha, const double* a,
@@ -274,7 +399,97 @@ void Scal(double alpha, double* x, Index n) {
   for (Index i = 0; i < n; ++i) x[i] *= alpha;
 }
 
+void TrmmUpperRaw(Trans trans_t, Index n, Index ncols, const double* t,
+                  Index ldt, double* w, Index ldw) {
+  if (n == 0 || ncols == 0) return;
+  if (trans_t == Trans::kYes) {
+    // w_i := sum_{j <= i} T(j, i) w_j = dot(T(0:i+1, i), w(0:i+1)): column i
+    // of T is contiguous, and a descending sweep is safe in place (entry i
+    // only reads entries <= i, which later iterations never touch).
+    for (Index c = 0; c < ncols; ++c) {
+      double* wc = w + c * ldw;
+      for (Index i = n - 1; i >= 0; --i) {
+        wc[i] = Dot(t + i * ldt, wc, i + 1);
+      }
+    }
+    return;
+  }
+  // w := T w accumulated column by column: out(0:j+1) += w_j * T(0:j+1, j).
+  // The accumulation target would clobber inputs still needed, so stage the
+  // original column in a small scratch buffer.
+  std::vector<double> tmp(static_cast<std::size_t>(n));
+  for (Index c = 0; c < ncols; ++c) {
+    double* wc = w + c * ldw;
+    std::memcpy(tmp.data(), wc, static_cast<std::size_t>(n) * sizeof(double));
+    std::memset(wc, 0, static_cast<std::size_t>(n) * sizeof(double));
+    for (Index j = 0; j < n; ++j) {
+      Axpy(tmp[static_cast<std::size_t>(j)], t + j * ldt, wc, j + 1);
+    }
+  }
+}
+
+void TrsmUpperRaw(Index n, Index ncols, const double* r, Index ldr, double* x,
+                  Index ldx) {
+  for (Index c = 0; c < ncols; ++c) {
+    double* xc = x + c * ldx;
+    for (Index j = n - 1; j >= 0; --j) {
+      const double* rj = r + j * ldr;
+      DT_CHECK(rj[j] != 0.0) << "singular triangular system";
+      const double xj = xc[j] / rj[j];
+      xc[j] = xj;
+      // Eliminate x_j from the rows above: x(0:j) -= x_j * R(0:j, j).
+      Axpy(-xj, rj, xc, j);
+    }
+  }
+}
+
+void TrsmLowerRaw(Index n, Index ncols, const double* l, Index ldl, double* x,
+                  Index ldx) {
+  for (Index c = 0; c < ncols; ++c) {
+    double* xc = x + c * ldx;
+    for (Index j = 0; j < n; ++j) {
+      const double* lj = l + j * ldl;
+      DT_CHECK(lj[j] != 0.0) << "singular triangular system";
+      const double xj = xc[j] / lj[j];
+      xc[j] = xj;
+      // Eliminate x_j from the rows below: x(j+1:n) -= x_j * L(j+1:n, j).
+      Axpy(-xj, lj + j + 1, xc + j + 1, n - j - 1);
+    }
+  }
+}
+
 double Nrm2(const double* x, Index n) {
+  // Fast path: plain sum of squares, vectorized explicitly (no -ffast-math,
+  // so the compiler would otherwise keep the serial reduction order and the
+  // per-element divisions of the scaled loop below). Falls through to the
+  // scaled loop whenever the plain sum leaves the comfortably-normal range —
+  // overflow (inf), underflow toward denormals, or an all-zero vector.
+#if defined(__GNUC__) || defined(__clang__)
+  typedef double Nrm2Vec
+      __attribute__((vector_size(kTallTnVecLen * sizeof(double)), aligned(8)));
+  Nrm2Vec acc0 = Nrm2Vec{};
+  Nrm2Vec acc1 = Nrm2Vec{};
+  Index i = 0;
+  for (; i + 2 * kTallTnVecLen <= n; i += 2 * kTallTnVecLen) {
+    const Nrm2Vec v0 = *reinterpret_cast<const Nrm2Vec*>(x + i);
+    const Nrm2Vec v1 =
+        *reinterpret_cast<const Nrm2Vec*>(x + i + kTallTnVecLen);
+    acc0 += v0 * v0;
+    acc1 += v1 * v1;
+  }
+  acc0 += acc1;
+  double ssq_plain = 0.0;
+  for (Index l = 0; l < kTallTnVecLen; ++l) ssq_plain += acc0[l];
+  for (; i < n; ++i) ssq_plain += x[i] * x[i];
+#else
+  double ssq_plain = 0.0;
+  for (Index i = 0; i < n; ++i) ssq_plain += x[i] * x[i];
+#endif
+  // Squares of entries below ~1e-146 or above ~1e146 lose accuracy or
+  // overflow in double; a sum strictly inside (1e-292, 1e292) cannot have
+  // been contaminated by either.
+  if (ssq_plain > 1e-292 && ssq_plain < 1e292) return std::sqrt(ssq_plain);
+
   // Scaled accumulation to avoid overflow/underflow for extreme values.
   double scale = 0.0, ssq = 1.0;
   for (Index i = 0; i < n; ++i) {

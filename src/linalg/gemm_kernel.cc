@@ -36,6 +36,7 @@ typedef double Vec __attribute__((vector_size(kVecLen * sizeof(double))));
 constexpr Index kVecPerMR = kGemmMR / kVecLen;
 static_assert(kGemmMR % kVecLen == 0, "MR must be a vector multiple");
 
+template <bool kOverwrite>
 void MicroKernel(Index kb, const double* __restrict ap,
                  const double* __restrict bp, double* __restrict c, Index ldc,
                  Index mr, Index nr) {
@@ -64,11 +65,16 @@ void MicroKernel(Index kb, const double* __restrict ap,
   for (Index j = 0; j < nr; ++j) {
     double* cj = c + j * ldc;
     const double* sj = out + kGemmMR * j;
-    for (Index i = 0; i < mr; ++i) cj[i] += sj[i];
+    if (kOverwrite) {
+      for (Index i = 0; i < mr; ++i) cj[i] = sj[i];
+    } else {
+      for (Index i = 0; i < mr; ++i) cj[i] += sj[i];
+    }
   }
 }
 #else
 // Portable fallback for non-GNU compilers: scalar accumulator tile.
+template <bool kOverwrite>
 void MicroKernel(Index kb, const double* __restrict ap,
                  const double* __restrict bp, double* __restrict c, Index ldc,
                  Index mr, Index nr) {
@@ -86,7 +92,11 @@ void MicroKernel(Index kb, const double* __restrict ap,
   for (Index j = 0; j < nr; ++j) {
     double* cj = c + j * ldc;
     const double* sj = acc + kGemmMR * j;
-    for (Index i = 0; i < mr; ++i) cj[i] += sj[i];
+    if (kOverwrite) {
+      for (Index i = 0; i < mr; ++i) cj[i] = sj[i];
+    } else {
+      for (Index i = 0; i < mr; ++i) cj[i] += sj[i];
+    }
   }
 }
 #endif
@@ -162,14 +172,19 @@ void PackB(Trans trans, Index kb, Index nb, const double* b, Index ldb,
 }
 
 void GemmMacroKernel(Index mb, Index nb, Index kb, const double* apack,
-                     const double* bpack, double* c, Index ldc) {
+                     const double* bpack, double* c, Index ldc,
+                     bool overwrite) {
   for (Index jr = 0; jr < nb; jr += kGemmNR) {
     const Index nr = std::min(kGemmNR, nb - jr);
     const double* bp = bpack + (jr / kGemmNR) * (kGemmNR * kb);
     for (Index ir = 0; ir < mb; ir += kGemmMR) {
       const Index mr = std::min(kGemmMR, mb - ir);
       const double* ap = apack + (ir / kGemmMR) * (kGemmMR * kb);
-      MicroKernel(kb, ap, bp, c + ir + jr * ldc, ldc, mr, nr);
+      if (overwrite) {
+        MicroKernel<true>(kb, ap, bp, c + ir + jr * ldc, ldc, mr, nr);
+      } else {
+        MicroKernel<false>(kb, ap, bp, c + ir + jr * ldc, ldc, mr, nr);
+      }
     }
   }
 }

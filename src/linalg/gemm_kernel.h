@@ -80,9 +80,13 @@ void PackB(Trans trans, Index kb, Index nb, const double* b, Index ldb,
 
 // C(mb x nb) += Apack * Bpack, where the packs were produced by PackA/PackB
 // (alpha already folded into Apack). C is column-major with leading
-// dimension ldc.
+// dimension ldc. With overwrite = true the tile is stored instead of
+// accumulated (C = Apack * Bpack): the beta = 0 path, which skips both the
+// caller's zero-fill pass over C and the kernel's read of it — C may hold
+// garbage (even NaN) and every element of the block is written.
 void GemmMacroKernel(Index mb, Index nb, Index kb, const double* apack,
-                     const double* bpack, double* c, Index ldc);
+                     const double* bpack, double* c, Index ldc,
+                     bool overwrite = false);
 
 // Thread-local pack buffers, grown on demand and aligned to
 // kGemmPackAlignment. Pool worker threads keep theirs alive for the pool's

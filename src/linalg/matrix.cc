@@ -32,19 +32,19 @@ Matrix Matrix::Identity(Index n) {
 }
 
 Matrix Matrix::Constant(Index rows, Index cols, double value) {
-  Matrix m(rows, cols);
+  Matrix m = Uninitialized(rows, cols);
   m.Fill(value);
   return m;
 }
 
 Matrix Matrix::GaussianRandom(Index rows, Index cols, Rng& rng) {
-  Matrix m(rows, cols);
+  Matrix m = Uninitialized(rows, cols);
   rng.FillGaussian(m.data(), static_cast<std::size_t>(m.size()));
   return m;
 }
 
 Matrix Matrix::ColumnVector(const std::vector<double>& values) {
-  Matrix m(static_cast<Index>(values.size()), 1);
+  Matrix m = Uninitialized(static_cast<Index>(values.size()), 1);
   for (std::size_t i = 0; i < values.size(); ++i) m.data()[i] = values[i];
   return m;
 }
@@ -61,7 +61,7 @@ void Matrix::Fill(double value) {
 }
 
 Matrix Matrix::Transposed() const {
-  Matrix t(cols_, rows_);
+  Matrix t = Uninitialized(cols_, rows_);
   for (Index j = 0; j < cols_; ++j) {
     const double* src = col_data(j);
     for (Index i = 0; i < rows_; ++i) t(j, i) = src[i];
@@ -74,7 +74,7 @@ Matrix Matrix::Block(Index r0, Index c0, Index nr, Index nc) const {
            c0 + nc <= cols_)
       << "block (" << r0 << "," << c0 << ")+" << nr << "x" << nc
       << " out of range for " << rows_ << "x" << cols_;
-  Matrix b(nr, nc);
+  Matrix b = Uninitialized(nr, nc);
   for (Index j = 0; j < nc; ++j) {
     const double* src = col_data(c0 + j) + r0;
     double* dst = b.col_data(j);

@@ -9,7 +9,9 @@
 
 #include <cstddef>
 #include <initializer_list>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
@@ -20,16 +22,54 @@ class Rng;
 
 using Index = std::ptrdiff_t;
 
+namespace internal {
+
+// std::allocator whose default-construct is a no-op, so the storage vector
+// can be sized without a zero-fill pass. Matrix's ordinary constructors
+// still zero explicitly; only Matrix::Uninitialized skips it.
+template <class T>
+struct DefaultInitAllocator : std::allocator<T> {
+  template <class U>
+  struct rebind {
+    using other = DefaultInitAllocator<U>;
+  };
+  template <class U>
+  void construct(U* p) {
+    ::new (static_cast<void*>(p)) U;
+  }
+  template <class U, class... Args>
+  void construct(U* p, Args&&... args) {
+    ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+  }
+};
+
+}  // namespace internal
+
 class Matrix {
  public:
   // An empty 0x0 matrix.
   Matrix() : rows_(0), cols_(0) {}
 
-  // Uninitialized contents? No: zero-initialized (std::vector semantics).
+  // Zero-initialized contents.
   Matrix(Index rows, Index cols)
-      : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows * cols)) {
+      : rows_(rows),
+        cols_(cols),
+        data_(static_cast<std::size_t>(rows * cols), 0.0) {
     DT_DCHECK(rows >= 0);
     DT_DCHECK(cols >= 0);
+  }
+
+  // Storage without the zero-fill pass, for hot paths that overwrite every
+  // element before any read (e.g. thin-Q formation, copy-and-scale
+  // factories). Reading an element before writing it is undefined.
+  static Matrix Uninitialized(Index rows, Index cols) {
+    DT_DCHECK(rows >= 0);
+    DT_DCHECK(cols >= 0);
+    Matrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.data_.resize(static_cast<std::size_t>(rows * cols));
+    return m;
   }
 
   // Row-major initializer list for small literals in tests:
@@ -108,7 +148,7 @@ class Matrix {
  private:
   Index rows_;
   Index cols_;
-  std::vector<double> data_;
+  std::vector<double, internal::DefaultInitAllocator<double>> data_;
 };
 
 Matrix operator+(Matrix a, const Matrix& b);

@@ -22,14 +22,25 @@ void OneSidedJacobi(Matrix* w, Matrix* v) {
   const double eps = std::numeric_limits<double>::epsilon();
   const int max_sweeps = 60;
 
+  // Squared column norms (the diagonal of W^T W), computed once and kept
+  // current through the rotation identities below — each pair then costs
+  // one Dot (the off-diagonal entry) instead of three. The cached values
+  // only steer the convergence test and rotation angles; the singular
+  // values are re-measured exactly from the final columns by the caller.
+  std::vector<double> colsq(static_cast<std::size_t>(n));
+  for (Index j = 0; j < n; ++j) {
+    const double* wj = w->col_data(j);
+    colsq[static_cast<std::size_t>(j)] = Dot(wj, wj, m);
+  }
+
   for (int sweep = 0; sweep < max_sweeps; ++sweep) {
     bool rotated = false;
     for (Index p = 0; p < n - 1; ++p) {
       for (Index q = p + 1; q < n; ++q) {
         double* wp = w->col_data(p);
         double* wq = w->col_data(q);
-        const double app = Dot(wp, wp, m);
-        const double aqq = Dot(wq, wq, m);
+        const double app = colsq[static_cast<std::size_t>(p)];
+        const double aqq = colsq[static_cast<std::size_t>(q)];
         const double apq = Dot(wp, wq, m);
         if (std::fabs(apq) <= eps * std::sqrt(app * aqq) || apq == 0.0) {
           continue;
@@ -53,6 +64,11 @@ void OneSidedJacobi(Matrix* w, Matrix* v) {
           vp[i] = c * a - s * b;
           vq[i] = s * a + c * b;
         }
+        const double cross = 2.0 * c * s * apq;
+        colsq[static_cast<std::size_t>(p)] =
+            c * c * app - cross + s * s * aqq;
+        colsq[static_cast<std::size_t>(q)] =
+            s * s * app + cross + c * c * aqq;
       }
     }
     if (!rotated) break;
@@ -102,9 +118,13 @@ Matrix SvdResult::Reconstruct() const {
 }
 
 Matrix SvdResult::UTimesS() const {
-  Matrix us = u;
+  // Fused copy+scale: one pass over each column instead of copy-then-Scal.
+  Matrix us(u.rows(), u.cols());
   for (Index j = 0; j < us.cols(); ++j) {
-    Scal(s[static_cast<std::size_t>(j)], us.col_data(j), us.rows());
+    const double sj = s[static_cast<std::size_t>(j)];
+    const double* src = u.col_data(j);
+    double* dst = us.col_data(j);
+    for (Index i = 0; i < us.rows(); ++i) dst[i] = src[i] * sj;
   }
   return us;
 }

@@ -4,6 +4,12 @@
 // slice matrix: a rank-`rank` factorization A ~= U diag(s) V^T computed
 // from a small number of matrix-vector sweeps, with oversampling and
 // optional power iterations for spectral-decay robustness.
+//
+// RandomizedSvd never re-reads A after the power loop: with q >= 1 power
+// iterations the final product Y = A Z doubles as the projection (QR of Y
+// gives Q^T A Z = R exactly, so A ~= Q R Z^T), saving one full pass over A
+// per call relative to the range-finder-then-project formulation, and the
+// small SVD always runs on a (sketch x sketch) square core.
 #ifndef DTUCKER_RSVD_RSVD_H_
 #define DTUCKER_RSVD_RSVD_H_
 
