@@ -1,0 +1,186 @@
+// Microbenchmarks for the D-Tucker iteration phase: the matricization-free
+// mode-n Gram kernel, the slice-parallel carrier builders, one HOOI sweep
+// with a persistent workspace, and the end-to-end pipeline. The binary
+// installs a global allocation probe so BM_ModeGram can assert the kernel
+// never materializes an unfolding-sized copy.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "common/rng.h"
+#include "dtucker/dtucker.h"
+#include "linalg/blas.h"
+#include "tensor/tensor_ops.h"
+
+namespace {
+
+// Process-wide allocation byte counter (atomic, so worker-thread
+// allocations are captured too). Deliberately counts every operator new in
+// the binary: the probe brackets a single kernel call on a quiet process.
+std::atomic<std::size_t> g_allocated_bytes{0};
+
+std::size_t AllocatedBytes() {
+  return g_allocated_bytes.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocated_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocated_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace dtucker {
+namespace {
+
+Tensor BenchTensor(Index side) {
+  Rng rng(1);
+  return Tensor::GaussianRandom({side, side, 32}, rng);
+}
+
+SliceApproximation BenchApprox(const Tensor& x) {
+  SliceApproximationOptions opt;
+  opt.slice_rank = 10;
+  return ApproximateSlices(x, opt).value();
+}
+
+DTuckerOptions BenchOptions() {
+  DTuckerOptions opt;
+  opt.ranks = {10, 10, 10};
+  opt.max_iterations = 3;
+  opt.tolerance = 0.0;
+  return opt;
+}
+
+// args: {side, mode}. Asserts the matricization-free contract: one call
+// allocates strictly less than one unfolding copy of the tensor.
+void BM_ModeGram(benchmark::State& state) {
+  const Index side = state.range(0);
+  const Index mode = state.range(1);
+  Tensor x = BenchTensor(side);
+  // Warm-up (also grows any lazy TLS buffers), then probe one call.
+  { Matrix g = ModeGram(x, mode); benchmark::DoNotOptimize(g.data()); }
+  const std::size_t before = AllocatedBytes();
+  { Matrix g = ModeGram(x, mode); benchmark::DoNotOptimize(g.data()); }
+  const std::size_t probe = AllocatedBytes() - before;
+  const std::size_t unfold_bytes = x.ByteSize();
+  if (probe >= unfold_bytes) {
+    state.SkipWithError("ModeGram allocated an unfolding-sized copy");
+    return;
+  }
+  for (auto _ : state) {
+    Matrix g = ModeGram(x, mode);
+    benchmark::DoNotOptimize(g.data());
+  }
+  const double flops = 2.0 * static_cast<double>(x.size()) * x.dim(mode);
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      flops * 1e-9, benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["alloc_bytes"] = static_cast<double>(probe);
+  state.counters["unfold_bytes"] = static_cast<double>(unfold_bytes);
+}
+BENCHMARK(BM_ModeGram)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({64, 2})
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Args({256, 2});
+
+// args: {side, which} — which 0: T1 builder, 1: T2 builder, 2: Z builder.
+void BM_BuildCarrier(benchmark::State& state) {
+  const Index side = state.range(0);
+  const int which = static_cast<int>(state.range(1));
+  Tensor x = BenchTensor(side);
+  SliceApproximation approx = BenchApprox(x);
+  Rng rng(2);
+  Matrix a1 = Matrix::GaussianRandom(side, 10, rng);
+  Matrix a2 = Matrix::GaussianRandom(side, 10, rng);
+  Tensor out;
+  for (auto _ : state) {
+    switch (which) {
+      case 0:
+        internal_dtucker::BuildModeOneCarrierInto(approx, a2, 1.0, &out);
+        break;
+      case 1:
+        internal_dtucker::BuildModeTwoCarrierInto(approx, a1, 1.0, &out);
+        break;
+      default:
+        internal_dtucker::BuildProjectedCoreInto(approx, a1, a2, 1.0, &out);
+        break;
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_BuildCarrier)
+    ->Args({128, 0})
+    ->Args({128, 1})
+    ->Args({128, 2})
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Args({256, 2});
+
+// args: {side, threads}. One full HOOI sweep on the slice structure with a
+// persistent workspace — the steady-state iteration cost.
+void BM_DTuckerSweep(benchmark::State& state) {
+  const Index side = state.range(0);
+  SetBlasThreads(static_cast<int>(state.range(1)));
+  Tensor x = BenchTensor(side);
+  SliceApproximation approx = BenchApprox(x);
+  DTuckerOptions opt = BenchOptions();
+  TuckerDecomposition dec =
+      DTuckerInitializeOnly(approx, opt).value();
+  internal_dtucker::SweepWorkspace ws;
+  for (auto _ : state) {
+    internal_dtucker::DTuckerSweep(approx, opt.ranks, &dec.factors, &dec.core,
+                                   &ws, 1.0);
+    benchmark::DoNotOptimize(dec.core.data());
+  }
+  SetBlasThreads(1);
+}
+BENCHMARK(BM_DTuckerSweep)
+    ->Args({64, 1})
+    ->Args({64, 8})
+    ->Args({128, 1})
+    ->Args({128, 8})
+    ->Args({256, 1})
+    ->Args({256, 8});
+
+// args: {side, threads}. Approximation + initialization + iteration.
+void BM_DTuckerEndToEnd(benchmark::State& state) {
+  const Index side = state.range(0);
+  SetBlasThreads(static_cast<int>(state.range(1)));
+  Tensor x = BenchTensor(side);
+  DTuckerOptions opt = BenchOptions();
+  opt.num_threads = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    auto dec = DTucker(x, opt);
+    benchmark::DoNotOptimize(dec.ok());
+  }
+  SetBlasThreads(1);
+}
+BENCHMARK(BM_DTuckerEndToEnd)
+    ->Args({64, 1})
+    ->Args({64, 8})
+    ->Args({128, 1})
+    ->Args({128, 8})
+    ->Args({256, 1})
+    ->Args({256, 8});
+
+}  // namespace
+}  // namespace dtucker
+
+BENCHMARK_MAIN();

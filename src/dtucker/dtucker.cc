@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <numeric>
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "linalg/blas.h"
 #include "linalg/eigen_sym.h"
+#include "linalg/gemm_kernel.h"
 #include "tensor/tensor_ops.h"
 #include "tensor/tensor_utils.h"
 #include "tucker/hosvd.h"
@@ -19,119 +22,282 @@ namespace {
 // The init and iteration phases square the slice singular values (Gram
 // accumulation); extreme input magnitudes would denormalize those
 // products. When the largest singular value is outside a wide safe band,
-// returns a copy of the approximation rescaled to O(1) in `storage` and
-// the applied scale in `scale_out` (the core scales back linearly);
-// otherwise returns the input untouched.
-const SliceApproximation* MaybeNormalizeScale(const SliceApproximation& approx,
-                                              SliceApproximation* storage,
-                                              double* scale_out) {
+// returns it as the scale to divide out (the core scales back linearly);
+// the rescaling itself happens on the fly wherever a singular value is
+// consumed (si * s_inv), so no copy of the approximation is ever made.
+double ComputeScale(const SliceApproximation& approx) {
   double smax = 0.0;
   for (const auto& sl : approx.slices) {
     if (!sl.s.empty()) smax = std::max(smax, sl.s.front());
   }
-  if (smax > 0.0 && (smax < 1e-100 || smax > 1e100)) {
-    *storage = approx;
-    const double inv = 1.0 / smax;
-    for (auto& sl : storage->slices) {
-      for (double& v : sl.s) v *= inv;
-    }
-    *scale_out = smax;
-    return storage;
-  }
-  *scale_out = 1.0;
-  return &approx;
+  if (smax > 0.0 && (smax < 1e-100 || smax > 1e100)) return smax;
+  return 1.0;
 }
 
 // Total energy of the compressed tensor: ||X~||^2 = sum_l sum_j s_lj^2
-// (exact because U<l> and V<l> have orthonormal columns).
-double ApproxSquaredNorm(const SliceApproximation& approx) {
+// (exact because U<l> and V<l> have orthonormal columns), with the
+// singular values rescaled by `s_inv`.
+double ApproxSquaredNorm(const SliceApproximation& approx, double s_inv) {
   double total = 0.0;
   for (const auto& sl : approx.slices) {
-    for (double s : sl.s) total += s * s;
+    for (double s : sl.s) {
+      const double v = s * s_inv;
+      total += v * v;
+    }
   }
   return total;
 }
 
-// Builds the projected tensor T1 (I1 x J2 x I3 x ... x IN) with frontal
-// slices (U<l> S<l>) (V<l>^T A2). This is "X x_2 A2^T" computed through the
-// slice factorizations at cost O(L (I2 + I1) Js J2).
-Tensor BuildModeOneCarrier(const SliceApproximation& approx, const Matrix& a2) {
-  std::vector<Index> shape = approx.shape;
-  shape[1] = a2.cols();
-  Tensor t(shape);
-  for (Index l = 0; l < approx.NumSlices(); ++l) {
-    const SliceSvd& sl = approx.slices[static_cast<std::size_t>(l)];
-    Matrix q = MultiplyTN(sl.v, a2);              // Js x J2.
-    // Scale rows of q by s (equivalent to (U S) q but cheaper as diag*q).
-    for (Index i = 0; i < q.rows(); ++i) {
-      const double si = sl.s[static_cast<std::size_t>(i)];
-      for (Index j = 0; j < q.cols(); ++j) q(i, j) *= si;
-    }
-    t.SetFrontalSlice(l, Multiply(sl.u, q));      // I1 x J2.
-  }
-  return t;
+// Grow-only thread_local scratch for per-slice temporaries (the p/q
+// matrices of the carrier and projected-core builders, and the scaled
+// factor of the Gram accumulation). Distinct slots because one slice build
+// needs two live buffers at once. Never handed to nested GEMMs — those
+// pack into their own TLS buffers (TlsPackBufferA/B).
+double* TlsSliceScratch(int slot, std::size_t doubles) {
+  static thread_local std::vector<double> bufs[3];
+  std::vector<double>& b = bufs[slot];
+  if (b.size() < doubles) b.resize(doubles);
+  return b.data();
 }
 
-// Builds T2 (J1 x I2 x trailing): frontal slices (A1^T U<l> S<l>) V<l>^T.
-Tensor BuildModeTwoCarrier(const SliceApproximation& approx, const Matrix& a1) {
-  std::vector<Index> shape = approx.shape;
-  shape[0] = a1.cols();
-  Tensor t(shape);
-  for (Index l = 0; l < approx.NumSlices(); ++l) {
-    const SliceSvd& sl = approx.slices[static_cast<std::size_t>(l)];
-    Matrix p = MultiplyTN(a1, sl.u);              // J1 x Js.
-    for (Index j = 0; j < p.cols(); ++j) {
-      Scal(sl.s[static_cast<std::size_t>(j)], p.col_data(j), p.rows());
-    }
-    t.SetFrontalSlice(l, MultiplyNT(p, sl.v));    // J1 x I2.
+// Runs body(l) for every slice in [0, num_slices). Slices are independent
+// and each writes a disjoint output slab, so any partition yields bitwise
+// identical results: with a shared pool and enough slices to feed it the
+// loop runs across workers (per-slice GEMMs kept serial by
+// BlasWorkerScope); otherwise it runs serially and the per-slice GEMMs may
+// thread internally (bitwise-deterministic by the packed-GEMM contract).
+void ForEachSlice(Index num_slices, const std::function<void(Index)>& body) {
+  ThreadPool* pool = SharedBlasPool();
+  if (pool != nullptr && !InBlasWorker() &&
+      num_slices >= static_cast<Index>(pool->num_threads())) {
+    pool->ParallelForRanges(static_cast<std::size_t>(num_slices),
+                            /*min_grain=*/1,
+                            [&](std::size_t begin, std::size_t end) {
+                              BlasWorkerScope scope;
+                              for (std::size_t l = begin; l < end; ++l) {
+                                body(static_cast<Index>(l));
+                              }
+                            });
+  } else {
+    for (Index l = 0; l < num_slices; ++l) body(l);
   }
-  return t;
 }
+
+// Number of independent accumulator chunks for the stacked-factor Grams.
+// Fixed (never derived from the thread count) so the reduction order —
+// and the result bits — do not change with SetBlasThreads().
+constexpr Index kSliceChunkCount = 8;
 
 }  // namespace
 
 namespace internal_dtucker {
 
+// Builds the projected tensor T1 (I1 x J2 x I3 x ... x IN) with frontal
+// slices (U<l> S<l>) (V<l>^T A2). This is "X x_2 A2^T" computed through the
+// slice factorizations at cost O(L (I2 + I1) Js J2).
+void BuildModeOneCarrierInto(const SliceApproximation& approx, const Matrix& a2,
+                             double s_inv, Tensor* t) {
+  std::vector<Index> shape = approx.shape;
+  shape[1] = a2.cols();
+  t->ResizeTo(shape);
+  const Index i1 = approx.Dim(0);
+  const Index i2 = approx.Dim(1);
+  const Index j2 = a2.cols();
+  const std::size_t slab = static_cast<std::size_t>(i1 * j2);
+  ForEachSlice(approx.NumSlices(), [&](Index l) {
+    const SliceSvd& sl = approx.slices[static_cast<std::size_t>(l)];
+    const Index js = sl.u.cols();
+    // q = diag(s * s_inv) (V^T A2), Js x J2, staged in TLS scratch.
+    double* q = TlsSliceScratch(0, static_cast<std::size_t>(js * j2));
+    GemmRaw(Trans::kYes, Trans::kNo, js, j2, i2, 1.0, sl.v.data(), i2,
+            a2.data(), i2, 0.0, q, js);
+    for (Index j = 0; j < j2; ++j) {
+      double* col = q + static_cast<std::size_t>(j) * static_cast<std::size_t>(js);
+      for (Index i = 0; i < js; ++i) {
+        col[i] *= sl.s[static_cast<std::size_t>(i)] * s_inv;
+      }
+    }
+    // Slice l of T1 = U q, written straight into its frontal slab.
+    GemmRaw(Trans::kNo, Trans::kNo, i1, j2, js, 1.0, sl.u.data(), i1, q, js,
+            0.0, t->data() + static_cast<std::size_t>(l) * slab, i1);
+  });
+}
+
+// Builds T2 (I2 x J1 x trailing): frontal slices V<l> (S<l> U<l>^T A1).
+// Deliberately laid out mode-1-first (the transpose of the paper's J1 x I2
+// slices): the mode-2 factor update then reads its operand as the *mode-0*
+// unfolding of T2, which is the contiguous flat buffer — so the update can
+// take the small-side Gram path in LeadingModeVectorsViaGram instead of
+// eigendecomposing an I2 x I2 Gram. The two layouts hold identical columns,
+// merely reordered, so spans and singular vectors are unchanged.
+void BuildModeTwoCarrierInto(const SliceApproximation& approx, const Matrix& a1,
+                             double s_inv, Tensor* t) {
+  std::vector<Index> shape = approx.shape;
+  shape[0] = approx.Dim(1);
+  shape[1] = a1.cols();
+  t->ResizeTo(shape);
+  const Index i1 = approx.Dim(0);
+  const Index i2 = approx.Dim(1);
+  const Index j1 = a1.cols();
+  const std::size_t slab = static_cast<std::size_t>(i2 * j1);
+  ForEachSlice(approx.NumSlices(), [&](Index l) {
+    const SliceSvd& sl = approx.slices[static_cast<std::size_t>(l)];
+    const Index js = sl.u.cols();
+    // p = (A1^T U) diag(s * s_inv), J1 x Js, staged in TLS scratch.
+    double* p = TlsSliceScratch(0, static_cast<std::size_t>(j1 * js));
+    GemmRaw(Trans::kYes, Trans::kNo, j1, js, i1, 1.0, a1.data(), i1,
+            sl.u.data(), i1, 0.0, p, j1);
+    for (Index j = 0; j < js; ++j) {
+      Scal(sl.s[static_cast<std::size_t>(j)] * s_inv,
+           p + static_cast<std::size_t>(j) * static_cast<std::size_t>(j1), j1);
+    }
+    // Slice l of T2 = V p^T, written straight into its frontal slab.
+    GemmRaw(Trans::kNo, Trans::kYes, i2, j1, js, 1.0, sl.v.data(), i2, p, j1,
+            0.0, t->data() + static_cast<std::size_t>(l) * slab, i2);
+  });
+}
+
 // Builds the small projected tensor Z (J1 x J2 x trailing) with frontal
 // slices (A1^T U<l> S<l>) (V<l>^T A2).
-Tensor BuildProjectedCore(const SliceApproximation& approx, const Matrix& a1,
-                          const Matrix& a2) {
+void BuildProjectedCoreInto(const SliceApproximation& approx, const Matrix& a1,
+                            const Matrix& a2, double s_inv, Tensor* z) {
   std::vector<Index> shape = approx.shape;
   shape[0] = a1.cols();
   shape[1] = a2.cols();
-  Tensor z(shape);
-  for (Index l = 0; l < approx.NumSlices(); ++l) {
+  z->ResizeTo(shape);
+  const Index i1 = approx.Dim(0);
+  const Index i2 = approx.Dim(1);
+  const Index j1 = a1.cols();
+  const Index j2 = a2.cols();
+  const std::size_t slab = static_cast<std::size_t>(j1 * j2);
+  ForEachSlice(approx.NumSlices(), [&](Index l) {
     const SliceSvd& sl = approx.slices[static_cast<std::size_t>(l)];
-    Matrix p = MultiplyTN(a1, sl.u);  // J1 x Js.
-    for (Index j = 0; j < p.cols(); ++j) {
-      Scal(sl.s[static_cast<std::size_t>(j)], p.col_data(j), p.rows());
+    const Index js = sl.u.cols();
+    double* p = TlsSliceScratch(0, static_cast<std::size_t>(j1 * js));
+    GemmRaw(Trans::kYes, Trans::kNo, j1, js, i1, 1.0, a1.data(), i1,
+            sl.u.data(), i1, 0.0, p, j1);
+    for (Index j = 0; j < js; ++j) {
+      Scal(sl.s[static_cast<std::size_t>(j)] * s_inv,
+           p + static_cast<std::size_t>(j) * static_cast<std::size_t>(j1), j1);
     }
-    Matrix q = MultiplyTN(sl.v, a2);  // Js x J2.
-    z.SetFrontalSlice(l, Multiply(p, q));
-  }
+    double* q = TlsSliceScratch(1, static_cast<std::size_t>(js * j2));
+    GemmRaw(Trans::kYes, Trans::kNo, js, j2, i2, 1.0, sl.v.data(), i2,
+            a2.data(), i2, 0.0, q, js);
+    GemmRaw(Trans::kNo, Trans::kNo, j1, j2, js, 1.0, p, j1, q, js, 0.0,
+            z->data() + static_cast<std::size_t>(l) * slab, j1);
+  });
+}
+
+Tensor BuildProjectedCore(const SliceApproximation& approx, const Matrix& a1,
+                          const Matrix& a2) {
+  Tensor z;
+  BuildProjectedCoreInto(approx, a1, a2, /*s_inv=*/1.0, &z);
   return z;
+}
+
+void AccumulateScaledFactorGram(const SliceSvd& sl, int m, double s_inv,
+                                double beta, Matrix* gram) {
+  const Matrix& f0 = m == 0 ? sl.u : sl.v;
+  const Index dim = f0.rows();
+  const Index js = f0.cols();
+  DT_DCHECK_EQ(gram->rows(), dim);
+  if (js == 0) {
+    if (beta == 0.0) std::fill(gram->data(), gram->data() + gram->size(), 0.0);
+    return;
+  }
+  double* f = TlsSliceScratch(2, static_cast<std::size_t>(dim * js));
+  for (Index j = 0; j < js; ++j) {
+    const double sj = sl.s[static_cast<std::size_t>(j)] * s_inv;
+    const double* src = f0.col_data(j);
+    double* dst = f + static_cast<std::size_t>(j) * static_cast<std::size_t>(dim);
+    for (Index i = 0; i < dim; ++i) dst[i] = sj * src[i];
+  }
+  GemmRaw(Trans::kNo, Trans::kYes, dim, dim, js, 1.0, f, dim, f, dim, beta,
+          gram->data(), dim);
+}
+
+const Tensor* ContractTrailing(const Tensor& t,
+                               const std::vector<Matrix>& factors,
+                               Index skip_mode, SweepWorkspace* ws) {
+  std::vector<Index> modes;
+  for (Index n = 2; n < static_cast<Index>(factors.size()); ++n) {
+    if (n != skip_mode) modes.push_back(n);
+  }
+  // Largest dim -> rank shrinkage first, so the working tensor shrinks as
+  // fast as possible (cross-multiplied to avoid fp ratios; stable sort
+  // keeps ascending mode order on ties). The order depends only on the
+  // factor shapes, never on the thread count.
+  std::stable_sort(modes.begin(), modes.end(), [&](Index a, Index b) {
+    const Matrix& fa = factors[static_cast<std::size_t>(a)];
+    const Matrix& fb = factors[static_cast<std::size_t>(b)];
+    return fa.cols() * fb.rows() < fb.cols() * fa.rows();
+  });
+  const Tensor* cur = &t;
+  for (Index n : modes) {
+    Tensor* dst = cur == &ws->ttm_a ? &ws->ttm_b : &ws->ttm_a;
+    ModeProductInto(*cur, factors[static_cast<std::size_t>(n)], n, Trans::kYes,
+                    dst);
+    cur = dst;
+  }
+  return cur;
 }
 
 }  // namespace internal_dtucker
 
 namespace {
 
-using internal_dtucker::BuildProjectedCore;
+using internal_dtucker::AccumulateScaledFactorGram;
+using internal_dtucker::BuildProjectedCoreInto;
+using internal_dtucker::ContractTrailing;
+using internal_dtucker::SweepWorkspace;
 
-// Top-k eigenvectors of an accumulated Gram matrix.
-Matrix TopEigenvectors(const Matrix& gram, Index k) {
-  return TopEigenvectorsSym(gram, k);
-}
-
-// Contracts trailing modes (2..N-1) of `t` with the corresponding factors
-// (transposed), optionally skipping one trailing mode.
-Tensor ContractTrailing(Tensor t, const std::vector<Matrix>& factors,
-                        Index skip_mode) {
-  for (Index n = 2; n < static_cast<Index>(factors.size()); ++n) {
-    if (n == skip_mode) continue;
-    t = ModeProduct(t, factors[static_cast<std::size_t>(n)], n, Trans::kYes);
+// G = sum_l F_l diag(s_l * s_inv)^2 F_l^T over the stacked slice factors
+// (F = U for m == 0, V for m == 1). Accumulated in kSliceChunkCount
+// fixed slice chunks with a fixed-order reduction, parallelized across the
+// shared BLAS pool — the same determinism contract as ModeGram.
+Matrix StackedFactorGram(const SliceApproximation& approx, int m,
+                         double s_inv) {
+  const Index dim = approx.Dim(m);
+  const Index num = approx.NumSlices();
+  Matrix g = Matrix::Uninitialized(dim, dim);
+  if (num == 0) {
+    std::fill(g.data(), g.data() + g.size(), 0.0);
+    return g;
   }
-  return t;
+  const Index chunks = std::min(kSliceChunkCount, num);
+  std::vector<Matrix> partials(
+      static_cast<std::size_t>(chunks > 1 ? chunks - 1 : 0));
+  for (Matrix& p : partials) p = Matrix::Uninitialized(dim, dim);
+  auto chunk_acc = [&](Index c) -> Matrix* {
+    return c == 0 ? &g : &partials[static_cast<std::size_t>(c - 1)];
+  };
+  auto run_chunk = [&](Index c) {
+    const Index begin = num * c / chunks;
+    const Index end = num * (c + 1) / chunks;
+    Matrix* acc = chunk_acc(c);
+    for (Index l = begin; l < end; ++l) {
+      AccumulateScaledFactorGram(approx.slices[static_cast<std::size_t>(l)], m,
+                                 s_inv, l == begin ? 0.0 : 1.0, acc);
+    }
+  };
+  ThreadPool* pool = SharedBlasPool();
+  if (pool != nullptr && !InBlasWorker() && chunks > 1) {
+    pool->ParallelForRanges(static_cast<std::size_t>(chunks), /*min_grain=*/1,
+                            [&](std::size_t begin, std::size_t end) {
+                              BlasWorkerScope scope;
+                              for (std::size_t c = begin; c < end; ++c) {
+                                run_chunk(static_cast<Index>(c));
+                              }
+                            });
+  } else {
+    for (Index c = 0; c < chunks; ++c) run_chunk(c);
+  }
+  // Fixed-order reduction: ascending chunk index.
+  for (Index c = 1; c < chunks; ++c) {
+    Axpy(1.0, partials[static_cast<std::size_t>(c - 1)].data(), g.data(),
+         g.size());
+  }
+  return g;
 }
 
 // Finds the permutation placing the two largest modes first (stable for
@@ -166,43 +332,32 @@ struct InitResult {
 
 // Initialization phase (Section 2 of the header comment).
 InitResult InitializeFactors(const SliceApproximation& approx,
-                             const std::vector<Index>& ranks) {
+                             const std::vector<Index>& ranks, double s_inv,
+                             SweepWorkspace* ws) {
   const Index order = static_cast<Index>(approx.shape.size());
   InitResult init;
   init.factors.resize(static_cast<std::size_t>(order));
 
-  // A1 from the Gram of the stacked scaled left factors.
-  {
-    Matrix gram(approx.Dim(0), approx.Dim(0));
-    for (const auto& sl : approx.slices) {
-      Matrix ys = sl.UTimesS();
-      GemmRaw(Trans::kNo, Trans::kYes, ys.rows(), ys.rows(), ys.cols(), 1.0,
-              ys.data(), ys.rows(), ys.data(), ys.rows(), 1.0, gram.data(),
-              gram.rows());
-    }
-    init.factors[0] = TopEigenvectors(gram, ranks[0]);
-  }
-  // A2 from the Gram of the stacked scaled right factors.
-  {
-    Matrix gram(approx.Dim(1), approx.Dim(1));
-    for (const auto& sl : approx.slices) {
-      Matrix vs = sl.VTimesS();
-      GemmRaw(Trans::kNo, Trans::kYes, vs.rows(), vs.rows(), vs.cols(), 1.0,
-              vs.data(), vs.rows(), vs.data(), vs.rows(), 1.0, gram.data(),
-              gram.rows());
-    }
-    init.factors[1] = TopEigenvectors(gram, ranks[1]);
-  }
+  // A1 / A2 from the Grams of the stacked scaled slice factors.
+  init.factors[0] =
+      TopEigenvectorsSym(StackedFactorGram(approx, 0, s_inv), ranks[0]);
+  init.factors[1] =
+      TopEigenvectorsSym(StackedFactorGram(approx, 1, s_inv), ranks[1]);
 
-  // Trailing factors from the small projected tensor Z.
-  Tensor z = BuildProjectedCore(approx, init.factors[0], init.factors[1]);
-  for (Index n = 2; n < order; ++n) {
-    Matrix unf = Unfold(z, n);
-    init.factors[static_cast<std::size_t>(n)] =
-        LeadingLeftSingularVectorsViaGram(unf,
-                                          ranks[static_cast<std::size_t>(n)]);
+  // Trailing factors from the small projected tensor Z, matricization-free
+  // via the mode-n Gram. The subspace slots seed the sweeps' warm starts:
+  // the sweep updates extract from the same In x In mode Grams.
+  if (static_cast<Index>(ws->subspace.size()) < order) {
+    ws->subspace.resize(static_cast<std::size_t>(order));
   }
-  init.core = ContractTrailing(std::move(z), init.factors, /*skip_mode=*/-1);
+  BuildProjectedCoreInto(approx, init.factors[0], init.factors[1], s_inv,
+                         &ws->z);
+  for (Index n = 2; n < order; ++n) {
+    init.factors[static_cast<std::size_t>(n)] = LeadingModeVectorsViaGram(
+        ws->z, n, ranks[static_cast<std::size_t>(n)],
+        &ws->subspace[static_cast<std::size_t>(n)]);
+  }
+  init.core = *ContractTrailing(ws->z, init.factors, /*skip_mode=*/-1, ws);
   return init;
 }
 
@@ -212,33 +367,52 @@ namespace internal_dtucker {
 
 void DTuckerSweep(const SliceApproximation& approx,
                   const std::vector<Index>& ranks,
-                  std::vector<Matrix>* factors, Tensor* core) {
+                  std::vector<Matrix>* factors, Tensor* core,
+                  SweepWorkspace* ws, double s_inv) {
   const Index order = static_cast<Index>(approx.shape.size());
+  if (static_cast<Index>(ws->subspace.size()) < order) {
+    ws->subspace.resize(static_cast<std::size_t>(order));
+  }
+  // Inexact inner solves: each factor update only needs a subspace good
+  // enough for the next HOOI sweep to improve on, and the warm start means
+  // the basis keeps refining across sweeps even when a single call stops
+  // early. On the flat spectra HOOI produces near convergence, the default
+  // 1e-11 Ritz tolerance never trips and every solve would burn the full
+  // 50-sweep budget for digits the outer loop immediately discards.
+  constexpr SubspaceIterationOptions kInnerEig{/*max_sweeps=*/4,
+                                               /*ritz_tolerance=*/1e-9};
   // Mode-1 update: carrier T1 = X~ x_2 A2^T, contract trailing modes, then
-  // leading left singular vectors of the mode-1 unfolding.
-  {
-    Tensor y = ContractTrailing(BuildModeOneCarrier(approx, (*factors)[1]),
-                                *factors, /*skip_mode=*/-1);
-    Matrix unf = Unfold(y, 0);
-    (*factors)[0] = LeadingLeftSingularVectorsViaGram(unf, ranks[0]);
-  }
-  // Mode-2 update (uses the fresh A1).
-  {
-    Tensor y = ContractTrailing(BuildModeTwoCarrier(approx, (*factors)[0]),
-                                *factors, /*skip_mode=*/-1);
-    Matrix unf = Unfold(y, 1);
-    (*factors)[1] = LeadingLeftSingularVectorsViaGram(unf, ranks[1]);
-  }
+  // leading left singular vectors of the mode-0 unfolding — the small-side
+  // Gram path of LeadingModeVectorsViaGram (the contracted carrier is
+  // I1 x J2 x J3 x ..., so the wide side is a product of ranks),
+  // warm-started from the previous sweep's subspace.
+  BuildModeOneCarrierInto(approx, (*factors)[1], s_inv, &ws->carrier);
+  (*factors)[0] = LeadingModeVectorsViaGram(
+      *ContractTrailing(ws->carrier, *factors, /*skip_mode=*/-1, ws), 0,
+      ranks[0], &ws->subspace[0], kInnerEig);
+  // Mode-2 update (uses the fresh A1). T2 is laid out mode-1-first, so this
+  // too is a mode-0 problem on the contracted carrier (I2 x J1 x J3 x ...).
+  BuildModeTwoCarrierInto(approx, (*factors)[0], s_inv, &ws->carrier);
+  (*factors)[1] = LeadingModeVectorsViaGram(
+      *ContractTrailing(ws->carrier, *factors, /*skip_mode=*/-1, ws), 0,
+      ranks[1], &ws->subspace[1], kInnerEig);
   // Trailing-mode updates share one projected tensor Z built from the
   // fresh A1, A2 (Z does not depend on trailing factors).
-  Tensor z = BuildProjectedCore(approx, (*factors)[0], (*factors)[1]);
+  BuildProjectedCoreInto(approx, (*factors)[0], (*factors)[1], s_inv, &ws->z);
   for (Index n = 2; n < order; ++n) {
-    Tensor y = ContractTrailing(z, *factors, /*skip_mode=*/n);
-    Matrix unf = Unfold(y, n);
-    (*factors)[static_cast<std::size_t>(n)] = LeadingLeftSingularVectorsViaGram(
-        unf, ranks[static_cast<std::size_t>(n)]);
+    (*factors)[static_cast<std::size_t>(n)] = LeadingModeVectorsViaGram(
+        *ContractTrailing(ws->z, *factors, /*skip_mode=*/n, ws), n,
+        ranks[static_cast<std::size_t>(n)],
+        &ws->subspace[static_cast<std::size_t>(n)], kInnerEig);
   }
-  *core = ContractTrailing(std::move(z), *factors, -1);
+  *core = *ContractTrailing(ws->z, *factors, /*skip_mode=*/-1, ws);
+}
+
+void DTuckerSweep(const SliceApproximation& approx,
+                  const std::vector<Index>& ranks,
+                  std::vector<Matrix>* factors, Tensor* core) {
+  SweepWorkspace ws;
+  DTuckerSweep(approx, ranks, factors, core, &ws, /*s_inv=*/1.0);
 }
 
 }  // namespace internal_dtucker
@@ -283,14 +457,7 @@ Result<RankSuggestion> SuggestRanksFromApproximation(
   std::vector<Matrix> leading_vecs(2);
   for (int m = 0; m < 2; ++m) {
     const Index dim = approx.Dim(m);
-    Matrix gram(dim, dim);
-    for (const auto& sl : approx.slices) {
-      Matrix f = m == 0 ? sl.UTimesS() : sl.VTimesS();
-      GemmRaw(Trans::kNo, Trans::kYes, f.rows(), f.rows(), f.cols(), 1.0,
-              f.data(), f.rows(), f.data(), f.rows(), 1.0, gram.data(),
-              gram.rows());
-    }
-    EigenSymResult eig = EigenSym(gram);
+    EigenSymResult eig = EigenSym(StackedFactorGram(approx, m, /*s_inv=*/1.0));
     leading_vecs[static_cast<std::size_t>(m)] = eig.vectors.LeftCols(
         std::min(dim, std::max<Index>(approx.slice_rank, 1)));
     pick(std::move(eig.values), m);
@@ -298,15 +465,12 @@ Result<RankSuggestion> SuggestRanksFromApproximation(
 
   // Trailing modes: spectra of the projected tensor Z built at the probe
   // rank — energy within the leading-subspace projection (a lower bound
-  // that is tight when the probe rank covers the signal).
-  Tensor z = BuildProjectedCore(approx, leading_vecs[0], leading_vecs[1]);
+  // that is tight when the probe rank covers the signal). The mode Grams
+  // come straight from Z's flat buffer (no unfolding copies).
+  Tensor z = internal_dtucker::BuildProjectedCore(approx, leading_vecs[0],
+                                                  leading_vecs[1]);
   for (Index n = 2; n < order; ++n) {
-    Matrix unf = Unfold(z, n);
-    Matrix gram(unf.rows(), unf.rows());
-    GemmRaw(Trans::kNo, Trans::kYes, unf.rows(), unf.rows(), unf.cols(), 1.0,
-            unf.data(), unf.rows(), unf.data(), unf.rows(), 0.0, gram.data(),
-            gram.rows());
-    EigenSymResult eig = EigenSym(gram);
+    EigenSymResult eig = EigenSym(ModeGram(z, n));
     pick(std::move(eig.values), n);
   }
   return out;
@@ -315,11 +479,10 @@ Result<RankSuggestion> SuggestRanksFromApproximation(
 Result<TuckerDecomposition> DTuckerInitializeOnly(
     const SliceApproximation& approx, const DTuckerOptions& options) {
   DT_RETURN_NOT_OK(ValidateRanks(approx.shape, options.ranks));
-  SliceApproximation normalized_storage;
-  double scale = 1.0;
-  const SliceApproximation* work =
-      MaybeNormalizeScale(approx, &normalized_storage, &scale);
-  InitResult init = InitializeFactors(*work, options.ranks);
+  const double scale = ComputeScale(approx);
+  const double s_inv = 1.0 / scale;  // Exactly 1.0 in the common case.
+  SweepWorkspace ws;
+  InitResult init = InitializeFactors(approx, options.ranks, s_inv, &ws);
   TuckerDecomposition dec;
   dec.factors = std::move(init.factors);
   dec.core = std::move(init.core);
@@ -332,14 +495,13 @@ Result<TuckerDecomposition> DTuckerFromApproximation(
     TuckerStats* stats) {
   DT_RETURN_NOT_OK(approx.Validate());
   DT_RETURN_NOT_OK(ValidateRanks(approx.shape, options.ranks));
-  SliceApproximation normalized_storage;
-  double scale = 1.0;
-  const SliceApproximation* work =
-      MaybeNormalizeScale(approx, &normalized_storage, &scale);
-  const double approx_norm2 = ApproxSquaredNorm(*work);
+  const double scale = ComputeScale(approx);
+  const double s_inv = 1.0 / scale;  // Exactly 1.0 in the common case.
+  const double approx_norm2 = ApproxSquaredNorm(approx, s_inv);
 
   Timer init_timer;
-  InitResult state = InitializeFactors(*work, options.ranks);
+  SweepWorkspace ws;
+  InitResult state = InitializeFactors(approx, options.ranks, s_inv, &ws);
   if (stats != nullptr) stats->init_seconds = init_timer.Seconds();
 
   Timer iterate_timer;
@@ -349,8 +511,8 @@ Result<TuckerDecomposition> DTuckerFromApproximation(
 
   int it = 0;
   for (; it < options.max_iterations; ++it) {
-    internal_dtucker::DTuckerSweep(*work, options.ranks, &state.factors,
-                                   &state.core);
+    internal_dtucker::DTuckerSweep(approx, options.ranks, &state.factors,
+                                   &state.core, &ws, s_inv);
     const double error = OrthogonalTuckerRelativeError(
         approx_norm2, state.core.SquaredNorm());
     if (stats != nullptr) stats->error_history.push_back(error);

@@ -73,15 +73,71 @@ Result<RankSuggestion> SuggestRanksFromApproximation(
 
 namespace internal_dtucker {
 
+// Reusable buffers threaded through repeated DTuckerSweep calls so
+// steady-state iterations stop churning the allocator: the carrier and
+// projected-core builders resize these in place (vector capacity is
+// retained across iterations) and the trailing TTM chain ping-pongs
+// between ttm_a and ttm_b.
+struct SweepWorkspace {
+  Tensor carrier;  // Mode-1/2 carrier target (T1, then T2).
+  Tensor z;        // Projected tensor Z.
+  Tensor ttm_a;    // Trailing-contraction ping-pong buffers.
+  Tensor ttm_b;
+  // Per-mode warm-start bases for the factor updates' subspace iterations
+  // (see TopEigenvectorsSym). Carried across sweeps: HOOI operands move
+  // slowly, so each update restarts from the previous sweep's converged
+  // subspace and needs only the couple of iterations the Ritz check takes.
+  std::vector<Matrix> subspace;
+};
+
 // The small projected tensor Z (J1 x J2 x I3 x ... x IN) with frontal
 // slices (A1^T U<l> S<l>) (V<l>^T A2). Exposed for the online variant and
 // white-box tests.
 Tensor BuildProjectedCore(const SliceApproximation& approx, const Matrix& a1,
                           const Matrix& a2);
 
+// Workspace variant of BuildProjectedCore: writes Z into *z (resized in
+// place), parallelized across the L slices on the shared BLAS pool (each
+// slice writes a disjoint frontal slab; per-slice temporaries live in TLS
+// grow-only scratch). `s_inv` rescales the slice singular values on the fly
+// (see the scale normalization in dtucker.cc); pass 1.0 for unscaled.
+void BuildProjectedCoreInto(const SliceApproximation& approx, const Matrix& a1,
+                            const Matrix& a2, double s_inv, Tensor* z);
+
+// Carrier builders, same slice-parallel contract as BuildProjectedCoreInto:
+// T1 (I1 x J2 x trailing) with slices (U<l> S<l>) (V<l>^T A2), and
+// T2 (I2 x J1 x trailing) with slices V<l> (S<l> U<l>^T A1) — T2 is stored
+// mode-1-first so the mode-2 factor update is a mode-0 problem on it (its
+// flat buffer is the unfolding), unlocking the small-side Gram path.
+void BuildModeOneCarrierInto(const SliceApproximation& approx, const Matrix& a2,
+                             double s_inv, Tensor* t);
+void BuildModeTwoCarrierInto(const SliceApproximation& approx, const Matrix& a1,
+                             double s_inv, Tensor* t);
+
+// gram (+)= F diag(s * s_inv)^2 F^T for F = slice U (m == 0) or V (m == 1),
+// staging the scaled factor in TLS scratch instead of allocating
+// UTimesS()/VTimesS() copies. `beta` 0 overwrites the accumulator, 1 adds.
+void AccumulateScaledFactorGram(const SliceSvd& sl, int m, double s_inv,
+                                double beta, Matrix* gram);
+
+// Contracts trailing modes (2..N-1, optionally skipping one) of `t` with
+// factors[n]^T, visiting modes in decreasing dim->rank shrinkage order so
+// the working tensor shrinks as fast as possible, ping-ponging through the
+// workspace ttm buffers. Returns where the result lives: `&t` itself when
+// no mode was contracted, otherwise &ws->ttm_a or &ws->ttm_b.
+const Tensor* ContractTrailing(const Tensor& t,
+                               const std::vector<Matrix>& factors,
+                               Index skip_mode, SweepWorkspace* ws);
+
 // One HOOI sweep over the slice structure (mode 1, mode 2, trailing modes,
 // core refresh). `factors` must hold one column-orthogonal matrix per mode
 // with row counts matching approx.shape.
+void DTuckerSweep(const SliceApproximation& approx,
+                  const std::vector<Index>& ranks,
+                  std::vector<Matrix>* factors, Tensor* core,
+                  SweepWorkspace* workspace, double s_inv = 1.0);
+
+// Convenience overload with a transient workspace (white-box tests).
 void DTuckerSweep(const SliceApproximation& approx,
                   const std::vector<Index>& ranks,
                   std::vector<Matrix>* factors, Tensor* core);

@@ -15,14 +15,12 @@ OnlineDTucker::OnlineDTucker(OnlineDTuckerOptions options)
 void OnlineDTucker::AccumulateGrams(Index first) {
   for (Index l = first; l < approx_.NumSlices(); ++l) {
     const SliceSvd& sl = approx_.slices[static_cast<std::size_t>(l)];
-    Matrix ys = sl.UTimesS();
-    GemmRaw(Trans::kNo, Trans::kYes, ys.rows(), ys.rows(), ys.cols(), 1.0,
-            ys.data(), ys.rows(), ys.data(), ys.rows(), 1.0, gram1_.data(),
-            gram1_.rows());
-    Matrix vs = sl.VTimesS();
-    GemmRaw(Trans::kNo, Trans::kYes, vs.rows(), vs.rows(), vs.cols(), 1.0,
-            vs.data(), vs.rows(), vs.data(), vs.rows(), 1.0, gram2_.data(),
-            gram2_.rows());
+    // The scaled factors are staged in TLS scratch — no per-slice
+    // UTimesS()/VTimesS() allocations.
+    internal_dtucker::AccumulateScaledFactorGram(sl, 0, /*s_inv=*/1.0,
+                                                 /*beta=*/1.0, &gram1_);
+    internal_dtucker::AccumulateScaledFactorGram(sl, 1, /*s_inv=*/1.0,
+                                                 /*beta=*/1.0, &gram2_);
   }
 }
 
@@ -34,22 +32,21 @@ void OnlineDTucker::Refit(int sweeps) {
   factors[0] = TopEigenvectorsSym(gram1_, options_.ranks[0]);
   factors[1] = TopEigenvectorsSym(gram2_, options_.ranks[1]);
   // Trailing factors (including the grown temporal mode) from the small
-  // projected tensor.
-  Tensor z =
-      internal_dtucker::BuildProjectedCore(approx_, factors[0], factors[1]);
+  // projected tensor, matricization-free via the mode Grams. The workspace
+  // is shared across the refit sweeps so they stop churning the allocator.
+  internal_dtucker::SweepWorkspace ws;
+  internal_dtucker::BuildProjectedCoreInto(approx_, factors[0], factors[1],
+                                           /*s_inv=*/1.0, &ws.z);
   for (Index n = 2; n < order; ++n) {
-    Matrix unf = Unfold(z, n);
-    factors[static_cast<std::size_t>(n)] = LeadingLeftSingularVectorsViaGram(
-        unf, options_.ranks[static_cast<std::size_t>(n)]);
+    factors[static_cast<std::size_t>(n)] = LeadingModeVectorsViaGram(
+        ws.z, n, options_.ranks[static_cast<std::size_t>(n)]);
   }
-  Tensor core = z;
-  for (Index n = 2; n < order; ++n) {
-    core = ModeProduct(core, factors[static_cast<std::size_t>(n)], n,
-                       Trans::kYes);
-  }
+  Tensor core = *internal_dtucker::ContractTrailing(ws.z, factors,
+                                                    /*skip_mode=*/-1, &ws);
 
   for (int s = 0; s < sweeps; ++s) {
-    internal_dtucker::DTuckerSweep(approx_, options_.ranks, &factors, &core);
+    internal_dtucker::DTuckerSweep(approx_, options_.ranks, &factors, &core,
+                                   &ws, /*s_inv=*/1.0);
   }
   dec_.factors = std::move(factors);
   dec_.core = std::move(core);

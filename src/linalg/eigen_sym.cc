@@ -7,6 +7,7 @@
 
 #include "common/rng.h"
 #include "linalg/blas.h"
+#include "linalg/eigen_tridiag.h"
 #include "linalg/qr.h"
 
 namespace dtucker {
@@ -81,15 +82,29 @@ EigenSymResult EigenSym(const Matrix& a) {
   return out;
 }
 
-Matrix TopEigenvectorsSym(const Matrix& a, Index k) {
+namespace {
+
+// Dense solve for the sketch-sized problems inside TopEigenvectorsSym: the
+// QL solver is several times faster than Jacobi at these sizes; Jacobi is
+// the fallback for (pathological) QL non-convergence.
+EigenSymResult EigenSymFast(const Matrix& a) {
+  Result<EigenSymResult> qr = EigenSymQr(a);
+  if (qr.ok()) return std::move(qr).ValueOrDie();
+  return EigenSym(a);
+}
+
+}  // namespace
+
+Matrix TopEigenvectorsSym(const Matrix& a, Index k, Matrix* subspace,
+                          const SubspaceIterationOptions& options) {
   const Index n = a.rows();
   DT_CHECK_EQ(n, a.cols()) << "TopEigenvectorsSym requires a square matrix";
   DT_CHECK(k > 0 && k <= n) << "k out of range";
 
-  // Small problems (or nearly-full spectra): the dense Jacobi solver is
-  // both exact and fast enough.
+  // Small problems (or nearly-full spectra): a dense solve is both exact
+  // and fast enough.
   if (n <= 64 || 2 * k >= n) {
-    return EigenSym(a).vectors.LeftCols(k);
+    return EigenSymFast(a).vectors.LeftCols(k);
   }
 
   // Randomized subspace iteration with oversampling. For PSD matrices the
@@ -97,19 +112,26 @@ Matrix TopEigenvectorsSym(const Matrix& a, Index k) {
   // (lambda_{s+1}/lambda_k)^2, so a handful of sweeps suffice whenever the
   // sketch width s clears the cluster around lambda_k.
   const Index s = std::min(n, k + std::min<Index>(k, 8) + 2);
-  Rng rng(0x70B5EEDULL + static_cast<uint64_t>(n) * 1315423911ULL +
-          static_cast<uint64_t>(k));
-  Matrix q = QrOrthonormalize(Matrix::GaussianRandom(n, s, rng));
+  Matrix q;
+  if (subspace != nullptr && subspace->rows() == n && subspace->cols() == s) {
+    // Warm start from the caller's basis (assumed orthonormal: it is the
+    // basis this routine handed back on a previous call).
+    q = *subspace;
+  } else {
+    Rng rng(0x70B5EEDULL + static_cast<uint64_t>(n) * 1315423911ULL +
+            static_cast<uint64_t>(k));
+    q = QrOrthonormalize(Matrix::GaussianRandom(n, s, rng));
+  }
 
   std::vector<double> prev_ritz;
   Matrix z(n, s);
   Matrix h(s, s);
   // Flat spectra (lambda_{s+1} ~ lambda_k) converge slowly in the angles
-  // but the Ritz *values* stabilize quickly; 1e-11 relative is far below
-  // anything the factor updates can observe, and the sweep cap bounds the
-  // worst case.
-  const double ritz_tolerance = 1e-11;
-  const int max_sweeps = 50;
+  // but the Ritz *values* stabilize quickly; the default 1e-11 relative is
+  // far below anything the factor updates can observe, and the sweep cap
+  // bounds the worst case.
+  const double ritz_tolerance = options.ritz_tolerance;
+  const int max_sweeps = options.max_sweeps;
   for (int sweep = 0; sweep < max_sweeps; ++sweep) {
     Gemm(Trans::kNo, Trans::kNo, 1.0, a, q, 0.0, &z);
     // Rayleigh quotient H = Q^T A Q for the convergence check.
@@ -122,7 +144,7 @@ Matrix TopEigenvectorsSym(const Matrix& a, Index k) {
         h(j, i) = v;
       }
     }
-    EigenSymResult ritz = EigenSym(h);
+    EigenSymResult ritz = EigenSymFast(h);
     bool converged = false;
     if (!prev_ritz.empty()) {
       const double scale = std::max(std::fabs(ritz.values[0]), 1e-300);
@@ -137,15 +159,19 @@ Matrix TopEigenvectorsSym(const Matrix& a, Index k) {
     prev_ritz = ritz.values;
     if (converged) {
       // Rayleigh-Ritz extraction from the current (pre-update) basis.
-      return Multiply(q, ritz.vectors.LeftCols(k));
+      Matrix out = Multiply(q, ritz.vectors.LeftCols(k));
+      if (subspace != nullptr) *subspace = std::move(q);
+      return out;
     }
     q = QrOrthonormalize(z);
   }
   // Fallback extraction after max_sweeps.
   Gemm(Trans::kNo, Trans::kNo, 1.0, a, q, 0.0, &z);
   Gemm(Trans::kYes, Trans::kNo, 1.0, q, z, 0.0, &h);
-  EigenSymResult ritz = EigenSym(h);
-  return Multiply(q, ritz.vectors.LeftCols(k));
+  EigenSymResult ritz = EigenSymFast(h);
+  Matrix out = Multiply(q, ritz.vectors.LeftCols(k));
+  if (subspace != nullptr) *subspace = std::move(q);
+  return out;
 }
 
 }  // namespace dtucker

@@ -20,13 +20,35 @@ struct EigenSymResult {
 // upper triangle is read).
 EigenSymResult EigenSym(const Matrix& a);
 
+// Knobs for the randomized subspace iteration inside TopEigenvectorsSym.
+// The defaults solve to near machine precision. Iterative outer loops
+// (HOOI/ALS sweeps) can afford a looser tolerance and a tighter sweep cap:
+// the outer iteration corrects any slack in the inner solve, and on flat
+// spectra — where the Ritz values drift below 1e-11 only after hundreds of
+// sweeps — the cap is what bounds the cost. Both paths stay deterministic;
+// the dense small-problem fallback ignores these knobs.
+struct SubspaceIterationOptions {
+  int max_sweeps = 50;
+  double ritz_tolerance = 1e-11;
+};
+
 // Top-k eigenvectors of a symmetric PSD matrix (descending eigenvalues).
 // Small problems use the full Jacobi solver; large ones use randomized
 // subspace iteration with Rayleigh-Ritz extraction, which is the O(n^2 k)
 // workhorse behind every factor update in this library (ALS and D-Tucker
 // both extract leading singular vectors from n x n Gram matrices).
 // Deterministic: the start basis is seeded from (n, k).
-Matrix TopEigenvectorsSym(const Matrix& a, Index k);
+//
+// `subspace` (optional, in/out) warm-starts the subspace iteration: when it
+// holds an orthonormal basis with the dimensions of the iteration sketch
+// (n x s), it replaces the random start, and on return it receives the
+// final basis. Passing the same Matrix across a sequence of calls on
+// slowly-moving operands (ALS/HOOI sweeps) cuts the iteration to the one or
+// two sweeps the Ritz check needs. A mismatched or empty matrix is ignored
+// as input and simply overwritten. The dense small-problem path neither
+// reads nor writes it.
+Matrix TopEigenvectorsSym(const Matrix& a, Index k, Matrix* subspace = nullptr,
+                          const SubspaceIterationOptions& options = {});
 
 }  // namespace dtucker
 

@@ -117,6 +117,18 @@ void Tensor::SetFrontalSlice(Index l, const Matrix& m) {
               m.data(), slice_size * sizeof(double));
 }
 
+void Tensor::ResizeTo(const std::vector<Index>& shape) {
+  Index volume = 1;
+  strides_.resize(shape.size());
+  for (std::size_t n = 0; n < shape.size(); ++n) {
+    DT_CHECK_GE(shape[n], 0) << "negative dimension";
+    strides_[n] = volume;
+    volume *= shape[n];
+  }
+  shape_ = shape;
+  data_.resize(static_cast<std::size_t>(volume));
+}
+
 Tensor Tensor::LastModeSlice(Index start, Index len) const {
   const Index last = order() - 1;
   DT_CHECK(start >= 0 && len >= 0 && start + len <= dim(last))

@@ -79,6 +79,13 @@ class Tensor {
   // Overwrites frontal slice `l` with `m` (shape must be I1 x I2).
   void SetFrontalSlice(Index l, const Matrix& m);
 
+  // Reshapes in place to `shape` without preserving contents. The backing
+  // vector's capacity is retained, so a workspace tensor resized to the same
+  // (or a smaller) volume performs no allocation. Contents are unspecified
+  // for shrink-or-equal resizes and zero-filled growth is NOT guaranteed:
+  // callers must overwrite every element.
+  void ResizeTo(const std::vector<Index>& shape);
+
   // Copies the sub-tensor with last-mode indices [start, start+len).
   // The block is contiguous in memory, so this is a single memcpy.
   Tensor LastModeSlice(Index start, Index len) const;

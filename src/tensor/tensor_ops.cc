@@ -26,6 +26,12 @@ ModeSplit SplitAtMode(const Tensor& x, Index mode) {
   return s;
 }
 
+// Number of independent accumulator chunks in ModeGram. A fixed constant
+// (never derived from the thread count) so the floating-point reduction
+// order — and therefore the result bits — do not change with
+// SetBlasThreads().
+constexpr Index kModeGramChunks = 8;
+
 }  // namespace
 
 Matrix Unfold(const Tensor& x, Index mode) {
@@ -72,7 +78,81 @@ Tensor Fold(const Matrix& m, Index mode, const std::vector<Index>& shape) {
   return out;
 }
 
+Matrix ModeGram(const Tensor& x, Index mode) {
+  const ModeSplit s = SplitAtMode(x, mode);
+  Matrix g = Matrix::Uninitialized(s.dim, s.dim);
+  if (x.size() == 0) {
+    // Degenerate unfolding with zero columns: the Gram is exactly zero.
+    std::fill(g.data(), g.data() + g.size(), 0.0);
+    return g;
+  }
+  if (mode == 0) {
+    // The flat buffer already is X_(1) (dim x back) column-major; one GEMM
+    // suffices and may thread internally (bitwise-deterministic by the
+    // packed-GEMM contract, DESIGN.md §6).
+    GemmRaw(Trans::kNo, Trans::kYes, s.dim, s.dim, s.back, 1.0, x.data(),
+            s.dim, x.data(), s.dim, 0.0, g.data(), s.dim);
+    return g;
+  }
+
+  // Back-slab b is a contiguous (front x dim) column-major block whose
+  // columns are rows of X_(n), so G = sum_b slab_b^T slab_b.
+  const std::size_t slab = static_cast<std::size_t>(s.front * s.dim);
+  const double* src = x.data();
+  const Index chunks = std::min(kModeGramChunks, s.back);
+  auto run_chunk = [&](Index c, double* acc) {
+    const Index begin = s.back * c / chunks;
+    const Index end = s.back * (c + 1) / chunks;
+    for (Index b = begin; b < end; ++b) {
+      const double* sb = src + static_cast<std::size_t>(b) * slab;
+      GemmRaw(Trans::kYes, Trans::kNo, s.dim, s.dim, s.front, 1.0, sb, s.front,
+              sb, s.front, b == begin ? 0.0 : 1.0, acc, s.dim);
+    }
+  };
+  if (chunks == 1) {
+    // One slab: a single Gram GEMM that may thread internally.
+    run_chunk(0, g.data());
+    return g;
+  }
+
+  // Chunk 0 accumulates into g directly; chunks 1..C-1 into partials.
+  // Serial and pooled paths execute the identical chunk structure.
+  std::vector<Matrix> partials(static_cast<std::size_t>(chunks - 1));
+  for (Matrix& p : partials) p = Matrix::Uninitialized(s.dim, s.dim);
+  auto chunk_acc = [&](Index c) {
+    return c == 0 ? g.data() : partials[static_cast<std::size_t>(c - 1)].data();
+  };
+  ThreadPool* pool = SharedBlasPool();
+  if (pool != nullptr && !InBlasWorker()) {
+    pool->ParallelForRanges(static_cast<std::size_t>(chunks), /*min_grain=*/1,
+                            [&](std::size_t begin, std::size_t end) {
+                              BlasWorkerScope scope;
+                              for (std::size_t c = begin; c < end; ++c) {
+                                const Index ci = static_cast<Index>(c);
+                                run_chunk(ci, chunk_acc(ci));
+                              }
+                            });
+  } else {
+    for (Index c = 0; c < chunks; ++c) run_chunk(c, chunk_acc(c));
+  }
+  // Fixed-order reduction: ascending chunk index.
+  for (Index c = 1; c < chunks; ++c) {
+    Axpy(1.0, partials[static_cast<std::size_t>(c - 1)].data(), g.data(),
+         g.size());
+  }
+  return g;
+}
+
 Tensor ModeProduct(const Tensor& x, const Matrix& u, Index mode, Trans trans) {
+  Tensor out;
+  ModeProductInto(x, u, mode, trans, &out);
+  return out;
+}
+
+void ModeProductInto(const Tensor& x, const Matrix& u, Index mode, Trans trans,
+                     Tensor* out) {
+  DT_CHECK(static_cast<const Tensor*>(out) != &x)
+      << "ModeProductInto output must not alias the input";
   const ModeSplit s = SplitAtMode(x, mode);
   const Index j = trans == Trans::kNo ? u.rows() : u.cols();
   const Index contracted = trans == Trans::kNo ? u.cols() : u.rows();
@@ -81,15 +161,15 @@ Tensor ModeProduct(const Tensor& x, const Matrix& u, Index mode, Trans trans) {
 
   std::vector<Index> new_shape = x.shape();
   new_shape[static_cast<std::size_t>(mode)] = j;
-  Tensor out(std::move(new_shape));
+  out->ResizeTo(new_shape);
 
   if (mode == 0) {
     // out_(1) (j x front*back) = op(U) * X_(1); both unfoldings are
     // layout-preserving, so one GEMM over the flat buffers suffices.
     GemmRaw(trans == Trans::kNo ? Trans::kNo : Trans::kYes, Trans::kNo, j,
             s.back /* front == 1 */, s.dim, 1.0, u.data(), u.rows(), x.data(),
-            s.dim, 0.0, out.data(), j);
-    return out;
+            s.dim, 0.0, out->data(), j);
+    return;
   }
 
   // For each back-slab b, the source (front x dim) block is contiguous and
@@ -103,7 +183,7 @@ Tensor ModeProduct(const Tensor& x, const Matrix& u, Index mode, Trans trans) {
             s.front, j, s.dim, 1.0,
             x.data() + static_cast<std::size_t>(b) * src_slab, s.front,
             u.data(), u.rows(), 0.0,
-            out.data() + static_cast<std::size_t>(b) * dst_slab, s.front);
+            out->data() + static_cast<std::size_t>(b) * dst_slab, s.front);
   };
   // With enough independent slabs, parallelize across them (each writes a
   // disjoint output slab) and keep the per-slab GEMMs serial; otherwise run
@@ -121,7 +201,6 @@ Tensor ModeProduct(const Tensor& x, const Matrix& u, Index mode, Trans trans) {
   } else {
     for (Index b = 0; b < s.back; ++b) run_slab(b);
   }
-  return out;
 }
 
 Tensor ModeProductChain(const Tensor& x, const std::vector<Matrix>& matrices,
@@ -136,16 +215,26 @@ Tensor ModeProductChain(const Tensor& x, const std::vector<Matrix>& matrices,
   return cur;
 }
 
+namespace {
+
+// dst = alpha * src over `n` doubles via the level-1 kernels (memcpy stays
+// in cache for the Scal pass; both legs vectorize).
+inline void ScaledCopy(double alpha, const double* src, double* dst, Index n) {
+  std::memcpy(dst, src, static_cast<std::size_t>(n) * sizeof(double));
+  Scal(alpha, dst, n);
+}
+
+}  // namespace
+
 Matrix Kronecker(const Matrix& a, const Matrix& b) {
-  Matrix out(a.rows() * b.rows(), a.cols() * b.cols());
+  Matrix out = Matrix::Uninitialized(a.rows() * b.rows(), a.cols() * b.cols());
+  const Index brows = b.rows();
   for (Index ja = 0; ja < a.cols(); ++ja) {
     for (Index jb = 0; jb < b.cols(); ++jb) {
-      const Index j = ja * b.cols() + jb;
-      for (Index ia = 0; ia < a.rows(); ++ia) {
-        const double av = a(ia, ja);
-        double* dst = out.col_data(j) + ia * b.rows();
-        const double* src = b.col_data(jb);
-        for (Index ib = 0; ib < b.rows(); ++ib) dst[ib] = av * src[ib];
+      double* dst = out.col_data(ja * b.cols() + jb);
+      const double* src = b.col_data(jb);
+      for (Index ia = 0; ia < a.rows(); ++ia, dst += brows) {
+        ScaledCopy(a(ia, ja), src, dst, brows);
       }
     }
   }
@@ -154,15 +243,13 @@ Matrix Kronecker(const Matrix& a, const Matrix& b) {
 
 Matrix KhatriRao(const Matrix& a, const Matrix& b) {
   DT_CHECK_EQ(a.cols(), b.cols()) << "Khatri-Rao column count mismatch";
-  Matrix out(a.rows() * b.rows(), a.cols());
+  Matrix out = Matrix::Uninitialized(a.rows() * b.rows(), a.cols());
+  const Index brows = b.rows();
   for (Index j = 0; j < a.cols(); ++j) {
     double* dst = out.col_data(j);
     const double* bcol = b.col_data(j);
-    for (Index ia = 0; ia < a.rows(); ++ia) {
-      const double av = a(ia, j);
-      for (Index ib = 0; ib < b.rows(); ++ib) {
-        dst[ia * b.rows() + ib] = av * bcol[ib];
-      }
+    for (Index ia = 0; ia < a.rows(); ++ia, dst += brows) {
+      ScaledCopy(a(ia, j), bcol, dst, brows);
     }
   }
   return out;

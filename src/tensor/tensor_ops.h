@@ -26,11 +26,26 @@ Matrix Unfold(const Tensor& x, Index mode);
 // tensor of the given shape.
 Tensor Fold(const Matrix& m, Index mode, const std::vector<Index>& shape);
 
+// Gram of the mode-n unfolding, G = X_(n) X_(n)^T (I_n x I_n), accumulated
+// directly from the flat tensor buffer via contiguous back-slab GEMMs — no
+// Unfold copy is ever materialized. Deterministic by construction: slabs are
+// grouped into a fixed shape-derived chunk partition (never a function of
+// the thread count) with per-chunk accumulators reduced in ascending order,
+// so the result is bitwise-identical for every SetBlasThreads() value.
+Matrix ModeGram(const Tensor& x, Index mode);
+
 // X x_mode op(U), where op(U) = U (J x I_mode) for Trans::kNo and
 // op(U) = U^T for Trans::kYes (U is I_mode x J). Never materializes an
 // unfolding: works slab-by-slab with GEMMs on contiguous memory.
 Tensor ModeProduct(const Tensor& x, const Matrix& u, Index mode,
                    Trans trans = Trans::kNo);
+
+// ModeProduct into a caller-owned output tensor. `out` is resized in place
+// (retaining its backing allocation), so a workspace tensor reused across
+// sweep iterations reaches a steady state with zero allocator traffic.
+// `out` must not alias `x`.
+void ModeProductInto(const Tensor& x, const Matrix& u, Index mode, Trans trans,
+                     Tensor* out);
 
 // Applies op(matrices[k]) along every mode k != skip_mode (pass
 // skip_mode = -1 to contract every mode). Modes are applied in ascending

@@ -2,6 +2,7 @@
 
 #include "linalg/blas.h"
 #include "linalg/eigen_sym.h"
+#include "linalg/qr.h"
 #include "tensor/tensor_ops.h"
 
 namespace dtucker {
@@ -16,15 +17,44 @@ Matrix LeadingLeftSingularVectorsViaGram(const Matrix& m, Index k) {
   return TopEigenvectorsSym(g, k);
 }
 
+Matrix LeadingModeVectorsViaGram(const Tensor& x, Index mode, Index k,
+                                 Matrix* subspace,
+                                 const SubspaceIterationOptions& eig_options) {
+  DT_CHECK_LE(k, x.dim(mode)) << "rank exceeds mode dimension";
+  const Index n = x.dim(mode);
+  const Index m = n > 0 ? x.size() / n : 0;
+  if (mode == 0 && m < n && k <= m) {
+    // Small-side path. The mode-0 unfolding is the flat buffer itself, an
+    // n x m column-major matrix A with m < n (the iteration-phase factor
+    // updates land here: n is a tensor dimension, m a product of ranks).
+    // Eigendecompose the small Gram C = A^T A (m x m) instead of the large
+    // A A^T (n x n): the top-k eigenvectors W are the leading right
+    // singular vectors of A, so Q from the QR of A W spans — and, the
+    // columns of A W being orthogonal with norms sigma_i, equals up to
+    // column signs — the leading left singular basis. Every step is a
+    // deterministic dense kernel, so the result is thread-count invariant
+    // like the large-Gram path.
+    Matrix c = Matrix::Uninitialized(m, m);
+    GemmRaw(Trans::kYes, Trans::kNo, m, m, n, 1.0, x.data(), n, x.data(), n,
+            0.0, c.data(), m);
+    Matrix w = TopEigenvectorsSym(c, k, subspace, eig_options);
+    Matrix u = Matrix::Uninitialized(n, k);
+    GemmRaw(Trans::kNo, Trans::kNo, n, k, m, 1.0, x.data(), n, w.data(), m,
+            0.0, u.data(), n);
+    return QrOrthonormalize(u);
+  }
+  Matrix g = ModeGram(x, mode);
+  return TopEigenvectorsSym(g, k, subspace, eig_options);
+}
+
 TuckerDecomposition Hosvd(const Tensor& x, const std::vector<Index>& ranks) {
   DT_CHECK_EQ(static_cast<Index>(ranks.size()), x.order())
       << "one rank per mode required";
   TuckerDecomposition out;
   out.factors.resize(static_cast<std::size_t>(x.order()));
   for (Index n = 0; n < x.order(); ++n) {
-    Matrix unf = Unfold(x, n);
-    out.factors[static_cast<std::size_t>(n)] = LeadingLeftSingularVectorsViaGram(
-        unf, ranks[static_cast<std::size_t>(n)]);
+    out.factors[static_cast<std::size_t>(n)] = LeadingModeVectorsViaGram(
+        x, n, ranks[static_cast<std::size_t>(n)]);
   }
   out.core = ModeProductChain(x, out.factors, /*skip_mode=*/-1, Trans::kYes);
   return out;
@@ -37,9 +67,8 @@ TuckerDecomposition StHosvd(const Tensor& x, const std::vector<Index>& ranks) {
   out.factors.resize(static_cast<std::size_t>(x.order()));
   Tensor y = x;
   for (Index n = 0; n < x.order(); ++n) {
-    Matrix unf = Unfold(y, n);
-    Matrix a = LeadingLeftSingularVectorsViaGram(
-        unf, ranks[static_cast<std::size_t>(n)]);
+    Matrix a = LeadingModeVectorsViaGram(
+        y, n, ranks[static_cast<std::size_t>(n)]);
     y = ModeProduct(y, a, n, Trans::kYes);
     out.factors[static_cast<std::size_t>(n)] = std::move(a);
   }

@@ -5,6 +5,7 @@
 #ifndef DTUCKER_TUCKER_HOSVD_H_
 #define DTUCKER_TUCKER_HOSVD_H_
 
+#include "linalg/eigen_sym.h"
 #include "tucker/tucker.h"
 
 namespace dtucker {
@@ -21,6 +22,24 @@ TuckerDecomposition StHosvd(const Tensor& x, const std::vector<Index>& ranks);
 // Leading k left singular vectors of M computed from the I x I Gram matrix
 // M M^T (cheap when M is short-and-wide, the typical unfolding shape).
 Matrix LeadingLeftSingularVectorsViaGram(const Matrix& m, Index k);
+
+// Leading k left singular vectors of the mode-n unfolding X_(n), computed
+// matricization-free: the Gram X_(n) X_(n)^T is accumulated by ModeGram
+// straight from the flat tensor buffer, so no unfolding copy is ever made.
+// For mode 0 with a wide-side smaller than the mode dimension (the
+// iteration-phase shape: I x prod(ranks)), the Gram is instead formed on
+// the small side — X_(0)^T X_(0), prod(ranks) squared — and the left basis
+// recovered by one thin QR, which is an order of magnitude cheaper when
+// I >> prod(ranks). `subspace` (optional, in/out) is forwarded to
+// TopEigenvectorsSym to warm-start its subspace iteration across repeated
+// calls on slowly-moving operands (HOOI sweeps); pass nullptr for one-shot
+// use. `eig_options` is forwarded to the same routine — outer iterations
+// that re-solve every sweep pass a bounded, looser inner solve (inexact
+// HOOI) and let the outer loop absorb the slack. The returned basis spans
+// the same leading subspace on every path.
+Matrix LeadingModeVectorsViaGram(const Tensor& x, Index mode, Index k,
+                                 Matrix* subspace = nullptr,
+                                 const SubspaceIterationOptions& eig_options = {});
 
 }  // namespace dtucker
 
