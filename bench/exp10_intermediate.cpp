@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "common/flags.h"
+#include "common/telemetry.h"
 #include "common/table_printer.h"
 #include "common/timer.h"
 #include "data/generators.h"
@@ -21,6 +22,7 @@ int Run(int argc, char** argv) {
   FlagParser flags;
   flags.AddInt("rank", 10, "Tucker rank per mode");
   flags.AddInt("iters", 2, "fixed sweep count");
+  AddTelemetryFlags(&flags);
   Status st = flags.Parse(argc, argv);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
@@ -31,6 +33,7 @@ int Run(int argc, char** argv) {
     std::printf("%s", flags.HelpString().c_str());
     return 0;
   }
+  InitTelemetryFromFlags(flags);
   const Index rank = flags.GetInt("rank");
 
   std::printf(
@@ -80,6 +83,11 @@ int Run(int argc, char** argv) {
       "\nnaive peak grows ~quadratically in the tensor size; the TTM chain "
       "never materializes anything larger than one partially contracted "
       "tensor.\n");
+  Status telemetry = FlushTelemetryFromFlags(flags);
+  if (!telemetry.ok()) {
+    std::fprintf(stderr, "%s\n", telemetry.ToString().c_str());
+    return 1;
+  }
   return 0;
 }
 

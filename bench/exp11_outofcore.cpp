@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "common/flags.h"
+#include "common/telemetry.h"
 #include "linalg/blas.h"
 #include "common/memory.h"
 #include "common/rng.h"
@@ -56,6 +57,7 @@ int Run(int argc, char** argv) {
   flags.AddInt("slices", 400, "number of frontal slices");
   flags.AddInt("rank", 10, "Tucker rank per mode");
   flags.AddString("path", "/tmp/dtucker_ooc_bench.dtnsr", "scratch file");
+  AddTelemetryFlags(&flags);
   Status st = flags.Parse(argc, argv);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
@@ -66,6 +68,7 @@ int Run(int argc, char** argv) {
     std::printf("%s", flags.HelpString().c_str());
     return 0;
   }
+  InitTelemetryFromFlags(flags);
 
   const Index i1 = flags.GetInt("i1");
   const Index i2 = flags.GetInt("i2");
@@ -127,6 +130,11 @@ int Run(int argc, char** argv) {
       "compressed-factor footprint, not the %.0f MiB tensor.\n",
       tensor_bytes / (1 << 20));
   std::remove(path.c_str());
+  Status telemetry = FlushTelemetryFromFlags(flags);
+  if (!telemetry.ok()) {
+    std::fprintf(stderr, "%s\n", telemetry.ToString().c_str());
+    return 1;
+  }
   return 0;
 }
 

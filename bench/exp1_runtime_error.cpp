@@ -11,6 +11,7 @@
 
 #include "baselines/registry.h"
 #include "common/flags.h"
+#include "common/telemetry.h"
 #include "common/table_printer.h"
 #include "data/datasets.h"
 
@@ -33,6 +34,7 @@ int Run(int argc, char** argv) {
   flags.AddInt("rank", 10, "Tucker rank per mode (clamped to dims)");
   flags.AddInt("iters", 10, "max ALS iterations");
   flags.AddString("datasets", DatasetNames(), "comma-separated dataset list");
+  AddTelemetryFlags(&flags);
   Status st = flags.Parse(argc, argv);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
@@ -43,6 +45,7 @@ int Run(int argc, char** argv) {
     std::printf("%s", flags.HelpString().c_str());
     return 0;
   }
+  InitTelemetryFromFlags(flags);
 
   std::printf(
       "=== E1/E2: running time and reconstruction error, all methods ===\n"
@@ -112,6 +115,11 @@ int Run(int argc, char** argv) {
     }
     table.Print();
     std::printf("\n");
+  }
+  Status telemetry = FlushTelemetryFromFlags(flags);
+  if (!telemetry.ok()) {
+    std::fprintf(stderr, "%s\n", telemetry.ToString().c_str());
+    return 1;
   }
   return 0;
 }

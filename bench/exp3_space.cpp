@@ -9,6 +9,7 @@
 
 #include "baselines/mach.h"
 #include "common/flags.h"
+#include "common/telemetry.h"
 #include "common/table_printer.h"
 #include "data/datasets.h"
 #include "dtucker/slice_approximation.h"
@@ -29,6 +30,7 @@ int Run(int argc, char** argv) {
   flags.AddInt("rank", 10, "Tucker rank per mode (clamped)");
   flags.AddDouble("mach_rate", 0.1, "MACH keep probability");
   flags.AddDouble("sketch_factor", 4.0, "Tucker-ts sketch multiplier");
+  AddTelemetryFlags(&flags);
   Status st = flags.Parse(argc, argv);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
@@ -39,6 +41,7 @@ int Run(int argc, char** argv) {
     std::printf("%s", flags.HelpString().c_str());
     return 0;
   }
+  InitTelemetryFromFlags(flags);
 
   std::printf(
       "=== E3: storage for preprocessed/compressed representations ===\n"
@@ -95,6 +98,11 @@ int Run(int argc, char** argv) {
              "x smaller"});
   }
   table.Print();
+  Status telemetry = FlushTelemetryFromFlags(flags);
+  if (!telemetry.ok()) {
+    std::fprintf(stderr, "%s\n", telemetry.ToString().c_str());
+    return 1;
+  }
   return 0;
 }
 

@@ -9,6 +9,7 @@
 
 #include "baselines/registry.h"
 #include "common/flags.h"
+#include "common/telemetry.h"
 #include "common/table_printer.h"
 #include "data/generators.h"
 
@@ -107,6 +108,7 @@ int Run(int argc, char** argv) {
   FlagParser flags;
   flags.AddString("sweep", "all", "dim | rank | order | all");
   flags.AddInt("iters", 3, "fixed ALS sweep count");
+  AddTelemetryFlags(&flags);
   Status st = flags.Parse(argc, argv);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
@@ -117,12 +119,18 @@ int Run(int argc, char** argv) {
     std::printf("%s", flags.HelpString().c_str());
     return 0;
   }
+  InitTelemetryFromFlags(flags);
   const std::string sweep = flags.GetString("sweep");
   const int iters = static_cast<int>(flags.GetInt("iters"));
   std::printf("=== E4/E5/E6: scalability of D-Tucker vs Tucker-ALS ===\n\n");
   if (sweep == "dim" || sweep == "all") SweepDimensionality(iters);
   if (sweep == "rank" || sweep == "all") SweepRank(iters);
   if (sweep == "order" || sweep == "all") SweepOrder(iters);
+  Status telemetry = FlushTelemetryFromFlags(flags);
+  if (!telemetry.ok()) {
+    std::fprintf(stderr, "%s\n", telemetry.ToString().c_str());
+    return 1;
+  }
   return 0;
 }
 

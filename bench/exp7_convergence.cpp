@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common/flags.h"
+#include "common/telemetry.h"
 #include "common/table_printer.h"
 #include "data/datasets.h"
 #include "dtucker/dtucker.h"
@@ -18,6 +19,7 @@ int Run(int argc, char** argv) {
   flags.AddDouble("scale", 0.4, "dataset size multiplier");
   flags.AddInt("rank", 10, "Tucker rank per mode (clamped)");
   flags.AddInt("iters", 8, "sweeps to record");
+  AddTelemetryFlags(&flags);
   Status st = flags.Parse(argc, argv);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
@@ -28,6 +30,7 @@ int Run(int argc, char** argv) {
     std::printf("%s", flags.HelpString().c_str());
     return 0;
   }
+  InitTelemetryFromFlags(flags);
 
   std::printf(
       "=== E7: error vs sweep (proxy errors from each solver's own "
@@ -82,6 +85,11 @@ int Run(int argc, char** argv) {
     std::printf("final true errors: D-Tucker %.4e, Tucker-ALS %.4e\n\n",
                 dt.value().RelativeErrorAgainst(x),
                 als.value().RelativeErrorAgainst(x));
+  }
+  Status telemetry = FlushTelemetryFromFlags(flags);
+  if (!telemetry.ok()) {
+    std::fprintf(stderr, "%s\n", telemetry.ToString().c_str());
+    return 1;
   }
   return 0;
 }

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "common/flags.h"
+#include "common/telemetry.h"
 #include "common/table_printer.h"
 #include "common/timer.h"
 #include "data/datasets.h"
@@ -19,6 +20,7 @@ int Run(int argc, char** argv) {
   FlagParser flags;
   flags.AddDouble("scale", 0.4, "dataset size multiplier");
   flags.AddInt("rank", 10, "target Tucker rank per mode (clamped)");
+  AddTelemetryFlags(&flags);
   Status st = flags.Parse(argc, argv);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
@@ -29,6 +31,7 @@ int Run(int argc, char** argv) {
     std::printf("%s", flags.HelpString().c_str());
     return 0;
   }
+  InitTelemetryFromFlags(flags);
 
   Result<Tensor> data = MakeDataset("video", flags.GetDouble("scale"));
   if (!data.ok()) {
@@ -189,6 +192,11 @@ int Run(int argc, char** argv) {
                         dec.value().RelativeErrorAgainst(x))});
     }
     table.Print();
+  }
+  Status telemetry = FlushTelemetryFromFlags(flags);
+  if (!telemetry.ok()) {
+    std::fprintf(stderr, "%s\n", telemetry.ToString().c_str());
+    return 1;
   }
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common/flags.h"
+#include "common/telemetry.h"
 #include "common/table_printer.h"
 #include "common/timer.h"
 #include "data/generators.h"
@@ -21,6 +22,7 @@ int Run(int argc, char** argv) {
   flags.AddInt("total", 320, "total frames in the stream");
   flags.AddInt("chunk", 40, "frames per arriving chunk");
   flags.AddInt("rank", 8, "Tucker rank per mode");
+  AddTelemetryFlags(&flags);
   Status st = flags.Parse(argc, argv);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
@@ -31,6 +33,7 @@ int Run(int argc, char** argv) {
     std::printf("%s", flags.HelpString().c_str());
     return 0;
   }
+  InitTelemetryFromFlags(flags);
 
   const Index height = flags.GetInt("height");
   const Index width = flags.GetInt("width");
@@ -88,6 +91,11 @@ int Run(int argc, char** argv) {
                       batch.value().RelativeErrorAgainst(so_far))});
   }
   table.Print();
+  Status telemetry = FlushTelemetryFromFlags(flags);
+  if (!telemetry.ok()) {
+    std::fprintf(stderr, "%s\n", telemetry.ToString().c_str());
+    return 1;
+  }
   return 0;
 }
 

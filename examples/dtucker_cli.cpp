@@ -21,7 +21,9 @@
 
 #include "baselines/registry.h"
 #include "common/flags.h"
+#include "common/metrics.h"
 #include "common/table_printer.h"
+#include "common/telemetry.h"
 #include "data/datasets.h"
 #include "data/decomposition_io.h"
 #include "data/tensor_io.h"
@@ -38,33 +40,7 @@ int Fail(const Status& st) {
   return 1;
 }
 
-int Run(int argc, char** argv) {
-  FlagParser flags;
-  flags.AddString("op", "info", "generate | ranks | compress | decompose | round | info");
-  flags.AddString("dataset", "stock", "for --op=generate: " + DatasetNames());
-  flags.AddDouble("scale", 0.3, "dataset size multiplier");
-  flags.AddString("tensor", "", "tensor file path (.dtnsr)");
-  flags.AddString("approx", "", "slice-approximation file path (.dtsa)");
-  flags.AddString("output", "", "decomposition output path (.dtdc)");
-  flags.AddString("round_output", "", "rounded decomposition path (.dtdc)");
-  flags.AddString("method", "D-Tucker", "decomposition method name");
-  flags.AddInt("rank", 10, "Tucker rank per mode (clamped to dims)");
-  flags.AddDouble("energy", 0.9, "energy threshold for --op=ranks");
-  flags.AddInt("iters", 20, "max ALS sweeps");
-  flags.AddInt("threads", 1,
-               "worker threads for every phase (approximation, "
-               "initialization, iteration); default 1 = serial, 0 = all "
-               "hardware threads");
-  Status st = flags.Parse(argc, argv);
-  if (!st.ok()) {
-    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
-                 flags.HelpString().c_str());
-    return 1;
-  }
-  if (flags.help_requested()) {
-    std::printf("%s", flags.HelpString().c_str());
-    return 0;
-  }
+int RunOp(const FlagParser& flags) {
   const int num_threads = static_cast<int>(flags.GetInt("threads"));
   // One process-wide setting covers the GEMM/GEMV/mode-product machinery
   // behind every phase; the approximation phase additionally gets a
@@ -147,9 +123,17 @@ int Run(int argc, char** argv) {
       }
       opt.max_iterations = static_cast<int>(flags.GetInt("iters"));
       opt.num_threads = GetBlasThreads();
+      opt.sweep_callback = [](const SweepTelemetry& t) {
+        std::printf("sweep %2d: fit %.6f (delta %+0.2e) in %.3fs, "
+                    "%llu subspace iterations\n",
+                    t.sweep, t.fit, t.delta_fit, t.seconds,
+                    static_cast<unsigned long long>(t.subspace_iterations));
+      };
+      TuckerStats stats;
       Result<TuckerDecomposition> r =
-          DTuckerFromApproximation(approx.value(), opt);
+          DTuckerFromApproximation(approx.value(), opt, &stats);
       if (!r.ok()) return Fail(r.status());
+      RecordSweepMetrics(stats);
       dec = std::move(r).ValueOrDie();
     } else {
       Result<Tensor> t = LoadTensor(flags.GetString("tensor"));
@@ -248,6 +232,41 @@ int Run(int argc, char** argv) {
   }
 
   return Fail(Status::InvalidArgument("unknown --op '" + op + "'"));
+}
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddString("op", "info", "generate | ranks | compress | decompose | round | info");
+  flags.AddString("dataset", "stock", "for --op=generate: " + DatasetNames());
+  flags.AddDouble("scale", 0.3, "dataset size multiplier");
+  flags.AddString("tensor", "", "tensor file path (.dtnsr)");
+  flags.AddString("approx", "", "slice-approximation file path (.dtsa)");
+  flags.AddString("output", "", "decomposition output path (.dtdc)");
+  flags.AddString("round_output", "", "rounded decomposition path (.dtdc)");
+  flags.AddString("method", "D-Tucker", "decomposition method name");
+  flags.AddInt("rank", 10, "Tucker rank per mode (clamped to dims)");
+  flags.AddDouble("energy", 0.9, "energy threshold for --op=ranks");
+  flags.AddInt("iters", 20, "max ALS sweeps");
+  flags.AddInt("threads", 1,
+               "worker threads for every phase (approximation, "
+               "initialization, iteration); default 1 = serial, 0 = all "
+               "hardware threads");
+  AddTelemetryFlags(&flags);
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
+                 flags.HelpString().c_str());
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.HelpString().c_str());
+    return 0;
+  }
+  InitTelemetryFromFlags(flags);
+  const int rc = RunOp(flags);
+  Status flush = FlushTelemetryFromFlags(flags);
+  if (!flush.ok()) return Fail(flush);
+  return rc;
 }
 
 }  // namespace

@@ -3,7 +3,9 @@
 #include "baselines/mach.h"
 #include "baselines/rtd.h"
 #include "baselines/tucker_ts.h"
+#include "common/metrics.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "dtucker/dtucker.h"
 #include "tucker/hosvd.h"
 #include "tucker/tucker_als.h"
@@ -54,6 +56,7 @@ Result<MethodRun> RunTuckerMethod(TuckerMethod method, const Tensor& x,
                                   bool measure_error) {
   MethodRun run;
   Timer total;
+  DT_TRACE_SPAN("method.run");
   switch (method) {
     case TuckerMethod::kDTucker: {
       DTuckerOptions opt;
@@ -124,7 +127,11 @@ Result<MethodRun> RunTuckerMethod(TuckerMethod method, const Tensor& x,
       break;
     }
   }
-  (void)total;
+  // Every method reports its end-to-end wall time through the same global
+  // channel the D-Tucker phases use, so one metrics snapshot compares them.
+  GlobalPhaseTimer().Add(std::string("method.") + TuckerMethodName(method),
+                         total.Seconds());
+  RecordSweepMetrics(run.stats);
   if (measure_error) {
     run.relative_error = run.decomposition.RelativeErrorAgainst(x);
   }

@@ -1,5 +1,6 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 
@@ -7,7 +8,7 @@ namespace dtucker {
 namespace internal_logging {
 
 namespace {
-LogLevel g_threshold = LogLevel::kInfo;
+std::atomic<LogLevel> g_threshold{LogLevel::kInfo};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -24,8 +25,12 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-LogLevel GetLogThreshold() { return g_threshold; }
-void SetLogThreshold(LogLevel level) { g_threshold = level; }
+LogLevel GetLogThreshold() {
+  return g_threshold.load(std::memory_order_relaxed);
+}
+void SetLogThreshold(LogLevel level) {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
     : level_(level), fatal_(fatal) {
@@ -37,8 +42,14 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
 }
 
 LogMessage::~LogMessage() {
-  if (fatal_ || level_ >= g_threshold) {
-    std::cerr << stream_.str() << std::endl;
+  if (fatal_ || level_ >= GetLogThreshold()) {
+    // Assemble the whole line (prefix + payload + newline) and emit it with
+    // one stdio write, so lines from concurrent threads never interleave
+    // (stdio locks the stream per call).
+    std::string line = stream_.str();
+    line.push_back('\n');
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
   }
   if (fatal_) std::abort();
 }

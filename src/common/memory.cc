@@ -17,4 +17,20 @@ std::size_t CurrentRssBytes() {
          static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
 }
 
+std::size_t PeakRssBytes() {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::size_t peak_kib = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    long kib = 0;
+    if (std::sscanf(line, "VmHWM: %ld kB", &kib) == 1) {
+      peak_kib = static_cast<std::size_t>(kib);
+      break;
+    }
+  }
+  std::fclose(f);
+  return peak_kib * 1024;
+}
+
 }  // namespace dtucker

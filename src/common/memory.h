@@ -40,6 +40,10 @@ class MemoryMeter {
 // returns 0 if unavailable. Used as a sanity cross-check in benchmarks.
 std::size_t CurrentRssBytes();
 
+// Lifetime peak resident-set size in bytes (Linux, VmHWM from
+// /proc/self/status); returns 0 if unavailable.
+std::size_t PeakRssBytes();
+
 }  // namespace dtucker
 
 #endif  // DTUCKER_COMMON_MEMORY_H_

@@ -1,0 +1,143 @@
+#include "common/metrics.h"
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "common/memory.h"
+
+namespace dtucker {
+
+namespace internal_metrics {
+
+unsigned ThreadShard() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned shard =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return shard;
+}
+
+}  // namespace internal_metrics
+
+namespace {
+
+// Doubles are serialized with enough digits to round-trip; integral values
+// (phase seconds are not, gauge byte counts usually are) keep a compact form.
+void AppendJsonDouble(double v, std::string* out) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+void AppendJsonKey(const std::string& name, std::string* out) {
+  out->push_back('"');
+  for (char c : name) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->append("\":");
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked singleton: metric references cached in function-local statics
+  // must stay valid through static destruction.
+  static MetricsRegistry* const kRegistry = new MetricsRegistry;
+  return *kRegistry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  std::string out;
+  out.reserve(1024);
+  out += "{\n  \"counters\": {";
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    bool first = true;
+    for (const auto& [name, c] : counters_) {
+      out += first ? "\n    " : ",\n    ";
+      first = false;
+      AppendJsonKey(name, &out);
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "%" PRIu64,
+                    static_cast<std::uint64_t>(c->Value()));
+      out += buf;
+    }
+    out += "\n  },\n  \"gauges\": {";
+    first = true;
+    for (const auto& [name, g] : gauges_) {
+      out += first ? "\n    " : ",\n    ";
+      first = false;
+      AppendJsonKey(name, &out);
+      AppendJsonDouble(g->Value(), &out);
+    }
+  }
+  out += "\n  },\n  \"phases\": {";
+  {
+    bool first = true;
+    for (const auto& [name, seconds] : GlobalPhaseTimer().totals()) {
+      out += first ? "\n    " : ",\n    ";
+      first = false;
+      AppendJsonKey(name, &out);
+      AppendJsonDouble(seconds, &out);
+    }
+  }
+  out += "\n  },\n  \"process\": {\n    \"rss_bytes\": ";
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%zu", CurrentRssBytes());
+  out += buf;
+  out += ",\n    \"peak_rss_bytes\": ";
+  std::snprintf(buf, sizeof(buf), "%zu", PeakRssBytes());
+  out += buf;
+  out += "\n  }\n}\n";
+  return out;
+}
+
+Status MetricsRegistry::WriteJson(const std::string& path) const {
+  std::ofstream os(path, std::ios::out | std::ios::trunc);
+  if (!os.is_open()) {
+    return Status::IoError("cannot open metrics output '" + path + "'");
+  }
+  os << SnapshotJson();
+  os.flush();
+  if (!os.good()) {
+    return Status::IoError("failed writing metrics output '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Counter& MetricCounter(const std::string& name) {
+  return MetricsRegistry::Global().GetCounter(name);
+}
+
+Gauge& MetricGauge(const std::string& name) {
+  return MetricsRegistry::Global().GetGauge(name);
+}
+
+PhaseTimer& GlobalPhaseTimer() {
+  static PhaseTimer* const kTimer = new PhaseTimer;
+  return *kTimer;
+}
+
+}  // namespace dtucker

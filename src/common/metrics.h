@@ -1,0 +1,128 @@
+// Process-wide registry of named monotonic counters and gauges.
+//
+// Counters are sharded across cache-line-padded atomics so hot kernels
+// (GEMM call/FLOP accounting, thread-pool task counts) can bump them from
+// many workers without bouncing one cache line; reads sum the shards.
+// Gauges hold a single double with set / add / set-max semantics (peak
+// RSS, allocation-probe bytes).
+//
+// Hot-path idiom — resolve the registry entry once, then only touch the
+// atomic:
+//
+//   static Counter& calls = MetricCounter("gemm.calls");
+//   calls.Add(1);
+//
+// MetricsRegistry::SnapshotJson() serializes every counter and gauge, the global
+// PhaseTimer buckets, and the process RSS, so every driver can emit one
+// machine-readable metrics file next to its results (--metrics-out).
+#ifndef DTUCKER_COMMON_METRICS_H_
+#define DTUCKER_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace dtucker {
+
+namespace internal_metrics {
+// Stable per-thread shard index (threads are striped round-robin).
+unsigned ThreadShard();
+}  // namespace internal_metrics
+
+// Monotonic counter. Add() is wait-free (one relaxed fetch_add on the
+// caller's shard); Value() sums the shards.
+class Counter {
+ public:
+  static constexpr unsigned kShards = 8;
+
+  void Add(std::uint64_t v) {
+    shards_[internal_metrics::ThreadShard() & (kShards - 1)].value.fetch_add(
+        v, std::memory_order_relaxed);
+  }
+
+  std::uint64_t Value() const {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void Reset() {
+    for (Shard& s : shards_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  Shard shards_[kShards];
+};
+
+// Last-written double with atomic set / add / running-max updates.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+
+  void Add(double v) { value_.fetch_add(v, std::memory_order_relaxed); }
+
+  void SetMax(double v) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Name -> Counter/Gauge map. Entries are created on first lookup and live
+// for the process lifetime (stable addresses, safe to cache in statics).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+
+  // Zeroes every counter and gauge (entries stay registered). Intended for
+  // tests and per-run benchmark brackets; concurrent Add()s may survive.
+  void ResetAll();
+
+  // {"counters": {...}, "gauges": {...}, "phases": {...seconds...},
+  //  "process": {"rss_bytes": ..., "peak_rss_bytes": ...}}
+  std::string SnapshotJson() const;
+  Status WriteJson(const std::string& path) const;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+};
+
+// Shorthand registry lookups (one mutex acquisition; cache the reference).
+Counter& MetricCounter(const std::string& name);
+Gauge& MetricGauge(const std::string& name);
+
+// Process-wide phase-time accumulator (thread-safe PhaseTimer): every
+// solver records its coarse phases here under "dtucker.*" / "method.*"
+// buckets, so HOSVD, the baselines, and D-Tucker all report wall time
+// through one channel. Included in SnapshotJson() under "phases".
+PhaseTimer& GlobalPhaseTimer();
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_COMMON_METRICS_H_

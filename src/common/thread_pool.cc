@@ -1,16 +1,19 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace dtucker {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   DT_CHECK_GE(num_threads, 1u) << "pool needs at least one thread";
+  worker_stats_ = std::make_unique<WorkerStat[]>(num_threads);
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -37,7 +40,10 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(std::size_t worker_index) {
+  static Counter& tasks_run = MetricCounter("threadpool.tasks");
+  static Counter& busy_total = MetricCounter("threadpool.busy_ns");
+  WorkerStat& stat = worker_stats_[worker_index];
   for (;;) {
     std::function<void()> task;
     {
@@ -51,7 +57,15 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    const auto start = std::chrono::steady_clock::now();
     task();
+    const std::uint64_t elapsed_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    stat.busy_ns.fetch_add(elapsed_ns, std::memory_order_relaxed);
+    tasks_run.Add(1);
+    busy_total.Add(elapsed_ns);
     {
       std::unique_lock<std::mutex> lock(mutex_);
       --in_flight_;

@@ -7,9 +7,12 @@
 #ifndef DTUCKER_COMMON_THREAD_POOL_H_
 #define DTUCKER_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -48,10 +51,23 @@ class ThreadPool {
                          const std::function<void(std::size_t, std::size_t)>&
                              body);
 
+  // Nanoseconds worker `i` has spent running tasks (not waiting). For the
+  // metrics snapshot; relaxed reads, so a concurrently running task's time
+  // appears once it completes.
+  std::uint64_t WorkerBusyNanos(std::size_t i) const {
+    return worker_stats_[i].busy_ns.load(std::memory_order_relaxed);
+  }
+
  private:
-  void WorkerLoop();
+  // One cache line per worker so busy-time accounting never contends.
+  struct alignas(64) WorkerStat {
+    std::atomic<std::uint64_t> busy_ns{0};
+  };
+
+  void WorkerLoop(std::size_t worker_index);
 
   std::vector<std::thread> workers_;
+  std::unique_ptr<WorkerStat[]> worker_stats_;
   std::queue<std::function<void()>> tasks_;
   std::mutex mutex_;
   std::condition_variable task_available_;

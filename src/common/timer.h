@@ -4,6 +4,7 @@
 
 #include <chrono>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace dtucker {
@@ -28,32 +29,44 @@ class Timer {
 };
 
 // Accumulates named durations, e.g. per-phase timings of a decomposition.
-// Not thread-safe; intended for single-threaded instrumentation.
+// Thread-safe: concurrent Add()s (e.g. from slice-parallel workers) merge
+// into the same bucket under a mutex; totals() returns a snapshot copy.
 class PhaseTimer {
  public:
   // Adds `seconds` to the bucket `name`.
   void Add(const std::string& name, double seconds) {
+    std::lock_guard<std::mutex> lock(mutex_);
     totals_[name] += seconds;
   }
 
   // Total recorded for `name` (0 if never recorded).
   double Total(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = totals_.find(name);
     return it == totals_.end() ? 0.0 : it->second;
   }
 
   // Sum over all buckets.
   double GrandTotal() const {
+    std::lock_guard<std::mutex> lock(mutex_);
     double s = 0;
     for (const auto& [k, v] : totals_) s += v;
     return s;
   }
 
-  const std::map<std::string, double>& totals() const { return totals_; }
+  // Snapshot of all buckets at the time of the call.
+  std::map<std::string, double> totals() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return totals_;
+  }
 
-  void Reset() { totals_.clear(); }
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    totals_.clear();
+  }
 
  private:
+  mutable std::mutex mutex_;
   std::map<std::string, double> totals_;
 };
 

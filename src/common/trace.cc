@@ -1,0 +1,217 @@
+#include "common/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+
+namespace dtucker {
+
+namespace internal_trace {
+
+std::atomic<bool> g_trace_enabled{false};
+
+namespace {
+
+std::atomic<std::size_t> g_buffer_capacity{1u << 15};
+
+std::uint64_t NowNanos() {
+  // The epoch is fixed the first time this runs (under SetTraceEnabled's
+  // call, before any span can record), so exported timestamps start near 0.
+  static const std::chrono::steady_clock::time_point kEpoch =
+      std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - kEpoch)
+          .count());
+}
+
+// Fixed-capacity ring of TraceEvents, written only by its owning thread.
+// The registry keeps a shared_ptr so events survive thread exit.
+class ThreadTraceBuffer {
+ public:
+  ThreadTraceBuffer(std::uint32_t tid, std::size_t capacity)
+      : tid_(tid), mask_(capacity - 1), ring_(capacity) {}
+
+  void Push(const TraceEvent& ev) {
+    ring_[head_ & mask_] = ev;
+    ++head_;
+  }
+
+  void Clear() { head_ = 0; }
+
+  std::uint32_t tid() const { return tid_; }
+  std::size_t size() const { return head_ < ring_.size() ? head_ : ring_.size(); }
+  std::uint64_t dropped() const {
+    return head_ > ring_.size() ? head_ - ring_.size() : 0;
+  }
+
+  // Oldest-first copy of the buffered events.
+  void AppendTo(std::vector<SnapshotEvent>* out) const {
+    const std::size_t n = size();
+    const std::size_t begin = head_ - n;
+    for (std::size_t i = 0; i < n; ++i) {
+      out->push_back(SnapshotEvent{tid_, ring_[(begin + i) & mask_]});
+    }
+  }
+
+ private:
+  const std::uint32_t tid_;
+  const std::size_t mask_;
+  std::size_t head_ = 0;  // Monotonic; ring index is head_ & mask_.
+  std::vector<TraceEvent> ring_;
+};
+
+struct BufferRegistry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadTraceBuffer>> buffers;
+  std::uint32_t next_tid = 1;
+};
+
+BufferRegistry& Registry() {
+  static BufferRegistry* const kRegistry = new BufferRegistry;
+  return *kRegistry;
+}
+
+std::size_t RoundUpPow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+ThreadTraceBuffer* CurrentThreadBuffer() {
+  thread_local std::shared_ptr<ThreadTraceBuffer> tls_buffer = [] {
+    BufferRegistry& reg = Registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    auto buf = std::make_shared<ThreadTraceBuffer>(
+        reg.next_tid++, g_buffer_capacity.load(std::memory_order_relaxed));
+    reg.buffers.push_back(buf);
+    return buf;
+  }();
+  return tls_buffer.get();
+}
+
+thread_local std::uint32_t tls_depth = 0;
+
+void JsonEscapeTo(const char* s, std::string* out) {
+  for (; *s; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out->append(buf);
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t SpanBegin() {
+  ++tls_depth;
+  return NowNanos();
+}
+
+void SpanEnd(const char* name, std::uint64_t start_ns) {
+  const std::uint64_t end_ns = NowNanos();
+  --tls_depth;
+  TraceEvent ev;
+  ev.name = name;
+  ev.start_ns = start_ns;
+  ev.dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
+  ev.depth = tls_depth;
+  CurrentThreadBuffer()->Push(ev);
+}
+
+std::vector<SnapshotEvent> SnapshotEvents() {
+  BufferRegistry& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::vector<SnapshotEvent> out;
+  for (const auto& buf : reg.buffers) buf->AppendTo(&out);
+  return out;
+}
+
+}  // namespace internal_trace
+
+void SetTraceEnabled(bool enabled) {
+  if (enabled) {
+    // Fix the epoch before the first span can observe the flag, so exported
+    // timestamps start near zero.
+    (void)internal_trace::NowNanos();
+  }
+  internal_trace::g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void SetTraceBufferCapacity(std::size_t events) {
+  if (events == 0) events = 1;
+  internal_trace::g_buffer_capacity.store(
+      internal_trace::RoundUpPow2(events), std::memory_order_relaxed);
+}
+
+void ClearTrace() {
+  auto& reg = internal_trace::Registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& buf : reg.buffers) buf->Clear();
+}
+
+std::size_t TraceEventCount() {
+  auto& reg = internal_trace::Registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::size_t n = 0;
+  for (const auto& buf : reg.buffers) n += buf->size();
+  return n;
+}
+
+std::uint64_t TraceDroppedEventCount() {
+  auto& reg = internal_trace::Registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::uint64_t n = 0;
+  for (const auto& buf : reg.buffers) n += buf->dropped();
+  return n;
+}
+
+void ExportChromeTrace(std::ostream& os) {
+  const std::vector<internal_trace::SnapshotEvent> events =
+      internal_trace::SnapshotEvents();
+  std::string out;
+  out.reserve(events.size() * 96 + 256);
+  out += "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"tool\":\"dtucker\"},";
+  out += "\"traceEvents\":[";
+  out +=
+      "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"dtucker\"}}";
+  char buf[160];
+  for (const auto& se : events) {
+    out += ",\n{\"name\":\"";
+    internal_trace::JsonEscapeTo(se.event.name, &out);
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"cat\":\"dtucker\",\"ph\":\"X\",\"pid\":1,\"tid\":%u,"
+                  "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"depth\":%u}}",
+                  se.tid,
+                  static_cast<double>(se.event.start_ns) * 1e-3,
+                  static_cast<double>(se.event.dur_ns) * 1e-3, se.event.depth);
+    out += buf;
+  }
+  out += "]}\n";
+  os << out;
+}
+
+Status WriteChromeTrace(const std::string& path) {
+  std::ofstream os(path, std::ios::out | std::ios::trunc);
+  if (!os.is_open()) {
+    return Status::IoError("cannot open trace output '" + path + "'");
+  }
+  ExportChromeTrace(os);
+  os.flush();
+  if (!os.good()) {
+    return Status::IoError("failed writing trace output '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace dtucker

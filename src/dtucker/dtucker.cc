@@ -5,8 +5,11 @@
 #include <functional>
 #include <numeric>
 
+#include "common/memory.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "linalg/blas.h"
 #include "linalg/eigen_sym.h"
 #include "linalg/gemm_kernel.h"
@@ -97,6 +100,7 @@ namespace internal_dtucker {
 // slice factorizations at cost O(L (I2 + I1) Js J2).
 void BuildModeOneCarrierInto(const SliceApproximation& approx, const Matrix& a2,
                              double s_inv, Tensor* t) {
+  DT_TRACE_SPAN("dtucker.carrier_mode1");
   std::vector<Index> shape = approx.shape;
   shape[1] = a2.cols();
   t->ResizeTo(shape);
@@ -132,6 +136,7 @@ void BuildModeOneCarrierInto(const SliceApproximation& approx, const Matrix& a2,
 // merely reordered, so spans and singular vectors are unchanged.
 void BuildModeTwoCarrierInto(const SliceApproximation& approx, const Matrix& a1,
                              double s_inv, Tensor* t) {
+  DT_TRACE_SPAN("dtucker.carrier_mode2");
   std::vector<Index> shape = approx.shape;
   shape[0] = approx.Dim(1);
   shape[1] = a1.cols();
@@ -161,6 +166,7 @@ void BuildModeTwoCarrierInto(const SliceApproximation& approx, const Matrix& a1,
 // slices (A1^T U<l> S<l>) (V<l>^T A2).
 void BuildProjectedCoreInto(const SliceApproximation& approx, const Matrix& a1,
                             const Matrix& a2, double s_inv, Tensor* z) {
+  DT_TRACE_SPAN("dtucker.projected_core");
   std::vector<Index> shape = approx.shape;
   shape[0] = a1.cols();
   shape[1] = a2.cols();
@@ -369,6 +375,7 @@ void DTuckerSweep(const SliceApproximation& approx,
                   const std::vector<Index>& ranks,
                   std::vector<Matrix>* factors, Tensor* core,
                   SweepWorkspace* ws, double s_inv) {
+  DT_TRACE_SPAN("dtucker.sweep");
   const Index order = static_cast<Index>(approx.shape.size());
   if (static_cast<Index>(ws->subspace.size()) < order) {
     ws->subspace.resize(static_cast<std::size_t>(order));
@@ -386,26 +393,40 @@ void DTuckerSweep(const SliceApproximation& approx,
   // Gram path of LeadingModeVectorsViaGram (the contracted carrier is
   // I1 x J2 x J3 x ..., so the wide side is a product of ranks),
   // warm-started from the previous sweep's subspace.
-  BuildModeOneCarrierInto(approx, (*factors)[1], s_inv, &ws->carrier);
-  (*factors)[0] = LeadingModeVectorsViaGram(
-      *ContractTrailing(ws->carrier, *factors, /*skip_mode=*/-1, ws), 0,
-      ranks[0], &ws->subspace[0], kInnerEig);
-  // Mode-2 update (uses the fresh A1). T2 is laid out mode-1-first, so this
-  // too is a mode-0 problem on the contracted carrier (I2 x J1 x J3 x ...).
-  BuildModeTwoCarrierInto(approx, (*factors)[0], s_inv, &ws->carrier);
-  (*factors)[1] = LeadingModeVectorsViaGram(
-      *ContractTrailing(ws->carrier, *factors, /*skip_mode=*/-1, ws), 0,
-      ranks[1], &ws->subspace[1], kInnerEig);
-  // Trailing-mode updates share one projected tensor Z built from the
-  // fresh A1, A2 (Z does not depend on trailing factors).
-  BuildProjectedCoreInto(approx, (*factors)[0], (*factors)[1], s_inv, &ws->z);
-  for (Index n = 2; n < order; ++n) {
-    (*factors)[static_cast<std::size_t>(n)] = LeadingModeVectorsViaGram(
-        *ContractTrailing(ws->z, *factors, /*skip_mode=*/n, ws), n,
-        ranks[static_cast<std::size_t>(n)],
-        &ws->subspace[static_cast<std::size_t>(n)], kInnerEig);
+  {
+    DT_TRACE_SPAN("dtucker.update_mode1");
+    BuildModeOneCarrierInto(approx, (*factors)[1], s_inv, &ws->carrier);
+    (*factors)[0] = LeadingModeVectorsViaGram(
+        *ContractTrailing(ws->carrier, *factors, /*skip_mode=*/-1, ws), 0,
+        ranks[0], &ws->subspace[0], kInnerEig);
   }
-  *core = *ContractTrailing(ws->z, *factors, /*skip_mode=*/-1, ws);
+  {
+    // Mode-2 update (uses the fresh A1). T2 is laid out mode-1-first, so
+    // this too is a mode-0 problem on the contracted carrier
+    // (I2 x J1 x J3 x ...).
+    DT_TRACE_SPAN("dtucker.update_mode2");
+    BuildModeTwoCarrierInto(approx, (*factors)[0], s_inv, &ws->carrier);
+    (*factors)[1] = LeadingModeVectorsViaGram(
+        *ContractTrailing(ws->carrier, *factors, /*skip_mode=*/-1, ws), 0,
+        ranks[1], &ws->subspace[1], kInnerEig);
+  }
+  {
+    // Trailing-mode updates share one projected tensor Z built from the
+    // fresh A1, A2 (Z does not depend on trailing factors).
+    DT_TRACE_SPAN("dtucker.update_trailing");
+    BuildProjectedCoreInto(approx, (*factors)[0], (*factors)[1], s_inv,
+                           &ws->z);
+    for (Index n = 2; n < order; ++n) {
+      (*factors)[static_cast<std::size_t>(n)] = LeadingModeVectorsViaGram(
+          *ContractTrailing(ws->z, *factors, /*skip_mode=*/n, ws), n,
+          ranks[static_cast<std::size_t>(n)],
+          &ws->subspace[static_cast<std::size_t>(n)], kInnerEig);
+    }
+  }
+  {
+    DT_TRACE_SPAN("dtucker.core_refresh");
+    *core = *ContractTrailing(ws->z, *factors, /*skip_mode=*/-1, ws);
+  }
 }
 
 void DTuckerSweep(const SliceApproximation& approx,
@@ -501,21 +522,43 @@ Result<TuckerDecomposition> DTuckerFromApproximation(
 
   Timer init_timer;
   SweepWorkspace ws;
-  InitResult state = InitializeFactors(approx, options.ranks, s_inv, &ws);
+  InitResult state = [&] {
+    DT_TRACE_SPAN("dtucker.initialization");
+    return InitializeFactors(approx, options.ranks, s_inv, &ws);
+  }();
+  GlobalPhaseTimer().Add("dtucker.initialization", init_timer.Seconds());
   if (stats != nullptr) stats->init_seconds = init_timer.Seconds();
 
   Timer iterate_timer;
+  DT_TRACE_SPAN("dtucker.iteration");
   double prev_error =
       OrthogonalTuckerRelativeError(approx_norm2, state.core.SquaredNorm());
   if (stats != nullptr) stats->error_history.push_back(prev_error);
+  static Counter& eig_sweeps = MetricCounter("eig.subspace_sweeps");
+  double prev_fit = 1.0 - std::sqrt(std::max(prev_error, 0.0));
 
   int it = 0;
   for (; it < options.max_iterations; ++it) {
+    Timer sweep_timer;
+    const std::uint64_t eig_before = eig_sweeps.Value();
     internal_dtucker::DTuckerSweep(approx, options.ranks, &state.factors,
                                    &state.core, &ws, s_inv);
     const double error = OrthogonalTuckerRelativeError(
         approx_norm2, state.core.SquaredNorm());
     if (stats != nullptr) stats->error_history.push_back(error);
+    const bool want_telemetry = stats != nullptr || options.sweep_callback;
+    if (want_telemetry) {
+      SweepTelemetry t;
+      t.sweep = it + 1;
+      t.relative_error = error;
+      t.fit = 1.0 - std::sqrt(std::max(error, 0.0));
+      t.delta_fit = t.fit - prev_fit;
+      t.seconds = sweep_timer.Seconds();
+      t.subspace_iterations = eig_sweeps.Value() - eig_before;
+      prev_fit = t.fit;
+      if (stats != nullptr) stats->sweep_history.push_back(t);
+      if (options.sweep_callback) options.sweep_callback(t);
+    }
     const double delta = std::fabs(prev_error - error);
     prev_error = error;
     if (delta < options.tolerance) {
@@ -523,6 +566,9 @@ Result<TuckerDecomposition> DTuckerFromApproximation(
       break;
     }
   }
+  GlobalPhaseTimer().Add("dtucker.iteration", iterate_timer.Seconds());
+  MetricGauge("process.peak_rss_bytes")
+      .SetMax(static_cast<double>(PeakRssBytes()));
   if (stats != nullptr) {
     stats->iterations = it;
     stats->iterate_seconds = iterate_timer.Seconds();
@@ -582,8 +628,13 @@ Result<TuckerDecomposition> DTucker(const Tensor& x,
   approx_opts.num_threads = options.num_threads;
 
   Timer approx_timer;
-  DT_ASSIGN_OR_RETURN(SliceApproximation approx,
-                      ApproximateSlices(x, approx_opts));
+  Result<SliceApproximation> approx_result = [&] {
+    DT_TRACE_SPAN("dtucker.approximation");
+    return ApproximateSlices(x, approx_opts);
+  }();
+  if (!approx_result.ok()) return approx_result.status();
+  SliceApproximation approx = std::move(approx_result).ValueOrDie();
+  GlobalPhaseTimer().Add("dtucker.approximation", approx_timer.Seconds());
   if (stats != nullptr) stats->preprocess_seconds = approx_timer.Seconds();
 
   return DTuckerFromApproximation(approx, options, stats);

@@ -16,6 +16,8 @@
 #ifndef DTUCKER_DTUCKER_DTUCKER_H_
 #define DTUCKER_DTUCKER_DTUCKER_H_
 
+#include <functional>
+
 #include "common/status.h"
 #include "dtucker/slice_approximation.h"
 #include "tucker/rank_estimation.h"
@@ -37,6 +39,13 @@ struct DTuckerOptions : TuckerOptions {
   // iteration phases thread through the process-wide BLAS pool instead —
   // set SetBlasThreads (linalg/blas.h) to parallelize them.
   int num_threads = 1;
+
+  // Invoked after each HOOI sweep with that sweep's convergence telemetry
+  // (fit, delta-fit, wall time, subspace-iteration count). Runs on the
+  // calling thread between sweeps, so a slow callback slows the solve;
+  // leave empty for no per-sweep reporting. The same records are always
+  // collected into TuckerStats::sweep_history when stats are requested.
+  std::function<void(const SweepTelemetry&)> sweep_callback;
 
   Index EffectiveSliceRank() const {
     if (slice_rank > 0) return slice_rank;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "linalg/blas.h"
 #include "linalg/gemm_kernel.h"
 
@@ -109,8 +110,10 @@ Result<std::vector<SliceSvd>> ApproximateSliceRange(
   base.oversampling = options.oversampling;
   base.power_iterations = options.power_iterations;
 
+  DT_TRACE_SPAN("dtucker.slice_range");
   std::vector<SliceSvd> out(static_cast<std::size_t>(count));
   auto compress_one = [&](std::size_t i) {
+    DT_TRACE_SPAN("dtucker.slice_svd");
     const Index l = first + static_cast<Index>(i);
     Matrix slice = x.FrontalSlice(l);
     // Extreme magnitudes denormalize the squared quantities inside the SVD

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "linalg/gemm_kernel.h"
 
@@ -286,6 +287,16 @@ void GemmRaw(Trans trans_a, Trans trans_b, Index m, Index n, Index k,
              Index ldb, double beta, double* c, Index ldc) {
   if (m == 0 || n == 0) return;
 
+  {
+    // Counters only — no span: GemmRaw is called per J x J x J product in
+    // the sweep inner loops, where even a disabled TraceSpan would show up.
+    static Counter& calls = MetricCounter("gemm.calls");
+    static Counter& flops = MetricCounter("gemm.flops");
+    calls.Add(1);
+    flops.Add(2ull * static_cast<std::uint64_t>(m) *
+              static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(k));
+  }
+
   // Route first: the beta handling below depends on it. Short-m transposed
   // products whose row count fills whole micro-tiles (the W = V^T C shape
   // of the blocked QR: m = panel width, k large) take a dedicated k-major
@@ -330,6 +341,13 @@ void GemmRaw(Trans trans_a, Trans trans_b, Index m, Index n, Index k,
 
 void GemvRaw(Trans trans_a, Index m, Index n, double alpha, const double* a,
              Index lda, const double* x, double beta, double* y) {
+  {
+    static Counter& calls = MetricCounter("gemv.calls");
+    static Counter& flops = MetricCounter("gemv.flops");
+    calls.Add(1);
+    flops.Add(2ull * static_cast<std::uint64_t>(m) *
+              static_cast<std::uint64_t>(n));
+  }
   ThreadPool* pool = SharedBlasPool();
   const bool threaded =
       pool != nullptr && !InBlasWorker() && m * n >= kGemvParallelVolume;

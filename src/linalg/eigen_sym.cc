@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "linalg/blas.h"
 #include "linalg/eigen_tridiag.h"
@@ -132,7 +133,9 @@ Matrix TopEigenvectorsSym(const Matrix& a, Index k, Matrix* subspace,
   // bounds the worst case.
   const double ritz_tolerance = options.ritz_tolerance;
   const int max_sweeps = options.max_sweeps;
+  static Counter& subspace_sweeps = MetricCounter("eig.subspace_sweeps");
   for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    subspace_sweeps.Add(1);
     Gemm(Trans::kNo, Trans::kNo, 1.0, a, q, 0.0, &z);
     // Rayleigh quotient H = Q^T A Q for the convergence check.
     Gemm(Trans::kYes, Trans::kNo, 1.0, q, z, 0.0, &h);

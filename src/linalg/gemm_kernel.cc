@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 
 namespace dtucker {
@@ -209,6 +210,10 @@ class AlignedBuffer {
               kGemmPackAlignment;
       ptr_ = std::aligned_alloc(kGemmPackAlignment, bytes);
       DT_CHECK(ptr_ != nullptr) << "pack buffer allocation failed";
+      // Growth only — steady state adds nothing, so the counter reports the
+      // footprint of pack scratch actually allocated across all threads.
+      static Counter& pack_bytes = MetricCounter("gemm.pack_bytes");
+      pack_bytes.Add(bytes - capacity_ * sizeof(double));
       capacity_ = bytes / sizeof(double);
     }
     DT_DCHECK(reinterpret_cast<std::uintptr_t>(ptr_) % kGemmPackAlignment ==

@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "linalg/blas.h"
 
 namespace dtucker {
@@ -368,6 +370,9 @@ bool UseUnblocked(const Matrix& a) {
 }  // namespace
 
 QrResult ThinQr(const Matrix& a) {
+  static Counter& calls = MetricCounter("qr.calls");
+  calls.Add(1);
+  DT_TRACE_SPAN("qr.thin");
   if (UseUnblocked(a)) return ThinQrUnblocked(a);
   BlockedFactorization f = FactorizeBlocked(a);
   Matrix r = ExtractR(f.fact, f.m, f.n, static_cast<Index>(f.tau.size()));
@@ -375,6 +380,9 @@ QrResult ThinQr(const Matrix& a) {
 }
 
 Matrix QrOrthonormalize(const Matrix& a) {
+  static Counter& calls = MetricCounter("qr.calls");
+  calls.Add(1);
+  DT_TRACE_SPAN("qr.orthonormalize");
   if (UseUnblocked(a)) return QrOrthonormalizeUnblocked(a);
   return FormQBlocked(FactorizeBlocked(a));
 }

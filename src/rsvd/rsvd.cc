@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "linalg/blas.h"
 #include "linalg/qr.h"
 
@@ -50,6 +52,9 @@ Matrix RandomizedRangeFinder(const Matrix& a, const RsvdOptions& options) {
 //            (sketch x n) B is pre-reduced by an LQ-style QR of B^T so
 //            Jacobi rotates only the (sketch x sketch) triangle.
 SvdResult RandomizedSvd(const Matrix& a, const RsvdOptions& options) {
+  static Counter& calls = MetricCounter("rsvd.calls");
+  calls.Add(1);
+  DT_TRACE_SPAN("rsvd");
   const Index target = std::min(options.rank, std::min(a.rows(), a.cols()));
   const Index sketch = SketchSize(a, options);
   DT_CHECK_GT(sketch, 0) << "empty sketch";

@@ -2,7 +2,9 @@
 
 #include <cstring>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "linalg/gemm_kernel.h"
 
 namespace dtucker {
@@ -79,6 +81,9 @@ Tensor Fold(const Matrix& m, Index mode, const std::vector<Index>& shape) {
 }
 
 Matrix ModeGram(const Tensor& x, Index mode) {
+  static Counter& calls = MetricCounter("tensor.mode_gram");
+  calls.Add(1);
+  DT_TRACE_SPAN("tensor.mode_gram");
   const ModeSplit s = SplitAtMode(x, mode);
   Matrix g = Matrix::Uninitialized(s.dim, s.dim);
   if (x.size() == 0) {
@@ -151,6 +156,9 @@ Tensor ModeProduct(const Tensor& x, const Matrix& u, Index mode, Trans trans) {
 
 void ModeProductInto(const Tensor& x, const Matrix& u, Index mode, Trans trans,
                      Tensor* out) {
+  static Counter& calls = MetricCounter("tensor.mode_product");
+  calls.Add(1);
+  DT_TRACE_SPAN("tensor.mode_product");
   DT_CHECK(static_cast<const Tensor*>(out) != &x)
       << "ModeProductInto output must not alias the input";
   const ModeSplit s = SplitAtMode(x, mode);

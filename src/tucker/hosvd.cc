@@ -1,5 +1,8 @@
 #include "tucker/hosvd.h"
 
+#include "common/metrics.h"
+#include "common/timer.h"
+#include "common/trace.h"
 #include "linalg/blas.h"
 #include "linalg/eigen_sym.h"
 #include "linalg/qr.h"
@@ -50,6 +53,8 @@ Matrix LeadingModeVectorsViaGram(const Tensor& x, Index mode, Index k,
 TuckerDecomposition Hosvd(const Tensor& x, const std::vector<Index>& ranks) {
   DT_CHECK_EQ(static_cast<Index>(ranks.size()), x.order())
       << "one rank per mode required";
+  DT_TRACE_SPAN("hosvd.solve");
+  ScopedPhase phase(&GlobalPhaseTimer(), "hosvd.solve");
   TuckerDecomposition out;
   out.factors.resize(static_cast<std::size_t>(x.order()));
   for (Index n = 0; n < x.order(); ++n) {
@@ -63,6 +68,8 @@ TuckerDecomposition Hosvd(const Tensor& x, const std::vector<Index>& ranks) {
 TuckerDecomposition StHosvd(const Tensor& x, const std::vector<Index>& ranks) {
   DT_CHECK_EQ(static_cast<Index>(ranks.size()), x.order())
       << "one rank per mode required";
+  DT_TRACE_SPAN("sthosvd.solve");
+  ScopedPhase phase(&GlobalPhaseTimer(), "sthosvd.solve");
   TuckerDecomposition out;
   out.factors.resize(static_cast<std::size_t>(x.order()));
   Tensor y = x;

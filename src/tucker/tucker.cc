@@ -1,7 +1,9 @@
 #include "tucker/tucker.h"
 
 #include <algorithm>
+#include <cstdio>
 
+#include "common/metrics.h"
 #include "tensor/tensor_ops.h"
 
 namespace dtucker {
@@ -42,6 +44,21 @@ double OrthogonalTuckerRelativeError(double x_squared_norm,
   const double residual =
       std::max(0.0, x_squared_norm - core_squared_norm);
   return residual / x_squared_norm;
+}
+
+void RecordSweepMetrics(const TuckerStats& stats) {
+  char name[64];
+  for (const SweepTelemetry& t : stats.sweep_history) {
+    std::snprintf(name, sizeof(name), "dtucker.sweep%02d.fit", t.sweep);
+    MetricGauge(name).Set(t.fit);
+    std::snprintf(name, sizeof(name), "dtucker.sweep%02d.delta_fit", t.sweep);
+    MetricGauge(name).Set(t.delta_fit);
+    std::snprintf(name, sizeof(name), "dtucker.sweep%02d.seconds", t.sweep);
+    MetricGauge(name).Set(t.seconds);
+    std::snprintf(name, sizeof(name), "dtucker.sweep%02d.subspace_iterations",
+                  t.sweep);
+    MetricGauge(name).Set(static_cast<double>(t.subspace_iterations));
+  }
 }
 
 }  // namespace dtucker

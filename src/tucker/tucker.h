@@ -2,6 +2,7 @@
 #ifndef DTUCKER_TUCKER_TUCKER_H_
 #define DTUCKER_TUCKER_TUCKER_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "linalg/matrix.h"
@@ -46,10 +47,25 @@ struct TuckerOptions {
   bool validate_input = false;
 };
 
+// Convergence telemetry for one ALS/HOOI sweep. Solvers that support it
+// append one record per sweep to TuckerStats::sweep_history and invoke the
+// caller's SweepCallback (DTuckerOptions) with it as the sweep finishes.
+struct SweepTelemetry {
+  int sweep = 0;                // 1-based sweep number.
+  double fit = 0;               // 1 - sqrt(relative squared error).
+  double delta_fit = 0;         // fit - previous sweep's fit (0 on sweep 1).
+  double relative_error = 0;    // Same quantity as error_history.
+  double seconds = 0;           // Wall time of this sweep.
+  // Subspace/eigen iterations the factor updates spent this sweep (delta of
+  // the global "eig.subspace_sweeps" counter; includes concurrent users).
+  std::uint64_t subspace_iterations = 0;
+};
+
 // Per-run diagnostics filled in by the solvers.
 struct TuckerStats {
   int iterations = 0;
   std::vector<double> error_history;  // Relative error after each sweep.
+  std::vector<SweepTelemetry> sweep_history;  // One entry per sweep.
   double preprocess_seconds = 0;      // Approximation/sketching phase.
   double init_seconds = 0;            // Initialization phase.
   double iterate_seconds = 0;         // ALS sweeps.
@@ -64,6 +80,12 @@ struct TuckerStats {
 // exact projection: ||X - X^||^2 = ||X||^2 - ||G||^2.
 double OrthogonalTuckerRelativeError(double x_squared_norm,
                                      double core_squared_norm);
+
+// Publishes `stats.sweep_history` into the global metrics registry as
+// gauges ("dtucker.sweep<NN>.fit", ".delta_fit", ".seconds",
+// ".subspace_iterations"), so a --metrics-out snapshot carries the
+// convergence trajectory alongside the counters.
+void RecordSweepMetrics(const TuckerStats& stats);
 
 }  // namespace dtucker
 

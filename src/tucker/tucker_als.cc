@@ -2,8 +2,10 @@
 
 #include <cmath>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "linalg/qr.h"
 #include "linalg/svd.h"
 #include "rsvd/rsvd.h"
@@ -40,6 +42,7 @@ Result<TuckerDecomposition> TuckerAls(const Tensor& x,
 
   TuckerDecomposition dec;
   Timer init_timer;
+  DT_TRACE_SPAN("als.solve");
   if (options.init == TuckerInit::kHosvd) {
     dec = StHosvd(x, options.ranks);
   } else {
@@ -52,6 +55,7 @@ Result<TuckerDecomposition> TuckerAls(const Tensor& x,
     }
     dec.core = ModeProductChain(x, dec.factors, -1, Trans::kYes);
   }
+  GlobalPhaseTimer().Add("als.initialization", init_timer.Seconds());
   if (stats != nullptr) stats->init_seconds = init_timer.Seconds();
 
   Timer iterate_timer;
@@ -60,6 +64,7 @@ Result<TuckerDecomposition> TuckerAls(const Tensor& x,
   if (stats != nullptr) stats->error_history.push_back(prev_error);
   int it = 0;
   for (; it < options.max_iterations; ++it) {
+    DT_TRACE_SPAN("als.sweep");
     for (Index n = 0; n < order; ++n) {
       // Y = X x_{k != n} A(k)^T; factor update from its mode-n unfolding.
       Tensor y = ModeProductChain(x, dec.factors, n, Trans::kYes);
@@ -99,6 +104,7 @@ Result<TuckerDecomposition> TuckerAls(const Tensor& x,
       break;
     }
   }
+  GlobalPhaseTimer().Add("als.iteration", iterate_timer.Seconds());
   if (stats != nullptr) {
     stats->iterations = it;
     stats->iterate_seconds = iterate_timer.Seconds();

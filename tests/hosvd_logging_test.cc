@@ -2,8 +2,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "data/generators.h"
 #include "linalg/blas.h"
@@ -78,6 +83,56 @@ TEST(LoggingTest, LogMacrosDoNotCrash) {
   DT_LOG(INFO) << "info message";
   DT_LOG(WARNING) << "warning message";
   SUCCEED();
+}
+
+TEST(LoggingTest, ConcurrentLogLinesAreNotInterleaved) {
+  // LogMessage assembles the whole line and emits it with a single
+  // fwrite, so lines from concurrent threads must never shred each other.
+  constexpr int kThreads = 8;
+  constexpr int kLines = 50;
+  ::testing::internal::CaptureStderr();
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kLines; ++i) {
+        DT_LOG(INFO) << "atomictest thread=" << t << " line=" << i
+                     << " endmarker";
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+
+  // Every emitted line that mentions the test marker must be whole:
+  // exactly one "atomictest" and one "endmarker", in order.
+  int whole_lines = 0;
+  std::istringstream stream(captured);
+  std::string line;
+  while (std::getline(stream, line)) {
+    const auto first = line.find("atomictest");
+    if (first == std::string::npos) continue;
+    EXPECT_EQ(line.find("atomictest", first + 1), std::string::npos)
+        << "two log records merged into one line: " << line;
+    const auto marker = line.find("endmarker");
+    ASSERT_NE(marker, std::string::npos)
+        << "log record was split mid-line: " << line;
+    EXPECT_EQ(line.find("endmarker", marker + 1), std::string::npos);
+    ++whole_lines;
+  }
+  EXPECT_EQ(whole_lines, kThreads * kLines);
+}
+
+TEST(HosvdTest, SolvePhaseIsAccountedInGlobalPhaseTimer) {
+  // Hosvd/StHosvd report their wall time through the same PhaseTimer
+  // channel the D-Tucker phases use (see DESIGN.md §9).
+  Tensor x = MakeLowRankTensor({10, 9, 8}, {3, 3, 3}, 0.2, 5);
+  const double hosvd_before = GlobalPhaseTimer().Total("hosvd.solve");
+  const double sthosvd_before = GlobalPhaseTimer().Total("sthosvd.solve");
+  (void)Hosvd(x, {3, 3, 3});
+  (void)StHosvd(x, {3, 3, 3});
+  EXPECT_GT(GlobalPhaseTimer().Total("hosvd.solve"), hosvd_before);
+  EXPECT_GT(GlobalPhaseTimer().Total("sthosvd.solve"), sthosvd_before);
 }
 
 TEST(LoggingDeathTest, CheckFailureAborts) {

@@ -1,0 +1,166 @@
+// Tests for the counter/gauge registry, the thread-safe PhaseTimer, and
+// the metrics JSON snapshot. The 8-thread monotonicity tests run under
+// TSan via `ctest -L tsan` (see tests/CMakeLists.txt).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/memory.h"
+#include "common/metrics.h"
+#include "common/timer.h"
+#include "json_test_util.h"
+
+namespace dtucker {
+namespace {
+
+TEST(CounterTest, AddAndValue) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Add(3);
+  c.Add(4);
+  EXPECT_EQ(c.Value(), 7u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(CounterTest, MonotonicUnderEightThreads) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kIncrements; ++i) c.Add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(GaugeTest, SetAddSetMax) {
+  Gauge g;
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 2.5);
+  g.Add(1.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 4.0);
+  g.SetMax(3.0);  // Below current: no change.
+  EXPECT_DOUBLE_EQ(g.Value(), 4.0);
+  g.SetMax(10.0);
+  EXPECT_DOUBLE_EQ(g.Value(), 10.0);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+}
+
+TEST(GaugeTest, SetMaxUnderEightThreads) {
+  Gauge g;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g, t] {
+      for (int i = 0; i < 5000; ++i) {
+        g.SetMax(static_cast<double>(t * 10000 + i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(g.Value(), 7.0 * 10000 + 4999);
+}
+
+TEST(MetricsRegistryTest, SameNameSameCounter) {
+  Counter& a = MetricCounter("test.same_name");
+  Counter& b = MetricCounter("test.same_name");
+  EXPECT_EQ(&a, &b);
+  const std::uint64_t before = a.Value();
+  b.Add(5);
+  EXPECT_EQ(a.Value(), before + 5);
+}
+
+TEST(MetricsRegistryTest, ConcurrentRegistrationIsSafe) {
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&seen, t] {
+      Counter& c = MetricCounter("test.concurrent_registration");
+      c.Add(1);
+      seen[static_cast<std::size_t>(t)] = &c;
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(t)], seen[0]);
+  }
+  EXPECT_GE(MetricCounter("test.concurrent_registration").Value(),
+            static_cast<std::uint64_t>(kThreads));
+}
+
+TEST(MetricsRegistryTest, SnapshotJsonIsValidAndContainsEntries) {
+  MetricCounter("test.snapshot_counter").Add(11);
+  MetricGauge("test.snapshot_gauge").Set(2.75);
+  GlobalPhaseTimer().Add("test.snapshot_phase", 0.125);
+
+  json_test::JsonValue root;
+  const std::string text = MetricsRegistry::Global().SnapshotJson();
+  ASSERT_TRUE(json_test::JsonParser::Parse(text, &root))
+      << "snapshot must be valid JSON:\n" << text;
+  ASSERT_TRUE(root.IsObject());
+  ASSERT_TRUE(root.Has("counters"));
+  ASSERT_TRUE(root.Has("gauges"));
+  ASSERT_TRUE(root.Has("phases"));
+  ASSERT_TRUE(root.Has("process"));
+
+  EXPECT_GE(root.at("counters").at("test.snapshot_counter").number_value, 11);
+  EXPECT_DOUBLE_EQ(root.at("gauges").at("test.snapshot_gauge").number_value,
+                   2.75);
+  EXPECT_GE(root.at("phases").at("test.snapshot_phase").number_value, 0.125);
+  EXPECT_TRUE(root.at("process").Has("rss_bytes"));
+  EXPECT_TRUE(root.at("process").Has("peak_rss_bytes"));
+}
+
+TEST(MemoryTest, PeakRssAtLeastCurrentRss) {
+  const std::size_t current = CurrentRssBytes();
+  const std::size_t peak = PeakRssBytes();
+  // Both come from /proc on Linux; if available, peak >= current modulo
+  // sampling skew of a page or two.
+  if (current > 0 && peak > 0) {
+    EXPECT_GE(peak + (1u << 20), current);
+  }
+}
+
+TEST(PhaseTimerTest, ConcurrentAddsMerge) {
+  PhaseTimer timer;
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&timer] {
+      for (int i = 0; i < kAdds; ++i) timer.Add("shared.bucket", 0.001);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_NEAR(timer.Total("shared.bucket"), kThreads * kAdds * 0.001, 1e-6);
+  EXPECT_NEAR(timer.GrandTotal(), kThreads * kAdds * 0.001, 1e-6);
+  const auto totals = timer.totals();
+  ASSERT_EQ(totals.size(), 1u);
+  EXPECT_NEAR(totals.at("shared.bucket"), kThreads * kAdds * 0.001, 1e-6);
+}
+
+TEST(PhaseTimerTest, ScopedPhaseAccumulates) {
+  PhaseTimer timer;
+  {
+    ScopedPhase phase(&timer, "scoped");
+  }
+  {
+    ScopedPhase phase(&timer, "scoped");
+  }
+  EXPECT_GE(timer.Total("scoped"), 0.0);
+  EXPECT_EQ(timer.totals().size(), 1u);
+}
+
+}  // namespace
+}  // namespace dtucker

@@ -1,0 +1,189 @@
+// End-to-end observability checks, run under `ctest -L observability`:
+// a small decomposition traced in-process must yield a Chrome-trace JSON
+// with nested spans for all three D-Tucker phases and a metrics snapshot
+// with FLOP/call counters and per-sweep fit gauges; the dtucker_cli
+// subprocess must produce the same artifacts via --trace-out/--metrics-out.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "data/generators.h"
+#include "data/tensor_io.h"
+#include "dtucker/dtucker.h"
+#include "json_test_util.h"
+
+namespace dtucker {
+namespace {
+
+using json_test::JsonParser;
+using json_test::JsonValue;
+
+// The X (complete) events of a parsed Chrome trace, keyed by name.
+struct TraceIndex {
+  std::set<std::string> names;
+  // [start_us, end_us] per name occurrence.
+  std::vector<std::pair<std::string, std::pair<double, double>>> intervals;
+};
+
+TraceIndex IndexTrace(const JsonValue& root) {
+  TraceIndex index;
+  const JsonValue& events = root.at("traceEvents");
+  for (const JsonValue& ev : events.array) {
+    if (!ev.Has("ph") || ev.at("ph").string_value != "X") continue;
+    const std::string& name = ev.at("name").string_value;
+    const double ts = ev.at("ts").number_value;
+    const double dur = ev.at("dur").number_value;
+    index.names.insert(name);
+    index.intervals.emplace_back(name, std::make_pair(ts, ts + dur));
+  }
+  return index;
+}
+
+Result<TuckerDecomposition> RunSmallDecomposition(TuckerStats* stats) {
+  Tensor x = MakeLowRankTensor({14, 12, 10}, {3, 3, 3}, 0.1, 7);
+  DTuckerOptions opt;
+  opt.ranks = {3, 3, 3};
+  opt.max_iterations = 4;
+  opt.tolerance = 0.0;  // Run every sweep so telemetry is deterministic.
+  return DTucker(x, opt, stats);
+}
+
+TEST(ObservabilityTest, TraceShowsNestedSpansForAllThreePhases) {
+  SetTraceEnabled(false);
+  ClearTrace();
+  SetTraceEnabled(true);
+  TuckerStats stats;
+  Result<TuckerDecomposition> dec = RunSmallDecomposition(&stats);
+  SetTraceEnabled(false);
+  ASSERT_TRUE(dec.ok()) << dec.status().ToString();
+
+  std::ostringstream os;
+  ExportChromeTrace(os);
+  JsonValue root;
+  ASSERT_TRUE(JsonParser::Parse(os.str(), &root));
+  ASSERT_TRUE(root.Has("traceEvents"));
+  const TraceIndex index = IndexTrace(root);
+
+  // All three D-Tucker phases, the per-sweep spans, and the substrate
+  // kernels underneath them.
+  for (const char* phase :
+       {"dtucker.approximation", "dtucker.initialization",
+        "dtucker.iteration", "dtucker.sweep", "dtucker.slice_svd",
+        "qr.thin", "rsvd"}) {
+    EXPECT_TRUE(index.names.count(phase)) << "missing span: " << phase;
+  }
+
+  // One sweep span per recorded sweep, each nested inside the iteration
+  // phase's interval.
+  std::pair<double, double> iteration{0, 0};
+  for (const auto& [name, interval] : index.intervals) {
+    if (name == "dtucker.iteration") iteration = interval;
+  }
+  int sweeps = 0;
+  for (const auto& [name, interval] : index.intervals) {
+    if (name != "dtucker.sweep") continue;
+    ++sweeps;
+    EXPECT_GE(interval.first, iteration.first);
+    EXPECT_LE(interval.second, iteration.second + 1e-3);
+  }
+  EXPECT_EQ(sweeps, stats.iterations);
+  ClearTrace();
+}
+
+TEST(ObservabilityTest, MetricsSnapshotReportsFlopsAndPerSweepFit) {
+  TuckerStats stats;
+  Result<TuckerDecomposition> dec = RunSmallDecomposition(&stats);
+  ASSERT_TRUE(dec.ok()) << dec.status().ToString();
+  RecordSweepMetrics(stats);
+  ASSERT_FALSE(stats.sweep_history.empty());
+
+  JsonValue root;
+  ASSERT_TRUE(
+      JsonParser::Parse(MetricsRegistry::Global().SnapshotJson(), &root));
+  const JsonValue& counters = root.at("counters");
+  EXPECT_GE(counters.at("gemm.calls").number_value, 1.0);
+  EXPECT_GE(counters.at("gemm.flops").number_value, 1.0);
+  EXPECT_GE(counters.at("qr.calls").number_value, 1.0);
+  EXPECT_GE(counters.at("rsvd.calls").number_value, 1.0);
+
+  const JsonValue& gauges = root.at("gauges");
+  EXPECT_TRUE(gauges.Has("dtucker.sweep01.fit"));
+  EXPECT_TRUE(gauges.Has("dtucker.sweep01.delta_fit"));
+  EXPECT_TRUE(gauges.Has("dtucker.sweep01.subspace_iterations"));
+  EXPECT_NEAR(gauges.at("dtucker.sweep01.fit").number_value,
+              stats.sweep_history[0].fit, 1e-12);
+  EXPECT_GT(gauges.at("process.peak_rss_bytes").number_value, 0.0);
+
+  EXPECT_TRUE(root.at("phases").Has("dtucker.iteration"));
+  EXPECT_GT(root.at("process").at("peak_rss_bytes").number_value, 0.0);
+}
+
+#ifdef DTUCKER_CLI_PATH
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(ObservabilityCliTest, TraceOutAndMetricsOutWriteValidJson) {
+  const std::string dir = ::testing::TempDir();
+  const std::string tensor_path = dir + "obs_cli_tensor.dtnsr";
+  const std::string trace_path = dir + "obs_cli_trace.json";
+  const std::string metrics_path = dir + "obs_cli_metrics.json";
+
+  Tensor x = MakeLowRankTensor({14, 12, 10}, {3, 3, 3}, 0.1, 7);
+  ASSERT_TRUE(SaveTensor(x, tensor_path).ok());
+
+  const std::string cmd = std::string(DTUCKER_CLI_PATH) +
+                          " --op=decompose --tensor=" + tensor_path +
+                          " --method=D-Tucker --rank=3 --iters=4" +
+                          " --trace-out=" + trace_path +
+                          " --metrics-out=" + metrics_path +
+                          " > /dev/null";
+  const int rc = std::system(cmd.c_str());
+  ASSERT_EQ(rc, 0) << "command failed: " << cmd;
+
+  // The trace file is a Perfetto-loadable Chrome trace with spans for all
+  // three phases recorded by the subprocess.
+  JsonValue trace;
+  ASSERT_TRUE(JsonParser::Parse(ReadFileOrDie(trace_path), &trace));
+  ASSERT_TRUE(trace.Has("traceEvents"));
+  const TraceIndex index = IndexTrace(trace);
+  for (const char* phase :
+       {"method.run", "dtucker.approximation", "dtucker.initialization",
+        "dtucker.iteration", "dtucker.sweep"}) {
+    EXPECT_TRUE(index.names.count(phase)) << "missing span: " << phase;
+  }
+
+  // The metrics file has all four sections with the headline entries.
+  JsonValue metrics;
+  ASSERT_TRUE(JsonParser::Parse(ReadFileOrDie(metrics_path), &metrics));
+  for (const char* section : {"counters", "gauges", "phases", "process"}) {
+    EXPECT_TRUE(metrics.Has(section)) << "missing section: " << section;
+  }
+  EXPECT_GE(metrics.at("counters").at("gemm.flops").number_value, 1.0);
+  EXPECT_TRUE(metrics.at("gauges").Has("dtucker.sweep01.fit"));
+  EXPECT_TRUE(metrics.at("phases").Has("method.D-Tucker"));
+  EXPECT_GT(metrics.at("process").at("peak_rss_bytes").number_value, 0.0);
+
+  std::remove(tensor_path.c_str());
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
+}
+
+#endif  // DTUCKER_CLI_PATH
+
+}  // namespace
+}  // namespace dtucker

@@ -1,0 +1,227 @@
+// Tests for the span tracer: nesting, ring-buffer wrap, Chrome-trace JSON
+// round-trip, multi-thread recording, and the disabled-tracer
+// zero-allocation guarantee (via a global operator new probe, the
+// bench_dtucker pattern).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/trace.h"
+#include "json_test_util.h"
+
+namespace {
+
+// Global allocation probe: counts every operator new in the binary.
+std::atomic<std::size_t> g_allocated_bytes{0};
+
+std::size_t AllocatedBytes() {
+  return g_allocated_bytes.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocated_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocated_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace dtucker {
+namespace {
+
+using internal_trace::SnapshotEvent;
+using internal_trace::SnapshotEvents;
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetTraceEnabled(false);
+    ClearTrace();
+  }
+  void TearDown() override {
+    SetTraceEnabled(false);
+    ClearTrace();
+  }
+};
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  {
+    TraceSpan span("should.not.appear");
+  }
+  EXPECT_EQ(TraceEventCount(), 0u);
+}
+
+TEST_F(TraceTest, NestedSpansRecordDepthAndContainment) {
+  SetTraceEnabled(true);
+  {
+    TraceSpan outer("outer");
+    {
+      TraceSpan inner("inner");
+    }
+  }
+  SetTraceEnabled(false);
+
+  std::vector<SnapshotEvent> events = SnapshotEvents();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans are recorded at destruction: inner closes first.
+  const auto& inner = events[0].event;
+  const auto& outer = events[1].event;
+  EXPECT_STREQ(inner.name, "inner");
+  EXPECT_STREQ(outer.name, "outer");
+  EXPECT_EQ(outer.depth, 0u);
+  EXPECT_EQ(inner.depth, 1u);
+  // Parent/child ordering: the child interval nests inside the parent's.
+  EXPECT_GE(inner.start_ns, outer.start_ns);
+  EXPECT_LE(inner.start_ns + inner.dur_ns, outer.start_ns + outer.dur_ns);
+  // Both recorded by this thread.
+  EXPECT_EQ(events[0].tid, events[1].tid);
+}
+
+TEST_F(TraceTest, SpanStartedDisabledStaysUnrecorded) {
+  // The span latches the disabled state at construction, so destructing
+  // with tracing enabled must still record nothing.
+  {
+    TraceSpan span("started.disabled");
+    SetTraceEnabled(true);
+  }
+  SetTraceEnabled(false);
+  EXPECT_EQ(TraceEventCount(), 0u);
+}
+
+TEST_F(TraceTest, MultipleThreadsGetDistinctThreadIds) {
+  SetTraceEnabled(true);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([] {
+      TraceSpan span("worker");
+    });
+  }
+  for (auto& t : threads) t.join();
+  SetTraceEnabled(false);
+
+  std::vector<SnapshotEvent> events = SnapshotEvents();
+  ASSERT_EQ(events.size(), static_cast<std::size_t>(kThreads));
+  std::vector<std::uint32_t> tids;
+  for (const auto& se : events) tids.push_back(se.tid);
+  std::sort(tids.begin(), tids.end());
+  EXPECT_EQ(std::unique(tids.begin(), tids.end()), tids.end())
+      << "every recording thread must have its own id";
+}
+
+TEST_F(TraceTest, ChromeExportIsValidJsonWithExpectedEvents) {
+  SetTraceEnabled(true);
+  {
+    TraceSpan outer("phase \"quoted\"\n");  // Exercises escaping.
+    TraceSpan inner("kernel");
+  }
+  SetTraceEnabled(false);
+
+  std::ostringstream os;
+  ExportChromeTrace(os);
+  json_test::JsonValue root;
+  ASSERT_TRUE(json_test::JsonParser::Parse(os.str(), &root))
+      << "exporter must emit valid JSON:\n" << os.str();
+  ASSERT_TRUE(root.IsObject());
+  ASSERT_TRUE(root.Has("traceEvents"));
+  const auto& events = root.at("traceEvents");
+  ASSERT_TRUE(events.IsArray());
+  // Metadata event + 2 spans.
+  ASSERT_EQ(events.array.size(), 3u);
+  int complete_events = 0;
+  for (const auto& ev : events.array) {
+    ASSERT_TRUE(ev.Has("ph"));
+    if (ev.at("ph").string_value == "X") {
+      ++complete_events;
+      EXPECT_TRUE(ev.Has("name"));
+      EXPECT_TRUE(ev.Has("ts"));
+      EXPECT_TRUE(ev.Has("dur"));
+      EXPECT_TRUE(ev.Has("tid"));
+      EXPECT_TRUE(ev.Has("pid"));
+      EXPECT_GE(ev.at("dur").number_value, 0.0);
+    }
+  }
+  EXPECT_EQ(complete_events, 2);
+}
+
+TEST_F(TraceTest, RingBufferWrapsAndCountsDrops) {
+  SetTraceBufferCapacity(64);
+  SetTraceEnabled(true);
+  std::thread recorder([] {
+    // A fresh thread picks up the small capacity set above.
+    for (int i = 0; i < 200; ++i) {
+      TraceSpan span("wrap");
+    }
+  });
+  recorder.join();
+  SetTraceEnabled(false);
+
+  EXPECT_EQ(TraceEventCount(), 64u);
+  EXPECT_EQ(TraceDroppedEventCount(), 200u - 64u);
+  SetTraceBufferCapacity(1u << 15);  // Restore the default for later tests.
+}
+
+TEST_F(TraceTest, DisabledSpanAddsNoAllocations) {
+  ASSERT_FALSE(TraceEnabled());
+  // Warm up any lazy statics touched by the probe bracket itself.
+  {
+    TraceSpan warmup("warmup");
+  }
+  const std::size_t before = AllocatedBytes();
+  for (int i = 0; i < 1000; ++i) {
+    TraceSpan span("hot.path");
+  }
+  EXPECT_EQ(AllocatedBytes(), before)
+      << "a disabled TraceSpan must not allocate";
+}
+
+TEST_F(TraceTest, EnabledSpanRecordPathDoesNotAllocateAfterRegistration) {
+  SetTraceEnabled(true);
+  {
+    TraceSpan warmup("warmup");  // Registers this thread's ring buffer.
+  }
+  const std::size_t before = AllocatedBytes();
+  for (int i = 0; i < 1000; ++i) {
+    TraceSpan span("hot.path");
+  }
+  EXPECT_EQ(AllocatedBytes(), before)
+      << "the record path must reuse the ring buffer, not allocate";
+  SetTraceEnabled(false);
+}
+
+TEST_F(TraceTest, ClearTraceDropsBufferedEvents) {
+  SetTraceEnabled(true);
+  {
+    TraceSpan span("to.be.cleared");
+  }
+  SetTraceEnabled(false);
+  ASSERT_GT(TraceEventCount(), 0u);
+  ClearTrace();
+  EXPECT_EQ(TraceEventCount(), 0u);
+  EXPECT_EQ(TraceDroppedEventCount(), 0u);
+}
+
+TEST_F(TraceTest, WriteChromeTraceReportsBadPath) {
+  EXPECT_FALSE(WriteChromeTrace("/nonexistent-dir/trace.json").ok());
+}
+
+}  // namespace
+}  // namespace dtucker
