@@ -62,9 +62,9 @@ SliceApproximation BenchApprox(const Tensor& x) {
 
 DTuckerOptions BenchOptions() {
   DTuckerOptions opt;
-  opt.ranks = {10, 10, 10};
-  opt.max_iterations = 3;
-  opt.tolerance = 0.0;
+  opt.tucker.ranks = {10, 10, 10};
+  opt.tucker.max_iterations = 3;
+  opt.tucker.tolerance = 0.0;
   return opt;
 }
 
@@ -150,7 +150,7 @@ void BM_DTuckerSweep(benchmark::State& state) {
       DTuckerInitializeOnly(approx, opt).value();
   internal_dtucker::SweepWorkspace ws;
   for (auto _ : state) {
-    internal_dtucker::DTuckerSweep(approx, opt.ranks, &dec.factors, &dec.core,
+    internal_dtucker::DTuckerSweep(approx, opt.tucker.ranks, &dec.factors, &dec.core,
                                    &ws, 1.0);
     benchmark::DoNotOptimize(dec.core.data());
   }
@@ -159,6 +159,35 @@ void BM_DTuckerSweep(benchmark::State& state) {
 BENCHMARK(BM_DTuckerSweep)
     ->Args({64, 1})
     ->Args({64, 8})
+    ->Args({128, 1})
+    ->Args({128, 8})
+    ->Args({256, 1})
+    ->Args({256, 8});
+
+// args: {side, threads}. Same sweep with a live RunContext attached: the
+// per-mode cancellation checks (relaxed atomic load + branch) are on, so
+// the delta against BM_DTuckerSweep is the armed execution-control
+// overhead. Must stay within run-to-run noise (±3%) of the un-armed
+// number — see EXPERIMENTS.md.
+void BM_DTuckerSweepArmed(benchmark::State& state) {
+  const Index side = state.range(0);
+  SetBlasThreads(static_cast<int>(state.range(1)));
+  Tensor x = BenchTensor(side);
+  SliceApproximation approx = BenchApprox(x);
+  DTuckerOptions opt = BenchOptions();
+  TuckerDecomposition dec =
+      DTuckerInitializeOnly(approx, opt).value();
+  internal_dtucker::SweepWorkspace ws;
+  RunContext ctx;
+  ctx.SetDeadlineAfter(3600.0);  // Armed but never firing.
+  for (auto _ : state) {
+    internal_dtucker::DTuckerSweep(approx, opt.tucker.ranks, &dec.factors,
+                                   &dec.core, &ws, 1.0, &ctx);
+    benchmark::DoNotOptimize(dec.core.data());
+  }
+  SetBlasThreads(1);
+}
+BENCHMARK(BM_DTuckerSweepArmed)
     ->Args({128, 1})
     ->Args({128, 8})
     ->Args({256, 1})

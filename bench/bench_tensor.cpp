@@ -59,9 +59,9 @@ void BM_DTuckerSweepCost(benchmark::State& state) {
   sopt.slice_rank = 10;
   auto approx = ApproximateSlices(x, sopt);
   DTuckerOptions opt;
-  opt.ranks = {10, 10, 10};
-  opt.max_iterations = 3;
-  opt.tolerance = 0.0;
+  opt.tucker.ranks = {10, 10, 10};
+  opt.tucker.max_iterations = 3;
+  opt.tucker.tolerance = 0.0;
   for (auto _ : state) {
     auto dec = DTuckerFromApproximation(approx.value(), opt);
     benchmark::DoNotOptimize(dec.ok());

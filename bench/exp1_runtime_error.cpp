@@ -62,9 +62,9 @@ int Run(int argc, char** argv) {
     const Tensor& x = data.value();
 
     MethodOptions opt;
-    opt.max_iterations = static_cast<int>(flags.GetInt("iters"));
+    opt.tucker.max_iterations = static_cast<int>(flags.GetInt("iters"));
     for (Index n = 0; n < x.order(); ++n) {
-      opt.ranks.push_back(std::min<Index>(flags.GetInt("rank"), x.dim(n)));
+      opt.tucker.ranks.push_back(std::min<Index>(flags.GetInt("rank"), x.dim(n)));
     }
 
     std::printf("dataset %s %s, %s\n", name.c_str(),
@@ -73,7 +73,7 @@ int Run(int argc, char** argv) {
     TablePrinter table({"method", "preprocess", "iterate", "total",
                         "speedup vs ALS", "rel. error"});
     Index core_volume = 1;
-    for (Index r : opt.ranks) core_volume *= r;
+    for (Index r : opt.tucker.ranks) core_volume *= r;
     double als_total = 0;
     std::vector<std::pair<TuckerMethod, MethodRun>> runs;
     std::vector<TuckerMethod> skipped;

@@ -18,9 +18,9 @@ namespace {
 
 MethodOptions BaseOptions(std::vector<Index> ranks, int iters) {
   MethodOptions opt;
-  opt.ranks = std::move(ranks);
-  opt.max_iterations = iters;
-  opt.tolerance = 0.0;  // Fixed sweep count: clean scaling curves.
+  opt.tucker.ranks = std::move(ranks);
+  opt.tucker.max_iterations = iters;
+  opt.tucker.tolerance = 0.0;  // Fixed sweep count: clean scaling curves.
   return opt;
 }
 

@@ -46,9 +46,9 @@ int Run(int argc, char** argv) {
     }
 
     DTuckerOptions dopt;
-    dopt.ranks = ranks;
-    dopt.max_iterations = static_cast<int>(flags.GetInt("iters"));
-    dopt.tolerance = 0.0;
+    dopt.tucker.ranks = ranks;
+    dopt.tucker.max_iterations = static_cast<int>(flags.GetInt("iters"));
+    dopt.tucker.tolerance = 0.0;
     TuckerStats dstats;
     Result<TuckerDecomposition> dt = DTucker(x, dopt, &dstats);
 

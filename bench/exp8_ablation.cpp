@@ -55,8 +55,8 @@ int Run(int argc, char** argv) {
     Result<SliceApproximation> approx = ApproximateSlices(x, sopt);
     const double approx_seconds = t.Seconds();
     DTuckerOptions opt;
-    opt.ranks = ranks;
-    opt.max_iterations = 10;
+    opt.tucker.ranks = ranks;
+    opt.tucker.max_iterations = 10;
 
     Timer t_init;
     Result<TuckerDecomposition> init_only =
@@ -90,8 +90,8 @@ int Run(int argc, char** argv) {
     for (int q : {0, 1, 2}) {
       for (Index p : {0, 5, 10}) {
         DTuckerOptions opt;
-        opt.ranks = ranks;
-        opt.max_iterations = 10;
+        opt.tucker.ranks = ranks;
+        opt.tucker.max_iterations = 10;
         opt.power_iterations = q;
         opt.oversampling = p;
         TuckerStats stats;
@@ -123,8 +123,8 @@ int Run(int argc, char** argv) {
       const double approx_seconds = t.Seconds();
       if (!approx.ok()) continue;
       DTuckerOptions opt;
-      opt.ranks = ranks;
-      opt.max_iterations = 10;
+      opt.tucker.ranks = ranks;
+      opt.tucker.max_iterations = 10;
       Result<TuckerDecomposition> dec =
           DTuckerFromApproximation(approx.value(), opt);
       if (!dec.ok()) continue;
@@ -156,8 +156,8 @@ int Run(int argc, char** argv) {
       }
       avg_rank /= static_cast<double>(approx.value().NumSlices());
       DTuckerOptions opt;
-      opt.ranks = ranks;
-      opt.max_iterations = 10;
+      opt.tucker.ranks = ranks;
+      opt.tucker.max_iterations = 10;
       Result<TuckerDecomposition> dec =
           DTuckerFromApproximation(approx.value(), opt);
       if (!dec.ok()) continue;
@@ -179,8 +179,8 @@ int Run(int argc, char** argv) {
     for (Index js : {ranks[0] / 2, ranks[0], 2 * ranks[0]}) {
       if (js < 1) continue;
       DTuckerOptions opt;
-      opt.ranks = ranks;
-      opt.max_iterations = 10;
+      opt.tucker.ranks = ranks;
+      opt.tucker.max_iterations = 10;
       opt.slice_rank = std::min<Index>(js, std::min(x.dim(0), x.dim(1)));
       TuckerStats stats;
       Result<TuckerDecomposition> dec = DTucker(x, opt, &stats);

@@ -47,8 +47,8 @@ int Run(int argc, char** argv) {
   Tensor full = MakeVideoAnalog(height, width, total, 6, 0.05, 21);
 
   OnlineDTuckerOptions opt;
-  opt.ranks = {rank, rank, rank};
-  opt.max_iterations = 10;
+  opt.dtucker.tucker.ranks = {rank, rank, rank};
+  opt.dtucker.tucker.max_iterations = 10;
   opt.refit_sweeps = 3;
   OnlineDTucker online(opt);
 
@@ -69,7 +69,7 @@ int Run(int argc, char** argv) {
 
     Tensor so_far = full.LastModeSlice(0, seen);
     DTuckerOptions bopt;
-    static_cast<TuckerOptions&>(bopt) = opt;
+    bopt = opt.dtucker;
     Timer batch_timer;
     Result<TuckerDecomposition> batch = DTucker(so_far, bopt);
     const double batch_seconds = batch_timer.Seconds();

@@ -11,8 +11,7 @@
 
 #include "common/table_printer.h"
 #include "data/generators.h"
-#include "dtucker/dtucker.h"
-#include "tucker/rank_estimation.h"
+#include "dtucker/api.h"
 
 int main() {
   using namespace dtucker;
@@ -44,8 +43,8 @@ int main() {
 
   // 2. Decompose with D-Tucker at the suggested ranks.
   DTuckerOptions options;
-  options.ranks = suggestion.value().ranks;
-  options.max_iterations = 15;
+  options.tucker.ranks = suggestion.value().ranks;
+  options.tucker.max_iterations = 15;
   TuckerStats stats;
   Result<TuckerDecomposition> result = DTucker(x, options, &stats);
   if (!result.ok()) {

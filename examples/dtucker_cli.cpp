@@ -19,7 +19,8 @@
 #include <cstdio>
 #include <string>
 
-#include "baselines/registry.h"
+#include <thread>
+
 #include "common/flags.h"
 #include "common/metrics.h"
 #include "common/table_printer.h"
@@ -27,10 +28,7 @@
 #include "data/datasets.h"
 #include "data/decomposition_io.h"
 #include "data/tensor_io.h"
-#include "dtucker/dtucker.h"
-#include "linalg/blas.h"
-#include "tucker/rank_estimation.h"
-#include "tucker/rounding.h"
+#include "dtucker/api.h"
 
 namespace dtucker {
 namespace {
@@ -41,11 +39,12 @@ int Fail(const Status& st) {
 }
 
 int RunOp(const FlagParser& flags) {
-  const int num_threads = static_cast<int>(flags.GetInt("threads"));
-  // One process-wide setting covers the GEMM/GEMV/mode-product machinery
-  // behind every phase; the approximation phase additionally gets a
-  // slice-level pool via the per-call num_threads options below.
-  SetBlasThreads(num_threads);
+  // 0 = all hardware threads, mirroring the engine/BLAS-pool convention.
+  int num_threads = static_cast<int>(flags.GetInt("threads"));
+  if (num_threads == 0) {
+    num_threads =
+        std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  }
   const std::string op = flags.GetString("op");
 
   if (op == "generate") {
@@ -91,9 +90,7 @@ int RunOp(const FlagParser& flags) {
     SliceApproximationOptions opt;
     opt.slice_rank = std::min<Index>(
         flags.GetInt("rank"), std::min(t.value().dim(0), t.value().dim(1)));
-    // After SetBlasThreads, GetBlasThreads() is the resolved count (0 ->
-    // hardware concurrency).
-    opt.num_threads = GetBlasThreads();
+    opt.num_threads = num_threads;
     Result<SliceApproximation> approx = ApproximateSlices(t.value(), opt);
     if (!approx.ok()) return Fail(approx.status());
     Status save =
@@ -110,6 +107,19 @@ int RunOp(const FlagParser& flags) {
   }
 
   if (op == "decompose") {
+    // Both paths go through the Engine facade: it owns the RunContext,
+    // validates options, sizes the BLAS pool, and publishes telemetry.
+    EngineOptions eopt;
+    eopt.method_options.tucker.max_iterations =
+        static_cast<int>(flags.GetInt("iters"));
+    eopt.method_options.num_threads = num_threads;
+    eopt.blas_threads = num_threads;
+    eopt.method_options.sweep_callback = [](const SweepTelemetry& t) {
+      std::printf("sweep %2d: fit %.6f (delta %+0.2e) in %.3fs, "
+                  "%llu subspace iterations\n",
+                  t.sweep, t.fit, t.delta_fit, t.seconds,
+                  static_cast<unsigned long long>(t.subspace_iterations));
+    };
     TuckerDecomposition dec;
     double err = -1;
     if (!flags.GetString("approx").empty()) {
@@ -117,40 +127,30 @@ int RunOp(const FlagParser& flags) {
       Result<SliceApproximation> approx =
           LoadSliceApproximation(flags.GetString("approx"));
       if (!approx.ok()) return Fail(approx.status());
-      DTuckerOptions opt;
       for (Index d : approx.value().shape) {
-        opt.ranks.push_back(std::min<Index>(flags.GetInt("rank"), d));
+        eopt.method_options.tucker.ranks.push_back(
+            std::min<Index>(flags.GetInt("rank"), d));
       }
-      opt.max_iterations = static_cast<int>(flags.GetInt("iters"));
-      opt.num_threads = GetBlasThreads();
-      opt.sweep_callback = [](const SweepTelemetry& t) {
-        std::printf("sweep %2d: fit %.6f (delta %+0.2e) in %.3fs, "
-                    "%llu subspace iterations\n",
-                    t.sweep, t.fit, t.delta_fit, t.seconds,
-                    static_cast<unsigned long long>(t.subspace_iterations));
-      };
-      TuckerStats stats;
-      Result<TuckerDecomposition> r =
-          DTuckerFromApproximation(approx.value(), opt, &stats);
+      Engine engine(std::move(eopt));
+      Result<EngineRun> r = engine.SolveApproximation(approx.value());
       if (!r.ok()) return Fail(r.status());
-      RecordSweepMetrics(stats);
-      dec = std::move(r).ValueOrDie();
+      if (!r.value().status.ok()) return Fail(r.value().status);
+      dec = std::move(r).ValueOrDie().decomposition;
     } else {
       Result<Tensor> t = LoadTensor(flags.GetString("tensor"));
       if (!t.ok()) return Fail(t.status());
       Result<TuckerMethod> method =
           ParseTuckerMethod(flags.GetString("method"));
       if (!method.ok()) return Fail(method.status());
-      MethodOptions opt;
+      eopt.method = method.value();
       for (Index n = 0; n < t.value().order(); ++n) {
-        opt.ranks.push_back(
+        eopt.method_options.tucker.ranks.push_back(
             std::min<Index>(flags.GetInt("rank"), t.value().dim(n)));
       }
-      opt.max_iterations = static_cast<int>(flags.GetInt("iters"));
-      opt.num_threads = GetBlasThreads();
-      Result<MethodRun> run =
-          RunTuckerMethod(method.value(), t.value(), opt);
+      Engine engine(std::move(eopt));
+      Result<EngineRun> run = engine.Solve(t.value());
       if (!run.ok()) return Fail(run.status());
+      if (!run.value().status.ok()) return Fail(run.value().status);
       err = run.value().relative_error;
       dec = std::move(run).ValueOrDie().decomposition;
     }

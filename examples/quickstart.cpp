@@ -7,7 +7,7 @@
 
 #include "common/table_printer.h"
 #include "data/generators.h"
-#include "dtucker/dtucker.h"
+#include "dtucker/api.h"
 
 int main() {
   using namespace dtucker;
@@ -22,9 +22,9 @@ int main() {
 
   // 2. Configure D-Tucker: target Tucker ranks, iteration budget.
   DTuckerOptions options;
-  options.ranks = {5, 5, 5};
-  options.max_iterations = 20;
-  options.tolerance = 1e-4;
+  options.tucker.ranks = {5, 5, 5};
+  options.tucker.max_iterations = 20;
+  options.tucker.tolerance = 1e-4;
 
   // 3. Decompose. All errors are reported through Status/Result — no
   //    exceptions.

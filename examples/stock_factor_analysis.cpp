@@ -11,8 +11,7 @@
 
 #include "common/table_printer.h"
 #include "data/generators.h"
-#include "dtucker/dtucker.h"
-#include "tensor/tensor_ops.h"
+#include "dtucker/api.h"
 
 int main() {
   using namespace dtucker;
@@ -24,8 +23,8 @@ int main() {
                              /*noise=*/0.4, /*seed=*/2024);
 
   DTuckerOptions options;
-  options.ranks = {8, 6, 8};
-  options.max_iterations = 15;
+  options.tucker.ranks = {8, 6, 8};
+  options.tucker.max_iterations = 15;
   TuckerStats stats;
   Result<TuckerDecomposition> result = DTucker(x, options, &stats);
   if (!result.ok()) {

@@ -10,8 +10,7 @@
 #include "common/table_printer.h"
 #include "common/timer.h"
 #include "data/generators.h"
-#include "dtucker/dtucker.h"
-#include "dtucker/online_dtucker.h"
+#include "dtucker/api.h"
 
 int main() {
   using namespace dtucker;
@@ -23,8 +22,8 @@ int main() {
                                 /*seed=*/11);
 
   OnlineDTuckerOptions options;
-  options.ranks = {6, 6, 6};
-  options.max_iterations = 10;
+  options.dtucker.tucker.ranks = {6, 6, 6};
+  options.dtucker.tucker.max_iterations = 10;
   options.refit_sweeps = 3;
   OnlineDTucker online(options);
 
@@ -47,8 +46,7 @@ int main() {
 
     // What a batch system would pay: full recompress + refit every step.
     Tensor so_far = full.LastModeSlice(0, seen);
-    DTuckerOptions batch_opt;
-    static_cast<TuckerOptions&>(batch_opt) = options;
+    DTuckerOptions batch_opt = options.dtucker;
     Timer batch_timer;
     Result<TuckerDecomposition> batch = DTucker(so_far, batch_opt);
     if (!batch.ok()) {

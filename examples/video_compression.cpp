@@ -5,12 +5,12 @@
 //
 // Run: ./build/examples/video_compression [--frames=N] [--rank=J]
 #include <cstdio>
+#include <utility>
 
 #include "common/flags.h"
 #include "common/table_printer.h"
 #include "data/generators.h"
-#include "dtucker/dtucker.h"
-#include "tensor/tensor_ops.h"
+#include "dtucker/api.h"
 
 int main(int argc, char** argv) {
   using namespace dtucker;
@@ -42,8 +42,8 @@ int main(int argc, char** argv) {
                                  /*noise=*/0.05, /*seed=*/7);
 
   DTuckerOptions options;
-  options.ranks = {rank, rank, rank};
-  options.max_iterations = 15;
+  options.tucker.ranks = {rank, rank, rank};
+  options.tucker.max_iterations = 15;
   TuckerStats stats;
   Result<TuckerDecomposition> result = DTucker(video, options, &stats);
   if (!result.ok()) {
@@ -68,14 +68,15 @@ int main(int argc, char** argv) {
   table.Print();
 
   // Reconstruct one frame through the factors without rebuilding the whole
-  // video: frame t = A1 * (G x_3 a3(t)) * A2^T where a3(t) is row t of the
-  // temporal factor.
+  // video: O(H*W*J + prod J) via the partial-reconstruction API.
   const Index t = frames / 2;
-  Matrix a3_row = dec.factors[2].Row(t);                       // 1 x J3.
-  Tensor slab = ModeProduct(dec.core, a3_row, 2);              // J1 x J2 x 1.
-  Matrix small = slab.FrontalSlice(0);                         // J1 x J2.
-  Matrix frame = Multiply(dec.factors[0],
-                          MultiplyNT(small, dec.factors[1]));  // H x W.
+  Result<Matrix> frame_result = ReconstructFrontalSlice(dec, t);
+  if (!frame_result.ok()) {
+    std::fprintf(stderr, "frame reconstruction failed: %s\n",
+                 frame_result.status().ToString().c_str());
+    return 1;
+  }
+  Matrix frame = std::move(frame_result).value();              // H x W.
 
   Matrix truth = video.FrontalSlice(t);
   Matrix diff = frame - truth;

@@ -70,11 +70,18 @@ Result<TuckerDecomposition> SparseTuckerAls(const SparseTensor& x,
     factors[static_cast<std::size_t>(n)] = QrOrthonormalize(g);
   }
 
+  // Pre-sweep interruption checkpoint; a trip returns the best-so-far
+  // decomposition with stats->completion set, like the dense solvers.
+  const RunContext* ctx = options.run_context;
+  StatusCode stop = StatusCode::kOk;
+
   Timer iterate_timer;
   Tensor core;
   double prev_error = 1.0;
   int it = 0;
   for (; it < options.max_iterations; ++it) {
+    stop = RunContext::CheckOrOk(ctx);
+    if (stop != StatusCode::kOk) break;
     for (Index n = 0; n < order; ++n) {
       // Sparse first contraction on the most size-reducing mode, dense
       // contractions for the rest.
@@ -107,6 +114,11 @@ Result<TuckerDecomposition> SparseTuckerAls(const SparseTensor& x,
   if (stats != nullptr) {
     stats->iterations = it;
     stats->iterate_seconds = iterate_timer.Seconds();
+    stats->completion = stop;
+    if (stop != StatusCode::kOk) {
+      stats->completion_detail = std::string(StatusCodeToString(stop)) +
+                                 " during sparse ALS iteration";
+    }
   }
 
   TuckerDecomposition dec;

@@ -51,43 +51,73 @@ Result<TuckerMethod> ParseTuckerMethod(const std::string& name) {
   return Status::InvalidArgument("unknown Tucker method '" + name + "'");
 }
 
+Status MethodOptions::Validate(const std::vector<Index>& shape) const {
+  DT_RETURN_NOT_OK(ValidateRanks(shape, tucker.ranks));
+  if (tucker.max_iterations < 0) {
+    return Status::InvalidArgument("max_iterations must be non-negative");
+  }
+  if (tucker.tolerance < 0) {
+    return Status::InvalidArgument("tolerance must be non-negative");
+  }
+  if (num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be non-negative");
+  }
+  if (oversampling < 0) {
+    return Status::InvalidArgument("oversampling must be non-negative");
+  }
+  if (power_iterations < 0) {
+    return Status::InvalidArgument("power_iterations must be non-negative");
+  }
+  if (mach_sample_rate <= 0.0 || mach_sample_rate > 1.0) {
+    return Status::InvalidArgument("mach_sample_rate must be in (0, 1]");
+  }
+  if (sketch_factor <= 0.0) {
+    return Status::InvalidArgument("sketch_factor must be positive");
+  }
+  return Status::OK();
+}
+
 Result<MethodRun> RunTuckerMethod(TuckerMethod method, const Tensor& x,
                                   const MethodOptions& options,
                                   bool measure_error) {
+  DT_RETURN_NOT_OK(options.Validate(x.shape()));
   MethodRun run;
   Timer total;
   DT_TRACE_SPAN("method.run");
   switch (method) {
     case TuckerMethod::kDTucker: {
       DTuckerOptions opt;
-      static_cast<TuckerOptions&>(opt) = options;
+      opt.tucker = options.tucker;
       opt.oversampling = options.oversampling;
       opt.power_iterations = options.power_iterations;
       opt.num_threads = options.num_threads;
+      opt.sweep_callback = options.sweep_callback;
       DT_ASSIGN_OR_RETURN(run.decomposition, DTucker(x, opt, &run.stats));
       run.stored_bytes = run.stats.working_bytes;  // Slice factors.
       break;
     }
     case TuckerMethod::kTuckerAls: {
       TuckerAlsOptions opt;
-      static_cast<TuckerOptions&>(opt) = options;
+      static_cast<TuckerOptions&>(opt) = options.tucker;
       DT_ASSIGN_OR_RETURN(run.decomposition, TuckerAls(x, opt, &run.stats));
       run.stored_bytes = x.ByteSize();  // Needs the raw tensor every sweep.
       break;
     }
     case TuckerMethod::kHosvd: {
-      DT_RETURN_NOT_OK(ValidateRanks(x.shape(), options.ranks));
       Timer t;
-      run.decomposition = Hosvd(x, options.ranks);
+      DT_ASSIGN_OR_RETURN(
+          run.decomposition,
+          Hosvd(x, options.tucker.ranks, options.tucker.run_context));
       run.stats.iterate_seconds = t.Seconds();
       run.stats.iterations = 1;
       run.stored_bytes = x.ByteSize();
       break;
     }
     case TuckerMethod::kStHosvd: {
-      DT_RETURN_NOT_OK(ValidateRanks(x.shape(), options.ranks));
       Timer t;
-      run.decomposition = StHosvd(x, options.ranks);
+      DT_ASSIGN_OR_RETURN(
+          run.decomposition,
+          StHosvd(x, options.tucker.ranks, options.tucker.run_context));
       run.stats.iterate_seconds = t.Seconds();
       run.stats.iterations = 1;
       run.stored_bytes = x.ByteSize();
@@ -95,7 +125,7 @@ Result<MethodRun> RunTuckerMethod(TuckerMethod method, const Tensor& x,
     }
     case TuckerMethod::kMach: {
       MachOptions opt;
-      static_cast<TuckerOptions&>(opt) = options;
+      static_cast<TuckerOptions&>(opt) = options.tucker;
       opt.sample_rate = options.mach_sample_rate;
       DT_ASSIGN_OR_RETURN(run.decomposition, Mach(x, opt, &run.stats));
       run.stored_bytes = run.stats.working_bytes;  // COO sample.
@@ -103,7 +133,7 @@ Result<MethodRun> RunTuckerMethod(TuckerMethod method, const Tensor& x,
     }
     case TuckerMethod::kRtd: {
       RtdOptions opt;
-      static_cast<TuckerOptions&>(opt) = options;
+      static_cast<TuckerOptions&>(opt) = options.tucker;
       opt.oversampling = options.oversampling;
       opt.power_iterations = options.power_iterations;
       DT_ASSIGN_OR_RETURN(run.decomposition, Rtd(x, opt, &run.stats));
@@ -112,7 +142,7 @@ Result<MethodRun> RunTuckerMethod(TuckerMethod method, const Tensor& x,
     }
     case TuckerMethod::kTuckerTs: {
       TuckerTsOptions opt;
-      static_cast<TuckerOptions&>(opt) = options;
+      static_cast<TuckerOptions&>(opt) = options.tucker;
       opt.sketch_factor = options.sketch_factor;
       DT_ASSIGN_OR_RETURN(run.decomposition, TuckerTs(x, opt, &run.stats));
       run.stored_bytes = run.stats.working_bytes;  // Sketches.
@@ -120,7 +150,7 @@ Result<MethodRun> RunTuckerMethod(TuckerMethod method, const Tensor& x,
     }
     case TuckerMethod::kTuckerTtmts: {
       TuckerTsOptions opt;
-      static_cast<TuckerOptions&>(opt) = options;
+      static_cast<TuckerOptions&>(opt) = options.tucker;
       opt.sketch_factor = options.sketch_factor;
       DT_ASSIGN_OR_RETURN(run.decomposition, TuckerTtmts(x, opt, &run.stats));
       run.stored_bytes = run.stats.working_bytes;

@@ -3,6 +3,7 @@
 #ifndef DTUCKER_BASELINES_REGISTRY_H_
 #define DTUCKER_BASELINES_REGISTRY_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -30,8 +31,11 @@ const char* TuckerMethodName(TuckerMethod method);
 // Parses a method name (as printed by TuckerMethodName, case-sensitive).
 Result<TuckerMethod> ParseTuckerMethod(const std::string& name);
 
-// Knobs shared across methods plus the per-method extras.
-struct MethodOptions : TuckerOptions {
+// Knobs shared across methods plus the per-method extras. Composition,
+// mirroring DTuckerOptions: `tucker` holds the every-solver surface
+// (ranks, iteration budget, tolerance, seed, validation, run_context).
+struct MethodOptions {
+  TuckerOptions tucker;
   // Worker threads for methods that support them (D-Tucker's approximation
   // phase). GEMM-level threading everywhere else is controlled by the
   // process-wide SetBlasThreads (linalg/blas.h), which callers set
@@ -44,7 +48,15 @@ struct MethodOptions : TuckerOptions {
   double mach_sample_rate = 0.1;
   // Tucker-ts / ttmts.
   double sketch_factor = 4.0;
+  // Per-sweep convergence reporting for methods that support it (currently
+  // D-Tucker); see DTuckerOptions::sweep_callback.
+  std::function<void(const SweepTelemetry&)> sweep_callback;
+
+  Status Validate(const std::vector<Index>& shape) const;
 };
+
+// Deprecated spelling kept for one release while callers migrate.
+using LegacyMethodOptions [[deprecated("use MethodOptions")]] = MethodOptions;
 
 struct MethodRun {
   TuckerDecomposition decomposition;

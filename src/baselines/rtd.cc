@@ -16,6 +16,11 @@ Result<TuckerDecomposition> Rtd(const Tensor& x, const RtdOptions& options,
   dec.factors.resize(static_cast<std::size_t>(x.order()));
   Tensor y = x;
   for (Index n = 0; n < x.order(); ++n) {
+    // RTD is one-shot: no valid intermediate decomposition exists until
+    // every mode is truncated, so an interruption is a plain error.
+    if (options.run_context != nullptr) {
+      DT_RETURN_NOT_OK(options.run_context->CheckStatus("rtd mode sketch"));
+    }
     RsvdOptions rsvd;
     rsvd.rank = options.ranks[static_cast<std::size_t>(n)];
     rsvd.oversampling = options.oversampling;

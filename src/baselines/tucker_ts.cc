@@ -25,12 +25,14 @@ Index NextPowerOfTwo(Index n) {
 }
 
 // Least squares min_W ||B W - Y||_F via normal equations, with a ridge
-// fallback when B^T B is numerically singular.
-Matrix SolveLeastSquaresViaNormal(const Matrix& b, const Matrix& y) {
+// fallback when B^T B is numerically singular. Degenerate sketches (a
+// property of the input data + seed, not a programming error) surface as a
+// NumericalError Status instead of crashing.
+Result<Matrix> SolveLeastSquaresViaNormal(const Matrix& b, const Matrix& y) {
   Matrix btb = Gram(b);
   Matrix bty = MultiplyTN(b, y);
   Result<Matrix> solved = SolveSpd(btb, bty);
-  if (solved.ok()) return std::move(solved).ValueOrDie();
+  if (solved.ok()) return solved;
   // Ridge: scale-aware epsilon on the diagonal.
   double trace = 0.0;
   for (Index i = 0; i < btb.rows(); ++i) trace += btb(i, i);
@@ -39,9 +41,11 @@ Matrix SolveLeastSquaresViaNormal(const Matrix& b, const Matrix& y) {
       1e-300;
   for (Index i = 0; i < btb.rows(); ++i) btb(i, i) += ridge;
   Result<Matrix> retried = SolveLu(btb, bty);
-  DT_CHECK(retried.ok()) << "sketched least squares solve failed: "
-                         << retried.status().ToString();
-  return std::move(retried).ValueOrDie();
+  if (!retried.ok()) {
+    return Status::NumericalError("sketched least squares solve failed: " +
+                                  retried.status().ToString());
+  }
+  return retried;
 }
 
 // Shape of the product space of all modes but `skip`.
@@ -138,25 +142,34 @@ Result<TuckerDecomposition> TuckerTs(const Tensor& x,
     // is zero otherwise): one sketched least-squares fit against the
     // random factors.
     Matrix m0 = core_sketch.SketchKronecker(FactorsExcept(factors, -1));
-    Matrix g = SolveLeastSquaresViaNormal(m0, sketched_x);
+    DT_ASSIGN_OR_RETURN(Matrix g,
+                        SolveLeastSquaresViaNormal(m0, sketched_x));
     std::copy(g.data(), g.data() + core_volume, core.data());
   }
+  // Pre-sweep interruption checkpoint: a trip keeps the last completed
+  // sweep's factors/core (consistent by construction at the sweep boundary).
+  StatusCode stop = StatusCode::kOk;
   double prev_proxy = -1.0;
   int it = 0;
   for (; it < options.max_iterations; ++it) {
+    stop = RunContext::CheckOrOk(options.run_context);
+    if (stop != StatusCode::kOk) break;
     for (Index n = 0; n < order; ++n) {
       // B = S_n ((x) A_k) G_(n)^T, then A_n^T from least squares.
       Matrix m = mode_sketches[static_cast<std::size_t>(n)].SketchKronecker(
           FactorsExcept(factors, n));
       Matrix gn = Unfold(core, n);
       Matrix b = MultiplyNT(m, gn);  // s1 x J_n.
-      Matrix ant = SolveLeastSquaresViaNormal(
-          b, sketched_unfoldings[static_cast<std::size_t>(n)]);  // J_n x I_n.
+      DT_ASSIGN_OR_RETURN(
+          Matrix ant,
+          SolveLeastSquaresViaNormal(
+              b, sketched_unfoldings[static_cast<std::size_t>(n)]));
       factors[static_cast<std::size_t>(n)] = ant.Transposed();
     }
     // Core from the global sketch.
     Matrix m0 = core_sketch.SketchKronecker(FactorsExcept(factors, -1));
-    Matrix g = SolveLeastSquaresViaNormal(m0, sketched_x);  // core_volume x 1.
+    DT_ASSIGN_OR_RETURN(
+        Matrix g, SolveLeastSquaresViaNormal(m0, sketched_x));  // volume x 1.
     std::copy(g.data(), g.data() + core_volume, core.data());
 
     // Sketch-space residual as the convergence proxy.
@@ -175,6 +188,11 @@ Result<TuckerDecomposition> TuckerTs(const Tensor& x,
   if (stats != nullptr) {
     stats->iterations = it;
     stats->iterate_seconds = iterate_timer.Seconds();
+    stats->completion = stop;
+    if (stop != StatusCode::kOk) {
+      stats->completion_detail = std::string(StatusCodeToString(stop)) +
+                                 " during sketched ALS iteration";
+    }
   }
 
   TuckerDecomposition dec;
@@ -230,9 +248,12 @@ Result<TuckerDecomposition> TuckerTtmts(const Tensor& x,
   std::vector<Matrix> factors =
       RandomOrthonormalFactors(x.shape(), options.ranks, options.seed);
   Tensor core(options.ranks);
+  StatusCode stop = StatusCode::kOk;
   double prev_error = 1.0;
   int it = 0;
   for (; it < options.max_iterations; ++it) {
+    stop = RunContext::CheckOrOk(options.run_context);
+    if (stop != StatusCode::kOk) break;
     for (Index n = 0; n < order; ++n) {
       // Y_(n) = X_(n) ((x) A_k) ~= xs1_n^T * (S_n ((x) A_k)); then leading
       // singular vectors.
@@ -263,6 +284,11 @@ Result<TuckerDecomposition> TuckerTtmts(const Tensor& x,
   if (stats != nullptr) {
     stats->iterations = it;
     stats->iterate_seconds = iterate_timer.Seconds();
+    stats->completion = stop;
+    if (stop != StatusCode::kOk) {
+      stats->completion_detail = std::string(StatusCodeToString(stop)) +
+                                 " during sketched TTM iteration";
+    }
   }
 
   TuckerDecomposition dec;

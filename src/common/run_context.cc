@@ -1,0 +1,77 @@
+#include "common/run_context.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <thread>
+
+namespace dtucker {
+
+Status IoRetryPolicy::Validate() const {
+  if (max_attempts < 1) {
+    return Status::InvalidArgument("io_retry.max_attempts must be >= 1");
+  }
+  if (initial_backoff_seconds < 0 || max_backoff_seconds < 0) {
+    return Status::InvalidArgument("io_retry backoffs must be non-negative");
+  }
+  if (backoff_multiplier < 1.0) {
+    return Status::InvalidArgument("io_retry.backoff_multiplier must be >= 1");
+  }
+  return Status::OK();
+}
+
+double IoRetryPolicy::BackoffSeconds(int attempt) const {
+  double b = initial_backoff_seconds;
+  for (int k = 0; k < attempt; ++k) {
+    b *= backoff_multiplier;
+    if (b >= max_backoff_seconds) break;
+  }
+  return std::min(b, max_backoff_seconds);
+}
+
+void RunContext::SetDeadlineAfter(double seconds) {
+  // An expired deadline is represented by any past timestamp; clamp the
+  // offset so extreme inputs cannot overflow the addition.
+  const double clamped =
+      std::clamp(seconds, -1e12, 1e12) * 1e9;
+  deadline_ns_.store(NowNs() + static_cast<std::int64_t>(clamped),
+                     std::memory_order_relaxed);
+}
+
+double RunContext::RemainingSeconds() const {
+  const std::int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+  if (d == 0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(d - NowNs()) * 1e-9;
+}
+
+Status RunContext::CheckStatus(const char* where) const {
+  switch (Check()) {
+    case StatusCode::kCancelled:
+      return Status::Cancelled(std::string("cancelled at ") + where);
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(std::string("deadline exceeded at ") +
+                                      where);
+    default:
+      return Status::OK();
+  }
+}
+
+Status BackoffWithContext(const IoRetryPolicy& policy, int attempt,
+                          const RunContext* ctx) {
+  double remaining = policy.BackoffSeconds(attempt);
+  while (remaining > 0) {
+    if (ctx != nullptr) {
+      DT_RETURN_NOT_OK(ctx->CheckStatus("io retry backoff"));
+    }
+    const double slice = std::min(remaining, 1e-3);
+    std::this_thread::sleep_for(std::chrono::duration<double>(slice));
+    remaining -= slice;
+  }
+  if (ctx != nullptr) {
+    DT_RETURN_NOT_OK(ctx->CheckStatus("io retry backoff"));
+  }
+  return Status::OK();
+}
+
+}  // namespace dtucker

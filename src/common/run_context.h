@@ -1,0 +1,139 @@
+// Execution control for long-running solves: cooperative cancellation,
+// monotonic deadlines, IO retry policy, and deterministic fault injection.
+//
+// A RunContext is created by the caller, optionally armed with a deadline,
+// and passed (by pointer, caller-owned) into a solve through
+// TuckerOptions::run_context or the Engine facade (dtucker/engine.h).
+// Solvers poll it at bounded-work checkpoints — per slice in the
+// approximation phase, per panel in initialization, per sweep and per mode
+// in iteration, per read in the out-of-core streaming loop — so the time
+// between a cancellation request and the solver observing it is one
+// checkpoint's worth of work, never a whole solve.
+//
+// Cost model: an un-armed check is one relaxed atomic load plus a
+// predicted branch (~1 ns, the same budget as the trace gate). A deadline
+// check additionally reads the steady clock, but only when a deadline is
+// actually set, so an armed-but-idle context stays off the hot path's
+// critical resources.
+//
+// Thread safety: RequestCancel() may be called from any thread at any
+// time; Check*() may run concurrently on every solver thread. Deadline and
+// retry-policy setters are not synchronized against in-flight checks —
+// configure before handing the context to a solve.
+#ifndef DTUCKER_COMMON_RUN_CONTEXT_H_
+#define DTUCKER_COMMON_RUN_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+
+namespace dtucker {
+
+// Bounded retry with exponential backoff for transient IO faults
+// (data/tensor_file.h). Attempt k (0-based) sleeps
+// min(initial * multiplier^k, max) before retrying; max_attempts counts
+// the first try, so 1 disables retries entirely.
+struct IoRetryPolicy {
+  int max_attempts = 4;
+  double initial_backoff_seconds = 1e-3;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 0.25;
+
+  Status Validate() const;
+  // Backoff before retry number `attempt` (0-based failed attempt).
+  double BackoffSeconds(int attempt) const;
+};
+
+class RunContext {
+ public:
+  RunContext() = default;
+
+  // Not copyable/movable: solvers hold a pointer for the duration of a run.
+  RunContext(const RunContext&) = delete;
+  RunContext& operator=(const RunContext&) = delete;
+
+  // --- Cancellation -------------------------------------------------------
+  // Requests cooperative cancellation; solvers stop at their next
+  // checkpoint. Idempotent, callable from any thread.
+  void RequestCancel() { cancel_.store(true, std::memory_order_relaxed); }
+  bool cancel_requested() const {
+    return cancel_.load(std::memory_order_relaxed);
+  }
+
+  // --- Deadline -----------------------------------------------------------
+  // Arms a wall-time budget of `seconds` from now (steady clock; immune to
+  // system-clock jumps). Non-positive values arm an already-expired
+  // deadline, which solvers observe at their first checkpoint.
+  void SetDeadlineAfter(double seconds);
+  void ClearDeadline() { deadline_ns_.store(0, std::memory_order_relaxed); }
+  bool has_deadline() const {
+    return deadline_ns_.load(std::memory_order_relaxed) != 0;
+  }
+  // Seconds until expiry (negative once past; +inf when no deadline).
+  double RemainingSeconds() const;
+
+  // --- Checkpoints --------------------------------------------------------
+  // The hot-path poll: kOk, or the interruption to honor. Cancellation
+  // wins over an expired deadline when both apply.
+  StatusCode Check() const {
+    if (cancel_.load(std::memory_order_relaxed)) return StatusCode::kCancelled;
+    const std::int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    if (d != 0 && NowNs() >= d) return StatusCode::kDeadlineExceeded;
+    return StatusCode::kOk;
+  }
+
+  // Check() as a Status with a "<where>" location message. OK when clear.
+  Status CheckStatus(const char* where) const;
+
+  // True once the context can interrupt a run (cancelled or deadline
+  // armed). Solvers use this to decide whether to keep the per-sweep
+  // state snapshot that partial results restore from.
+  bool armed() const {
+    return cancel_requested() || has_deadline();
+  }
+
+  // --- IO fault tolerance -------------------------------------------------
+  // Retry policy for transient read failures in the out-of-core path.
+  IoRetryPolicy io_retry;
+
+  // Deterministic fault injection for testing the retry logic without real
+  // disk errors: when set, the IO layer calls the hook before every
+  // low-level attempt with the operation name (e.g. "tensor_file.read")
+  // and the 0-based attempt number; a non-OK return is treated exactly
+  // like a real transient failure of that attempt. Leave empty in
+  // production.
+  std::function<Status(const char* op, int attempt)> fault_hook;
+
+  // Null-safe helpers so solver code can thread an optional context without
+  // branching on nullptr at every site.
+  static StatusCode CheckOrOk(const RunContext* ctx) {
+    return ctx == nullptr ? StatusCode::kOk : ctx->Check();
+  }
+  static bool Armed(const RunContext* ctx) {
+    return ctx != nullptr && ctx->armed();
+  }
+
+ private:
+  static std::int64_t NowNs() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  std::atomic<bool> cancel_{false};
+  std::atomic<std::int64_t> deadline_ns_{0};  // 0 = no deadline.
+};
+
+// Sleeps for the policy's backoff before retry `attempt`, waking early (and
+// reporting the interruption) if `ctx` is cancelled or past deadline. The
+// sleep is sliced so cancellation latency stays bounded by ~1 ms even under
+// long backoffs. `ctx` may be null.
+Status BackoffWithContext(const IoRetryPolicy& policy, int attempt,
+                          const RunContext* ctx);
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_COMMON_RUN_CONTEXT_H_

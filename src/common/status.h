@@ -22,7 +22,24 @@ enum class StatusCode {
   kIoError = 5,
   kNotImplemented = 6,
   kInternal = 7,
+  // Execution control (common/run_context.h). These two are interruptions,
+  // not failures: a solver that has a complete intermediate state returns
+  // it alongside the code (TuckerStats::completion), so callers get the
+  // best-so-far answer instead of nothing.
+  kCancelled = 8,
+  kDeadlineExceeded = 9,
+  // A transient fault (e.g. a flaky read) that survived the bounded-retry
+  // policy. Distinct from kIoError so callers can tell "the file is bad"
+  // from "the storage path was unavailable right now".
+  kUnavailable = 10,
 };
+
+// True for the graceful-interruption codes (kCancelled/kDeadlineExceeded):
+// the run stopped on request, and any value returned with this code is a
+// valid partial result rather than garbage.
+inline bool IsInterruption(StatusCode code) {
+  return code == StatusCode::kCancelled || code == StatusCode::kDeadlineExceeded;
+}
 
 // Returns a short human-readable name such as "InvalidArgument".
 const char* StatusCodeToString(StatusCode code);
@@ -55,6 +72,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -79,6 +79,39 @@ Status TensorFileReader::ReadFrontalSlices(Index first, Index count,
   return Status::OK();
 }
 
+Status TensorFileReader::ReadFrontalSlicesWithRetry(
+    Index first, Index count, double* out, const RunContext* ctx) const {
+  if (ctx == nullptr) return ReadFrontalSlices(first, count, out);
+  const IoRetryPolicy& policy = ctx->io_retry;
+  DT_RETURN_NOT_OK(policy.Validate());
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    DT_RETURN_NOT_OK(ctx->CheckStatus("tensor file read"));
+    if (attempt > 0) DT_RETURN_NOT_OK(BackoffWithContext(policy, attempt, ctx));
+    if (ctx->fault_hook) {
+      Status injected = ctx->fault_hook("ReadFrontalSlices", attempt);
+      if (!injected.ok()) {
+        last = std::move(injected);
+        continue;
+      }
+    }
+    Status st = ReadFrontalSlices(first, count, out);
+    if (st.ok()) return st;
+    // Out-of-range is a caller bug, not a storage hiccup — retrying the
+    // same arguments cannot succeed.
+    if (st.code() == StatusCode::kOutOfRange) return st;
+    last = std::move(st);
+    // A failed fread/fseek latches the stream error flag; clear it so the
+    // next attempt is a clean retry rather than an instant failure.
+    std::clearerr(file_.get());
+  }
+  return Status::Unavailable(
+      "slice read [" + std::to_string(first) + ", " +
+      std::to_string(first + count) + ") still failing after " +
+      std::to_string(policy.max_attempts) +
+      " attempts; last error: " + last.ToString());
+}
+
 Result<Matrix> TensorFileReader::ReadFrontalSlice(Index l) const {
   Matrix m(shape_[0], shape_[1]);
   DT_RETURN_NOT_OK(ReadFrontalSlices(l, 1, m.data()));

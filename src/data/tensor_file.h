@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/run_context.h"
 #include "common/status.h"
 #include "linalg/matrix.h"
 
@@ -38,8 +39,19 @@ class TensorFileReader {
   Result<Matrix> ReadFrontalSlice(Index l) const;
 
   // Reads `count` consecutive frontal slices starting at `first` into a
-  // contiguous buffer (rows*cols*count doubles).
+  // contiguous buffer (rows*cols*count doubles). One attempt, no retry.
   Status ReadFrontalSlices(Index first, Index count, double* out) const;
+
+  // Retrying variant for streaming loops over flaky storage: transient
+  // failures (short reads, seek errors — anything but kOutOfRange) are
+  // retried under ctx->io_retry with exponential backoff, honouring
+  // cancellation/deadline between attempts. When ctx->fault_hook is set it
+  // is consulted before every low-level attempt (deterministic fault
+  // injection for tests); a non-OK hook result counts as that attempt
+  // failing. Returns kUnavailable once the attempt budget is exhausted.
+  // With ctx == nullptr this is a plain single-attempt read.
+  Status ReadFrontalSlicesWithRetry(Index first, Index count, double* out,
+                                    const RunContext* ctx) const;
 
  private:
   TensorFileReader() = default;

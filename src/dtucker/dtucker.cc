@@ -336,19 +336,32 @@ struct InitResult {
   Tensor core;
 };
 
-// Initialization phase (Section 2 of the header comment).
+// Initialization phase (Section 2 of the header comment). `ctx` is polled
+// between panels (one panel = one factor's Gram/eigen solve or one
+// projected-core build); the first interruption observed is recorded in
+// *stop. Every panel still runs — each is a small bounded unit and all of
+// them are required for the result to be a structurally valid
+// decomposition — so an interruption here degrades the run to
+// "initialization only" rather than aborting it.
 InitResult InitializeFactors(const SliceApproximation& approx,
                              const std::vector<Index>& ranks, double s_inv,
-                             SweepWorkspace* ws) {
+                             SweepWorkspace* ws, const RunContext* ctx,
+                             StatusCode* stop) {
   const Index order = static_cast<Index>(approx.shape.size());
   InitResult init;
   init.factors.resize(static_cast<std::size_t>(order));
+  auto checkpoint = [&] {
+    if (stop == nullptr || *stop != StatusCode::kOk) return;
+    *stop = RunContext::CheckOrOk(ctx);
+  };
 
   // A1 / A2 from the Grams of the stacked scaled slice factors.
   init.factors[0] =
       TopEigenvectorsSym(StackedFactorGram(approx, 0, s_inv), ranks[0]);
+  checkpoint();
   init.factors[1] =
       TopEigenvectorsSym(StackedFactorGram(approx, 1, s_inv), ranks[1]);
+  checkpoint();
 
   // Trailing factors from the small projected tensor Z, matricization-free
   // via the mode-n Gram. The subspace slots seed the sweeps' warm starts:
@@ -358,10 +371,12 @@ InitResult InitializeFactors(const SliceApproximation& approx,
   }
   BuildProjectedCoreInto(approx, init.factors[0], init.factors[1], s_inv,
                          &ws->z);
+  checkpoint();
   for (Index n = 2; n < order; ++n) {
     init.factors[static_cast<std::size_t>(n)] = LeadingModeVectorsViaGram(
         ws->z, n, ranks[static_cast<std::size_t>(n)],
         &ws->subspace[static_cast<std::size_t>(n)]);
+    checkpoint();
   }
   init.core = *ContractTrailing(ws->z, init.factors, /*skip_mode=*/-1, ws);
   return init;
@@ -369,17 +384,50 @@ InitResult InitializeFactors(const SliceApproximation& approx,
 
 }  // namespace
 
+Status DTuckerOptions::Validate(const std::vector<Index>& shape) const {
+  if (shape.size() < 3) {
+    return Status::InvalidArgument("D-Tucker requires an order >= 3 tensor");
+  }
+  DT_RETURN_NOT_OK(ValidateRanks(shape, tucker.ranks));
+  if (tucker.max_iterations < 0) {
+    return Status::InvalidArgument("max_iterations must be non-negative");
+  }
+  if (tucker.tolerance < 0) {
+    return Status::InvalidArgument("tolerance must be non-negative");
+  }
+  if (slice_rank < 0) {
+    return Status::InvalidArgument("slice_rank must be non-negative");
+  }
+  if (oversampling < 0) {
+    return Status::InvalidArgument("oversampling must be non-negative");
+  }
+  if (power_iterations < 0) {
+    return Status::InvalidArgument("power_iterations must be non-negative");
+  }
+  if (num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be non-negative");
+  }
+  return Status::OK();
+}
+
 namespace internal_dtucker {
 
-void DTuckerSweep(const SliceApproximation& approx,
+bool DTuckerSweep(const SliceApproximation& approx,
                   const std::vector<Index>& ranks,
                   std::vector<Matrix>* factors, Tensor* core,
-                  SweepWorkspace* ws, double s_inv) {
+                  SweepWorkspace* ws, double s_inv, const RunContext* ctx) {
   DT_TRACE_SPAN("dtucker.sweep");
   const Index order = static_cast<Index>(approx.shape.size());
   if (static_cast<Index>(ws->subspace.size()) < order) {
     ws->subspace.resize(static_cast<std::size_t>(order));
   }
+  // Interruption checkpoints sit between mode updates: a mode update is the
+  // bounded unit of work (one carrier build + one eigen solve), so a
+  // cancellation is noticed within one update's latency. After a trip the
+  // factors are mid-update — the caller owns the pre-sweep snapshot.
+  auto interrupted = [&] {
+    return RunContext::CheckOrOk(ctx) != StatusCode::kOk;
+  };
   // Inexact inner solves: each factor update only needs a subspace good
   // enough for the next HOOI sweep to improve on, and the warm start means
   // the basis keeps refining across sweeps even when a single call stops
@@ -393,6 +441,7 @@ void DTuckerSweep(const SliceApproximation& approx,
   // Gram path of LeadingModeVectorsViaGram (the contracted carrier is
   // I1 x J2 x J3 x ..., so the wide side is a product of ranks),
   // warm-started from the previous sweep's subspace.
+  if (interrupted()) return false;
   {
     DT_TRACE_SPAN("dtucker.update_mode1");
     BuildModeOneCarrierInto(approx, (*factors)[1], s_inv, &ws->carrier);
@@ -400,6 +449,7 @@ void DTuckerSweep(const SliceApproximation& approx,
         *ContractTrailing(ws->carrier, *factors, /*skip_mode=*/-1, ws), 0,
         ranks[0], &ws->subspace[0], kInnerEig);
   }
+  if (interrupted()) return false;
   {
     // Mode-2 update (uses the fresh A1). T2 is laid out mode-1-first, so
     // this too is a mode-0 problem on the contracted carrier
@@ -414,26 +464,30 @@ void DTuckerSweep(const SliceApproximation& approx,
     // Trailing-mode updates share one projected tensor Z built from the
     // fresh A1, A2 (Z does not depend on trailing factors).
     DT_TRACE_SPAN("dtucker.update_trailing");
+    if (interrupted()) return false;
     BuildProjectedCoreInto(approx, (*factors)[0], (*factors)[1], s_inv,
                            &ws->z);
     for (Index n = 2; n < order; ++n) {
+      if (interrupted()) return false;
       (*factors)[static_cast<std::size_t>(n)] = LeadingModeVectorsViaGram(
           *ContractTrailing(ws->z, *factors, /*skip_mode=*/n, ws), n,
           ranks[static_cast<std::size_t>(n)],
           &ws->subspace[static_cast<std::size_t>(n)], kInnerEig);
     }
   }
+  if (interrupted()) return false;
   {
     DT_TRACE_SPAN("dtucker.core_refresh");
     *core = *ContractTrailing(ws->z, *factors, /*skip_mode=*/-1, ws);
   }
+  return true;
 }
 
-void DTuckerSweep(const SliceApproximation& approx,
+bool DTuckerSweep(const SliceApproximation& approx,
                   const std::vector<Index>& ranks,
                   std::vector<Matrix>* factors, Tensor* core) {
   SweepWorkspace ws;
-  DTuckerSweep(approx, ranks, factors, core, &ws, /*s_inv=*/1.0);
+  return DTuckerSweep(approx, ranks, factors, core, &ws, /*s_inv=*/1.0);
 }
 
 }  // namespace internal_dtucker
@@ -499,11 +553,20 @@ Result<RankSuggestion> SuggestRanksFromApproximation(
 
 Result<TuckerDecomposition> DTuckerInitializeOnly(
     const SliceApproximation& approx, const DTuckerOptions& options) {
-  DT_RETURN_NOT_OK(ValidateRanks(approx.shape, options.ranks));
+  DT_RETURN_NOT_OK(approx.Validate());
+  DT_RETURN_NOT_OK(options.Validate(approx.shape));
+  const RunContext* ctx = options.tucker.run_context;
+  if (ctx != nullptr) {
+    DT_RETURN_NOT_OK(ctx->CheckStatus("d-tucker initialization"));
+  }
   const double scale = ComputeScale(approx);
   const double s_inv = 1.0 / scale;  // Exactly 1.0 in the common case.
   SweepWorkspace ws;
-  InitResult init = InitializeFactors(approx, options.ranks, s_inv, &ws);
+  // All panels run even under interruption (see InitializeFactors): the
+  // init-only result *is* the final product here, so nothing is skipped.
+  StatusCode stop = StatusCode::kOk;
+  InitResult init =
+      InitializeFactors(approx, options.tucker.ranks, s_inv, &ws, ctx, &stop);
   TuckerDecomposition dec;
   dec.factors = std::move(init.factors);
   dec.core = std::move(init.core);
@@ -515,19 +578,27 @@ Result<TuckerDecomposition> DTuckerFromApproximation(
     const SliceApproximation& approx, const DTuckerOptions& options,
     TuckerStats* stats) {
   DT_RETURN_NOT_OK(approx.Validate());
-  DT_RETURN_NOT_OK(ValidateRanks(approx.shape, options.ranks));
+  DT_RETURN_NOT_OK(options.Validate(approx.shape));
+  const RunContext* ctx = options.tucker.run_context;
+  // Nothing has been computed yet, so an interruption observed here is a
+  // plain error rather than a degraded result.
+  if (ctx != nullptr) DT_RETURN_NOT_OK(ctx->CheckStatus("d-tucker solve"));
   const double scale = ComputeScale(approx);
   const double s_inv = 1.0 / scale;  // Exactly 1.0 in the common case.
   const double approx_norm2 = ApproxSquaredNorm(approx, s_inv);
 
   Timer init_timer;
   SweepWorkspace ws;
+  StatusCode stop = StatusCode::kOk;
   InitResult state = [&] {
     DT_TRACE_SPAN("dtucker.initialization");
-    return InitializeFactors(approx, options.ranks, s_inv, &ws);
+    return InitializeFactors(approx, options.tucker.ranks, s_inv, &ws, ctx,
+                             &stop);
   }();
   GlobalPhaseTimer().Add("dtucker.initialization", init_timer.Seconds());
   if (stats != nullptr) stats->init_seconds = init_timer.Seconds();
+  const char* stop_phase =
+      stop != StatusCode::kOk ? "initialization" : nullptr;
 
   Timer iterate_timer;
   DT_TRACE_SPAN("dtucker.iteration");
@@ -537,12 +608,39 @@ Result<TuckerDecomposition> DTuckerFromApproximation(
   static Counter& eig_sweeps = MetricCounter("eig.subspace_sweeps");
   double prev_fit = 1.0 - std::sqrt(std::max(prev_error, 0.0));
 
+  // Pre-sweep snapshots (taken whenever a RunContext is attached — a
+  // cancel from another thread can land mid-sweep even if the context was
+  // idle at loop entry): a mid-sweep abort leaves the factors half-updated,
+  // so the loop rolls back to the last completed sweep — the returned
+  // decomposition then matches the last telemetry record exactly.
+  const bool armed = ctx != nullptr;
+  std::vector<Matrix> factors_snapshot;
+  Tensor core_snapshot;
+
   int it = 0;
-  for (; it < options.max_iterations; ++it) {
+  for (; it < options.tucker.max_iterations; ++it) {
+    if (stop == StatusCode::kOk) stop = RunContext::CheckOrOk(ctx);
+    if (stop != StatusCode::kOk) {
+      if (stop_phase == nullptr) stop_phase = "between iteration sweeps";
+      break;
+    }
     Timer sweep_timer;
     const std::uint64_t eig_before = eig_sweeps.Value();
-    internal_dtucker::DTuckerSweep(approx, options.ranks, &state.factors,
-                                   &state.core, &ws, s_inv);
+    if (armed) {
+      factors_snapshot = state.factors;
+      core_snapshot = state.core;
+    }
+    const bool completed = internal_dtucker::DTuckerSweep(
+        approx, options.tucker.ranks, &state.factors, &state.core, &ws, s_inv,
+        ctx);
+    if (!completed) {
+      state.factors = std::move(factors_snapshot);
+      state.core = std::move(core_snapshot);
+      stop = RunContext::CheckOrOk(ctx);
+      if (stop == StatusCode::kOk) stop = StatusCode::kCancelled;
+      stop_phase = "mid-sweep (rolled back to the previous sweep)";
+      break;
+    }
     const double error = OrthogonalTuckerRelativeError(
         approx_norm2, state.core.SquaredNorm());
     if (stats != nullptr) stats->error_history.push_back(error);
@@ -561,7 +659,7 @@ Result<TuckerDecomposition> DTuckerFromApproximation(
     }
     const double delta = std::fabs(prev_error - error);
     prev_error = error;
-    if (delta < options.tolerance) {
+    if (delta < options.tucker.tolerance) {
       ++it;
       break;
     }
@@ -573,6 +671,13 @@ Result<TuckerDecomposition> DTuckerFromApproximation(
     stats->iterations = it;
     stats->iterate_seconds = iterate_timer.Seconds();
     stats->working_bytes = approx.ByteSize();
+    stats->completion = stop;
+    if (stop != StatusCode::kOk) {
+      stats->completion_detail =
+          std::string(StatusCodeToString(stop)) + " during " +
+          (stop_phase != nullptr ? stop_phase : "iteration") + "; " +
+          std::to_string(it) + " completed sweep(s)";
+    }
   }
 
   TuckerDecomposition dec;
@@ -585,11 +690,8 @@ Result<TuckerDecomposition> DTuckerFromApproximation(
 Result<TuckerDecomposition> DTucker(const Tensor& x,
                                     const DTuckerOptions& options,
                                     TuckerStats* stats) {
-  if (x.order() < 3) {
-    return Status::InvalidArgument("D-Tucker requires an order >= 3 tensor");
-  }
-  DT_RETURN_NOT_OK(ValidateRanks(x.shape(), options.ranks));
-  if (options.validate_input) DT_RETURN_NOT_OK(ValidateFinite(x));
+  DT_RETURN_NOT_OK(options.Validate(x.shape()));
+  if (options.tucker.validate_input) DT_RETURN_NOT_OK(ValidateFinite(x));
 
   if (options.auto_reorder) {
     std::vector<Index> perm, inverse;
@@ -602,10 +704,10 @@ Result<TuckerDecomposition> DTucker(const Tensor& x,
       Tensor xp = x.Permuted(perm);
       DTuckerOptions inner = options;
       inner.auto_reorder = false;
-      inner.ranks.clear();
+      inner.tucker.ranks.clear();
       for (Index k = 0; k < x.order(); ++k) {
-        inner.ranks.push_back(
-            options.ranks[static_cast<std::size_t>(perm[static_cast<std::size_t>(k)])]);
+        inner.tucker.ranks.push_back(options.tucker.ranks[static_cast<std::size_t>(
+            perm[static_cast<std::size_t>(k)])]);
       }
       DT_ASSIGN_OR_RETURN(TuckerDecomposition dp, DTucker(xp, inner, stats));
       TuckerDecomposition dec;
@@ -624,8 +726,9 @@ Result<TuckerDecomposition> DTucker(const Tensor& x,
       std::min(options.EffectiveSliceRank(), std::min(x.dim(0), x.dim(1)));
   approx_opts.oversampling = options.oversampling;
   approx_opts.power_iterations = options.power_iterations;
-  approx_opts.seed = options.seed;
+  approx_opts.seed = options.tucker.seed;
   approx_opts.num_threads = options.num_threads;
+  approx_opts.run_context = options.tucker.run_context;
 
   Timer approx_timer;
   Result<SliceApproximation> approx_result = [&] {

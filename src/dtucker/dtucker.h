@@ -25,7 +25,13 @@
 
 namespace dtucker {
 
-struct DTuckerOptions : TuckerOptions {
+struct DTuckerOptions {
+  // Shared solver knobs (ranks, iteration budget, tolerance, seed, input
+  // validation, execution control). Composition, not inheritance: the
+  // shared surface is one named field instead of a base class, so the
+  // boundary between "every solver" and "D-Tucker" knobs is explicit.
+  TuckerOptions tucker;
+
   // Rank Js of the per-slice SVDs. 0 means "max of the first two Tucker
   // ranks", the paper's setting.
   Index slice_rank = 0;
@@ -47,11 +53,21 @@ struct DTuckerOptions : TuckerOptions {
   // collected into TuckerStats::sweep_history when stats are requested.
   std::function<void(const SweepTelemetry&)> sweep_callback;
 
+  // Whole-surface validation against the input shape — the one place every
+  // entry point rejects bad arguments (replaces the scattered per-phase
+  // checks). Returns OK or a descriptive InvalidArgument.
+  Status Validate(const std::vector<Index>& shape) const;
+
   Index EffectiveSliceRank() const {
     if (slice_rank > 0) return slice_rank;
-    return std::max(ranks[0], ranks[1]);
+    return std::max(tucker.ranks[0], tucker.ranks[1]);
   }
 };
+
+// Deprecated spelling kept for one release while callers migrate to the
+// composed DTuckerOptions (options.tucker.* for the shared knobs).
+using LegacyDTuckerOptions [[deprecated("use DTuckerOptions")]] =
+    DTuckerOptions;
 
 // End-to-end D-Tucker: approximation + initialization + iteration.
 Result<TuckerDecomposition> DTucker(const Tensor& x,
@@ -140,14 +156,19 @@ const Tensor* ContractTrailing(const Tensor& t,
 
 // One HOOI sweep over the slice structure (mode 1, mode 2, trailing modes,
 // core refresh). `factors` must hold one column-orthogonal matrix per mode
-// with row counts matching approx.shape.
-void DTuckerSweep(const SliceApproximation& approx,
+// with row counts matching approx.shape. `ctx` (optional) is polled before
+// each mode update; on interruption the sweep returns false immediately
+// and *factors/*core are left mid-update (the caller restores its
+// pre-sweep snapshot — see DTuckerFromApproximation). Returns true when
+// the sweep ran to completion.
+bool DTuckerSweep(const SliceApproximation& approx,
                   const std::vector<Index>& ranks,
                   std::vector<Matrix>* factors, Tensor* core,
-                  SweepWorkspace* workspace, double s_inv = 1.0);
+                  SweepWorkspace* workspace, double s_inv = 1.0,
+                  const RunContext* ctx = nullptr);
 
 // Convenience overload with a transient workspace (white-box tests).
-void DTuckerSweep(const SliceApproximation& approx,
+bool DTuckerSweep(const SliceApproximation& approx,
                   const std::vector<Index>& ranks,
                   std::vector<Matrix>* factors, Tensor* core);
 

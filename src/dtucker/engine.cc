@@ -1,0 +1,102 @@
+#include "dtucker/engine.h"
+
+#include <utility>
+
+#include "linalg/blas.h"
+
+namespace dtucker {
+
+Status EngineOptions::Validate(const std::vector<Index>& shape) const {
+  DT_RETURN_NOT_OK(method_options.Validate(shape));
+  if (blas_threads < 0) {
+    return Status::InvalidArgument("blas_threads must be non-negative");
+  }
+  return Status::OK();
+}
+
+Engine::Engine(EngineOptions options) : options_(std::move(options)) {}
+
+void Engine::ApplyBlasThreads() const {
+  if (options_.blas_threads > 0) SetBlasThreads(options_.blas_threads);
+}
+
+Status Engine::RequireDTucker(const char* entry) const {
+  if (options_.method != TuckerMethod::kDTucker) {
+    return Status::InvalidArgument(
+        std::string(entry) + " is D-Tucker-specific; options().method is " +
+        TuckerMethodName(options_.method));
+  }
+  return Status::OK();
+}
+
+DTuckerOptions Engine::DTuckerOptionsFromMethod() {
+  DTuckerOptions opt;
+  opt.tucker = options_.method_options.tucker;
+  opt.tucker.run_context = &ctx_;
+  opt.oversampling = options_.method_options.oversampling;
+  opt.power_iterations = options_.method_options.power_iterations;
+  opt.num_threads = options_.method_options.num_threads;
+  opt.sweep_callback = options_.method_options.sweep_callback;
+  return opt;
+}
+
+void Engine::FinishRun(EngineRun* run) const {
+  if (run->stats.completion != StatusCode::kOk) {
+    run->status = Status(run->stats.completion,
+                         run->stats.completion_detail.empty()
+                             ? "run interrupted"
+                             : run->stats.completion_detail);
+  }
+  RecordSweepMetrics(run->stats);
+}
+
+Result<EngineRun> Engine::Solve(const Tensor& x) {
+  DT_RETURN_NOT_OK(options_.Validate(x.shape()));
+  ApplyBlasThreads();
+  MethodOptions opts = options_.method_options;
+  opts.tucker.run_context = &ctx_;
+  DT_ASSIGN_OR_RETURN(
+      MethodRun method_run,
+      RunTuckerMethod(options_.method, x, opts, options_.measure_error));
+  EngineRun run;
+  run.decomposition = std::move(method_run.decomposition);
+  run.stats = std::move(method_run.stats);
+  run.relative_error = method_run.relative_error;
+  run.stored_bytes = method_run.stored_bytes;
+  // RunTuckerMethod already published the sweep metrics; FinishRun only
+  // needs to fold the completion code (re-publishing gauges is idempotent).
+  FinishRun(&run);
+  return run;
+}
+
+Result<EngineRun> Engine::SolveFile(const std::string& path) {
+  DT_RETURN_NOT_OK(RequireDTucker("SolveFile"));
+  ApplyBlasThreads();
+  DTuckerOptions opt = DTuckerOptionsFromMethod();
+  EngineRun run;
+  DT_ASSIGN_OR_RETURN(run.decomposition,
+                      DTuckerFromFile(path, opt, &run.stats));
+  run.stored_bytes = run.stats.working_bytes;
+  if (!run.stats.error_history.empty()) {
+    run.relative_error = run.stats.error_history.back();
+  }
+  FinishRun(&run);
+  return run;
+}
+
+Result<EngineRun> Engine::SolveApproximation(const SliceApproximation& approx) {
+  DT_RETURN_NOT_OK(RequireDTucker("SolveApproximation"));
+  ApplyBlasThreads();
+  DTuckerOptions opt = DTuckerOptionsFromMethod();
+  EngineRun run;
+  DT_ASSIGN_OR_RETURN(run.decomposition,
+                      DTuckerFromApproximation(approx, opt, &run.stats));
+  run.stored_bytes = approx.ByteSize();
+  if (!run.stats.error_history.empty()) {
+    run.relative_error = run.stats.error_history.back();
+  }
+  FinishRun(&run);
+  return run;
+}
+
+}  // namespace dtucker

@@ -9,6 +9,14 @@
 
 namespace dtucker {
 
+Status OnlineDTuckerOptions::Validate(const std::vector<Index>& shape) const {
+  DT_RETURN_NOT_OK(dtucker.Validate(shape));
+  if (refit_sweeps < 0) {
+    return Status::InvalidArgument("refit_sweeps must be non-negative");
+  }
+  return Status::OK();
+}
+
 OnlineDTucker::OnlineDTucker(OnlineDTuckerOptions options)
     : options_(std::move(options)) {}
 
@@ -24,13 +32,15 @@ void OnlineDTucker::AccumulateGrams(Index first) {
   }
 }
 
-void OnlineDTucker::Refit(int sweeps) {
+StatusCode OnlineDTucker::Refit(int sweeps) {
+  const std::vector<Index>& ranks = options_.dtucker.tucker.ranks;
+  const RunContext* ctx = options_.dtucker.tucker.run_context;
   const Index order = static_cast<Index>(approx_.shape.size());
   std::vector<Matrix> factors(static_cast<std::size_t>(order));
 
   // A1/A2 from the incrementally maintained Grams.
-  factors[0] = TopEigenvectorsSym(gram1_, options_.ranks[0]);
-  factors[1] = TopEigenvectorsSym(gram2_, options_.ranks[1]);
+  factors[0] = TopEigenvectorsSym(gram1_, ranks[0]);
+  factors[1] = TopEigenvectorsSym(gram2_, ranks[1]);
   // Trailing factors (including the grown temporal mode) from the small
   // projected tensor, matricization-free via the mode Grams. The workspace
   // is shared across the refit sweeps so they stop churning the allocator.
@@ -39,37 +49,55 @@ void OnlineDTucker::Refit(int sweeps) {
                                            /*s_inv=*/1.0, &ws.z);
   for (Index n = 2; n < order; ++n) {
     factors[static_cast<std::size_t>(n)] = LeadingModeVectorsViaGram(
-        ws.z, n, options_.ranks[static_cast<std::size_t>(n)]);
+        ws.z, n, ranks[static_cast<std::size_t>(n)]);
   }
   Tensor core = *internal_dtucker::ContractTrailing(ws.z, factors,
                                                     /*skip_mode=*/-1, &ws);
 
+  // The rebuild above always completes (each step is bounded and a valid
+  // decomposition needs all of them); only the sweep loop is interruptible,
+  // with the same snapshot/rollback contract as DTuckerFromApproximation.
+  StatusCode stop = StatusCode::kOk;
+  const bool armed = ctx != nullptr;
+  std::vector<Matrix> factors_snapshot;
+  Tensor core_snapshot;
   for (int s = 0; s < sweeps; ++s) {
-    internal_dtucker::DTuckerSweep(approx_, options_.ranks, &factors, &core,
-                                   &ws, /*s_inv=*/1.0);
+    stop = RunContext::CheckOrOk(ctx);
+    if (stop != StatusCode::kOk) break;
+    if (armed) {
+      factors_snapshot = factors;
+      core_snapshot = core;
+    }
+    if (!internal_dtucker::DTuckerSweep(approx_, ranks, &factors, &core, &ws,
+                                        /*s_inv=*/1.0, ctx)) {
+      factors = std::move(factors_snapshot);
+      core = std::move(core_snapshot);
+      stop = RunContext::CheckOrOk(ctx);
+      if (stop == StatusCode::kOk) stop = StatusCode::kCancelled;
+      break;
+    }
   }
   dec_.factors = std::move(factors);
   dec_.core = std::move(core);
+  return stop;
 }
 
 Status OnlineDTucker::Initialize(const Tensor& x) {
   if (initialized_) {
     return Status::FailedPrecondition("OnlineDTucker already initialized");
   }
-  if (x.order() < 3) {
-    return Status::InvalidArgument("D-TuckerO requires an order >= 3 tensor");
-  }
-  DT_RETURN_NOT_OK(ValidateRanks(x.shape(), options_.ranks));
+  DT_RETURN_NOT_OK(options_.Validate(x.shape()));
 
   last_stats_ = TuckerStats();
   Timer timer;
   SliceApproximationOptions approx_opts;
-  approx_opts.slice_rank =
-      std::min(options_.EffectiveSliceRank(), std::min(x.dim(0), x.dim(1)));
-  approx_opts.oversampling = options_.oversampling;
-  approx_opts.power_iterations = options_.power_iterations;
-  approx_opts.seed = options_.seed;
-  approx_opts.num_threads = options_.num_threads;
+  approx_opts.slice_rank = std::min(options_.dtucker.EffectiveSliceRank(),
+                                    std::min(x.dim(0), x.dim(1)));
+  approx_opts.oversampling = options_.dtucker.oversampling;
+  approx_opts.power_iterations = options_.dtucker.power_iterations;
+  approx_opts.seed = options_.dtucker.tucker.seed;
+  approx_opts.num_threads = options_.dtucker.num_threads;
+  approx_opts.run_context = options_.dtucker.tucker.run_context;
   DT_ASSIGN_OR_RETURN(approx_, ApproximateSlices(x, approx_opts));
   last_stats_.preprocess_seconds = timer.Seconds();
 
@@ -78,9 +106,17 @@ Status OnlineDTucker::Initialize(const Tensor& x) {
   AccumulateGrams(0);
 
   Timer refit_timer;
-  Refit(options_.max_iterations);
+  const StatusCode stop = Refit(options_.dtucker.tucker.max_iterations);
   last_stats_.iterate_seconds = refit_timer.Seconds();
+  last_stats_.completion = stop;
+  // The ingest itself succeeded; an interruption only cut the refit short,
+  // so the instance is initialized and consistent either way.
   initialized_ = true;
+  if (stop != StatusCode::kOk) {
+    last_stats_.completion_detail = "online initialize refit interrupted";
+    return Status(stop, "online initialize refit interrupted "
+                        "(decomposition holds the last completed sweep)");
+  }
   return Status::OK();
 }
 
@@ -106,11 +142,13 @@ Status OnlineDTucker::Append(const Tensor& chunk) {
   Timer timer;
   SliceApproximationOptions approx_opts;
   approx_opts.slice_rank = approx_.slice_rank;
-  approx_opts.oversampling = options_.oversampling;
-  approx_opts.power_iterations = options_.power_iterations;
+  approx_opts.oversampling = options_.dtucker.oversampling;
+  approx_opts.power_iterations = options_.dtucker.power_iterations;
   // Distinct seed stream per append batch.
-  approx_opts.seed = options_.seed + 0x51ED270B * (approx_.NumSlices() + 1);
-  approx_opts.num_threads = options_.num_threads;
+  approx_opts.seed =
+      options_.dtucker.tucker.seed + 0x51ED270B * (approx_.NumSlices() + 1);
+  approx_opts.num_threads = options_.dtucker.num_threads;
+  approx_opts.run_context = options_.dtucker.tucker.run_context;
   DT_ASSIGN_OR_RETURN(
       std::vector<SliceSvd> new_slices,
       ApproximateSliceRange(chunk, 0, chunk.NumFrontalSlices(), approx_opts));
@@ -122,8 +160,16 @@ Status OnlineDTucker::Append(const Tensor& chunk) {
   AccumulateGrams(old_count);
 
   Timer refit_timer;
-  Refit(options_.refit_sweeps);
+  const StatusCode stop = Refit(options_.refit_sweeps);
   last_stats_.iterate_seconds = refit_timer.Seconds();
+  last_stats_.completion = stop;
+  if (stop != StatusCode::kOk) {
+    last_stats_.completion_detail = "online append refit interrupted";
+    // The chunk is ingested (slices + Grams); only the warm refit was cut
+    // short, so the decomposition is the last completed state.
+    return Status(stop, "online append refit interrupted "
+                        "(chunk ingested; decomposition not fully refreshed)");
+  }
   return Status::OK();
 }
 

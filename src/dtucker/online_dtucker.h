@@ -15,10 +15,22 @@
 
 namespace dtucker {
 
-struct OnlineDTuckerOptions : DTuckerOptions {
+struct OnlineDTuckerOptions {
+  // The underlying solver's knobs (composition, like DTuckerOptions itself:
+  // shared surface as a named field, online-only knobs alongside it).
+  // Execution control lives at dtucker.tucker.run_context; an interruption
+  // during a refit leaves the ingested state consistent and returns
+  // kCancelled/kDeadlineExceeded from Initialize/Append.
+  DTuckerOptions dtucker;
   // HOOI sweeps run after each Append (warm-started; a few suffice).
   int refit_sweeps = 3;
+
+  Status Validate(const std::vector<Index>& shape) const;
 };
+
+// Deprecated spelling kept for one release while callers migrate.
+using LegacyOnlineDTuckerOptions [[deprecated("use OnlineDTuckerOptions")]] =
+    OnlineDTuckerOptions;
 
 class OnlineDTucker {
  public:
@@ -53,8 +65,10 @@ class OnlineDTucker {
 
  private:
   // Recomputes A1/A2 from the incremental Grams, trailing factors from the
-  // projected tensor, then runs `sweeps` warm HOOI sweeps.
-  void Refit(int sweeps);
+  // projected tensor, then runs `sweeps` warm HOOI sweeps. Returns kOk, or
+  // the interruption code when the sweep loop was cut short (dec_ then
+  // holds the last completed state).
+  StatusCode Refit(int sweeps);
 
   // Adds the Gram contributions of slices [first, end) to gram1_/gram2_.
   void AccumulateGrams(Index first);

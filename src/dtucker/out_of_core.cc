@@ -30,9 +30,17 @@ Result<SliceApproximation> ApproximateSlicesFromFile(
   approx.slice_rank = options.slice_rank;
   approx.slices.reserve(static_cast<std::size_t>(reader.NumFrontalSlices()));
 
+  const RunContext* ctx = options.run_context;
   Matrix slice(reader.dim(0), reader.dim(1));  // Reused buffer.
   for (Index l = 0; l < reader.NumFrontalSlices(); ++l) {
-    DT_RETURN_NOT_OK(reader.ReadFrontalSlices(l, 1, slice.data()));
+    // Per-slice interruption checkpoint (same hard-stop semantics as the
+    // in-memory path: a half-compressed tensor has no usable partial), then
+    // a retrying read so a transient storage fault does not kill a
+    // multi-hour streaming pass.
+    if (ctx != nullptr) {
+      DT_RETURN_NOT_OK(ctx->CheckStatus("out-of-core slice approximation"));
+    }
+    DT_RETURN_NOT_OK(reader.ReadFrontalSlicesWithRetry(l, 1, slice.data(), ctx));
     RsvdOptions rsvd = base;
     // Same per-slice seed schedule as the in-memory path, so results are
     // bit-identical.
@@ -76,8 +84,9 @@ Result<TuckerDecomposition> DTuckerFromFile(const std::string& path,
   SliceApproximationOptions approx_opts;
   approx_opts.oversampling = options.oversampling;
   approx_opts.power_iterations = options.power_iterations;
-  approx_opts.seed = options.seed;
+  approx_opts.seed = options.tucker.seed;
   approx_opts.slice_rank = std::min(options.EffectiveSliceRank(), min_dim);
+  approx_opts.run_context = options.tucker.run_context;
 
   Timer timer;
   DT_ASSIGN_OR_RETURN(SliceApproximation approx,

@@ -1,6 +1,7 @@
 #include "dtucker/slice_approximation.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/thread_pool.h"
 #include "common/trace.h"
@@ -112,7 +113,21 @@ Result<std::vector<SliceSvd>> ApproximateSliceRange(
 
   DT_TRACE_SPAN("dtucker.slice_range");
   std::vector<SliceSvd> out(static_cast<std::size_t>(count));
+  // Per-slice interruption checkpoint. The first worker to observe a
+  // cancellation/deadline records the code; later slices (on any thread)
+  // skip their work so the whole loop drains within one slice's worth of
+  // compute per worker.
+  std::atomic<int> stop_code{static_cast<int>(StatusCode::kOk)};
   auto compress_one = [&](std::size_t i) {
+    if (stop_code.load(std::memory_order_relaxed) !=
+        static_cast<int>(StatusCode::kOk)) {
+      return;
+    }
+    const StatusCode check = RunContext::CheckOrOk(options.run_context);
+    if (check != StatusCode::kOk) {
+      stop_code.store(static_cast<int>(check), std::memory_order_relaxed);
+      return;
+    }
     DT_TRACE_SPAN("dtucker.slice_svd");
     const Index l = first + static_cast<Index>(i);
     Matrix slice = x.FrontalSlice(l);
@@ -169,6 +184,13 @@ Result<std::vector<SliceSvd>> ApproximateSliceRange(
     for (std::size_t i = 0; i < static_cast<std::size_t>(count); ++i) {
       compress_one(i);
     }
+  }
+  const StatusCode stopped =
+      static_cast<StatusCode>(stop_code.load(std::memory_order_relaxed));
+  if (stopped != StatusCode::kOk) {
+    // No partial result: a half-compressed tensor cannot seed the query
+    // phase, so the interruption is a hard stop here.
+    return Status(stopped, "slice approximation interrupted");
   }
   return out;
 }

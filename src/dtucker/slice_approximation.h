@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "common/run_context.h"
 #include "common/status.h"
 #include "linalg/matrix.h"
 #include "rsvd/rsvd.h"
@@ -52,6 +53,10 @@ struct SliceApproximationOptions {
   // draws from its own seeded stream, so the result is bit-identical to
   // the single-threaded run. Default 1 matches the paper's protocol.
   int num_threads = 1;
+  // Optional execution control, polled once per slice. The approximation
+  // phase has no usable partial state, so an interruption here surfaces as
+  // a kCancelled/kDeadlineExceeded error from ApproximateSlices.
+  const RunContext* run_context = nullptr;
 };
 
 // The compressed tensor: shape metadata plus one SliceSvd per slice.

@@ -7,6 +7,7 @@
 #include "linalg/eigen_sym.h"
 #include "linalg/qr.h"
 #include "tensor/tensor_ops.h"
+#include "tucker/tucker_als.h"
 
 namespace dtucker {
 
@@ -50,14 +51,16 @@ Matrix LeadingModeVectorsViaGram(const Tensor& x, Index mode, Index k,
   return TopEigenvectorsSym(g, k, subspace, eig_options);
 }
 
-TuckerDecomposition Hosvd(const Tensor& x, const std::vector<Index>& ranks) {
-  DT_CHECK_EQ(static_cast<Index>(ranks.size()), x.order())
-      << "one rank per mode required";
+Result<TuckerDecomposition> Hosvd(const Tensor& x,
+                                  const std::vector<Index>& ranks,
+                                  const RunContext* ctx) {
+  DT_RETURN_NOT_OK(ValidateRanks(x.shape(), ranks));
   DT_TRACE_SPAN("hosvd.solve");
   ScopedPhase phase(&GlobalPhaseTimer(), "hosvd.solve");
   TuckerDecomposition out;
   out.factors.resize(static_cast<std::size_t>(x.order()));
   for (Index n = 0; n < x.order(); ++n) {
+    if (ctx != nullptr) DT_RETURN_NOT_OK(ctx->CheckStatus("hosvd mode update"));
     out.factors[static_cast<std::size_t>(n)] = LeadingModeVectorsViaGram(
         x, n, ranks[static_cast<std::size_t>(n)]);
   }
@@ -65,15 +68,19 @@ TuckerDecomposition Hosvd(const Tensor& x, const std::vector<Index>& ranks) {
   return out;
 }
 
-TuckerDecomposition StHosvd(const Tensor& x, const std::vector<Index>& ranks) {
-  DT_CHECK_EQ(static_cast<Index>(ranks.size()), x.order())
-      << "one rank per mode required";
+Result<TuckerDecomposition> StHosvd(const Tensor& x,
+                                    const std::vector<Index>& ranks,
+                                    const RunContext* ctx) {
+  DT_RETURN_NOT_OK(ValidateRanks(x.shape(), ranks));
   DT_TRACE_SPAN("sthosvd.solve");
   ScopedPhase phase(&GlobalPhaseTimer(), "sthosvd.solve");
   TuckerDecomposition out;
   out.factors.resize(static_cast<std::size_t>(x.order()));
   Tensor y = x;
   for (Index n = 0; n < x.order(); ++n) {
+    if (ctx != nullptr) {
+      DT_RETURN_NOT_OK(ctx->CheckStatus("st-hosvd mode update"));
+    }
     Matrix a = LeadingModeVectorsViaGram(
         y, n, ranks[static_cast<std::size_t>(n)]);
     y = ModeProduct(y, a, n, Trans::kYes);

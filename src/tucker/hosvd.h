@@ -5,6 +5,8 @@
 #ifndef DTUCKER_TUCKER_HOSVD_H_
 #define DTUCKER_TUCKER_HOSVD_H_
 
+#include "common/run_context.h"
+#include "common/status.h"
 #include "linalg/eigen_sym.h"
 #include "tucker/tucker.h"
 
@@ -12,12 +14,20 @@ namespace dtucker {
 
 // Classic HOSVD: each factor is the leading J_n left singular vectors of
 // the mode-n unfolding of the *original* tensor; core is the projection.
-TuckerDecomposition Hosvd(const Tensor& x, const std::vector<Index>& ranks);
+// Bad ranks are an InvalidArgument error, never an abort. `ctx` (optional)
+// is polled between mode updates; HOSVD is one-shot — no usable partial
+// state — so an interruption surfaces as a kCancelled/kDeadlineExceeded
+// error.
+Result<TuckerDecomposition> Hosvd(const Tensor& x,
+                                  const std::vector<Index>& ranks,
+                                  const RunContext* ctx = nullptr);
 
 // ST-HOSVD (Vannieuwenhoven et al.): truncates mode-by-mode, shrinking the
 // working tensor after each mode. Usually faster and slightly more
-// accurate than plain HOSVD.
-TuckerDecomposition StHosvd(const Tensor& x, const std::vector<Index>& ranks);
+// accurate than plain HOSVD. Same error/interruption contract as Hosvd.
+Result<TuckerDecomposition> StHosvd(const Tensor& x,
+                                    const std::vector<Index>& ranks,
+                                    const RunContext* ctx = nullptr);
 
 // Leading k left singular vectors of M computed from the I x I Gram matrix
 // M M^T (cheap when M is short-and-wide, the typical unfolding shape).

@@ -41,7 +41,7 @@ Result<TuckerDecomposition> TuckerAlsNaiveKronecker(
   std::size_t peak = 0;
 
   Timer init_timer;
-  TuckerDecomposition dec = StHosvd(x, options.ranks);
+  DT_ASSIGN_OR_RETURN(TuckerDecomposition dec, StHosvd(x, options.ranks));
   if (stats != nullptr) stats->init_seconds = init_timer.Seconds();
 
   Timer iterate_timer;

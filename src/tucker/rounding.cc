@@ -24,8 +24,9 @@ Result<TuckerDecomposition> RoundTucker(const TuckerDecomposition& dec,
     }
   }
 
+  DT_RETURN_NOT_OK(dec.Validate());
   // ST-HOSVD of the (small) core, then absorb the inner factors.
-  TuckerDecomposition inner = StHosvd(dec.core, new_ranks);
+  DT_ASSIGN_OR_RETURN(TuckerDecomposition inner, StHosvd(dec.core, new_ranks));
   TuckerDecomposition out;
   out.core = std::move(inner.core);
   out.factors.reserve(static_cast<std::size_t>(order));

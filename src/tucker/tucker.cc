@@ -15,6 +15,30 @@ std::vector<Index> TuckerDecomposition::Ranks() const {
   return ranks;
 }
 
+Status TuckerDecomposition::Validate() const {
+  if (factors.empty()) {
+    return Status::InvalidArgument("decomposition has no factor matrices");
+  }
+  if (core.order() != order()) {
+    return Status::InvalidArgument(
+        "core order " + std::to_string(core.order()) +
+        " does not match factor count " + std::to_string(factors.size()));
+  }
+  for (Index n = 0; n < order(); ++n) {
+    const Matrix& f = factors[static_cast<std::size_t>(n)];
+    if (f.rows() <= 0 || f.cols() <= 0) {
+      return Status::InvalidArgument("factor " + std::to_string(n) +
+                                     " is empty");
+    }
+    if (f.cols() != core.dim(n)) {
+      return Status::InvalidArgument(
+          "factor " + std::to_string(n) + " has " + std::to_string(f.cols()) +
+          " columns but core dimension " + std::to_string(core.dim(n)));
+    }
+  }
+  return Status::OK();
+}
+
 Tensor TuckerDecomposition::Reconstruct() const {
   Tensor out = core;
   for (Index n = 0; n < order(); ++n) {

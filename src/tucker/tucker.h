@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/run_context.h"
+#include "common/status.h"
 #include "linalg/matrix.h"
 #include "tensor/tensor.h"
 
@@ -21,6 +23,14 @@ struct TuckerDecomposition {
 
   // Tucker ranks (J_1, ..., J_N).
   std::vector<Index> Ranks() const;
+
+  // Structural consistency: at least one factor, core order matching the
+  // factor count, every factor non-empty with column count equal to the
+  // corresponding core dimension. Checked at the API boundaries that accept
+  // externally produced decompositions (file loads, rounding, partial
+  // reconstruction) so malformed input reports an error instead of
+  // tripping internal invariant checks.
+  Status Validate() const;
 
   // Dense reconstruction core x_1 A1 ... x_N AN. O(prod I_n * J) time.
   Tensor Reconstruct() const;
@@ -45,6 +55,14 @@ struct TuckerOptions {
   // InvalidArgument instead of silently propagating them (one O(size)
   // scan; off by default to keep timing benchmarks clean).
   bool validate_input = false;
+  // Optional execution control (caller-owned, must outlive the solve).
+  // When set, the solver polls it at bounded-work checkpoints and honors
+  // cancellation/deadline with graceful degradation: iterative solvers
+  // return the state of the last completed sweep with
+  // TuckerStats::completion recording the interruption; one-shot phases
+  // that have no intermediate state report the interruption as an error
+  // Status instead. See common/run_context.h and DESIGN.md §10.
+  const RunContext* run_context = nullptr;
 };
 
 // Convergence telemetry for one ALS/HOOI sweep. Solvers that support it
@@ -63,6 +81,13 @@ struct SweepTelemetry {
 
 // Per-run diagnostics filled in by the solvers.
 struct TuckerStats {
+  // How the run ended: kOk for a natural finish (convergence or iteration
+  // budget), kCancelled/kDeadlineExceeded when a RunContext interrupted it
+  // and the returned decomposition is the best-so-far partial result.
+  StatusCode completion = StatusCode::kOk;
+  // Checkpoint that observed the interruption (e.g. "iteration.sweep" or
+  // "initialization"); empty on natural completion.
+  std::string completion_detail;
   int iterations = 0;
   std::vector<double> error_history;  // Relative error after each sweep.
   std::vector<SweepTelemetry> sweep_history;  // One entry per sweep.

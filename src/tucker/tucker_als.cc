@@ -37,6 +37,7 @@ Result<TuckerDecomposition> TuckerAls(const Tensor& x,
                                       TuckerStats* stats) {
   DT_RETURN_NOT_OK(ValidateRanks(x.shape(), options.ranks));
   if (options.validate_input) DT_RETURN_NOT_OK(ValidateFinite(x));
+  const RunContext* ctx = options.run_context;
   const Index order = x.order();
   const double x_norm2 = x.SquaredNorm();
 
@@ -44,7 +45,9 @@ Result<TuckerDecomposition> TuckerAls(const Tensor& x,
   Timer init_timer;
   DT_TRACE_SPAN("als.solve");
   if (options.init == TuckerInit::kHosvd) {
-    dec = StHosvd(x, options.ranks);
+    // An interruption inside the initializer propagates as an error: no
+    // valid state exists yet to degrade to.
+    DT_ASSIGN_OR_RETURN(dec, StHosvd(x, options.ranks, ctx));
   } else {
     Rng rng(options.seed);
     dec.factors.resize(static_cast<std::size_t>(order));
@@ -62,10 +65,29 @@ Result<TuckerDecomposition> TuckerAls(const Tensor& x,
   double prev_error = OrthogonalTuckerRelativeError(x_norm2,
                                                     dec.core.SquaredNorm());
   if (stats != nullptr) stats->error_history.push_back(prev_error);
+  // Same graceful-degradation contract as DTuckerFromApproximation: armed
+  // runs snapshot before each sweep and roll back on a mid-sweep trip, so
+  // the returned decomposition is always a fully consistent sweep state.
+  const bool armed = ctx != nullptr;
+  StatusCode stop = StatusCode::kOk;
+  std::vector<Matrix> factors_snapshot;
+  Tensor core_snapshot;
+
   int it = 0;
   for (; it < options.max_iterations; ++it) {
     DT_TRACE_SPAN("als.sweep");
+    stop = RunContext::CheckOrOk(ctx);
+    if (stop != StatusCode::kOk) break;
+    if (armed) {
+      factors_snapshot = dec.factors;
+      core_snapshot = dec.core;
+    }
+    bool sweep_completed = true;
     for (Index n = 0; n < order; ++n) {
+      if (RunContext::CheckOrOk(ctx) != StatusCode::kOk) {
+        sweep_completed = false;
+        break;
+      }
       // Y = X x_{k != n} A(k)^T; factor update from its mode-n unfolding.
       Tensor y = ModeProductChain(x, dec.factors, n, Trans::kYes);
       Matrix yn = Unfold(y, n);
@@ -94,6 +116,13 @@ Result<TuckerDecomposition> TuckerAls(const Tensor& x,
                                Trans::kYes);
       }
     }
+    if (!sweep_completed) {
+      dec.factors = std::move(factors_snapshot);
+      dec.core = std::move(core_snapshot);
+      stop = RunContext::CheckOrOk(ctx);
+      if (stop == StatusCode::kOk) stop = StatusCode::kCancelled;
+      break;
+    }
     const double error =
         OrthogonalTuckerRelativeError(x_norm2, dec.core.SquaredNorm());
     if (stats != nullptr) stats->error_history.push_back(error);
@@ -108,6 +137,12 @@ Result<TuckerDecomposition> TuckerAls(const Tensor& x,
   if (stats != nullptr) {
     stats->iterations = it;
     stats->iterate_seconds = iterate_timer.Seconds();
+    stats->completion = stop;
+    if (stop != StatusCode::kOk) {
+      stats->completion_detail = std::string(StatusCodeToString(stop)) +
+                                 " during ALS iteration; " +
+                                 std::to_string(it) + " completed sweep(s)";
+    }
   }
   return dec;
 }

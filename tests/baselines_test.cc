@@ -174,8 +174,8 @@ class RegistryParamTest : public ::testing::TestWithParam<TuckerMethod> {};
 TEST_P(RegistryParamTest, RunsEndToEnd) {
   Tensor x = MakeLowRankTensor({14, 12, 10}, {3, 3, 3}, 0.1, 12);
   MethodOptions opt;
-  opt.ranks = {3, 3, 3};
-  opt.max_iterations = 10;
+  opt.tucker.ranks = {3, 3, 3};
+  opt.tucker.max_iterations = 10;
   opt.mach_sample_rate = 0.5;
   opt.sketch_factor = 8.0;
   Result<MethodRun> run = RunTuckerMethod(GetParam(), x, opt);
@@ -201,8 +201,8 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(RegistryTest, DTuckerStoresLessThanInput) {
   Tensor x = MakeLowRankTensor({30, 26, 20}, {3, 3, 3}, 0.1, 13);
   MethodOptions opt;
-  opt.ranks = {3, 3, 3};
-  opt.max_iterations = 5;
+  opt.tucker.ranks = {3, 3, 3};
+  opt.tucker.max_iterations = 5;
   Result<MethodRun> dt = RunTuckerMethod(TuckerMethod::kDTucker, x, opt);
   Result<MethodRun> als = RunTuckerMethod(TuckerMethod::kTuckerAls, x, opt);
   ASSERT_TRUE(dt.ok() && als.ok());

@@ -13,18 +13,18 @@ namespace {
 TEST(GeneratorsTest, LowRankTensorHasRequestedRank) {
   Tensor x = MakeLowRankTensor({12, 10, 8}, {3, 3, 3}, 0.0, 1);
   // Rank-(3,3,3) Tucker approximation must be exact.
-  TuckerDecomposition dec = StHosvd(x, {3, 3, 3});
+  TuckerDecomposition dec = StHosvd(x, {3, 3, 3}).ValueOrDie();
   EXPECT_LT(dec.RelativeErrorAgainst(x), 1e-16);
   // Rank-(2,2,2) must not be (generic core).
-  TuckerDecomposition dec2 = StHosvd(x, {2, 2, 2});
+  TuckerDecomposition dec2 = StHosvd(x, {2, 2, 2}).ValueOrDie();
   EXPECT_GT(dec2.RelativeErrorAgainst(x), 1e-6);
 }
 
 TEST(GeneratorsTest, NoiseRaisesResidual) {
   Tensor clean = MakeLowRankTensor({10, 10, 10}, {2, 2, 2}, 0.0, 2);
   Tensor noisy = MakeLowRankTensor({10, 10, 10}, {2, 2, 2}, 0.5, 2);
-  TuckerDecomposition dc = StHosvd(clean, {2, 2, 2});
-  TuckerDecomposition dn = StHosvd(noisy, {2, 2, 2});
+  TuckerDecomposition dc = StHosvd(clean, {2, 2, 2}).ValueOrDie();
+  TuckerDecomposition dn = StHosvd(noisy, {2, 2, 2}).ValueOrDie();
   EXPECT_GT(dn.RelativeErrorAgainst(noisy), dc.RelativeErrorAgainst(clean));
 }
 
@@ -62,7 +62,7 @@ TEST(GeneratorsTest, AnalogsAreApproximatelyLowRank) {
   cases.push_back({MakeMusicAnalog(20, 32, 24, 0.02, 5), "music"});
   for (auto& c : cases) {
     TuckerDecomposition dec =
-        StHosvd(c.x, {8, 8, std::min<Index>(8, c.x.dim(2))});
+        StHosvd(c.x, {8, 8, std::min<Index>(8, c.x.dim(2))}).ValueOrDie();
     EXPECT_LT(dec.RelativeErrorAgainst(c.x), 0.25) << c.name;
   }
 }

@@ -17,7 +17,7 @@ std::string TempPath(const char* name) {
 
 TEST(DecompositionIoTest, RoundTrip) {
   Tensor x = MakeLowRankTensor({10, 9, 8}, {3, 3, 3}, 0.1, 1);
-  TuckerDecomposition dec = StHosvd(x, {3, 2, 3});
+  TuckerDecomposition dec = StHosvd(x, {3, 2, 3}).ValueOrDie();
   const std::string path = TempPath("dec.dtdc");
   ASSERT_TRUE(SaveDecomposition(dec, path).ok());
 
@@ -50,7 +50,7 @@ TEST(DecompositionIoTest, WrongMagicRejected) {
 
 TEST(DecompositionIoTest, TruncatedFileRejected) {
   Tensor x = MakeLowRankTensor({8, 8, 8}, {2, 2, 2}, 0.0, 2);
-  TuckerDecomposition dec = StHosvd(x, {2, 2, 2});
+  TuckerDecomposition dec = StHosvd(x, {2, 2, 2}).ValueOrDie();
   const std::string path = TempPath("trunc.dtdc");
   ASSERT_TRUE(SaveDecomposition(dec, path).ok());
   ASSERT_EQ(truncate(path.c_str(), 64), 0);
@@ -97,8 +97,8 @@ TEST(SliceApproximationIoTest, QueryAfterReloadMatches) {
   ASSERT_TRUE(reloaded.ok());
 
   DTuckerOptions opt;
-  opt.ranks = {4, 4, 4};
-  opt.max_iterations = 5;
+  opt.tucker.ranks = {4, 4, 4};
+  opt.tucker.max_iterations = 5;
   Result<TuckerDecomposition> d1 =
       DTuckerFromApproximation(approx.value(), opt);
   Result<TuckerDecomposition> d2 =

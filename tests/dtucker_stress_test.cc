@@ -151,7 +151,7 @@ TEST_F(DTuckerStressTest, SweepBitwiseDeterministicAcrossThreads) {
 
   auto run = [&]() {
     DTuckerOptions opt;
-    opt.ranks = ranks;
+    opt.tucker.ranks = ranks;
     Result<TuckerDecomposition> init = DTuckerInitializeOnly(approx, opt);
     EXPECT_TRUE(init.ok());
     TuckerDecomposition dec = std::move(init).value();
@@ -182,9 +182,9 @@ TEST_F(DTuckerStressTest, FullDTuckerBitwiseDeterministicAcrossThreads) {
   auto run = [&](int threads) {
     SetBlasThreads(threads);
     DTuckerOptions opt;
-    opt.ranks = {5, 4, 3, 2};
+    opt.tucker.ranks = {5, 4, 3, 2};
     opt.slice_rank = 6;
-    opt.max_iterations = 4;
+    opt.tucker.max_iterations = 4;
     opt.num_threads = threads;  // Approximation-phase pool.
     Result<TuckerDecomposition> dec = DTucker(x, opt);
     EXPECT_TRUE(dec.ok());

@@ -12,8 +12,8 @@ namespace {
 
 DTuckerOptions MakeOptions(std::vector<Index> ranks, int iters = 10) {
   DTuckerOptions opt;
-  opt.ranks = std::move(ranks);
-  opt.max_iterations = iters;
+  opt.tucker.ranks = std::move(ranks);
+  opt.tucker.max_iterations = iters;
   return opt;
 }
 
@@ -95,7 +95,7 @@ TEST(DTuckerTest, StatsArePopulated) {
 TEST(DTuckerTest, ErrorProxyDecreasesMonotonically) {
   Tensor x = MakeLowRankTensor({18, 16, 14}, {6, 6, 6}, 0.4, 7);
   DTuckerOptions opt = MakeOptions({3, 3, 3}, 8);
-  opt.tolerance = 0.0;
+  opt.tucker.tolerance = 0.0;
   TuckerStats stats;
   ASSERT_TRUE(DTucker(x, opt, &stats).ok());
   for (std::size_t i = 1; i < stats.error_history.size(); ++i) {
@@ -229,7 +229,7 @@ TEST(DTuckerTest, ScaleInvariance) {
 
 TEST(DTuckerTest, SliceRankDefaultsToMaxLeadingRank) {
   DTuckerOptions opt;
-  opt.ranks = {4, 7, 2};
+  opt.tucker.ranks = {4, 7, 2};
   EXPECT_EQ(opt.EffectiveSliceRank(), 7);
   opt.slice_rank = 3;
   EXPECT_EQ(opt.EffectiveSliceRank(), 3);

@@ -54,7 +54,7 @@ TEST(HosvdTest, ErrorBoundedBySumOfModeTails) {
   // The HOSVD quasi-optimality bound: ||X - X^||^2 <= sum_n tail_n.
   Tensor x = MakeLowRankTensor({12, 11, 10}, {6, 6, 6}, 0.3, 3);
   std::vector<Index> ranks = {3, 3, 3};
-  TuckerDecomposition dec = Hosvd(x, ranks);
+  TuckerDecomposition dec = Hosvd(x, ranks).ValueOrDie();
   double tail_sum = 0;
   for (Index n = 0; n < 3; ++n) {
     Matrix unf = Unfold(x, n);

@@ -31,8 +31,8 @@ TEST_P(DatasetAccuracyTest, DTuckerComparableToAls) {
   }
 
   MethodOptions opt;
-  opt.ranks = ranks;
-  opt.max_iterations = 10;
+  opt.tucker.ranks = ranks;
+  opt.tucker.max_iterations = 10;
   Result<MethodRun> dt = RunTuckerMethod(TuckerMethod::kDTucker, x, opt);
   Result<MethodRun> als = RunTuckerMethod(TuckerMethod::kTuckerAls, x, opt);
   ASSERT_TRUE(dt.ok()) << dt.status().ToString();
@@ -55,9 +55,9 @@ TEST(IntegrationTest, DTuckerFasterThanAlsOnLargerInstance) {
   // The headline speed claim, at a size where the asymptotics show.
   Tensor x = MakeLowRankTensor({120, 100, 60}, {5, 5, 5}, 0.1, 1);
   MethodOptions opt;
-  opt.ranks = {5, 5, 5};
-  opt.max_iterations = 5;
-  opt.tolerance = 0.0;  // Same sweep count for both.
+  opt.tucker.ranks = {5, 5, 5};
+  opt.tucker.max_iterations = 5;
+  opt.tucker.tolerance = 0.0;  // Same sweep count for both.
   Result<MethodRun> dt = RunTuckerMethod(TuckerMethod::kDTucker, x, opt,
                                          /*measure_error=*/false);
   Result<MethodRun> als = RunTuckerMethod(TuckerMethod::kTuckerAls, x, opt,
@@ -80,8 +80,8 @@ TEST(IntegrationTest, PreprocessOnceQueryManyIsCheaper) {
   const double compress_seconds = compress_timer.Seconds();
 
   DTuckerOptions qopt;
-  qopt.ranks = {4, 4, 4};
-  qopt.max_iterations = 3;
+  qopt.tucker.ranks = {4, 4, 4};
+  qopt.tucker.max_iterations = 3;
   Timer query_timer;
   Result<TuckerDecomposition> dec =
       DTuckerFromApproximation(approx.value(), qopt);
@@ -98,16 +98,16 @@ TEST(IntegrationTest, StreamingMatchesBatchOnDataset) {
   const Index t_half = t_total / 2;
 
   OnlineDTuckerOptions opt;
-  opt.ranks = {5, 5, 5};
-  opt.max_iterations = 10;
+  opt.dtucker.tucker.ranks = {5, 5, 5};
+  opt.dtucker.tucker.max_iterations = 10;
   opt.refit_sweeps = 3;
   OnlineDTucker online(opt);
   ASSERT_TRUE(online.Initialize(x.LastModeSlice(0, t_half)).ok());
   ASSERT_TRUE(online.Append(x.LastModeSlice(t_half, t_total - t_half)).ok());
 
   DTuckerOptions bopt;
-  bopt.ranks = {5, 5, 5};
-  bopt.max_iterations = 10;
+  bopt.tucker.ranks = {5, 5, 5};
+  bopt.tucker.max_iterations = 10;
   Result<TuckerDecomposition> batch = DTucker(x, bopt);
   ASSERT_TRUE(batch.ok());
 
@@ -121,8 +121,8 @@ TEST(IntegrationTest, AllMethodsAgreeOnExactlyLowRankInput) {
   // error — a strong cross-implementation consistency check.
   Tensor x = MakeLowRankTensor({18, 16, 14}, {3, 3, 3}, 0.0, 3);
   MethodOptions opt;
-  opt.ranks = {3, 3, 3};
-  opt.max_iterations = 25;
+  opt.tucker.ranks = {3, 3, 3};
+  opt.tucker.max_iterations = 25;
   opt.mach_sample_rate = 1.0;  // Lossless sampling.
   opt.sketch_factor = 12.0;
   for (TuckerMethod m : AllTuckerMethods()) {
@@ -143,8 +143,8 @@ TEST(IntegrationTest, FourOrderPipelineAllPhases) {
   ASSERT_EQ(x.order(), 4);
 
   DTuckerOptions opt;
-  opt.ranks = {4, 4, 3, 4};
-  opt.max_iterations = 8;
+  opt.tucker.ranks = {4, 4, 3, 4};
+  opt.tucker.max_iterations = 8;
   TuckerStats stats;
   Result<TuckerDecomposition> dec = DTucker(x, opt, &stats);
   ASSERT_TRUE(dec.ok());

@@ -75,8 +75,8 @@ TEST(MetricsTest, FactorMatchScoreAcrossMethods) {
   ASSERT_TRUE(als.ok());
 
   DTuckerOptions dopt;
-  dopt.ranks = {3, 3, 3};
-  dopt.max_iterations = 15;
+  dopt.tucker.ranks = {3, 3, 3};
+  dopt.tucker.max_iterations = 15;
   Result<TuckerDecomposition> dt = DTucker(x, dopt);
   ASSERT_TRUE(dt.ok());
 
@@ -215,11 +215,11 @@ TEST(TensorUtilsTest, SolversRejectNonFiniteWhenValidating) {
   EXPECT_FALSE(TuckerAls(x, aopt).ok());
 
   DTuckerOptions dopt;
-  dopt.ranks = {2, 2, 2};
-  dopt.validate_input = true;
+  dopt.tucker.ranks = {2, 2, 2};
+  dopt.tucker.validate_input = true;
   EXPECT_FALSE(DTucker(x, dopt).ok());
   // Without validation the call proceeds (and propagates NaN).
-  dopt.validate_input = false;
+  dopt.tucker.validate_input = false;
   EXPECT_TRUE(DTucker(x, dopt).ok());
 }
 

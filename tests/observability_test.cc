@@ -51,9 +51,9 @@ TraceIndex IndexTrace(const JsonValue& root) {
 Result<TuckerDecomposition> RunSmallDecomposition(TuckerStats* stats) {
   Tensor x = MakeLowRankTensor({14, 12, 10}, {3, 3, 3}, 0.1, 7);
   DTuckerOptions opt;
-  opt.ranks = {3, 3, 3};
-  opt.max_iterations = 4;
-  opt.tolerance = 0.0;  // Run every sweep so telemetry is deterministic.
+  opt.tucker.ranks = {3, 3, 3};
+  opt.tucker.max_iterations = 4;
+  opt.tucker.tolerance = 0.0;  // Run every sweep so telemetry is deterministic.
   return DTucker(x, opt, stats);
 }
 

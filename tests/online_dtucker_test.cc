@@ -10,8 +10,8 @@ namespace {
 
 OnlineDTuckerOptions MakeOptions(std::vector<Index> ranks) {
   OnlineDTuckerOptions opt;
-  opt.ranks = std::move(ranks);
-  opt.max_iterations = 10;
+  opt.dtucker.tucker.ranks = std::move(ranks);
+  opt.dtucker.tucker.max_iterations = 10;
   opt.refit_sweeps = 3;
   return opt;
 }
@@ -74,8 +74,8 @@ TEST(OnlineDTuckerTest, MatchesBatchQuality) {
   ASSERT_TRUE(online.Append(full.LastModeSlice(10, 10)).ok());
 
   DTuckerOptions batch_opt;
-  batch_opt.ranks = {3, 3, 3};
-  batch_opt.max_iterations = 10;
+  batch_opt.tucker.ranks = {3, 3, 3};
+  batch_opt.tucker.max_iterations = 10;
   Result<TuckerDecomposition> batch = DTucker(full, batch_opt);
   ASSERT_TRUE(batch.ok());
 

@@ -86,8 +86,8 @@ TEST_F(OutOfCoreTest, StreamedApproximationBitIdenticalToInMemory) {
 
 TEST_F(OutOfCoreTest, EndToEndDecompositionMatchesInMemory) {
   DTuckerOptions opt;
-  opt.ranks = {3, 3, 2, 2};
-  opt.max_iterations = 8;
+  opt.tucker.ranks = {3, 3, 2, 2};
+  opt.tucker.max_iterations = 8;
   TuckerStats file_stats;
   Result<TuckerDecomposition> from_file =
       DTuckerFromFile(path_, opt, &file_stats);

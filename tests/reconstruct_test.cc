@@ -12,7 +12,7 @@ class ReconstructTest : public ::testing::Test {
  protected:
   void SetUp() override {
     x_ = MakeLowRankTensor({9, 8, 7, 6}, {3, 3, 3, 3}, 0.1, 1);
-    dec_ = StHosvd(x_, {3, 3, 3, 3});
+    dec_ = StHosvd(x_, {3, 3, 3, 3}).ValueOrDie();
     full_ = dec_.Reconstruct();
   }
   Tensor x_;
@@ -67,7 +67,7 @@ TEST_F(ReconstructTest, LastModeRangeValidates) {
 
 TEST(ReconstructThreeOrderTest, FrontalSliceOnVideoDecomposition) {
   Tensor video = MakeVideoAnalog(20, 16, 12, 2, 0.05, 2);
-  TuckerDecomposition dec = StHosvd(video, {5, 5, 5});
+  TuckerDecomposition dec = StHosvd(video, {5, 5, 5}).ValueOrDie();
   Tensor full = dec.Reconstruct();
   for (Index t = 0; t < 12; t += 5) {
     Result<Matrix> frame = ReconstructFrontalSlice(dec, t);

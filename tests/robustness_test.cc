@@ -31,8 +31,8 @@ bool DecompositionIsFinite(const TuckerDecomposition& dec) {
 TEST(RobustnessTest, AllZeroTensor) {
   Tensor x({10, 9, 8});  // Zeros.
   DTuckerOptions dopt;
-  dopt.ranks = {2, 2, 2};
-  dopt.max_iterations = 5;
+  dopt.tucker.ranks = {2, 2, 2};
+  dopt.tucker.max_iterations = 5;
   Result<TuckerDecomposition> dt = DTucker(x, dopt);
   ASSERT_TRUE(dt.ok()) << dt.status().ToString();
   EXPECT_TRUE(DecompositionIsFinite(dt.value()));
@@ -52,8 +52,8 @@ TEST(RobustnessTest, ZeroSlicesWithinSignal) {
   for (Index l : {0, 4, 9}) x.SetFrontalSlice(l, zero);
 
   DTuckerOptions opt;
-  opt.ranks = {3, 3, 3};
-  opt.max_iterations = 10;
+  opt.tucker.ranks = {3, 3, 3};
+  opt.tucker.max_iterations = 10;
   Result<TuckerDecomposition> dec = DTucker(x, opt);
   ASSERT_TRUE(dec.ok()) << dec.status().ToString();
   EXPECT_TRUE(DecompositionIsFinite(dec.value()));
@@ -64,8 +64,8 @@ TEST(RobustnessTest, ConstantTensor) {
   Tensor x({8, 8, 8});
   for (Index i = 0; i < x.size(); ++i) x.data()[i] = 3.5;
   DTuckerOptions opt;
-  opt.ranks = {1, 1, 1};  // A constant tensor is exactly rank 1.
-  opt.max_iterations = 5;
+  opt.tucker.ranks = {1, 1, 1};  // A constant tensor is exactly rank 1.
+  opt.tucker.max_iterations = 5;
   Result<TuckerDecomposition> dec = DTucker(x, opt);
   ASSERT_TRUE(dec.ok());
   EXPECT_LT(dec.value().RelativeErrorAgainst(x), 1e-10);
@@ -75,8 +75,8 @@ TEST(RobustnessTest, SingleSliceTensor) {
   // I3 = 1: the slice grid has exactly one slice.
   Tensor x = MakeLowRankTensor({12, 10, 1}, {2, 2, 1}, 0.05, 2);
   DTuckerOptions opt;
-  opt.ranks = {2, 2, 1};
-  opt.max_iterations = 5;
+  opt.tucker.ranks = {2, 2, 1};
+  opt.tucker.max_iterations = 5;
   Result<TuckerDecomposition> dec = DTucker(x, opt);
   ASSERT_TRUE(dec.ok()) << dec.status().ToString();
   EXPECT_LT(dec.value().RelativeErrorAgainst(x), 0.05);
@@ -86,8 +86,8 @@ TEST(RobustnessTest, DimensionOneTrailingMode) {
   // Order-4 tensor with a singleton mode.
   Tensor x = MakeLowRankTensor({10, 9, 1, 6}, {2, 2, 1, 2}, 0.0, 3);
   DTuckerOptions opt;
-  opt.ranks = {2, 2, 1, 2};
-  opt.max_iterations = 5;
+  opt.tucker.ranks = {2, 2, 1, 2};
+  opt.tucker.max_iterations = 5;
   Result<TuckerDecomposition> dec = DTucker(x, opt);
   ASSERT_TRUE(dec.ok()) << dec.status().ToString();
   EXPECT_LT(dec.value().RelativeErrorAgainst(x), 1e-10);
@@ -97,8 +97,8 @@ TEST(RobustnessTest, RankOneEverything) {
   Tensor x = MakeLowRankTensor({6, 5, 4}, {1, 1, 1}, 0.0, 4);
   for (TuckerMethod m : AllTuckerMethods()) {
     MethodOptions opt;
-    opt.ranks = {1, 1, 1};
-    opt.max_iterations = 10;
+    opt.tucker.ranks = {1, 1, 1};
+    opt.tucker.max_iterations = 10;
     opt.mach_sample_rate = 1.0;
     opt.sketch_factor = 16.0;
     Result<MethodRun> run = RunTuckerMethod(m, x, opt);
@@ -113,8 +113,8 @@ TEST(RobustnessTest, TinyValuesDoNotUnderflowToGarbage) {
   Tensor x = MakeLowRankTensor({10, 9, 8}, {2, 2, 2}, 0.1, 5);
   x *= 1e-150;
   DTuckerOptions opt;
-  opt.ranks = {2, 2, 2};
-  opt.max_iterations = 5;
+  opt.tucker.ranks = {2, 2, 2};
+  opt.tucker.max_iterations = 5;
   Result<TuckerDecomposition> dec = DTucker(x, opt);
   ASSERT_TRUE(dec.ok());
   EXPECT_TRUE(DecompositionIsFinite(dec.value()));
@@ -125,8 +125,8 @@ TEST(RobustnessTest, HugeValuesDoNotOverflow) {
   Tensor x = MakeLowRankTensor({10, 9, 8}, {2, 2, 2}, 0.1, 6);
   x *= 1e120;  // Squared norms reach 1e246 — still finite in double.
   DTuckerOptions opt;
-  opt.ranks = {2, 2, 2};
-  opt.max_iterations = 5;
+  opt.tucker.ranks = {2, 2, 2};
+  opt.tucker.max_iterations = 5;
   Result<TuckerDecomposition> dec = DTucker(x, opt);
   ASSERT_TRUE(dec.ok());
   EXPECT_TRUE(DecompositionIsFinite(dec.value()));
@@ -134,8 +134,8 @@ TEST(RobustnessTest, HugeValuesDoNotOverflow) {
 
 TEST(RobustnessTest, OnlineWithZeroChunk) {
   OnlineDTuckerOptions opt;
-  opt.ranks = {2, 2, 2};
-  opt.max_iterations = 5;
+  opt.dtucker.tucker.ranks = {2, 2, 2};
+  opt.dtucker.tucker.max_iterations = 5;
   OnlineDTucker online(opt);
   Tensor first = MakeLowRankTensor({10, 8, 6}, {2, 2, 2}, 0.1, 7);
   ASSERT_TRUE(online.Initialize(first).ok());

@@ -91,8 +91,8 @@ TEST(RoundingTest, ToleranceValidated) {
 TEST(RoundingTest, WorksOnDTuckerOutput) {
   Tensor x = MakeLowRankTensor({20, 18, 14}, {6, 6, 6}, 0.1, 7);
   DTuckerOptions opt;
-  opt.ranks = {6, 6, 6};
-  opt.max_iterations = 8;
+  opt.tucker.ranks = {6, 6, 6};
+  opt.tucker.max_iterations = 8;
   TuckerDecomposition dec = DTucker(x, opt).ValueOrDie();
   Result<TuckerDecomposition> rounded = RoundTucker(dec, {4, 4, 4});
   ASSERT_TRUE(rounded.ok());
@@ -100,8 +100,8 @@ TEST(RoundingTest, WorksOnDTuckerOutput) {
   // loses energy; the bar is matching a direct rank-4 fit, not a small
   // absolute error.
   DTuckerOptions direct_opt;
-  direct_opt.ranks = {4, 4, 4};
-  direct_opt.max_iterations = 8;
+  direct_opt.tucker.ranks = {4, 4, 4};
+  direct_opt.tucker.max_iterations = 8;
   TuckerDecomposition direct = DTucker(x, direct_opt).ValueOrDie();
   EXPECT_LT(rounded.value().RelativeErrorAgainst(x),
             direct.RelativeErrorAgainst(x) * 1.15 + 1e-6);

@@ -189,8 +189,8 @@ TEST(SliceApproximationTest, AdaptiveApproximationStillDecomposes) {
   ASSERT_TRUE(approx.ok());
 
   DTuckerOptions opt;
-  opt.ranks = {3, 3, 3};
-  opt.max_iterations = 10;
+  opt.tucker.ranks = {3, 3, 3};
+  opt.tucker.max_iterations = 10;
   Result<TuckerDecomposition> dec =
       DTuckerFromApproximation(approx.value(), opt);
   ASSERT_TRUE(dec.ok()) << dec.status().ToString();

@@ -16,13 +16,13 @@ TEST(TuckerDecompositionTest, ReconstructExactForFullRank) {
   Rng rng(1);
   Tensor x = Tensor::GaussianRandom({4, 5, 6}, rng);
   // Full-rank HOSVD reproduces the tensor exactly.
-  TuckerDecomposition dec = Hosvd(x, {4, 5, 6});
+  TuckerDecomposition dec = Hosvd(x, {4, 5, 6}).ValueOrDie();
   EXPECT_LT(dec.RelativeErrorAgainst(x), 1e-18);
 }
 
 TEST(TuckerDecompositionTest, RanksAndByteSize) {
   Tensor x = MakeLowRankTensor({10, 12, 14}, {3, 4, 5}, 0.0, 2);
-  TuckerDecomposition dec = Hosvd(x, {3, 4, 5});
+  TuckerDecomposition dec = Hosvd(x, {3, 4, 5}).ValueOrDie();
   EXPECT_EQ(dec.Ranks(), (std::vector<Index>{3, 4, 5}));
   const std::size_t expected =
       (3 * 4 * 5 + 10 * 3 + 12 * 4 + 14 * 5) * sizeof(double);
@@ -31,7 +31,7 @@ TEST(TuckerDecompositionTest, RanksAndByteSize) {
 
 TEST(OrthogonalErrorTest, MatchesDirectComputation) {
   Tensor x = MakeLowRankTensor({8, 9, 10}, {2, 3, 4}, 0.1, 3);
-  TuckerDecomposition dec = StHosvd(x, {2, 3, 4});
+  TuckerDecomposition dec = StHosvd(x, {2, 3, 4}).ValueOrDie();
   const double direct = dec.RelativeErrorAgainst(x);
   const double fast = OrthogonalTuckerRelativeError(x.SquaredNorm(),
                                                     dec.core.SquaredNorm());
@@ -40,19 +40,20 @@ TEST(OrthogonalErrorTest, MatchesDirectComputation) {
 
 TEST(HosvdTest, ExactOnExactlyLowRankTensor) {
   Tensor x = MakeLowRankTensor({12, 10, 8}, {3, 3, 3}, 0.0, 4);
-  TuckerDecomposition dec = Hosvd(x, {3, 3, 3});
+  TuckerDecomposition dec = Hosvd(x, {3, 3, 3}).ValueOrDie();
   EXPECT_LT(dec.RelativeErrorAgainst(x), 1e-16);
 }
 
 TEST(StHosvdTest, ExactOnExactlyLowRankTensor) {
   Tensor x = MakeLowRankTensor({12, 10, 8}, {3, 3, 3}, 0.0, 5);
-  TuckerDecomposition dec = StHosvd(x, {3, 3, 3});
+  TuckerDecomposition dec = StHosvd(x, {3, 3, 3}).ValueOrDie();
   EXPECT_LT(dec.RelativeErrorAgainst(x), 1e-16);
 }
 
 TEST(HosvdTest, FactorsAreOrthonormal) {
   Tensor x = MakeLowRankTensor({9, 9, 9}, {4, 4, 4}, 0.2, 6);
-  for (const auto& dec : {Hosvd(x, {2, 3, 4}), StHosvd(x, {2, 3, 4})}) {
+  for (const auto& dec : {Hosvd(x, {2, 3, 4}).ValueOrDie(),
+                          StHosvd(x, {2, 3, 4}).ValueOrDie()}) {
     for (const auto& f : dec.factors) {
       EXPECT_TRUE(AlmostEqual(MultiplyTN(f, f), Matrix::Identity(f.cols()),
                               1e-9));
@@ -106,7 +107,7 @@ TEST(TuckerAlsTest, BeatsOrMatchesHosvdInError) {
   opt.max_iterations = 15;
   Result<TuckerDecomposition> als = TuckerAls(x, opt);
   ASSERT_TRUE(als.ok());
-  TuckerDecomposition hosvd = Hosvd(x, ranks);
+  TuckerDecomposition hosvd = Hosvd(x, ranks).ValueOrDie();
   EXPECT_LE(als.value().RelativeErrorAgainst(x),
             hosvd.RelativeErrorAgainst(x) + 1e-12);
 }
