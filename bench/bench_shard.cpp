@@ -1,0 +1,336 @@
+// bench_shard: multi-process sharded D-Tucker scaling harness.
+//
+// For each rank count R in --rank_counts, forks R real processes (rank 0
+// stays in the parent) that meet through the FileCommunicator — the no-MPI
+// multi-process transport — and decompose a DTNSR001 scratch file whose
+// raw slab stack exceeds the per-rank memory budget. Each rank streams and
+// compresses only its own slice shard, so its resident tensor data is one
+// slice plus the compressed shard.
+//
+// Timing model: the approximation phase is reported as the *busiest rank's
+// CPU seconds* (reduced with AllReduceMax), not parent wall-clock. With
+// one core per rank — the configuration the scaling claim is about — the
+// busiest rank's CPU time IS the phase's wall time; on a machine with
+// fewer cores than ranks the OS timeshares the ranks and wall-clock
+// measures the scheduler, not the algorithm. Wall times are also recorded
+// for reference. Init/iteration wall seconds come from rank 0's
+// TuckerStats (those phases are collective-synchronized, so every rank
+// agrees on them).
+//
+// Output: a table on stdout plus --json (default BENCH_shard.json) with
+// per-rank-count phase times, approximation speedup vs 1 rank, parallel
+// efficiency, per-rank resident bytes, and a bitwise-identity check of the
+// core tensor against the 1-rank run.
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "comm/communicator.h"
+#include "comm/sharding.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "common/telemetry.h"
+#include "common/timer.h"
+#include "data/tensor_file.h"
+#include "dtucker/out_of_core.h"
+#include "dtucker/sharded_dtucker.h"
+#include "linalg/blas.h"
+
+namespace dtucker {
+namespace {
+
+double CpuSeconds() {
+  timespec ts;
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+}
+
+// Writes a synthetic low-rank-plus-noise tensor slice by slice (never
+// resident; same construction as exp11).
+Status WriteSyntheticTensor(const std::string& path, Index i1, Index i2,
+                            Index slices, Index rank, uint64_t seed) {
+  Rng rng(seed);
+  Matrix u = Matrix::GaussianRandom(i1, rank, rng);
+  Matrix v = Matrix::GaussianRandom(i2, rank, rng);
+  Result<TensorFileWriter> writer =
+      TensorFileWriter::Create(path, {i1, i2, slices});
+  DT_RETURN_NOT_OK(writer.status());
+  TensorFileWriter w = std::move(writer).ValueOrDie();
+  Matrix slice(i1, i2);
+  for (Index l = 0; l < slices; ++l) {
+    Matrix us = u;
+    for (Index r = 0; r < rank; ++r) {
+      const double weight = 1.0 + std::sin(0.05 * static_cast<double>(l) + r);
+      Scal(weight, us.col_data(r), i1);
+    }
+    GemmRaw(Trans::kNo, Trans::kYes, i1, i2, rank, 1.0, us.data(), i1,
+            v.data(), i2, 0.0, slice.data(), i1);
+    for (Index i = 0; i < slice.size(); ++i) {
+      slice.data()[i] += 0.05 * rng.Gaussian();
+    }
+    DT_RETURN_NOT_OK(w.AppendSlice(slice));
+  }
+  return w.Finish();
+}
+
+// What one rank measures; max-reduced across the group so rank 0 reports
+// the phase critical path.
+struct RankReport {
+  double approx_cpu = 0;       // CPU seconds in the approximation phase.
+  double approx_wall = 0;      // Wall seconds in the approximation phase.
+  double init_seconds = 0;     // Initialization phase (collective wall).
+  double iterate_seconds = 0;  // Iteration phase (collective wall).
+  double resident_bytes = 0;   // Compressed shard + one streaming slice.
+  Tensor core;                 // For the bitwise determinism check.
+};
+
+Result<RankReport> RunRank(const std::string& path, const std::string& dir,
+                           int rank, int size,
+                           const std::vector<Index>& full_shape, Index rank_j,
+                           int iters) {
+  SetBlasThreads(1);  // The claim under test: R ranks x 1 thread each.
+  Result<std::unique_ptr<Communicator>> comm_r =
+      CreateFileCommunicator(dir, rank, size);
+  DT_RETURN_NOT_OK(comm_r.status());
+  Communicator* comm = comm_r.value().get();
+
+  Index l_total = 1;
+  for (std::size_t n = 2; n < full_shape.size(); ++n) l_total *= full_shape[n];
+  DT_ASSIGN_OR_RETURN(ShardPlan plan, MakeShardPlan(l_total, size, rank));
+
+  SliceApproximationOptions aopt;
+  aopt.slice_rank = rank_j;
+  Timer wall;
+  const double cpu0 = CpuSeconds();
+  DT_ASSIGN_OR_RETURN(std::vector<SliceSvd> slices,
+                      ApproximateSliceRangeFromFile(
+                          path, plan.slice_begin, plan.NumLocalSlices(), aopt));
+  RankReport report;
+  report.approx_cpu = CpuSeconds() - cpu0;
+  report.approx_wall = wall.Seconds();
+
+  SliceApproximation local;
+  local.shape = {full_shape[0], full_shape[1], plan.NumLocalSlices()};
+  local.slice_rank = rank_j;
+  local.slices = std::move(slices);
+  report.resident_bytes =
+      static_cast<double>(local.ByteSize()) +
+      static_cast<double>(full_shape[0] * full_shape[1]) * sizeof(double);
+
+  DTuckerOptions opt;
+  opt.tucker.ranks.assign(full_shape.size(), rank_j);
+  opt.tucker.max_iterations = iters;
+  opt.tucker.tolerance = 0;  // Fixed sweep count: every run does the same work.
+  TuckerStats stats;
+  DT_ASSIGN_OR_RETURN(TuckerDecomposition dec,
+                      ShardedDTuckerFromLocalApproximation(
+                          local, full_shape, plan, opt, comm, &stats));
+  report.init_seconds = stats.init_seconds;
+  report.iterate_seconds = stats.iterate_seconds;
+  report.core = std::move(dec.core);
+
+  // Phase critical path: the busiest rank's numbers, on every rank.
+  double buf[5] = {report.approx_cpu, report.approx_wall, report.init_seconds,
+                   report.iterate_seconds, report.resident_bytes};
+  DT_RETURN_NOT_OK(comm->AllReduceMax(buf, 5));
+  report.approx_cpu = buf[0];
+  report.approx_wall = buf[1];
+  report.init_seconds = buf[2];
+  report.iterate_seconds = buf[3];
+  report.resident_bytes = buf[4];
+  DT_RETURN_NOT_OK(comm->Barrier());
+  return report;
+}
+
+struct RunRecord {
+  int ranks = 0;
+  RankReport report;
+  bool bitwise_match = true;
+};
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddInt("i1", 384, "slice rows");
+  flags.AddInt("i2", 256, "slice cols");
+  flags.AddInt("slices", 96, "number of frontal slices");
+  flags.AddInt("rank", 10, "Tucker rank per mode");
+  flags.AddInt("iters", 3, "ALS sweeps (fixed; tolerance 0)");
+  flags.AddString("rank_counts", "1,2,4", "comma-separated rank counts");
+  flags.AddString("path", "/tmp/dtucker_bench_shard.dtnsr", "scratch tensor");
+  flags.AddString("scratch", "/tmp/dtucker_bench_shard_comm",
+                  "communicator scratch directory prefix");
+  flags.AddString("json", "BENCH_shard.json", "JSON output path");
+  AddTelemetryFlags(&flags);
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
+                 flags.HelpString().c_str());
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.HelpString().c_str());
+    return 0;
+  }
+  InitTelemetryFromFlags(flags);
+
+  const Index i1 = flags.GetInt("i1");
+  const Index i2 = flags.GetInt("i2");
+  const Index slices = flags.GetInt("slices");
+  const Index rank_j = flags.GetInt("rank");
+  const int iters = static_cast<int>(flags.GetInt("iters"));
+  const std::string path = flags.GetString("path");
+  const std::vector<Index> full_shape = {i1, i2, slices};
+  const double slab_stack_bytes =
+      static_cast<double>(i1 * i2 * slices) * sizeof(double);
+
+  std::vector<int> rank_counts;
+  {
+    const std::string& spec = flags.GetString("rank_counts");
+    int value = 0;
+    for (char c : spec + ",") {
+      if (c >= '0' && c <= '9') {
+        value = value * 10 + (c - '0');
+      } else if (value > 0) {
+        rank_counts.push_back(value);
+        value = 0;
+      }
+    }
+  }
+
+  std::printf("=== bench_shard: %td x %td x %td (%.0f MiB slab stack), "
+              "J = %td, %d sweeps ===\n\n",
+              i1, i2, slices, slab_stack_bytes / (1 << 20), rank_j, iters);
+  Timer write_timer;
+  Status ws = WriteSyntheticTensor(path, i1, i2, slices, rank_j, 9);
+  if (!ws.ok()) {
+    std::fprintf(stderr, "writing failed: %s\n", ws.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote scratch tensor in %.1fs\n\n", write_timer.Seconds());
+
+  std::vector<RunRecord> records;
+  Tensor reference_core;  // Copy, not a pointer: `records` reallocates.
+  for (std::size_t ci = 0; ci < rank_counts.size(); ++ci) {
+    const int size = rank_counts[ci];
+    const std::string dir =
+        flags.GetString("scratch") + "_" + std::to_string(size);
+    std::vector<pid_t> children;
+    for (int r = 1; r < size; ++r) {
+      pid_t pid = ::fork();
+      if (pid < 0) {
+        std::fprintf(stderr, "fork failed\n");
+        return 1;
+      }
+      if (pid == 0) {
+        Result<RankReport> peer =
+            RunRank(path, dir, r, size, full_shape, rank_j, iters);
+        if (!peer.ok()) {
+          std::fprintf(stderr, "rank %d: %s\n", r,
+                       peer.status().ToString().c_str());
+        }
+        ::_exit(peer.ok() ? 0 : 1);
+      }
+      children.push_back(pid);
+    }
+    Result<RankReport> root =
+        RunRank(path, dir, 0, size, full_shape, rank_j, iters);
+    bool peers_ok = true;
+    for (pid_t pid : children) {
+      int wstatus = 0;
+      ::waitpid(pid, &wstatus, 0);
+      peers_ok &= WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0;
+    }
+    std::string cleanup = "rm -rf '" + dir + "'";
+    if (std::system(cleanup.c_str()) != 0) {
+      std::fprintf(stderr, "warning: failed to remove %s\n", dir.c_str());
+    }
+    if (!root.ok() || !peers_ok) {
+      std::fprintf(stderr, "rank count %d failed: %s\n", size,
+                   root.ok() ? "(peer process)" : root.status().ToString().c_str());
+      return 1;
+    }
+    RunRecord record;
+    record.ranks = size;
+    record.report = std::move(root).ValueOrDie();
+    if (records.empty()) {
+      reference_core = record.report.core;
+    } else {
+      record.bitwise_match =
+          record.report.core.shape() == reference_core.shape();
+      for (Index i = 0; record.bitwise_match && i < reference_core.size();
+           ++i) {
+        record.bitwise_match =
+            record.report.core.data()[i] == reference_core.data()[i];
+      }
+    }
+    records.push_back(std::move(record));
+    std::printf("ranks=%d done (approx %.2fs cpu/rank, %.2fs wall)\n", size,
+                records.back().report.approx_cpu,
+                records.back().report.approx_wall);
+  }
+
+  const double base_cpu = records.front().report.approx_cpu;
+  TablePrinter table({"ranks", "approx cpu/rank", "approx speedup",
+                      "efficiency", "init", "iterate", "resident/rank",
+                      "bitwise=1rank"});
+  for (const RunRecord& r : records) {
+    const double speedup = base_cpu / r.report.approx_cpu;
+    char cpu_s[32], sp_s[32], eff_s[32], init_s[32], it_s[32];
+    std::snprintf(cpu_s, sizeof(cpu_s), "%.3fs", r.report.approx_cpu);
+    std::snprintf(sp_s, sizeof(sp_s), "%.2fx", speedup);
+    std::snprintf(eff_s, sizeof(eff_s), "%.0f%%", 100.0 * speedup / r.ranks);
+    std::snprintf(init_s, sizeof(init_s), "%.3fs", r.report.init_seconds);
+    std::snprintf(it_s, sizeof(it_s), "%.3fs", r.report.iterate_seconds);
+    table.AddRow({std::to_string(r.ranks), cpu_s, sp_s, eff_s, init_s, it_s,
+                  TablePrinter::FormatBytes(
+                      static_cast<std::size_t>(r.report.resident_bytes)),
+                  r.bitwise_match ? "yes" : "NO"});
+  }
+  std::printf("\n");
+  table.Print();
+
+  FILE* json = std::fopen(flags.GetString("json").c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", flags.GetString("json").c_str());
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"tensor\": {\"i1\": %td, \"i2\": %td, \"slices\": %td, "
+               "\"slab_stack_bytes\": %.0f},\n  \"note\": "
+               "\"approx_cpu_seconds is the busiest rank's CPU time in the "
+               "approximation phase (== phase wall time at one core per "
+               "rank); speedup/efficiency derive from it\",\n  \"runs\": [\n",
+               i1, i2, slices, slab_stack_bytes);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const RunRecord& r = records[i];
+    const double speedup = base_cpu / r.report.approx_cpu;
+    std::fprintf(
+        json,
+        "    {\"ranks\": %d, \"approx_cpu_seconds\": %.6f, "
+        "\"approx_wall_seconds\": %.6f, \"approx_speedup\": %.3f, "
+        "\"parallel_efficiency\": %.3f, \"init_seconds\": %.6f, "
+        "\"iterate_seconds\": %.6f, \"resident_bytes_per_rank\": %.0f, "
+        "\"core_bitwise_matches_1rank\": %s}%s\n",
+        r.ranks, r.report.approx_cpu, r.report.approx_wall, speedup,
+        speedup / r.ranks, r.report.init_seconds, r.report.iterate_seconds,
+        r.report.resident_bytes, r.bitwise_match ? "true" : "false",
+        i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("\nwrote %s\n", flags.GetString("json").c_str());
+  std::remove(path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace dtucker
+
+int main(int argc, char** argv) { return dtucker::Run(argc, argv); }

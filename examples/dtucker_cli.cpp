@@ -114,6 +114,7 @@ int RunOp(const FlagParser& flags) {
         static_cast<int>(flags.GetInt("iters"));
     eopt.method_options.num_threads = num_threads;
     eopt.blas_threads = num_threads;
+    eopt.num_ranks = static_cast<int>(flags.GetInt("ranks"));
     eopt.method_options.sweep_callback = [](const SweepTelemetry& t) {
       std::printf("sweep %2d: fit %.6f (delta %+0.2e) in %.3fs, "
                   "%llu subspace iterations\n",
@@ -247,6 +248,10 @@ int Run(int argc, char** argv) {
   flags.AddInt("rank", 10, "Tucker rank per mode (clamped to dims)");
   flags.AddDouble("energy", 0.9, "energy threshold for --op=ranks");
   flags.AddInt("iters", 20, "max ALS sweeps");
+  flags.AddInt("ranks", 0,
+               "slice-parallel shard count for --method=D-Tucker "
+               "(0 = classic unsharded solver; >= 1 runs the sharded "
+               "solver with that many in-process ranks)");
   flags.AddInt("threads", 1,
                "worker threads for every phase (approximation, "
                "initialization, iteration); default 1 = serial, 0 = all "

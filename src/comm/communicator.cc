@@ -1,0 +1,403 @@
+#include "comm/communicator.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/timer.h"
+#include "common/trace.h"
+
+namespace dtucker {
+
+// Elementwise combine of a received buffer into the local accumulator.
+// Takes the Combine enum as int because the enum is protected in
+// Communicator; the transports cast from within member scope.
+static void ApplyCombine(double* dst, const double* src, std::size_t n,
+                         int combine_kind) {
+  switch (combine_kind) {
+    case 0:  // copy
+      std::memcpy(dst, src, n * sizeof(double));
+      break;
+    case 1:  // add
+      for (std::size_t i = 0; i < n; ++i) dst[i] += src[i];
+      break;
+    default:  // max
+      for (std::size_t i = 0; i < n; ++i) dst[i] = std::max(dst[i], src[i]);
+      break;
+  }
+}
+
+Status Communicator::WaitCheck(double elapsed_seconds) const {
+  if (ctx_ != nullptr) {
+    DT_RETURN_NOT_OK(ctx_->CheckStatus("communicator wait"));
+  }
+  if (elapsed_seconds > timeout_seconds_) {
+    return Status::Unavailable(
+        "communicator: peer did not arrive within " +
+        std::to_string(timeout_seconds_) + "s (rank " + std::to_string(rank_) +
+        " of " + std::to_string(size_) + ")");
+  }
+  std::this_thread::yield();
+  return Status::OK();
+}
+
+// Binomial reduce to rank 0: at distance d = 1, 2, 4, ... the rank with
+// r % 2d == d ships its accumulator to r - d, which combines it on top of
+// its own. The combine order at every receiver is ascending distance, a
+// function of the rank count alone — the determinism contract of
+// AllReduceSum.
+Status Communicator::ReduceTree(double* data, std::size_t n, Combine combine) {
+  const std::uint64_t op = NextTag();
+  int step = 0;
+  for (int d = 1; d < size_; d *= 2, ++step) {
+    const std::uint64_t tag = op * 64 + static_cast<std::uint64_t>(step);
+    if ((rank_ % (2 * d)) == d) {
+      return SendTo(rank_ - d, tag, data, n);
+    }
+    if ((rank_ % (2 * d)) == 0 && rank_ + d < size_) {
+      DT_RETURN_NOT_OK(RecvCombine(rank_ + d, tag, data, n, combine));
+    }
+  }
+  return Status::OK();
+}
+
+Status Communicator::Broadcast(double* data, std::size_t n, int root) {
+  if (size_ == 1) return Status::OK();
+  DT_TRACE_SPAN("comm.broadcast");
+  DT_CHECK(root >= 0 && root < size_) << "broadcast root out of range";
+  // Rotate so the algorithm always roots at virtual rank 0.
+  const int vrank = (rank_ - root + size_) % size_;
+  const std::uint64_t op = NextTag();
+  int step = 0;
+  // Iterative doubling: after the step at distance d, virtual ranks
+  // [0, 2d) hold the data.
+  for (int d = 1; d < size_; d *= 2, ++step) {
+    const std::uint64_t tag = op * 64 + static_cast<std::uint64_t>(step);
+    if (vrank < d && vrank + d < size_) {
+      const int peer = (vrank + d + root) % size_;
+      DT_RETURN_NOT_OK(SendTo(peer, tag, data, n));
+    } else if (vrank >= d && vrank < 2 * d) {
+      const int peer = (vrank - d + root) % size_;
+      DT_RETURN_NOT_OK(RecvCombine(peer, tag, data, n, Combine::kCopy));
+    }
+  }
+  return Status::OK();
+}
+
+Status Communicator::AllReduceSum(double* data, std::size_t n) {
+  if (size_ == 1) return Status::OK();
+  DT_TRACE_SPAN("comm.allreduce_sum");
+  Timer timer;
+  DT_RETURN_NOT_OK(ReduceTree(data, n, Combine::kAdd));
+  DT_RETURN_NOT_OK(Broadcast(data, n, /*root=*/0));
+  static Counter& reduces = MetricCounter("comm.reduces");
+  static Counter& bytes = MetricCounter("comm.bytes_reduced");
+  reduces.Add(1);
+  bytes.Add(static_cast<std::uint64_t>(n) * sizeof(double));
+  MetricGauge("comm.rank" + std::to_string(rank_) + ".reduce_ns")
+      .Add(timer.Seconds() * 1e9);
+  return Status::OK();
+}
+
+Status Communicator::AllReduceMax(double* data, std::size_t n) {
+  if (size_ == 1) return Status::OK();
+  DT_TRACE_SPAN("comm.allreduce_max");
+  Timer timer;
+  DT_RETURN_NOT_OK(ReduceTree(data, n, Combine::kMax));
+  DT_RETURN_NOT_OK(Broadcast(data, n, /*root=*/0));
+  static Counter& reduces = MetricCounter("comm.reduces");
+  static Counter& bytes = MetricCounter("comm.bytes_reduced");
+  reduces.Add(1);
+  bytes.Add(static_cast<std::uint64_t>(n) * sizeof(double));
+  MetricGauge("comm.rank" + std::to_string(rank_) + ".reduce_ns")
+      .Add(timer.Seconds() * 1e9);
+  return Status::OK();
+}
+
+Status Communicator::Barrier() {
+  if (size_ == 1) return Status::OK();
+  DT_TRACE_SPAN("comm.barrier");
+  double token = 0.0;
+  DT_RETURN_NOT_OK(ReduceTree(&token, 1, Combine::kAdd));
+  return Broadcast(&token, 1, /*root=*/0);
+}
+
+Status Communicator::Gather(const double* send, std::size_t n, double* recv,
+                            int root) {
+  DT_TRACE_SPAN("comm.gather");
+  DT_CHECK(root >= 0 && root < size_) << "gather root out of range";
+  const std::uint64_t op = NextTag();
+  if (rank_ == root) {
+    for (int peer = 0; peer < size_; ++peer) {
+      double* dst = recv + static_cast<std::size_t>(peer) * n;
+      if (peer == root) {
+        if (n > 0) std::memcpy(dst, send, n * sizeof(double));
+        continue;
+      }
+      const std::uint64_t tag = op * 64 + static_cast<std::uint64_t>(peer % 64);
+      DT_RETURN_NOT_OK(RecvCombine(peer, tag, dst, n, Combine::kCopy));
+    }
+    return Status::OK();
+  }
+  const std::uint64_t tag = op * 64 + static_cast<std::uint64_t>(rank_ % 64);
+  return SendTo(root, tag, send, n);
+}
+
+Status Communicator::AllGatherV(const double* send,
+                                const std::vector<std::size_t>& counts,
+                                double* recv) {
+  DT_TRACE_SPAN("comm.allgatherv");
+  DT_CHECK_EQ(counts.size(), static_cast<std::size_t>(size_))
+      << "one count per rank";
+  std::size_t total = 0;
+  std::vector<std::size_t> offsets(counts.size());
+  for (std::size_t r = 0; r < counts.size(); ++r) {
+    offsets[r] = total;
+    total += counts[r];
+  }
+  const std::size_t mine = counts[static_cast<std::size_t>(rank_)];
+  const std::uint64_t op = NextTag();
+  if (rank_ == 0) {
+    for (int peer = 0; peer < size_; ++peer) {
+      double* dst = recv + offsets[static_cast<std::size_t>(peer)];
+      const std::size_t cnt = counts[static_cast<std::size_t>(peer)];
+      if (cnt == 0) continue;
+      if (peer == 0) {
+        std::memcpy(dst, send, cnt * sizeof(double));
+        continue;
+      }
+      const std::uint64_t tag = op * 64 + static_cast<std::uint64_t>(peer % 64);
+      DT_RETURN_NOT_OK(RecvCombine(peer, tag, dst, cnt, Combine::kCopy));
+    }
+  } else if (mine > 0) {
+    const std::uint64_t tag = op * 64 + static_cast<std::uint64_t>(rank_ % 64);
+    DT_RETURN_NOT_OK(SendTo(0, tag, send, mine));
+  }
+  return Broadcast(recv, total, /*root=*/0);
+}
+
+// ---------------------------------------------------------------------------
+// In-process transport.
+// ---------------------------------------------------------------------------
+
+// One rendezvous slot per ordered (sender, receiver) pair. The protocol is
+// a seqlock-style handshake on two atomics: the sender publishes its
+// buffer pointer and stores tag+1 into `post` (release); the receiver
+// spins for the matching post (acquire), consumes the data, and stores
+// tag+1 into `ack` (release); the sender spins for the ack (acquire) and
+// clears `post` for the next operation on this pair. Lock-free: no mutex,
+// no allocation, one cache line per pair.
+struct alignas(64) InProcessSlot {
+  std::atomic<std::uint64_t> post{0};
+  std::atomic<std::uint64_t> ack{0};
+  const double* data = nullptr;
+  std::size_t n = 0;
+};
+
+struct InProcessGroup::State {
+  int size = 0;
+  std::vector<InProcessSlot> slots;  // size * size, sender-major.
+  InProcessSlot& slot(int sender, int receiver) {
+    return slots[static_cast<std::size_t>(sender) *
+                     static_cast<std::size_t>(size) +
+                 static_cast<std::size_t>(receiver)];
+  }
+};
+
+namespace {
+
+class InProcessCommunicator : public Communicator {
+ public:
+  InProcessCommunicator(InProcessGroup::State* state, int rank, int size)
+      : Communicator(rank, size), state_(state) {}
+
+ protected:
+  Status SendTo(int peer, std::uint64_t tag, const double* data,
+                std::size_t n) override {
+    InProcessSlot& s = state_->slot(rank(), peer);
+    s.data = data;
+    s.n = n;
+    s.post.store(tag + 1, std::memory_order_release);
+    Timer timer;
+    while (s.ack.load(std::memory_order_acquire) != tag + 1) {
+      DT_RETURN_NOT_OK(WaitCheck(timer.Seconds()));
+    }
+    s.post.store(0, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  Status RecvCombine(int peer, std::uint64_t tag, double* data, std::size_t n,
+                     Combine combine) override {
+    InProcessSlot& s = state_->slot(peer, rank());
+    Timer timer;
+    while (s.post.load(std::memory_order_acquire) != tag + 1) {
+      DT_RETURN_NOT_OK(WaitCheck(timer.Seconds()));
+    }
+    DT_CHECK_EQ(s.n, n) << "in-process rendezvous size mismatch";
+    ApplyCombine(data, s.data, n, static_cast<int>(combine));
+    s.ack.store(tag + 1, std::memory_order_release);
+    return Status::OK();
+  }
+
+ private:
+  InProcessGroup::State* state_;
+};
+
+}  // namespace
+
+std::shared_ptr<InProcessGroup> InProcessGroup::Create(int size) {
+  DT_CHECK_GE(size, 1) << "in-process group needs at least one rank";
+  auto group = std::shared_ptr<InProcessGroup>(new InProcessGroup());
+  group->state_ = new State();
+  group->state_->size = size;
+  group->state_->slots =
+      std::vector<InProcessSlot>(static_cast<std::size_t>(size) *
+                                 static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) {
+    group->comms_.emplace_back(
+        std::make_unique<InProcessCommunicator>(group->state_, r, size));
+  }
+  return group;
+}
+
+Communicator* InProcessGroup::comm(int rank) {
+  DT_CHECK(rank >= 0 && rank < static_cast<int>(comms_.size()))
+      << "rank out of range";
+  return comms_[static_cast<std::size_t>(rank)].get();
+}
+
+InProcessGroup::~InProcessGroup() {
+  comms_.clear();
+  delete state_;
+}
+
+// ---------------------------------------------------------------------------
+// Multi-process file transport.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Payloads are published as dir/m_<tag>_<sender>_<receiver> via write-to-
+// temp + rename (atomic on POSIX), so a reader never observes a partial
+// file. The receiver acknowledges with dir/a_<tag>_<sender>_<receiver>;
+// the sender then deletes both, keeping the directory bounded regardless
+// of how many collectives run.
+class FileCommunicator : public Communicator {
+ public:
+  FileCommunicator(std::string dir, int rank, int size)
+      : Communicator(rank, size), dir_(std::move(dir)) {}
+
+ protected:
+  Status SendTo(int peer, std::uint64_t tag, const double* data,
+                std::size_t n) override {
+    const std::string payload = PayloadPath(tag, rank(), peer);
+    const std::string tmp = payload + ".tmp" + std::to_string(rank());
+    {
+      FILE* f = std::fopen(tmp.c_str(), "wb");
+      if (f == nullptr) {
+        return Status::IoError("file communicator: cannot create " + tmp);
+      }
+      const std::size_t written = std::fwrite(data, sizeof(double), n, f);
+      const int rc = std::fclose(f);
+      if (written != n || rc != 0) {
+        std::remove(tmp.c_str());
+        return Status::IoError("file communicator: short write to " + tmp);
+      }
+    }
+    if (std::rename(tmp.c_str(), payload.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      return Status::IoError("file communicator: cannot publish " + payload);
+    }
+    // Wait for the receiver's ack, then reclaim both files.
+    const std::string ack = AckPath(tag, rank(), peer);
+    Timer timer;
+    for (;;) {
+      struct stat st;
+      if (::stat(ack.c_str(), &st) == 0) break;
+      DT_RETURN_NOT_OK(WaitCheckSleep(timer.Seconds()));
+    }
+    std::remove(payload.c_str());
+    std::remove(ack.c_str());
+    return Status::OK();
+  }
+
+  Status RecvCombine(int peer, std::uint64_t tag, double* data, std::size_t n,
+                     Combine combine) override {
+    const std::string payload = PayloadPath(tag, peer, rank());
+    Timer timer;
+    FILE* f = nullptr;
+    for (;;) {
+      f = std::fopen(payload.c_str(), "rb");
+      if (f != nullptr) break;
+      DT_RETURN_NOT_OK(WaitCheckSleep(timer.Seconds()));
+    }
+    if (scratch_.size() < n) scratch_.resize(n);
+    const std::size_t read = std::fread(scratch_.data(), sizeof(double), n, f);
+    std::fclose(f);
+    if (read != n) {
+      return Status::IoError("file communicator: short read from " + payload);
+    }
+    ApplyCombine(data, scratch_.data(), n, static_cast<int>(combine));
+    // Publish the ack (atomically, same temp+rename discipline).
+    const std::string ack = AckPath(tag, peer, rank());
+    const std::string tmp = ack + ".tmp" + std::to_string(rank());
+    FILE* af = std::fopen(tmp.c_str(), "wb");
+    if (af == nullptr || std::fclose(af) != 0 ||
+        std::rename(tmp.c_str(), ack.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      return Status::IoError("file communicator: cannot ack " + ack);
+    }
+    return Status::OK();
+  }
+
+ private:
+  // The file transport polls at sleep granularity instead of yield: a
+  // stat/open probe already costs a syscall, so a short sleep keeps the
+  // poll loop from saturating the filesystem while staying well under the
+  // latency of the collectives' payload IO.
+  Status WaitCheckSleep(double elapsed_seconds) const {
+    DT_RETURN_NOT_OK(WaitCheck(elapsed_seconds));
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+    return Status::OK();
+  }
+
+  std::string PayloadPath(std::uint64_t tag, int sender, int receiver) const {
+    return dir_ + "/m_" + std::to_string(tag) + "_" + std::to_string(sender) +
+           "_" + std::to_string(receiver);
+  }
+  std::string AckPath(std::uint64_t tag, int sender, int receiver) const {
+    return dir_ + "/a_" + std::to_string(tag) + "_" + std::to_string(sender) +
+           "_" + std::to_string(receiver);
+  }
+
+  std::string dir_;
+  std::vector<double> scratch_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Communicator>> CreateFileCommunicator(
+    const std::string& dir, int rank, int size) {
+  if (size < 1) {
+    return Status::InvalidArgument("file communicator: size must be >= 1");
+  }
+  if (rank < 0 || rank >= size) {
+    return Status::InvalidArgument("file communicator: rank out of range");
+  }
+  if (::mkdir(dir.c_str(), 0777) != 0 && errno != EEXIST) {
+    return Status::IoError("file communicator: cannot create directory " +
+                           dir);
+  }
+  return std::unique_ptr<Communicator>(
+      std::make_unique<FileCommunicator>(dir, rank, size));
+}
+
+}  // namespace dtucker

@@ -1,0 +1,176 @@
+// Communicator: rank-to-rank collectives for sharded D-Tucker.
+//
+// D-Tucker's distributed structure only ever needs small collectives: the
+// approximation phase is embarrassingly parallel over slices, and the
+// initialization/iteration phases exchange Gram matrices, projected-core
+// slabs, and scalars — never the raw tensor. A Communicator provides
+// exactly that surface for a fixed group of `size` ranks:
+//
+//   Barrier        rendezvous of every rank
+//   Broadcast      root's buffer replicated to all ranks
+//   AllReduceSum   elementwise sum with a *deterministic* binomial tree
+//   AllReduceMax   elementwise max (order-free, bitwise for non-NaN input)
+//   Gather         concatenation of per-rank buffers on the root
+//   AllGatherV     variable-count gather replicated to all ranks
+//
+// Determinism contract: AllReduceSum combines rank contributions through a
+// fixed binomial tree over rank indices — at distance d = 1, 2, 4, ...,
+// rank r with r % 2d == d sends its accumulator to rank r - d, which adds
+// it on top of its own (receiver += sender, in ascending-distance order).
+// The addition order therefore depends only on the rank count, never on
+// timing, so repeated runs are bitwise identical. Higher layers
+// (dtucker/sharded_dtucker.h) compose this with a fixed chunk grid over
+// slices so the *global* reduction shape is also identical across
+// power-of-two rank counts.
+//
+// Two transports:
+//   - InProcessGroup: ranks are threads of one process sharing an address
+//     space; rendezvous is a lock-free seqlock-style mailbox exchange
+//     (spin + yield), suitable for tests and single-node multi-rank runs.
+//   - FileCommunicator: ranks are separate processes meeting in a shared
+//     directory (no MPI exists in this environment); payloads travel
+//     through files published with atomic renames. Slow per message but
+//     collectives here move O(rank^2) small matrices, not tensors.
+//
+// Execution control: set_run_context() attaches a caller-owned RunContext
+// that every blocking wait polls, so a cancellation or deadline on one
+// rank turns its pending collective into kCancelled/kDeadlineExceeded
+// instead of a hang. A communicator-level default timeout (set_timeout)
+// bounds waits even without a context — a crashed peer then surfaces as
+// kUnavailable rather than a deadlock.
+//
+// Observability: every collective is wrapped in a DT_TRACE_SPAN and bumps
+// the comm.* metrics (comm.reduces, comm.bytes_reduced, and the per-rank
+// comm.rank<r>.reduce_ns gauge), so --trace-out / --metrics-out show where
+// sharded runs spend their synchronization time.
+#ifndef DTUCKER_COMM_COMMUNICATOR_H_
+#define DTUCKER_COMM_COMMUNICATOR_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/run_context.h"
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace dtucker {
+
+class Communicator {
+ public:
+  virtual ~Communicator() = default;
+
+  Communicator(const Communicator&) = delete;
+  Communicator& operator=(const Communicator&) = delete;
+
+  int rank() const { return rank_; }
+  int size() const { return size_; }
+
+  // Optional execution control: polled by every blocking wait. Caller
+  // owned; must outlive the communicator's use. May be null.
+  void set_run_context(const RunContext* ctx) { ctx_ = ctx; }
+  const RunContext* run_context() const { return ctx_; }
+
+  // Upper bound on any single blocking wait (seconds). A peer that never
+  // shows up turns into kUnavailable after this long. Default 120 s.
+  void set_timeout_seconds(double seconds) { timeout_seconds_ = seconds; }
+  double timeout_seconds() const { return timeout_seconds_; }
+
+  // Blocks until every rank has entered the same barrier call.
+  Status Barrier();
+
+  // Replicates root's `data[0, n)` into every rank's buffer.
+  Status Broadcast(double* data, std::size_t n, int root = 0);
+
+  // In-place elementwise sum over ranks, deterministic binomial tree (see
+  // file comment); every rank exits with the identical summed buffer.
+  Status AllReduceSum(double* data, std::size_t n);
+  Status AllReduceSum(Matrix* m) { return AllReduceSum(m->data(), m->size()); }
+
+  // In-place elementwise max over ranks. Max is associative and
+  // commutative exactly (for non-NaN inputs), so no tree discipline is
+  // needed for determinism.
+  Status AllReduceMax(double* data, std::size_t n);
+
+  // Concatenates every rank's `send[0, n)` on the root in ascending rank
+  // order. `recv` (root only) must hold size() * n doubles.
+  Status Gather(const double* send, std::size_t n, double* recv, int root = 0);
+
+  // Variable-count all-gather: rank r contributes counts[r] doubles, and
+  // every rank exits with the ascending-rank concatenation (sum(counts)
+  // doubles) in `recv`. Concatenation involves no floating-point combine,
+  // so the result is trivially bitwise deterministic. Implemented as a
+  // gather to rank 0 plus a broadcast.
+  Status AllGatherV(const double* send, const std::vector<std::size_t>& counts,
+                    double* recv);
+
+ protected:
+  Communicator(int rank, int size) : rank_(rank), size_(size) {}
+
+  // Transport primitives. `tag` is a monotonically increasing operation
+  // sequence number assigned by the collective algorithms; a (tag, peer)
+  // pair identifies one point-to-point rendezvous.
+  //
+  // SendTo publishes `data[0, n)` to `peer` under `tag` and blocks until
+  // the peer has consumed it. RecvCombine blocks for the matching publish
+  // from `peer` and either copies (combine == kCopy) or accumulates
+  // elementwise into `data`.
+  enum class Combine { kCopy, kAdd, kMax };
+  virtual Status SendTo(int peer, std::uint64_t tag, const double* data,
+                        std::size_t n) = 0;
+  virtual Status RecvCombine(int peer, std::uint64_t tag, double* data,
+                             std::size_t n, Combine combine) = 0;
+
+  // One bounded wait step while polling for a peer: yields/sleeps, checks
+  // the RunContext and the elapsed budget. `elapsed_seconds` is the time
+  // since the blocking call began.
+  Status WaitCheck(double elapsed_seconds) const;
+
+  std::uint64_t NextTag() { return next_tag_++; }
+
+ private:
+  Status ReduceTree(double* data, std::size_t n, Combine combine);
+
+  int rank_;
+  int size_;
+  const RunContext* ctx_ = nullptr;
+  double timeout_seconds_ = 120.0;
+  std::uint64_t next_tag_ = 0;
+};
+
+// In-process transport: `size` communicators sharing one rendezvous table,
+// one per rank thread. Create() returns them all; hand one to each thread.
+// The group object owns the shared state and must outlive every rank.
+class InProcessGroup {
+ public:
+  // `size` >= 1. The returned communicators index ranks 0..size-1.
+  static std::shared_ptr<InProcessGroup> Create(int size);
+
+  // Communicator for `rank`; each may be used by exactly one thread at a
+  // time. Valid for the group's lifetime.
+  Communicator* comm(int rank);
+
+  ~InProcessGroup();
+
+  // Shared rendezvous table; opaque outside the implementation file.
+  struct State;
+
+ private:
+  InProcessGroup() = default;
+  State* state_ = nullptr;
+  std::vector<std::unique_ptr<Communicator>> comms_;
+};
+
+// Multi-process transport over a shared directory. Every rank process
+// calls Create with the same `dir` (created if absent) and its own rank.
+// Ranks publish payload files atomically (write temp + rename) and poll
+// for their peers'; the directory must be on a filesystem with atomic
+// rename (any local POSIX fs). The caller removes the directory once all
+// ranks are done (rank 0 after a final Barrier, typically).
+Result<std::unique_ptr<Communicator>> CreateFileCommunicator(
+    const std::string& dir, int rank, int size);
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_COMM_COMMUNICATOR_H_

@@ -1,0 +1,41 @@
+#include "comm/sharding.h"
+
+#include <algorithm>
+#include <string>
+
+namespace dtucker {
+
+Result<ShardPlan> MakeShardPlan(Index num_slices, int num_ranks, int rank) {
+  if (num_slices < 1) {
+    return Status::InvalidArgument("shard plan: need at least one slice");
+  }
+  if (num_ranks < 1) {
+    return Status::InvalidArgument("shard plan: num_ranks must be >= 1");
+  }
+  if (rank < 0 || rank >= num_ranks) {
+    return Status::InvalidArgument("shard plan: rank out of range");
+  }
+  if (static_cast<Index>(num_ranks) > num_slices) {
+    return Status::InvalidArgument(
+        "shard plan: num_ranks (" + std::to_string(num_ranks) +
+        ") exceeds the number of slices (" + std::to_string(num_slices) +
+        "); reduce --ranks to at most the trailing-mode volume");
+  }
+  ShardPlan plan;
+  plan.num_slices = num_slices;
+  plan.num_chunks = std::min(kShardChunkCount, num_slices);
+  plan.num_ranks = num_ranks;
+  plan.rank = rank;
+  const Index r = static_cast<Index>(rank);
+  const Index big_r = static_cast<Index>(num_ranks);
+  // Ranks own contiguous chunk ranges; with R > C the trailing ranks own
+  // zero chunks (degenerate shards are handled by every consumer).
+  plan.chunk_begin = std::min(plan.num_chunks, plan.num_chunks * r / big_r);
+  plan.chunk_end =
+      std::min(plan.num_chunks, plan.num_chunks * (r + 1) / big_r);
+  plan.slice_begin = plan.ChunkSliceBegin(plan.chunk_begin);
+  plan.slice_end = plan.ChunkSliceBegin(plan.chunk_end);
+  return plan;
+}
+
+}  // namespace dtucker

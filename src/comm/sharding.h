@@ -1,0 +1,104 @@
+// Shard assignment for the slice dimension, built on a fixed chunk grid.
+//
+// Reductions over slices (stacked-factor Grams, carrier contractions,
+// squared norms) must produce bitwise-identical results whether they run
+// on 1 rank or many. Floating-point addition is not associative, so the
+// *shape* of the reduction has to be pinned independently of the rank
+// count. The scheme, shared with the thread-level determinism contract of
+// PR 3 (dtucker.cc kSliceChunkCount):
+//
+//   1. The L slices are cut into C = min(kShardChunkCount, L) fixed,
+//      contiguous chunks on the grid boundaries L*c/C — a function of L
+//      alone.
+//   2. Within a chunk, contributions accumulate serially in ascending
+//      slice order.
+//   3. Chunk partials combine through a fixed pairwise binary tree over
+//      the chunk indices (TreeCombine below).
+//
+// Ranks own contiguous *chunk* ranges ([C*r/R, C*(r+1)/R)), and the slice
+// range follows from the chunk range — so a shard boundary is always a
+// chunk boundary, every chunk is computed whole on exactly one rank, and
+// the local partial of a rank that owns a power-of-two-aligned chunk range
+// is exactly an internal node of the global tree. When the rank count is
+// a power of two (and <= C), the cross-rank binomial reduction of
+// Communicator::AllReduceSum supplies the remaining upper tree levels, and
+// the composed global reduction is the same tree for every such rank
+// count: results are bitwise identical across R in {1, 2, 4, ..., C}. For
+// other rank counts results remain deterministic per rank count, merely
+// not bit-matched across counts.
+//
+// Degenerate shards are legal: with R > C (but R <= L, enforced by
+// Validate) the trailing ranks own zero chunks and zero slices; they still
+// participate in every collective so the group stays in lockstep.
+#ifndef DTUCKER_COMM_SHARDING_H_
+#define DTUCKER_COMM_SHARDING_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace dtucker {
+
+// Grid size of the canonical slice reduction. Matches the fixed chunking
+// of the single-process iteration phase (PR 3), which caps the rank counts
+// with cross-count bitwise identity at 8.
+inline constexpr Index kShardChunkCount = 8;
+
+struct ShardPlan {
+  Index num_slices = 0;   // L.
+  Index num_chunks = 0;   // C = min(kShardChunkCount, L).
+  int num_ranks = 0;      // R.
+  int rank = -1;          // This rank.
+  Index chunk_begin = 0;  // Owned chunk range [chunk_begin, chunk_end).
+  Index chunk_end = 0;
+  Index slice_begin = 0;  // Owned slice range [slice_begin, slice_end).
+  Index slice_end = 0;
+
+  Index NumLocalSlices() const { return slice_end - slice_begin; }
+  Index NumLocalChunks() const { return chunk_end - chunk_begin; }
+  bool Degenerate() const { return NumLocalSlices() == 0; }
+
+  // Global slice range of chunk `c` (grid boundaries L*c/C).
+  Index ChunkSliceBegin(Index c) const {
+    return num_slices * c / num_chunks;
+  }
+  Index ChunkSliceEnd(Index c) const {
+    return num_slices * (c + 1) / num_chunks;
+  }
+};
+
+// Validates (L >= 1, 1 <= R, R <= L) and builds the plan for `rank`.
+// num_ranks > num_slices is rejected with InvalidArgument: a shard grid
+// finer than the slice dimension cannot give every rank work, and the
+// caller should reduce the rank count instead.
+Result<ShardPlan> MakeShardPlan(Index num_slices, int num_ranks, int rank);
+
+// Fixed pairwise binary-tree combine of `partials` (all same shape) with
+// combine(dst, src) applied bottom-up: level 0 pairs (0,1), (2,3), ...; an
+// odd trailing element is carried upward unchanged and combined at the
+// first level that pairs it. The shape depends only on partials.size().
+// For a power-of-two count this is the complete binary tree that composes
+// with the binomial AllReduceSum (see file comment). Result lands in
+// partials[0].
+template <typename T, typename CombineFn>
+void TreeCombine(std::vector<T>* partials, const CombineFn& combine) {
+  if (partials->empty()) return;
+  // Indices of the live nodes at the current level.
+  std::vector<std::size_t> live(partials->size());
+  for (std::size_t i = 0; i < live.size(); ++i) live[i] = i;
+  while (live.size() > 1) {
+    std::vector<std::size_t> next;
+    next.reserve((live.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < live.size(); i += 2) {
+      combine(&(*partials)[live[i]], (*partials)[live[i + 1]]);
+      next.push_back(live[i]);
+    }
+    if (live.size() % 2 == 1) next.push_back(live.back());
+    live = std::move(next);
+  }
+}
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_COMM_SHARDING_H_

@@ -8,6 +8,26 @@
 
 namespace dtucker {
 
+namespace {
+std::atomic<int> g_pool_partitions{1};
+}  // namespace
+
+void SetPoolPartitions(int partitions) {
+  g_pool_partitions.store(partitions < 1 ? 1 : partitions,
+                          std::memory_order_relaxed);
+}
+
+int PoolPartitions() {
+  return g_pool_partitions.load(std::memory_order_relaxed);
+}
+
+std::size_t ThreadPool::partition_width() const {
+  const std::size_t parts =
+      static_cast<std::size_t>(PoolPartitions());
+  const std::size_t width = num_threads() / (parts == 0 ? 1 : parts);
+  return width == 0 ? 1 : width;
+}
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   DT_CHECK_GE(num_threads, 1u) << "pool needs at least one thread";
   worker_stats_ = std::make_unique<WorkerStat[]>(num_threads);
@@ -77,13 +97,16 @@ void ThreadPool::WorkerLoop(std::size_t worker_index) {
 void ThreadPool::ParallelFor(std::size_t n,
                              const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
-  if (num_threads() == 1 || n == 1) {
+  const std::size_t width = partition_width();
+  if (width == 1 || n == 1) {
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }
   // Dynamic chunking: enough chunks for balance, few enough for low
-  // queueing overhead.
-  const std::size_t chunks = std::min(n, num_threads() * 4);
+  // queueing overhead. The fan-out is bounded by the caller's partition
+  // width, not the raw pool size, so concurrent ranks share the pool
+  // instead of each claiming it whole (SetPoolPartitions).
+  const std::size_t chunks = std::min(n, width * 4);
   std::atomic<std::size_t> next{0};
   const std::size_t chunk_size = (n + chunks - 1) / chunks;
   for (std::size_t c = 0; c < chunks; ++c) {
@@ -105,10 +128,13 @@ void ThreadPool::ParallelForRanges(
   if (n == 0) return;
   if (min_grain == 0) min_grain = 1;
   const std::size_t max_ranges = (n + min_grain - 1) / min_grain;
-  // Two ranges per worker gives slack for imbalance without flooding the
-  // queue.
-  const std::size_t ranges = std::min(max_ranges, num_threads() * 2);
-  if (num_threads() == 1 || ranges <= 1) {
+  // Two ranges per available worker gives slack for imbalance without
+  // flooding the queue; "available" is this caller's partition share of
+  // the pool (SetPoolPartitions), so R concurrent ranks submit ~pool-width
+  // total ranges instead of R times that.
+  const std::size_t width = partition_width();
+  const std::size_t ranges = std::min(max_ranges, width * 2);
+  if (width == 1 || ranges <= 1) {
     body(0, n);
     return;
   }

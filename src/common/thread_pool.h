@@ -20,6 +20,22 @@
 
 namespace dtucker {
 
+// Process-wide count of concurrently active compute partitions (in-process
+// ranks of a sharded run) sharing any pool. Default 1: a ParallelFor caller
+// fans out across the whole pool. When a sharded driver runs R ranks as
+// threads of this process, it brackets the run with SetPoolPartitions(R) so
+// each rank's parallel loops claim only ~num_threads/R workers' worth of
+// range fan-out instead of each rank flooding the full pool — R ranks that
+// each split work T ways would queue R*T oversized tasks and serialize on
+// each other's Wait(). Partitioning keeps the total in-flight fan-out at
+// the pool width. Bitwise-safe: every determinism-sensitive caller either
+// uses fixed chunk grids or per-item-independent bodies (see ForEachSlice
+// and the packed-GEMM contract), so the fan-out width never changes result
+// bits. Relaxed atomic; set before the ranks start, restore after they
+// join.
+void SetPoolPartitions(int partitions);
+int PoolPartitions();
+
 class ThreadPool {
  public:
   // Spawns `num_threads` workers (>= 1).
@@ -30,6 +46,11 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   std::size_t num_threads() const { return workers_.size(); }
+
+  // Worker-thread budget available to one ParallelFor/ParallelForRanges
+  // call: the pool width divided by the active partition count (floor 1).
+  // See SetPoolPartitions.
+  std::size_t partition_width() const;
 
   // Enqueues a task; tasks must not throw.
   void Submit(std::function<void()> task);

@@ -11,6 +11,9 @@
 //   - dtucker/dtucker.h          Direct D-Tucker entry points + options.
 //   - dtucker/online_dtucker.h   D-TuckerO streaming updates.
 //   - dtucker/out_of_core.h      File-streaming approximation.
+//   - dtucker/sharded_dtucker.h  Sharded slice-parallel solver (and, via
+//                                it, comm/communicator.h + comm/sharding.h
+//                                — the rank collectives and shard plans).
 //   - dtucker/slice_approximation.h  The compressed slice form.
 //   - baselines/registry.h       Method enum + uniform runner.
 //   - tucker/*                   Decomposition type, baselines, rank
@@ -37,6 +40,7 @@
 #include "dtucker/engine.h"
 #include "dtucker/online_dtucker.h"
 #include "dtucker/out_of_core.h"
+#include "dtucker/sharded_dtucker.h"
 #include "dtucker/slice_approximation.h"
 #include "tucker/hosvd.h"
 #include "tucker/rank_estimation.h"

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "dtucker/sharded_dtucker.h"
 #include "linalg/blas.h"
 
 namespace dtucker {
@@ -10,6 +11,13 @@ Status EngineOptions::Validate(const std::vector<Index>& shape) const {
   DT_RETURN_NOT_OK(method_options.Validate(shape));
   if (blas_threads < 0) {
     return Status::InvalidArgument("blas_threads must be non-negative");
+  }
+  if (num_ranks < 0) {
+    return Status::InvalidArgument("num_ranks must be non-negative");
+  }
+  if (num_ranks > 0 && method != TuckerMethod::kDTucker) {
+    return Status::InvalidArgument(
+        "num_ranks (sharded execution) requires method == dtucker");
   }
   return Status::OK();
 }
@@ -50,9 +58,32 @@ void Engine::FinishRun(EngineRun* run) const {
   RecordSweepMetrics(run->stats);
 }
 
+ShardedDTuckerOptions Engine::ShardedOptionsFromMethod() {
+  ShardedDTuckerOptions opt;
+  opt.dtucker = DTuckerOptionsFromMethod();
+  opt.num_ranks = options_.num_ranks;
+  return opt;
+}
+
 Result<EngineRun> Engine::Solve(const Tensor& x) {
   DT_RETURN_NOT_OK(options_.Validate(x.shape()));
   ApplyBlasThreads();
+  if (options_.num_ranks > 0) {
+    // Sharded slice-parallel path (num_ranks == 1 still shards, so rank
+    // counts compare within one reduction scheme).
+    EngineRun run;
+    DT_ASSIGN_OR_RETURN(
+        run.decomposition,
+        ShardedDTucker(x, ShardedOptionsFromMethod(), &run.stats));
+    run.stored_bytes = run.decomposition.ByteSize();
+    if (options_.measure_error) {
+      run.relative_error = run.decomposition.RelativeErrorAgainst(x);
+    } else if (!run.stats.error_history.empty()) {
+      run.relative_error = run.stats.error_history.back();
+    }
+    FinishRun(&run);
+    return run;
+  }
   MethodOptions opts = options_.method_options;
   opts.tucker.run_context = &ctx_;
   DT_ASSIGN_OR_RETURN(
@@ -72,6 +103,18 @@ Result<EngineRun> Engine::Solve(const Tensor& x) {
 Result<EngineRun> Engine::SolveFile(const std::string& path) {
   DT_RETURN_NOT_OK(RequireDTucker("SolveFile"));
   ApplyBlasThreads();
+  if (options_.num_ranks > 0) {
+    EngineRun run;
+    DT_ASSIGN_OR_RETURN(
+        run.decomposition,
+        ShardedDTuckerFromFile(path, ShardedOptionsFromMethod(), &run.stats));
+    run.stored_bytes = run.stats.working_bytes;
+    if (!run.stats.error_history.empty()) {
+      run.relative_error = run.stats.error_history.back();
+    }
+    FinishRun(&run);
+    return run;
+  }
   DTuckerOptions opt = DTuckerOptionsFromMethod();
   EngineRun run;
   DT_ASSIGN_OR_RETURN(run.decomposition,

@@ -27,6 +27,7 @@
 #include "common/status.h"
 #include "dtucker/dtucker.h"
 #include "dtucker/out_of_core.h"
+#include "dtucker/sharded_dtucker.h"
 #include "tucker/tucker.h"
 
 namespace dtucker {
@@ -41,6 +42,14 @@ struct EngineOptions {
   // When > 0, the process-wide BLAS pool is sized to this before solving
   // (linalg/blas.h SetBlasThreads). 0 leaves the current setting alone.
   int blas_threads = 0;
+  // Rank count for sharded slice-parallel D-Tucker
+  // (dtucker/sharded_dtucker.h). 0 (default) keeps the classic unsharded
+  // solver. Any value >= 1 — including 1 — routes Solve/SolveFile through
+  // the sharded path with that many in-process ranks, so rank-count
+  // comparisons (--ranks=4 vs --ranks=1) stay within one reduction scheme
+  // and are bitwise-comparable; requires method == kDTucker. The shared
+  // BLAS pool is partitioned across the ranks for the run's duration.
+  int num_ranks = 0;
   // Measure the true reconstruction error after Solve() (O(volume); turn
   // off for pure-timing runs). File/approximation paths always report the
   // compressed-form error from the sweep telemetry instead.
@@ -95,6 +104,7 @@ class Engine {
   // publishes the per-sweep telemetry metrics.
   void FinishRun(EngineRun* run) const;
   DTuckerOptions DTuckerOptionsFromMethod();
+  ShardedDTuckerOptions ShardedOptionsFromMethod();
   Status RequireDTucker(const char* entry) const;
   void ApplyBlasThreads() const;
 

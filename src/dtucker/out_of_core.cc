@@ -8,8 +8,9 @@
 
 namespace dtucker {
 
-Result<SliceApproximation> ApproximateSlicesFromFile(
-    const std::string& path, const SliceApproximationOptions& options) {
+Result<std::vector<SliceSvd>> ApproximateSliceRangeFromFile(
+    const std::string& path, Index first, Index count,
+    const SliceApproximationOptions& options) {
   DT_ASSIGN_OR_RETURN(TensorFileReader reader, TensorFileReader::Open(path));
   if (reader.order() < 3) {
     return Status::InvalidArgument(
@@ -19,20 +20,21 @@ Result<SliceApproximation> ApproximateSlicesFromFile(
   if (options.slice_rank <= 0 || options.slice_rank > min_dim) {
     return Status::InvalidArgument("slice_rank must be in [1, min(I1, I2)]");
   }
+  if (first < 0 || count < 0 || first + count > reader.NumFrontalSlices()) {
+    return Status::OutOfRange("slice range outside the tensor file");
+  }
 
   RsvdOptions base;
   base.rank = options.slice_rank;
   base.oversampling = options.oversampling;
   base.power_iterations = options.power_iterations;
 
-  SliceApproximation approx;
-  approx.shape = reader.shape();
-  approx.slice_rank = options.slice_rank;
-  approx.slices.reserve(static_cast<std::size_t>(reader.NumFrontalSlices()));
+  std::vector<SliceSvd> out;
+  out.reserve(static_cast<std::size_t>(count));
 
   const RunContext* ctx = options.run_context;
   Matrix slice(reader.dim(0), reader.dim(1));  // Reused buffer.
-  for (Index l = 0; l < reader.NumFrontalSlices(); ++l) {
+  for (Index l = first; l < first + count; ++l) {
     // Per-slice interruption checkpoint (same hard-stop semantics as the
     // in-memory path: a half-compressed tensor has no usable partial), then
     // a retrying read so a transient storage fault does not kill a
@@ -66,9 +68,25 @@ Result<SliceApproximation> ApproximateSlicesFromFile(
       }
       svd.Truncate(std::max<Index>(1, rank));
     }
-    approx.slices.push_back(
+    out.push_back(
         SliceSvd{std::move(svd.u), std::move(svd.s), std::move(svd.v)});
   }
+  return out;
+}
+
+Result<SliceApproximation> ApproximateSlicesFromFile(
+    const std::string& path, const SliceApproximationOptions& options) {
+  // Header peek for the shape; the range routine re-opens, which is cheap
+  // next to streaming the payload.
+  DT_ASSIGN_OR_RETURN(TensorFileReader reader, TensorFileReader::Open(path));
+  const Index num_slices = reader.NumFrontalSlices();
+  DT_ASSIGN_OR_RETURN(
+      std::vector<SliceSvd> slices,
+      ApproximateSliceRangeFromFile(path, 0, num_slices, options));
+  SliceApproximation approx;
+  approx.shape = reader.shape();
+  approx.slice_rank = options.slice_rank;
+  approx.slices = std::move(slices);
   return approx;
 }
 

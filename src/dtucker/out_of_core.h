@@ -23,6 +23,18 @@ namespace dtucker {
 Result<SliceApproximation> ApproximateSlicesFromFile(
     const std::string& path, const SliceApproximationOptions& options);
 
+// Compresses only frontal slices [first, first + count) of the file — the
+// out-of-core counterpart of ApproximateSliceRange, and the building block
+// of the sharded solver (dtucker/sharded_dtucker.h): a rank streams and
+// compresses exactly its shard, so no process ever touches tensor data it
+// does not own. Seeds follow the same global per-slice schedule, so the
+// concatenation of every shard's output is bit-identical to a whole-file
+// (or in-memory) pass. count == 0 is legal (degenerate shard) and returns
+// an empty vector after validating the header.
+Result<std::vector<SliceSvd>> ApproximateSliceRangeFromFile(
+    const std::string& path, Index first, Index count,
+    const SliceApproximationOptions& options);
+
 // Full out-of-core D-Tucker: stream-compress, then run the initialization
 // and iteration phases on the compressed form. The raw tensor never
 // resides in memory.

@@ -1,0 +1,116 @@
+// Sharded slice-parallel D-Tucker: the slice dimension distributed across
+// communicator ranks.
+//
+// D-Tucker's three phases decompose naturally over the L frontal slices:
+//
+//   Approximation   — embarrassingly parallel; rank r compresses only its
+//                     owned slice range (streaming just that shard when the
+//                     tensor lives in a file), so no rank ever touches
+//                     tensor data it does not own.
+//   Initialization  — the stacked-factor Grams sum per-slice contributions;
+//                     each rank accumulates its shard's partial and a
+//                     tree-shaped AllReduceSum combines them. The small
+//                     projected tensor Z is assembled by a pure-concatenation
+//                     all-gather of per-shard slabs.
+//   Iteration       — the mode-1/2 carrier contractions reduce per-chunk
+//                     GEMM partials through the same tree; trailing-mode
+//                     updates and the core refresh run replicated on the
+//                     (small, fully gathered) Z, so they need no further
+//                     communication.
+//
+// Determinism: every floating-point reduction follows the canonical chunk
+// grid of comm/sharding.h — fixed chunks, serial accumulation within a
+// chunk, pairwise tree over chunk partials, binomial tree across ranks.
+// Because shard boundaries are chunk boundaries, the composed global
+// reduction tree is the *same tree* for every power-of-two rank count
+// (<= kShardChunkCount), so a 4-rank run reproduces a 1-rank sharded run
+// bit for bit (given equal BLAS settings per rank). The sharded path's
+// bits differ from the unsharded solver's (dtucker.h), whose left-fold
+// reduction predates the tree — the two agree to rounding error only.
+//
+// Execution control: each rank polls its own RunContext
+// (options.tucker.run_context) locally, but never aborts a collective
+// mid-flight. Instead the ranks agree on interruption at fixed sweep and
+// mode boundaries by max-reducing their local status codes, so a cancel or
+// deadline on any one rank stops every rank at the same boundary with the
+// same rolled-back state — all ranks return the last completed sweep.
+//
+// Threading: in-process ranks share the process-wide BLAS pool; the driver
+// brackets the run with SetPoolPartitions so R ranks split the pool
+// instead of oversubscribing it, and splits the approximation-phase worker
+// budget (num_threads) evenly across ranks.
+#ifndef DTUCKER_DTUCKER_SHARDED_DTUCKER_H_
+#define DTUCKER_DTUCKER_SHARDED_DTUCKER_H_
+
+#include <string>
+
+#include "comm/communicator.h"
+#include "comm/sharding.h"
+#include "common/status.h"
+#include "dtucker/dtucker.h"
+
+namespace dtucker {
+
+struct ShardedDTuckerOptions {
+  DTuckerOptions dtucker;
+  // Rank count for the in-process drivers (ShardedDTucker /
+  // ShardedDTuckerFromFile), which spawn one thread per rank. Must be in
+  // [1, L] for a tensor with L frontal slices; ranks beyond the chunk grid
+  // (kShardChunkCount) own zero slices but stay in lockstep. The SPMD
+  // entry points ignore this field (the communicator fixes the group).
+  int num_ranks = 1;
+  // Upper bound on any single blocking communicator wait; a crashed peer
+  // surfaces as kUnavailable after this long instead of a deadlock.
+  double comm_timeout_seconds = 120.0;
+
+  // Validates the D-Tucker surface plus the rank count against the shape.
+  // num_ranks > L is an InvalidArgument (every rank must be addressable on
+  // the slice grid), never a crash.
+  Status Validate(const std::vector<Index>& shape) const;
+};
+
+// In-process driver: runs `options.num_ranks` rank threads over an
+// InProcessGroup and returns rank 0's decomposition (all ranks finish with
+// bitwise-identical results). `stats`, `sweep_callback` and the error
+// history are reported from rank 0's perspective. auto_reorder is not
+// supported in the sharded path (InvalidArgument).
+Result<TuckerDecomposition> ShardedDTucker(const Tensor& x,
+                                           const ShardedDTuckerOptions& options,
+                                           TuckerStats* stats = nullptr);
+
+// Out-of-core in-process driver: each rank streams and compresses only its
+// own shard of the DTNSR001 file, so peak resident tensor data per rank is
+// one slice. The raw tensor is never materialized.
+Result<TuckerDecomposition> ShardedDTuckerFromFile(
+    const std::string& path, const ShardedDTuckerOptions& options,
+    TuckerStats* stats = nullptr);
+
+// SPMD entry points: one call per rank, `comm` fixes the rank/group (e.g.
+// a FileCommunicator when ranks are separate processes — the no-MPI
+// multi-process transport). Every rank must call with identical `options`
+// and tensor/path; each returns the full (identical) decomposition.
+// `options.num_threads` is used as given — per-process callers own their
+// thread budget. The caller is responsible for SetPoolPartitions when
+// ranks share one process.
+Result<TuckerDecomposition> ShardedDTuckerRank(const Tensor& x,
+                                               const DTuckerOptions& options,
+                                               Communicator* comm,
+                                               TuckerStats* stats = nullptr);
+
+Result<TuckerDecomposition> ShardedDTuckerRankFromFile(
+    const std::string& path, const DTuckerOptions& options, Communicator* comm,
+    TuckerStats* stats = nullptr);
+
+// Query-phase SPMD entry: initialization + iteration on a rank's local
+// shard of an existing slice approximation. `local` holds only the owned
+// slices with shape {I1, I2, NumLocalSlices} matching `plan`; `full_shape`
+// is the global tensor shape. Building block of the entry points above and
+// of white-box tests.
+Result<TuckerDecomposition> ShardedDTuckerFromLocalApproximation(
+    const SliceApproximation& local, const std::vector<Index>& full_shape,
+    const ShardPlan& plan, const DTuckerOptions& options, Communicator* comm,
+    TuckerStats* stats = nullptr);
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_DTUCKER_SHARDED_DTUCKER_H_

@@ -1,0 +1,264 @@
+#include "dtucker/sharded_dtucker.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/run_context.h"
+#include "data/generators.h"
+#include "data/tensor_io.h"
+#include "dtucker/engine.h"
+
+namespace dtucker {
+namespace {
+
+ShardedDTuckerOptions MakeOptions(std::vector<Index> ranks, int num_ranks,
+                                  int iters = 8) {
+  ShardedDTuckerOptions opt;
+  opt.dtucker.tucker.ranks = std::move(ranks);
+  opt.dtucker.tucker.max_iterations = iters;
+  opt.num_ranks = num_ranks;
+  return opt;
+}
+
+void ExpectBitwiseEqual(const TuckerDecomposition& a,
+                        const TuckerDecomposition& b, const char* what) {
+  ASSERT_EQ(a.factors.size(), b.factors.size()) << what;
+  for (std::size_t n = 0; n < a.factors.size(); ++n) {
+    ASSERT_EQ(a.factors[n].rows(), b.factors[n].rows()) << what;
+    ASSERT_EQ(a.factors[n].cols(), b.factors[n].cols()) << what;
+    for (Index i = 0; i < a.factors[n].size(); ++i) {
+      ASSERT_EQ(a.factors[n].data()[i], b.factors[n].data()[i])
+          << what << ": factor " << n << " element " << i;
+    }
+  }
+  ASSERT_EQ(a.core.shape(), b.core.shape()) << what;
+  for (Index i = 0; i < a.core.size(); ++i) {
+    ASSERT_EQ(a.core.data()[i], b.core.data()[i])
+        << what << ": core element " << i;
+  }
+}
+
+TEST(ShardedDTuckerTest, ExactRecoveryOfLowRankTensor) {
+  // L = 12 frontal slices >= kShardChunkCount, so all power-of-two rank
+  // counts share one reduction tree.
+  Tensor x = MakeLowRankTensor({16, 14, 12}, {3, 3, 3}, 0.0, 2);
+  Result<TuckerDecomposition> dec =
+      ShardedDTucker(x, MakeOptions({3, 3, 3}, 2));
+  ASSERT_TRUE(dec.ok()) << dec.status().ToString();
+  EXPECT_LT(dec.value().RelativeErrorAgainst(x), 1e-12);
+}
+
+TEST(ShardedDTuckerTest, BitwiseIdenticalAcrossPowerOfTwoRankCounts) {
+  Tensor x = MakeLowRankTensor({15, 13, 9}, {4, 4, 4}, 0.2, 3);
+  Result<TuckerDecomposition> one =
+      ShardedDTucker(x, MakeOptions({4, 3, 3}, 1));
+  ASSERT_TRUE(one.ok()) << one.status().ToString();
+  for (int num_ranks : {2, 4, 8}) {
+    TuckerStats stats;
+    Result<TuckerDecomposition> many =
+        ShardedDTucker(x, MakeOptions({4, 3, 3}, num_ranks), &stats);
+    ASSERT_TRUE(many.ok()) << many.status().ToString();
+    ExpectBitwiseEqual(many.value(), one.value(),
+                       ("ranks=" + std::to_string(num_ranks)).c_str());
+    EXPECT_EQ(stats.completion, StatusCode::kOk);
+  }
+}
+
+TEST(ShardedDTuckerTest, FourOrderTensorBitwiseAcrossRankCounts) {
+  // Order 4: the slice dimension is the trailing-mode volume 3 * 4 = 12.
+  Tensor x = MakeLowRankTensor({10, 9, 3, 4}, {2, 2, 2, 2}, 0.1, 4);
+  Result<TuckerDecomposition> one =
+      ShardedDTucker(x, MakeOptions({3, 3, 2, 2}, 1));
+  ASSERT_TRUE(one.ok()) << one.status().ToString();
+  Result<TuckerDecomposition> four =
+      ShardedDTucker(x, MakeOptions({3, 3, 2, 2}, 4));
+  ASSERT_TRUE(four.ok()) << four.status().ToString();
+  ExpectBitwiseEqual(four.value(), one.value(), "order-4 ranks=4");
+  EXPECT_LT(four.value().RelativeErrorAgainst(x), 0.2);
+}
+
+TEST(ShardedDTuckerTest, AgreesWithUnshardedSolverToRoundingError) {
+  // The sharded path uses a different (tree) reduction shape than the
+  // legacy left-fold, so bits differ; accuracy must not.
+  Tensor x = MakeLowRankTensor({18, 16, 10}, {4, 4, 4}, 0.3, 5);
+  ShardedDTuckerOptions opt = MakeOptions({4, 4, 4}, 4, 15);
+  Result<TuckerDecomposition> sharded = ShardedDTucker(x, opt);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  Result<TuckerDecomposition> legacy = DTucker(x, opt.dtucker);
+  ASSERT_TRUE(legacy.ok());
+  const double err_s = sharded.value().RelativeErrorAgainst(x);
+  const double err_l = legacy.value().RelativeErrorAgainst(x);
+  EXPECT_NEAR(err_s, err_l, 1e-6) << "sharded " << err_s << " legacy "
+                                  << err_l;
+}
+
+TEST(ShardedDTuckerTest, DegenerateShardsStayInLockstep) {
+  // 9 ranks over 9 slices with an 8-chunk grid: at least one rank owns
+  // zero slices and must still complete every collective.
+  Tensor x = MakeLowRankTensor({12, 11, 9}, {3, 3, 3}, 0.1, 6);
+  TuckerStats stats;
+  ShardedDTuckerOptions opt = MakeOptions({3, 3, 3}, 9);
+  opt.comm_timeout_seconds = 10;  // A lockstep bug should fail, not hang.
+  Result<TuckerDecomposition> dec = ShardedDTucker(x, opt, &stats);
+  ASSERT_TRUE(dec.ok()) << dec.status().ToString();
+  EXPECT_EQ(stats.completion, StatusCode::kOk);
+  EXPECT_LT(dec.value().RelativeErrorAgainst(x), 0.1);
+}
+
+TEST(ShardedDTuckerTest, ValidateRejectsMoreRanksThanSlices) {
+  Tensor x = MakeLowRankTensor({8, 7, 4}, {2, 2, 2}, 0.0, 7);
+  Result<TuckerDecomposition> dec =
+      ShardedDTucker(x, MakeOptions({2, 2, 2}, 5));
+  ASSERT_FALSE(dec.ok());
+  EXPECT_EQ(dec.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardedDTuckerTest, ValidateRejectsBadRankCountAndTimeout) {
+  Tensor x = MakeLowRankTensor({8, 7, 4}, {2, 2, 2}, 0.0, 7);
+  EXPECT_FALSE(ShardedDTucker(x, MakeOptions({2, 2, 2}, 0)).ok());
+  ShardedDTuckerOptions opt = MakeOptions({2, 2, 2}, 2);
+  opt.comm_timeout_seconds = 0;
+  EXPECT_FALSE(ShardedDTucker(x, opt).ok());
+}
+
+TEST(ShardedDTuckerTest, FromFileMatchesInMemoryBitwise) {
+  Tensor x = MakeLowRankTensor({14, 12, 10}, {3, 3, 3}, 0.2, 8);
+  const std::string path = ::testing::TempDir() + "/sharded.dtnsr";
+  ASSERT_TRUE(SaveTensor(x, path).ok());
+  ShardedDTuckerOptions opt = MakeOptions({3, 3, 3}, 2);
+  Result<TuckerDecomposition> mem = ShardedDTucker(x, opt);
+  ASSERT_TRUE(mem.ok()) << mem.status().ToString();
+  TuckerStats stats;
+  Result<TuckerDecomposition> file = ShardedDTuckerFromFile(path, opt, &stats);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  ExpectBitwiseEqual(file.value(), mem.value(), "from-file");
+  // Out-of-core working set: the compressed shard, not the tensor.
+  EXPECT_GT(stats.working_bytes, 0u);
+  EXPECT_LT(stats.working_bytes, x.ByteSize());
+  std::remove(path.c_str());
+}
+
+TEST(ShardedDTuckerTest, SpmdEntryMatchesDriver) {
+  // Drive the SPMD surface directly: one ShardedDTuckerRank call per rank
+  // thread over an explicit group, as a multi-process launcher would.
+  Tensor x = MakeLowRankTensor({13, 11, 8}, {3, 3, 3}, 0.15, 9);
+  ShardedDTuckerOptions opt = MakeOptions({3, 3, 2}, 2);
+  Result<TuckerDecomposition> driver = ShardedDTucker(x, opt);
+  ASSERT_TRUE(driver.ok()) << driver.status().ToString();
+
+  auto group = InProcessGroup::Create(2);
+  std::vector<Result<TuckerDecomposition>> results;
+  results.emplace_back(Status::InvalidArgument("unset"));
+  results.emplace_back(Status::InvalidArgument("unset"));
+  std::thread peer([&] {
+    results[1] = ShardedDTuckerRank(x, opt.dtucker, group->comm(1));
+  });
+  results[0] = ShardedDTuckerRank(x, opt.dtucker, group->comm(0));
+  peer.join();
+  for (int r = 0; r < 2; ++r) {
+    ASSERT_TRUE(results[r].ok()) << "rank " << r << ": "
+                                 << results[r].status().ToString();
+    // Every rank exits with the full, identical decomposition.
+    ExpectBitwiseEqual(results[r].value(), driver.value(),
+                       ("spmd rank " + std::to_string(r)).c_str());
+  }
+}
+
+TEST(ShardedDTuckerTest, CancelBeforeStartFailsCleanly) {
+  Tensor x = MakeLowRankTensor({12, 10, 8}, {3, 3, 3}, 0.1, 10);
+  RunContext ctx;
+  ctx.RequestCancel();
+  ShardedDTuckerOptions opt = MakeOptions({3, 3, 3}, 2);
+  opt.dtucker.tucker.run_context = &ctx;
+  Result<TuckerDecomposition> dec = ShardedDTucker(x, opt);
+  // No usable state exists yet: the run surfaces as an error, on every
+  // rank, without deadlocking the group.
+  ASSERT_FALSE(dec.ok());
+  EXPECT_EQ(dec.status().code(), StatusCode::kCancelled);
+}
+
+TEST(ShardedDTuckerTest, MidRunCancelReturnsLastCompletedSweep) {
+  Tensor x = MakeLowRankTensor({15, 13, 9}, {4, 4, 4}, 0.3, 11);
+  RunContext ctx;
+  ShardedDTuckerOptions opt = MakeOptions({4, 4, 4}, 2, 20);
+  opt.dtucker.tucker.tolerance = 0;  // Never converge; only the cancel stops it.
+  opt.dtucker.tucker.run_context = &ctx;
+  opt.dtucker.sweep_callback = [&](const SweepTelemetry& t) {
+    if (t.sweep >= 2) ctx.RequestCancel();
+  };
+  TuckerStats stats;
+  Result<TuckerDecomposition> dec = ShardedDTucker(x, opt, &stats);
+  // Best-so-far semantics: a valid decomposition plus a kCancelled
+  // completion code, agreed at a sweep boundary by both ranks.
+  ASSERT_TRUE(dec.ok()) << dec.status().ToString();
+  EXPECT_EQ(stats.completion, StatusCode::kCancelled);
+  EXPECT_FALSE(stats.completion_detail.empty());
+  EXPECT_GE(stats.iterations, 2);
+  EXPECT_LT(stats.iterations, 20);
+  EXPECT_LT(dec.value().RelativeErrorAgainst(x), 0.5);
+}
+
+TEST(ShardedDTuckerTest, RejectsAutoReorder) {
+  Tensor x = MakeLowRankTensor({12, 10, 8}, {3, 3, 3}, 0.1, 12);
+  ShardedDTuckerOptions opt = MakeOptions({3, 3, 3}, 2);
+  opt.dtucker.auto_reorder = true;
+  Result<TuckerDecomposition> dec = ShardedDTucker(x, opt);
+  ASSERT_FALSE(dec.ok());
+  EXPECT_EQ(dec.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardedEngineTest, SolveRoutesThroughShardedPath) {
+  Tensor x = MakeLowRankTensor({14, 12, 9}, {3, 3, 3}, 0.2, 13);
+  EngineRun runs[2];
+  int num_ranks[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    EngineOptions eopt;
+    eopt.num_ranks = num_ranks[i];
+    eopt.method_options.tucker.ranks = {3, 3, 3};
+    eopt.method_options.tucker.max_iterations = 6;
+    Engine engine(std::move(eopt));
+    Result<EngineRun> run = engine.Solve(x);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    ASSERT_TRUE(run.value().status.ok());
+    runs[i] = std::move(run).ValueOrDie();
+  }
+  ExpectBitwiseEqual(runs[0].decomposition, runs[1].decomposition,
+                     "engine ranks 1 vs 4");
+  EXPECT_EQ(runs[0].relative_error, runs[1].relative_error);
+  EXPECT_GT(runs[0].stored_bytes, 0u);
+}
+
+TEST(ShardedEngineTest, NumRanksRequiresDTucker) {
+  EngineOptions eopt;
+  eopt.method = TuckerMethod::kTuckerAls;
+  eopt.num_ranks = 2;
+  eopt.method_options.tucker.ranks = {2, 2, 2};
+  Engine engine(std::move(eopt));
+  Tensor x = MakeLowRankTensor({8, 7, 6}, {2, 2, 2}, 0.0, 14);
+  Result<EngineRun> run = engine.Solve(x);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardedEngineTest, SolveFileRoutesThroughShardedPath) {
+  Tensor x = MakeLowRankTensor({12, 11, 10}, {3, 3, 3}, 0.1, 15);
+  const std::string path = ::testing::TempDir() + "/sharded_engine.dtnsr";
+  ASSERT_TRUE(SaveTensor(x, path).ok());
+  EngineOptions eopt;
+  eopt.num_ranks = 2;
+  eopt.method_options.tucker.ranks = {3, 3, 3};
+  eopt.method_options.tucker.max_iterations = 6;
+  Engine engine(std::move(eopt));
+  Result<EngineRun> run = engine.SolveFile(path);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_TRUE(run.value().status.ok());
+  EXPECT_LT(run.value().relative_error, 0.1);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dtucker
