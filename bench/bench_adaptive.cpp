@@ -1,0 +1,445 @@
+// bench_adaptive: calibration + auto-vs-fixed harness for the adaptive
+// dispatch layer (dtucker/adaptive/, `--solver=auto`).
+//
+// Two stages:
+//
+//   1. Calibration. Times each dispatchable kernel in isolation (the three
+//      eigensolvers on a Gram-sized symmetric matrix, the two QR variants
+//      on a tall panel, the two carrier schedules on a real slice
+//      approximation, the exact stacked-factor Gram, and the rSVD
+//      approximation pipeline) and converts the measurements into the cost
+//      model's effective-GFLOP/s coefficients using the model's own FLOP
+//      formulas (CostModel::EigSolveFlops / QrPanelFlops — so a formula
+//      change recalibrates automatically). The result is written as the
+//      flat JSON that CostModel::LoadCalibration reads; the
+//      bench_adaptive_json target points --calibration_out at
+//      bench/snapshots/CALIBRATION.seed.json to regenerate the committed
+//      seed.
+//
+//   2. Comparison. For every dataset in --datasets (the EXPERIMENTS.md E1
+//      shapes at --scale), runs the full D-Tucker solve through the Engine
+//      under `--solver=auto` (fed the stage-1 calibration) and under every
+//      fixed single-axis variant plan, and reports wall seconds + final
+//      relative error per configuration. The acceptance block at the end
+//      checks the adaptive-dispatch contract: auto within a few percent of
+//      the static defaults everywhere, and beating the worst fixed variant
+//      decisively on at least one shape.
+//
+// Output: a table on stdout plus --json (default BENCH_adaptive.json).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "data/datasets.h"
+#include "dtucker/adaptive/cost_model.h"
+#include "dtucker/dtucker.h"
+#include "dtucker/engine.h"
+#include "dtucker/slice_approximation.h"
+#include "linalg/blas.h"
+#include "linalg/eigen_sym.h"
+#include "linalg/qr.h"
+
+namespace dtucker {
+namespace {
+
+template <typename Fn>
+double BestSecondsOf(int reps, Fn&& body) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    body();
+    best = std::min(best, t.Seconds());
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Stage 1: calibration microkernels. All run with a 1-thread BLAS pool so
+// every coefficient is a per-thread rate; the model applies its analytic
+// parallel factors on top.
+// ---------------------------------------------------------------------------
+
+void CalibrateEig(adaptive::CostModel* model, int reps) {
+  // Size-matched to where the eig decision actually bites: the contested
+  // solves (init Grams, per-sweep factor updates) are ~100-200 wide, and
+  // the dense solvers' effective rate is strongly size-dependent (small
+  // problems are overhead-bound, large ones amortize the blocked
+  // tridiagonalization), so calibrating at the decision size keeps the
+  // n^3 extrapolation honest where it matters.
+  const Index n = 128, k = 10;
+  Rng rng(11);
+  // Full-rank PSD with a spread spectrum (2n samples): the iterative
+  // solvers' sweep counts depend on the spectrum, and a rank-deficient
+  // test matrix (zero cluster) converges unrealistically fast.
+  const Matrix g = Matrix::GaussianRandom(n, 2 * n, rng);
+  const Matrix a = Gram(MultiplyNT(g, g));  // (G G^T)^2: PSD, decaying.
+  const EigSolverVariant variants[] = {
+      EigSolverVariant::kJacobi, EigSolverVariant::kQl,
+      EigSolverVariant::kSubspace};
+  const char* keys[] = {"eig.jacobi", "eig.ql", "eig.subspace"};
+  for (int i = 0; i < 3; ++i) {
+    SubspaceIterationOptions opt;
+    opt.solver = variants[i];
+    const double sec = BestSecondsOf(
+        reps, [&] { (void)TopEigenvectorsSym(a, k, nullptr, opt); });
+    const double flops = adaptive::CostModel::EigSolveFlops(
+        variants[i], static_cast<double>(n), static_cast<double>(k));
+    model->SetCoefficient(keys[i], flops / (1e9 * sec));
+  }
+}
+
+void CalibrateQr(adaptive::CostModel* model, int reps) {
+  const Index m = 512, n = 40;
+  Rng rng(13);
+  const Matrix a = Matrix::GaussianRandom(m, n, rng);
+  const double flops = adaptive::CostModel::QrPanelFlops(
+      static_cast<double>(m), static_cast<double>(n));
+  const double blocked = BestSecondsOf(
+      reps, [&] { (void)QrOrthonormalize(a, QrVariant::kBlocked); });
+  const double scalar = BestSecondsOf(
+      reps, [&] { (void)QrOrthonormalize(a, QrVariant::kScalar); });
+  model->SetCoefficient("qr.blocked", flops / (1e9 * blocked));
+  model->SetCoefficient("qr.scalar", flops / (1e9 * scalar));
+}
+
+// Carrier + Gram + rSVD rates come from a real slice approximation of a
+// mid-sized dataset so the memory behavior matches production slices.
+void CalibrateSlicePhases(adaptive::CostModel* model, int reps) {
+  Result<Tensor> data = MakeDataset("video", 0.5);
+  if (!data.ok()) return;
+  const Tensor& x = data.value();
+  SliceApproximationOptions aopt;
+  aopt.slice_rank = 10;
+  aopt.adaptive_tolerance = 0;  // Fixed rank: deterministic FLOP count.
+
+  // approx.rsvd via fixed point against the model's own phase prediction:
+  // the prediction is monotone in 1/coefficient and GEMM-dominated, so
+  // iterating c *= predicted/measured converges to the coefficient that
+  // makes the prediction match the measurement.
+  const double approx_sec =
+      BestSecondsOf(reps, [&] { (void)ApproximateSlices(x, aopt); });
+  adaptive::WorkloadSignature w;
+  w.shape = x.shape();
+  w.ranks = {10, 10, 10};
+  w.slice_rank = aopt.slice_rank;
+  w.power_iterations = aopt.power_iterations;
+  w.num_threads = 1;
+  for (int it = 0; it < 8; ++it) {
+    const double pred = model->PredictApproxSeconds(w, QrVariant::kAuto);
+    const double c = model->Coefficient("approx.rsvd");
+    model->SetCoefficient(
+        "approx.rsvd",
+        std::clamp(c * pred / approx_sec, 0.05, 200.0));
+  }
+
+  Result<SliceApproximation> approx = ApproximateSlices(x, aopt);
+  if (!approx.ok()) return;
+  const SliceApproximation& ap = approx.value();
+  const double l = static_cast<double>(ap.NumSlices());
+  const double i1 = static_cast<double>(ap.Dim(0));
+  const double i2 = static_cast<double>(ap.Dim(1));
+  const double js = static_cast<double>(ap.slices[0].u.cols());
+  const double j2 = 10.0;
+  Rng rng(17);
+  const Matrix a2 =
+      QrOrthonormalize(Matrix::GaussianRandom(ap.Dim(1), 10, rng));
+
+  // T1 slices are (U S)(V^T A2): same 2*(I2*Js*J2 + I1*Js*J2) per slice the
+  // model charges. Serial pool => parallel factor 1 for both schedules.
+  const double t1_flops = l * 2.0 * (i2 * js * j2 + i1 * js * j2);
+  Tensor t1;
+  const double slice_par = BestSecondsOf(reps, [&] {
+    internal_dtucker::BuildModeOneCarrierInto(
+        ap, a2, 1.0, &t1, adaptive::CarrierBuilderVariant::kSliceParallel);
+  });
+  const double gemm_par = BestSecondsOf(reps, [&] {
+    internal_dtucker::BuildModeOneCarrierInto(
+        ap, a2, 1.0, &t1, adaptive::CarrierBuilderVariant::kGemmParallel);
+  });
+  model->SetCoefficient("carrier.slice_parallel",
+                        t1_flops / (1e9 * slice_par));
+  model->SetCoefficient("carrier.gemm_parallel", t1_flops / (1e9 * gemm_par));
+
+  // Exact stacked-factor Gram: 2*I1^2*Js per slice (the model's term).
+  const double gram_flops = 2.0 * l * i1 * i1 * js;
+  Matrix gram(ap.Dim(0), ap.Dim(0));
+  const double gram_sec = BestSecondsOf(reps, [&] {
+    for (Index s = 0; s < ap.NumSlices(); ++s) {
+      internal_dtucker::AccumulateScaledFactorGram(
+          ap.slices[static_cast<std::size_t>(s)], 0, 1.0,
+          s == 0 ? 0.0 : 1.0, &gram);
+    }
+  });
+  model->SetCoefficient("gram.exact", gram_flops / (1e9 * gram_sec));
+  // gram.sketched stays at its built-in default: the sketch is memory-bound
+  // scatter, and the rung is gated behind an explicit error budget anyway.
+}
+
+// ---------------------------------------------------------------------------
+// Stage 2: auto vs fixed plans through the Engine.
+// ---------------------------------------------------------------------------
+
+struct RunConfig {
+  std::string name;  // Row label ("auto", "default", "eig=jacobi", ...).
+  std::string spec;  // solver_spec for fixed configs; unused for auto.
+  bool is_auto = false;
+};
+
+struct RunResult {
+  double seconds = 0;
+  double error = 0;
+  std::string selected;
+  std::string rationale;
+  bool ok = false;
+};
+
+RunResult RunOne(const Tensor& x, const RunConfig& cfg,
+                 const std::string& calibration_path, Index rank, int iters,
+                 int threads, int reps) {
+  RunResult out;
+  for (int rep = 0; rep < reps; ++rep) {
+    // Fresh engine per repetition: no online-refinement cross-talk between
+    // configurations, and each measurement is a cold plan decision.
+    EngineOptions eopt;
+    eopt.method = TuckerMethod::kDTucker;
+    for (Index n = 0; n < x.order(); ++n) {
+      eopt.method_options.tucker.ranks.push_back(
+          std::min<Index>(rank, x.dim(n)));
+    }
+    eopt.method_options.tucker.max_iterations = iters;
+    eopt.method_options.num_threads = threads;
+    eopt.blas_threads = threads;
+    eopt.measure_error = false;
+    if (cfg.is_auto) {
+      eopt.solver_policy = SolverPolicy::kAuto;
+      eopt.calibration_path = calibration_path;
+    } else {
+      eopt.solver_spec = cfg.spec;
+    }
+    Engine engine(std::move(eopt));
+    Timer t;
+    Result<EngineRun> run = engine.Solve(x);
+    const double sec = t.Seconds();
+    if (!run.ok()) {
+      std::fprintf(stderr, "  %s failed: %s\n", cfg.name.c_str(),
+                   run.status().ToString().c_str());
+      return out;
+    }
+    if (rep == 0 || sec < out.seconds) out.seconds = sec;
+    out.error = run.value().relative_error;
+    if (out.error == 0 && !run.value().stats.error_history.empty()) {
+      out.error = run.value().stats.error_history.back();
+    }
+    out.selected = run.value().stats.selected_variants;
+    out.rationale = run.value().stats.solver_rationale;
+    out.ok = true;
+  }
+  return out;
+}
+
+std::string ShapeString(const Tensor& x) {
+  std::string s;
+  for (Index n = 0; n < x.order(); ++n) {
+    if (n) s += "x";
+    s += std::to_string(x.dim(n));
+  }
+  return s;
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddString("json", "BENCH_adaptive.json", "output JSON path");
+  flags.AddString("calibration_out", "",
+                  "also write the measured calibration JSON here "
+                  "(bench/snapshots/CALIBRATION.seed.json for the seed)");
+  flags.AddString("datasets", DatasetNames(),
+                  "comma-separated dataset list for the comparison stage");
+  flags.AddDouble("scale", 0.8, "dataset size multiplier in (0, 1]");
+  flags.AddInt("rank", 10, "Tucker rank per mode (clamped to dims)");
+  flags.AddInt("iters", 5, "max HOOI sweeps per run");
+  flags.AddInt("threads", 4, "BLAS pool width for the comparison runs");
+  flags.AddInt("reps", 3, "repetitions per configuration (min is reported)");
+  flags.AddInt("calib_reps", 3, "repetitions per calibration microkernel");
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  const int reps = static_cast<int>(flags.GetInt("reps"));
+  const int threads = static_cast<int>(flags.GetInt("threads"));
+
+  // ---- Stage 1: calibrate on a serial pool. ----
+  SetBlasThreads(1);
+  adaptive::CostModel model;
+  const int calib_reps = static_cast<int>(flags.GetInt("calib_reps"));
+  std::printf("calibrating (1 thread, best of %d)...\n", calib_reps);
+  CalibrateEig(&model, calib_reps);
+  CalibrateQr(&model, calib_reps);
+  CalibrateSlicePhases(&model, calib_reps);
+  const std::string calibration_json = model.ToJson();
+  std::printf("%s", calibration_json.c_str());
+
+  // The comparison stage's auto runs read the calibration the way
+  // production does: from a file next to the JSON output.
+  const std::string calibration_path = flags.GetString("json") + ".calibration";
+  std::vector<std::string> calib_paths = {calibration_path};
+  if (!flags.GetString("calibration_out").empty()) {
+    calib_paths.push_back(flags.GetString("calibration_out"));
+  }
+  for (const std::string& path : calib_paths) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::fputs(calibration_json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+  // ---- Stage 2: auto vs fixed single-axis plans. ----
+  const std::vector<RunConfig> configs = {
+      {"auto", "", true},
+      {"default", "", false},
+      {"eig=jacobi", "eig=jacobi", false},
+      {"eig=ql", "eig=ql", false},
+      {"eig=subspace", "eig=subspace", false},
+      {"qr=scalar", "qr=scalar", false},
+      {"qr=blocked", "qr=blocked", false},
+      {"carrier=slice_parallel", "carrier=slice_parallel", false},
+      {"carrier=gemm_parallel", "carrier=gemm_parallel", false},
+  };
+
+  std::FILE* out = std::fopen(flags.GetString("json").c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", flags.GetString("json").c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"threads\": %d,\n  \"scale\": %g,\n", threads,
+               flags.GetDouble("scale"));
+  std::fprintf(out, "  \"calibration\": %s,\n",
+               [&] {
+                 // Inline the flat object (strip the trailing newline).
+                 std::string c = calibration_json;
+                 while (!c.empty() && (c.back() == '\n' || c.back() == ' ')) {
+                   c.pop_back();
+                 }
+                 return c;
+               }()
+                   .c_str());
+  std::fprintf(out, "  \"shapes\": [\n");
+
+  double max_auto_over_default = 0.0;
+  double max_worst_over_auto = 0.0;
+  std::vector<std::string> names;
+  {
+    std::string list = flags.GetString("datasets");
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+      const std::size_t comma = list.find(',', pos);
+      const std::string name = list.substr(
+          pos, comma == std::string::npos ? std::string::npos : comma - pos);
+      if (!name.empty()) names.push_back(name);
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+  bool first_shape = true;
+  for (const std::string& name : names) {
+    Result<Tensor> data = MakeDataset(name, flags.GetDouble("scale"));
+    if (!data.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                   data.status().ToString().c_str());
+      continue;
+    }
+    const Tensor& x = data.value();
+    std::printf("\n%s (%s), rank %lld, %d sweeps, %d threads:\n", name.c_str(),
+                ShapeString(x).c_str(),
+                static_cast<long long>(flags.GetInt("rank")),
+                static_cast<int>(flags.GetInt("iters")), threads);
+
+    // One discarded warmup solve per shape: the first run pays dataset
+    // first-touch faults and pool spin-up that would otherwise land on
+    // whichever configuration happens to go first.
+    (void)RunOne(x, configs[1], calibration_path,
+                 static_cast<Index>(flags.GetInt("rank")),
+                 static_cast<int>(flags.GetInt("iters")), threads, 1);
+    double auto_sec = 0, default_sec = 0, worst_sec = 0;
+    std::string worst_name;
+    if (!first_shape) std::fprintf(out, ",\n");
+    first_shape = false;
+    std::fprintf(out, "    {\"dataset\": \"%s\", \"shape\": \"%s\",\n",
+                 name.c_str(), ShapeString(x).c_str());
+    std::fprintf(out, "     \"configs\": [\n");
+    bool first_cfg = true;
+    for (const RunConfig& cfg : configs) {
+      // The acceptance ratio compares auto against the defaults at the
+      // percent level, so those two rows get extra repetitions to push
+      // scheduler noise below the comparison threshold.
+      const int cfg_reps =
+          (cfg.is_auto || cfg.name == "default") ? reps + 3 : reps;
+      const RunResult r =
+          RunOne(x, cfg, calibration_path,
+                 static_cast<Index>(flags.GetInt("rank")),
+                 static_cast<int>(flags.GetInt("iters")), threads, cfg_reps);
+      if (!r.ok) continue;
+      std::printf("  %-24s %8.1f ms  err %.3e  [%s]\n", cfg.name.c_str(),
+                  r.seconds * 1e3, r.error, r.selected.c_str());
+      if (!first_cfg) std::fprintf(out, ",\n");
+      first_cfg = false;
+      std::fprintf(out,
+                   "      {\"name\": \"%s\", \"seconds\": %.6f, "
+                   "\"error\": %.6e, \"selected\": \"%s\"}",
+                   cfg.name.c_str(), r.seconds, r.error, r.selected.c_str());
+      if (cfg.is_auto) {
+        auto_sec = r.seconds;
+        if (!r.rationale.empty()) {
+          std::printf("    rationale: %s\n", r.rationale.c_str());
+        }
+      } else if (cfg.name == "default") {
+        default_sec = r.seconds;
+      }
+      if (!cfg.is_auto && r.seconds > worst_sec) {
+        worst_sec = r.seconds;
+        worst_name = cfg.name;
+      }
+    }
+    std::fprintf(out, "\n     ],\n");
+    const double auto_over_default =
+        default_sec > 0 ? auto_sec / default_sec : 0.0;
+    const double worst_over_auto = auto_sec > 0 ? worst_sec / auto_sec : 0.0;
+    max_auto_over_default = std::max(max_auto_over_default, auto_over_default);
+    max_worst_over_auto = std::max(max_worst_over_auto, worst_over_auto);
+    std::printf("  auto/default %.3f, worst(%s)/auto %.2fx\n",
+                auto_over_default, worst_name.c_str(), worst_over_auto);
+    std::fprintf(out,
+                 "     \"auto_over_default\": %.4f, "
+                 "\"worst_over_auto\": %.4f, \"worst_config\": \"%s\"}",
+                 auto_over_default, worst_over_auto, worst_name.c_str());
+  }
+  std::fprintf(out, "\n  ],\n");
+  std::fprintf(out,
+               "  \"acceptance\": {\"max_auto_over_default\": %.4f, "
+               "\"max_worst_over_auto\": %.4f, "
+               "\"auto_within_3pct_of_default\": %s, "
+               "\"auto_beats_worst_1p5x_somewhere\": %s}\n}\n",
+               max_auto_over_default, max_worst_over_auto,
+               max_auto_over_default <= 1.03 ? "true" : "false",
+               max_worst_over_auto >= 1.5 ? "true" : "false");
+  std::fclose(out);
+  std::printf("\nwrote %s (max auto/default %.3f, best worst/auto %.2fx)\n",
+              flags.GetString("json").c_str(), max_auto_over_default,
+              max_worst_over_auto);
+  return 0;
+}
+
+}  // namespace
+}  // namespace dtucker
+
+int main(int argc, char** argv) { return dtucker::Main(argc, argv); }

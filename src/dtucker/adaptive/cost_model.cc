@@ -1,0 +1,463 @@
+#include "dtucker/adaptive/cost_model.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace dtucker {
+namespace adaptive {
+
+namespace {
+
+constexpr double kGiga = 1e9;
+// Exponential-smoothing weight for online refinement.
+constexpr double kSmoothingAlpha = 0.3;
+
+// GEMM work (flops) below which internal GEMM threading does not pay for
+// its fork/join; used to model the gemm_parallel carrier schedule.
+constexpr double kGemmThreadingGrain = 5e6;
+
+// Warm-start discount for subspace eigensolves inside HOOI sweeps: the
+// factor updates restart from the previous sweep's converged basis
+// (SweepWorkspace::subspace), so they run a small fraction of a cold
+// solve's iterations. The dense variants get no discount — they solve the
+// full spectrum from scratch every sweep, which is exactly why forcing
+// them through the sweeps loses to the default dispatch.
+constexpr double kWarmStartSubspaceFactor = 0.25;
+
+double SubspaceSketchWidth(double k, double n) {
+  return std::min(n, k + std::min(k, 8.0) + 2.0);
+}
+
+// Flops of one top-k symmetric eigensolve on an n x n Gram.
+double EigFlops(EigSolverVariant v, double n, double k) {
+  switch (v) {
+    case EigSolverVariant::kJacobi:
+      // ~n^2/2 rotations per sweep, ~6n flops each (two row/col pairs plus
+      // the eigenvector accumulator), several sweeps to converge.
+      return 24.0 * n * n * n;
+    case EigSolverVariant::kQl:
+      // Householder tridiagonalization (4/3 n^3), accumulation (~4 n^3),
+      // implicit-shift QL on the tridiagonal (lower order).
+      return 6.0 * n * n * n;
+    case EigSolverVariant::kSubspace: {
+      // Per sweep: A*Q (2 n^2 s), Rayleigh quotient + re-orthonormalization
+      // (~4 n s^2), small dense solve (s^3); warm starts keep the sweep
+      // count small.
+      const double s = SubspaceSketchWidth(k, n);
+      const double sweeps = 5.0;
+      return sweeps * (2.0 * n * n * s + 4.0 * n * s * s + s * s * s);
+    }
+    case EigSolverVariant::kAuto:
+      break;
+  }
+  return EigFlops(CostModel::ResolveEig(EigSolverVariant::kAuto,
+                                        static_cast<Index>(n),
+                                        static_cast<Index>(k)),
+                  n, k);
+}
+
+// Flops of one thin QR / orthonormalization of an m x n panel (same count
+// for both variants; only the achieved rate differs).
+double QrFlops(double m, double n) { return 2.0 * m * n * n; }
+
+const char* EigRateKey(EigSolverVariant v) {
+  switch (v) {
+    case EigSolverVariant::kJacobi: return "eig.jacobi";
+    case EigSolverVariant::kQl: return "eig.ql";
+    case EigSolverVariant::kSubspace: return "eig.subspace";
+    case EigSolverVariant::kAuto: break;
+  }
+  return "eig.ql";
+}
+
+const char* QrRateKey(QrVariant v) {
+  return v == QrVariant::kScalar ? "qr.scalar" : "qr.blocked";
+}
+
+}  // namespace
+
+Index WorkloadSignature::NumSlices() const {
+  Index l = 1;
+  for (std::size_t n = 2; n < shape.size(); ++n) l *= shape[n];
+  return shape.size() < 3 ? 0 : l;
+}
+
+Index WorkloadSignature::LocalSlices() const {
+  const Index l = NumSlices();
+  const Index r = std::max(1, num_ranks);
+  return (l + r - 1) / r;
+}
+
+Index WorkloadSignature::EffectiveSliceRank() const {
+  Index js = slice_rank;
+  if (I1() > 0) js = std::min(js, I1());
+  if (I2() > 0) js = std::min(js, I2());
+  return std::max<Index>(js, 1);
+}
+
+EigSolverVariant CostModel::ResolveEig(EigSolverVariant v, Index n, Index k) {
+  if (v != EigSolverVariant::kAuto) return v;
+  // Mirrors TopEigenvectorsSym's dense-vs-subspace heuristic; the dense
+  // branch there is the QL-with-Jacobi-fallback solver.
+  return (n <= 64 || 2 * k >= n) ? EigSolverVariant::kQl
+                                 : EigSolverVariant::kSubspace;
+}
+
+QrVariant CostModel::ResolveQr(QrVariant v, Index m, Index n) {
+  if (v != QrVariant::kAuto) return v;
+  // Mirrors UseUnblocked's kQrUnblockedMax = 12 panel heuristic.
+  return std::min(m, n) <= 12 ? QrVariant::kScalar : QrVariant::kBlocked;
+}
+
+CarrierBuilderVariant CostModel::ResolveCarrier(CarrierBuilderVariant v,
+                                                Index num_slices,
+                                                int num_threads) {
+  if (v != CarrierBuilderVariant::kAuto) return v;
+  return num_slices >= static_cast<Index>(std::max(1, num_threads))
+             ? CarrierBuilderVariant::kSliceParallel
+             : CarrierBuilderVariant::kGemmParallel;
+}
+
+double CostModel::EigSolveFlops(EigSolverVariant v, double n, double k) {
+  return EigFlops(v, n, k);
+}
+
+double CostModel::QrPanelFlops(double m, double n) { return QrFlops(m, n); }
+
+CostModel::CostModel() {
+  // Effective GFLOP/s defaults, deliberately conservative: they only have
+  // to *rank* variants correctly on typical shapes; bench_adaptive_json
+  // replaces them with measured values.
+  c_["eig.jacobi"] = 0.4;       // Scalar rotations, cache-unfriendly.
+  c_["eig.ql"] = 1.2;           // Scalar but linear-sweep kernels.
+  c_["eig.subspace"] = 3.0;     // GEMM-dominated.
+  c_["qr.blocked"] = 3.0;       // Compact-WY panel GEMMs.
+  c_["qr.scalar"] = 0.8;        // Column-at-a-time Householder.
+  c_["carrier.slice_parallel"] = 2.5;  // Per-thread GEMM rate.
+  c_["carrier.gemm_parallel"] = 2.5;
+  c_["gram.exact"] = 3.0;       // Chunked syrk-like GEMMs.
+  c_["gram.sketched"] = 0.8;    // Memory-bound scatter + one GEMM.
+  c_["approx.rsvd"] = 2.5;      // Slice rSVD GEMM pipeline, per thread.
+  // Online-refined whole-phase corrections (observed/predicted).
+  c_["scale.approx"] = 1.0;
+  c_["scale.init"] = 1.0;
+  c_["scale.sweep"] = 1.0;
+}
+
+double CostModel::Coefficient(const std::string& key, double fallback) const {
+  auto it = c_.find(key);
+  return it == c_.end() ? fallback : it->second;
+}
+
+void CostModel::SetCoefficient(const std::string& key, double value) {
+  c_[key] = value;
+}
+
+double CostModel::PredictApproxSeconds(const WorkloadSignature& w,
+                                       QrVariant qr) const {
+  const double l = static_cast<double>(w.LocalSlices());
+  const double i1 = static_cast<double>(w.I1());
+  const double i2 = static_cast<double>(w.I2());
+  const double js = static_cast<double>(w.EffectiveSliceRank());
+  const double s = js + 5.0;  // Sketch width rank + default oversampling.
+  const double q = static_cast<double>(std::max(0, w.power_iterations));
+  // Per slice: sketch + power passes (2(q+1) passes over I1 x I2) plus the
+  // projection/small-SVD tail.
+  const double gemm_flops =
+      l * (2.0 * (2.0 * q + 2.0) * i1 * i2 * s + 2.0 * s * s * (i1 + i2));
+  const double qr_flops =
+      l * (q + 1.0) *
+      QrFlops(i1, s);
+  const QrVariant rq =
+      ResolveQr(qr, w.I1(), static_cast<Index>(s));
+  // Slices are embarrassingly parallel across the pool.
+  const double par = std::min<double>(std::max(1, w.num_threads),
+                                      std::max(1.0, l));
+  double sec = gemm_flops / (kGiga * Coefficient("approx.rsvd") * par) +
+               qr_flops / (kGiga * Coefficient(QrRateKey(rq)) * par);
+  return sec * Coefficient("scale.approx");
+}
+
+double CostModel::PredictInitSeconds(const WorkloadSignature& w,
+                                     const PhaseVariantPlan& plan) const {
+  const double l = static_cast<double>(w.LocalSlices());
+  const double i1 = static_cast<double>(w.I1());
+  const double i2 = static_cast<double>(w.I2());
+  const double js = static_cast<double>(w.EffectiveSliceRank());
+  const double threads = std::max(1, w.num_threads);
+
+  // Stacked-factor Grams for modes 1 and 2.
+  double gram_flops = 0.0;
+  const char* gram_key = "gram.exact";
+  if (plan.gram == GramVariant::kSketched) {
+    gram_key = "gram.sketched";
+    for (double dim : {i1, i2}) {
+      const double wdt = std::max(64.0, 4.0 * dim);
+      if (l * js <= wdt) {
+        gram_flops += 2.0 * l * dim * dim * js;  // Exact fallback.
+      } else {
+        gram_flops += 2.0 * l * dim * js + 2.0 * dim * dim * wdt;
+      }
+    }
+  } else {
+    gram_flops = 2.0 * l * js * (i1 * i1 + i2 * i2);
+  }
+  const double gram_par = std::min(threads, 8.0);  // kSliceChunkCount.
+  double sec = gram_flops / (kGiga * Coefficient(gram_key) * gram_par);
+
+  // Eigensolves on the two leading-mode Grams.
+  const EigSolverVariant e1 = ResolveEig(plan.eig, w.I1(), w.ranks[0]);
+  const EigSolverVariant e2 = ResolveEig(plan.eig, w.I2(), w.ranks[1]);
+  sec += EigFlops(e1, i1, static_cast<double>(w.ranks[0])) /
+         (kGiga * Coefficient(EigRateKey(e1)));
+  sec += EigFlops(e2, i2, static_cast<double>(w.ranks[1])) /
+         (kGiga * Coefficient(EigRateKey(e2)));
+
+  // Projected core Z build (per-slice GEMM chain) + trailing factors on the
+  // small Z — the latter is rank-sized, folded into the Z term.
+  const double j1 = static_cast<double>(w.ranks[0]);
+  const double j2 = static_cast<double>(w.ranks[1]);
+  const double z_flops = l * 2.0 * (i1 * j1 * js + i2 * js * j2 + j1 * js * j2);
+  const CarrierBuilderVariant cb =
+      ResolveCarrier(plan.carrier, w.NumSlices(), w.num_threads);
+  double cpar = 1.0;
+  if (cb == CarrierBuilderVariant::kSliceParallel) {
+    cpar = std::min(threads, std::max(1.0, l));
+  } else {
+    cpar = std::min(threads, std::max(1.0, z_flops / std::max(1.0, l) /
+                                               kGemmThreadingGrain));
+  }
+  const char* ckey = cb == CarrierBuilderVariant::kSliceParallel
+                         ? "carrier.slice_parallel"
+                         : "carrier.gemm_parallel";
+  sec += z_flops / (kGiga * Coefficient(ckey) * cpar);
+  return sec * Coefficient("scale.init");
+}
+
+double CostModel::PredictSweepSeconds(const WorkloadSignature& w,
+                                      const PhaseVariantPlan& plan) const {
+  const double l = static_cast<double>(w.LocalSlices());
+  const double i1 = static_cast<double>(w.I1());
+  const double i2 = static_cast<double>(w.I2());
+  const double js = static_cast<double>(w.EffectiveSliceRank());
+  const double j1 = static_cast<double>(w.ranks[0]);
+  const double j2 = static_cast<double>(w.ranks[1]);
+  const double threads = std::max(1, w.num_threads);
+
+  // Carriers T1, T2 and the refreshed Z.
+  const double t1 = l * 2.0 * (i2 * js * j2 + i1 * js * j2);
+  const double t2 = l * 2.0 * (i1 * js * j1 + i2 * js * j1);
+  const double z = l * 2.0 * (i1 * j1 * js + i2 * js * j2 + j1 * js * j2);
+  const double carrier_flops = t1 + t2 + z;
+  const CarrierBuilderVariant cb =
+      ResolveCarrier(plan.carrier, w.NumSlices(), w.num_threads);
+  double cpar = 1.0;
+  if (cb == CarrierBuilderVariant::kSliceParallel) {
+    cpar = std::min(threads, std::max(1.0, l));
+  } else {
+    cpar = std::min(threads,
+                    std::max(1.0, carrier_flops / std::max(1.0, 3.0 * l) /
+                                      kGemmThreadingGrain));
+  }
+  const char* ckey = cb == CarrierBuilderVariant::kSliceParallel
+                         ? "carrier.slice_parallel"
+                         : "carrier.gemm_parallel";
+  double sec = carrier_flops / (kGiga * Coefficient(ckey) * cpar);
+
+  // Factor updates: the mode-1/2 updates run through the small-side Gram
+  // path (Gram of size = product of the other ranks), the trailing updates
+  // on rank-sized mode Grams; all are eigensolves at rank scale plus one
+  // QR of a (dim x rank) panel.
+  double trailing = 1.0;
+  for (std::size_t n = 2; n < w.ranks.size(); ++n) {
+    trailing *= static_cast<double>(w.ranks[n]);
+  }
+  const double m1 = j2 * trailing;  // Wide side of the mode-1 update.
+  const double m2 = j1 * trailing;
+  struct Update { double dim, wide, k; };
+  std::vector<Update> updates = {{i1, m1, j1}, {i2, m2, j2}};
+  for (std::size_t n = 2; n < w.ranks.size(); ++n) {
+    const double in = static_cast<double>(w.shape[n]);
+    const double kn = static_cast<double>(w.ranks[n]);
+    updates.push_back({in, j1 * j2 * trailing / kn, kn});
+  }
+  for (const Update& u : updates) {
+    const double small = std::min(u.dim, u.wide);
+    const EigSolverVariant ev = ResolveEig(
+        plan.eig, static_cast<Index>(small), static_cast<Index>(u.k));
+    // Gram build + eigensolve + back-projection QR.
+    sec += 2.0 * u.dim * small * small /
+           (kGiga * Coefficient("gram.exact") * std::min(threads, 8.0));
+    double eig_flops = EigFlops(ev, small, u.k);
+    if (ev == EigSolverVariant::kSubspace) {
+      eig_flops *= kWarmStartSubspaceFactor;
+    }
+    sec += eig_flops / (kGiga * Coefficient(EigRateKey(ev)));
+    const QrVariant qv = ResolveQr(plan.qr, static_cast<Index>(u.dim),
+                                   static_cast<Index>(u.k));
+    sec += QrFlops(u.dim, u.k) / (kGiga * Coefficient(QrRateKey(qv)));
+  }
+  return sec * Coefficient("scale.sweep");
+}
+
+double CostModel::PredictTotalSeconds(const WorkloadSignature& w,
+                                      const PhaseVariantPlan& plan) const {
+  return PredictApproxSeconds(w, plan.qr) + PredictInitSeconds(w, plan) +
+         std::max(1, w.expected_sweeps) * PredictSweepSeconds(w, plan);
+}
+
+namespace {
+
+void SmoothScale(CostModel* model, const std::string& key, double predicted,
+                 double measured) {
+  if (!(predicted > 0.0) || !(measured > 0.0) || !std::isfinite(predicted) ||
+      !std::isfinite(measured)) {
+    return;
+  }
+  const double correction =
+      std::clamp(measured / predicted, 0.25, 4.0);
+  const double old = model->Coefficient(key, 1.0);
+  model->SetCoefficient(
+      key, (1.0 - kSmoothingAlpha) * old + kSmoothingAlpha * old * correction);
+}
+
+}  // namespace
+
+void CostModel::ObserveApproxSeconds(const WorkloadSignature& w, QrVariant qr,
+                                     double measured_seconds) {
+  SmoothScale(this, "scale.approx", PredictApproxSeconds(w, qr),
+              measured_seconds);
+}
+
+void CostModel::ObserveInitSeconds(const WorkloadSignature& w,
+                                   const PhaseVariantPlan& plan,
+                                   double measured_seconds) {
+  SmoothScale(this, "scale.init", PredictInitSeconds(w, plan),
+              measured_seconds);
+}
+
+void CostModel::ObserveSweepSeconds(const WorkloadSignature& w,
+                                    const PhaseVariantPlan& plan,
+                                    double measured_seconds) {
+  SmoothScale(this, "scale.sweep", PredictSweepSeconds(w, plan),
+              measured_seconds);
+}
+
+std::string CostModel::ToJson() const {
+  std::ostringstream os;
+  os << "{\n";
+  bool first = true;
+  for (const auto& [key, value] : c_) {
+    if (!first) os << ",\n";
+    first = false;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    os << "  \"" << key << "\": " << buf;
+  }
+  os << "\n}\n";
+  return os.str();
+}
+
+namespace {
+
+// Minimal parser for the flat calibration object: {"key": number, ...}.
+// Anything else — nesting, arrays, strings-as-values — is a parse error.
+bool ParseFlatJsonObject(const std::string& text,
+                         std::map<std::string, double>* out,
+                         std::string* error) {
+  std::size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+  };
+  skip_ws();
+  if (i >= text.size() || text[i] != '{') {
+    *error = "expected '{'";
+    return false;
+  }
+  ++i;
+  skip_ws();
+  if (i < text.size() && text[i] == '}') return true;  // Empty object.
+  while (true) {
+    skip_ws();
+    if (i >= text.size() || text[i] != '"') {
+      *error = "expected '\"' to open a key";
+      return false;
+    }
+    const std::size_t key_begin = ++i;
+    while (i < text.size() && text[i] != '"') ++i;
+    if (i >= text.size()) {
+      *error = "unterminated key";
+      return false;
+    }
+    const std::string key = text.substr(key_begin, i - key_begin);
+    ++i;
+    skip_ws();
+    if (i >= text.size() || text[i] != ':') {
+      *error = "expected ':' after key \"" + key + "\"";
+      return false;
+    }
+    ++i;
+    skip_ws();
+    const char* start = text.c_str() + i;
+    char* end = nullptr;
+    const double value = std::strtod(start, &end);
+    if (end == start) {
+      *error = "expected a number for key \"" + key + "\"";
+      return false;
+    }
+    if (!std::isfinite(value) || value <= 0.0) {
+      *error = "value for key \"" + key + "\" must be finite and positive";
+      return false;
+    }
+    i += static_cast<std::size_t>(end - start);
+    (*out)[key] = value;
+    skip_ws();
+    if (i < text.size() && text[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < text.size() && text[i] == '}') return true;
+    *error = "expected ',' or '}' after key \"" + key + "\"";
+    return false;
+  }
+}
+
+}  // namespace
+
+bool CostModel::LoadCalibration(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    DT_LOG(WARNING) << "adaptive: calibration file '" << path
+                           << "' is unreadable; using built-in defaults";
+    return false;
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, got);
+  }
+  std::fclose(f);
+  std::map<std::string, double> parsed;
+  std::string error;
+  if (!ParseFlatJsonObject(text, &parsed, &error)) {
+    DT_LOG(WARNING) << "adaptive: calibration file '" << path
+                           << "' is corrupt (" << error
+                           << "); using built-in defaults";
+    return false;
+  }
+  for (const auto& [key, value] : parsed) c_[key] = value;
+  return true;
+}
+
+}  // namespace adaptive
+}  // namespace dtucker

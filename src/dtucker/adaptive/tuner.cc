@@ -1,0 +1,76 @@
+#include "dtucker/adaptive/tuner.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace dtucker {
+namespace adaptive {
+
+PlanDecision ChoosePlan(const CostModel& model, const WorkloadSignature& w,
+                        const TunerOptions& options) {
+  PlanDecision decision;
+  const PhaseVariantPlan defaults;  // All-auto static heuristics.
+  decision.predicted_default_seconds = model.PredictTotalSeconds(w, defaults);
+
+  // Candidate axes, in registry order. Jacobi is enumerated like the rest:
+  // it prices itself out on every non-tiny Gram, which is exactly what the
+  // model is for.
+  const std::vector<EigSolverVariant> eigs = {EigSolverVariant::kQl,
+                                              EigSolverVariant::kSubspace,
+                                              EigSolverVariant::kJacobi};
+  const std::vector<QrVariant> qrs = {QrVariant::kBlocked, QrVariant::kScalar};
+  const std::vector<CarrierBuilderVariant> carriers = {
+      CarrierBuilderVariant::kSliceParallel,
+      CarrierBuilderVariant::kGemmParallel};
+  std::vector<GramVariant> grams = {GramVariant::kExact};
+  if (options.sketch_error_budget > 0.0) grams.push_back(GramVariant::kSketched);
+
+  PhaseVariantPlan best = defaults;
+  double best_seconds = decision.predicted_default_seconds;
+  for (EigSolverVariant e : eigs) {
+    for (QrVariant q : qrs) {
+      for (CarrierBuilderVariant c : carriers) {
+        for (GramVariant g : grams) {
+          PhaseVariantPlan plan;
+          plan.eig = e;
+          plan.qr = q;
+          plan.carrier = c;
+          plan.gram = g;
+          const double sec = model.PredictTotalSeconds(w, plan);
+          if (sec < best_seconds) {
+            best_seconds = sec;
+            best = plan;
+          }
+        }
+      }
+    }
+  }
+
+  // Keep the defaults unless the win clears the hysteresis band.
+  const double required =
+      decision.predicted_default_seconds * (1.0 - options.hysteresis);
+  std::ostringstream why;
+  if (best.IsDefault() || best_seconds > required) {
+    decision.plan = defaults;
+    why << "kept static defaults (best fixed plan " << best.ToString()
+        << " predicted " << best_seconds << "s vs default "
+        << decision.predicted_default_seconds << "s, within hysteresis)";
+  } else {
+    decision.plan = best;
+    why << "chose " << best.ToString() << " (predicted " << best_seconds
+        << "s vs default " << decision.predicted_default_seconds << "s)";
+  }
+  decision.predicted_approx_seconds =
+      model.PredictApproxSeconds(w, decision.plan.qr);
+  decision.predicted_init_seconds = model.PredictInitSeconds(w, decision.plan);
+  decision.predicted_sweep_seconds =
+      model.PredictSweepSeconds(w, decision.plan);
+  decision.predicted_total_seconds =
+      model.PredictTotalSeconds(w, decision.plan);
+  decision.rationale = why.str();
+  return decision;
+}
+
+}  // namespace adaptive
+}  // namespace dtucker

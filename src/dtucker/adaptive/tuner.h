@@ -1,0 +1,56 @@
+// Plan selection for `--solver=auto`.
+//
+// ChoosePlan enumerates the concrete variant combinations registered in
+// variants.h, prices each one with the cost model, and returns the argmin
+// — unless the predicted win over the all-auto default plan is within the
+// hysteresis band, in which case the default plan is kept. The hysteresis
+// is what makes auto safe: on workloads where the static heuristics are
+// already right (most of them), auto resolves to the exact same execution
+// the defaults would run, so it can never regress those runs by more than
+// model noise; it only departs from the defaults when the predicted win is
+// decisive (e.g. a dense QL solve on a 400^2 Gram that the subspace
+// solver covers at rank cost).
+#ifndef DTUCKER_DTUCKER_ADAPTIVE_TUNER_H_
+#define DTUCKER_DTUCKER_ADAPTIVE_TUNER_H_
+
+#include <string>
+
+#include "dtucker/adaptive/cost_model.h"
+#include "dtucker/adaptive/variants.h"
+
+namespace dtucker {
+namespace adaptive {
+
+struct TunerOptions {
+  // Required relative predicted win before leaving the default plan.
+  double hysteresis = 0.10;
+  // Relative squared-error budget the caller tolerates in the HOOI
+  // *starting point* (the converged fit is unaffected; see GramVariant).
+  // <= 0 keeps the sketched-gram rung out of the candidate set.
+  double sketch_error_budget = 0.0;
+};
+
+struct PlanDecision {
+  PhaseVariantPlan plan;
+  // Model predictions for the chosen plan, recorded alongside the measured
+  // times in TuckerStats so predicted-vs-actual is auditable per run.
+  double predicted_approx_seconds = 0.0;
+  double predicted_init_seconds = 0.0;
+  double predicted_sweep_seconds = 0.0;  // Per HOOI sweep.
+  double predicted_total_seconds = 0.0;
+  double predicted_default_seconds = 0.0;  // Same total for the all-auto plan.
+  // One line of why, for logs and --metrics-out.
+  std::string rationale;
+};
+
+// Picks the per-phase variant plan for one workload. Deterministic: same
+// (model, signature, options) in, same plan out; ties break toward the
+// earlier candidate in registry order, and the all-auto default wins any
+// comparison within the hysteresis band.
+PlanDecision ChoosePlan(const CostModel& model, const WorkloadSignature& w,
+                        const TunerOptions& options = {});
+
+}  // namespace adaptive
+}  // namespace dtucker
+
+#endif  // DTUCKER_DTUCKER_ADAPTIVE_TUNER_H_

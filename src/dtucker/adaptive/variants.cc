@@ -1,0 +1,173 @@
+#include "dtucker/adaptive/variants.h"
+
+#include <sstream>
+
+namespace dtucker {
+namespace adaptive {
+
+namespace {
+
+struct AxisEntry {
+  const char* axis;
+  std::vector<std::string> names;
+};
+
+const std::vector<AxisEntry>& AxisTable() {
+  static const std::vector<AxisEntry>* table = new std::vector<AxisEntry>{
+      {"eig", {"auto", "jacobi", "ql", "subspace"}},
+      {"qr", {"auto", "blocked", "scalar"}},
+      {"carrier", {"auto", "slice_parallel", "gemm_parallel"}},
+      {"gram", {"exact", "sketched"}},
+  };
+  return *table;
+}
+
+Status UnknownVariant(const std::string& axis, const std::string& name) {
+  return Status::InvalidArgument("unknown solver variant '" + axis + "=" +
+                                 name + "'; registered variants: " +
+                                 RegisteredVariantsHelp());
+}
+
+Status SetAxis(PhaseVariantPlan* plan, const std::string& axis,
+               const std::string& name) {
+  if (axis == "eig") {
+    if (name == "auto") plan->eig = EigSolverVariant::kAuto;
+    else if (name == "jacobi") plan->eig = EigSolverVariant::kJacobi;
+    else if (name == "ql") plan->eig = EigSolverVariant::kQl;
+    else if (name == "subspace") plan->eig = EigSolverVariant::kSubspace;
+    else return UnknownVariant(axis, name);
+    return Status::OK();
+  }
+  if (axis == "qr") {
+    if (name == "auto") plan->qr = QrVariant::kAuto;
+    else if (name == "blocked") plan->qr = QrVariant::kBlocked;
+    else if (name == "scalar") plan->qr = QrVariant::kScalar;
+    else return UnknownVariant(axis, name);
+    return Status::OK();
+  }
+  if (axis == "carrier") {
+    if (name == "auto") plan->carrier = CarrierBuilderVariant::kAuto;
+    else if (name == "slice_parallel") {
+      plan->carrier = CarrierBuilderVariant::kSliceParallel;
+    } else if (name == "gemm_parallel") {
+      plan->carrier = CarrierBuilderVariant::kGemmParallel;
+    } else {
+      return UnknownVariant(axis, name);
+    }
+    return Status::OK();
+  }
+  if (axis == "gram") {
+    if (name == "exact") plan->gram = GramVariant::kExact;
+    else if (name == "sketched") plan->gram = GramVariant::kSketched;
+    else return UnknownVariant(axis, name);
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown solver axis '" + axis +
+                                 "'; registered variants: " +
+                                 RegisteredVariantsHelp());
+}
+
+}  // namespace
+
+const char* EigVariantName(EigSolverVariant v) {
+  switch (v) {
+    case EigSolverVariant::kAuto: return "auto";
+    case EigSolverVariant::kJacobi: return "jacobi";
+    case EigSolverVariant::kQl: return "ql";
+    case EigSolverVariant::kSubspace: return "subspace";
+  }
+  return "auto";
+}
+
+const char* QrVariantName(QrVariant v) {
+  switch (v) {
+    case QrVariant::kAuto: return "auto";
+    case QrVariant::kBlocked: return "blocked";
+    case QrVariant::kScalar: return "scalar";
+  }
+  return "auto";
+}
+
+const char* CarrierVariantName(CarrierBuilderVariant v) {
+  switch (v) {
+    case CarrierBuilderVariant::kAuto: return "auto";
+    case CarrierBuilderVariant::kSliceParallel: return "slice_parallel";
+    case CarrierBuilderVariant::kGemmParallel: return "gemm_parallel";
+  }
+  return "auto";
+}
+
+const char* GramVariantName(GramVariant v) {
+  switch (v) {
+    case GramVariant::kExact: return "exact";
+    case GramVariant::kSketched: return "sketched";
+  }
+  return "exact";
+}
+
+bool PhaseVariantPlan::IsDefault() const {
+  return *this == PhaseVariantPlan{};
+}
+
+std::string PhaseVariantPlan::ToString() const {
+  std::ostringstream os;
+  os << "eig=" << EigVariantName(eig) << ",qr=" << QrVariantName(qr)
+     << ",carrier=" << CarrierVariantName(carrier)
+     << ",gram=" << GramVariantName(gram);
+  return os.str();
+}
+
+const std::vector<std::string>& VariantAxes() {
+  static const std::vector<std::string>* axes = [] {
+    auto* v = new std::vector<std::string>;
+    for (const AxisEntry& e : AxisTable()) v->push_back(e.axis);
+    return v;
+  }();
+  return *axes;
+}
+
+const std::vector<std::string>& RegisteredVariants(const std::string& axis) {
+  for (const AxisEntry& e : AxisTable()) {
+    if (axis == e.axis) return e.names;
+  }
+  static const std::vector<std::string>* empty = new std::vector<std::string>;
+  return *empty;
+}
+
+std::string RegisteredVariantsHelp() {
+  std::ostringstream os;
+  bool first_axis = true;
+  for (const AxisEntry& e : AxisTable()) {
+    if (!first_axis) os << ", ";
+    first_axis = false;
+    os << e.axis << "=";
+    for (std::size_t i = 0; i < e.names.size(); ++i) {
+      if (i > 0) os << "|";
+      os << e.names[i];
+    }
+  }
+  return os.str();
+}
+
+Result<PhaseVariantPlan> ParsePlan(const std::string& spec) {
+  PhaseVariantPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument(
+          "solver variant '" + item + "' is not of the form axis=name; "
+          "registered variants: " + RegisteredVariantsHelp());
+    }
+    DT_RETURN_NOT_OK(SetAxis(&plan, item.substr(0, eq), item.substr(eq + 1)));
+  }
+  return plan;
+}
+
+}  // namespace adaptive
+}  // namespace dtucker

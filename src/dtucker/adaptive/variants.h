@@ -1,0 +1,107 @@
+// Variant registry for input-adaptive execution.
+//
+// Every D-Tucker phase in this repository carries several interchangeable
+// implementations: eigensolvers (Jacobi vs QL vs warm-started subspace
+// iteration), orthogonalization (scalar vs blocked compact-WY QR), carrier
+// builders (slice-parallel vs GEMM-internal threading), and Gram
+// accumulation (exact vs count-sketched). a-Tucker (arxiv 2010.10131)
+// shows the fastest choice flips with tensor shape, target ranks, and
+// thread count, so no static choice wins everywhere. This header names
+// every variant, bundles one-per-axis choices into a PhaseVariantPlan, and
+// provides the string registry ("eig=ql,qr=scalar", `--solver=...`) the
+// Engine, CLI, benches, and tests dispatch through.
+//
+// Determinism contract: every individual variant is bitwise
+// thread/rank-deterministic on its own (the per-kernel contracts of
+// DESIGN.md §6-§8, §11), so any *fixed* plan — including the defaults —
+// keeps the repository's bitwise reproducibility guarantees. Only
+// `--solver=auto` introduces plan-level variability, and even there the
+// chosen plan is a pure function of (shape, ranks, threads, num_ranks) and
+// the calibration state.
+#ifndef DTUCKER_DTUCKER_ADAPTIVE_VARIANTS_H_
+#define DTUCKER_DTUCKER_ADAPTIVE_VARIANTS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/eigen_sym.h"
+#include "linalg/qr.h"
+
+namespace dtucker {
+namespace adaptive {
+
+// How the slice-parallel builders (carriers T1/T2, projected core Z, and
+// the per-slice approximation loop) schedule their independent slices.
+// Both strategies write disjoint per-slice slabs through the same
+// deterministic GEMM kernels, so they are bitwise identical to each other
+// and across thread counts; only the wall time differs (many small slices
+// feed the pool best one-slice-per-worker, few large slices best through
+// GEMM-internal threading).
+enum class CarrierBuilderVariant {
+  kAuto,           // Slice-count heuristic (the production default).
+  kSliceParallel,  // Force one-slice-per-worker across the BLAS pool.
+  kGemmParallel,   // Force a serial slice loop; GEMMs thread internally.
+};
+
+// How the initialization phase accumulates the stacked-factor Grams
+// G = sum_l F_l diag(s_l)^2 F_l^T for A(1)/A(2). kSketched replaces the
+// exact L*I^2*Js accumulation with a deterministic count-sketch of the
+// I x (L*Js) stacked factor (E[S S^T] = F F^T), cutting the cost to
+// L*I*Js + I^2*w. It perturbs only the *starting point* of the HOOI
+// iteration — sweeps always use exact Grams — so the converged fit is
+// unchanged to well beyond 4 significant digits; still, the tuner treats
+// it as an opt-in rung gated on the caller's declared error budget
+// (arxiv 2303.11612 direction).
+enum class GramVariant {
+  kExact,
+  kSketched,
+};
+
+// One concrete per-phase variant choice. Default-constructed ≡ the static
+// production defaults (bit-identical to the pre-adaptive behavior).
+struct PhaseVariantPlan {
+  EigSolverVariant eig = EigSolverVariant::kAuto;
+  QrVariant qr = QrVariant::kAuto;
+  CarrierBuilderVariant carrier = CarrierBuilderVariant::kAuto;
+  GramVariant gram = GramVariant::kExact;
+
+  bool IsDefault() const;
+  // Canonical spec string, e.g. "eig=auto,qr=auto,carrier=auto,gram=exact".
+  std::string ToString() const;
+
+  friend bool operator==(const PhaseVariantPlan& a,
+                         const PhaseVariantPlan& b) {
+    return a.eig == b.eig && a.qr == b.qr && a.carrier == b.carrier &&
+           a.gram == b.gram;
+  }
+  friend bool operator!=(const PhaseVariantPlan& a,
+                         const PhaseVariantPlan& b) {
+    return !(a == b);
+  }
+};
+
+// Registry names (stable spelling used by --solver=, calibration files,
+// TuckerStats::selected_variants, and the adaptive.* metrics).
+const char* EigVariantName(EigSolverVariant v);
+const char* QrVariantName(QrVariant v);
+const char* CarrierVariantName(CarrierBuilderVariant v);
+const char* GramVariantName(GramVariant v);
+
+// The registry axes ("eig", "qr", "carrier", "gram") and the variant names
+// registered under each, in dispatch-table order.
+const std::vector<std::string>& VariantAxes();
+const std::vector<std::string>& RegisteredVariants(const std::string& axis);
+// One-line help: "eig=auto|jacobi|ql|subspace, qr=..., ...".
+std::string RegisteredVariantsHelp();
+
+// Parses a comma-separated "axis=name" spec into a plan (axes not named
+// keep their defaults; empty spec returns the default plan). Unknown axes
+// or variant names are InvalidArgument, with the full registered-variant
+// list in the message so a typo'd --solver= flag is self-explaining.
+Result<PhaseVariantPlan> ParsePlan(const std::string& spec);
+
+}  // namespace adaptive
+}  // namespace dtucker
+
+#endif  // DTUCKER_DTUCKER_ADAPTIVE_VARIANTS_H_

@@ -1,7 +1,12 @@
 #include "dtucker/engine.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "data/tensor_file.h"
 #include "dtucker/sharded_dtucker.h"
 #include "linalg/blas.h"
 
@@ -18,6 +23,14 @@ Status EngineOptions::Validate(const std::vector<Index>& shape) const {
   if (num_ranks > 0 && method != TuckerMethod::kDTucker) {
     return Status::InvalidArgument(
         "num_ranks (sharded execution) requires method == dtucker");
+  }
+  if (!solver_spec.empty()) {
+    // Unknown axes/variant names surface here, with the registered-variant
+    // list in the message (adaptive::ParsePlan).
+    DT_RETURN_NOT_OK(adaptive::ParsePlan(solver_spec).status());
+  }
+  if (sketch_error_budget < 0) {
+    return Status::InvalidArgument("sketch_error_budget must be non-negative");
   }
   return Status::OK();
 }
@@ -45,6 +58,7 @@ DTuckerOptions Engine::DTuckerOptionsFromMethod() {
   opt.power_iterations = options_.method_options.power_iterations;
   opt.num_threads = options_.method_options.num_threads;
   opt.sweep_callback = options_.method_options.sweep_callback;
+  opt.variants = options_.method_options.variants;
   return opt;
 }
 
@@ -65,27 +79,127 @@ ShardedDTuckerOptions Engine::ShardedOptionsFromMethod() {
   return opt;
 }
 
+namespace {
+
+adaptive::WorkloadSignature SignatureFor(const EngineOptions& options,
+                                         const std::vector<Index>& shape) {
+  adaptive::WorkloadSignature sig;
+  sig.shape = shape;
+  sig.ranks = options.method_options.tucker.ranks;
+  // Mirror DTuckerOptions::EffectiveSliceRank: slice rank defaults to the
+  // largest target rank of the two leading modes.
+  Index js = 0;
+  for (std::size_t n = 0; n < sig.ranks.size() && n < 2; ++n) {
+    js = std::max(js, sig.ranks[n]);
+  }
+  sig.slice_rank = js > 0 ? js : 10;
+  sig.power_iterations = options.method_options.power_iterations;
+  sig.num_threads =
+      options.blas_threads > 0 ? options.blas_threads : GetBlasThreads();
+  sig.num_ranks = options.num_ranks > 0 ? options.num_ranks : 1;
+  // Amortize one-off phases over a plausible sweep count: the iteration
+  // budget when small, a convergence-typical handful otherwise.
+  sig.expected_sweeps =
+      std::max(1, std::min(options.method_options.tucker.max_iterations, 8));
+  return sig;
+}
+
+}  // namespace
+
+Result<adaptive::PhaseVariantPlan> Engine::ResolvePlan(
+    const std::vector<Index>& shape, adaptive::PlanDecision* decision) {
+  adaptive::PhaseVariantPlan plan = options_.method_options.variants;
+  if (options_.method != TuckerMethod::kDTucker) return plan;
+  if (!options_.solver_spec.empty()) {
+    DT_ASSIGN_OR_RETURN(plan, adaptive::ParsePlan(options_.solver_spec));
+  }
+  if (options_.solver_policy != SolverPolicy::kAuto || shape.size() < 3) {
+    return plan;
+  }
+  DT_TRACE_SPAN("adaptive.choose_plan");
+  if (!calibration_loaded_) {
+    calibration_loaded_ = true;
+    if (!options_.calibration_path.empty()) {
+      cost_model_.LoadCalibration(options_.calibration_path);
+    }
+  }
+  adaptive::TunerOptions tuner;
+  tuner.sketch_error_budget = options_.sketch_error_budget;
+  *decision = adaptive::ChoosePlan(cost_model_, SignatureFor(options_, shape),
+                                   tuner);
+  return decision->plan;
+}
+
+void Engine::RecordAdaptiveRun(const std::vector<Index>& shape,
+                               const adaptive::PhaseVariantPlan& plan,
+                               const adaptive::PlanDecision& decision,
+                               TuckerStats* stats) {
+  if (options_.method != TuckerMethod::kDTucker) return;
+  stats->selected_variants = plan.ToString();
+  const bool is_auto = options_.solver_policy == SolverPolicy::kAuto;
+  if (is_auto) {
+    stats->solver_rationale = decision.rationale;
+    stats->predicted_approx_seconds = decision.predicted_approx_seconds;
+    stats->predicted_init_seconds = decision.predicted_init_seconds;
+    stats->predicted_sweep_seconds = decision.predicted_sweep_seconds;
+  }
+  // adaptive.* metrics: the chosen variant per axis (as registry indices
+  // would be opaque, gauges carry predicted/actual seconds and a 0/1 auto
+  // flag; the plan string itself rides in --metrics-out via TuckerStats).
+  MetricGauge("adaptive.auto").Set(is_auto ? 1.0 : 0.0);
+  MetricGauge("adaptive.plan_default").Set(plan.IsDefault() ? 1.0 : 0.0);
+  if (is_auto) {
+    MetricGauge("adaptive.predicted_init_seconds")
+        .Set(decision.predicted_init_seconds);
+    MetricGauge("adaptive.predicted_sweep_seconds")
+        .Set(decision.predicted_sweep_seconds);
+    MetricGauge("adaptive.actual_init_seconds").Set(stats->init_seconds);
+    // Online refinement: fold the measured phase times back into the
+    // model's scale factors so later solves through this engine predict
+    // this machine better.
+    const adaptive::WorkloadSignature sig = SignatureFor(options_, shape);
+    if (stats->preprocess_seconds > 0) {
+      cost_model_.ObserveApproxSeconds(sig, plan.qr,
+                                       stats->preprocess_seconds);
+    }
+    if (stats->init_seconds > 0) {
+      cost_model_.ObserveInitSeconds(sig, plan, stats->init_seconds);
+    }
+    if (stats->iterations > 0 && stats->iterate_seconds > 0) {
+      const double per_sweep = stats->iterate_seconds / stats->iterations;
+      MetricGauge("adaptive.actual_sweep_seconds").Set(per_sweep);
+      cost_model_.ObserveSweepSeconds(sig, plan, per_sweep);
+    }
+  }
+}
+
 Result<EngineRun> Engine::Solve(const Tensor& x) {
   DT_RETURN_NOT_OK(options_.Validate(x.shape()));
   ApplyBlasThreads();
+  adaptive::PlanDecision decision;
+  DT_ASSIGN_OR_RETURN(const adaptive::PhaseVariantPlan plan,
+                      ResolvePlan(x.shape(), &decision));
   if (options_.num_ranks > 0) {
     // Sharded slice-parallel path (num_ranks == 1 still shards, so rank
     // counts compare within one reduction scheme).
     EngineRun run;
-    DT_ASSIGN_OR_RETURN(
-        run.decomposition,
-        ShardedDTucker(x, ShardedOptionsFromMethod(), &run.stats));
+    ShardedDTuckerOptions sharded = ShardedOptionsFromMethod();
+    sharded.dtucker.variants = plan;
+    DT_ASSIGN_OR_RETURN(run.decomposition,
+                        ShardedDTucker(x, sharded, &run.stats));
     run.stored_bytes = run.decomposition.ByteSize();
     if (options_.measure_error) {
       run.relative_error = run.decomposition.RelativeErrorAgainst(x);
     } else if (!run.stats.error_history.empty()) {
       run.relative_error = run.stats.error_history.back();
     }
+    RecordAdaptiveRun(x.shape(), plan, decision, &run.stats);
     FinishRun(&run);
     return run;
   }
   MethodOptions opts = options_.method_options;
   opts.tucker.run_context = &ctx_;
+  opts.variants = plan;
   DT_ASSIGN_OR_RETURN(
       MethodRun method_run,
       RunTuckerMethod(options_.method, x, opts, options_.measure_error));
@@ -94,6 +208,7 @@ Result<EngineRun> Engine::Solve(const Tensor& x) {
   run.stats = std::move(method_run.stats);
   run.relative_error = method_run.relative_error;
   run.stored_bytes = method_run.stored_bytes;
+  RecordAdaptiveRun(x.shape(), plan, decision, &run.stats);
   // RunTuckerMethod already published the sweep metrics; FinishRun only
   // needs to fold the completion code (re-publishing gauges is idempotent).
   FinishRun(&run);
@@ -103,19 +218,32 @@ Result<EngineRun> Engine::Solve(const Tensor& x) {
 Result<EngineRun> Engine::SolveFile(const std::string& path) {
   DT_RETURN_NOT_OK(RequireDTucker("SolveFile"));
   ApplyBlasThreads();
+  // The header is cheap to read and gives the auto policy its shape.
+  std::vector<Index> shape;
+  {
+    DT_ASSIGN_OR_RETURN(TensorFileReader reader, TensorFileReader::Open(path));
+    shape = reader.shape();
+  }
+  DT_RETURN_NOT_OK(options_.Validate(shape));
+  adaptive::PlanDecision decision;
+  DT_ASSIGN_OR_RETURN(const adaptive::PhaseVariantPlan plan,
+                      ResolvePlan(shape, &decision));
   if (options_.num_ranks > 0) {
     EngineRun run;
-    DT_ASSIGN_OR_RETURN(
-        run.decomposition,
-        ShardedDTuckerFromFile(path, ShardedOptionsFromMethod(), &run.stats));
+    ShardedDTuckerOptions sharded = ShardedOptionsFromMethod();
+    sharded.dtucker.variants = plan;
+    DT_ASSIGN_OR_RETURN(run.decomposition,
+                        ShardedDTuckerFromFile(path, sharded, &run.stats));
     run.stored_bytes = run.stats.working_bytes;
     if (!run.stats.error_history.empty()) {
       run.relative_error = run.stats.error_history.back();
     }
+    RecordAdaptiveRun(shape, plan, decision, &run.stats);
     FinishRun(&run);
     return run;
   }
   DTuckerOptions opt = DTuckerOptionsFromMethod();
+  opt.variants = plan;
   EngineRun run;
   DT_ASSIGN_OR_RETURN(run.decomposition,
                       DTuckerFromFile(path, opt, &run.stats));
@@ -123,6 +251,7 @@ Result<EngineRun> Engine::SolveFile(const std::string& path) {
   if (!run.stats.error_history.empty()) {
     run.relative_error = run.stats.error_history.back();
   }
+  RecordAdaptiveRun(shape, plan, decision, &run.stats);
   FinishRun(&run);
   return run;
 }
@@ -130,7 +259,11 @@ Result<EngineRun> Engine::SolveFile(const std::string& path) {
 Result<EngineRun> Engine::SolveApproximation(const SliceApproximation& approx) {
   DT_RETURN_NOT_OK(RequireDTucker("SolveApproximation"));
   ApplyBlasThreads();
+  adaptive::PlanDecision decision;
+  DT_ASSIGN_OR_RETURN(const adaptive::PhaseVariantPlan plan,
+                      ResolvePlan(approx.shape, &decision));
   DTuckerOptions opt = DTuckerOptionsFromMethod();
+  opt.variants = plan;
   EngineRun run;
   DT_ASSIGN_OR_RETURN(run.decomposition,
                       DTuckerFromApproximation(approx, opt, &run.stats));
@@ -138,6 +271,7 @@ Result<EngineRun> Engine::SolveApproximation(const SliceApproximation& approx) {
   if (!run.stats.error_history.empty()) {
     run.relative_error = run.stats.error_history.back();
   }
+  RecordAdaptiveRun(approx.shape, plan, decision, &run.stats);
   FinishRun(&run);
   return run;
 }

@@ -25,12 +25,20 @@
 #include "baselines/registry.h"
 #include "common/run_context.h"
 #include "common/status.h"
+#include "dtucker/adaptive/cost_model.h"
+#include "dtucker/adaptive/tuner.h"
 #include "dtucker/dtucker.h"
 #include "dtucker/out_of_core.h"
 #include "dtucker/sharded_dtucker.h"
 #include "tucker/tucker.h"
 
 namespace dtucker {
+
+// How the engine picks per-phase execution variants for D-Tucker runs.
+enum class SolverPolicy {
+  kFixed,  // Run the plan in solver_spec / method_options.variants as-is.
+  kAuto,   // Cost-model-driven per-phase dispatch (dtucker/adaptive/).
+};
 
 struct EngineOptions {
   // Which solver Solve() dispatches to. SolveFile/SolveApproximation are
@@ -54,6 +62,20 @@ struct EngineOptions {
   // off for pure-timing runs). File/approximation paths always report the
   // compressed-form error from the sweep telemetry instead.
   bool measure_error = true;
+  // Variant dispatch policy (D-Tucker only; other methods ignore it).
+  SolverPolicy solver_policy = SolverPolicy::kFixed;
+  // Fixed-policy plan spec, comma-separated "axis=name" (see
+  // adaptive::ParsePlan; the CLI's --solver= value minus "auto"). Empty
+  // keeps method_options.variants. Unknown axes/names are rejected by
+  // Validate with the full registered-variant list.
+  std::string solver_spec;
+  // Calibration file for the auto policy's cost model (flat JSON from
+  // bench_adaptive_json). Empty uses built-in defaults; a missing or
+  // corrupt file logs one warning and degrades to the defaults.
+  std::string calibration_path;
+  // Relative squared-error budget for the HOOI starting point; > 0 lets
+  // the auto policy consider gram=sketched (see adaptive::GramVariant).
+  double sketch_error_budget = 0.0;
 
   Status Validate(const std::vector<Index>& shape) const;
 };
@@ -108,8 +130,26 @@ class Engine {
   Status RequireDTucker(const char* entry) const;
   void ApplyBlasThreads() const;
 
+  // Resolves the variant plan for a D-Tucker run on `shape`: the parsed
+  // solver_spec (fixed policy) or the tuner's choice (auto policy), with
+  // the decision recorded for RecordAdaptiveRun. Non-D-Tucker methods get
+  // the default plan.
+  Result<adaptive::PhaseVariantPlan> ResolvePlan(
+      const std::vector<Index>& shape, adaptive::PlanDecision* decision);
+  // Fills stats.selected_variants / predicted-seconds, publishes the
+  // adaptive.* metrics, and feeds measured phase times back into the cost
+  // model (online refinement, auto policy only).
+  void RecordAdaptiveRun(const std::vector<Index>& shape,
+                         const adaptive::PhaseVariantPlan& plan,
+                         const adaptive::PlanDecision& decision,
+                         TuckerStats* stats);
+
   EngineOptions options_;
   RunContext ctx_;
+  // Cost model state for the auto policy: calibration loaded lazily on
+  // first use, then refined online from measured phase times.
+  adaptive::CostModel cost_model_;
+  bool calibration_loaded_ = false;
 };
 
 }  // namespace dtucker

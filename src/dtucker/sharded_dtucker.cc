@@ -50,6 +50,23 @@ struct ShardContext {
   ShardPlan plan;
   Communicator* comm = nullptr;
   double s_inv = 1.0;
+  // Per-phase execution variants (adaptive layer). The gram axis is
+  // ignored here: the sharded Gram is always the exact chunked reduction,
+  // which keeps the cross-rank bitwise-identity contract trivially intact.
+  adaptive::PhaseVariantPlan variants;
+  // Eig/qr choices bundled for the replicated small solves.
+  SubspaceIterationOptions EigOptions() const {
+    SubspaceIterationOptions o;
+    o.solver = variants.eig;
+    o.qr = variants.qr;
+    return o;
+  }
+  SubspaceIterationOptions InnerEigOptions() const {
+    SubspaceIterationOptions o = kInnerEig;
+    o.solver = variants.eig;
+    o.qr = variants.qr;
+    return o;
+  }
 };
 
 // Reusable per-rank buffers across sweeps, wrapping the unsharded
@@ -257,7 +274,8 @@ Status ReduceCarrierContraction(const ShardContext& sc, const Tensor& carrier,
 Status GatherProjectedCore(const ShardContext& sc, const Matrix& a1,
                            const Matrix& a2, ShardWorkspace* sw) {
   DT_TRACE_SPAN("dtucker.shard.gather_z");
-  BuildProjectedCoreInto(*sc.local, a1, a2, sc.s_inv, &sw->z_local);
+  BuildProjectedCoreInto(*sc.local, a1, a2, sc.s_inv, &sw->z_local,
+                         sc.variants.carrier);
   std::vector<Index> zshape = sc.full_shape;
   zshape[0] = a1.cols();
   zshape[1] = a2.cols();
@@ -301,9 +319,11 @@ Status ShardedInitialize(const ShardContext& sc,
   init->factors.resize(static_cast<std::size_t>(order));
   Matrix gram;
   DT_RETURN_NOT_OK(ShardedStackedFactorGram(sc, 0, &gram));
-  init->factors[0] = TopEigenvectorsSym(gram, ranks[0]);
+  init->factors[0] = TopEigenvectorsSym(gram, ranks[0], /*subspace=*/nullptr,
+                                        sc.EigOptions());
   DT_RETURN_NOT_OK(ShardedStackedFactorGram(sc, 1, &gram));
-  init->factors[1] = TopEigenvectorsSym(gram, ranks[1]);
+  init->factors[1] = TopEigenvectorsSym(gram, ranks[1], /*subspace=*/nullptr,
+                                        sc.EigOptions());
 
   if (static_cast<Index>(sw->ws.subspace.size()) < order) {
     sw->ws.subspace.resize(static_cast<std::size_t>(order));
@@ -316,7 +336,7 @@ Status ShardedInitialize(const ShardContext& sc,
   for (Index n = 2; n < order; ++n) {
     init->factors[static_cast<std::size_t>(n)] = LeadingModeVectorsViaGram(
         sw->ws.z, n, ranks[static_cast<std::size_t>(n)],
-        &sw->ws.subspace[static_cast<std::size_t>(n)]);
+        &sw->ws.subspace[static_cast<std::size_t>(n)], sc.EigOptions());
   }
   init->core = *ContractTrailing(sw->ws.z, init->factors, /*skip_mode=*/-1,
                                  &sw->ws);
@@ -359,7 +379,8 @@ Status ShardedSweep(const ShardContext& sc, const std::vector<Index>& ranks,
   const Index i2 = sc.full_shape[1];
   {
     DT_TRACE_SPAN("dtucker.shard.update_mode1");
-    BuildModeOneCarrierInto(*sc.local, (*factors)[1], sc.s_inv, &sw->ws.carrier);
+    BuildModeOneCarrierInto(*sc.local, (*factors)[1], sc.s_inv,
+                            &sw->ws.carrier, sc.variants.carrier);
     const Index j2 = (*factors)[1].cols();
     std::vector<Index> wshape = sc.full_shape;
     wshape[1] = j2;
@@ -370,8 +391,8 @@ Status ShardedSweep(const ShardContext& sc, const std::vector<Index>& ranks,
     DT_RETURN_NOT_OK(ReduceCarrierContraction(sc, sw->ws.carrier, i1 * j2,
                                               sw->kron, p_total, wshape, sw,
                                               &sw->w));
-    (*factors)[0] = LeadingModeVectorsViaGram(sw->w, 0, ranks[0],
-                                              &sw->ws.subspace[0], kInnerEig);
+    (*factors)[0] = LeadingModeVectorsViaGram(
+        sw->w, 0, ranks[0], &sw->ws.subspace[0], sc.InnerEigOptions());
   }
   DT_ASSIGN_OR_RETURN(stopped, agree(SweepStop::kMid));
   if (stopped) return Status::OK();
@@ -379,7 +400,8 @@ Status ShardedSweep(const ShardContext& sc, const std::vector<Index>& ranks,
     // Mode-2 update, on the fresh A1. Like the unsharded T2, the carrier
     // is laid out mode-1-first so the update is a mode-0 problem on W.
     DT_TRACE_SPAN("dtucker.shard.update_mode2");
-    BuildModeTwoCarrierInto(*sc.local, (*factors)[0], sc.s_inv, &sw->ws.carrier);
+    BuildModeTwoCarrierInto(*sc.local, (*factors)[0], sc.s_inv,
+                            &sw->ws.carrier, sc.variants.carrier);
     const Index j1 = (*factors)[0].cols();
     std::vector<Index> wshape = sc.full_shape;
     wshape[0] = i2;
@@ -391,8 +413,8 @@ Status ShardedSweep(const ShardContext& sc, const std::vector<Index>& ranks,
     DT_RETURN_NOT_OK(ReduceCarrierContraction(sc, sw->ws.carrier, i2 * j1,
                                               sw->kron, p_total, wshape, sw,
                                               &sw->w));
-    (*factors)[1] = LeadingModeVectorsViaGram(sw->w, 0, ranks[1],
-                                              &sw->ws.subspace[1], kInnerEig);
+    (*factors)[1] = LeadingModeVectorsViaGram(
+        sw->w, 0, ranks[1], &sw->ws.subspace[1], sc.InnerEigOptions());
   }
   DT_ASSIGN_OR_RETURN(stopped, agree(SweepStop::kMid));
   if (stopped) return Status::OK();
@@ -405,7 +427,8 @@ Status ShardedSweep(const ShardContext& sc, const std::vector<Index>& ranks,
       (*factors)[static_cast<std::size_t>(n)] = LeadingModeVectorsViaGram(
           *ContractTrailing(sw->ws.z, *factors, /*skip_mode=*/n, &sw->ws), n,
           ranks[static_cast<std::size_t>(n)],
-          &sw->ws.subspace[static_cast<std::size_t>(n)], kInnerEig);
+          &sw->ws.subspace[static_cast<std::size_t>(n)],
+          sc.InnerEigOptions());
     }
   }
   DT_ASSIGN_OR_RETURN(stopped, agree(SweepStop::kMid));
@@ -474,6 +497,7 @@ Result<TuckerDecomposition> ShardedDTuckerFromLocalApproximation(
   sc.full_shape = full_shape;
   sc.plan = plan;
   sc.comm = comm;
+  sc.variants = options.variants;
   DT_ASSIGN_OR_RETURN(const double scale, ShardedScale(sc));
   sc.s_inv = 1.0 / scale;  // Exactly 1.0 in the common case.
   DT_ASSIGN_OR_RETURN(const double approx_norm2, ShardedApproxSquaredNorm(sc));
@@ -619,6 +643,7 @@ SliceApproximationOptions ApproxOptionsFor(const DTuckerOptions& options,
   approx_opts.seed = options.tucker.seed;
   approx_opts.num_threads = options.num_threads;
   approx_opts.run_context = options.tucker.run_context;
+  approx_opts.qr_variant = options.variants.qr;
   return approx_opts;
 }
 

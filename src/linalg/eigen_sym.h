@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "linalg/matrix.h"
+#include "linalg/qr.h"
 
 namespace dtucker {
 
@@ -20,6 +21,20 @@ struct EigenSymResult {
 // upper triangle is read).
 EigenSymResult EigenSym(const Matrix& a);
 
+// Which eigensolver TopEigenvectorsSym runs. kAuto is the production
+// default: the size heuristic in the implementation (dense QL below the
+// crossover or when the target rank covers most of the spectrum,
+// randomized subspace iteration above it). The forced variants are the
+// named strategies the input-adaptive execution layer (dtucker/adaptive/)
+// dispatches between; each is deterministic on its own, so any fixed
+// choice keeps the bitwise thread/rank-determinism contracts.
+enum class EigSolverVariant {
+  kAuto,
+  kJacobi,    // Full dense Jacobi sweeps (high-accuracy reference).
+  kQl,        // Householder tridiagonalization + QL (dense workhorse).
+  kSubspace,  // Randomized warm-started subspace iteration.
+};
+
 // Knobs for the randomized subspace iteration inside TopEigenvectorsSym.
 // The defaults solve to near machine precision. Iterative outer loops
 // (HOOI/ALS sweeps) can afford a looser tolerance and a tighter sweep cap:
@@ -30,6 +45,10 @@ EigenSymResult EigenSym(const Matrix& a);
 struct SubspaceIterationOptions {
   int max_sweeps = 50;
   double ritz_tolerance = 1e-11;
+  // Strategy dispatch for the adaptive execution layer: which solver runs,
+  // and which QR variant re-orthonormalizes the iterated basis.
+  EigSolverVariant solver = EigSolverVariant::kAuto;
+  QrVariant qr = QrVariant::kAuto;
 };
 
 // Top-k eigenvectors of a symmetric PSD matrix (descending eigenvalues).

@@ -1,0 +1,358 @@
+// Tests for the input-adaptive execution layer (dtucker/adaptive/ +
+// EngineOptions::solver_policy): variant registry round-trips, cost-model
+// calibration robustness, fit parity across variant plans, bitwise
+// determinism of fixed plans, and graceful degradation of `--solver=auto`.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "dtucker/adaptive/cost_model.h"
+#include "dtucker/adaptive/tuner.h"
+#include "dtucker/adaptive/variants.h"
+#include "dtucker/engine.h"
+#include "linalg/blas.h"
+
+namespace dtucker {
+namespace {
+
+using adaptive::CarrierBuilderVariant;
+using adaptive::CostModel;
+using adaptive::GramVariant;
+using adaptive::PhaseVariantPlan;
+using adaptive::WorkloadSignature;
+
+// ---------------------------------------------------------------------------
+// Variant registry (ParsePlan / ToString).
+// ---------------------------------------------------------------------------
+
+TEST(VariantsTest, EmptySpecIsDefaultPlan) {
+  Result<PhaseVariantPlan> plan = adaptive::ParsePlan("");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan.value().IsDefault());
+}
+
+TEST(VariantsTest, PlanStringRoundTripsEveryConcreteCombination) {
+  const EigSolverVariant eigs[] = {
+      EigSolverVariant::kAuto, EigSolverVariant::kJacobi,
+      EigSolverVariant::kQl, EigSolverVariant::kSubspace};
+  const QrVariant qrs[] = {QrVariant::kAuto, QrVariant::kBlocked,
+                           QrVariant::kScalar};
+  const CarrierBuilderVariant carriers[] = {CarrierBuilderVariant::kAuto,
+                                            CarrierBuilderVariant::kSliceParallel,
+                                            CarrierBuilderVariant::kGemmParallel};
+  const GramVariant grams[] = {GramVariant::kExact, GramVariant::kSketched};
+  for (EigSolverVariant e : eigs) {
+    for (QrVariant q : qrs) {
+      for (CarrierBuilderVariant c : carriers) {
+        for (GramVariant g : grams) {
+          PhaseVariantPlan plan;
+          plan.eig = e;
+          plan.qr = q;
+          plan.carrier = c;
+          plan.gram = g;
+          Result<PhaseVariantPlan> back = adaptive::ParsePlan(plan.ToString());
+          ASSERT_TRUE(back.ok()) << plan.ToString();
+          EXPECT_TRUE(back.value() == plan) << plan.ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST(VariantsTest, RejectsUnknownVariantListingRegistry) {
+  Result<PhaseVariantPlan> plan = adaptive::ParsePlan("eig=bogus");
+  ASSERT_FALSE(plan.ok());
+  const std::string msg = plan.status().ToString();
+  // The error carries the full registered-variant list so a CLI user can
+  // self-serve the correction.
+  EXPECT_NE(msg.find("jacobi"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("subspace"), std::string::npos) << msg;
+}
+
+TEST(VariantsTest, RejectsUnknownAxis) {
+  EXPECT_FALSE(adaptive::ParsePlan("flux=warp").ok());
+  EXPECT_FALSE(adaptive::ParsePlan("eig").ok());
+}
+
+TEST(EngineValidateTest, UnknownSolverSpecListsRegisteredVariants) {
+  EngineOptions opt;
+  opt.method_options.tucker.ranks = {2, 2, 2};
+  opt.solver_spec = "eig=nope";
+  const Status st = opt.Validate({8, 8, 8});
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("subspace"), std::string::npos) << st.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Cost model: heuristic mirrors, calibration I/O, predictions.
+// ---------------------------------------------------------------------------
+
+TEST(CostModelTest, ResolveMirrorsStaticHeuristics) {
+  EXPECT_EQ(CostModel::ResolveEig(EigSolverVariant::kAuto, 64, 10),
+            EigSolverVariant::kQl);
+  EXPECT_EQ(CostModel::ResolveEig(EigSolverVariant::kAuto, 200, 10),
+            EigSolverVariant::kSubspace);
+  EXPECT_EQ(CostModel::ResolveEig(EigSolverVariant::kAuto, 100, 50),
+            EigSolverVariant::kQl);  // 2k >= n: dense.
+  EXPECT_EQ(CostModel::ResolveEig(EigSolverVariant::kJacobi, 500, 2),
+            EigSolverVariant::kJacobi);  // Forced passes through.
+  EXPECT_EQ(CostModel::ResolveQr(QrVariant::kAuto, 100, 12),
+            QrVariant::kScalar);
+  EXPECT_EQ(CostModel::ResolveQr(QrVariant::kAuto, 100, 13),
+            QrVariant::kBlocked);
+  EXPECT_EQ(CostModel::ResolveCarrier(CarrierBuilderVariant::kAuto, 8, 4),
+            CarrierBuilderVariant::kSliceParallel);
+  EXPECT_EQ(CostModel::ResolveCarrier(CarrierBuilderVariant::kAuto, 2, 4),
+            CarrierBuilderVariant::kGemmParallel);
+}
+
+WorkloadSignature VideoSignature() {
+  WorkloadSignature w;
+  w.shape = {128, 96, 205};
+  w.ranks = {10, 10, 10};
+  w.slice_rank = 10;
+  w.num_threads = 4;
+  return w;
+}
+
+TEST(CostModelTest, PredictionsArePositiveAndTotalComposes) {
+  CostModel m;
+  const WorkloadSignature w = VideoSignature();
+  const PhaseVariantPlan plan;
+  EXPECT_GT(m.PredictApproxSeconds(w, plan.qr), 0.0);
+  EXPECT_GT(m.PredictInitSeconds(w, plan), 0.0);
+  EXPECT_GT(m.PredictSweepSeconds(w, plan), 0.0);
+  EXPECT_NEAR(m.PredictTotalSeconds(w, plan),
+              m.PredictApproxSeconds(w, plan.qr) +
+                  m.PredictInitSeconds(w, plan) +
+                  w.expected_sweeps * m.PredictSweepSeconds(w, plan),
+              1e-12);
+}
+
+std::string WriteTempFile(const char* tag, const std::string& contents) {
+  std::string path = ::testing::TempDir() + "adaptive_test_" + tag + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  EXPECT_NE(f, nullptr);
+  std::fputs(contents.c_str(), f);
+  std::fclose(f);
+  return path;
+}
+
+TEST(CostModelTest, CalibrationRoundTripsThroughToJson) {
+  CostModel a;
+  a.SetCoefficient("eig.ql", 2.71828);
+  a.SetCoefficient("custom.key", 0.125);
+  const std::string path = WriteTempFile("roundtrip", a.ToJson());
+  CostModel b;
+  EXPECT_TRUE(b.LoadCalibration(path));
+  EXPECT_DOUBLE_EQ(b.Coefficient("eig.ql"), 2.71828);
+  EXPECT_DOUBLE_EQ(b.Coefficient("custom.key"), 0.125);
+  std::remove(path.c_str());
+}
+
+TEST(CostModelTest, MissingCalibrationKeepsDefaultsAndReturnsFalse) {
+  CostModel m;
+  const auto defaults = m.coefficients();
+  EXPECT_FALSE(m.LoadCalibration("/nonexistent/calibration.json"));
+  EXPECT_EQ(m.coefficients(), defaults);
+}
+
+TEST(CostModelTest, CorruptCalibrationKeepsDefaultsAndReturnsFalse) {
+  CostModel m;
+  const auto defaults = m.coefficients();
+  for (const char* corrupt :
+       {"{oops", "[1, 2]", "{\"eig.ql\": \"fast\"}", "{\"eig.ql\": -3}",
+        "{\"eig.ql\": 0}", "{\"a\": 1 \"b\": 2}"}) {
+    const std::string path = WriteTempFile("corrupt", corrupt);
+    EXPECT_FALSE(m.LoadCalibration(path)) << corrupt;
+    EXPECT_EQ(m.coefficients(), defaults) << corrupt;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(CostModelTest, ObserveRefinesScaleTowardMeasurement) {
+  CostModel m;
+  const WorkloadSignature w = VideoSignature();
+  const PhaseVariantPlan plan;
+  const double before = m.Coefficient("scale.sweep");
+  // Measured slower than predicted: the scale factor must move up.
+  m.ObserveSweepSeconds(w, plan, 10.0 * m.PredictSweepSeconds(w, plan));
+  EXPECT_GT(m.Coefficient("scale.sweep"), before);
+  // Garbage observations are ignored.
+  m.ObserveSweepSeconds(w, plan, -1.0);
+  m.ObserveSweepSeconds(w, plan, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Tuner.
+// ---------------------------------------------------------------------------
+
+TEST(TunerTest, DeterministicAndNeverPicksJacobiOnLargeGrams) {
+  CostModel m;
+  const WorkloadSignature w = VideoSignature();
+  const adaptive::PlanDecision d1 = adaptive::ChoosePlan(m, w);
+  const adaptive::PlanDecision d2 = adaptive::ChoosePlan(m, w);
+  EXPECT_TRUE(d1.plan == d2.plan);
+  EXPECT_NE(d1.plan.eig, EigSolverVariant::kJacobi);
+  EXPECT_FALSE(d1.rationale.empty());
+  EXPECT_GT(d1.predicted_total_seconds, 0.0);
+}
+
+TEST(TunerTest, SketchedGramRequiresErrorBudget) {
+  CostModel m;
+  // Make the sketched Gram look arbitrarily attractive; without a budget
+  // the tuner must still not pick it.
+  m.SetCoefficient("gram.sketched", 1e6);
+  WorkloadSignature w = VideoSignature();
+  adaptive::TunerOptions opt;
+  opt.sketch_error_budget = 0.0;
+  EXPECT_EQ(adaptive::ChoosePlan(m, w, opt).plan.gram, GramVariant::kExact);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end through the Engine: fit parity, determinism, auto policy.
+// ---------------------------------------------------------------------------
+
+EngineOptions BaseOptions(const std::vector<Index>& ranks, int iters = 12) {
+  EngineOptions opt;
+  opt.method = TuckerMethod::kDTucker;
+  opt.method_options.tucker.ranks = ranks;
+  opt.method_options.tucker.max_iterations = iters;
+  opt.measure_error = true;
+  return opt;
+}
+
+Result<EngineRun> SolveWithSpec(const Tensor& x, const std::string& spec,
+                                int threads = 0) {
+  EngineOptions opt = BaseOptions({4, 4, 4});
+  opt.solver_spec = spec;
+  if (threads > 0) {
+    opt.blas_threads = threads;
+    opt.method_options.num_threads = threads;
+  }
+  Engine engine(std::move(opt));
+  return engine.Solve(x);
+}
+
+TEST(AdaptiveEngineTest, FitParityAcrossVariantPlans) {
+  const Tensor x = MakeLowRankTensor({26, 22, 18}, {4, 4, 4}, 0.3, 5);
+  Result<EngineRun> base = SolveWithSpec(x, "");
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  const double base_error = base.value().relative_error;
+  ASSERT_GT(base_error, 0.0);
+  // Every interchangeable variant must land on the same converged fit to 4
+  // significant digits — they change *how* each phase computes, never what
+  // it computes (the sketched Gram only perturbs the HOOI starting point).
+  for (const char* spec :
+       {"eig=jacobi", "eig=ql", "eig=subspace", "qr=scalar", "qr=blocked",
+        "carrier=slice_parallel", "carrier=gemm_parallel", "gram=sketched",
+        "eig=jacobi,qr=scalar,carrier=gemm_parallel"}) {
+    Result<EngineRun> run = SolveWithSpec(x, spec);
+    ASSERT_TRUE(run.ok()) << spec << ": " << run.status().ToString();
+    EXPECT_NEAR(run.value().relative_error, base_error, 5e-4 * base_error)
+        << spec;
+  }
+}
+
+void ExpectBitwiseEqual(const TuckerDecomposition& a,
+                        const TuckerDecomposition& b, const char* what) {
+  ASSERT_EQ(a.factors.size(), b.factors.size()) << what;
+  for (std::size_t n = 0; n < a.factors.size(); ++n) {
+    for (Index i = 0; i < a.factors[n].size(); ++i) {
+      ASSERT_EQ(a.factors[n].data()[i], b.factors[n].data()[i])
+          << what << ": factor " << n << " element " << i;
+    }
+  }
+  ASSERT_EQ(a.core.shape(), b.core.shape()) << what;
+  for (Index i = 0; i < a.core.size(); ++i) {
+    ASSERT_EQ(a.core.data()[i], b.core.data()[i])
+        << what << ": core element " << i;
+  }
+}
+
+TEST(AdaptiveEngineTest, FixedPlansAreBitwiseThreadDeterministic) {
+  const Tensor x = MakeLowRankTensor({24, 20, 14}, {4, 4, 4}, 0.2, 9);
+  for (const char* spec :
+       {"", "eig=subspace,qr=blocked,carrier=slice_parallel",
+        "carrier=gemm_parallel", "gram=sketched"}) {
+    Result<EngineRun> one = SolveWithSpec(x, spec, /*threads=*/1);
+    Result<EngineRun> four = SolveWithSpec(x, spec, /*threads=*/4);
+    ASSERT_TRUE(one.ok() && four.ok()) << spec;
+    ExpectBitwiseEqual(one.value().decomposition, four.value().decomposition,
+                       spec);
+  }
+  SetBlasThreads(1);
+}
+
+TEST(AdaptiveEngineTest, AutoPolicyRunsAndRecordsDecision) {
+  const Tensor x = MakeLowRankTensor({30, 26, 20}, {4, 4, 4}, 0.2, 3);
+  EngineOptions opt = BaseOptions({4, 4, 4});
+  opt.solver_policy = SolverPolicy::kAuto;
+  Engine engine(std::move(opt));
+  Result<EngineRun> run = engine.Solve(x);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const TuckerStats& stats = run.value().stats;
+  EXPECT_FALSE(stats.selected_variants.empty());
+  EXPECT_FALSE(stats.solver_rationale.empty());
+  EXPECT_GT(stats.predicted_init_seconds, 0.0);
+  EXPECT_GT(stats.predicted_sweep_seconds, 0.0);
+  // The chosen plan must parse back through the registry (it names only
+  // registered variants).
+  EXPECT_TRUE(adaptive::ParsePlan(stats.selected_variants).ok());
+}
+
+TEST(AdaptiveEngineTest, AutoMatchesDefaultFitAndBoundedTime) {
+  const Tensor x = MakeLowRankTensor({30, 26, 20}, {4, 4, 4}, 0.2, 3);
+  Result<EngineRun> fixed = SolveWithSpec(x, "");
+  ASSERT_TRUE(fixed.ok());
+  EngineOptions opt = BaseOptions({4, 4, 4});
+  opt.solver_policy = SolverPolicy::kAuto;
+  Engine engine(std::move(opt));
+  Result<EngineRun> run = engine.Solve(x);
+  ASSERT_TRUE(run.ok());
+  // Whatever plan auto picks, the converged fit matches the defaults to 4
+  // significant digits (fit parity is plan-independent).
+  EXPECT_NEAR(run.value().relative_error, fixed.value().relative_error,
+              5e-4 * fixed.value().relative_error);
+}
+
+TEST(AdaptiveEngineTest, AutoDegradesGracefullyOnBadCalibration) {
+  const Tensor x = MakeLowRankTensor({22, 18, 14}, {3, 3, 3}, 0.2, 7);
+  const std::string corrupt = WriteTempFile("engine_corrupt", "{not json!");
+  for (const std::string& path :
+       {std::string("/nonexistent/calibration.json"), corrupt}) {
+    EngineOptions opt = BaseOptions({3, 3, 3});
+    opt.solver_policy = SolverPolicy::kAuto;
+    opt.calibration_path = path;
+    Engine engine(std::move(opt));
+    Result<EngineRun> run = engine.Solve(x);
+    ASSERT_TRUE(run.ok()) << path << ": " << run.status().ToString();
+    EXPECT_FALSE(run.value().stats.selected_variants.empty());
+  }
+  std::remove(corrupt.c_str());
+}
+
+TEST(AdaptiveEngineTest, ShardedFixedPlanIsBitwiseIdenticalAcrossRankCounts) {
+  // Within the sharded reduction scheme a fixed variant plan must not
+  // disturb the cross-rank-count bitwise identity (the Gram axis is
+  // deliberately ignored there; eig/qr/carrier are rank-independent).
+  const Tensor x = MakeLowRankTensor({20, 16, 12}, {3, 3, 3}, 0.2, 4);
+  std::vector<TuckerDecomposition> runs;
+  for (int ranks : {1, 2}) {
+    EngineOptions opt = BaseOptions({3, 3, 3});
+    opt.solver_spec = "eig=subspace,qr=blocked";
+    opt.num_ranks = ranks;
+    Engine engine(std::move(opt));
+    Result<EngineRun> run = engine.Solve(x);
+    ASSERT_TRUE(run.ok()) << ranks << ": " << run.status().ToString();
+    runs.push_back(std::move(run.value().decomposition));
+  }
+  ExpectBitwiseEqual(runs[0], runs[1], "num_ranks 1 vs 2");
+}
+
+}  // namespace
+}  // namespace dtucker
