@@ -1,0 +1,147 @@
+// check_shard_regression: ctest gate comparing the current BENCH_shard.json
+// against the committed seed snapshot (bench/snapshots/BENCH_shard.seed.json).
+//
+//   check_shard_regression <current.json> <seed.json> [tolerance]
+//
+// Exit codes: 0 pass, 1 regression/parse failure, 77 skip (no current JSON
+// — the bench is run manually via `cmake --build build --target
+// bench_shard_json`, so a fresh checkout skips rather than fails; ctest
+// maps 77 to SKIP via SKIP_RETURN_CODE).
+//
+// Checks, per scaling run matched by rank count:
+//   - approx_speedup >= (1 - tolerance) * seed value (default tolerance
+//     0.15). The speedup is CPU-seconds based, so it is stable even when
+//     the ranks timeshare fewer cores. Exceeding the seed is never a
+//     failure (a faster build is not a regression); a gain beyond the
+//     tolerance is printed as a note.
+//   - every "core_bitwise_matches_1rank" in the current JSON (scaling runs
+//     AND the trailing comparison) must be true — a bitwise mismatch is a
+//     determinism bug, never tolerable.
+//
+// Deliberately dependency-free line scanning rather than a JSON parser:
+// bench_shard emits one object per line with fixed key spelling, and the
+// gate must not inherit the library's own build to judge it.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// Extracts `"key": <number>` from a line; returns false if absent.
+bool FindNumber(const std::string& line, const std::string& key, double* out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  *out = std::strtod(line.c_str() + pos + needle.size(), nullptr);
+  return true;
+}
+
+struct ScalingRun {
+  double speedup = 0;
+};
+
+struct BenchFile {
+  std::map<int, ScalingRun> runs;  // keyed by rank count
+  int bitwise_false = 0;           // occurrences of a false bitwise check
+};
+
+bool Load(const std::string& path, BenchFile* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"core_bitwise_matches_1rank\": false") !=
+        std::string::npos) {
+      ++out->bitwise_false;
+    }
+    double ranks = 0, speedup = 0;
+    if (FindNumber(line, "approx_speedup", &speedup) &&
+        FindNumber(line, "ranks", &ranks)) {
+      out->runs[static_cast<int>(ranks)].speedup = speedup;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <current.json> <seed.json> [tolerance]\n",
+                 argv[0]);
+    return 1;
+  }
+  const std::string current_path = argv[1];
+  const std::string seed_path = argv[2];
+  const double tolerance = argc > 3 ? std::atof(argv[3]) : 0.15;
+
+  {
+    std::ifstream probe(current_path);
+    if (!probe) {
+      std::printf("SKIP: %s not found (run the bench_shard_json target)\n",
+                  current_path.c_str());
+      return 77;
+    }
+  }
+  BenchFile current, seed;
+  if (!Load(current_path, &current)) {
+    std::fprintf(stderr, "FAIL: cannot read %s\n", current_path.c_str());
+    return 1;
+  }
+  if (!Load(seed_path, &seed)) {
+    std::fprintf(stderr, "FAIL: cannot read seed snapshot %s\n",
+                 seed_path.c_str());
+    return 1;
+  }
+  if (current.runs.empty() || seed.runs.empty()) {
+    std::fprintf(stderr, "FAIL: no scaling runs parsed (current %zu, seed %zu)\n",
+                 current.runs.size(), seed.runs.size());
+    return 1;
+  }
+
+  int failures = 0;
+  if (current.bitwise_false > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %d bitwise determinism check(s) are false in %s\n",
+                 current.bitwise_false, current_path.c_str());
+    ++failures;
+  }
+  for (const auto& entry : seed.runs) {
+    const int ranks = entry.first;
+    const auto it = current.runs.find(ranks);
+    if (it == current.runs.end()) {
+      std::fprintf(stderr, "FAIL: current JSON has no ranks=%d run\n", ranks);
+      ++failures;
+      continue;
+    }
+    const double seed_speedup = entry.second.speedup;
+    const double cur_speedup = it->second.speedup;
+    const double floor = (1.0 - tolerance) * seed_speedup;
+    if (cur_speedup < floor) {
+      std::fprintf(stderr,
+                   "FAIL: ranks=%d approx_speedup %.3f < %.3f "
+                   "(seed %.3f - %.0f%%)\n",
+                   ranks, cur_speedup, floor, seed_speedup, 100 * tolerance);
+      ++failures;
+    } else {
+      std::printf("ok: ranks=%d approx_speedup %.3f (seed %.3f)\n", ranks,
+                  cur_speedup, seed_speedup);
+      if (cur_speedup > (1.0 + tolerance) * seed_speedup) {
+        std::printf("note: ranks=%d improved beyond +%.0f%%; consider "
+                    "refreshing the seed snapshot\n",
+                    ranks, 100 * tolerance);
+      }
+    }
+  }
+  if (failures > 0) return 1;
+  std::printf("PASS: %zu scaling run(s) within tolerance, bitwise checks "
+              "clean\n",
+              seed.runs.size());
+  return 0;
+}

@@ -115,6 +115,12 @@ int RunOp(const FlagParser& flags) {
     eopt.method_options.num_threads = num_threads;
     eopt.blas_threads = num_threads;
     eopt.num_ranks = static_cast<int>(flags.GetInt("ranks"));
+    {
+      Result<CommTransport> transport =
+          ParseCommTransport(flags.GetString("transport"));
+      if (!transport.ok()) return Fail(transport.status());
+      eopt.comm_transport = transport.value();
+    }
     const std::string solver = flags.GetString("solver");
     if (solver == "auto") {
       eopt.solver_policy = SolverPolicy::kAuto;
@@ -287,6 +293,9 @@ int Run(int argc, char** argv) {
                "slice-parallel shard count for --method=D-Tucker "
                "(0 = classic unsharded solver; >= 1 runs the sharded "
                "solver with that many in-process ranks)");
+  flags.AddString("transport", "inproc",
+                  "rank transport for --ranks >= 1: inproc | file | shm "
+                  "(results are bitwise-identical across the three)");
   flags.AddInt("threads", 1,
                "worker threads for every phase (approximation, "
                "initialization, iteration); default 1 = serial, 0 = all "

@@ -1,6 +1,9 @@
 #include "comm/communicator.h"
 
+#include <fcntl.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
@@ -16,6 +19,26 @@
 #include "common/trace.h"
 
 namespace dtucker {
+
+const char* CommTransportName(CommTransport transport) {
+  switch (transport) {
+    case CommTransport::kInProcess:
+      return "inproc";
+    case CommTransport::kFile:
+      return "file";
+    case CommTransport::kShm:
+      return "shm";
+  }
+  return "unknown";
+}
+
+Result<CommTransport> ParseCommTransport(const std::string& name) {
+  if (name == "inproc") return CommTransport::kInProcess;
+  if (name == "file") return CommTransport::kFile;
+  if (name == "shm") return CommTransport::kShm;
+  return Status::InvalidArgument("unknown transport '" + name +
+                                 "' (expected inproc, file, or shm)");
+}
 
 // Elementwise combine of a received buffer into the local accumulator.
 // Takes the Combine enum as int because the enum is protected in
@@ -35,18 +58,89 @@ static void ApplyCombine(double* dst, const double* src, std::size_t n,
   }
 }
 
-Status Communicator::WaitCheck(double elapsed_seconds) const {
+namespace {
+
+// One spin iteration that tells the core we are in a spin-wait loop
+// without giving up the timeslice (the sub-microsecond phase of the
+// adaptive wait).
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+// Adaptive wait phases: pure spinning covers rendezvous latencies in the
+// hundreds of nanoseconds (shm / in-process peers already in the
+// collective), yielding covers peers descheduled on a busy box, and the
+// exponential sleep bounds CPU burn when a peer is genuinely slow (file
+// transport IO, a rank still in its compute phase). The RunContext/timeout
+// poll runs at most every kCheckMask+1 spins so the hot phase stays cheap.
+constexpr std::uint64_t kSpinPolls = 4096;
+constexpr std::uint64_t kYieldPolls = 256;
+constexpr std::uint64_t kCheckMask = 63;
+constexpr unsigned kMaxSleepUs = 100;
+
+}  // namespace
+
+Status Communicator::WaitStep(AdaptiveWait* w) {
+  const std::uint64_t poll = w->polls++;
+  if (poll < kSpinPolls) {
+    if ((poll & kCheckMask) == kCheckMask) {
+      if (ctx_ != nullptr) {
+        DT_RETURN_NOT_OK(ctx_->CheckStatus("communicator wait"));
+      }
+      if (w->timer.Seconds() > timeout_seconds_) {
+        return Status::Unavailable(
+            "communicator: peer did not arrive within " +
+            std::to_string(timeout_seconds_) + "s (rank " +
+            std::to_string(rank_) + " of " + std::to_string(size_) + ")");
+      }
+    }
+    CpuRelax();
+    return Status::OK();
+  }
   if (ctx_ != nullptr) {
     DT_RETURN_NOT_OK(ctx_->CheckStatus("communicator wait"));
   }
-  if (elapsed_seconds > timeout_seconds_) {
+  if (w->timer.Seconds() > timeout_seconds_) {
     return Status::Unavailable(
         "communicator: peer did not arrive within " +
         std::to_string(timeout_seconds_) + "s (rank " + std::to_string(rank_) +
         " of " + std::to_string(size_) + ")");
   }
-  std::this_thread::yield();
+  if (poll < kSpinPolls + kYieldPolls) {
+    std::this_thread::yield();
+    return Status::OK();
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(w->sleep_us));
+  w->sleep_us = std::min(kMaxSleepUs, w->sleep_us * 2);
   return Status::OK();
+}
+
+void Communicator::FinishWait(const AdaptiveWait& w) {
+  if (w.polls == 0) return;
+  op_wait_ns_ += w.timer.Seconds() * 1e9;
+}
+
+Communicator::OpScope::OpScope(Communicator* comm, const char* op)
+    : comm_(comm), outermost_(comm->current_op_ == nullptr) {
+  if (outermost_) {
+    comm_->current_op_ = op;
+    comm_->op_wait_ns_ = 0.0;
+  }
+}
+
+Communicator::OpScope::~OpScope() {
+  if (!outermost_) return;
+  const std::string op = comm_->current_op_;
+  MetricGauge("comm.wait_ns." + op).Add(comm_->op_wait_ns_);
+  MetricCounter("comm.ops." + op).Add(1);
+  comm_->current_op_ = nullptr;
+  comm_->op_wait_ns_ = 0.0;
 }
 
 // Binomial reduce to rank 0: at distance d = 1, 2, 4, ... the rank with
@@ -72,6 +166,7 @@ Status Communicator::ReduceTree(double* data, std::size_t n, Combine combine) {
 Status Communicator::Broadcast(double* data, std::size_t n, int root) {
   if (size_ == 1) return Status::OK();
   DT_TRACE_SPAN("comm.broadcast");
+  OpScope scope(this, "broadcast");
   DT_CHECK(root >= 0 && root < size_) << "broadcast root out of range";
   // Rotate so the algorithm always roots at virtual rank 0.
   const int vrank = (rank_ - root + size_) % size_;
@@ -95,6 +190,7 @@ Status Communicator::Broadcast(double* data, std::size_t n, int root) {
 Status Communicator::AllReduceSum(double* data, std::size_t n) {
   if (size_ == 1) return Status::OK();
   DT_TRACE_SPAN("comm.allreduce_sum");
+  OpScope scope(this, "allreduce_sum");
   Timer timer;
   DT_RETURN_NOT_OK(ReduceTree(data, n, Combine::kAdd));
   DT_RETURN_NOT_OK(Broadcast(data, n, /*root=*/0));
@@ -110,6 +206,7 @@ Status Communicator::AllReduceSum(double* data, std::size_t n) {
 Status Communicator::AllReduceMax(double* data, std::size_t n) {
   if (size_ == 1) return Status::OK();
   DT_TRACE_SPAN("comm.allreduce_max");
+  OpScope scope(this, "allreduce_max");
   Timer timer;
   DT_RETURN_NOT_OK(ReduceTree(data, n, Combine::kMax));
   DT_RETURN_NOT_OK(Broadcast(data, n, /*root=*/0));
@@ -125,6 +222,7 @@ Status Communicator::AllReduceMax(double* data, std::size_t n) {
 Status Communicator::Barrier() {
   if (size_ == 1) return Status::OK();
   DT_TRACE_SPAN("comm.barrier");
+  OpScope scope(this, "barrier");
   double token = 0.0;
   DT_RETURN_NOT_OK(ReduceTree(&token, 1, Combine::kAdd));
   return Broadcast(&token, 1, /*root=*/0);
@@ -133,6 +231,7 @@ Status Communicator::Barrier() {
 Status Communicator::Gather(const double* send, std::size_t n, double* recv,
                             int root) {
   DT_TRACE_SPAN("comm.gather");
+  OpScope scope(this, "gather");
   DT_CHECK(root >= 0 && root < size_) << "gather root out of range";
   const std::uint64_t op = NextTag();
   if (rank_ == root) {
@@ -155,6 +254,7 @@ Status Communicator::AllGatherV(const double* send,
                                 const std::vector<std::size_t>& counts,
                                 double* recv) {
   DT_TRACE_SPAN("comm.allgatherv");
+  OpScope scope(this, "allgatherv");
   DT_CHECK_EQ(counts.size(), static_cast<std::size_t>(size_))
       << "one count per rank";
   std::size_t total = 0;
@@ -226,10 +326,11 @@ class InProcessCommunicator : public Communicator {
     s.data = data;
     s.n = n;
     s.post.store(tag + 1, std::memory_order_release);
-    Timer timer;
+    AdaptiveWait wait;
     while (s.ack.load(std::memory_order_acquire) != tag + 1) {
-      DT_RETURN_NOT_OK(WaitCheck(timer.Seconds()));
+      DT_RETURN_NOT_OK(WaitStep(&wait));
     }
+    FinishWait(wait);
     s.post.store(0, std::memory_order_relaxed);
     return Status::OK();
   }
@@ -237,10 +338,11 @@ class InProcessCommunicator : public Communicator {
   Status RecvCombine(int peer, std::uint64_t tag, double* data, std::size_t n,
                      Combine combine) override {
     InProcessSlot& s = state_->slot(peer, rank());
-    Timer timer;
+    AdaptiveWait wait;
     while (s.post.load(std::memory_order_acquire) != tag + 1) {
-      DT_RETURN_NOT_OK(WaitCheck(timer.Seconds()));
+      DT_RETURN_NOT_OK(WaitStep(&wait));
     }
+    FinishWait(wait);
     DT_CHECK_EQ(s.n, n) << "in-process rendezvous size mismatch";
     ApplyCombine(data, s.data, n, static_cast<int>(combine));
     s.ack.store(tag + 1, std::memory_order_release);
@@ -289,7 +391,10 @@ namespace {
 // temp + rename (atomic on POSIX), so a reader never observes a partial
 // file. The receiver acknowledges with dir/a_<tag>_<sender>_<receiver>;
 // the sender then deletes both, keeping the directory bounded regardless
-// of how many collectives run.
+// of how many collectives run. Waiting is the shared adaptive strategy:
+// a stat/open probe costs a syscall, but the spin phase's probes land in
+// the dentry cache, so short rendezvous stay far below the old fixed
+// 100 µs sleep while long waits still back off to sleeping.
 class FileCommunicator : public Communicator {
  public:
   FileCommunicator(std::string dir, int rank, int size)
@@ -318,12 +423,13 @@ class FileCommunicator : public Communicator {
     }
     // Wait for the receiver's ack, then reclaim both files.
     const std::string ack = AckPath(tag, rank(), peer);
-    Timer timer;
+    AdaptiveWait wait;
     for (;;) {
       struct stat st;
       if (::stat(ack.c_str(), &st) == 0) break;
-      DT_RETURN_NOT_OK(WaitCheckSleep(timer.Seconds()));
+      DT_RETURN_NOT_OK(WaitStep(&wait));
     }
+    FinishWait(wait);
     std::remove(payload.c_str());
     std::remove(ack.c_str());
     return Status::OK();
@@ -332,13 +438,14 @@ class FileCommunicator : public Communicator {
   Status RecvCombine(int peer, std::uint64_t tag, double* data, std::size_t n,
                      Combine combine) override {
     const std::string payload = PayloadPath(tag, peer, rank());
-    Timer timer;
     FILE* f = nullptr;
+    AdaptiveWait wait;
     for (;;) {
       f = std::fopen(payload.c_str(), "rb");
       if (f != nullptr) break;
-      DT_RETURN_NOT_OK(WaitCheckSleep(timer.Seconds()));
+      DT_RETURN_NOT_OK(WaitStep(&wait));
     }
+    FinishWait(wait);
     if (scratch_.size() < n) scratch_.resize(n);
     const std::size_t read = std::fread(scratch_.data(), sizeof(double), n, f);
     std::fclose(f);
@@ -359,16 +466,6 @@ class FileCommunicator : public Communicator {
   }
 
  private:
-  // The file transport polls at sleep granularity instead of yield: a
-  // stat/open probe already costs a syscall, so a short sleep keeps the
-  // poll loop from saturating the filesystem while staying well under the
-  // latency of the collectives' payload IO.
-  Status WaitCheckSleep(double elapsed_seconds) const {
-    DT_RETURN_NOT_OK(WaitCheck(elapsed_seconds));
-    std::this_thread::sleep_for(std::chrono::microseconds(100));
-    return Status::OK();
-  }
-
   std::string PayloadPath(std::uint64_t tag, int sender, int receiver) const {
     return dir_ + "/m_" + std::to_string(tag) + "_" + std::to_string(sender) +
            "_" + std::to_string(receiver);
@@ -398,6 +495,249 @@ Result<std::unique_ptr<Communicator>> CreateFileCommunicator(
   }
   return std::unique_ptr<Communicator>(
       std::make_unique<FileCommunicator>(dir, rank, size));
+}
+
+// ---------------------------------------------------------------------------
+// Multi-process shared-memory transport.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Payload capacity of one mailbox, in doubles (64 KiB). Messages larger
+// than this stream through the mailbox in chunks under the generation
+// protocol below; the pipeline costs one extra rendezvous per 64 KiB,
+// which is noise next to the memcpy itself.
+constexpr std::size_t kShmChunkDoubles = 8192;
+
+// One mailbox per ordered (sender, receiver) edge. The protocol is a pair
+// of monotonically increasing generation counters: `post` counts chunks
+// the sender has published, `ack` counts chunks the receiver has consumed.
+// The sender waits for ack == post (mailbox free), writes the header
+// fields + payload, and publishes with post = post + 1 (release); the
+// receiver waits for post == ack + 1 (acquire), consumes, and releases the
+// mailbox with ack = ack + 1 (release). The counters never reset, so a
+// chunk can never be confused with its predecessor (no ABA), and each
+// ordered edge carries at most one in-flight collective message at a time
+// (the collectives' tag sequencing guarantees this), so FIFO per edge is
+// all the matching needed — `tag` is carried only to assert the protocol.
+//
+// The struct lives in shared memory: everything is trivially copyable,
+// lock-free atomics (enforced below), and position-independent (no
+// pointers). The counters sit on separate cache lines so the sender
+// polling `ack` does not contend with the receiver polling `post`.
+struct ShmMailbox {
+  alignas(64) std::atomic<std::uint64_t> post;
+  alignas(64) std::atomic<std::uint64_t> ack;
+  alignas(64) std::uint64_t tag;
+  std::uint64_t total_n;   // Doubles in the whole message.
+  std::uint64_t chunk_n;   // Doubles in this chunk.
+  double payload[kShmChunkDoubles];
+};
+
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "shm transport needs lock-free 64-bit atomics");
+static_assert(std::is_trivially_copyable_v<std::uint64_t>);
+
+constexpr std::uint64_t kShmMagic = 0x44544b5253484d31ull;  // "DTKRSHM1"
+
+struct ShmHeader {
+  std::uint64_t magic;
+  std::uint32_t size;               // Rank count the creator laid out.
+  std::atomic<std::uint32_t> ready; // 1 once the segment is initialized.
+};
+
+std::size_t ShmSegmentBytes(int size) {
+  return sizeof(ShmHeader) +
+         static_cast<std::size_t>(size) * static_cast<std::size_t>(size) *
+             sizeof(ShmMailbox);
+}
+
+class ShmCommunicator : public Communicator {
+ public:
+  ShmCommunicator(std::string name, int rank, int size, void* mem,
+                  std::size_t bytes)
+      : Communicator(rank, size),
+        name_(std::move(name)),
+        mem_(mem),
+        bytes_(bytes) {}
+
+  ~ShmCommunicator() override {
+    ::munmap(mem_, bytes_);
+    // Rank 0 owns the name. Unlinking while peers are still mapped is
+    // safe: POSIX keeps the segment alive until the last mapping drops.
+    if (rank() == 0) ::shm_unlink(name_.c_str());
+  }
+
+ protected:
+  Status SendTo(int peer, std::uint64_t tag, const double* data,
+                std::size_t n) override {
+    ShmMailbox& box = mailbox(rank(), peer);
+    const std::size_t nchunks = std::max<std::size_t>(
+        1, (n + kShmChunkDoubles - 1) / kShmChunkDoubles);
+    std::size_t off = 0;
+    for (std::size_t c = 0; c < nchunks; ++c) {
+      const std::uint64_t gen = box.post.load(std::memory_order_relaxed);
+      AdaptiveWait wait;
+      while (box.ack.load(std::memory_order_acquire) != gen) {
+        DT_RETURN_NOT_OK(WaitStep(&wait));
+      }
+      FinishWait(wait);
+      const std::size_t len = std::min(kShmChunkDoubles, n - off);
+      box.tag = tag;
+      box.total_n = n;
+      box.chunk_n = len;
+      if (len > 0) {
+        std::memcpy(box.payload, data + off, len * sizeof(double));
+      }
+      off += len;
+      box.post.store(gen + 1, std::memory_order_release);
+    }
+    return Status::OK();
+  }
+
+  Status RecvCombine(int peer, std::uint64_t tag, double* data, std::size_t n,
+                     Combine combine) override {
+    ShmMailbox& box = mailbox(peer, rank());
+    const std::size_t nchunks = std::max<std::size_t>(
+        1, (n + kShmChunkDoubles - 1) / kShmChunkDoubles);
+    std::size_t off = 0;
+    for (std::size_t c = 0; c < nchunks; ++c) {
+      const std::uint64_t gen = box.ack.load(std::memory_order_relaxed);
+      AdaptiveWait wait;
+      while (box.post.load(std::memory_order_acquire) != gen + 1) {
+        DT_RETURN_NOT_OK(WaitStep(&wait));
+      }
+      FinishWait(wait);
+      DT_CHECK_EQ(box.tag, tag) << "shm rendezvous tag mismatch";
+      DT_CHECK_EQ(box.total_n, n) << "shm rendezvous size mismatch";
+      const std::size_t len = static_cast<std::size_t>(box.chunk_n);
+      if (len > 0) {
+        ApplyCombine(data + off, box.payload, len, static_cast<int>(combine));
+      }
+      off += len;
+      box.ack.store(gen + 1, std::memory_order_release);
+    }
+    return Status::OK();
+  }
+
+ private:
+  ShmMailbox& mailbox(int sender, int receiver) {
+    auto* base = reinterpret_cast<ShmMailbox*>(
+        static_cast<char*>(mem_) + sizeof(ShmHeader));
+    return base[static_cast<std::size_t>(sender) *
+                    static_cast<std::size_t>(size()) +
+                static_cast<std::size_t>(receiver)];
+  }
+
+  std::string name_;
+  void* mem_;
+  std::size_t bytes_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Communicator>> CreateShmCommunicator(
+    const std::string& name, int rank, int size,
+    double setup_timeout_seconds) {
+  if (size < 1) {
+    return Status::InvalidArgument("shm communicator: size must be >= 1");
+  }
+  if (rank < 0 || rank >= size) {
+    return Status::InvalidArgument("shm communicator: rank out of range");
+  }
+  if (name.empty() || name[0] != '/' ||
+      name.find('/', 1) != std::string::npos) {
+    return Status::InvalidArgument(
+        "shm communicator: name must start with '/' and contain no other "
+        "slashes (got '" + name + "')");
+  }
+  const std::size_t bytes = ShmSegmentBytes(size);
+  int fd = -1;
+  if (rank == 0) {
+    // Reclaim any stale segment from a crashed prior run, then create
+    // fresh so no peer can attach to a half-initialized leftover.
+    ::shm_unlink(name.c_str());
+    fd = ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+    if (fd < 0) {
+      return Status::IoError("shm communicator: shm_open(create " + name +
+                             ") failed: " + std::strerror(errno));
+    }
+    if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+      ::close(fd);
+      ::shm_unlink(name.c_str());
+      return Status::IoError("shm communicator: ftruncate(" + name +
+                             ") failed: " + std::strerror(errno));
+    }
+  } else {
+    // Peers poll until rank 0 has created the segment (bounded).
+    Timer timer;
+    for (;;) {
+      fd = ::shm_open(name.c_str(), O_RDWR, 0600);
+      if (fd >= 0) break;
+      if (errno != ENOENT) {
+        return Status::IoError("shm communicator: shm_open(" + name +
+                               ") failed: " + std::strerror(errno));
+      }
+      if (timer.Seconds() > setup_timeout_seconds) {
+        return Status::Unavailable(
+            "shm communicator: rank 0 did not create segment " + name +
+            " within " + std::to_string(setup_timeout_seconds) + "s");
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    // The creator may not have ftruncate'd yet; wait for the full size.
+    Timer size_timer;
+    for (;;) {
+      struct stat st;
+      if (::fstat(fd, &st) != 0) {
+        ::close(fd);
+        return Status::IoError("shm communicator: fstat(" + name +
+                               ") failed: " + std::strerror(errno));
+      }
+      if (static_cast<std::size_t>(st.st_size) >= bytes) break;
+      if (size_timer.Seconds() > setup_timeout_seconds) {
+        ::close(fd);
+        return Status::Unavailable(
+            "shm communicator: segment " + name + " never reached its size");
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  void* mem =
+      ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);  // The mapping keeps the segment referenced.
+  if (mem == MAP_FAILED) {
+    if (rank == 0) ::shm_unlink(name.c_str());
+    return Status::IoError("shm communicator: mmap(" + name +
+                           ") failed: " + std::strerror(errno));
+  }
+  auto* header = static_cast<ShmHeader*>(mem);
+  if (rank == 0) {
+    // ftruncate zero-fills, which is a valid initial state for every
+    // mailbox (post == ack == 0: empty); only the header needs writing.
+    header->magic = kShmMagic;
+    header->size = static_cast<std::uint32_t>(size);
+    header->ready.store(1, std::memory_order_release);
+  } else {
+    Timer timer;
+    while (header->ready.load(std::memory_order_acquire) != 1) {
+      if (timer.Seconds() > setup_timeout_seconds) {
+        ::munmap(mem, bytes);
+        return Status::Unavailable("shm communicator: segment " + name +
+                                   " was never marked ready by rank 0");
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    if (header->magic != kShmMagic ||
+        header->size != static_cast<std::uint32_t>(size)) {
+      ::munmap(mem, bytes);
+      return Status::InvalidArgument(
+          "shm communicator: segment " + name +
+          " belongs to a different group layout (magic/size mismatch)");
+    }
+  }
+  return std::unique_ptr<Communicator>(
+      std::make_unique<ShmCommunicator>(name, rank, size, mem, bytes));
 }
 
 }  // namespace dtucker

@@ -18,44 +18,73 @@
 // rank r with r % 2d == d sends its accumulator to rank r - d, which adds
 // it on top of its own (receiver += sender, in ascending-distance order).
 // The addition order therefore depends only on the rank count, never on
-// timing, so repeated runs are bitwise identical. Higher layers
-// (dtucker/sharded_dtucker.h) compose this with a fixed chunk grid over
-// slices so the *global* reduction shape is also identical across
+// timing or the transport, so repeated runs are bitwise identical and any
+// two transports produce bit-for-bit the same collective results. Higher
+// layers (dtucker/sharded_dtucker.h) compose this with a fixed chunk grid
+// over slices so the *global* reduction shape is also identical across
 // power-of-two rank counts.
 //
-// Two transports:
+// Three transports share the collective algorithms above (so results are
+// bitwise identical across transports) and differ only in how one rank's
+// buffer reaches another:
 //   - InProcessGroup: ranks are threads of one process sharing an address
-//     space; rendezvous is a lock-free seqlock-style mailbox exchange
-//     (spin + yield), suitable for tests and single-node multi-rank runs.
+//     space; rendezvous is a lock-free seqlock-style mailbox exchange,
+//     suitable for tests and single-node multi-rank runs.
 //   - FileCommunicator: ranks are separate processes meeting in a shared
 //     directory (no MPI exists in this environment); payloads travel
 //     through files published with atomic renames. Slow per message but
 //     collectives here move O(rank^2) small matrices, not tensors.
+//   - ShmCommunicator: ranks are separate processes (or threads) meeting
+//     in one POSIX shared-memory segment (shm_open + mmap). Every ordered
+//     (sender, receiver) pair owns a fixed mailbox with atomic generation
+//     counters; payloads are copied through the mailbox in bounded chunks,
+//     so a collective makes *zero* filesystem syscalls — rendezvous
+//     latency is the adaptive wait below, not a 100 µs directory poll.
 //
-// Execution control: set_run_context() attaches a caller-owned RunContext
-// that every blocking wait polls, so a cancellation or deadline on one
-// rank turns its pending collective into kCancelled/kDeadlineExceeded
-// instead of a hang. A communicator-level default timeout (set_timeout)
-// bounds waits even without a context — a crashed peer then surfaces as
-// kUnavailable rather than a deadlock.
+// Waiting: every transport blocks through one shared adaptive strategy —
+// spin (cpu-relax), then yield, then exponentially growing short sleeps —
+// and every blocking wait polls an optional RunContext plus a communicator
+// -level timeout (default 120 s), so a crashed peer surfaces as
+// kUnavailable instead of a deadlock and a cancellation turns a pending
+// collective into kCancelled/kDeadlineExceeded.
 //
 // Observability: every collective is wrapped in a DT_TRACE_SPAN and bumps
-// the comm.* metrics (comm.reduces, comm.bytes_reduced, and the per-rank
-// comm.rank<r>.reduce_ns gauge), so --trace-out / --metrics-out show where
-// sharded runs spend their synchronization time.
+// the comm.* metrics: comm.reduces / comm.bytes_reduced / the per-rank
+// comm.rank<r>.reduce_ns gauge, plus — per outermost collective kind — the
+// time spent blocked on peers in comm.wait_ns.<op> and the invocation
+// count in comm.ops.<op> (op in {barrier, broadcast, allreduce_sum,
+// allreduce_max, gather, allgatherv}), so --metrics-out and bench_shard
+// can split synchronization into compute vs wait.
 #ifndef DTUCKER_COMM_COMMUNICATOR_H_
 #define DTUCKER_COMM_COMMUNICATOR_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/run_context.h"
 #include "common/status.h"
+#include "common/timer.h"
 #include "linalg/matrix.h"
 
 namespace dtucker {
+
+// Which transport a multi-rank driver builds its communicators on. The
+// collective algorithms (and therefore the numerical results) are
+// identical on all three; the choice trades setup constraints against
+// rendezvous latency (see the file comment and DESIGN.md §11).
+enum class CommTransport {
+  kInProcess,  // Threads of one process (InProcessGroup).
+  kFile,       // Processes meeting in a shared directory.
+  kShm,        // Processes meeting in a POSIX shared-memory segment.
+};
+
+// "inproc" / "file" / "shm" <-> CommTransport. Parse rejects anything
+// else with the accepted list in the message.
+const char* CommTransportName(CommTransport transport);
+Result<CommTransport> ParseCommTransport(const std::string& name);
 
 class Communicator {
  public:
@@ -113,19 +142,50 @@ class Communicator {
   // pair identifies one point-to-point rendezvous.
   //
   // SendTo publishes `data[0, n)` to `peer` under `tag` and blocks until
-  // the peer has consumed it. RecvCombine blocks for the matching publish
-  // from `peer` and either copies (combine == kCopy) or accumulates
-  // elementwise into `data`.
+  // the peer has consumed it (or the transport has taken a private copy).
+  // RecvCombine blocks for the matching publish from `peer` and either
+  // copies (combine == kCopy) or accumulates elementwise into `data`.
   enum class Combine { kCopy, kAdd, kMax };
   virtual Status SendTo(int peer, std::uint64_t tag, const double* data,
                         std::size_t n) = 0;
   virtual Status RecvCombine(int peer, std::uint64_t tag, double* data,
                              std::size_t n, Combine combine) = 0;
 
-  // One bounded wait step while polling for a peer: yields/sleeps, checks
-  // the RunContext and the elapsed budget. `elapsed_seconds` is the time
-  // since the blocking call began.
-  Status WaitCheck(double elapsed_seconds) const;
+  // One blocking wait, shared by every transport. Use as:
+  //
+  //   AdaptiveWait wait;
+  //   while (!condition) DT_RETURN_NOT_OK(WaitStep(&wait));
+  //   FinishWait(wait);
+  //
+  // WaitStep escalates from cpu-relax spinning through thread yields to
+  // exponentially growing sleeps (1 µs doubling to 100 µs), polls the
+  // RunContext, and enforces the communicator timeout. FinishWait
+  // attributes the blocked time to the enclosing collective's
+  // comm.wait_ns.* bucket (a no-op if the condition was true on entry).
+  struct AdaptiveWait {
+    Timer timer;
+    std::uint64_t polls = 0;
+    unsigned sleep_us = 1;
+  };
+  Status WaitStep(AdaptiveWait* w);
+  void FinishWait(const AdaptiveWait& w);
+
+  // RAII collective bracket: the outermost scope on a communicator names
+  // the op that wait time is attributed to (nested collectives — e.g. the
+  // broadcast inside AllReduceSum — fold into the outer op) and flushes
+  // comm.wait_ns.<op> / comm.ops.<op> on exit. Communicators are used by
+  // one thread at a time, so plain members suffice.
+  class OpScope {
+   public:
+    OpScope(Communicator* comm, const char* op);
+    ~OpScope();
+    OpScope(const OpScope&) = delete;
+    OpScope& operator=(const OpScope&) = delete;
+
+   private:
+    Communicator* comm_;
+    bool outermost_;
+  };
 
   std::uint64_t NextTag() { return next_tag_++; }
 
@@ -137,6 +197,9 @@ class Communicator {
   const RunContext* ctx_ = nullptr;
   double timeout_seconds_ = 120.0;
   std::uint64_t next_tag_ = 0;
+  // Wait-attribution state for the current outermost collective.
+  const char* current_op_ = nullptr;
+  double op_wait_ns_ = 0.0;
 };
 
 // In-process transport: `size` communicators sharing one rendezvous table,
@@ -170,6 +233,23 @@ class InProcessGroup {
 // ranks are done (rank 0 after a final Barrier, typically).
 Result<std::unique_ptr<Communicator>> CreateFileCommunicator(
     const std::string& dir, int rank, int size);
+
+// Multi-process transport over one POSIX shared-memory segment. Every rank
+// calls Create with the same `name` (a shm_open name: leading '/', no
+// other slashes, e.g. "/dtucker-<pid>") and its own rank. Rank 0 unlinks
+// any stale segment of that name, creates and sizes a fresh one, lays out
+// size^2 per-edge mailboxes, and publishes a ready flag; the other ranks
+// poll shm_open until the segment exists and the flag is set (bounded by
+// `setup_timeout_seconds`, so a missing rank 0 is kUnavailable, not a
+// hang). Collectives then run entirely on mmap'd atomics — no filesystem
+// syscalls. The segment is unlinked by rank 0's destructor; peers keep
+// their mappings alive until their own destructors (POSIX keeps an
+// unlinked segment valid while mapped). Ranks may be threads of one
+// process or separate processes (fork before or after Create both work —
+// the mapping is MAP_SHARED).
+Result<std::unique_ptr<Communicator>> CreateShmCommunicator(
+    const std::string& name, int rank, int size,
+    double setup_timeout_seconds = 30.0);
 
 }  // namespace dtucker
 

@@ -55,6 +55,17 @@ struct DTuckerOptions {
   // thread/rank-deterministic.
   adaptive::PhaseVariantPlan variants;
 
+  // Sharded path only (dtucker/sharded_dtucker.h); the unsharded solver
+  // ignores it. When true (default), the iteration phase's trailing-mode
+  // factor updates and core refresh run sharded over the rank's own Z
+  // slab (small-side Grams + carrier slabs reduced through the canonical
+  // chunk tree) instead of replicated on a gathered Z — same fixed
+  // reduction shape, so results stay bitwise identical across power-of-two
+  // rank counts, but the bits differ from the replicated variant. False
+  // restores the replicated trailing updates (the PR 6 behavior), kept as
+  // the benchmark baseline.
+  bool shard_trailing_updates = true;
+
   // Invoked after each HOOI sweep with that sweep's convergence telemetry
   // (fit, delta-fit, wall time, subspace-iteration count). Runs on the
   // calling thread between sweeps, so a slow callback slows the solve;

@@ -1,6 +1,8 @@
 #include "dtucker/engine.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <utility>
 
 #include "common/logging.h"
@@ -36,6 +38,46 @@ Status EngineOptions::Validate(const std::vector<Index>& shape) const {
 }
 
 Engine::Engine(EngineOptions options) : options_(std::move(options)) {}
+
+Engine::~Engine() {
+  // Clean-shutdown persistence only: a cancelled session may have fed the
+  // model truncated phase times, so it must not overwrite a good file.
+  if (!calibration_dirty_ || options_.calibration_path.empty() ||
+      ctx_.cancel_requested()) {
+    return;
+  }
+  const Status s = PersistCalibration();
+  if (!s.ok()) {
+    DT_LOG(WARNING) << "failed to persist refined calibration to "
+                    << options_.calibration_path << ": " << s.ToString();
+  }
+}
+
+Status Engine::PersistCalibration() {
+  if (options_.calibration_path.empty()) {
+    return Status::InvalidArgument(
+        "PersistCalibration requires EngineOptions::calibration_path");
+  }
+  const std::string tmp = options_.calibration_path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      return Status::IoError("cannot open " + tmp + " for writing");
+    }
+    out << cost_model_.ToJson() << "\n";
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Status::IoError("short write to " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), options_.calibration_path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("rename " + tmp + " -> " +
+                           options_.calibration_path + " failed");
+  }
+  return Status::OK();
+}
 
 void Engine::ApplyBlasThreads() const {
   if (options_.blas_threads > 0) SetBlasThreads(options_.blas_threads);
@@ -76,6 +118,7 @@ ShardedDTuckerOptions Engine::ShardedOptionsFromMethod() {
   ShardedDTuckerOptions opt;
   opt.dtucker = DTuckerOptionsFromMethod();
   opt.num_ranks = options_.num_ranks;
+  opt.transport = options_.comm_transport;
   return opt;
 }
 
@@ -161,14 +204,17 @@ void Engine::RecordAdaptiveRun(const std::vector<Index>& shape,
     if (stats->preprocess_seconds > 0) {
       cost_model_.ObserveApproxSeconds(sig, plan.qr,
                                        stats->preprocess_seconds);
+      calibration_dirty_ = true;
     }
     if (stats->init_seconds > 0) {
       cost_model_.ObserveInitSeconds(sig, plan, stats->init_seconds);
+      calibration_dirty_ = true;
     }
     if (stats->iterations > 0 && stats->iterate_seconds > 0) {
       const double per_sweep = stats->iterate_seconds / stats->iterations;
       MetricGauge("adaptive.actual_sweep_seconds").Set(per_sweep);
       cost_model_.ObserveSweepSeconds(sig, plan, per_sweep);
+      calibration_dirty_ = true;
     }
   }
 }

@@ -58,6 +58,11 @@ struct EngineOptions {
   // and are bitwise-comparable; requires method == kDTucker. The shared
   // BLAS pool is partitioned across the ranks for the run's duration.
   int num_ranks = 0;
+  // Transport the sharded path's rank communicators use (num_ranks > 0
+  // only): in-process mailboxes, a shared directory, or a POSIX
+  // shared-memory segment. Results are bitwise-identical across the three
+  // (comm/communicator.h); the CLI spells this --transport={inproc,file,shm}.
+  CommTransport comm_transport = CommTransport::kInProcess;
   // Measure the true reconstruction error after Solve() (O(volume); turn
   // off for pure-timing runs). File/approximation paths always report the
   // compressed-form error from the sweep telemetry instead.
@@ -96,6 +101,12 @@ class Engine {
  public:
   explicit Engine(EngineOptions options = {});
 
+  // Clean shutdown persists the auto policy's online-refined calibration
+  // back to calibration_path (see PersistCalibration) — skipped when the
+  // run was cancelled, so an interrupted session cannot clobber a good
+  // calibration file with partially-refined coefficients.
+  ~Engine();
+
   // Not copyable (owns the RunContext the solvers poll); not movable either
   // so the context address stays stable for any thread holding it.
   Engine(const Engine&) = delete;
@@ -120,6 +131,16 @@ class Engine {
   // D-Tucker query phase on an existing compressed tensor (requires
   // method == kDTucker).
   Result<EngineRun> SolveApproximation(const SliceApproximation& approx);
+
+  // Writes the cost model's current coefficients — including any scale.*
+  // factors refined online from measured phase times — to
+  // options().calibration_path as the same flat JSON bench_adaptive_json
+  // emits, via write-temp + atomic rename (a concurrent reader sees either
+  // the old file or the new one, never a torn write). InvalidArgument when
+  // no calibration_path is configured. Called automatically by the
+  // destructor after an auto-policy run refined the model, unless the
+  // engine's context was cancelled.
+  Status PersistCalibration();
 
  private:
   // Folds the solver-reported completion code into run->status and
@@ -150,6 +171,9 @@ class Engine {
   // first use, then refined online from measured phase times.
   adaptive::CostModel cost_model_;
   bool calibration_loaded_ = false;
+  // Set when online refinement fed a measured time into the model — the
+  // destructor only rewrites calibration_path if there is something new.
+  bool calibration_dirty_ = false;
 };
 
 }  // namespace dtucker

@@ -1,8 +1,12 @@
 #include "dtucker/sharded_dtucker.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
+#include <filesystem>
 #include <functional>
 #include <memory>
 #include <thread>
@@ -18,6 +22,7 @@
 #include "dtucker/out_of_core.h"
 #include "linalg/blas.h"
 #include "linalg/eigen_sym.h"
+#include "linalg/qr.h"
 #include "tensor/tensor_utils.h"
 #include "tucker/hosvd.h"
 
@@ -54,6 +59,11 @@ struct ShardContext {
   // ignored here: the sharded Gram is always the exact chunked reduction,
   // which keeps the cross-rank bitwise-identity contract trivially intact.
   adaptive::PhaseVariantPlan variants;
+  // DTuckerOptions::shard_trailing_updates: sweep-time trailing factor
+  // updates and core refresh run on the rank's own Z slab instead of a
+  // gathered Z (see ShardedSweep). Identical on every rank, so the
+  // branch choice stays in lockstep.
+  bool shard_trailing = true;
   // Eig/qr choices bundled for the replicated small solves.
   SubspaceIterationOptions EigOptions() const {
     SubspaceIterationOptions o;
@@ -78,7 +88,12 @@ struct ShardWorkspace {
   Tensor w;                      // Reduced carrier contraction target.
   Matrix kron;                   // Trailing Kronecker weights (nlocal x P).
   std::vector<Matrix> partials;  // Per-chunk GEMM partials.
-  std::vector<std::size_t> z_counts;  // AllGatherV counts (doubles/rank).
+  std::vector<std::size_t> z_counts;  // Owned-slice counts per rank.
+  // Sharded trailing-update scratch (order-3 fast path).
+  Matrix trailing_gram;  // Small-side Gram C = Z_(3)^T Z_(3) (m x m).
+  Matrix ut_local;       // This rank's factor rows, transposed (k x nlocal).
+  Matrix ut_all;         // Gathered panel, transposed (k x L).
+  Matrix trailing_u;     // Unnormalized factor panel (L x k).
 };
 
 // Maps an agreed status code back to a Status.
@@ -267,6 +282,24 @@ Status ReduceCarrierContraction(const ShardContext& sc, const Tensor& carrier,
   return sc.comm->AllReduceSum(out->data(), total);
 }
 
+// Every rank's owned-slice count, reconstructed locally and cached. The
+// plan is a pure function of (L, R, r), so no counts exchange is needed;
+// MakeShardPlan cannot fail here because the group size was validated when
+// this rank's own plan was built.
+const std::vector<std::size_t>& RankSliceCounts(const ShardContext& sc,
+                                                ShardWorkspace* sw) {
+  if (sw->z_counts.size() != static_cast<std::size_t>(sc.comm->size())) {
+    sw->z_counts.resize(static_cast<std::size_t>(sc.comm->size()));
+    for (int r = 0; r < sc.comm->size(); ++r) {
+      ShardPlan peer =
+          MakeShardPlan(sc.plan.num_slices, sc.plan.num_ranks, r).ValueOrDie();
+      sw->z_counts[static_cast<std::size_t>(r)] =
+          static_cast<std::size_t>(peer.NumLocalSlices());
+    }
+  }
+  return sw->z_counts;
+}
+
 // Builds this rank's Z slab and assembles the full projected tensor
 // (J1 x J2 x I3 x ... x IN) on every rank. Pure concatenation in global
 // slice order — no floating-point combine — so the gathered Z is bitwise
@@ -282,23 +315,109 @@ Status GatherProjectedCore(const ShardContext& sc, const Matrix& a1,
   sw->ws.z.ResizeTo(zshape);
   const std::size_t slab =
       static_cast<std::size_t>(a1.cols()) * static_cast<std::size_t>(a2.cols());
-  if (sw->z_counts.size() != static_cast<std::size_t>(sc.comm->size())) {
-    sw->z_counts.resize(static_cast<std::size_t>(sc.comm->size()));
-    for (int r = 0; r < sc.comm->size(); ++r) {
-      // The plan is a pure function of (L, R, r); reconstructing every
-      // rank's share locally avoids a counts exchange. Cannot fail: the
-      // group size was validated when this rank's own plan was built.
-      ShardPlan peer =
-          MakeShardPlan(sc.plan.num_slices, sc.plan.num_ranks, r).ValueOrDie();
-      sw->z_counts[static_cast<std::size_t>(r)] =
-          static_cast<std::size_t>(peer.NumLocalSlices());
-    }
-  }
-  std::vector<std::size_t> counts(sw->z_counts.size());
+  const std::vector<std::size_t>& slice_counts = RankSliceCounts(sc, sw);
+  std::vector<std::size_t> counts(slice_counts.size());
   for (std::size_t r = 0; r < counts.size(); ++r) {
-    counts[r] = sw->z_counts[r] * slab;
+    counts[r] = slice_counts[r] * slab;
   }
   return sc.comm->AllGatherV(sw->z_local.data(), counts, sw->ws.z.data());
+}
+
+// Whether the sweep-time trailing update runs sharded: order-3 (the
+// paper's primary case — one trailing mode whose Gram decomposes slice by
+// slice on the chunk grid) with a trailing rank small enough for the
+// small-side Gram. Orders >= 4 fall back to the gathered-Z path: there a
+// trailing unfolding's columns group several slices whose indices straddle
+// shard boundaries, so the small-side Gram no longer shards on the slice
+// grid (and Z is tiny for the shapes that path serves). Pure function of
+// options + shape, hence identical on every rank.
+bool UseShardedTrailing(const ShardContext& sc,
+                        const std::vector<Index>& ranks) {
+  return sc.shard_trailing && sc.full_shape.size() == 3 &&
+         ranks[2] <= ranks[0] * ranks[1];
+}
+
+// Sharded mode-3 factor update (order-3), never materializing the gathered
+// Z. With B = Z_(3)^T (m x L, m = J1*J2, column l = vec(z_l)):
+//   1. Small-side Gram C = B B^T = sum_l vec(z_l) vec(z_l)^T through the
+//      canonical reduction — one GEMM per owned chunk, pairwise tree over
+//      chunk partials, binomial AllReduceSum — so C is replicated and
+//      bitwise rank-count-invariant (power-of-two counts).
+//   2. Replicated small eig: W = top-k eigenvectors of C, the dominant
+//      right singular basis of the mode-3 unfolding.
+//   3. Each rank recovers only its own rows of the unnormalized panel
+//      U = Z_(3) W, computed transposed (k x nlocal) so step 4 is a pure
+//      ascending-rank concatenation with no floating-point combine.
+//   4. AllGatherV + local transpose to L x k.
+//   5. Replicated thin QR restores orthonormal columns. Identical inputs
+//      and a deterministic kernel keep every rank in bitwise agreement.
+// The computed basis spans the same subspace as the replicated
+// LeadingModeVectorsViaGram update but through a different factorization,
+// so its bits differ from the shard_trailing_updates=false variant (the
+// cross-rank-count identity is what the contract guarantees).
+Status ShardedTrailingFactorUpdate(const ShardContext& sc,
+                                   const std::vector<Index>& ranks,
+                                   std::vector<Matrix>* factors,
+                                   ShardWorkspace* sw) {
+  DT_TRACE_SPAN("dtucker.shard.update_trailing_sharded");
+  const Index m = ranks[0] * ranks[1];
+  const Index k = ranks[2];
+  const Index big_l = sc.plan.num_slices;
+  const Index nlocal = sc.plan.NumLocalSlices();
+  const Index nchunks = sc.plan.NumLocalChunks();
+  sw->partials.resize(static_cast<std::size_t>(nchunks));
+  ForEachLocalChunk(sc.plan, [&](Index i, Index begin, Index end) {
+    Matrix& p = sw->partials[static_cast<std::size_t>(i)];
+    if (p.rows() != m || p.cols() != m) p = Matrix::Uninitialized(m, m);
+    const double* z0 =
+        sw->z_local.data() +
+        static_cast<std::size_t>(begin - sc.plan.slice_begin) *
+            static_cast<std::size_t>(m);
+    GemmRaw(Trans::kNo, Trans::kYes, m, m, end - begin, /*alpha=*/1.0, z0, m,
+            z0, m, /*beta=*/0.0, p.data(), m);
+  });
+  TreeCombine(&sw->partials, [](Matrix* dst, const Matrix& src) {
+    Axpy(1.0, src.data(), dst->data(), dst->size());
+  });
+  Matrix& c = sw->trailing_gram;
+  if (c.rows() != m || c.cols() != m) c = Matrix::Uninitialized(m, m);
+  if (sw->partials.empty()) {
+    std::fill(c.data(), c.data() + c.size(), 0.0);
+  } else {
+    std::memcpy(c.data(), sw->partials[0].data(),
+                static_cast<std::size_t>(c.size()) * sizeof(double));
+  }
+  DT_RETURN_NOT_OK(sc.comm->AllReduceSum(&c));
+  const Matrix w =
+      TopEigenvectorsSym(c, k, &sw->ws.subspace[2], sc.InnerEigOptions());
+  Matrix& ut = sw->ut_local;
+  if (ut.rows() != k || ut.cols() != nlocal) {
+    ut = Matrix::Uninitialized(k, nlocal);
+  }
+  if (nlocal > 0) {
+    GemmRaw(Trans::kYes, Trans::kNo, k, nlocal, m, /*alpha=*/1.0, w.data(), m,
+            sw->z_local.data(), m, /*beta=*/0.0, ut.data(), k);
+  }
+  const std::vector<std::size_t>& slice_counts = RankSliceCounts(sc, sw);
+  std::vector<std::size_t> counts(slice_counts.size());
+  for (std::size_t r = 0; r < counts.size(); ++r) {
+    counts[r] = slice_counts[r] * static_cast<std::size_t>(k);
+  }
+  Matrix& ut_all = sw->ut_all;
+  if (ut_all.rows() != k || ut_all.cols() != big_l) {
+    ut_all = Matrix::Uninitialized(k, big_l);
+  }
+  DT_RETURN_NOT_OK(sc.comm->AllGatherV(ut.data(), counts, ut_all.data()));
+  Matrix& u = sw->trailing_u;
+  if (u.rows() != big_l || u.cols() != k) {
+    u = Matrix::Uninitialized(big_l, k);
+  }
+  for (Index l = 0; l < big_l; ++l) {
+    const double* src = ut_all.col_data(l);
+    for (Index j = 0; j < k; ++j) u.col_data(j)[l] = src[j];
+  }
+  (*factors)[2] = QrOrthonormalize(u, sc.variants.qr);
+  return Status::OK();
 }
 
 struct InitResult {
@@ -347,8 +466,10 @@ Status ShardedInitialize(const ShardContext& sc,
 enum class SweepStop { kNone, kEntry, kMid };
 
 // One sharded HOOI sweep. Mirrors internal_dtucker::DTuckerSweep with the
-// mode-1/2 carrier contractions reduced across ranks and the trailing
-// updates replicated on the gathered Z. Interruption checkpoints are
+// mode-1/2 carrier contractions reduced across ranks, the trailing update
+// and core refresh sharded over this rank's Z slab (order-3 fast path —
+// see UseShardedTrailing) or replicated on the gathered Z (fallback and
+// shard_trailing_updates=false). Interruption checkpoints are
 // *agreement points* (AgreeOnStop) so every rank observes the same verdict
 // at the same boundary; `stop`/`where` report it. A communicator failure
 // is returned as an error Status.
@@ -419,23 +540,47 @@ Status ShardedSweep(const ShardContext& sc, const std::vector<Index>& ranks,
   DT_ASSIGN_OR_RETURN(stopped, agree(SweepStop::kMid));
   if (stopped) return Status::OK();
   {
-    // Trailing updates + core refresh on the gathered Z: replicated
-    // compute, zero communication past the gather itself.
     DT_TRACE_SPAN("dtucker.shard.update_trailing");
-    DT_RETURN_NOT_OK(GatherProjectedCore(sc, (*factors)[0], (*factors)[1], sw));
-    for (Index n = 2; n < order; ++n) {
-      (*factors)[static_cast<std::size_t>(n)] = LeadingModeVectorsViaGram(
-          *ContractTrailing(sw->ws.z, *factors, /*skip_mode=*/n, &sw->ws), n,
-          ranks[static_cast<std::size_t>(n)],
-          &sw->ws.subspace[static_cast<std::size_t>(n)],
-          sc.InnerEigOptions());
+    if (UseShardedTrailing(sc, ranks)) {
+      // Sharded trailing update: refresh only this rank's Z slab on the
+      // fresh A1/A2 and recover the mode-3 factor from the small-side
+      // Gram reduced through the canonical tree — the full Z is never
+      // gathered during sweeps.
+      BuildProjectedCoreInto(*sc.local, (*factors)[0], (*factors)[1],
+                             sc.s_inv, &sw->z_local, sc.variants.carrier);
+      DT_RETURN_NOT_OK(ShardedTrailingFactorUpdate(sc, ranks, factors, sw));
+    } else {
+      // Replicated fallback (orders >= 4, oversized trailing rank, or
+      // shard_trailing_updates = false): trailing updates on the gathered
+      // Z — replicated compute, zero communication past the gather.
+      DT_RETURN_NOT_OK(
+          GatherProjectedCore(sc, (*factors)[0], (*factors)[1], sw));
+      for (Index n = 2; n < order; ++n) {
+        (*factors)[static_cast<std::size_t>(n)] = LeadingModeVectorsViaGram(
+            *ContractTrailing(sw->ws.z, *factors, /*skip_mode=*/n, &sw->ws), n,
+            ranks[static_cast<std::size_t>(n)],
+            &sw->ws.subspace[static_cast<std::size_t>(n)],
+            sc.InnerEigOptions());
+      }
     }
   }
   DT_ASSIGN_OR_RETURN(stopped, agree(SweepStop::kMid));
   if (stopped) return Status::OK();
   {
     DT_TRACE_SPAN("dtucker.shard.core_refresh");
-    *core = *ContractTrailing(sw->ws.z, *factors, /*skip_mode=*/-1, &sw->ws);
+    if (sc.shard_trailing) {
+      // Sharded core refresh (any order): contract this rank's Z slab —
+      // current in both branches above — against Kronecker weights rebuilt
+      // from the *updated* trailing factors, through the same fixed
+      // reduction tree the mode-1/2 updates use.
+      const Index p2 =
+          BuildKroneckerWeights(*factors, sc.full_shape, sc.plan, &sw->kron);
+      DT_RETURN_NOT_OK(ReduceCarrierContraction(sc, sw->z_local,
+                                                ranks[0] * ranks[1], sw->kron,
+                                                p2, ranks, sw, core));
+    } else {
+      *core = *ContractTrailing(sw->ws.z, *factors, /*skip_mode=*/-1, &sw->ws);
+    }
   }
   return Status::OK();
 }
@@ -498,6 +643,7 @@ Result<TuckerDecomposition> ShardedDTuckerFromLocalApproximation(
   sc.plan = plan;
   sc.comm = comm;
   sc.variants = options.variants;
+  sc.shard_trailing = options.shard_trailing_updates;
   DT_ASSIGN_OR_RETURN(const double scale, ShardedScale(sc));
   sc.s_inv = 1.0 / scale;  // Exactly 1.0 in the common case.
   DT_ASSIGN_OR_RETURN(const double approx_norm2, ShardedApproxSquaredNorm(sc));
@@ -727,8 +873,12 @@ class PoolPartitionGuard {
   int previous_;
 };
 
-// Spawns one thread per rank over an InProcessGroup, runs `rank_fn` on
-// each, and returns rank 0's result (all ranks finish identically). The
+// Spawns one thread per rank, runs `rank_fn` on each, and returns rank 0's
+// result (all ranks finish identically). Communicators are built on the
+// requested transport *serially in the driver thread* before any rank
+// thread starts — rank 0 first, because the shm segment must exist before
+// a peer maps it (the peers' bounded setup poll would also work, but
+// serial creation makes setup failures synchronous errors here). The
 // shared BLAS pool is partitioned across the ranks for the duration, and
 // the approximation-phase worker budget is split evenly.
 Result<TuckerDecomposition> RunInProcessRanks(
@@ -737,7 +887,50 @@ Result<TuckerDecomposition> RunInProcessRanks(
         const DTuckerOptions&, Communicator*, TuckerStats*)>& rank_fn,
     TuckerStats* stats) {
   const int num_ranks = options.num_ranks;
-  std::shared_ptr<InProcessGroup> group = InProcessGroup::Create(num_ranks);
+  // Distinguishes concurrent/successive runs sharing one process when the
+  // caller did not pin a rendezvous name.
+  static std::atomic<int> run_counter{0};
+  std::shared_ptr<InProcessGroup> group;
+  std::vector<std::unique_ptr<Communicator>> owned;
+  std::vector<Communicator*> comms(static_cast<std::size_t>(num_ranks),
+                                   nullptr);
+  std::string scratch = options.comm_scratch;
+  bool remove_scratch_dir = false;
+  switch (options.transport) {
+    case CommTransport::kInProcess:
+      group = InProcessGroup::Create(num_ranks);
+      for (int r = 0; r < num_ranks; ++r) {
+        comms[static_cast<std::size_t>(r)] = group->comm(r);
+      }
+      break;
+    case CommTransport::kFile: {
+      if (scratch.empty()) {
+        scratch = "/tmp/dtucker_comm_" + std::to_string(getpid()) + "_" +
+                  std::to_string(run_counter.fetch_add(1));
+        remove_scratch_dir = true;
+      }
+      for (int r = 0; r < num_ranks; ++r) {
+        DT_ASSIGN_OR_RETURN(std::unique_ptr<Communicator> c,
+                            CreateFileCommunicator(scratch, r, num_ranks));
+        comms[static_cast<std::size_t>(r)] = c.get();
+        owned.push_back(std::move(c));
+      }
+      break;
+    }
+    case CommTransport::kShm: {
+      if (scratch.empty()) {
+        scratch = "/dtucker-" + std::to_string(getpid()) + "-" +
+                  std::to_string(run_counter.fetch_add(1));
+      }
+      for (int r = 0; r < num_ranks; ++r) {
+        DT_ASSIGN_OR_RETURN(std::unique_ptr<Communicator> c,
+                            CreateShmCommunicator(scratch, r, num_ranks));
+        comms[static_cast<std::size_t>(r)] = c.get();
+        owned.push_back(std::move(c));
+      }
+      break;
+    }
+  }
   PoolPartitionGuard partition_guard(num_ranks);
 
   std::vector<std::unique_ptr<Result<TuckerDecomposition>>> results(
@@ -748,7 +941,7 @@ Result<TuckerDecomposition> RunInProcessRanks(
     if (r != 0) rank_options.sweep_callback = nullptr;
     rank_options.num_threads =
         std::max(1, options.dtucker.num_threads / num_ranks);
-    Communicator* comm = group->comm(r);
+    Communicator* comm = comms[static_cast<std::size_t>(r)];
     comm->set_timeout_seconds(options.comm_timeout_seconds);
     results[static_cast<std::size_t>(r)] =
         std::make_unique<Result<TuckerDecomposition>>(rank_fn(
@@ -761,6 +954,16 @@ Result<TuckerDecomposition> RunInProcessRanks(
   }
   run_rank(0);
   for (std::thread& t : threads) t.join();
+
+  // Auto-generated rendezvous state is this function's to clean up: the
+  // communicators first (rank 0's shm destructor unlinks the segment),
+  // then the file transport's scratch directory, best-effort. A
+  // caller-pinned scratch is the caller's to remove.
+  owned.clear();
+  if (remove_scratch_dir) {
+    std::error_code ec;
+    std::filesystem::remove_all(scratch, ec);
+  }
 
   // Rank 0 speaks for the group; a peer-only failure (possible only on an
   // asymmetric transport fault) still surfaces as an error.

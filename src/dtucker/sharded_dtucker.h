@@ -13,10 +13,23 @@
 //                     projected tensor Z is assembled by a pure-concatenation
 //                     all-gather of per-shard slabs.
 //   Iteration       — the mode-1/2 carrier contractions reduce per-chunk
-//                     GEMM partials through the same tree; trailing-mode
-//                     updates and the core refresh run replicated on the
-//                     (small, fully gathered) Z, so they need no further
-//                     communication.
+//                     GEMM partials through the same tree. Trailing-mode
+//                     updates are sharded too (order-3, the paper's
+//                     primary case): the small-side trailing Gram
+//                     accumulates per-slice outer products of the rank's
+//                     own Z slab through the canonical chunk tree, each
+//                     rank recovers its own rows of the factor panel
+//                     locally, and a pure-concatenation all-gather plus a
+//                     replicated thin QR finishes the update — the
+//                     gathered Z is never materialized during sweeps. The
+//                     core refresh reduces the rank's Z slab against the
+//                     full trailing Kronecker weights through the same
+//                     tree (any order). Orders >= 4 keep the replicated
+//                     gathered-Z trailing updates (Z is small there and
+//                     the per-i_n column groups straddle shard
+//                     boundaries); DTuckerOptions::shard_trailing_updates
+//                     = false restores the fully replicated PR 6 behavior
+//                     as a benchmark baseline.
 //
 // Determinism: every floating-point reduction follows the canonical chunk
 // grid of comm/sharding.h — fixed chunks, serial accumulation within a
@@ -62,6 +75,19 @@ struct ShardedDTuckerOptions {
   // Upper bound on any single blocking communicator wait; a crashed peer
   // surfaces as kUnavailable after this long instead of a deadlock.
   double comm_timeout_seconds = 120.0;
+
+  // Transport the in-process drivers build their rank communicators on.
+  // All three produce bitwise-identical results (the collective algorithms
+  // are shared — see comm/communicator.h); kFile/kShm exist here mainly so
+  // tests and benchmarks can exercise the multi-process rendezvous paths
+  // from one process. The SPMD entry points ignore this field (the caller
+  // already built the communicator).
+  CommTransport transport = CommTransport::kInProcess;
+  // Rendezvous namespace for the multi-process transports: a scratch
+  // directory for kFile, a shm_open name ("/name") for kShm. Empty (the
+  // default) generates a fresh process-unique name and removes it after
+  // the run. Ignored for kInProcess.
+  std::string comm_scratch;
 
   // Validates the D-Tucker surface plus the rank count against the shape.
   // num_ranks > L is an InvalidArgument (every rank must be addressable on

@@ -336,6 +336,77 @@ TEST(AdaptiveEngineTest, AutoDegradesGracefullyOnBadCalibration) {
   std::remove(corrupt.c_str());
 }
 
+TEST(AdaptiveEngineTest, CleanShutdownPersistsRefinedCalibration) {
+  // An auto-policy engine that refined its model from measured phase times
+  // writes the coefficients back to calibration_path on destruction, and
+  // the written file round-trips through LoadCalibration.
+  const Tensor x = MakeLowRankTensor({22, 18, 14}, {3, 3, 3}, 0.2, 8);
+  const std::string path =
+      ::testing::TempDir() + "adaptive_test_persist.json";
+  std::remove(path.c_str());
+  {
+    EngineOptions opt = BaseOptions({3, 3, 3});
+    opt.solver_policy = SolverPolicy::kAuto;
+    opt.calibration_path = path;
+    Engine engine(std::move(opt));
+    Result<EngineRun> run = engine.Solve(x);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    // Nothing is written while the engine lives: persistence is a
+    // shutdown-time action (atomic temp + rename).
+    std::FILE* probe = std::fopen(path.c_str(), "r");
+    EXPECT_EQ(probe, nullptr);
+    if (probe != nullptr) std::fclose(probe);
+  }
+  CostModel reloaded;
+  EXPECT_TRUE(reloaded.LoadCalibration(path)) << path;
+  std::remove(path.c_str());
+}
+
+TEST(AdaptiveEngineTest, CancelledEngineSkipsCalibrationPersistence) {
+  // A cancelled session may have observed truncated phase times; its
+  // destructor must not clobber the calibration file.
+  const Tensor x = MakeLowRankTensor({22, 18, 14}, {3, 3, 3}, 0.2, 8);
+  const std::string path =
+      ::testing::TempDir() + "adaptive_test_persist_cancel.json";
+  std::remove(path.c_str());
+  {
+    EngineOptions opt = BaseOptions({3, 3, 3});
+    opt.solver_policy = SolverPolicy::kAuto;
+    opt.calibration_path = path;
+    Engine engine(std::move(opt));
+    Result<EngineRun> run = engine.Solve(x);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    engine.RequestCancel();
+  }
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  EXPECT_EQ(f, nullptr) << "cancelled engine wrote " << path;
+  if (f != nullptr) std::fclose(f);
+}
+
+TEST(AdaptiveEngineTest, PersistCalibrationRequiresAPath) {
+  Engine engine;  // No calibration_path configured.
+  EXPECT_EQ(engine.PersistCalibration().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(AdaptiveEngineTest, FixedPolicyEngineDoesNotPersist) {
+  // The fixed policy never refines the model, so a configured path must
+  // stay untouched (calibration_dirty_ never set).
+  const Tensor x = MakeLowRankTensor({18, 16, 12}, {3, 3, 3}, 0.2, 9);
+  const std::string path =
+      ::testing::TempDir() + "adaptive_test_persist_fixed.json";
+  std::remove(path.c_str());
+  {
+    EngineOptions opt = BaseOptions({3, 3, 3});
+    opt.calibration_path = path;  // solver_policy stays kFixed.
+    Engine engine(std::move(opt));
+    ASSERT_TRUE(engine.Solve(x).ok());
+  }
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  EXPECT_EQ(f, nullptr) << "fixed-policy engine wrote " << path;
+  if (f != nullptr) std::fclose(f);
+}
+
 TEST(AdaptiveEngineTest, ShardedFixedPlanIsBitwiseIdenticalAcrossRankCounts) {
   // Within the sharded reduction scheme a fixed variant plan must not
   // disturb the cross-rank-count bitwise identity (the Gram axis is

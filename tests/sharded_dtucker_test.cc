@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -209,6 +210,101 @@ TEST(ShardedDTuckerTest, RejectsAutoReorder) {
   Result<TuckerDecomposition> dec = ShardedDTucker(x, opt);
   ASSERT_FALSE(dec.ok());
   EXPECT_EQ(dec.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardedDTuckerTest, BitwiseIdenticalAcrossAllThreeTransports) {
+  // The tri-transport contract end-to-end: a full sharded solve produces
+  // the same bits whether the ranks exchange buffers through in-process
+  // mailboxes, a shared directory, or a shm segment — and each transport
+  // also reproduces the 1-rank run (power-of-two rank counts).
+  Tensor x = MakeLowRankTensor({15, 13, 9}, {4, 4, 4}, 0.2, 3);
+  Result<TuckerDecomposition> one =
+      ShardedDTucker(x, MakeOptions({4, 3, 3}, 1));
+  ASSERT_TRUE(one.ok()) << one.status().ToString();
+  for (CommTransport transport : {CommTransport::kInProcess,
+                                  CommTransport::kFile, CommTransport::kShm}) {
+    for (int num_ranks : {2, 4}) {
+      ShardedDTuckerOptions opt = MakeOptions({4, 3, 3}, num_ranks);
+      opt.transport = transport;
+      Result<TuckerDecomposition> dec = ShardedDTucker(x, opt);
+      ASSERT_TRUE(dec.ok()) << CommTransportName(transport) << ": "
+                            << dec.status().ToString();
+      ExpectBitwiseEqual(dec.value(), one.value(),
+                         (std::string(CommTransportName(transport)) +
+                          " ranks=" + std::to_string(num_ranks))
+                             .c_str());
+    }
+  }
+}
+
+TEST(ShardedDTuckerTest, NonPowerOfTwoRankCountsMatchFitTo4Digits) {
+  // Non-power-of-two counts use a different composed reduction tree, so
+  // bitwise identity is NOT guaranteed (DESIGN.md §11); the fit must still
+  // agree with the 1-rank run to 4 significant digits.
+  Tensor x = MakeLowRankTensor({18, 16, 12}, {4, 4, 4}, 0.25, 21);
+  Result<TuckerDecomposition> one =
+      ShardedDTucker(x, MakeOptions({4, 4, 4}, 1));
+  ASSERT_TRUE(one.ok()) << one.status().ToString();
+  const double fit_one =
+      1.0 - std::sqrt(one.value().RelativeErrorAgainst(x));
+  for (int num_ranks : {3, 5, 6}) {
+    Result<TuckerDecomposition> many =
+        ShardedDTucker(x, MakeOptions({4, 4, 4}, num_ranks));
+    ASSERT_TRUE(many.ok()) << many.status().ToString();
+    const double fit =
+        1.0 - std::sqrt(many.value().RelativeErrorAgainst(x));
+    EXPECT_LE(std::fabs(fit - fit_one), 1e-4 * std::fabs(fit_one))
+        << "ranks=" << num_ranks << " fit " << fit << " vs " << fit_one;
+  }
+}
+
+TEST(ShardedDTuckerTest, ReplicatedTrailingFallbackStaysBitwise) {
+  // shard_trailing_updates = false restores the replicated gathered-Z
+  // trailing updates (the benchmark baseline); it must keep the
+  // cross-rank-count bitwise identity on its own reduction shape.
+  Tensor x = MakeLowRankTensor({15, 13, 9}, {4, 4, 4}, 0.2, 3);
+  std::vector<TuckerDecomposition> runs;
+  for (int num_ranks : {1, 2, 4}) {
+    ShardedDTuckerOptions opt = MakeOptions({4, 3, 3}, num_ranks);
+    opt.dtucker.shard_trailing_updates = false;
+    Result<TuckerDecomposition> dec = ShardedDTucker(x, opt);
+    ASSERT_TRUE(dec.ok()) << dec.status().ToString();
+    runs.push_back(std::move(dec).ValueOrDie());
+  }
+  ExpectBitwiseEqual(runs[1], runs[0], "replicated-trailing ranks 2 vs 1");
+  ExpectBitwiseEqual(runs[2], runs[0], "replicated-trailing ranks 4 vs 1");
+}
+
+TEST(ShardedDTuckerTest, ShardedAndReplicatedTrailingAgreeOnAccuracy) {
+  // The sharded trailing update recovers the factor through a different
+  // factorization (small-side Gram + QR instead of the long-side eig), so
+  // bits differ between the two variants; the converged accuracy must not.
+  Tensor x = MakeLowRankTensor({18, 16, 10}, {4, 4, 4}, 0.3, 5);
+  double errs[2];
+  int i = 0;
+  for (bool shard_trailing : {true, false}) {
+    ShardedDTuckerOptions opt = MakeOptions({4, 4, 4}, 4, 15);
+    opt.dtucker.shard_trailing_updates = shard_trailing;
+    Result<TuckerDecomposition> dec = ShardedDTucker(x, opt);
+    ASSERT_TRUE(dec.ok()) << dec.status().ToString();
+    errs[i++] = dec.value().RelativeErrorAgainst(x);
+  }
+  EXPECT_NEAR(errs[0], errs[1], 1e-6)
+      << "sharded " << errs[0] << " replicated " << errs[1];
+}
+
+TEST(ShardedDTuckerTest, OversizedTrailingRankFallsBackAndStaysBitwise) {
+  // ranks[2] > ranks[0] * ranks[1] makes the small-side Gram ineligible;
+  // the solver must take the gathered-Z fallback on every rank in lockstep
+  // and keep the power-of-two identity.
+  Tensor x = MakeLowRankTensor({16, 14, 12}, {2, 2, 5}, 0.15, 17);
+  Result<TuckerDecomposition> one =
+      ShardedDTucker(x, MakeOptions({2, 2, 5}, 1));
+  ASSERT_TRUE(one.ok()) << one.status().ToString();
+  Result<TuckerDecomposition> four =
+      ShardedDTucker(x, MakeOptions({2, 2, 5}, 4));
+  ASSERT_TRUE(four.ok()) << four.status().ToString();
+  ExpectBitwiseEqual(four.value(), one.value(), "oversized-trailing ranks=4");
 }
 
 TEST(ShardedEngineTest, SolveRoutesThroughShardedPath) {
