@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <new>
 
@@ -229,6 +230,21 @@ void BM_TraceSpan(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TraceSpan)->Arg(0)->Arg(1);
+
+// Cost of one Histogram::Record: a log2 bucket index (clz), two relaxed
+// fetch_adds, and a CAS-max on the caller's shard. This is the per-sample
+// price of every comm-wait / sweep-stage / pool-task latency site.
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram& hist = MetricHistogram("bench.histogram_ns");
+  std::uint64_t ns = 1;
+  for (auto _ : state) {
+    hist.Record(ns);
+    ns = ns * 2654435761u % 1000000007u;  // Spread samples across buckets.
+  }
+  benchmark::DoNotOptimize(hist.Count());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
 
 }  // namespace
 }  // namespace dtucker

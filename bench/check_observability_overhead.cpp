@@ -1,0 +1,194 @@
+// check_observability_overhead: ctest gate over the bench_dtucker output
+// (build/BENCH_dtucker.json) enforcing the observability overhead budget
+// against the committed seed snapshot
+// (bench/snapshots/BENCH_dtucker.seed.json).
+//
+//   check_observability_overhead <current.json> <seed.json> [tolerance]
+//
+// Exit codes: 0 pass, 1 regression/parse failure, 77 skip (no current
+// JSON — the bench is run manually via `cmake --build build --target
+// bench_dtucker_json`; ctest maps 77 to SKIP via SKIP_RETURN_CODE).
+//
+// Checks:
+//   - BM_TraceSpan/0 (tracing disabled): absolute ceiling of 5 ns/site.
+//     The instrumented build must stay "one relaxed load + branches"
+//     cheap whether or not anyone ever turns the tracer on.
+//   - BM_HistogramRecord (when present): absolute ceiling of 50 ns per
+//     Record. Sharded bucket counters keep this in single digits; a
+//     blowup here means a lock or a false-sharing regression on the
+//     comm-wait hot path.
+//   - BM_DTuckerSweep/*: the geometric mean of current/seed cpu_time
+//     ratios over every shape present in both files must stay <=
+//     1 + tolerance (default 0.03, the ±3% acceptance budget). Single
+//     shapes swing ±5% run-to-run on shared hardware, which is noise,
+//     not regression; a real slowdown moves every shape and survives
+//     the geomean, so the aggregate is what the budget binds. Per-shape
+//     ratios are printed for diagnosis. Faster than seed never fails.
+//
+// Deliberately dependency-free: google-benchmark JSON emits "name" and
+// "cpu_time" on separate lines of one benchmark object, so a two-line
+// stateful scan suffices, and the gate must not inherit the library's
+// own build to judge it.
+#include <cstdio>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+
+namespace {
+
+// Extracts the string value of `"key": "..."` from a line.
+bool FindString(const std::string& line, const std::string& key,
+                std::string* out) {
+  const std::string needle = "\"" + key + "\": \"";
+  const std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  const std::size_t start = pos + needle.size();
+  const std::size_t end = line.find('"', start);
+  if (end == std::string::npos) return false;
+  *out = line.substr(start, end - start);
+  return true;
+}
+
+// Extracts `"key": <number>` from a line.
+bool FindNumber(const std::string& line, const std::string& key,
+                double* out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  *out = std::strtod(line.c_str() + pos + needle.size(), nullptr);
+  return true;
+}
+
+// name -> cpu_time in ns for every benchmark entry in a google-benchmark
+// JSON file.
+bool Load(const std::string& path, std::map<std::string, double>* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line, name;
+  while (std::getline(in, line)) {
+    std::string candidate;
+    if (FindString(line, "name", &candidate)) {
+      name = candidate;
+      continue;
+    }
+    double cpu = 0;
+    if (!name.empty() && FindNumber(line, "cpu_time", &cpu)) {
+      (*out)[name] = cpu;
+      name.clear();
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: %s <current.json> <seed.json> [tolerance]\n",
+                 argv[0]);
+    return 1;
+  }
+  const std::string current_path = argv[1];
+  const std::string seed_path = argv[2];
+  const double tolerance = argc > 3 ? std::atof(argv[3]) : 0.03;
+
+  {
+    std::ifstream probe(current_path);
+    if (!probe) {
+      std::printf("SKIP: %s not found (run the bench_dtucker_json target)\n",
+                  current_path.c_str());
+      return 77;
+    }
+  }
+  std::map<std::string, double> current, seed;
+  if (!Load(current_path, &current)) {
+    std::fprintf(stderr, "FAIL: cannot read %s\n", current_path.c_str());
+    return 1;
+  }
+  if (!Load(seed_path, &seed)) {
+    std::fprintf(stderr, "FAIL: cannot read seed snapshot %s\n",
+                 seed_path.c_str());
+    return 1;
+  }
+
+  int failures = 0;
+
+  const auto span_disabled = current.find("BM_TraceSpan/0");
+  if (span_disabled != current.end()) {
+    constexpr double kDisabledCeilingNs = 5.0;
+    if (span_disabled->second > kDisabledCeilingNs) {
+      std::fprintf(stderr,
+                   "FAIL: BM_TraceSpan/0 (tracing disabled) %.2f ns/site "
+                   "exceeds the %.1f ns ceiling\n",
+                   span_disabled->second, kDisabledCeilingNs);
+      ++failures;
+    } else {
+      std::printf("ok: BM_TraceSpan/0 %.2f ns/site (ceiling 5 ns)\n",
+                  span_disabled->second);
+    }
+  } else {
+    std::printf("note: BM_TraceSpan/0 not in %s; disabled-overhead check "
+                "skipped\n",
+                current_path.c_str());
+  }
+
+  const auto hist = current.find("BM_HistogramRecord");
+  if (hist != current.end()) {
+    constexpr double kRecordCeilingNs = 50.0;
+    if (hist->second > kRecordCeilingNs) {
+      std::fprintf(stderr,
+                   "FAIL: BM_HistogramRecord %.2f ns exceeds the %.1f ns "
+                   "ceiling\n",
+                   hist->second, kRecordCeilingNs);
+      ++failures;
+    } else {
+      std::printf("ok: BM_HistogramRecord %.2f ns (ceiling 50 ns)\n",
+                  hist->second);
+    }
+  } else {
+    std::printf("note: BM_HistogramRecord not in %s; record-overhead check "
+                "skipped\n",
+                current_path.c_str());
+  }
+
+  int sweeps_checked = 0;
+  double log_ratio_sum = 0;
+  for (const auto& [name, seed_ns] : seed) {
+    if (name.rfind("BM_DTuckerSweep/", 0) != 0) continue;
+    const auto it = current.find(name);
+    if (it == current.end()) continue;
+    ++sweeps_checked;
+    const double ratio = it->second / seed_ns;
+    log_ratio_sum += std::log(ratio);
+    std::printf("  %s %.0f ns vs seed %.0f ns (%+.1f%%)\n", name.c_str(),
+                it->second, seed_ns, (ratio - 1.0) * 100.0);
+  }
+  if (sweeps_checked == 0) {
+    std::printf("note: no BM_DTuckerSweep entries shared with the seed; "
+                "sweep check skipped\n");
+  } else {
+    const double geomean = std::exp(log_ratio_sum / sweeps_checked);
+    if (geomean > 1.0 + tolerance) {
+      std::fprintf(stderr,
+                   "FAIL: BM_DTuckerSweep geomean ratio %.3f over %d shapes "
+                   "(%.1f%% slower, budget %.0f%%)\n",
+                   geomean, sweeps_checked, (geomean - 1.0) * 100.0,
+                   tolerance * 100.0);
+      ++failures;
+    } else {
+      std::printf("ok: BM_DTuckerSweep geomean ratio %.3f over %d shapes "
+                  "(budget +%.0f%%)\n",
+                  geomean, sweeps_checked, tolerance * 100.0);
+    }
+  }
+
+  if (failures > 0) {
+    std::fprintf(stderr, "FAIL: %d observability overhead regression(s)\n",
+                 failures);
+    return 1;
+  }
+  std::printf("PASS: observability overhead within budget\n");
+  return 0;
+}

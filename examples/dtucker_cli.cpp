@@ -16,10 +16,15 @@
 //   dtucker_cli --op=compress --tensor=/tmp/s.dtnsr --approx=/tmp/s.dtsa
 //   dtucker_cli --op=decompose --approx=/tmp/s.dtsa --rank=8 --output=/tmp/s.dtdc
 //   dtucker_cli --op=decompose --tensor=/tmp/s.dtnsr --method=Tucker-ALS
-#include <cstdio>
-#include <string>
+#include <sys/wait.h>
+#include <unistd.h>
 
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "common/flags.h"
 #include "common/metrics.h"
@@ -38,7 +43,11 @@ int Fail(const Status& st) {
   return 1;
 }
 
-int RunOp(const FlagParser& flags) {
+// spmd_rank >= 0 means this process is one rank of a fork()ed --rank-procs
+// group rendezvousing at comm_scratch; ranks > 0 run quietly (rank 0 owns
+// stdout and the saved output, every rank computes the same decomposition).
+int RunOp(const FlagParser& flags, int spmd_rank = -1,
+          const std::string& comm_scratch = {}) {
   // 0 = all hardware threads, mirroring the engine/BLAS-pool convention.
   int num_threads = static_cast<int>(flags.GetInt("threads"));
   if (num_threads == 0) {
@@ -121,6 +130,13 @@ int RunOp(const FlagParser& flags) {
       if (!transport.ok()) return Fail(transport.status());
       eopt.comm_transport = transport.value();
     }
+    const bool quiet = spmd_rank > 0;
+    if (spmd_rank >= 0) {
+      eopt.spmd_rank = spmd_rank;
+      eopt.comm_scratch = comm_scratch;
+      // Rank 0 reports the (identical) error for everyone.
+      if (quiet) eopt.measure_error = false;
+    }
     const std::string solver = flags.GetString("solver");
     if (solver == "auto") {
       eopt.solver_policy = SolverPolicy::kAuto;
@@ -129,12 +145,14 @@ int RunOp(const FlagParser& flags) {
     }
     eopt.calibration_path = flags.GetString("calibration");
     eopt.sketch_error_budget = flags.GetDouble("sketch_budget");
-    eopt.method_options.sweep_callback = [](const SweepTelemetry& t) {
-      std::printf("sweep %2d: fit %.6f (delta %+0.2e) in %.3fs, "
-                  "%llu subspace iterations\n",
-                  t.sweep, t.fit, t.delta_fit, t.seconds,
-                  static_cast<unsigned long long>(t.subspace_iterations));
-    };
+    if (!quiet) {
+      eopt.method_options.sweep_callback = [](const SweepTelemetry& t) {
+        std::printf("sweep %2d: fit %.6f (delta %+0.2e) in %.3fs, "
+                    "%llu subspace iterations\n",
+                    t.sweep, t.fit, t.delta_fit, t.seconds,
+                    static_cast<unsigned long long>(t.subspace_iterations));
+      };
+    }
     TuckerDecomposition dec;
     TuckerStats stats;
     double err = -1;
@@ -172,6 +190,7 @@ int RunOp(const FlagParser& flags) {
       stats = run.value().stats;
       dec = std::move(run).ValueOrDie().decomposition;
     }
+    if (quiet) return 0;
     std::printf("decomposition: core %s, %zu factors, %s\n",
                 dec.core.ShapeString().c_str(), dec.factors.size(),
                 TablePrinter::FormatBytes(dec.ByteSize()).c_str());
@@ -262,6 +281,72 @@ int RunOp(const FlagParser& flags) {
   return Fail(Status::InvalidArgument("unknown --op '" + op + "'"));
 }
 
+// --rank-procs: fork one process per rank *before* any Engine exists, so
+// each rank has its own registry/trace buffers and the run exercises the
+// true multi-process rendezvous. Rank 0 stays in the parent (it owns
+// stdout, the saved output, and the merged telemetry files); children run
+// quietly, flush their own telemetry (nothing when the gather handed the
+// merged documents to rank 0), and _exit.
+int RunDecomposeRankProcs(const FlagParser& flags, int ranks) {
+  const std::string transport = flags.GetString("transport");
+  if (transport != "file" && transport != "shm") {
+    return Fail(Status::InvalidArgument(
+        "--rank-procs needs a cross-process transport "
+        "(--transport=file or shm)"));
+  }
+  if (flags.GetString("approx").empty() == false) {
+    return Fail(Status::InvalidArgument(
+        "--rank-procs decomposes a --tensor (the query phase is not "
+        "sharded)"));
+  }
+  const std::string pid_str = std::to_string(static_cast<long>(getpid()));
+  const std::string scratch = transport == "file"
+                                  ? "/tmp/dtucker_cli_comm_" + pid_str
+                                  : "/dtucker-cli-" + pid_str;
+  std::vector<pid_t> children;
+  for (int r = 1; r < ranks; ++r) {
+    const pid_t child = fork();
+    if (child < 0) {
+      std::perror("fork");
+      break;  // Missing ranks surface as a communicator setup timeout.
+    }
+    if (child == 0) {
+      // Inherited buffers hold the parent's pre-fork events; drop them and
+      // retag everything this process records with its own rank.
+      ResetTelemetryForChildProcess(r);
+      const int rc = RunOp(flags, r, scratch);
+      const Status flush = FlushTelemetryFromFlags(flags);
+      if (!flush.ok()) {
+        std::fprintf(stderr, "rank %d telemetry flush: %s\n", r,
+                     flush.ToString().c_str());
+        _exit(1);
+      }
+      _exit(rc);
+    }
+    children.push_back(child);
+  }
+  const int rc = static_cast<int>(children.size()) == ranks - 1
+                     ? RunOp(flags, 0, scratch)
+                     : 1;
+  int failed = 0;
+  for (const pid_t child : children) {
+    int status = 0;
+    if (waitpid(child, &status, 0) < 0 || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      ++failed;
+    }
+  }
+  if (transport == "file") {
+    std::error_code ec;
+    std::filesystem::remove_all(scratch, ec);  // Shm cleans itself up.
+  }
+  if (failed > 0) {
+    return Fail(Status::Internal(std::to_string(failed) +
+                                 " rank process(es) exited non-zero"));
+  }
+  return rc;
+}
+
 int Run(int argc, char** argv) {
   FlagParser flags;
   flags.AddString("op", "info", "generate | ranks | compress | decompose | round | info");
@@ -296,6 +381,11 @@ int Run(int argc, char** argv) {
   flags.AddString("transport", "inproc",
                   "rank transport for --ranks >= 1: inproc | file | shm "
                   "(results are bitwise-identical across the three)");
+  flags.AddBool("rank-procs", false,
+                "run each rank of --ranks as a fork()ed process instead of "
+                "a thread (decompose only; needs --transport=file|shm); "
+                "--trace-out/--metrics-out still produce single merged "
+                "files via the end-of-run gather");
   flags.AddInt("threads", 1,
                "worker threads for every phase (approximation, "
                "initialization, iteration); default 1 = serial, 0 = all "
@@ -312,7 +402,15 @@ int Run(int argc, char** argv) {
     return 0;
   }
   InitTelemetryFromFlags(flags);
-  const int rc = RunOp(flags);
+  // One run id per CLI invocation; fork()ed rank processes inherit it, so
+  // every rank's trace fragment names the same run.
+  SetTelemetryRunId(static_cast<std::uint64_t>(getpid()));
+  const int ranks = static_cast<int>(flags.GetInt("ranks"));
+  const int rc =
+      (flags.GetString("op") == "decompose" && flags.GetBool("rank-procs") &&
+       ranks > 1)
+          ? RunDecomposeRankProcs(flags, ranks)
+          : RunOp(flags);
   Status flush = FlushTelemetryFromFlags(flags);
   if (!flush.ok()) return Fail(flush);
   return rc;

@@ -137,7 +137,11 @@ Communicator::OpScope::OpScope(Communicator* comm, const char* op)
 Communicator::OpScope::~OpScope() {
   if (!outermost_) return;
   const std::string op = comm_->current_op_;
+  // Gauge (cumulative, what bench_shard reads) and histogram (the wait
+  // *distribution* of this op kind) side by side.
   MetricGauge("comm.wait_ns." + op).Add(comm_->op_wait_ns_);
+  MetricHistogram("comm.wait_ns." + op)
+      .Record(static_cast<std::uint64_t>(comm_->op_wait_ns_));
   MetricCounter("comm.ops." + op).Add(1);
   comm_->current_op_ = nullptr;
   comm_->op_wait_ns_ = 0.0;
@@ -165,7 +169,7 @@ Status Communicator::ReduceTree(double* data, std::size_t n, Combine combine) {
 
 Status Communicator::Broadcast(double* data, std::size_t n, int root) {
   if (size_ == 1) return Status::OK();
-  DT_TRACE_SPAN("comm.broadcast");
+  TraceSpan span("comm.broadcast", NextFlowId(), FlowPhase());
   OpScope scope(this, "broadcast");
   DT_CHECK(root >= 0 && root < size_) << "broadcast root out of range";
   // Rotate so the algorithm always roots at virtual rank 0.
@@ -189,7 +193,7 @@ Status Communicator::Broadcast(double* data, std::size_t n, int root) {
 
 Status Communicator::AllReduceSum(double* data, std::size_t n) {
   if (size_ == 1) return Status::OK();
-  DT_TRACE_SPAN("comm.allreduce_sum");
+  TraceSpan span("comm.allreduce_sum", NextFlowId(), FlowPhase());
   OpScope scope(this, "allreduce_sum");
   Timer timer;
   DT_RETURN_NOT_OK(ReduceTree(data, n, Combine::kAdd));
@@ -205,7 +209,7 @@ Status Communicator::AllReduceSum(double* data, std::size_t n) {
 
 Status Communicator::AllReduceMax(double* data, std::size_t n) {
   if (size_ == 1) return Status::OK();
-  DT_TRACE_SPAN("comm.allreduce_max");
+  TraceSpan span("comm.allreduce_max", NextFlowId(), FlowPhase());
   OpScope scope(this, "allreduce_max");
   Timer timer;
   DT_RETURN_NOT_OK(ReduceTree(data, n, Combine::kMax));
@@ -221,7 +225,7 @@ Status Communicator::AllReduceMax(double* data, std::size_t n) {
 
 Status Communicator::Barrier() {
   if (size_ == 1) return Status::OK();
-  DT_TRACE_SPAN("comm.barrier");
+  TraceSpan span("comm.barrier", NextFlowId(), FlowPhase());
   OpScope scope(this, "barrier");
   double token = 0.0;
   DT_RETURN_NOT_OK(ReduceTree(&token, 1, Combine::kAdd));
@@ -230,7 +234,7 @@ Status Communicator::Barrier() {
 
 Status Communicator::Gather(const double* send, std::size_t n, double* recv,
                             int root) {
-  DT_TRACE_SPAN("comm.gather");
+  TraceSpan span("comm.gather", NextFlowId(), FlowPhase());
   OpScope scope(this, "gather");
   DT_CHECK(root >= 0 && root < size_) << "gather root out of range";
   const std::uint64_t op = NextTag();
@@ -253,7 +257,7 @@ Status Communicator::Gather(const double* send, std::size_t n, double* recv,
 Status Communicator::AllGatherV(const double* send,
                                 const std::vector<std::size_t>& counts,
                                 double* recv) {
-  DT_TRACE_SPAN("comm.allgatherv");
+  TraceSpan span("comm.allgatherv", NextFlowId(), FlowPhase());
   OpScope scope(this, "allgatherv");
   DT_CHECK_EQ(counts.size(), static_cast<std::size_t>(size_))
       << "one count per rank";
@@ -282,6 +286,60 @@ Status Communicator::AllGatherV(const double* send,
     DT_RETURN_NOT_OK(SendTo(0, tag, send, mine));
   }
   return Broadcast(recv, total, /*root=*/0);
+}
+
+Result<std::int64_t> Communicator::EstimateClockOffsetNs(int rounds) {
+  if (size_ == 1) return std::int64_t{0};
+  // Tags for one peer live in [op*64, op*64+64): 2 per round + 1 for the
+  // final offset ship caps the rounds at 31.
+  rounds = std::max(1, std::min(rounds, 31));
+  OpScope scope(this, "clock_sync");
+  std::int64_t my_offset = 0;
+  for (int peer = 1; peer < size_; ++peer) {
+    // Every rank draws the tag so the sequence stays in lockstep even for
+    // ranks that sit this peer's exchange out.
+    const std::uint64_t op = NextTag();
+    if (rank_ == 0) {
+      double best_rtt = 0.0;
+      double best_offset = 0.0;
+      bool have_best = false;
+      for (int round = 0; round < rounds; ++round) {
+        const std::uint64_t tag =
+            op * 64 + static_cast<std::uint64_t>(round) * 2;
+        // TraceNowNs() values are whole nanoseconds well below 2^53, so
+        // the double payload is exact.
+        double t0 = static_cast<double>(TraceNowNs());
+        DT_RETURN_NOT_OK(SendTo(peer, tag, &t0, 1));
+        double t1 = 0.0;
+        DT_RETURN_NOT_OK(RecvCombine(peer, tag + 1, &t1, 1, Combine::kCopy));
+        const double t2 = static_cast<double>(TraceNowNs());
+        const double rtt = t2 - t0;
+        // Symmetric-delay model: the peer read its clock rtt/2 after t0,
+        // so peer-axis time (t1) maps to root-axis time (t0 + rtt/2); the
+        // minimum-RTT round has the least queueing asymmetry.
+        if (!have_best || rtt < best_rtt) {
+          best_rtt = rtt;
+          best_offset = (t0 + rtt * 0.5) - t1;
+          have_best = true;
+        }
+      }
+      DT_RETURN_NOT_OK(SendTo(peer, op * 64 + 63, &best_offset, 1));
+    } else if (rank_ == peer) {
+      for (int round = 0; round < rounds; ++round) {
+        const std::uint64_t tag =
+            op * 64 + static_cast<std::uint64_t>(round) * 2;
+        double t0 = 0.0;
+        DT_RETURN_NOT_OK(RecvCombine(0, tag, &t0, 1, Combine::kCopy));
+        double t1 = static_cast<double>(TraceNowNs());
+        DT_RETURN_NOT_OK(SendTo(0, tag + 1, &t1, 1));
+      }
+      double offset = 0.0;
+      DT_RETURN_NOT_OK(RecvCombine(0, op * 64 + 63, &offset, 1,
+                                   Combine::kCopy));
+      my_offset = static_cast<std::int64_t>(offset);
+    }
+  }
+  return my_offset;
 }
 
 // ---------------------------------------------------------------------------

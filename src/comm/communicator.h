@@ -48,13 +48,28 @@
 // kUnavailable instead of a deadlock and a cancellation turns a pending
 // collective into kCancelled/kDeadlineExceeded.
 //
-// Observability: every collective is wrapped in a DT_TRACE_SPAN and bumps
-// the comm.* metrics: comm.reduces / comm.bytes_reduced / the per-rank
-// comm.rank<r>.reduce_ns gauge, plus — per outermost collective kind — the
-// time spent blocked on peers in comm.wait_ns.<op> and the invocation
+// Observability: every collective is wrapped in a flow-tagged TraceSpan
+// and bumps the comm.* metrics: comm.reduces / comm.bytes_reduced / the
+// per-rank comm.rank<r>.reduce_ns gauge, plus — per outermost collective
+// kind — the time spent blocked on peers in the comm.wait_ns.<op> gauge
+// AND histogram (full p50/p90/p99 wait distributions) and the invocation
 // count in comm.ops.<op> (op in {barrier, broadcast, allreduce_sum,
 // allreduce_max, gather, allgatherv}), so --metrics-out and bench_shard
 // can split synchronization into compute vs wait.
+//
+// Cross-rank flows: every collective entry bumps a per-communicator
+// sequence number. Ranks execute the identical sequence of collective
+// calls (SPMD lockstep — the same discipline NextTag() already relies
+// on), so call k on rank r and call k on rank s are the same logical
+// collective; combining the sequence number with a run-wide flow group
+// (set_trace_flow_group, identical on all ranks) yields a flow id that is
+// equal across ranks and unique within the merged trace. The exporter
+// emits Perfetto flow events ('s' on rank 0, 't' on middle ranks, 'f' on
+// the last rank) with that id, which draws one arrow through the
+// rank-local spans of the same collective. EstimateClockOffsetNs() runs a
+// symmetric ping-pong against rank 0 so independently started rank
+// processes can map their trace epochs onto rank 0's (offset applied at
+// export; see common/trace.h).
 #ifndef DTUCKER_COMM_COMMUNICATOR_H_
 #define DTUCKER_COMM_COMMUNICATOR_H_
 
@@ -134,6 +149,24 @@ class Communicator {
   Status AllGatherV(const double* send, const std::vector<std::size_t>& counts,
                     double* recv);
 
+  // Namespace for cross-rank trace flow ids (see the file comment). Must
+  // be set to the same value on every rank of a group, before the first
+  // collective, for the flow arrows in a merged trace to connect; 0 (the
+  // default) is a valid group.
+  void set_trace_flow_group(std::uint64_t group) { trace_flow_group_ = group; }
+
+  // Estimates how far this rank's trace clock sits behind rank 0's, in
+  // nanoseconds (i.e. the value to pass to SetTraceClockOffsetNs so that
+  // exported timestamps align on rank 0's axis). Collective: every rank
+  // must call it at the same point. Rank 0 runs `rounds` symmetric
+  // ping-pongs with each peer, exchanging TraceNowNs() samples; the offset
+  // is taken at the minimum-RTT round as (t0 + rtt/2) - t1, then shipped
+  // to the peer. Returns 0 on rank 0 and for single-rank groups. For
+  // threads (or fork()ed children) of one process the epochs coincide and
+  // the estimate is ~0; the call is cheap either way (`rounds` scalar
+  // round-trips per peer).
+  Result<std::int64_t> EstimateClockOffsetNs(int rounds = 8);
+
  protected:
   Communicator(int rank, int size) : rank_(rank), size_(size) {}
 
@@ -192,11 +225,28 @@ class Communicator {
  private:
   Status ReduceTree(double* data, std::size_t n, Combine combine);
 
+  // Flow id for the next collective call: same value on every rank by the
+  // lockstep argument in the file comment. Bumped unconditionally (even
+  // with tracing off) so ranks that enable tracing at different times
+  // still agree.
+  std::uint64_t NextFlowId() {
+    return (trace_flow_group_ << 32) | ++trace_flow_seq_;
+  }
+  // 's' on rank 0, 'f' on the last rank, 't' in between; 0 (no flow) for
+  // single-rank groups.
+  char FlowPhase() const {
+    if (size_ <= 1) return 0;
+    if (rank_ == 0) return 's';
+    return rank_ == size_ - 1 ? 'f' : 't';
+  }
+
   int rank_;
   int size_;
   const RunContext* ctx_ = nullptr;
   double timeout_seconds_ = 120.0;
   std::uint64_t next_tag_ = 0;
+  std::uint64_t trace_flow_group_ = 0;
+  std::uint64_t trace_flow_seq_ = 0;
   // Wait-attribution state for the current outermost collective.
   const char* current_op_ = nullptr;
   double op_wait_ns_ = 0.0;

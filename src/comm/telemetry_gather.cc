@@ -1,0 +1,119 @@
+#include "comm/telemetry_gather.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
+
+namespace dtucker {
+
+namespace {
+
+// Strings travel through the double-typed collectives byte-packed, 8 bytes
+// per double (exact lengths ride in a separate length exchange).
+std::vector<double> PackString(const std::string& s) {
+  std::vector<double> out((s.size() + 7) / 8, 0.0);
+  if (!s.empty()) std::memcpy(out.data(), s.data(), s.size());
+  return out;
+}
+
+std::string UnpackString(const double* data, std::size_t len) {
+  std::string s(len, '\0');
+  if (len > 0) std::memcpy(&s[0], data, len);
+  return s;
+}
+
+}  // namespace
+
+Status AlignTraceClockWithRoot(Communicator* comm) {
+  if (comm->size() <= 1) return Status::OK();
+  DT_ASSIGN_OR_RETURN(std::int64_t offset, comm->EstimateClockOffsetNs());
+  // Rank 0 defines the axis; only peers shift. (In thread mode every rank
+  // shares one process-wide offset and the estimates are ~0, so the
+  // last-writer race is harmless.)
+  if (comm->rank() != 0) SetTraceClockOffsetNs(offset);
+  return Status::OK();
+}
+
+Status GatherRankTelemetry(Communicator* comm) {
+  const int rank = comm->rank();
+  const int size = comm->size();
+
+  // Pause recording and rendezvous so no rank is still pushing spans while
+  // another snapshots, and so the gather's own collectives stay out of the
+  // trace. (In thread mode the flag is process-global: the first rank
+  // through pauses everyone, which is exactly the quiescence we need.)
+  const bool was_enabled = TraceEnabled();
+  SetTraceEnabled(false);
+  Status barrier = comm->Barrier();
+  if (!barrier.ok()) {
+    if (was_enabled) SetTraceEnabled(true);
+    return barrier;
+  }
+
+  const std::string trace_frag = SerializeChromeTraceEventsForRank(rank);
+  const std::string metrics_dump =
+      MetricsRegistry::Global().SerializeForMerge();
+
+  Status st = Status::OK();
+  std::vector<std::string> trace_frags;
+  std::vector<std::string> metrics_dumps;
+  {
+    // Exchange the two lengths, then one packed payload per rank.
+    const double my_lens[2] = {static_cast<double>(trace_frag.size()),
+                               static_cast<double>(metrics_dump.size())};
+    std::vector<std::size_t> len_counts(static_cast<std::size_t>(size), 2);
+    std::vector<double> all_lens(static_cast<std::size_t>(size) * 2, 0.0);
+    st = comm->AllGatherV(my_lens, len_counts, all_lens.data());
+    if (st.ok()) {
+      std::vector<std::size_t> payload_counts(static_cast<std::size_t>(size));
+      std::size_t total = 0;
+      for (int r = 0; r < size; ++r) {
+        const std::size_t bytes =
+            static_cast<std::size_t>(all_lens[2 * r]) +
+            static_cast<std::size_t>(all_lens[2 * r + 1]);
+        payload_counts[static_cast<std::size_t>(r)] = (bytes + 7) / 8;
+        total += payload_counts[static_cast<std::size_t>(r)];
+      }
+      const std::vector<double> my_payload =
+          PackString(trace_frag + metrics_dump);
+      std::vector<double> all_payloads(total, 0.0);
+      st = comm->AllGatherV(my_payload.data(), payload_counts,
+                            all_payloads.data());
+      if (st.ok() && rank == 0) {
+        std::size_t off = 0;
+        for (int r = 0; r < size; ++r) {
+          const std::size_t trace_len =
+              static_cast<std::size_t>(all_lens[2 * r]);
+          const std::size_t metrics_len =
+              static_cast<std::size_t>(all_lens[2 * r + 1]);
+          const std::string blob = UnpackString(
+              all_payloads.data() + off, trace_len + metrics_len);
+          off += payload_counts[static_cast<std::size_t>(r)];
+          trace_frags.push_back(blob.substr(0, trace_len));
+          metrics_dumps.push_back(blob.substr(trace_len));
+        }
+      }
+    }
+  }
+  if (was_enabled) SetTraceEnabled(true);
+  DT_RETURN_NOT_OK(st);
+
+  AggregatedTelemetry bundle;
+  bundle.present = true;
+  bundle.is_root = rank == 0;
+  bundle.run_id = TraceRunId();
+  if (rank == 0) {
+    bundle.merged_trace_json =
+        BuildMergedChromeTrace(trace_frags, bundle.run_id);
+    bundle.merged_metrics_json = MergeRankMetricsJson(metrics_dumps);
+  }
+  SetAggregatedTelemetry(std::move(bundle));
+  return Status::OK();
+}
+
+}  // namespace dtucker

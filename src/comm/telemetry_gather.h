@@ -1,0 +1,47 @@
+// Cross-rank telemetry: clock alignment at communicator setup and the
+// end-of-run gather of every rank's trace fragment + metrics dump to
+// rank 0.
+//
+// Both entry points are collectives — every rank of the group must call
+// them at the same point, gated on the same condition (drivers gate on
+// TelemetryGatherEnabled() / TraceEnabled(), which are derived from the
+// same flags on every rank). The gather reuses the existing deterministic
+// Gather/AllGatherV collectives, shipping each rank's serialized strings
+// packed into double payloads, so it works identically whether ranks are
+// threads of one process or fork()ed processes — no topology flag.
+//
+// On rank 0 the gather merges the fragments into one Perfetto-loadable
+// Chrome trace (one pid lane per rank, clocks aligned, flow arrows intact)
+// and one multi-rank metrics JSON (per-rank sections + min/max/sum
+// rollups; see MergeRankMetricsJson), then deposits both via
+// SetAggregatedTelemetry so FlushTelemetryFromFlags writes single merged
+// files. Note that in thread mode the per-rank *metrics* sections coincide
+// (all rank threads share the process registry, so every section reports
+// the process-wide totals); trace fragments are always rank-local either
+// way. In fork mode each section is genuinely that rank process's view.
+#ifndef DTUCKER_COMM_TELEMETRY_GATHER_H_
+#define DTUCKER_COMM_TELEMETRY_GATHER_H_
+
+#include "comm/communicator.h"
+#include "common/status.h"
+
+namespace dtucker {
+
+// Estimates this rank's trace-clock offset against rank 0
+// (Communicator::EstimateClockOffsetNs) and installs it for export
+// (SetTraceClockOffsetNs). Collective; call once, right after the
+// communicator is set up, before the phases worth tracing. No-op for
+// single-rank groups.
+Status AlignTraceClockWithRoot(Communicator* comm);
+
+// Gathers every rank's serialized trace events and metrics snapshot to
+// rank 0 and deposits the merged documents (rank 0) / a present-but-empty
+// marker (other ranks) via SetAggregatedTelemetry. Collective; call at the
+// end of a sharded solve — including cancelled/rolled-back runs, which
+// still reach the solver's return path. Tracing is paused across the
+// gather so its own collectives do not pollute the trace.
+Status GatherRankTelemetry(Communicator* comm);
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_COMM_TELEMETRY_GATHER_H_

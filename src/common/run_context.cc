@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <thread>
+
+#include "common/metrics.h"
 
 namespace dtucker {
 
@@ -60,6 +63,8 @@ Status RunContext::CheckStatus(const char* where) const {
 Status BackoffWithContext(const IoRetryPolicy& policy, int attempt,
                           const RunContext* ctx) {
   double remaining = policy.BackoffSeconds(attempt);
+  static Histogram& backoff_hist = MetricHistogram("io.retry_backoff_ns");
+  backoff_hist.Record(static_cast<std::uint64_t>(remaining * 1e9));
   while (remaining > 0) {
     if (ctx != nullptr) {
       DT_RETURN_NOT_OK(ctx->CheckStatus("io retry backoff"));

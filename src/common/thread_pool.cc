@@ -63,6 +63,7 @@ void ThreadPool::Wait() {
 void ThreadPool::WorkerLoop(std::size_t worker_index) {
   static Counter& tasks_run = MetricCounter("threadpool.tasks");
   static Counter& busy_total = MetricCounter("threadpool.busy_ns");
+  static Histogram& task_hist = MetricHistogram("threadpool.task_ns");
   WorkerStat& stat = worker_stats_[worker_index];
   for (;;) {
     std::function<void()> task;
@@ -86,6 +87,7 @@ void ThreadPool::WorkerLoop(std::size_t worker_index) {
     stat.busy_ns.fetch_add(elapsed_ns, std::memory_order_relaxed);
     tasks_run.Add(1);
     busy_total.Add(elapsed_ns);
+    task_hist.Record(elapsed_ns);
     {
       std::unique_lock<std::mutex> lock(mutex_);
       --in_flight_;

@@ -1,6 +1,7 @@
 #include "common/trace.h"
 
 #include <chrono>
+#include <cinttypes>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -15,10 +16,15 @@ std::atomic<bool> g_trace_enabled{false};
 namespace {
 
 std::atomic<std::size_t> g_buffer_capacity{1u << 15};
+std::atomic<int> g_default_rank{0};
+std::atomic<std::uint64_t> g_run_id{0};
+std::atomic<std::int64_t> g_clock_offset_ns{0};
 
 std::uint64_t NowNanos() {
   // The epoch is fixed the first time this runs (under SetTraceEnabled's
   // call, before any span can record), so exported timestamps start near 0.
+  // fork()ed children inherit the parent's epoch, keeping all rank
+  // processes of one run on a shared time axis.
   static const std::chrono::steady_clock::time_point kEpoch =
       std::chrono::steady_clock::now();
   return static_cast<std::uint64_t>(
@@ -28,11 +34,15 @@ std::uint64_t NowNanos() {
 }
 
 // Fixed-capacity ring of TraceEvents, written only by its owning thread.
-// The registry keeps a shared_ptr so events survive thread exit.
+// The registry keeps a shared_ptr so events survive thread exit. The rank
+// tag is atomic because the owning thread retags while the exporter reads.
 class ThreadTraceBuffer {
  public:
   ThreadTraceBuffer(std::uint32_t tid, std::size_t capacity)
-      : tid_(tid), mask_(capacity - 1), ring_(capacity) {}
+      : tid_(tid),
+        mask_(capacity - 1),
+        rank_(g_default_rank.load(std::memory_order_relaxed)),
+        ring_(capacity) {}
 
   void Push(const TraceEvent& ev) {
     ring_[head_ & mask_] = ev;
@@ -42,6 +52,8 @@ class ThreadTraceBuffer {
   void Clear() { head_ = 0; }
 
   std::uint32_t tid() const { return tid_; }
+  int rank() const { return rank_.load(std::memory_order_relaxed); }
+  void set_rank(int rank) { rank_.store(rank, std::memory_order_relaxed); }
   std::size_t size() const { return head_ < ring_.size() ? head_ : ring_.size(); }
   std::uint64_t dropped() const {
     return head_ > ring_.size() ? head_ - ring_.size() : 0;
@@ -49,16 +61,18 @@ class ThreadTraceBuffer {
 
   // Oldest-first copy of the buffered events.
   void AppendTo(std::vector<SnapshotEvent>* out) const {
+    const int r = rank();
     const std::size_t n = size();
     const std::size_t begin = head_ - n;
     for (std::size_t i = 0; i < n; ++i) {
-      out->push_back(SnapshotEvent{tid_, ring_[(begin + i) & mask_]});
+      out->push_back(SnapshotEvent{tid_, r, ring_[(begin + i) & mask_]});
     }
   }
 
  private:
   const std::uint32_t tid_;
   const std::size_t mask_;
+  std::atomic<int> rank_;
   std::size_t head_ = 0;  // Monotonic; ring index is head_ & mask_.
   std::vector<TraceEvent> ring_;
 };
@@ -110,6 +124,136 @@ void JsonEscapeTo(const char* s, std::string* out) {
   }
 }
 
+// One thread's buffer, copied out under the registry lock so serialization
+// runs without it.
+struct BufferSnapshot {
+  std::uint32_t tid = 0;
+  int rank = 0;
+  std::uint64_t dropped = 0;
+  std::vector<SnapshotEvent> events;
+};
+
+// filter_rank == -1 keeps every buffer; otherwise only buffers currently
+// tagged with that rank.
+std::vector<BufferSnapshot> SnapshotBuffers(int filter_rank) {
+  BufferRegistry& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::vector<BufferSnapshot> out;
+  for (const auto& buf : reg.buffers) {
+    if (filter_rank >= 0 && buf->rank() != filter_rank) continue;
+    BufferSnapshot snap;
+    snap.tid = buf->tid();
+    snap.rank = buf->rank();
+    snap.dropped = buf->dropped();
+    buf->AppendTo(&snap.events);
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+void AppendSep(bool* first, std::string* out) {
+  if (!*first) out->append(",\n");
+  *first = false;
+}
+
+// Perfetto lane metadata for one rank: process name + sort order.
+void AppendLaneMetadata(int rank, std::uint64_t run_id, bool* first,
+                        std::string* out) {
+  char buf[192];
+  AppendSep(first, out);
+  std::snprintf(buf, sizeof(buf),
+                "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":%d,"
+                "\"tid\":0,\"args\":{\"name\":\"dtucker run %" PRIu64
+                " rank %d\"}}",
+                rank, run_id, rank);
+  out->append(buf);
+  AppendSep(first, out);
+  std::snprintf(buf, sizeof(buf),
+                "{\"ph\":\"M\",\"name\":\"process_sort_index\",\"pid\":%d,"
+                "\"tid\":0,\"args\":{\"sort_index\":%d}}",
+                rank, rank);
+  out->append(buf);
+}
+
+// One "X" event, plus the matching flow event when the span is flow-tagged.
+// The clock offset maps this process's epoch onto rank 0's.
+void AppendEventJson(const SnapshotEvent& se, std::int64_t offset_ns,
+                     bool* first, std::string* out) {
+  const double ts_us =
+      static_cast<double>(static_cast<std::int64_t>(se.event.start_ns) +
+                          offset_ns) *
+      1e-3;
+  const double dur_us = static_cast<double>(se.event.dur_ns) * 1e-3;
+  char buf[192];
+  AppendSep(first, out);
+  out->append("{\"name\":\"");
+  JsonEscapeTo(se.event.name, out);
+  std::snprintf(buf, sizeof(buf),
+                "\",\"cat\":\"dtucker\",\"ph\":\"X\",\"pid\":%d,\"tid\":%u,"
+                "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"depth\":%u}}",
+                se.rank, se.tid, ts_us, dur_us, se.event.depth);
+  out->append(buf);
+  if (se.event.flow_phase != 0 && se.event.flow_id != 0) {
+    // Bind the flow hop to the middle of its span ("bp":"e" = enclosing
+    // slice), so Perfetto attaches the arrow to the collective's box.
+    AppendSep(first, out);
+    out->append("{\"name\":\"");
+    JsonEscapeTo(se.event.name, out);
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"cat\":\"comm.flow\",\"ph\":\"%c\",\"bp\":\"e\","
+                  "\"id\":\"%" PRIu64
+                  "\",\"pid\":%d,\"tid\":%u,\"ts\":%.3f}",
+                  se.event.flow_phase, se.event.flow_id, se.rank, se.tid,
+                  ts_us + dur_us * 0.5);
+    out->append(buf);
+  }
+}
+
+// Serializes a buffer set as a comma-joined fragment: lane metadata for
+// every rank present (plus `forced_rank`, so empty ranks still get a
+// lane), per-tid drop accounting, then the events.
+std::string SerializeFragment(const std::vector<BufferSnapshot>& buffers,
+                              int forced_rank) {
+  const std::uint64_t run_id = g_run_id.load(std::memory_order_relaxed);
+  const std::int64_t offset_ns =
+      g_clock_offset_ns.load(std::memory_order_relaxed);
+  std::string out;
+  std::size_t total_events = 0;
+  for (const BufferSnapshot& b : buffers) total_events += b.events.size();
+  out.reserve(total_events * 112 + 256);
+  bool first = true;
+
+  std::vector<int> ranks_seen;
+  if (forced_rank >= 0) ranks_seen.push_back(forced_rank);
+  for (const BufferSnapshot& b : buffers) {
+    bool seen = false;
+    for (int r : ranks_seen) seen = seen || r == b.rank;
+    if (!seen) ranks_seen.push_back(b.rank);
+  }
+  if (ranks_seen.empty()) {
+    ranks_seen.push_back(g_default_rank.load(std::memory_order_relaxed));
+  }
+  for (int r : ranks_seen) AppendLaneMetadata(r, run_id, &first, &out);
+
+  char buf[160];
+  for (const BufferSnapshot& b : buffers) {
+    if (b.dropped == 0) continue;
+    AppendSep(&first, &out);
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"name\":\"trace_buffer_dropped\","
+                  "\"pid\":%d,\"tid\":%u,\"args\":{\"dropped\":%" PRIu64 "}}",
+                  b.rank, b.tid, b.dropped);
+    out.append(buf);
+  }
+
+  for (const BufferSnapshot& b : buffers) {
+    for (const SnapshotEvent& se : b.events) {
+      AppendEventJson(se, offset_ns, &first, &out);
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 std::uint64_t SpanBegin() {
@@ -125,6 +269,20 @@ void SpanEnd(const char* name, std::uint64_t start_ns) {
   ev.start_ns = start_ns;
   ev.dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
   ev.depth = tls_depth;
+  CurrentThreadBuffer()->Push(ev);
+}
+
+void SpanEndFlow(const char* name, std::uint64_t start_ns,
+                 std::uint64_t flow_id, char flow_phase) {
+  const std::uint64_t end_ns = NowNanos();
+  --tls_depth;
+  TraceEvent ev;
+  ev.name = name;
+  ev.start_ns = start_ns;
+  ev.dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
+  ev.depth = tls_depth;
+  ev.flow_id = flow_id;
+  ev.flow_phase = flow_phase;
   CurrentThreadBuffer()->Push(ev);
 }
 
@@ -146,6 +304,8 @@ void SetTraceEnabled(bool enabled) {
   }
   internal_trace::g_trace_enabled.store(enabled, std::memory_order_relaxed);
 }
+
+std::uint64_t TraceNowNs() { return internal_trace::NowNanos(); }
 
 void SetTraceBufferCapacity(std::size_t events) {
   if (events == 0) events = 1;
@@ -175,28 +335,55 @@ std::uint64_t TraceDroppedEventCount() {
   return n;
 }
 
-void ExportChromeTrace(std::ostream& os) {
-  const std::vector<internal_trace::SnapshotEvent> events =
-      internal_trace::SnapshotEvents();
-  std::string out;
-  out.reserve(events.size() * 96 + 256);
-  out += "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"tool\":\"dtucker\"},";
-  out += "\"traceEvents\":[";
-  out +=
-      "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":1,\"tid\":0,"
-      "\"args\":{\"name\":\"dtucker\"}}";
-  char buf[160];
-  for (const auto& se : events) {
-    out += ",\n{\"name\":\"";
-    internal_trace::JsonEscapeTo(se.event.name, &out);
-    std::snprintf(buf, sizeof(buf),
-                  "\",\"cat\":\"dtucker\",\"ph\":\"X\",\"pid\":1,\"tid\":%u,"
-                  "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"depth\":%u}}",
-                  se.tid,
-                  static_cast<double>(se.event.start_ns) * 1e-3,
-                  static_cast<double>(se.event.dur_ns) * 1e-3, se.event.depth);
-    out += buf;
+void SetTraceRankForCurrentThread(int rank) {
+  internal_trace::CurrentThreadBuffer()->set_rank(rank);
+}
+
+void SetTraceDefaultRank(int rank) {
+  internal_trace::g_default_rank.store(rank, std::memory_order_relaxed);
+}
+
+void ResetTraceForChildProcess(int rank) {
+  internal_trace::g_default_rank.store(rank, std::memory_order_relaxed);
+  auto& reg = internal_trace::Registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& buf : reg.buffers) {
+    buf->Clear();
+    buf->set_rank(rank);
   }
+}
+
+void SetTraceRunId(std::uint64_t run_id) {
+  internal_trace::g_run_id.store(run_id, std::memory_order_relaxed);
+}
+
+std::uint64_t TraceRunId() {
+  return internal_trace::g_run_id.load(std::memory_order_relaxed);
+}
+
+void SetTraceClockOffsetNs(std::int64_t offset_ns) {
+  internal_trace::g_clock_offset_ns.store(offset_ns,
+                                          std::memory_order_relaxed);
+}
+
+std::int64_t TraceClockOffsetNs() {
+  return internal_trace::g_clock_offset_ns.load(std::memory_order_relaxed);
+}
+
+void ExportChromeTrace(std::ostream& os) {
+  const std::vector<internal_trace::BufferSnapshot> buffers =
+      internal_trace::SnapshotBuffers(-1);
+  std::uint64_t dropped_total = 0;
+  for (const auto& b : buffers) dropped_total += b.dropped;
+  char buf[128];
+  std::string out;
+  out += "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"tool\":\"dtucker\",";
+  std::snprintf(buf, sizeof(buf),
+                "\"run_id\":\"%" PRIu64 "\",\"dropped_events\":%" PRIu64 "},",
+                TraceRunId(), dropped_total);
+  out += buf;
+  out += "\"traceEvents\":[";
+  out += internal_trace::SerializeFragment(buffers, -1);
   out += "]}\n";
   os << out;
 }
@@ -212,6 +399,35 @@ Status WriteChromeTrace(const std::string& path) {
     return Status::IoError("failed writing trace output '" + path + "'");
   }
   return Status::OK();
+}
+
+std::string SerializeChromeTraceEventsForRank(int rank) {
+  return internal_trace::SerializeFragment(
+      internal_trace::SnapshotBuffers(rank), rank);
+}
+
+std::string BuildMergedChromeTrace(const std::vector<std::string>& fragments,
+                                   std::uint64_t run_id) {
+  std::string out;
+  std::size_t total = 256;
+  for (const std::string& f : fragments) total += f.size() + 2;
+  out.reserve(total);
+  char buf[128];
+  out += "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"tool\":\"dtucker\",";
+  std::snprintf(buf, sizeof(buf),
+                "\"run_id\":\"%" PRIu64 "\",\"world_size\":%zu},",
+                run_id, fragments.size());
+  out += buf;
+  out += "\"traceEvents\":[";
+  bool first = true;
+  for (const std::string& f : fragments) {
+    if (f.empty()) continue;
+    if (!first) out += ",\n";
+    first = false;
+    out += f;
+  }
+  out += "]}\n";
+  return out;
 }
 
 }  // namespace dtucker

@@ -1,5 +1,5 @@
 // Process-wide span tracer with Chrome-trace (chrome://tracing / Perfetto)
-// JSON export.
+// JSON export, rank-aware for multi-rank runs.
 //
 // Usage: wrap a scope in `TraceSpan span("name");` (or DT_TRACE_SPAN("name")).
 // When tracing is disabled — the default — a span costs one relaxed atomic
@@ -11,6 +11,20 @@
 // WriteChromeTrace() serializes every thread's events as `trace_event`
 // "X" (complete) events; Perfetto reconstructs the nesting from the
 // timestamps within each tid.
+//
+// Multi-rank runs: each recording thread can be tagged with a rank
+// (SetTraceRankForCurrentThread); the rank becomes the Chrome-trace `pid`,
+// so every rank gets its own lane in Perfetto. Spans may carry a flow id +
+// phase ('s' start / 't' step / 'f' finish) — collectives use a sequence
+// number agreed by construction across ranks, and the exporter emits
+// matching Perfetto flow events that draw one arrow through the rank-local
+// spans of the same collective call. SetTraceClockOffsetNs() shifts this
+// process's timestamps at export time so traces from independently started
+// rank processes align on rank 0's clock (the offset is estimated with a
+// symmetric ping-pong against rank 0 at communicator setup; see
+// comm/telemetry_gather.h). SerializeChromeTraceEventsForRank() +
+// BuildMergedChromeTrace() let rank 0 stitch per-rank fragments into one
+// Perfetto-loadable file.
 //
 // Span names must be string literals (or otherwise outlive the export):
 // only the pointer is stored, which is what keeps the record path
@@ -44,11 +58,15 @@ struct TraceEvent {
   std::uint64_t start_ns = 0;
   std::uint64_t dur_ns = 0;
   std::uint32_t depth = 0;  // Nesting depth on the recording thread; 0 = root.
+  std::uint64_t flow_id = 0;  // Nonzero: this span is one hop of a flow.
+  char flow_phase = 0;        // 's' (start), 't' (step), or 'f' (finish).
 };
 
-// A TraceEvent paired with the stable id of the thread that recorded it.
+// A TraceEvent paired with the stable id of the thread that recorded it
+// and the rank its buffer was tagged with at snapshot time.
 struct SnapshotEvent {
   std::uint32_t tid = 0;
+  int rank = 0;
   TraceEvent event;
 };
 
@@ -57,6 +75,8 @@ struct SnapshotEvent {
 // SpanEnd pops the depth and pushes the completed event.
 std::uint64_t SpanBegin();
 void SpanEnd(const char* name, std::uint64_t start_ns);
+void SpanEndFlow(const char* name, std::uint64_t start_ns,
+                 std::uint64_t flow_id, char flow_phase);
 
 // All currently buffered events, oldest-first per thread. For tests and
 // the JSON exporter; same quiescence requirement as the exporter.
@@ -72,8 +92,15 @@ inline bool TraceEnabled() {
 // Turns recording on/off. The first enable fixes the trace epoch.
 void SetTraceEnabled(bool enabled);
 
+// Nanoseconds since the trace epoch (fixing the epoch if it is not fixed
+// yet). This is the clock spans record with; the clock-offset estimator
+// exchanges these values across ranks.
+std::uint64_t TraceNowNs();
+
 // Per-thread ring capacity (events) for buffers created *after* this call;
-// rounded up to a power of two. Default 32768 (~1 MiB per thread).
+// rounded up to a power of two. Default 32768 (~1.5 MiB per thread). Also
+// serves as the test hook for forcing tiny rings to exercise overflow
+// accounting.
 void SetTraceBufferCapacity(std::size_t events);
 
 // Drops all buffered events (buffers stay registered and keep their
@@ -85,11 +112,58 @@ void ClearTrace();
 std::size_t TraceEventCount();
 std::uint64_t TraceDroppedEventCount();
 
+// --- Rank / run identity ----------------------------------------------------
+
+// Tags the calling thread's trace buffer with a rank: its events export
+// under Chrome-trace pid == rank. Threads never tagged use the process
+// default (below). Safe to call at any time from the owning thread.
+void SetTraceRankForCurrentThread(int rank);
+
+// Rank assigned to buffers that were never explicitly tagged (default 0).
+// Covers shared BLAS-pool workers, which serve whichever rank scheduled
+// the task: in thread mode they stay on the driver's rank-0 lane; in fork
+// mode each child process sets its own default so its workers land on the
+// child's lane.
+void SetTraceDefaultRank(int rank);
+
+// Post-fork(2) reset for a child rank process: drops every event inherited
+// from the parent (they belong to the parent's lanes), retags all existing
+// buffers, and sets the default rank. The trace epoch is inherited from
+// the parent, so parent and child timestamps stay on one axis.
+void ResetTraceForChildProcess(int rank);
+
+// Identifies this run in exported traces (otherData.run_id and the lane
+// names). Drivers set one id on every rank of a run.
+void SetTraceRunId(std::uint64_t run_id);
+std::uint64_t TraceRunId();
+
+// Export-time shift (ns, may be negative) added to every timestamp of this
+// process, mapping the local trace epoch onto rank 0's. Estimated at
+// communicator setup; identity (0) for single-process runs.
+void SetTraceClockOffsetNs(std::int64_t offset_ns);
+std::int64_t TraceClockOffsetNs();
+
+// --- Export -----------------------------------------------------------------
+
 // Serializes the buffered events in Chrome trace_event JSON ("X" complete
-// events, ts/dur in microseconds). The output loads directly in Perfetto
-// (ui.perfetto.dev) or chrome://tracing.
+// events, ts/dur in microseconds; flow events for flow-tagged spans; one
+// pid lane per rank seen). otherData carries run_id and the exact total of
+// ring-overflow drops; each overflowing thread additionally gets a
+// per-tid "trace_buffer_dropped" metadata event. The output loads directly
+// in Perfetto (ui.perfetto.dev) or chrome://tracing.
 void ExportChromeTrace(std::ostream& os);
 Status WriteChromeTrace(const std::string& path);
+
+// Fragment of Chrome trace JSON (comma-joined event objects, no enclosing
+// array) holding only the buffers tagged with `rank`: lane metadata,
+// X events, flow events, and drop accounting, with the clock offset
+// applied. Each rank produces its own fragment and ships it to rank 0.
+std::string SerializeChromeTraceEventsForRank(int rank);
+
+// Joins per-rank fragments (index == rank; empty fragments allowed) into
+// one complete Chrome trace document.
+std::string BuildMergedChromeTrace(const std::vector<std::string>& fragments,
+                                   std::uint64_t run_id);
 
 // RAII span. Construction samples the clock only when tracing is enabled;
 // destruction records the event into the calling thread's ring buffer.
@@ -101,8 +175,26 @@ class TraceSpan {
       start_ns_ = internal_trace::SpanBegin();
     }
   }
+
+  // Flow-tagged span: one hop of the cross-rank flow `flow_id`, with
+  // phase 's' on the first rank, 't' in the middle, 'f' on the last.
+  TraceSpan(const char* name, std::uint64_t flow_id, char flow_phase) {
+    if (TraceEnabled()) {
+      name_ = name;
+      flow_id_ = flow_id;
+      flow_phase_ = flow_phase;
+      start_ns_ = internal_trace::SpanBegin();
+    }
+  }
+
   ~TraceSpan() {
-    if (name_ != nullptr) internal_trace::SpanEnd(name_, start_ns_);
+    if (name_ != nullptr) {
+      if (flow_phase_ != 0) {
+        internal_trace::SpanEndFlow(name_, start_ns_, flow_id_, flow_phase_);
+      } else {
+        internal_trace::SpanEnd(name_, start_ns_);
+      }
+    }
   }
 
   TraceSpan(const TraceSpan&) = delete;
@@ -111,6 +203,8 @@ class TraceSpan {
  private:
   const char* name_ = nullptr;  // Null when the span started disabled.
   std::uint64_t start_ns_ = 0;
+  std::uint64_t flow_id_ = 0;
+  char flow_phase_ = 0;
 };
 
 #define DT_TRACE_CONCAT_INNER(a, b) a##b

@@ -746,6 +746,9 @@ Result<TuckerDecomposition> DTuckerFromApproximation(
     }
     const double error = OrthogonalTuckerRelativeError(
         approx_norm2, state.core.SquaredNorm());
+    static Histogram& sweep_hist = MetricHistogram("dtucker.sweep_ns");
+    sweep_hist.Record(
+        static_cast<std::uint64_t>(sweep_timer.Seconds() * 1e9));
     if (stats != nullptr) stats->error_history.push_back(error);
     const bool want_telemetry = stats != nullptr || options.sweep_callback;
     if (want_telemetry) {

@@ -1,8 +1,10 @@
 #include "dtucker/engine.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <utility>
 
 #include "common/logging.h"
@@ -25,6 +27,24 @@ Status EngineOptions::Validate(const std::vector<Index>& shape) const {
   if (num_ranks > 0 && method != TuckerMethod::kDTucker) {
     return Status::InvalidArgument(
         "num_ranks (sharded execution) requires method == dtucker");
+  }
+  if (spmd_rank >= 0) {
+    if (num_ranks < 1) {
+      return Status::InvalidArgument(
+          "spmd_rank mode requires num_ranks >= 1");
+    }
+    if (spmd_rank >= num_ranks) {
+      return Status::InvalidArgument("spmd_rank must be < num_ranks");
+    }
+    if (comm_transport == CommTransport::kInProcess) {
+      return Status::InvalidArgument(
+          "spmd_rank mode needs a cross-process transport (file or shm); "
+          "inproc cannot reach the other rank processes");
+    }
+    if (comm_scratch.empty()) {
+      return Status::InvalidArgument(
+          "spmd_rank mode requires comm_scratch (shared rendezvous name)");
+    }
   }
   if (!solver_spec.empty()) {
     // Unknown axes/variant names surface here, with the registered-variant
@@ -119,7 +139,47 @@ ShardedDTuckerOptions Engine::ShardedOptionsFromMethod() {
   opt.dtucker = DTuckerOptionsFromMethod();
   opt.num_ranks = options_.num_ranks;
   opt.transport = options_.comm_transport;
+  opt.comm_scratch = options_.comm_scratch;
   return opt;
+}
+
+namespace {
+
+// Deterministic across processes and builds (unlike std::hash), so every
+// rank process of one run derives the same trace flow group from the
+// shared rendezvous name.
+std::uint64_t Fnv1aHash(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Communicator>> Engine::MakeSpmdCommunicator() {
+  std::unique_ptr<Communicator> comm;
+  if (options_.comm_transport == CommTransport::kFile) {
+    DT_ASSIGN_OR_RETURN(comm,
+                        CreateFileCommunicator(options_.comm_scratch,
+                                               options_.spmd_rank,
+                                               options_.num_ranks));
+  } else {
+    DT_ASSIGN_OR_RETURN(comm,
+                        CreateShmCommunicator(options_.comm_scratch,
+                                              options_.spmd_rank,
+                                              options_.num_ranks));
+  }
+  comm->set_run_context(&ctx_);
+  comm->set_timeout_seconds(ShardedDTuckerOptions().comm_timeout_seconds);
+  // Flow group from the shared rendezvous name: identical on every rank,
+  // distinct across runs (scratch names embed pid + run counters).
+  comm->set_trace_flow_group(Fnv1aHash(options_.comm_scratch) & 0xFFFFFFFFull);
+  SetTraceRankForCurrentThread(options_.spmd_rank);
+  SetTraceDefaultRank(options_.spmd_rank);
+  return comm;
 }
 
 namespace {
@@ -231,8 +291,19 @@ Result<EngineRun> Engine::Solve(const Tensor& x) {
     EngineRun run;
     ShardedDTuckerOptions sharded = ShardedOptionsFromMethod();
     sharded.dtucker.variants = plan;
-    DT_ASSIGN_OR_RETURN(run.decomposition,
-                        ShardedDTucker(x, sharded, &run.stats));
+    if (options_.spmd_rank >= 0) {
+      // SPMD mode: this process is one rank of an externally launched
+      // group; run the rank entry point on its own communicator instead of
+      // spawning rank threads.
+      DT_ASSIGN_OR_RETURN(std::unique_ptr<Communicator> comm,
+                          MakeSpmdCommunicator());
+      DT_ASSIGN_OR_RETURN(
+          run.decomposition,
+          ShardedDTuckerRank(x, sharded.dtucker, comm.get(), &run.stats));
+    } else {
+      DT_ASSIGN_OR_RETURN(run.decomposition,
+                          ShardedDTucker(x, sharded, &run.stats));
+    }
     run.stored_bytes = run.decomposition.ByteSize();
     if (options_.measure_error) {
       run.relative_error = run.decomposition.RelativeErrorAgainst(x);
@@ -278,8 +349,16 @@ Result<EngineRun> Engine::SolveFile(const std::string& path) {
     EngineRun run;
     ShardedDTuckerOptions sharded = ShardedOptionsFromMethod();
     sharded.dtucker.variants = plan;
-    DT_ASSIGN_OR_RETURN(run.decomposition,
-                        ShardedDTuckerFromFile(path, sharded, &run.stats));
+    if (options_.spmd_rank >= 0) {
+      DT_ASSIGN_OR_RETURN(std::unique_ptr<Communicator> comm,
+                          MakeSpmdCommunicator());
+      DT_ASSIGN_OR_RETURN(run.decomposition,
+                          ShardedDTuckerRankFromFile(path, sharded.dtucker,
+                                                     comm.get(), &run.stats));
+    } else {
+      DT_ASSIGN_OR_RETURN(run.decomposition,
+                          ShardedDTuckerFromFile(path, sharded, &run.stats));
+    }
     run.stored_bytes = run.stats.working_bytes;
     if (!run.stats.error_history.empty()) {
       run.relative_error = run.stats.error_history.back();

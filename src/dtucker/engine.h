@@ -63,6 +63,19 @@ struct EngineOptions {
   // shared-memory segment. Results are bitwise-identical across the three
   // (comm/communicator.h); the CLI spells this --transport={inproc,file,shm}.
   CommTransport comm_transport = CommTransport::kInProcess;
+  // SPMD rank mode: when >= 0, this process *is* rank `spmd_rank` of an
+  // externally launched group of num_ranks processes (the CLI's
+  // --rank-procs fork mode). Solve/SolveFile then build one communicator
+  // on comm_transport (file or shm — inproc cannot cross processes)
+  // rendezvousing at comm_scratch and run the rank entry point directly
+  // instead of spawning rank threads. -1 (default): the engine drives all
+  // ranks itself.
+  int spmd_rank = -1;
+  // Rendezvous point shared by the rank group: the file transport's
+  // directory or the shm segment name. Required in spmd_rank mode; in the
+  // self-driving mode it optionally pins the auto-generated rendezvous
+  // name (the caller then owns cleanup).
+  std::string comm_scratch;
   // Measure the true reconstruction error after Solve() (O(volume); turn
   // off for pure-timing runs). File/approximation paths always report the
   // compressed-form error from the sweep telemetry instead.
@@ -148,6 +161,10 @@ class Engine {
   void FinishRun(EngineRun* run) const;
   DTuckerOptions DTuckerOptionsFromMethod();
   ShardedDTuckerOptions ShardedOptionsFromMethod();
+  // Builds this process's communicator for spmd_rank mode (file/shm at
+  // comm_scratch), wires the run context/timeout, and tags the calling
+  // thread + communicator for cross-rank tracing.
+  Result<std::unique_ptr<Communicator>> MakeSpmdCommunicator();
   Status RequireDTucker(const char* entry) const;
   void ApplyBlasThreads() const;
 

@@ -13,8 +13,11 @@
 #include <utility>
 #include <vector>
 
+#include "comm/telemetry_gather.h"
+#include "common/logging.h"
 #include "common/memory.h"
 #include "common/metrics.h"
+#include "common/telemetry.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "common/trace.h"
@@ -47,6 +50,23 @@ Index TrailingVolume(const std::vector<Index>& shape) {
   for (std::size_t n = 2; n < shape.size(); ++n) l *= shape[n];
   return l;
 }
+
+// Records the enclosing scope's wall time into a latency histogram on
+// every exit path (the sweep stages return early through
+// DT_RETURN_NOT_OK).
+class StageTimer {
+ public:
+  explicit StageTimer(Histogram* histogram) : histogram_(histogram) {}
+  ~StageTimer() {
+    histogram_->Record(static_cast<std::uint64_t>(timer_.Seconds() * 1e9));
+  }
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  Timer timer_;
+};
 
 // Everything a collective phase needs about this rank's shard.
 struct ShardContext {
@@ -500,6 +520,8 @@ Status ShardedSweep(const ShardContext& sc, const std::vector<Index>& ranks,
   const Index i2 = sc.full_shape[1];
   {
     DT_TRACE_SPAN("dtucker.shard.update_mode1");
+    static Histogram& stage_hist = MetricHistogram("dtucker.stage_ns.mode1");
+    StageTimer stage_timer(&stage_hist);
     BuildModeOneCarrierInto(*sc.local, (*factors)[1], sc.s_inv,
                             &sw->ws.carrier, sc.variants.carrier);
     const Index j2 = (*factors)[1].cols();
@@ -521,6 +543,8 @@ Status ShardedSweep(const ShardContext& sc, const std::vector<Index>& ranks,
     // Mode-2 update, on the fresh A1. Like the unsharded T2, the carrier
     // is laid out mode-1-first so the update is a mode-0 problem on W.
     DT_TRACE_SPAN("dtucker.shard.update_mode2");
+    static Histogram& stage_hist = MetricHistogram("dtucker.stage_ns.mode2");
+    StageTimer stage_timer(&stage_hist);
     BuildModeTwoCarrierInto(*sc.local, (*factors)[0], sc.s_inv,
                             &sw->ws.carrier, sc.variants.carrier);
     const Index j1 = (*factors)[0].cols();
@@ -541,6 +565,9 @@ Status ShardedSweep(const ShardContext& sc, const std::vector<Index>& ranks,
   if (stopped) return Status::OK();
   {
     DT_TRACE_SPAN("dtucker.shard.update_trailing");
+    static Histogram& stage_hist =
+        MetricHistogram("dtucker.stage_ns.trailing");
+    StageTimer stage_timer(&stage_hist);
     if (UseShardedTrailing(sc, ranks)) {
       // Sharded trailing update: refresh only this rank's Z slab on the
       // fresh A1/A2 and recover the mode-3 factor from the small-side
@@ -568,6 +595,9 @@ Status ShardedSweep(const ShardContext& sc, const std::vector<Index>& ranks,
   if (stopped) return Status::OK();
   {
     DT_TRACE_SPAN("dtucker.shard.core_refresh");
+    static Histogram& stage_hist =
+        MetricHistogram("dtucker.stage_ns.core_refresh");
+    StageTimer stage_timer(&stage_hist);
     if (sc.shard_trailing) {
       // Sharded core refresh (any order): contract this rank's Z slab —
       // current in both branches above — against Kronecker weights rebuilt
@@ -635,6 +665,16 @@ Result<TuckerDecomposition> ShardedDTuckerFromLocalApproximation(
       local.Dim(0) != full_shape[0] || local.Dim(1) != full_shape[1]) {
     return Status::InvalidArgument(
         "local approximation does not match this rank's shard");
+  }
+
+  // Clock alignment before the first traced collective, so every exported
+  // span of this run already sits on rank 0's time axis. Gated on flags
+  // that are derived identically on every rank (collective discipline).
+  if (TelemetryGatherEnabled() && TraceEnabled()) {
+    Status align = AlignTraceClockWithRoot(comm);
+    if (!align.ok()) {
+      DT_LOG(WARNING) << "trace clock alignment failed: " << align.message();
+    }
   }
 
   ShardContext sc;
@@ -722,6 +762,9 @@ Result<TuckerDecomposition> ShardedDTuckerFromLocalApproximation(
       if (stats != nullptr) stats->sweep_history.push_back(t);
       if (do_callback) options.sweep_callback(t);
     }
+    static Histogram& sweep_hist = MetricHistogram("dtucker.sweep_ns");
+    sweep_hist.Record(
+        static_cast<std::uint64_t>(sweep_timer.Seconds() * 1e9));
     const double delta = std::fabs(prev_error - error);
     prev_error = error;
     if (delta < options.tucker.tolerance) {
@@ -744,6 +787,19 @@ Result<TuckerDecomposition> ShardedDTuckerFromLocalApproximation(
           std::string(StatusCodeToString(stop)) + " during " +
           (stop_phase != nullptr ? stop_phase : "iteration") + "; " +
           std::to_string(it) + " completed sweep(s)";
+    }
+  }
+
+  // Run-end telemetry gather. Cancelled/rolled-back runs reach this point
+  // too (graceful degradation returns the best-so-far decomposition), so
+  // aborted runs still produce one merged trace. Collective, gated on a
+  // flag that is uniform across ranks; a failed gather degrades to the
+  // per-rank fallback files, never fails the solve.
+  if (TelemetryGatherEnabled()) {
+    Status gathered = GatherRankTelemetry(comm);
+    if (!gathered.ok()) {
+      DT_LOG(WARNING) << "cross-rank telemetry gather failed: "
+                      << gathered.message();
     }
   }
 
@@ -933,16 +989,28 @@ Result<TuckerDecomposition> RunInProcessRanks(
   }
   PoolPartitionGuard partition_guard(num_ranks);
 
+  // All rank threads of one run share a flow-id namespace: collective
+  // call k on every rank carries the same flow id, which is what binds
+  // the rank-local spans into one cross-rank flow arrow in the merged
+  // trace. The counter keeps concurrent/successive runs in one process
+  // from colliding.
+  const std::uint64_t flow_group =
+      static_cast<std::uint64_t>(run_counter.fetch_add(1)) + 1;
+
   std::vector<std::unique_ptr<Result<TuckerDecomposition>>> results(
       static_cast<std::size_t>(num_ranks));
   std::vector<TuckerStats> rank_stats(static_cast<std::size_t>(num_ranks));
   auto run_rank = [&](int r) {
+    // Each rank thread's spans export under pid == r (its own Perfetto
+    // lane). Shared pool workers stay on the default (rank 0) lane.
+    SetTraceRankForCurrentThread(r);
     DTuckerOptions rank_options = options.dtucker;
     if (r != 0) rank_options.sweep_callback = nullptr;
     rank_options.num_threads =
         std::max(1, options.dtucker.num_threads / num_ranks);
     Communicator* comm = comms[static_cast<std::size_t>(r)];
     comm->set_timeout_seconds(options.comm_timeout_seconds);
+    comm->set_trace_flow_group(flow_group);
     results[static_cast<std::size_t>(r)] =
         std::make_unique<Result<TuckerDecomposition>>(rank_fn(
             rank_options, comm, &rank_stats[static_cast<std::size_t>(r)]));

@@ -1,6 +1,7 @@
 #include "tucker/tucker.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 
 #include "common/metrics.h"
@@ -70,18 +71,43 @@ double OrthogonalTuckerRelativeError(double x_squared_norm,
   return residual / x_squared_norm;
 }
 
+namespace {
+std::atomic<int> g_sweep_metrics_window{64};
+}  // namespace
+
+void SetSweepMetricsWindow(int window) {
+  g_sweep_metrics_window.store(window < 1 ? 1 : window,
+                               std::memory_order_relaxed);
+}
+
 void RecordSweepMetrics(const TuckerStats& stats) {
+  const int window = g_sweep_metrics_window.load(std::memory_order_relaxed);
   char name[64];
+  double total_seconds = 0.0;
+  double total_subspace = 0.0;
   for (const SweepTelemetry& t : stats.sweep_history) {
-    std::snprintf(name, sizeof(name), "dtucker.sweep%02d.fit", t.sweep);
+    // Rolling window keeps the gauge namespace bounded (see tucker.h):
+    // sweep t reuses slot ((t-1) % window) + 1, identity for t <= window.
+    const int slot = (t.sweep - 1) % window + 1;
+    std::snprintf(name, sizeof(name), "dtucker.sweep%02d.fit", slot);
     MetricGauge(name).Set(t.fit);
-    std::snprintf(name, sizeof(name), "dtucker.sweep%02d.delta_fit", t.sweep);
+    std::snprintf(name, sizeof(name), "dtucker.sweep%02d.delta_fit", slot);
     MetricGauge(name).Set(t.delta_fit);
-    std::snprintf(name, sizeof(name), "dtucker.sweep%02d.seconds", t.sweep);
+    std::snprintf(name, sizeof(name), "dtucker.sweep%02d.seconds", slot);
     MetricGauge(name).Set(t.seconds);
     std::snprintf(name, sizeof(name), "dtucker.sweep%02d.subspace_iterations",
-                  t.sweep);
+                  slot);
     MetricGauge(name).Set(static_cast<double>(t.subspace_iterations));
+    total_seconds += t.seconds;
+    total_subspace += static_cast<double>(t.subspace_iterations);
+  }
+  if (!stats.sweep_history.empty()) {
+    // Set (not Add): FinishRun may re-publish the same history.
+    MetricGauge("dtucker.sweeps.count")
+        .Set(static_cast<double>(stats.sweep_history.size()));
+    MetricGauge("dtucker.sweeps.total_seconds").Set(total_seconds);
+    MetricGauge("dtucker.sweeps.total_subspace_iterations")
+        .Set(total_subspace);
   }
 }
 

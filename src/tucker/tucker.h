@@ -121,7 +121,20 @@ double OrthogonalTuckerRelativeError(double x_squared_norm,
 // gauges ("dtucker.sweep<NN>.fit", ".delta_fit", ".seconds",
 // ".subspace_iterations"), so a --metrics-out snapshot carries the
 // convergence trajectory alongside the counters.
+//
+// The per-sweep gauge namespace is bounded: sweep t lands in slot
+// ((t - 1) % K) + 1 where K is the rolling window (default 64,
+// SetSweepMetricsWindow). Runs within the window keep the identity
+// mapping sweep t -> "dtucker.sweep<t>"; longer runs wrap, so at most
+// 4*K sweep gauges ever exist while the cumulative totals
+// ("dtucker.sweeps.count", ".total_seconds", ".total_subspace_iterations")
+// still cover every sweep. Idempotent: the gauges and totals are Set, not
+// accumulated, so re-publishing the same history is a no-op.
 void RecordSweepMetrics(const TuckerStats& stats);
+
+// Resizes the rolling sweep-gauge window (clamped to >= 1). Process-wide;
+// intended for tests and long-running services that want a tighter bound.
+void SetSweepMetricsWindow(int window);
 
 }  // namespace dtucker
 

@@ -3,6 +3,8 @@
 // TSan via `ctest -L tsan` (see tests/CMakeLists.txt).
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -119,6 +121,158 @@ TEST(MetricsRegistryTest, SnapshotJsonIsValidAndContainsEntries) {
   EXPECT_GE(root.at("phases").at("test.snapshot_phase").number_value, 0.125);
   EXPECT_TRUE(root.at("process").Has("rss_bytes"));
   EXPECT_TRUE(root.at("process").Has("peak_rss_bytes"));
+}
+
+TEST(HistogramTest, RecordCountSumMax) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  h.Record(3);
+  h.Record(100);
+  h.Record(7);
+  const HistogramData data = h.Snapshot();
+  EXPECT_EQ(data.Count(), 3u);
+  EXPECT_EQ(data.sum_ns, 110u);
+  EXPECT_EQ(data.max_ns, 100u);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.SumNs(), 0u);
+}
+
+TEST(HistogramTest, BucketIndexIsLogTwoWithClampedEnds) {
+  // Bucket b covers [2^b, 2^(b+1)); bucket 0 absorbs 0/1 ns, the last is
+  // open-ended.
+  EXPECT_EQ(HistogramData::BucketIndex(0), 0u);
+  EXPECT_EQ(HistogramData::BucketIndex(1), 0u);
+  EXPECT_EQ(HistogramData::BucketIndex(2), 1u);
+  EXPECT_EQ(HistogramData::BucketIndex(3), 1u);
+  EXPECT_EQ(HistogramData::BucketIndex(4), 2u);
+  EXPECT_EQ(HistogramData::BucketIndex((1ull << 20) - 1), 19u);
+  EXPECT_EQ(HistogramData::BucketIndex(1ull << 20), 20u);
+  EXPECT_EQ(HistogramData::BucketIndex(~0ull), HistogramData::kBuckets - 1);
+  for (unsigned b = 0; b + 1 < HistogramData::kBuckets; ++b) {
+    EXPECT_LT(HistogramData::BucketLowerNs(b),
+              HistogramData::BucketLowerNs(b + 1));
+  }
+}
+
+TEST(HistogramTest, QuantilesAreMonotoneAndClampedToMax) {
+  Histogram h;
+  for (std::uint64_t ns = 1; ns <= 1000; ++ns) h.Record(ns);
+  const HistogramData data = h.Snapshot();
+  const double p50 = data.QuantileNs(0.50);
+  const double p90 = data.QuantileNs(0.90);
+  const double p99 = data.QuantileNs(0.99);
+  const double p100 = data.QuantileNs(1.0);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, p100);
+  EXPECT_LE(p100, static_cast<double>(data.max_ns));
+  // Log buckets give <= 2x relative error: the true p50 is 500.
+  EXPECT_GE(p50, 250.0);
+  EXPECT_LE(p50, 1000.0);
+  EXPECT_LE(data.QuantileNs(0.0), p50);  // q = 0 targets the first sample.
+  EXPECT_DOUBLE_EQ(HistogramData{}.QuantileNs(0.5), 0.0);
+}
+
+TEST(HistogramTest, ConcurrentRecordsMergeAcrossShards) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kRecords = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kRecords; ++i) {
+        h.Record(static_cast<std::uint64_t>(i) + 1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const HistogramData data = h.Snapshot();
+  EXPECT_EQ(data.Count(), static_cast<std::uint64_t>(kThreads) * kRecords);
+  EXPECT_EQ(data.max_ns, static_cast<std::uint64_t>(kRecords));
+  EXPECT_EQ(data.sum_ns, static_cast<std::uint64_t>(kThreads) * kRecords *
+                             (kRecords + 1) / 2);
+}
+
+TEST(HistogramTest, MergeSumsBucketsAndKeepsMax) {
+  Histogram a;
+  Histogram b;
+  a.Record(10);
+  a.Record(20);
+  b.Record(1000);
+  HistogramData merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  EXPECT_EQ(merged.Count(), 3u);
+  EXPECT_EQ(merged.sum_ns, 1030u);
+  EXPECT_EQ(merged.max_ns, 1000u);
+}
+
+TEST(MetricsRegistryTest, SnapshotJsonContainsHistogramSection) {
+  Histogram& h = MetricHistogram("test.snapshot_histogram");
+  h.Reset();
+  for (int i = 0; i < 100; ++i) h.Record(1u << (i % 10));
+
+  json_test::JsonValue root;
+  const std::string text = MetricsRegistry::Global().SnapshotJson();
+  ASSERT_TRUE(json_test::JsonParser::Parse(text, &root)) << text;
+  ASSERT_TRUE(root.Has("histograms"));
+  const auto& entry = root.at("histograms").at("test.snapshot_histogram");
+  EXPECT_EQ(entry.at("count").number_value, 100.0);
+  EXPECT_EQ(entry.at("max").number_value, 512.0);
+  const double p50 = entry.at("p50").number_value;
+  const double p90 = entry.at("p90").number_value;
+  const double p99 = entry.at("p99").number_value;
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, entry.at("max").number_value);
+  ASSERT_TRUE(entry.at("buckets").IsArray());
+}
+
+TEST(MetricsRegistryTest, MergeRankMetricsJsonBuildsSectionsAndRollups) {
+  // Two synthetic rank dumps exercising every record type.
+  MetricCounter("test.merge_counter").Add(5);
+  MetricGauge("test.merge_gauge").Set(2.0);
+  Histogram& h = MetricHistogram("test.merge_histogram");
+  h.Reset();
+  h.Record(100);
+  h.Record(200);
+  const std::string dump0 = MetricsRegistry::Global().SerializeForMerge();
+  MetricCounter("test.merge_counter").Add(2);
+  MetricGauge("test.merge_gauge").Set(6.0);
+  h.Record(400);
+  const std::string dump1 = MetricsRegistry::Global().SerializeForMerge();
+
+  const std::string merged = MergeRankMetricsJson({dump0, dump1});
+  json_test::JsonValue root;
+  ASSERT_TRUE(json_test::JsonParser::Parse(merged, &root)) << merged;
+  EXPECT_EQ(root.at("world_size").number_value, 2.0);
+  ASSERT_TRUE(root.Has("ranks"));
+  ASSERT_TRUE(root.at("ranks").Has("0"));
+  ASSERT_TRUE(root.at("ranks").Has("1"));
+  EXPECT_GE(root.at("ranks")
+                .at("0")
+                .at("counters")
+                .at("test.merge_counter")
+                .number_value,
+            5.0);
+  EXPECT_DOUBLE_EQ(
+      root.at("ranks").at("1").at("gauges").at("test.merge_gauge").number_value,
+      6.0);
+
+  ASSERT_TRUE(root.Has("rollup"));
+  const auto& gauge_rollup =
+      root.at("rollup").at("gauges").at("test.merge_gauge");
+  EXPECT_DOUBLE_EQ(gauge_rollup.at("min").number_value, 2.0);
+  EXPECT_DOUBLE_EQ(gauge_rollup.at("max").number_value, 6.0);
+  EXPECT_DOUBLE_EQ(gauge_rollup.at("sum").number_value, 8.0);
+  // Histogram rollup merges raw buckets: 2 + 3 samples, max 400.
+  const auto& hist_rollup =
+      root.at("rollup").at("histograms").at("test.merge_histogram");
+  EXPECT_EQ(hist_rollup.at("count").number_value, 5.0);
+  EXPECT_EQ(hist_rollup.at("max").number_value, 400.0);
+  EXPECT_LE(hist_rollup.at("p50").number_value,
+            hist_rollup.at("p99").number_value);
 }
 
 TEST(MemoryTest, PeakRssAtLeastCurrentRss) {

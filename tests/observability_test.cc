@@ -9,16 +9,20 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/telemetry.h"
 #include "common/trace.h"
 #include "data/generators.h"
 #include "data/tensor_io.h"
 #include "dtucker/dtucker.h"
+#include "dtucker/sharded_dtucker.h"
 #include "json_test_util.h"
 
 namespace dtucker {
@@ -127,6 +131,146 @@ TEST(ObservabilityTest, MetricsSnapshotReportsFlopsAndPerSweepFit) {
   EXPECT_GT(root.at("process").at("peak_rss_bytes").number_value, 0.0);
 }
 
+// Schema checks for a merged multi-rank Chrome trace: one pid lane per
+// rank, clock-aligned collective spans, and every flow hop bound to an
+// existing span on its own (pid, tid) lane.
+void CheckMergedTraceDocument(const JsonValue& root, int world_size) {
+  ASSERT_TRUE(root.Has("traceEvents"));
+  std::set<int> lane_pids;
+  std::map<std::pair<int, int>, std::vector<std::pair<double, double>>> spans;
+  struct Flow {
+    int pid;
+    int tid;
+    double ts;
+  };
+  std::vector<Flow> flows;
+  std::set<std::string> flow_phases;
+  for (const JsonValue& ev : root.at("traceEvents").array) {
+    const std::string& ph = ev.at("ph").string_value;
+    if (ph == "M") {
+      if (ev.at("name").string_value == "process_name") {
+        lane_pids.insert(static_cast<int>(ev.at("pid").number_value));
+      }
+      continue;
+    }
+    const int pid = static_cast<int>(ev.at("pid").number_value);
+    const int tid = static_cast<int>(ev.at("tid").number_value);
+    const double ts = ev.at("ts").number_value;
+    if (ph == "X") {
+      spans[{pid, tid}].emplace_back(ts, ts + ev.at("dur").number_value);
+    } else if (ph == "s" || ph == "t" || ph == "f") {
+      EXPECT_TRUE(ev.Has("id"));
+      flows.push_back(Flow{pid, tid, ts});
+      flow_phases.insert(ph);
+    }
+  }
+  for (int r = 0; r < world_size; ++r) {
+    EXPECT_TRUE(lane_pids.count(r)) << "missing pid lane for rank " << r;
+  }
+  ASSERT_FALSE(flows.empty()) << "collectives must emit flow events";
+  // Start on rank 0, finish on the last rank; middles only when size > 2.
+  EXPECT_TRUE(flow_phases.count("s"));
+  EXPECT_TRUE(flow_phases.count("f"));
+  if (world_size > 2) {
+    EXPECT_TRUE(flow_phases.count("t"));
+  }
+  for (const Flow& f : flows) {
+    bool bound = false;
+    const auto it = spans.find({f.pid, f.tid});
+    if (it != spans.end()) {
+      for (const auto& [start, end] : it->second) {
+        bound = bound || (f.ts >= start - 1e-3 && f.ts <= end + 1e-3);
+      }
+    }
+    EXPECT_TRUE(bound) << "flow hop at ts=" << f.ts << " on pid " << f.pid
+                       << " tid " << f.tid
+                       << " references no span on that lane";
+  }
+}
+
+// Schema checks for the merged metrics document: every rank section
+// present, per-op comm-wait histograms with monotone quantiles, and
+// cross-rank rollups over the same names.
+void CheckMergedMetricsDocument(const JsonValue& root, int world_size) {
+  EXPECT_EQ(root.at("world_size").number_value,
+            static_cast<double>(world_size));
+  ASSERT_TRUE(root.Has("ranks"));
+  auto check_histograms = [](const JsonValue& hists, int* comm_wait_ops) {
+    for (const auto& [name, h] : hists.object) {
+      const double p50 = h.at("p50").number_value;
+      const double p90 = h.at("p90").number_value;
+      const double p99 = h.at("p99").number_value;
+      const double max = h.at("max").number_value;
+      EXPECT_LE(p50, p90) << name;
+      EXPECT_LE(p90, p99) << name;
+      EXPECT_LE(p99, max) << name;
+      if (name.rfind("comm.wait_ns.", 0) == 0 && h.at("count").number_value > 0)
+        ++*comm_wait_ops;
+    }
+  };
+  for (int r = 0; r < world_size; ++r) {
+    ASSERT_TRUE(root.at("ranks").Has(std::to_string(r)))
+        << "missing rank section " << r;
+    const JsonValue& rank = root.at("ranks").at(std::to_string(r));
+    for (const char* section :
+         {"counters", "gauges", "histograms", "phases", "process"}) {
+      EXPECT_TRUE(rank.Has(section))
+          << "rank " << r << " missing section " << section;
+    }
+    int comm_wait_ops = 0;
+    check_histograms(rank.at("histograms"), &comm_wait_ops);
+    EXPECT_GE(comm_wait_ops, 2)
+        << "rank " << r << " must report per-op comm-wait quantiles";
+  }
+  ASSERT_TRUE(root.Has("rollup"));
+  for (const char* section : {"counters", "gauges", "phases", "histograms"}) {
+    EXPECT_TRUE(root.at("rollup").Has(section));
+  }
+  int rollup_comm_wait_ops = 0;
+  check_histograms(root.at("rollup").at("histograms"), &rollup_comm_wait_ops);
+  EXPECT_GE(rollup_comm_wait_ops, 2);
+}
+
+TEST(ObservabilityGatherTest, InProcessFourRankRunDepositsMergedTelemetry) {
+  SetTraceEnabled(false);
+  ClearTrace();
+  SetTraceRunId(4242);
+  SetTelemetryGatherEnabled(true);
+  SetTraceEnabled(true);
+
+  Tensor x = MakeLowRankTensor({14, 12, 12}, {3, 3, 3}, 0.1, 7);
+  ShardedDTuckerOptions opt;
+  opt.dtucker.tucker.ranks = {3, 3, 3};
+  opt.dtucker.tucker.max_iterations = 3;
+  opt.dtucker.tucker.tolerance = 0.0;
+  opt.num_ranks = 4;
+  Result<TuckerDecomposition> dec = ShardedDTucker(x, opt);
+
+  SetTraceEnabled(false);
+  SetTelemetryGatherEnabled(false);
+  ASSERT_TRUE(dec.ok()) << dec.status().ToString();
+
+  const AggregatedTelemetry& agg = GetAggregatedTelemetry();
+  ASSERT_TRUE(agg.present) << "the run-end gather must deposit a bundle";
+  ASSERT_TRUE(agg.is_root);
+  EXPECT_EQ(agg.run_id, 4242u);
+
+  JsonValue trace;
+  ASSERT_TRUE(JsonParser::Parse(agg.merged_trace_json, &trace))
+      << agg.merged_trace_json.substr(0, 2000);
+  EXPECT_EQ(trace.at("otherData").at("run_id").string_value, "4242");
+  EXPECT_EQ(trace.at("otherData").at("world_size").number_value, 4.0);
+  CheckMergedTraceDocument(trace, 4);
+
+  JsonValue metrics;
+  ASSERT_TRUE(JsonParser::Parse(agg.merged_metrics_json, &metrics))
+      << agg.merged_metrics_json.substr(0, 2000);
+  CheckMergedMetricsDocument(metrics, 4);
+
+  SetTraceRunId(0);
+  ClearTrace();
+}
+
 #ifdef DTUCKER_CLI_PATH
 
 std::string ReadFileOrDie(const std::string& path) {
@@ -181,6 +325,67 @@ TEST(ObservabilityCliTest, TraceOutAndMetricsOutWriteValidJson) {
   std::remove(tensor_path.c_str());
   std::remove(trace_path.c_str());
   std::remove(metrics_path.c_str());
+}
+
+bool FileExists(const std::string& path) {
+  std::ifstream in(path);
+  return in.good();
+}
+
+// Runs the CLI over 4 ranks on the given transport (threads or fork()ed
+// processes) and schema-checks the single merged trace + metrics documents
+// rank 0 writes.
+void RunFourRankCliCase(const std::string& tag, const std::string& transport,
+                        const std::string& extra_args) {
+  const std::string dir = ::testing::TempDir();
+  const std::string tensor_path = dir + "obs_cli4_" + tag + ".dtnsr";
+  const std::string trace_path = dir + "obs_cli4_" + tag + "_trace.json";
+  const std::string metrics_path = dir + "obs_cli4_" + tag + "_metrics.json";
+
+  Tensor x = MakeLowRankTensor({14, 12, 12}, {3, 3, 3}, 0.1, 7);
+  ASSERT_TRUE(SaveTensor(x, tensor_path).ok());
+
+  const std::string cmd = std::string(DTUCKER_CLI_PATH) +
+                          " --op=decompose --tensor=" + tensor_path +
+                          " --method=D-Tucker --rank=3 --iters=3" +
+                          " --ranks=4 --transport=" + transport + " " +
+                          extra_args + " --trace-out=" + trace_path +
+                          " --metrics-out=" + metrics_path + " > /dev/null";
+  const int rc = std::system(cmd.c_str());
+  ASSERT_EQ(rc, 0) << "command failed: " << cmd;
+
+  // One merged file each; the aggregation must suppress per-rank fallback
+  // files ("<path>.rank<r>").
+  for (int r = 1; r < 4; ++r) {
+    EXPECT_FALSE(FileExists(trace_path + ".rank" + std::to_string(r)))
+        << "rank " << r << " wrote a fallback trace despite the gather";
+    EXPECT_FALSE(FileExists(metrics_path + ".rank" + std::to_string(r)));
+  }
+
+  JsonValue trace;
+  ASSERT_TRUE(JsonParser::Parse(ReadFileOrDie(trace_path), &trace));
+  EXPECT_EQ(trace.at("otherData").at("world_size").number_value, 4.0);
+  CheckMergedTraceDocument(trace, 4);
+
+  JsonValue metrics;
+  ASSERT_TRUE(JsonParser::Parse(ReadFileOrDie(metrics_path), &metrics));
+  CheckMergedMetricsDocument(metrics, 4);
+
+  std::remove(tensor_path.c_str());
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
+}
+
+TEST(ObservabilityCliTest, FourRankShmThreadsProduceMergedDocuments) {
+  RunFourRankCliCase("threads", "shm", "");
+}
+
+TEST(ObservabilityCliTest, FourRankShmForkedProcessesProduceMergedDocuments) {
+  RunFourRankCliCase("procs", "shm", "--rank-procs");
+}
+
+TEST(ObservabilityCliTest, FourRankFileForkedProcessesProduceMergedDocuments) {
+  RunFourRankCliCase("file_procs", "file", "--rank-procs");
 }
 
 #endif  // DTUCKER_CLI_PATH

@@ -6,9 +6,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <new>
 #include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -144,9 +146,8 @@ TEST_F(TraceTest, ChromeExportIsValidJsonWithExpectedEvents) {
   ASSERT_TRUE(root.Has("traceEvents"));
   const auto& events = root.at("traceEvents");
   ASSERT_TRUE(events.IsArray());
-  // Metadata event + 2 spans.
-  ASSERT_EQ(events.array.size(), 3u);
   int complete_events = 0;
+  int metadata_events = 0;
   for (const auto& ev : events.array) {
     ASSERT_TRUE(ev.Has("ph"));
     if (ev.at("ph").string_value == "X") {
@@ -157,9 +158,13 @@ TEST_F(TraceTest, ChromeExportIsValidJsonWithExpectedEvents) {
       EXPECT_TRUE(ev.Has("tid"));
       EXPECT_TRUE(ev.Has("pid"));
       EXPECT_GE(ev.at("dur").number_value, 0.0);
+    } else if (ev.at("ph").string_value == "M") {
+      ++metadata_events;
     }
   }
   EXPECT_EQ(complete_events, 2);
+  // Lane metadata (process_name + process_sort_index) for the rank-0 lane.
+  EXPECT_GE(metadata_events, 2);
 }
 
 TEST_F(TraceTest, RingBufferWrapsAndCountsDrops) {
@@ -221,6 +226,155 @@ TEST_F(TraceTest, ClearTraceDropsBufferedEvents) {
 
 TEST_F(TraceTest, WriteChromeTraceReportsBadPath) {
   EXPECT_FALSE(WriteChromeTrace("/nonexistent-dir/trace.json").ok());
+}
+
+TEST_F(TraceTest, ExportReportsExactDropCountsAfterThreadExit) {
+  SetTraceBufferCapacity(16);
+  SetTraceEnabled(true);
+  std::thread recorder([] {
+    // Fresh thread -> fresh (tiny) ring.
+    for (int i = 0; i < 100; ++i) {
+      TraceSpan span("overflow");
+    }
+  });
+  recorder.join();  // Both survivors and drop counts outlive the thread.
+  SetTraceEnabled(false);
+
+  EXPECT_EQ(TraceEventCount(), 16u);
+  EXPECT_EQ(TraceDroppedEventCount(), 84u);
+
+  std::ostringstream os;
+  ExportChromeTrace(os);
+  json_test::JsonValue root;
+  ASSERT_TRUE(json_test::JsonParser::Parse(os.str(), &root)) << os.str();
+  ASSERT_TRUE(root.Has("otherData"));
+  EXPECT_EQ(root.at("otherData").at("dropped_events").number_value, 84.0);
+
+  int survivors = 0;
+  bool drop_metadata_found = false;
+  for (const auto& ev : root.at("traceEvents").array) {
+    if (ev.at("ph").string_value == "X" &&
+        ev.at("name").string_value == "overflow") {
+      ++survivors;
+    }
+    if (ev.at("ph").string_value == "M" &&
+        ev.at("name").string_value == "trace_buffer_dropped") {
+      drop_metadata_found = true;
+      EXPECT_EQ(ev.at("args").at("dropped").number_value, 84.0);
+    }
+  }
+  EXPECT_EQ(survivors, 16);
+  EXPECT_TRUE(drop_metadata_found)
+      << "per-buffer drop accounting must reach the export";
+  SetTraceBufferCapacity(1u << 15);
+}
+
+TEST_F(TraceTest, FlowTaggedSpansEmitBoundFlowEvents) {
+  SetTraceEnabled(true);
+  const std::uint64_t flow_id = (42ull << 32) | 7u;
+  {
+    TraceSpan span("comm.allreduce", flow_id, 's');
+  }
+  {
+    TraceSpan span("comm.allreduce", flow_id, 'f');
+  }
+  SetTraceEnabled(false);
+
+  std::ostringstream os;
+  ExportChromeTrace(os);
+  json_test::JsonValue root;
+  ASSERT_TRUE(json_test::JsonParser::Parse(os.str(), &root)) << os.str();
+  int starts = 0;
+  int finishes = 0;
+  for (const auto& ev : root.at("traceEvents").array) {
+    const std::string& ph = ev.at("ph").string_value;
+    if (ph != "s" && ph != "f") continue;
+    EXPECT_EQ(ev.at("cat").string_value, "comm.flow");
+    EXPECT_EQ(ev.at("bp").string_value, "e");
+    EXPECT_EQ(ev.at("id").string_value, std::to_string(flow_id));
+    ph == "s" ? ++starts : ++finishes;
+  }
+  EXPECT_EQ(starts, 1);
+  EXPECT_EQ(finishes, 1);
+}
+
+TEST_F(TraceTest, RankTagsBecomePidLanesAndOffsetShiftsTimestamps) {
+  SetTraceEnabled(true);
+  std::thread rank2([] {
+    SetTraceRankForCurrentThread(2);
+    TraceSpan span("rank2.work");
+  });
+  rank2.join();
+  SetTraceEnabled(false);
+  SetTraceClockOffsetNs(5'000'000);  // +5 ms onto rank 0's axis.
+
+  std::ostringstream os;
+  ExportChromeTrace(os);
+  SetTraceClockOffsetNs(0);
+  json_test::JsonValue root;
+  ASSERT_TRUE(json_test::JsonParser::Parse(os.str(), &root)) << os.str();
+  bool span_found = false;
+  bool lane_found = false;
+  for (const auto& ev : root.at("traceEvents").array) {
+    if (ev.at("ph").string_value == "X" &&
+        ev.at("name").string_value == "rank2.work") {
+      span_found = true;
+      EXPECT_EQ(ev.at("pid").number_value, 2.0);
+      EXPECT_GE(ev.at("ts").number_value, 5000.0)  // µs
+          << "the clock offset must be applied at export";
+    }
+    if (ev.at("ph").string_value == "M" &&
+        ev.at("name").string_value == "process_name" &&
+        ev.at("pid").number_value == 2.0) {
+      lane_found = true;
+    }
+  }
+  EXPECT_TRUE(span_found);
+  EXPECT_TRUE(lane_found);
+}
+
+TEST_F(TraceTest, PerRankFragmentsMergeIntoOneDocument) {
+  SetTraceRunId(77);
+  SetTraceEnabled(true);
+  SetTraceRankForCurrentThread(0);
+  {
+    TraceSpan span("rank0.work");
+  }
+  std::thread rank1([] {
+    SetTraceRankForCurrentThread(1);
+    TraceSpan span("rank1.work");
+  });
+  rank1.join();
+  SetTraceEnabled(false);
+
+  // Each rank serializes only its own buffers; the merge is pure pasting,
+  // exactly what the cross-rank gather ships to rank 0.
+  const std::string frag0 = SerializeChromeTraceEventsForRank(0);
+  const std::string frag1 = SerializeChromeTraceEventsForRank(1);
+  EXPECT_EQ(frag0.find("rank1.work"), std::string::npos);
+  EXPECT_EQ(frag1.find("rank0.work"), std::string::npos);
+  const std::string merged = BuildMergedChromeTrace({frag0, frag1}, 77);
+  SetTraceRunId(0);
+
+  json_test::JsonValue root;
+  ASSERT_TRUE(json_test::JsonParser::Parse(merged, &root)) << merged;
+  EXPECT_EQ(root.at("otherData").at("run_id").string_value, "77");
+  EXPECT_EQ(root.at("otherData").at("world_size").number_value, 2.0);
+  bool r0 = false;
+  bool r1 = false;
+  for (const auto& ev : root.at("traceEvents").array) {
+    if (ev.at("ph").string_value != "X") continue;
+    if (ev.at("name").string_value == "rank0.work") {
+      r0 = true;
+      EXPECT_EQ(ev.at("pid").number_value, 0.0);
+    }
+    if (ev.at("name").string_value == "rank1.work") {
+      r1 = true;
+      EXPECT_EQ(ev.at("pid").number_value, 1.0);
+    }
+  }
+  EXPECT_TRUE(r0);
+  EXPECT_TRUE(r1);
 }
 
 }  // namespace
