@@ -1,0 +1,285 @@
+// bench_serve: serving-layer benchmark for the multi-tenant
+// DecompositionServer (src/serve/).
+//
+// Four measurements on a --dim^3 synthetic low-rank tensor at Tucker rank
+// --rank (defaults 256^3, rank 10 — the acceptance configuration):
+//
+//   1. Cold solve: one Solve() through the job queue and Engine with an
+//      empty cache — the price of materializing a model.
+//   2. Cache-hit solve: the identical Solve() again. Answered from the LRU
+//      model cache with no Engine run; the ratio is the cache's headline.
+//   3. Factor-space query latency: repeated QueryElement batches of
+//      --query_batch random indices against the resident model, reporting
+//      p50/p99 batch seconds and per-element nanoseconds. The
+//      cache_hit_query_speedup ratio (cold solve seconds / p50 batch
+//      seconds) is the serving claim: answering from factors is orders of
+//      magnitude cheaper than recomputing — the gate requires >= 100x.
+//   4. Sustained mixed load: --clients threads issue cache-hit Solves and
+//      query batches for --duration seconds against --workers workers,
+//      reporting overall QPS and job-latency p50/p99 — queue + dedup +
+//      cache overheads under concurrency, not solver time.
+//
+// Plus a single-flight probe: --fanout identical Submits while the model
+// is not yet cached must produce exactly one Engine run.
+//
+// Output: a table on stdout and --json (default BENCH_serve.json) with one
+// object per line, consumed by check_serve_regression.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "data/generators.h"
+#include "serve/server.h"
+
+namespace dtucker {
+namespace {
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t i = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(i, v.size() - 1)];
+}
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddString("json", "BENCH_serve.json", "JSON output path");
+  flags.AddInt("dim", 256, "cube dimension of the synthetic tensor");
+  flags.AddInt("rank", 10, "Tucker rank per mode");
+  flags.AddInt("iters", 2, "HOOI iterations per solve");
+  flags.AddInt("workers", 2, "server worker threads");
+  flags.AddInt("clients", 4, "client threads in the sustained-load phase");
+  flags.AddDouble("duration", 1.0, "sustained-load window seconds");
+  flags.AddInt("query_batch", 64, "elements per QueryElement batch");
+  flags.AddInt("query_rounds", 200, "query batches timed");
+  flags.AddInt("fanout", 8, "identical Submits in the single-flight probe");
+  const Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.HelpString().c_str());
+    return 0;
+  }
+  const Index dim = static_cast<Index>(flags.GetInt("dim"));
+  const Index rank = static_cast<Index>(flags.GetInt("rank"));
+  const int iters = static_cast<int>(flags.GetInt("iters"));
+  const int clients = static_cast<int>(flags.GetInt("clients"));
+  const double duration = flags.GetDouble("duration");
+  const int query_batch = static_cast<int>(flags.GetInt("query_batch"));
+  const int query_rounds = static_cast<int>(flags.GetInt("query_rounds"));
+  const int fanout = static_cast<int>(flags.GetInt("fanout"));
+
+  std::printf("generating %td^3 low-rank tensor...\n", dim);
+  auto tensor = std::make_shared<Tensor>(
+      MakeLowRankTensor({dim, dim, dim}, {rank, rank, rank}, 0.1, 7));
+
+  ServerOptions sopt;
+  sopt.num_workers = static_cast<int>(flags.GetInt("workers"));
+  sopt.queue_capacity = 256;
+  sopt.engine.measure_error = false;  // Pure serving timings.
+  DecompositionServer server(sopt);
+
+  ModelSpec spec;
+  spec.dataset_id = "bench";
+  spec.ranks = {rank, rank, rank};
+  spec.max_iterations = iters;
+
+  auto request = [&](const std::string& id) {
+    SolveRequest r;
+    r.model = spec;
+    r.model.dataset_id = id;
+    r.tensor = tensor;
+    return r;
+  };
+
+  // 1. Cold solve.
+  Timer cold_timer;
+  Result<JobResult> cold = server.Solve(request("bench"));
+  const double cold_s = cold_timer.Seconds();
+  if (!cold.ok() || !cold.value().status.ok()) {
+    std::fprintf(stderr, "cold solve failed: %s\n",
+                 (cold.ok() ? cold.value().status : cold.status())
+                     .ToString()
+                     .c_str());
+    return 1;
+  }
+
+  // 2. Cache-hit solve.
+  Timer hit_timer;
+  Result<JobResult> hit = server.Solve(request("bench"));
+  const double hit_s = hit_timer.Seconds();
+  if (!hit.ok() || !hit.value().from_cache) {
+    std::fprintf(stderr, "cache-hit solve did not hit the cache\n");
+    return 1;
+  }
+  const double solve_speedup = cold_s / hit_s;
+
+  // 3. Query latency.
+  std::uint64_t lcg = 0x9e3779b97f4a7c15ull;
+  auto next_index = [&lcg](Index extent) {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<Index>((lcg >> 33) % static_cast<std::uint64_t>(extent));
+  };
+  std::vector<double> batch_seconds;
+  batch_seconds.reserve(static_cast<std::size_t>(query_rounds));
+  for (int round = 0; round < query_rounds; ++round) {
+    ElementQueryRequest q;
+    q.indices.reserve(static_cast<std::size_t>(query_batch));
+    for (int b = 0; b < query_batch; ++b) {
+      q.indices.push_back({next_index(dim), next_index(dim), next_index(dim)});
+    }
+    Timer qt;
+    Result<ElementQueryResponse> resp = server.QueryElement(spec, q);
+    const double qs = qt.Seconds();
+    if (!resp.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   resp.status().ToString().c_str());
+      return 1;
+    }
+    batch_seconds.push_back(qs);
+  }
+  const double batch_p50 = Percentile(batch_seconds, 0.50);
+  const double batch_p99 = Percentile(batch_seconds, 0.99);
+  const double query_speedup = cold_s / batch_p50;
+
+  // 4. Sustained mixed load.
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::uint64_t seed = 0x2545f4914f6cdd1dull + static_cast<std::uint64_t>(c);
+      auto local_index = [&seed](Index extent) {
+        seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+        return static_cast<Index>((seed >> 33) %
+                                  static_cast<std::uint64_t>(extent));
+      };
+      while (!stop.load(std::memory_order_relaxed)) {
+        Timer t;
+        Result<JobResult> r = server.Solve(request("bench"));
+        if (!r.ok()) break;
+        latencies[static_cast<std::size_t>(c)].push_back(t.Seconds());
+        requests.fetch_add(1, std::memory_order_relaxed);
+        ElementQueryRequest q;
+        for (int b = 0; b < 8; ++b) {
+          q.indices.push_back(
+              {local_index(dim), local_index(dim), local_index(dim)});
+        }
+        if (!server.QueryElement(spec, q).ok()) break;
+        requests.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  Timer window;
+  while (window.Seconds() < duration) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true);
+  for (std::thread& t : threads) t.join();
+  const double window_s = window.Seconds();
+  const double qps = static_cast<double>(requests.load()) / window_s;
+  std::vector<double> all_lat;
+  for (const auto& v : latencies) {
+    all_lat.insert(all_lat.end(), v.begin(), v.end());
+  }
+  const double job_p50_ns = Percentile(all_lat, 0.50) * 1e9;
+  const double job_p99_ns = Percentile(all_lat, 0.99) * 1e9;
+
+  // 5. Single-flight probe on an uncached model: fanout concurrent
+  // identical Submits, exactly one Engine run.
+  const std::uint64_t executed_before = server.Stats().executed;
+  std::vector<JobId> ids;
+  {
+    std::vector<std::thread> submitters;
+    std::mutex ids_mutex;
+    for (int f = 0; f < fanout; ++f) {
+      submitters.emplace_back([&] {
+        Result<JobId> id = server.Submit(request("dedup"));
+        if (id.ok()) {
+          std::lock_guard<std::mutex> lock(ids_mutex);
+          ids.push_back(id.value());
+        }
+      });
+    }
+    for (std::thread& t : submitters) t.join();
+  }
+  for (JobId id : ids) {
+    Result<JobResult> r = server.Wait(id);
+    if (!r.ok() || !r.value().status.ok()) {
+      std::fprintf(stderr, "single-flight job failed\n");
+      return 1;
+    }
+  }
+  const std::uint64_t dedup_executed =
+      server.Stats().executed - executed_before;
+
+  TablePrinter table({"measurement", "value"});
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f s", cold_s);
+  table.AddRow({"cold solve", buf});
+  std::snprintf(buf, sizeof(buf), "%.1f us (%.0fx)", hit_s * 1e6,
+                solve_speedup);
+  table.AddRow({"cache-hit solve", buf});
+  std::snprintf(buf, sizeof(buf), "%.1f us p50 / %.1f us p99",
+                batch_p50 * 1e6, batch_p99 * 1e6);
+  table.AddRow({"query batch (" + std::to_string(query_batch) + " elems)",
+                buf});
+  std::snprintf(buf, sizeof(buf), "%.0fx", query_speedup);
+  table.AddRow({"cache-hit query speedup", buf});
+  std::snprintf(buf, sizeof(buf), "%.0f req/s", qps);
+  table.AddRow({"sustained throughput", buf});
+  std::snprintf(buf, sizeof(buf), "%.0f us p50 / %.0f us p99",
+                job_p50_ns / 1e3, job_p99_ns / 1e3);
+  table.AddRow({"job latency", buf});
+  std::snprintf(buf, sizeof(buf), "%d submits -> %llu runs", fanout,
+                static_cast<unsigned long long>(dedup_executed));
+  table.AddRow({"single-flight", buf});
+  table.Print();
+
+  FILE* json = std::fopen(flags.GetString("json").c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n",
+                 flags.GetString("json").c_str());
+    return 1;
+  }
+  std::fprintf(json, "{\n");
+  std::fprintf(json,
+               "  \"config\": {\"dim\": %td, \"rank\": %td, \"iters\": %d, "
+               "\"workers\": %d, \"clients\": %d, \"query_batch\": %d},\n",
+               dim, rank, iters, sopt.num_workers, clients, query_batch);
+  std::fprintf(json, "  \"cold_solve_seconds\": %.6f,\n", cold_s);
+  std::fprintf(json, "  \"cache_hit_solve_seconds\": %.9f,\n", hit_s);
+  std::fprintf(json, "  \"cache_hit_solve_speedup\": %.1f,\n", solve_speedup);
+  std::fprintf(json, "  \"query_batch_seconds_p50\": %.9f,\n", batch_p50);
+  std::fprintf(json, "  \"query_batch_seconds_p99\": %.9f,\n", batch_p99);
+  std::fprintf(json, "  \"per_element_ns_p50\": %.0f,\n",
+               batch_p50 * 1e9 / query_batch);
+  std::fprintf(json, "  \"cache_hit_query_speedup\": %.1f,\n", query_speedup);
+  std::fprintf(json, "  \"sustained_qps\": %.1f,\n", qps);
+  std::fprintf(json, "  \"job_p50_ns\": %.0f,\n", job_p50_ns);
+  std::fprintf(json, "  \"job_p99_ns\": %.0f,\n", job_p99_ns);
+  std::fprintf(json, "  \"dedup_submitted\": %d,\n", fanout);
+  std::fprintf(json, "  \"dedup_executed\": %llu\n",
+               static_cast<unsigned long long>(dedup_executed));
+  std::fprintf(json, "}\n");
+  std::fclose(json);
+  std::printf("\nwrote %s\n", flags.GetString("json").c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace dtucker
+
+int main(int argc, char** argv) { return dtucker::Run(argc, argv); }

@@ -1,0 +1,139 @@
+// check_serve_regression: ctest gate comparing the current BENCH_serve.json
+// against the committed seed snapshot (bench/snapshots/BENCH_serve.seed.json).
+//
+//   check_serve_regression <current.json> <seed.json> [tolerance]
+//
+// Exit codes: 0 pass, 1 regression/parse failure, 77 skip (no current JSON
+// — the bench is run manually via `cmake --build build --target
+// bench_serve_json`, so a fresh checkout skips rather than fails; ctest
+// maps 77 to SKIP via SKIP_RETURN_CODE).
+//
+// Checks:
+//   - cache_hit_query_speedup >= 100 unconditionally (the serving
+//     acceptance floor: answering a query batch from cached factors must
+//     be at least two orders of magnitude faster than a cold 256^3 solve)
+//     AND >= (1 - tolerance) * seed value (default tolerance 0.25 —
+//     latency ratios on shared machines are noisier than CPU-time
+//     ratios).
+//   - sustained_qps >= (1 - tolerance) * seed value.
+//   - dedup_executed == 1: N identical concurrent Submits must collapse
+//     to exactly one Engine run — a violated single-flight invariant is a
+//     correctness bug, never tolerable.
+//
+// Deliberately dependency-free line scanning rather than a JSON parser:
+// bench_serve emits one scalar per line with fixed key spelling, and the
+// gate must not inherit the library's own build to judge it.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace {
+
+struct BenchFile {
+  double query_speedup = -1;
+  double qps = -1;
+  double dedup_executed = -1;
+};
+
+bool FindNumber(const std::string& line, const std::string& key, double* out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  *out = std::strtod(line.c_str() + pos + needle.size(), nullptr);
+  return true;
+}
+
+bool Load(const std::string& path, BenchFile* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    FindNumber(line, "cache_hit_query_speedup", &out->query_speedup);
+    FindNumber(line, "sustained_qps", &out->qps);
+    FindNumber(line, "dedup_executed", &out->dedup_executed);
+  }
+  return out->query_speedup >= 0 && out->qps >= 0 &&
+         out->dedup_executed >= 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: %s <current.json> <seed.json> [tolerance]\n",
+                 argv[0]);
+    return 1;
+  }
+  const double tolerance = argc > 3 ? std::atof(argv[3]) : 0.25;
+
+  BenchFile current;
+  {
+    std::ifstream probe(argv[1]);
+    if (!probe) {
+      std::fprintf(stderr,
+                   "SKIP: %s not found (run `cmake --build . --target "
+                   "bench_serve_json` first)\n",
+                   argv[1]);
+      return 77;
+    }
+  }
+  if (!Load(argv[1], &current)) {
+    std::fprintf(stderr, "FAIL: cannot parse %s\n", argv[1]);
+    return 1;
+  }
+  BenchFile seed;
+  if (!Load(argv[2], &seed)) {
+    std::fprintf(stderr, "FAIL: cannot parse seed snapshot %s\n", argv[2]);
+    return 1;
+  }
+
+  int failures = 0;
+
+  if (current.query_speedup < 100.0) {
+    std::fprintf(stderr,
+                 "FAIL: cache_hit_query_speedup %.1fx is below the 100x "
+                 "acceptance floor\n",
+                 current.query_speedup);
+    ++failures;
+  }
+  const double query_floor = (1.0 - tolerance) * seed.query_speedup;
+  if (current.query_speedup < query_floor) {
+    std::fprintf(stderr,
+                 "FAIL: cache_hit_query_speedup %.1fx < %.1fx "
+                 "(seed %.1fx - %.0f%%)\n",
+                 current.query_speedup, query_floor, seed.query_speedup,
+                 tolerance * 100);
+    ++failures;
+  } else {
+    std::printf("ok: cache_hit_query_speedup %.1fx (seed %.1fx)\n",
+                current.query_speedup, seed.query_speedup);
+  }
+
+  const double qps_floor = (1.0 - tolerance) * seed.qps;
+  if (current.qps < qps_floor) {
+    std::fprintf(stderr, "FAIL: sustained_qps %.1f < %.1f (seed %.1f - %.0f%%)\n",
+                 current.qps, qps_floor, seed.qps, tolerance * 100);
+    ++failures;
+  } else {
+    std::printf("ok: sustained_qps %.1f (seed %.1f)\n", current.qps,
+                seed.qps);
+  }
+
+  if (current.dedup_executed != 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: dedup_executed %.0f != 1 (single-flight invariant "
+                 "violated)\n",
+                 current.dedup_executed);
+    ++failures;
+  } else {
+    std::printf("ok: single-flight collapsed identical submits to 1 run\n");
+  }
+
+  if (failures > 0) {
+    std::fprintf(stderr, "%d serving regression(s)\n", failures);
+    return 1;
+  }
+  std::printf("serving benchmarks within tolerance of the seed\n");
+  return 0;
+}

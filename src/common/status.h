@@ -32,6 +32,11 @@ enum class StatusCode {
   // policy. Distinct from kIoError so callers can tell "the file is bad"
   // from "the storage path was unavailable right now".
   kUnavailable = 10,
+  // A bounded resource is full right now (the serving layer's admission
+  // control: job queue at capacity). Like kUnavailable it is retryable,
+  // but the remedy is backpressure — shed load or retry later — rather
+  // than waiting out a storage hiccup.
+  kResourceExhausted = 11,
 };
 
 // True for the graceful-interruption codes (kCancelled/kDeadlineExceeded):
@@ -81,6 +86,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

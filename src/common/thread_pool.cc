@@ -10,6 +10,7 @@ namespace dtucker {
 
 namespace {
 std::atomic<int> g_pool_partitions{1};
+std::atomic<int> g_pool_leases{0};
 }  // namespace
 
 void SetPoolPartitions(int partitions) {
@@ -18,7 +19,24 @@ void SetPoolPartitions(int partitions) {
 }
 
 int PoolPartitions() {
-  return g_pool_partitions.load(std::memory_order_relaxed);
+  // The manual setting (sharded runs) and the lease count (serving jobs)
+  // feed one effective width: whichever demands the narrower per-caller
+  // fan-out wins.
+  const int manual = g_pool_partitions.load(std::memory_order_relaxed);
+  const int leases = g_pool_leases.load(std::memory_order_relaxed);
+  return leases > manual ? leases : manual;
+}
+
+PoolPartitionLease::PoolPartitionLease() {
+  g_pool_leases.fetch_add(1, std::memory_order_relaxed);
+}
+
+PoolPartitionLease::~PoolPartitionLease() {
+  g_pool_leases.fetch_sub(1, std::memory_order_relaxed);
+}
+
+int ActivePoolLeases() {
+  return g_pool_leases.load(std::memory_order_relaxed);
 }
 
 std::size_t ThreadPool::partition_width() const {

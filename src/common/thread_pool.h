@@ -36,6 +36,28 @@ namespace dtucker {
 void SetPoolPartitions(int partitions);
 int PoolPartitions();
 
+// RAII partition lease for callers that come and go concurrently (the
+// serving layer's jobs): each concurrently *running* job holds one lease
+// for the duration of its solve, and the effective partition count is
+// max(SetPoolPartitions value, active leases). Two jobs in flight thus
+// each claim ~half the pool's fan-out instead of both flooding it, and
+// when the last lease drops the pool returns to whole-pool fan-out —
+// without the jobs having to coordinate absolute partition counts the way
+// the sharded driver (which knows its rank count up front) does. Same
+// bitwise-safety argument as SetPoolPartitions: partitioning only narrows
+// fan-out width, never changes result bits.
+class PoolPartitionLease {
+ public:
+  PoolPartitionLease();
+  ~PoolPartitionLease();
+
+  PoolPartitionLease(const PoolPartitionLease&) = delete;
+  PoolPartitionLease& operator=(const PoolPartitionLease&) = delete;
+};
+
+// Lease count currently held (for tests and the serve.* gauges).
+int ActivePoolLeases();
+
 class ThreadPool {
  public:
   // Spawns `num_threads` workers (>= 1).

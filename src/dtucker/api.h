@@ -15,6 +15,10 @@
 //                                it, comm/communicator.h + comm/sharding.h
 //                                — the rank collectives and shard plans).
 //   - dtucker/slice_approximation.h  The compressed slice form.
+//   - serve/server.h             Multi-tenant DecompositionServer (job
+//                                scheduler, model cache, factor-space
+//                                query API) and, via it, the job queue and
+//                                LRU model cache.
 //   - baselines/registry.h       Method enum + uniform runner.
 //   - tucker/*                   Decomposition type, baselines, rank
 //                                estimation, reconstruction, rounding.
@@ -42,6 +46,7 @@
 #include "dtucker/out_of_core.h"
 #include "dtucker/sharded_dtucker.h"
 #include "dtucker/slice_approximation.h"
+#include "serve/server.h"
 #include "tucker/hosvd.h"
 #include "tucker/rank_estimation.h"
 #include "tucker/reconstruct.h"

@@ -112,10 +112,10 @@ Status Engine::RequireDTucker(const char* entry) const {
   return Status::OK();
 }
 
-DTuckerOptions Engine::DTuckerOptionsFromMethod() {
+DTuckerOptions Engine::DTuckerOptionsFromMethod(const RunContext* ctx) {
   DTuckerOptions opt;
   opt.tucker = options_.method_options.tucker;
-  opt.tucker.run_context = &ctx_;
+  opt.tucker.run_context = ctx;
   opt.oversampling = options_.method_options.oversampling;
   opt.power_iterations = options_.method_options.power_iterations;
   opt.num_threads = options_.method_options.num_threads;
@@ -134,9 +134,9 @@ void Engine::FinishRun(EngineRun* run) const {
   RecordSweepMetrics(run->stats);
 }
 
-ShardedDTuckerOptions Engine::ShardedOptionsFromMethod() {
+ShardedDTuckerOptions Engine::ShardedOptionsFromMethod(const RunContext* ctx) {
   ShardedDTuckerOptions opt;
-  opt.dtucker = DTuckerOptionsFromMethod();
+  opt.dtucker = DTuckerOptionsFromMethod(ctx);
   opt.num_ranks = options_.num_ranks;
   opt.transport = options_.comm_transport;
   opt.comm_scratch = options_.comm_scratch;
@@ -159,7 +159,8 @@ std::uint64_t Fnv1aHash(const std::string& s) {
 
 }  // namespace
 
-Result<std::unique_ptr<Communicator>> Engine::MakeSpmdCommunicator() {
+Result<std::unique_ptr<Communicator>> Engine::MakeSpmdCommunicator(
+    const RunContext* ctx) {
   std::unique_ptr<Communicator> comm;
   if (options_.comm_transport == CommTransport::kFile) {
     DT_ASSIGN_OR_RETURN(comm,
@@ -172,7 +173,7 @@ Result<std::unique_ptr<Communicator>> Engine::MakeSpmdCommunicator() {
                                               options_.spmd_rank,
                                               options_.num_ranks));
   }
-  comm->set_run_context(&ctx_);
+  comm->set_run_context(ctx);
   comm->set_timeout_seconds(ShardedDTuckerOptions().comm_timeout_seconds);
   // Flow group from the shared rendezvous name: identical on every rank,
   // distinct across runs (scratch names embed pid + run counters).
@@ -279,7 +280,8 @@ void Engine::RecordAdaptiveRun(const std::vector<Index>& shape,
   }
 }
 
-Result<EngineRun> Engine::Solve(const Tensor& x) {
+Result<EngineRun> Engine::Solve(const Tensor& x, const RunContext* ctx) {
+  const RunContext* effective = EffectiveContext(ctx);
   DT_RETURN_NOT_OK(options_.Validate(x.shape()));
   ApplyBlasThreads();
   adaptive::PlanDecision decision;
@@ -289,14 +291,14 @@ Result<EngineRun> Engine::Solve(const Tensor& x) {
     // Sharded slice-parallel path (num_ranks == 1 still shards, so rank
     // counts compare within one reduction scheme).
     EngineRun run;
-    ShardedDTuckerOptions sharded = ShardedOptionsFromMethod();
+    ShardedDTuckerOptions sharded = ShardedOptionsFromMethod(effective);
     sharded.dtucker.variants = plan;
     if (options_.spmd_rank >= 0) {
       // SPMD mode: this process is one rank of an externally launched
       // group; run the rank entry point on its own communicator instead of
       // spawning rank threads.
       DT_ASSIGN_OR_RETURN(std::unique_ptr<Communicator> comm,
-                          MakeSpmdCommunicator());
+                          MakeSpmdCommunicator(effective));
       DT_ASSIGN_OR_RETURN(
           run.decomposition,
           ShardedDTuckerRank(x, sharded.dtucker, comm.get(), &run.stats));
@@ -315,7 +317,7 @@ Result<EngineRun> Engine::Solve(const Tensor& x) {
     return run;
   }
   MethodOptions opts = options_.method_options;
-  opts.tucker.run_context = &ctx_;
+  opts.tucker.run_context = effective;
   opts.variants = plan;
   DT_ASSIGN_OR_RETURN(
       MethodRun method_run,
@@ -332,7 +334,9 @@ Result<EngineRun> Engine::Solve(const Tensor& x) {
   return run;
 }
 
-Result<EngineRun> Engine::SolveFile(const std::string& path) {
+Result<EngineRun> Engine::SolveFile(const std::string& path,
+                                    const RunContext* ctx) {
+  const RunContext* effective = EffectiveContext(ctx);
   DT_RETURN_NOT_OK(RequireDTucker("SolveFile"));
   ApplyBlasThreads();
   // The header is cheap to read and gives the auto policy its shape.
@@ -347,11 +351,11 @@ Result<EngineRun> Engine::SolveFile(const std::string& path) {
                       ResolvePlan(shape, &decision));
   if (options_.num_ranks > 0) {
     EngineRun run;
-    ShardedDTuckerOptions sharded = ShardedOptionsFromMethod();
+    ShardedDTuckerOptions sharded = ShardedOptionsFromMethod(effective);
     sharded.dtucker.variants = plan;
     if (options_.spmd_rank >= 0) {
       DT_ASSIGN_OR_RETURN(std::unique_ptr<Communicator> comm,
-                          MakeSpmdCommunicator());
+                          MakeSpmdCommunicator(effective));
       DT_ASSIGN_OR_RETURN(run.decomposition,
                           ShardedDTuckerRankFromFile(path, sharded.dtucker,
                                                      comm.get(), &run.stats));
@@ -367,7 +371,7 @@ Result<EngineRun> Engine::SolveFile(const std::string& path) {
     FinishRun(&run);
     return run;
   }
-  DTuckerOptions opt = DTuckerOptionsFromMethod();
+  DTuckerOptions opt = DTuckerOptionsFromMethod(effective);
   opt.variants = plan;
   EngineRun run;
   DT_ASSIGN_OR_RETURN(run.decomposition,
@@ -381,13 +385,15 @@ Result<EngineRun> Engine::SolveFile(const std::string& path) {
   return run;
 }
 
-Result<EngineRun> Engine::SolveApproximation(const SliceApproximation& approx) {
+Result<EngineRun> Engine::SolveApproximation(const SliceApproximation& approx,
+                                             const RunContext* ctx) {
+  const RunContext* effective = EffectiveContext(ctx);
   DT_RETURN_NOT_OK(RequireDTucker("SolveApproximation"));
   ApplyBlasThreads();
   adaptive::PlanDecision decision;
   DT_ASSIGN_OR_RETURN(const adaptive::PhaseVariantPlan plan,
                       ResolvePlan(approx.shape, &decision));
-  DTuckerOptions opt = DTuckerOptionsFromMethod();
+  DTuckerOptions opt = DTuckerOptionsFromMethod(effective);
   opt.variants = plan;
   EngineRun run;
   DT_ASSIGN_OR_RETURN(run.decomposition,

@@ -45,7 +45,9 @@ struct EngineOptions {
   // D-Tucker-specific and require kDTucker.
   TuckerMethod method = TuckerMethod::kDTucker;
   // Shared + per-method knobs. `method_options.tucker.run_context` is
-  // overwritten by the engine with its own context on every solve.
+  // overwritten on every solve with the effective context — the engine's
+  // own, or the per-call override passed to Solve/SolveFile/
+  // SolveApproximation.
   MethodOptions method_options;
   // When > 0, the process-wide BLAS pool is sized to this before solving
   // (linalg/blas.h SetBlasThreads). 0 leaves the current setting alone.
@@ -135,15 +137,36 @@ class Engine {
   void ClearDeadline() { ctx_.ClearDeadline(); }
 
   // Runs options().method on an in-memory tensor.
-  Result<EngineRun> Solve(const Tensor& x);
+  //
+  // Every entry point has a second form taking an explicit per-call
+  // RunContext that overrides the engine-owned context for that solve
+  // (nullptr falls back to the owned one). A long-lived engine can then be
+  // shared across a sequence of jobs that each bring their own
+  // deadline/cancellation — the serving layer's per-job contexts — without
+  // the deadline of one job leaking into the next through engine state.
+  // The caller owns the override context and must keep it alive for the
+  // duration of the call; RequestCancel()/SetDeadlineAfter() on the engine
+  // do NOT reach a solve running under an override (poke the override
+  // context instead). Solves remain one-at-a-time per engine: the
+  // adaptive-policy state (cost model refinement) is not synchronized.
+  Result<EngineRun> Solve(const Tensor& x) { return Solve(x, nullptr); }
+  Result<EngineRun> Solve(const Tensor& x, const RunContext* ctx);
 
   // Out-of-core D-Tucker on a DTNSR001 file (requires method == kDTucker).
-  // Transient read faults are retried under context().io_retry.
-  Result<EngineRun> SolveFile(const std::string& path);
+  // Transient read faults are retried under the effective context's
+  // io_retry policy.
+  Result<EngineRun> SolveFile(const std::string& path) {
+    return SolveFile(path, nullptr);
+  }
+  Result<EngineRun> SolveFile(const std::string& path, const RunContext* ctx);
 
   // D-Tucker query phase on an existing compressed tensor (requires
   // method == kDTucker).
-  Result<EngineRun> SolveApproximation(const SliceApproximation& approx);
+  Result<EngineRun> SolveApproximation(const SliceApproximation& approx) {
+    return SolveApproximation(approx, nullptr);
+  }
+  Result<EngineRun> SolveApproximation(const SliceApproximation& approx,
+                                       const RunContext* ctx);
 
   // Writes the cost model's current coefficients — including any scale.*
   // factors refined online from measured phase times — to
@@ -159,12 +182,18 @@ class Engine {
   // Folds the solver-reported completion code into run->status and
   // publishes the per-sweep telemetry metrics.
   void FinishRun(EngineRun* run) const;
-  DTuckerOptions DTuckerOptionsFromMethod();
-  ShardedDTuckerOptions ShardedOptionsFromMethod();
+  // The context a solve actually polls: the per-call override when given,
+  // otherwise the engine-owned one.
+  const RunContext* EffectiveContext(const RunContext* override_ctx) const {
+    return override_ctx != nullptr ? override_ctx : &ctx_;
+  }
+  DTuckerOptions DTuckerOptionsFromMethod(const RunContext* ctx);
+  ShardedDTuckerOptions ShardedOptionsFromMethod(const RunContext* ctx);
   // Builds this process's communicator for spmd_rank mode (file/shm at
   // comm_scratch), wires the run context/timeout, and tags the calling
   // thread + communicator for cross-rank tracing.
-  Result<std::unique_ptr<Communicator>> MakeSpmdCommunicator();
+  Result<std::unique_ptr<Communicator>> MakeSpmdCommunicator(
+      const RunContext* ctx);
   Status RequireDTucker(const char* entry) const;
   void ApplyBlasThreads() const;
 

@@ -1,0 +1,54 @@
+#include "serve/job_queue.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace dtucker {
+
+JobQueue::JobQueue(int capacity) : capacity_(capacity) {
+  DT_CHECK_GE(capacity, 1) << "job queue needs capacity >= 1";
+}
+
+Status JobQueue::TryPush(std::shared_ptr<ServeJob> job, int priority) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) {
+      return Status::FailedPrecondition("job queue is closed");
+    }
+    if (static_cast<int>(entries_.size()) >= capacity_) {
+      return Status::ResourceExhausted(
+          "job queue full (" + std::to_string(capacity_) +
+          " pending); retry later or shed load");
+    }
+    entries_.push(Entry{priority, next_sequence_++, std::move(job)});
+  }
+  available_.notify_one();
+  return Status::OK();
+}
+
+std::shared_ptr<ServeJob> JobQueue::Pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  available_.wait(lock, [this] { return closed_ || !entries_.empty(); });
+  if (entries_.empty()) return nullptr;  // Closed and drained.
+  // priority_queue::top() is const-only; the Entry is copied cheaply (one
+  // shared_ptr bump) and popped.
+  Entry e = entries_.top();
+  entries_.pop();
+  return std::move(e.job);
+}
+
+void JobQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  available_.notify_all();
+}
+
+int JobQueue::Depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(entries_.size());
+}
+
+}  // namespace dtucker

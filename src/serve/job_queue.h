@@ -1,0 +1,84 @@
+// Bounded priority job queue with admission control — the front door of
+// the decomposition server (serve/server.h).
+//
+// Admission is non-blocking: TryPush() either accepts the job or rejects
+// it immediately with kResourceExhausted when `capacity` entries are
+// already pending, so an overloaded server sheds load at the door instead
+// of growing an unbounded backlog (callers see the rejection and retry
+// with backoff or route elsewhere). Dispatch order is highest priority
+// first, FIFO within a priority level (a monotone sequence number breaks
+// ties), so a burst of background jobs cannot starve an interactive one
+// and equal-priority jobs keep their arrival order.
+//
+// Thread safety: all methods are internally synchronized. Pop() blocks
+// until an entry arrives or Close() is called; after Close() the pending
+// entries drain in order and further Pop()s return nullptr (worker
+// shutdown). The queue stores opaque shared_ptr<ServeJob> handles — the
+// job record itself lives in server.cc.
+#ifndef DTUCKER_SERVE_JOB_QUEUE_H_
+#define DTUCKER_SERVE_JOB_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dtucker {
+
+struct ServeJob;  // Defined in serve/server.cc.
+
+class JobQueue {
+ public:
+  // `capacity` >= 1: the maximum number of pending (queued, not yet
+  // popped) jobs.
+  explicit JobQueue(int capacity);
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  // Admits `job` at `priority` (higher runs first), or rejects with
+  // kResourceExhausted (queue full) / kFailedPrecondition (queue closed).
+  Status TryPush(std::shared_ptr<ServeJob> job, int priority);
+
+  // Blocks until a job is available and returns the highest-priority one;
+  // returns nullptr once the queue is closed and drained.
+  std::shared_ptr<ServeJob> Pop();
+
+  // Stops admission and wakes every Pop(); already-pending entries still
+  // drain in priority order.
+  void Close();
+
+  // Pending entries right now (admission headroom = capacity() - Depth()).
+  int Depth() const;
+  int capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    int priority = 0;
+    std::uint64_t sequence = 0;
+    std::shared_ptr<ServeJob> job;
+  };
+  // std::priority_queue pops the *largest* element: order by priority,
+  // then inverted sequence so equal priorities pop in arrival order.
+  struct EntryLess {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.priority != b.priority) return a.priority < b.priority;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  const int capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable available_;
+  std::priority_queue<Entry, std::vector<Entry>, EntryLess> entries_;
+  std::uint64_t next_sequence_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_SERVE_JOB_QUEUE_H_

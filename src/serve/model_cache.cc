@@ -1,0 +1,107 @@
+#include "serve/model_cache.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+
+namespace dtucker {
+
+Status ModelCacheOptions::Validate() const {
+  if (max_entries < 1) {
+    return Status::InvalidArgument("cache max_entries must be >= 1");
+  }
+  if (max_bytes == 0) {
+    return Status::InvalidArgument("cache max_bytes must be > 0");
+  }
+  return Status::OK();
+}
+
+ModelCache::ModelCache(ModelCacheOptions options)
+    : options_(std::move(options)) {
+  DT_CHECK(options_.Validate().ok()) << "invalid ModelCacheOptions";
+}
+
+std::shared_ptr<const CachedModel> ModelCache::Get(const std::string& key) {
+  static Counter& hits = MetricCounter("serve.cache.hits");
+  static Counter& misses = MetricCounter("serve.cache.misses");
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    misses.Add(1);
+    PublishGaugesLocked();
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  ++stats_.hits;
+  hits.Add(1);
+  PublishGaugesLocked();
+  return it->second.model;
+}
+
+void ModelCache::Put(const std::string& key,
+                     std::shared_ptr<const CachedModel> model) {
+  static Counter& insertions = MetricCounter("serve.cache.insertions");
+  DT_CHECK(model != nullptr) << "cannot cache a null model";
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Replace in place and refresh recency.
+    bytes_ -= it->second.model->bytes;
+    bytes_ += model->bytes;
+    it->second.model = std::move(model);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  } else {
+    lru_.push_front(key);
+    bytes_ += model->bytes;
+    entries_.emplace(key, EntryRec{std::move(model), lru_.begin()});
+  }
+  ++stats_.insertions;
+  insertions.Add(1);
+  EvictLocked();
+  PublishGaugesLocked();
+}
+
+bool ModelCache::Contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.count(key) != 0;
+}
+
+ModelCache::Stats ModelCache::GetStats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s = stats_;
+  s.entries = static_cast<int>(entries_.size());
+  s.bytes = bytes_;
+  return s;
+}
+
+void ModelCache::EvictLocked() {
+  static Counter& evictions = MetricCounter("serve.cache.evictions");
+  while (entries_.size() > 1 &&
+         (static_cast<int>(entries_.size()) > options_.max_entries ||
+          bytes_ > options_.max_bytes)) {
+    const std::string& victim = lru_.back();
+    auto it = entries_.find(victim);
+    bytes_ -= it->second.model->bytes;
+    entries_.erase(it);  // Readers holding the shared_ptr keep their view.
+    lru_.pop_back();
+    ++stats_.evictions;
+    evictions.Add(1);
+  }
+}
+
+void ModelCache::PublishGaugesLocked() {
+  static Gauge& entries = MetricGauge("serve.cache.entries");
+  static Gauge& bytes = MetricGauge("serve.cache.bytes");
+  static Gauge& hit_ratio = MetricGauge("serve.cache.hit_ratio");
+  entries.Set(static_cast<double>(entries_.size()));
+  bytes.Set(static_cast<double>(bytes_));
+  const std::uint64_t lookups = stats_.hits + stats_.misses;
+  if (lookups > 0) {
+    hit_ratio.Set(static_cast<double>(stats_.hits) /
+                  static_cast<double>(lookups));
+  }
+}
+
+}  // namespace dtucker

@@ -1,0 +1,104 @@
+// LRU cache of completed decompositions, keyed by the canonical model key
+// (serve/server.h ModelSpec::CanonicalKey).
+//
+// Ownership story (the part that matters under concurrency): the cache
+// hands out std::shared_ptr<const CachedModel> — shared ownership of an
+// immutable snapshot, NOT a deep copy and NOT a borrowed reference.
+// Eviction merely drops the cache's own reference; a reader that obtained
+// the model before the eviction keeps a valid, immutable view for as long
+// as it holds the pointer, so a query can never observe factors freed
+// under it, and N deduplicated jobs returning the same pointer are
+// bitwise-identical by construction. The flip side: a cached model's
+// memory is only reclaimed once the last outstanding reader drops it —
+// eviction bounds the cache's *retained* set, not the transient total.
+//
+// Capacity is bounded twice — entry count and logical bytes
+// (decomposition ByteSize) — and eviction walks the LRU tail until both
+// bounds hold. Get() bumps recency; Contains() does not (for tests that
+// probe eviction order without perturbing it).
+//
+// Thread safety: all methods are internally synchronized (one mutex; the
+// values are immutable so only the index needs protecting).
+#ifndef DTUCKER_SERVE_MODEL_CACHE_H_
+#define DTUCKER_SERVE_MODEL_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "tucker/tucker.h"
+
+namespace dtucker {
+
+// One completed decomposition plus the run metadata queries and repeat
+// Solves are answered from. Immutable once inserted.
+struct CachedModel {
+  TuckerDecomposition decomposition;
+  TuckerStats stats;
+  double relative_error = 0.0;
+  // Logical bytes of the decomposition (core + factors) charged against
+  // ModelCacheOptions::max_bytes.
+  std::size_t bytes = 0;
+};
+
+struct ModelCacheOptions {
+  int max_entries = 64;
+  std::size_t max_bytes = std::size_t{512} << 20;  // 512 MiB of factors.
+
+  Status Validate() const;
+};
+
+class ModelCache {
+ public:
+  explicit ModelCache(ModelCacheOptions options);
+
+  ModelCache(const ModelCache&) = delete;
+  ModelCache& operator=(const ModelCache&) = delete;
+
+  // Shared ownership of the cached model, or nullptr on miss. A hit moves
+  // the entry to the front of the LRU order.
+  std::shared_ptr<const CachedModel> Get(const std::string& key);
+
+  // Inserts (or replaces) the model under `key` and evicts from the LRU
+  // tail until both capacity bounds hold again. The new entry itself is
+  // never evicted by its own insertion (the cache always holds at least
+  // the most recent model, even if it alone exceeds max_bytes).
+  void Put(const std::string& key, std::shared_ptr<const CachedModel> model);
+
+  // Whether `key` is resident, without touching recency.
+  bool Contains(const std::string& key) const;
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    int entries = 0;
+    std::size_t bytes = 0;
+  };
+  Stats GetStats() const;
+
+ private:
+  void EvictLocked();
+  void PublishGaugesLocked();
+
+  struct EntryRec {
+    std::shared_ptr<const CachedModel> model;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  const ModelCacheOptions options_;
+  mutable std::mutex mutex_;
+  std::list<std::string> lru_;  // Front = most recently used.
+  std::unordered_map<std::string, EntryRec> entries_;
+  std::size_t bytes_ = 0;
+  Stats stats_;
+};
+
+}  // namespace dtucker
+
+#endif  // DTUCKER_SERVE_MODEL_CACHE_H_

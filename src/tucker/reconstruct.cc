@@ -1,12 +1,32 @@
 #include "tucker/reconstruct.h"
 
+#include <string>
+
 #include "linalg/blas.h"
 #include "tensor/tensor_ops.h"
 
 namespace dtucker {
 
-Result<double> ReconstructElement(const TuckerDecomposition& dec,
-                                  const std::vector<Index>& idx) {
+namespace {
+
+// Runs the ascending mode-product chain of TuckerDecomposition::
+// Reconstruct() with factor n restricted to row rows[n] (>= 0), or kept
+// whole (rows[n] == -1). Restriction only drops output elements of each
+// mode product; the per-element contraction order is untouched, so every
+// surviving element is bitwise identical to the full reconstruction's.
+Tensor ReconstructRestricted(const TuckerDecomposition& dec,
+                             const std::vector<Index>& rows) {
+  Tensor out = dec.core;
+  for (Index n = 0; n < dec.order(); ++n) {
+    const Matrix& f = dec.factors[static_cast<std::size_t>(n)];
+    const Index r = rows[static_cast<std::size_t>(n)];
+    out = ModeProduct(out, r >= 0 ? f.Row(r) : f, n, Trans::kNo);
+  }
+  return out;
+}
+
+Status ValidateElementIndex(const TuckerDecomposition& dec,
+                            const std::vector<Index>& idx) {
   const Index order = dec.order();
   if (static_cast<Index>(idx.size()) != order) {
     return Status::InvalidArgument("index order mismatch");
@@ -19,15 +39,53 @@ Result<double> ReconstructElement(const TuckerDecomposition& dec,
                                 std::to_string(n));
     }
   }
-  // Contract the core against one factor row per mode, smallest-first
-  // would be optimal; ascending order is simple and already O(prod J).
-  Tensor cur = dec.core;
-  for (Index n = order - 1; n >= 0; --n) {
-    const Matrix& f = dec.factors[static_cast<std::size_t>(n)];
-    Matrix row = f.Row(idx[static_cast<std::size_t>(n)]);  // 1 x J_n.
-    cur = ModeProduct(cur, row, n);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> ReconstructElement(const TuckerDecomposition& dec,
+                                  const std::vector<Index>& idx) {
+  DT_RETURN_NOT_OK(ValidateElementIndex(dec, idx));
+  return ReconstructRestricted(dec, idx).data()[0];
+}
+
+Result<std::vector<double>> ReconstructElements(
+    const TuckerDecomposition& dec,
+    const std::vector<std::vector<Index>>& indices) {
+  std::vector<double> values;
+  values.reserve(indices.size());
+  for (const std::vector<Index>& idx : indices) {
+    DT_RETURN_NOT_OK(ValidateElementIndex(dec, idx));
+    values.push_back(ReconstructRestricted(dec, idx).data()[0]);
   }
-  return cur.data()[0];
+  return values;
+}
+
+Result<std::vector<double>> ReconstructFiber(
+    const TuckerDecomposition& dec, Index mode,
+    const std::vector<Index>& anchor) {
+  const Index order = dec.order();
+  if (mode < 0 || mode >= order) {
+    return Status::InvalidArgument("fiber mode out of range");
+  }
+  if (static_cast<Index>(anchor.size()) != order) {
+    return Status::InvalidArgument("anchor order mismatch");
+  }
+  std::vector<Index> rows = anchor;
+  rows[static_cast<std::size_t>(mode)] = -1;  // Queried mode stays whole.
+  for (Index n = 0; n < order; ++n) {
+    if (n == mode) continue;
+    const Matrix& f = dec.factors[static_cast<std::size_t>(n)];
+    if (rows[static_cast<std::size_t>(n)] < 0 ||
+        rows[static_cast<std::size_t>(n)] >= f.rows()) {
+      return Status::OutOfRange("anchor out of range at mode " +
+                                std::to_string(n));
+    }
+  }
+  const Tensor fiber = ReconstructRestricted(dec, rows);
+  // Every dim but `mode` is 1, so the flat buffer is the fiber itself.
+  return std::vector<double>(fiber.data(), fiber.data() + fiber.size());
 }
 
 Result<Matrix> ReconstructFrontalSlice(const TuckerDecomposition& dec,
@@ -43,23 +101,17 @@ Result<Matrix> ReconstructFrontalSlice(const TuckerDecomposition& dec,
   if (l < 0 || l >= num_slices) {
     return Status::OutOfRange("slice index out of range");
   }
-
-  // Contract trailing modes with the factor rows selected by l
-  // (mode-3-fastest decomposition of l), leaving a J1 x J2 matrix, then
-  // expand the two leading modes.
-  Tensor cur = dec.core;
+  // Decompose l mode-3-fastest (matching Tensor::FrontalSlice) into one
+  // selected row per trailing mode; the two leading modes stay whole.
+  std::vector<Index> rows(static_cast<std::size_t>(order), -1);
   Index rem = l;
   for (Index n = 2; n < order; ++n) {
     const Matrix& f = dec.factors[static_cast<std::size_t>(n)];
-    const Index i_n = rem % f.rows();
+    rows[static_cast<std::size_t>(n)] = rem % f.rows();
     rem /= f.rows();
-    Matrix row = f.Row(i_n);  // 1 x J_n.
-    cur = ModeProduct(cur, row, n);
   }
-  std::vector<Index> small_shape = {dec.core.dim(0), dec.core.dim(1)};
-  Tensor small = cur.Reshaped(small_shape);
-  Matrix g12 = small.FrontalSlice(0);  // For order-2 tensors: whole matrix.
-  return Multiply(dec.factors[0], MultiplyNT(g12, dec.factors[1]));
+  const Tensor slice = ReconstructRestricted(dec, rows);
+  return slice.Reshaped({slice.dim(0), slice.dim(1)}).FrontalSlice(0);
 }
 
 Result<Tensor> ReconstructLastModeRange(const TuckerDecomposition& dec,

@@ -3,9 +3,21 @@
 // A key operational benefit of keeping data in Tucker form: individual
 // elements, fibers, and slices can be reconstructed in O(prod J) time
 // without materializing the full tensor. Used by the video and stock
-// examples and by anomaly-scoring workflows.
+// examples, anomaly-scoring workflows, and the serving layer's factor-space
+// query API (serve/server.h).
+//
+// Bitwise contract: every entry point here computes its answer by running
+// the SAME ascending mode-product chain as TuckerDecomposition::
+// Reconstruct(), restricted to the requested factor rows. Restricting a
+// factor to a subset of rows only removes output elements from each mode
+// product — the per-element accumulation (k-ascending over the contracted
+// mode, the packed-GEMM contract from DESIGN.md §6) is unchanged — so the
+// returned values are bitwise identical to indexing the full
+// reconstruction. The serving tests pin this property.
 #ifndef DTUCKER_TUCKER_RECONSTRUCT_H_
 #define DTUCKER_TUCKER_RECONSTRUCT_H_
+
+#include <vector>
 
 #include "common/status.h"
 #include "tucker/tucker.h"
@@ -16,6 +28,20 @@ namespace dtucker {
 // O(prod J_n) per call.
 Result<double> ReconstructElement(const TuckerDecomposition& dec,
                                   const std::vector<Index>& idx);
+
+// Batched elements: values[i] = x(indices[i]). The serving layer's
+// QueryElement path; one validation + O(prod J) chain per index.
+Result<std::vector<double>> ReconstructElements(
+    const TuckerDecomposition& dec,
+    const std::vector<std::vector<Index>>& indices);
+
+// Mode-`mode` fiber x(anchor_1, ..., :, ..., anchor_N): every index is
+// pinned to `anchor` except the queried mode, which runs over its full
+// extent. anchor must have one entry per mode; the entry at `mode` is
+// ignored. O(prod J + I_mode * J_mode) per call.
+Result<std::vector<double>> ReconstructFiber(const TuckerDecomposition& dec,
+                                             Index mode,
+                                             const std::vector<Index>& anchor);
 
 // Frontal slice X(:,:,i3,...,iN) for the flattened trailing index `l`
 // (mode-3 fastest, matching Tensor::FrontalSlice). Requires order >= 3.
